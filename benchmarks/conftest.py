@@ -1,0 +1,88 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file regenerates one figure/illustration of the paper
+(see DESIGN.md § 2 for the experiment index).  Conventions:
+
+* each test uses the ``benchmark`` fixture so ``pytest benchmarks/
+  --benchmark-only`` measures it;
+* the series the paper's figure would plot is printed (run with ``-s``
+  to see it) *and* attached to ``benchmark.extra_info`` so it lands in
+  ``--benchmark-json`` output;
+* populations and declarations come from ``repro.workloads`` so every
+  engine sees identical data.
+"""
+
+import pytest
+
+from repro import Authority, RgpdOS, processing
+from repro.kernel.machine import MachineConfig
+from repro.workloads.generator import (
+    STANDARD_DECLARATIONS,
+    PopulationGenerator,
+)
+
+BENCH_MACHINE = dict(
+    total_cores=8,
+    total_frames=8192,
+    rgpdos_frames=3072,
+    gp_frames=3072,
+    driver_frames_each=512,
+)
+
+
+@pytest.fixture(scope="session")
+def authority():
+    return Authority(bits=512, seed=777)
+
+
+def fresh_system(authority, with_machine=True):
+    return RgpdOS(
+        operator_name="bench-operator",
+        authority=authority,
+        machine_config=MachineConfig(**BENCH_MACHINE),
+        with_machine=with_machine,
+    )
+
+
+@processing(purpose="analytics")
+def bench_decade(user):
+    """The reference F_pd^r processing used across benchmarks."""
+    if user.year_of_birthdate:
+        return (user.year_of_birthdate // 10) * 10
+    return None
+
+
+def populated_system(
+    authority,
+    subjects=50,
+    analytics_rate=0.7,
+    seed=101,
+    with_machine=False,
+):
+    """An rgpdOS with the standard declarations, N subjects and the
+    reference processing registered."""
+    system = fresh_system(authority, with_machine=with_machine)
+    system.install(STANDARD_DECLARATIONS)
+    system.register(bench_decade)
+    generator = PopulationGenerator(seed=seed)
+    refs = []
+    for subject in generator.subjects(subjects):
+        consents = generator.consent_assignment(
+            ["analytics"], grant_probability=analytics_rate,
+            scopes={"analytics": "v_ano"},
+        )
+        refs.append(
+            system.collect(
+                "user", subject.user_record(),
+                subject_id=subject.subject_id,
+                method="web_form", consents=consents,
+            )
+        )
+    return system, refs
+
+
+def print_series(title, rows):
+    """Render one figure's series as an aligned text table."""
+    print(f"\n### {title}")
+    for row in rows:
+        print("   " + "  ".join(str(cell) for cell in row))

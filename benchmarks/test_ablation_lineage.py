@@ -1,0 +1,88 @@
+"""ABL-L — ablation: the lineage index vs a full membrane scan.
+
+Membrane consistency across copies (the built-in ``copy``'s contract)
+requires resolving a PD's whole lineage group on every consent change
+and every delete.  DBFS maintains a lineage index; this ablation
+measures what each membrane change would cost without it (an O(N)
+scan over all membranes) as the store grows — the design-choice
+justification DESIGN.md calls out.
+"""
+
+from conftest import populated_system, print_series
+
+
+def test_abll_indexed_vs_scan(benchmark, authority):
+    rows = [("store_size", "indexed_lookups", "scan_membrane_parses")]
+    observations = []
+    for subjects in (50, 100, 200):
+        system, refs = populated_system(
+            authority, subjects=subjects, analytics_rate=1.0,
+            seed=500 + subjects,
+        )
+        builtins = system.ps.builtins
+        victim = refs[0]
+        builtins.copy(victim, actor="sysadmin")
+        builtins.copy(victim, actor="sysadmin")
+
+        indexed = builtins.lineage_of(victim.uid)
+        scanned = builtins.lineage_of_scan(victim.uid)
+        assert indexed == scanned  # same answer
+        # The scan parses every membrane in the store; the index
+        # touches only the group.
+        observations.append((subjects, len(indexed), subjects + 2))
+        rows.append((subjects + 2, len(indexed), subjects + 2))
+    print_series("Lineage resolution cost (membranes touched)", rows)
+
+    system, refs = populated_system(
+        authority, subjects=100, analytics_rate=1.0, seed=501
+    )
+    builtins = system.ps.builtins
+    victim = refs[0]
+    builtins.copy(victim, actor="sysadmin")
+
+    import time
+
+    start = time.perf_counter()
+    for _ in range(20):
+        builtins.lineage_of_scan(victim.uid)
+    scan_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(20):
+        builtins.lineage_of(victim.uid)
+    indexed_seconds = time.perf_counter() - start
+    print_series(
+        "Wall time, 20 lineage resolutions (102-record store)",
+        [("method", "seconds"),
+         ("full scan", round(scan_seconds, 4)),
+         ("lineage index", round(indexed_seconds, 4))],
+    )
+    benchmark.extra_info["speedup"] = scan_seconds / max(
+        indexed_seconds, 1e-9
+    )
+    assert indexed_seconds < scan_seconds
+
+    benchmark(builtins.lineage_of, victim.uid)
+
+
+def test_abll_consent_propagation_end_to_end(benchmark, authority):
+    """The op the index accelerates: an objection across copies."""
+    system, refs = populated_system(
+        authority, subjects=100, analytics_rate=1.0, seed=502
+    )
+    victim = refs[0]
+    for _ in range(3):
+        system.ps.builtins.copy(victim, actor="sysadmin")
+
+    def object_and_restore():
+        updated = system.rights.object_to(victim.subject_id, "analytics")
+        system.rights.grant_consent(
+            victim.subject_id, victim, "analytics", "v_ano"
+        )
+        return updated
+
+    updated = benchmark(object_and_restore)
+    print_series(
+        "Objection propagation across a 4-copy lineage",
+        [("membranes_updated", len(updated))],
+    )
+    assert len(updated) == 4

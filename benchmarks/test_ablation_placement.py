@@ -1,0 +1,92 @@
+"""ABL-P — ablation: DED placement (host vs PIM vs in-storage).
+
+Paper § 3(3) suggests executing DEDs "in multiple locations with the
+help of Processing in Memory (e.g. UPMEM) and Processing in Storage".
+This ablation maps the design space with the cost model of
+``repro.kernel.pim``: predicted DED latency per site across record
+counts, record widths and compute intensities, locating the crossover
+where near-data execution starts to pay.
+
+Expected shapes (all asserted):
+* small invocations stay on the host (launch cost dominates);
+* large light-compute scans move near-data, with growing speedup;
+* raising compute intensity pushes the crossover later (DPU compute is
+  aggregate-slower than host compute).
+"""
+
+from conftest import print_series
+
+from repro.kernel.pim import (
+    SITE_HOST,
+    SITE_PIM,
+    SITE_STORAGE,
+    DEDPlacer,
+)
+
+BYTES_PER_RECORD = 4096
+
+
+def test_ablp_latency_by_site(benchmark):
+    placer = DEDPlacer()
+    rows = [("records", "host_ms", "pim_ms", "storage_ms", "winner")]
+    winners = {}
+    for records in (100, 1_000, 10_000, 100_000, 1_000_000):
+        decision = placer.place(records, BYTES_PER_RECORD, 1.0)
+        winners[records] = decision.site
+        rows.append(
+            (records,
+             round(decision.estimates[SITE_HOST] * 1e3, 3),
+             round(decision.estimates[SITE_PIM] * 1e3, 3),
+             round(decision.estimates[SITE_STORAGE] * 1e3, 3),
+             decision.site)
+        )
+    print_series("DED latency by placement (4 KiB records)", rows)
+    benchmark.extra_info["winners"] = {
+        str(k): v for k, v in winners.items()
+    }
+
+    benchmark(placer.place, 10_000, BYTES_PER_RECORD, 1.0)
+
+    assert winners[100] == SITE_HOST
+    assert winners[1_000_000] in (SITE_PIM, SITE_STORAGE)
+    # The speedup at the large end is real.
+    big = placer.place(1_000_000, BYTES_PER_RECORD, 1.0)
+    assert big.speedup_over_host() > 2.0
+
+
+def test_ablp_crossover_vs_compute_intensity(benchmark):
+    placer = DEDPlacer()
+    rows = [("compute_intensity", "crossover_records")]
+    crossovers = []
+    for intensity in (0.1, 1.0, 5.0, 20.0):
+        crossover = placer.crossover_records(
+            bytes_per_record=BYTES_PER_RECORD, compute_intensity=intensity
+        )
+        crossovers.append(crossover)
+        rows.append((intensity, crossover))
+    print_series("Near-data crossover vs compute intensity", rows)
+    benchmark.extra_info["crossovers"] = crossovers
+
+    benchmark(
+        placer.crossover_records, BYTES_PER_RECORD, 1.0
+    )
+    # Heavier compute keeps work on the host longer.
+    assert crossovers == sorted(crossovers)
+    assert crossovers[0] < crossovers[-1]
+
+
+def test_ablp_crossover_vs_record_width(benchmark):
+    placer = DEDPlacer()
+    rows = [("bytes_per_record", "crossover_records")]
+    crossovers = []
+    for width in (64, 512, 4096, 65536):
+        crossover = placer.crossover_records(
+            bytes_per_record=width, compute_intensity=1.0
+        )
+        crossovers.append(crossover)
+        rows.append((width, crossover))
+    print_series("Near-data crossover vs record width", rows)
+
+    benchmark(placer.place, 1000, 65536, 1.0)
+    # Wider records (more movement saved) cross over sooner.
+    assert crossovers == sorted(crossovers, reverse=True)

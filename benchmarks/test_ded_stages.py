@@ -1,0 +1,107 @@
+"""DED-S — where the membrane tax goes: per-stage cost breakdown.
+
+Sweeps the PD population and the consent density and reports the
+simulated cost of each of the eight pipeline stages.  The design
+claims this breakdown supports:
+
+* membrane loading scales with the *candidate* set, data loading with
+  the *consented* set — so denying consent saves the expensive stage;
+* filtering itself is cheap (in-memory membrane decisions);
+* the pipeline's cost concentrates on the storage side, which is the
+  part rgpdOS moved out of the application.
+"""
+
+from conftest import populated_system, print_series
+
+from repro.core.ded import STAGES
+
+
+def breakdown(system, target="user"):
+    result = system.invoke("bench_decade", target=target)
+    return result, result.trace.simulated_seconds
+
+
+def test_ded_stage_breakdown_vs_population(benchmark, authority):
+    rows = [("subjects",) + STAGES]
+    for subjects in (10, 40, 80):
+        system, _ = populated_system(
+            authority, subjects=subjects, analytics_rate=1.0,
+            seed=60 + subjects,
+        )
+        _, stage_seconds = breakdown(system)
+        rows.append(
+            (subjects,)
+            + tuple(round(stage_seconds[s] * 1e6, 1) for s in STAGES)
+        )
+    print_series("DED stage cost (simulated us) vs population", rows)
+
+    system, _ = populated_system(
+        authority, subjects=40, analytics_rate=1.0, seed=61
+    )
+    result = benchmark(system.invoke, "bench_decade", target="user")
+    benchmark.extra_info["stage_us"] = {
+        stage: seconds * 1e6
+        for stage, seconds in result.trace.simulated_seconds.items()
+    }
+
+    # Linear scaling of the per-PD stages.
+    small, _ = populated_system(
+        authority, subjects=10, analytics_rate=1.0, seed=62
+    )
+    _, small_stages = breakdown(small)
+    big, _ = populated_system(
+        authority, subjects=80, analytics_rate=1.0, seed=63
+    )
+    _, big_stages = breakdown(big)
+    for stage in ("ded_load_membrane", "ded_load_data", "ded_execute"):
+        assert big_stages[stage] == 8 * small_stages[stage], stage
+
+
+def test_ded_consent_density_saves_data_loads(benchmark, authority):
+    """Denied PD costs a membrane load + a filter check, never a data
+    load — consent denial is cheap by construction."""
+    rows = [("consent_rate", "membranes_us", "data_loads_us", "denied")]
+    observations = []
+    for rate_pct in (100, 50, 0):
+        system, _ = populated_system(
+            authority, subjects=40, analytics_rate=rate_pct / 100.0,
+            seed=70 + rate_pct,
+        )
+        result, stage_seconds = breakdown(system)
+        observations.append((rate_pct, stage_seconds, result))
+        rows.append(
+            (f"{rate_pct}%",
+             round(stage_seconds["ded_load_membrane"] * 1e6, 1),
+             round(stage_seconds["ded_load_data"] * 1e6, 1),
+             result.denied)
+        )
+    print_series("DED cost vs consent density (40 subjects)", rows)
+
+    full = observations[0][1]
+    none = observations[2][1]
+    # Membrane phase is consent-independent (all candidates touched)...
+    assert none["ded_load_membrane"] == full["ded_load_membrane"]
+    # ...while the data phase disappears entirely at 0% consent.
+    assert none["ded_load_data"] == 0.0
+    assert full["ded_load_data"] > 0.0
+
+    system, _ = populated_system(
+        authority, subjects=40, analytics_rate=0.5, seed=75
+    )
+    benchmark(system.invoke, "bench_decade", target="user")
+
+
+def test_ded_single_ref_fast_path(benchmark, authority):
+    """Point invocation (one ref) touches exactly one membrane — the
+    type2req translation narrows the query before storage is hit."""
+    system, refs = populated_system(
+        authority, subjects=80, analytics_rate=1.0, seed=76
+    )
+    result = benchmark(system.invoke, "bench_decade", target=refs[0])
+    assert result.trace.counts["membranes_loaded"] == 1
+    assert result.processed == 1
+    print_series(
+        "DED point invocation (80-subject store)",
+        [("membranes_loaded", result.trace.counts["membranes_loaded"]),
+         ("records_loaded", result.trace.counts["records_loaded"])],
+    )

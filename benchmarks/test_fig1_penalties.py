@@ -1,0 +1,60 @@
+"""FIG1L / FIG1R — regenerate both panels of Figure 1.
+
+Paper: "(left) total amount of penalties; (right) top 5 most
+sanctioned business sectors", from the DataLegalDrive map [2].  The
+embedded dataset is calibrated to the published aggregates (see
+``repro.workloads.penalties``); these benchmarks print the two series
+and check the figure's qualitative claims:
+
+* totals grow every year and top €1.2B in 2021 (left panel);
+* retail and internet/telecom dominate the sector ranking, with the
+  health sector present (the CNIL doctors) — "companies of all types
+  are impacted" (right panel).
+"""
+
+from conftest import print_series
+
+from repro.workloads.penalties import (
+    SECTOR_HEALTH,
+    SECTOR_INTERNET,
+    SECTOR_RETAIL,
+    counts_by_sector,
+    penalty_records,
+    top_sectors,
+    totals_by_year,
+)
+
+
+def test_fig1_left_totals_by_year(benchmark):
+    records = benchmark(penalty_records)
+    totals = totals_by_year(records)
+
+    rows = [("year", "total_MEUR")]
+    rows += [(year, round(total / 1e6, 2)) for year, total in totals.items()]
+    print_series("Fig. 1 (left): total penalties per year", rows)
+    benchmark.extra_info["totals_by_year_eur"] = totals
+
+    years = sorted(totals)
+    assert years == [2018, 2019, 2020, 2021]
+    for earlier, later in zip(years, years[1:]):
+        assert totals[later] > totals[earlier]
+    assert totals[2021] >= 1.2e9
+
+
+def test_fig1_right_top5_sectors(benchmark):
+    records = penalty_records()
+    ranked = benchmark(top_sectors, records, 5)
+
+    rows = [("sector", "total_MEUR", "sanction_count")]
+    counts = counts_by_sector(records)
+    for sector, total in ranked:
+        rows.append((sector, round(total / 1e6, 2), counts[sector]))
+    print_series("Fig. 1 (right): top 5 most sanctioned sectors", rows)
+    benchmark.extra_info["top_sectors_eur"] = dict(ranked)
+
+    assert len(ranked) == 5
+    top_two = {sector for sector, _ in ranked[:2]}
+    assert top_two == {SECTOR_RETAIL, SECTOR_INTERNET}
+    # "Companies of all types are impacted": the long tail reaches the
+    # health sector (the paper's two-doctors anecdote).
+    assert counts[SECTOR_HEALTH] > 0

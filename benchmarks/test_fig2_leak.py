@@ -1,0 +1,111 @@
+"""FIG2 — the use-after-free PD leak: present on the baseline,
+structurally absent on rgpdOS.
+
+Reproduces the accident of Fig. 2 (function f2 reaching pd2 through a
+dangling pointer on a process-centric OS) over a population, counting
+how often unconsented PD is exposed — and runs the same workflow on
+rgpdOS where the exposure count must be zero and every denial logged.
+"""
+
+import pytest
+from conftest import bench_decade, populated_system, print_series
+
+from repro.baseline.userspace_db import (
+    GDPRUserspaceDB,
+    stage_use_after_free_leak,
+)
+from repro.workloads.generator import PopulationGenerator
+
+PURPOSE = "analytics"
+POPULATION = 30
+CONSENT_RATE = 0.5
+
+
+def build_baseline(seed=11):
+    db = GDPRUserspaceDB()
+    db.create_table("users")
+    generator = PopulationGenerator(seed=seed)
+    consented, refused = [], []
+    for subject in generator.subjects(POPULATION):
+        granted = generator.consent_assignment(
+            [PURPOSE], grant_probability=CONSENT_RATE
+        )
+        db.insert(
+            "users", subject.subject_id, subject.user_record(),
+            subject_id=subject.subject_id,
+            consents={PURPOSE: PURPOSE in granted},
+        )
+        (consented if PURPOSE in granted else refused).append(
+            subject.subject_id
+        )
+    return db, consented, refused
+
+
+def test_fig2_baseline_leaks(benchmark):
+    """Process-centric side: every staged UAF exposes unconsented PD."""
+    db, consented, refused = build_baseline()
+    if not consented or not refused:
+        pytest.skip("population draw left no victim pair")
+
+    def stage_one_leak():
+        return stage_use_after_free_leak(
+            db, "users", pd1_key=consented[0], pd2_key=refused[0],
+            purpose_of_f2=PURPOSE,
+        )
+
+    outcome = benchmark(stage_one_leak)
+
+    leaks = 0
+    attempts = 0
+    for victim in refused:
+        attempts += 1
+        result = stage_use_after_free_leak(
+            db, "users", pd1_key=consented[0], pd2_key=victim,
+            purpose_of_f2=PURPOSE,
+        )
+        leaks += int(result.leaked)
+    print_series(
+        "Fig. 2: unconsented-PD exposures via use-after-free",
+        [("engine", "attempts", "exposures"),
+         ("userspace-gdpr-db", attempts, leaks)],
+    )
+    benchmark.extra_info["exposures"] = leaks
+    benchmark.extra_info["attempts"] = attempts
+
+    assert outcome.leaked
+    assert leaks == attempts  # the accident works every time
+
+
+def test_fig2_rgpdos_does_not_leak(benchmark, authority):
+    """Data-centric side: zero exposures, denials auditable."""
+    system, refs = populated_system(
+        authority, subjects=POPULATION, analytics_rate=CONSENT_RATE, seed=11
+    )
+
+    result = benchmark(system.invoke, "bench_decade", target="user")
+
+    refused = result.denied
+    exposed = sum(
+        1 for uid in result.values
+        if system.dbfs.get_membrane(
+            uid, system.ps.builtins.credential
+        ).permits(PURPOSE) is None
+    )
+    print_series(
+        "Fig. 2 on rgpdOS: the same workflow",
+        [("engine", "processed", "denied", "exposures"),
+         ("rgpdos", result.processed, refused, exposed)],
+    )
+    benchmark.extra_info["exposures"] = exposed
+    benchmark.extra_info["denied"] = refused
+
+    assert exposed == 0
+    assert refused > 0  # unconsented PD existed and was filtered
+    # Every denial left an audit trace.
+    denial_accesses = [
+        access
+        for entry in system.log.entries()
+        for access in entry.accesses
+        if access.mode == "denied"
+    ]
+    assert len(denial_accesses) >= refused

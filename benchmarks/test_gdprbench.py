@@ -1,0 +1,131 @@
+"""GB-1 — GDPRBench-style role mix across the three engines.
+
+After Shastri et al. [17] (the paper's citation for GDPR storage
+costs): four personas (customer / controller / processor / regulator)
+run identical operation mixes against the plain DB, the Fig. 2
+userspace GDPR DB, and rgpdOS.
+
+Expected shape (not absolute numbers): plain ≥ userspace-GDPR ≥
+rgpdOS in raw ops/s — compliance costs a small factor on the baseline
+and more on rgpdOS, which buys mediation the others cannot offer
+(zero-residue deletes, pre-load consent filtering, per-PD audit log).
+"""
+
+import pytest
+from conftest import print_series
+
+from repro.baseline.gdprbench import (
+    PERSONAS,
+    GDPRBenchRunner,
+    PlainDBAdapter,
+    RgpdOSAdapter,
+    UserspaceDBAdapter,
+)
+
+RECORDS = 30
+OPERATIONS = 60
+ADAPTERS = (PlainDBAdapter, UserspaceDBAdapter, RgpdOSAdapter)
+
+
+def run_persona(adapter_cls, persona, operations=OPERATIONS):
+    runner = GDPRBenchRunner(adapter_cls(), seed=51)
+    runner.load(RECORDS)
+    return runner.run(persona, operations)
+
+
+@pytest.mark.parametrize("persona", sorted(PERSONAS))
+def test_gb1_persona_grid(benchmark, persona):
+    """One persona, all engines; the benchmark times rgpdOS (the new
+    system), the series reports all three."""
+    rows = [("engine", "ops_per_second", "denied")]
+    results = {}
+    for adapter_cls in ADAPTERS:
+        result = run_persona(adapter_cls, persona)
+        results[result.adapter] = result
+        rows.append(
+            (result.adapter, round(result.ops_per_second), result.denied)
+        )
+    print_series(f"GDPRBench persona: {persona}", rows)
+
+    runner = GDPRBenchRunner(RgpdOSAdapter(), seed=51)
+    runner.load(RECORDS)
+    benchmark(runner.run, persona, 10)
+    benchmark.extra_info["ops_per_second"] = {
+        name: result.ops_per_second for name, result in results.items()
+    }
+
+    # The shape: plain is fastest; rgpdOS pays the biggest tax.
+    assert (
+        results["plain-db"].ops_per_second
+        > results["rgpdos"].ops_per_second
+    )
+    assert (
+        results["userspace-gdpr-db"].ops_per_second
+        > results["rgpdos"].ops_per_second
+    )
+
+
+def test_gb1_overhead_factors(benchmark):
+    """The headline table: per-persona GDPR-overhead factor vs plain."""
+    rows = [("persona", "userspace_x", "rgpdos_x")]
+    factors = {}
+    for persona in sorted(PERSONAS):
+        plain = run_persona(PlainDBAdapter, persona)
+        userspace = run_persona(UserspaceDBAdapter, persona)
+        rgpdos = run_persona(RgpdOSAdapter, persona)
+        userspace_factor = plain.ops_per_second / max(
+            userspace.ops_per_second, 1e-9
+        )
+        rgpdos_factor = plain.ops_per_second / max(
+            rgpdos.ops_per_second, 1e-9
+        )
+        factors[persona] = (userspace_factor, rgpdos_factor)
+        rows.append(
+            (persona, round(userspace_factor, 1), round(rgpdos_factor, 1))
+        )
+    print_series("GDPR overhead factor vs plain storage", rows)
+    benchmark.extra_info["overhead_factors"] = {
+        persona: {"userspace": u, "rgpdos": r}
+        for persona, (u, r) in factors.items()
+    }
+
+    def measured_unit():
+        return run_persona(RgpdOSAdapter, "processor", operations=10)
+
+    benchmark(measured_unit)
+
+    # Shape assertions: overhead ordering holds for every persona, and
+    # compliance costs a real factor (>1) wherever GDPR work exists.
+    for persona, (userspace_factor, rgpdos_factor) in factors.items():
+        assert rgpdos_factor >= userspace_factor * 0.5, persona
+        assert rgpdos_factor > 1.0, persona
+
+
+def test_gb1_record_count_sweep(benchmark):
+    """Crossover check: rgpdOS's per-op cost stays bounded as the
+    store grows (type-indexed trees), the ratio to plain stabilises."""
+    rows = [("records", "plain_ops", "rgpdos_ops", "factor")]
+    factors = []
+    for record_count in (10, 30, 60):
+        plain_runner = GDPRBenchRunner(PlainDBAdapter(), seed=52)
+        plain_runner.load(record_count)
+        plain = plain_runner.run("customer", 40)
+        rgpdos_runner = GDPRBenchRunner(RgpdOSAdapter(), seed=52)
+        rgpdos_runner.load(record_count)
+        rgpdos = rgpdos_runner.run("customer", 40)
+        factor = plain.ops_per_second / max(rgpdos.ops_per_second, 1e-9)
+        factors.append(factor)
+        rows.append(
+            (record_count, round(plain.ops_per_second),
+             round(rgpdos.ops_per_second), round(factor, 1))
+        )
+    print_series("GDPRBench sweep over record count (customer mix)", rows)
+    benchmark.extra_info["factors"] = factors
+
+    def measured_unit():
+        runner = GDPRBenchRunner(RgpdOSAdapter(), seed=52)
+        runner.load(10)
+        return runner.run("customer", 10)
+
+    benchmark(measured_unit)
+    assert all(factor > 1.0 for factor in factors)

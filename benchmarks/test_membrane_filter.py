@@ -1,0 +1,131 @@
+"""MEM-F — membrane filter scaling and the data-minimisation effect.
+
+Two questions the membrane design raises:
+
+* how does the pure in-memory ``permits``/``allowed_fields`` decision
+  scale with the number of consent entries a membrane carries?
+* how much data does view projection (the minimisation mechanism)
+  actually keep out of processing — fields delivered under ``v_ano``
+  vs ``all`` scopes?
+"""
+
+from conftest import populated_system, print_series
+
+from repro.core.datatypes import FieldDef, PDType
+from repro.core.membrane import Membrane
+from repro.core.views import View
+
+
+def membrane_with_consents(entry_count):
+    membrane = Membrane(
+        pd_type="t", subject_id="s", origin="subject",
+        sensitivity="low", created_at=0.0,
+    )
+    for index in range(entry_count):
+        membrane.grant(f"purpose_{index}", "all", at=float(index))
+    return membrane
+
+
+def test_memf_permits_scaling(benchmark):
+    """permits() is a dict lookup: flat in the consent-entry count."""
+    rows = [("consent_entries", "lookups_per_call")]
+    membranes = {
+        count: membrane_with_consents(count) for count in (1, 10, 100, 1000)
+    }
+    for count, membrane in membranes.items():
+        # Correctness at each size.
+        assert membrane.permits("purpose_0") == "all"
+        assert membrane.permits("missing") is None
+        rows.append((count, 1))
+    print_series("Membrane permits(): consent-entry sweep", rows)
+
+    big = membranes[1000]
+    benchmark(big.permits, "purpose_500")
+
+
+def test_memf_allowed_fields_resolution(benchmark):
+    """Scope→fields resolution cost against a wide type."""
+    wide_type = PDType(
+        name="t",
+        fields=tuple(FieldDef(f"f{i}", "string") for i in range(50)),
+        views={
+            "v_small": View("v_small", frozenset({"f0", "f1"})),
+        },
+    )
+    membrane = membrane_with_consents(10)
+    membrane.grant("narrow", "v_small", at=99.0)
+
+    fields = benchmark(membrane.allowed_fields, "narrow", wide_type)
+    assert fields == {"f0", "f1"}
+
+
+def test_memf_minimisation_effect(benchmark, authority):
+    """Fields actually delivered to the function: v_ano vs all."""
+    system, refs = populated_system(
+        authority, subjects=30, analytics_rate=1.0, seed=81
+    )
+    # analytics is consented via v_ano; account_management via all.
+    from conftest import bench_decade  # registered already
+
+    from repro import processing
+
+    @processing(purpose="account_management")
+    def full_reader(user):
+        return len(user.visible_fields())
+
+    system.register(full_reader, sysadmin_approved=True)
+
+    narrow = system.invoke("bench_decade", target="user")
+    wide = system.invoke("full_reader", target="user")
+
+    narrow_fields = set()
+    wide_fields = set()
+    for entry in system.log.entries():
+        for access in entry.accesses:
+            if access.mode != "read":
+                continue
+            if entry.processing == "bench_decade":
+                narrow_fields.update(access.fields)
+            elif entry.processing == "full_reader":
+                wide_fields.update(access.fields)
+
+    print_series(
+        "Data minimisation: fields delivered per scope",
+        [("scope", "fields_delivered"),
+         ("v_ano (analytics)", sorted(narrow_fields)),
+         ("all (account_management)", sorted(wide_fields))],
+    )
+    assert narrow_fields == {"city", "year_of_birthdate"}
+    assert "national_id" in wide_fields
+    assert narrow.processed == wide.processed == 30
+
+    benchmark(system.invoke, "bench_decade", target="user")
+
+
+def test_memf_filter_cost_vs_population(benchmark, authority):
+    """End-to-end filter stage cost is linear and tiny relative to the
+    loads it gates."""
+    rows = [("subjects", "filter_us", "load_us")]
+    for subjects in (20, 40, 80):
+        system, _ = populated_system(
+            authority, subjects=subjects, analytics_rate=1.0,
+            seed=90 + subjects,
+        )
+        result = system.invoke("bench_decade", target="user")
+        stage_seconds = result.trace.simulated_seconds
+        rows.append(
+            (subjects,
+             round(stage_seconds["ded_filter"] * 1e6, 2),
+             round((stage_seconds["ded_load_membrane"]
+                    + stage_seconds["ded_load_data"]) * 1e6, 2))
+        )
+        assert stage_seconds["ded_filter"] < 0.2 * (
+            stage_seconds["ded_load_membrane"]
+            + stage_seconds["ded_load_data"]
+        )
+    print_series("Filter stage vs load stages (simulated us)", rows)
+
+    system, _ = populated_system(
+        authority, subjects=40, analytics_rate=1.0, seed=91
+    )
+    benchmark(system.invoke, "bench_decade", target="user")

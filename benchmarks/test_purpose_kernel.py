@@ -1,0 +1,132 @@
+"""KRN-P — purpose-kernel partitioning under mixed PD/NPD load.
+
+The purpose-kernel model's quantitative questions:
+
+* how does the PD/NPD core split affect each side's completion time
+  (dynamic partitioning lets the machine chase the load);
+* what does a repartition cost (it is metadata-only in this design);
+* how much of the IO traffic is PD, justifying the dedicated driver
+  kernels the paper carves out of the general-purpose kernel.
+"""
+
+from conftest import BENCH_MACHINE, print_series
+
+from repro.core.clock import Clock
+from repro.kernel.machine import Machine, MachineConfig
+from repro.kernel.scheduler import Task
+from repro.kernel.subkernel import IORequest
+
+
+def build_machine(rgpdos_cores, gp_cores):
+    config = MachineConfig(
+        **{**BENCH_MACHINE,
+           "rgpdos_cores": rgpdos_cores, "gp_cores": gp_cores}
+    )
+    return Machine(
+        drivers={"pd-nvme": lambda r: b"", "npd-nvme": lambda r: b""},
+        config=config,
+        clock=Clock(),
+    ).boot()
+
+
+def burst(machine, kernel, tasks, quanta):
+    for index in range(tasks):
+        state = {"left": quanta}
+
+        def step(state=state):
+            state["left"] -= 1
+            return state["left"] <= 0
+
+        machine.submit(kernel, Task(name=f"{kernel}-{index}", step=step))
+
+
+def run_split(rgpdos_cores, gp_cores, pd_tasks=60, npd_tasks=60):
+    machine = build_machine(rgpdos_cores, gp_cores)
+    burst(machine, "rgpdos-kernel", pd_tasks, quanta=2)
+    burst(machine, "gp-kernel", npd_tasks, quanta=2)
+    ticks = machine.run()
+    return machine, ticks
+
+
+def test_krnp_core_split_sweep(benchmark):
+    """Completion time vs PD/NPD core split for a balanced load."""
+    rows = [("split rgpdos:gp", "ticks_to_drain")]
+    results = {}
+    for rgpdos_cores, gp_cores in ((1, 5), (3, 3), (5, 1)):
+        _, ticks = run_split(rgpdos_cores, gp_cores)
+        results[(rgpdos_cores, gp_cores)] = ticks
+        rows.append((f"{rgpdos_cores}:{gp_cores}", ticks))
+    print_series("Purpose-kernel core-split sweep (balanced load)", rows)
+    benchmark.extra_info["ticks_by_split"] = {
+        f"{a}:{b}": ticks for (a, b), ticks in results.items()
+    }
+
+    benchmark(run_split, 3, 3)
+
+    # A balanced load drains fastest on the balanced split; skewed
+    # splits bottleneck on the starved side.
+    assert results[(3, 3)] <= results[(1, 5)]
+    assert results[(3, 3)] <= results[(5, 1)]
+
+
+def test_krnp_dynamic_repartition_chases_load(benchmark):
+    """A PD-heavy burst finishes sooner after stealing cores from the
+    idle general-purpose kernel."""
+
+    def skewed_run(rebalance):
+        machine = build_machine(3, 3)
+        burst(machine, "rgpdos-kernel", 90, quanta=2)
+        burst(machine, "gp-kernel", 6, quanta=2)
+        if rebalance:
+            machine.rebalance_cores("gp-kernel", "rgpdos-kernel", 2)
+        return machine.run()
+
+    static_ticks = skewed_run(rebalance=False)
+    dynamic_ticks = skewed_run(rebalance=True)
+    print_series(
+        "Dynamic repartitioning under a PD-heavy burst",
+        [("policy", "ticks"),
+         ("static 3:3", static_ticks),
+         ("rebalanced 5:1", dynamic_ticks)],
+    )
+    benchmark.extra_info["static_ticks"] = static_ticks
+    benchmark.extra_info["dynamic_ticks"] = dynamic_ticks
+    assert dynamic_ticks < static_ticks
+
+    benchmark(skewed_run, True)
+
+
+def test_krnp_pd_io_isolation(benchmark):
+    """PD IO flows only through its driver kernel; the split is
+    observable per driver, supporting the trusted-base argument."""
+    machine = build_machine(3, 3)
+    for index in range(20):
+        machine.rgpdos.send(
+            "drv-pd-nvme", "io",
+            IORequest(op="read", target="0", carries_pd=True),
+        )
+    for index in range(10):
+        machine.gp.submit_io(
+            "drv-npd-nvme", IORequest(op="read", target="0")
+        )
+    machine.run()
+
+    pd_driver = machine.driver_kernels["pd-nvme"]
+    npd_driver = machine.driver_kernels["npd-nvme"]
+    print_series(
+        "IO traffic split by driver kernel",
+        [("driver", "requests", "pd_requests"),
+         ("drv-pd-nvme", pd_driver.served_requests, pd_driver.pd_requests),
+         ("drv-npd-nvme", npd_driver.served_requests,
+          npd_driver.pd_requests)],
+    )
+    assert pd_driver.pd_requests == 20
+    assert npd_driver.pd_requests == 0
+
+    def measured_unit():
+        m = build_machine(3, 3)
+        m.gp.submit_io("drv-npd-nvme", IORequest(op="read", target="0"))
+        m.run()
+        return m
+
+    benchmark(measured_unit)

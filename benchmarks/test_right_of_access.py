@@ -1,0 +1,74 @@
+"""ILL-A — § 4, right of access.
+
+The paper's first illustration: rgpdOS can hand a subject their PD "as
+it is stored in DBFS" (structured, meaningful keys, schema attached)
+plus the processing log "organized so that it can give information
+about executed processings for each piece of PD".
+
+Benchmarked: the cost of a full access report as the subject's record
+count grows, plus the structural assertions the illustration makes.
+"""
+
+import json
+
+from conftest import populated_system, print_series
+
+
+def test_right_of_access_report(benchmark, authority):
+    system, refs = populated_system(
+        authority, subjects=20, analytics_rate=1.0, seed=31
+    )
+    # Generate processing history over every subject's PD.
+    system.invoke("bench_decade", target="user")
+    subject_id = refs[0].subject_id
+
+    report = benchmark(system.rights.right_of_access, subject_id)
+
+    # -- structured and machine-readable, with meaningful keys ----------
+    user_record = next(
+        r for r in report.export["records"] if r["pd_type"] == "user"
+    )
+    assert set(user_record["data"]) <= {
+        "name", "email", "national_id", "year_of_birthdate", "city"
+    }
+    assert "user" in report.export["schemas"]
+    # The whole report serialises to JSON (the machine-readable form).
+    document = report.to_json()
+    assert json.loads(document)["subject_id"] == subject_id
+
+    # -- the processing log, per piece of PD ------------------------------
+    assert report.processings
+    per_pd = system.log.for_pd(refs[0].uid)
+    assert per_pd  # the illustration's per-PD organisation
+
+    print_series(
+        "Right of access: report composition",
+        [("records", len(report.export["records"])),
+         ("schemas", len(report.export["schemas"])),
+         ("logged_processings", len(report.processings)),
+         ("report_bytes", len(document))],
+    )
+    benchmark.extra_info["report_bytes"] = len(document)
+
+
+def test_right_of_access_scales_with_history(benchmark, authority):
+    """Sweep: the report cost grows with processing history, not with
+    unrelated subjects' activity."""
+    system, refs = populated_system(
+        authority, subjects=10, analytics_rate=1.0, seed=32
+    )
+    subject_id = refs[0].subject_id
+    rows = [("invocations", "log_entries_for_subject")]
+    for invocations in (1, 5, 10):
+        for _ in range(invocations):
+            system.invoke("bench_decade", target=refs[0])
+        report = system.rights.right_of_access(subject_id)
+        rows.append((invocations, len(report.processings)))
+    print_series("Right of access vs history depth", rows)
+
+    result = benchmark(system.rights.right_of_access, subject_id)
+    # 1+5+10 invocations + 1 acquisition entry = 17 entries.
+    assert len(result.processings) == 17
+    # Another subject's report is unaffected by that history.
+    other = system.rights.right_of_access(refs[1].subject_id)
+    assert len(other.processings) < len(result.processings)

@@ -1,0 +1,116 @@
+"""ILL-F — § 4, right to be forgotten (and § 1's journal violation).
+
+Two measurements on identical populations:
+
+* **rgpdOS**: escrow erasure — plaintext residue must be zero, the
+  operator locked out, the authority able to recover;
+* **baseline** (userspace GDPR DB on a journaled FS): the engine's
+  delete completes, yet the journal and device keep the PD — the
+  violation the paper opens with, quantified.
+"""
+
+import json
+
+from conftest import populated_system, print_series
+
+from repro.baseline.userspace_db import GDPRUserspaceDB
+from repro.workloads.generator import PopulationGenerator
+
+POPULATION = 20
+
+
+def test_rtbf_rgpdos_forgets(benchmark, authority):
+    system, refs = populated_system(
+        authority, subjects=POPULATION, analytics_rate=1.0, seed=41
+    )
+    victim = refs[0]
+    # Capture a distinctive PD value before erasure; the subject id
+    # itself legitimately survives in the membrane tombstone (the
+    # proof of erasure), so it is not a residue needle.
+    victim_email = system.rights.right_of_access(victim.subject_id).export[
+        "records"
+    ][0]["data"]["email"]
+
+    outcome = benchmark.pedantic(
+        lambda: system.rights.erase(victim.subject_id),
+        setup=None, rounds=1, iterations=1,
+    )
+
+    export = system.rights.right_of_access(victim.subject_id)
+    residue = system.dbfs.forensic_scan(victim_email.encode())
+    print_series(
+        "RTBF on rgpdOS",
+        [("erased_uids", len(outcome.erased_uids)),
+         ("fully_forgotten", outcome.fully_forgotten),
+         ("device_residue", residue["device_blocks"]),
+         ("journal_residue", residue["journal_records"])],
+    )
+    benchmark.extra_info["fully_forgotten"] = outcome.fully_forgotten
+
+    assert outcome.fully_forgotten
+    assert export.export["records"][0]["data"] is None
+    # Escrow: the authority (and only the authority) can still recover.
+    blob = system.dbfs.escrow_blob(victim.uid)
+    assert system.operator_key.can_decrypt(blob) is False
+    recovered = json.loads(system.authority.recover(blob))
+    assert recovered["year_of_birthdate"] is not None
+
+
+def test_rtbf_baseline_retains(benchmark):
+    generator = PopulationGenerator(seed=41)
+    subjects = generator.subjects(POPULATION)
+
+    def build_and_delete():
+        db = GDPRUserspaceDB()
+        db.create_table("users")
+        for subject in subjects:
+            db.insert(
+                "users", subject.subject_id, subject.user_record(),
+                subject_id=subject.subject_id, consents={"analytics": True},
+            )
+        victim = subjects[0]
+        db.gdpr_delete("users", victim.subject_id)
+        return db, victim
+
+    db, victim = benchmark(build_and_delete)
+
+    needle = victim.first_name.encode()
+    residue = db.forensic_scan(needle)
+    replayable = sum(
+        1 for record in db.fs.journal.replay() if needle in record.payload
+    )
+    print_series(
+        "RTBF on the userspace-DB baseline",
+        [("engine_still_has_record", False),
+         ("device_residue_blocks", residue["device_blocks"]),
+         ("journal_residue_records", residue["journal_records"]),
+         ("recoverable_by_replay", replayable)],
+    )
+    benchmark.extra_info["journal_residue"] = residue["journal_records"]
+
+    # The paper's claim, verified: deleted by the DB engine, still
+    # present in the filesystem's logs.
+    assert residue["journal_records"] >= 1
+    assert residue["device_blocks"] >= 1
+    assert replayable >= 1
+
+
+def test_rtbf_erasure_cost_scales_with_copies(benchmark, authority):
+    """Erasure latency vs lineage size: forgetting N copies costs
+    O(N) storage work — and still leaves zero residue."""
+    system, refs = populated_system(
+        authority, subjects=5, analytics_rate=1.0, seed=42
+    )
+    victim = refs[0]
+    rows = [("copies", "erased")]
+    builtins = system.ps.builtins
+    for _ in range(4):
+        builtins.copy(victim, actor="sysadmin")
+    report = benchmark.pedantic(
+        lambda: builtins.delete(victim, actor="sysadmin"),
+        rounds=1, iterations=1,
+    )
+    rows.append((4, len(report.erased_lineage)))
+    print_series("RTBF vs copy count", rows)
+    assert len(report.erased_lineage) == 5
+    assert report.fully_forgotten

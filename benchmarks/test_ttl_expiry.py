@@ -1,0 +1,134 @@
+"""TTL-E — storage limitation: the TTL sweep.
+
+The membrane's time-to-live field "is directly requested by the GDPR
+and can be used to implement the right to be forgotten" (§ 2).  This
+benchmark sweeps a mixed-TTL population across time and measures:
+
+* purge completeness (exactly the expired PD goes, nothing else);
+* the compliance audit flipping from FAIL (overdue PD present) to
+  PASS after the sweep;
+* sweep cost vs store size.
+"""
+
+from conftest import fresh_system, print_series
+
+from repro.workloads.generator import PopulationGenerator
+
+DECLS = """
+type ephemeral {
+  fields { note: string };
+  collection { web_form: f.html };
+  age: 1D;
+}
+type seasonal {
+  fields { note: string };
+  collection { web_form: f.html };
+  age: 30D;
+}
+type archival {
+  fields { note: string };
+  collection { web_form: f.html };
+  age: 10Y;
+}
+"""
+
+DAY = 86400.0
+
+
+def build_mixed_store(authority, per_type=10):
+    system = fresh_system(authority, with_machine=False)
+    system.install(DECLS)
+    generator = PopulationGenerator(seed=71)
+    refs = {"ephemeral": [], "seasonal": [], "archival": []}
+    for type_name in refs:
+        for subject in generator.subjects(per_type):
+            refs[type_name].append(
+                system.collect(
+                    type_name, {"note": f"{type_name}-{subject.subject_id}"},
+                    subject_id=subject.subject_id, method="web_form",
+                )
+            )
+    return system, refs
+
+
+def test_ttle_purge_completeness(benchmark, authority):
+    system, refs = build_mixed_store(authority)
+    rows = [("day", "purged", "live_remaining", "audit")]
+
+    timeline = ((2, "ephemeral"), (31, "seasonal"))
+    elapsed = 0.0
+    for day, expired_type in timeline:
+        system.advance_time(day * DAY - elapsed)
+        elapsed = day * DAY
+        overdue_before = not system.audit().ok
+        purged = system.rights.expire_overdue()
+        live = [
+            uid for uid, membrane
+            in system.dbfs.iter_membranes(system.ps.builtins.credential)
+            if not membrane.erased
+        ]
+        rows.append((day, len(purged), len(live),
+                     system.audit().summary()))
+        assert overdue_before  # the audit saw the overdue PD first
+        assert system.audit().ok  # and the sweep fixed it
+        # Exactly the expired type was purged.
+        assert set(purged) == {ref.uid for ref in refs[expired_type]}
+    print_series("TTL sweep timeline (10 records per type)", rows)
+
+    def measured_unit():
+        sys2, _ = build_mixed_store(authority, per_type=5)
+        sys2.advance_time(2 * DAY)
+        return sys2.rights.expire_overdue()
+
+    purged = benchmark(measured_unit)
+    assert len(purged) == 5
+
+
+def test_ttle_sweep_cost_vs_store_size(benchmark, authority):
+    """Sweep latency is linear in the store (it inspects every
+    membrane) — reported so operators can size their sweep cadence."""
+    rows = [("records", "purged", "device_reads_for_sweep")]
+    for per_type in (5, 10, 20):
+        system, _ = build_mixed_store(authority, per_type=per_type)
+        system.advance_time(2 * DAY)
+        reads_before = system.pd_device.stats.reads
+        purged = system.rights.expire_overdue()
+        reads = system.pd_device.stats.reads - reads_before
+        rows.append((3 * per_type, len(purged), reads))
+        assert len(purged) == per_type  # ephemeral only
+    print_series("TTL sweep cost vs store size", rows)
+
+    def measured_unit():
+        system, _ = build_mixed_store(authority, per_type=5)
+        system.advance_time(2 * DAY)
+        return system.rights.expire_overdue()
+
+    benchmark(measured_unit)
+
+
+def test_ttle_expired_pd_never_processed(benchmark, authority):
+    """Even before the sweep runs, the DED filter drops expired PD —
+    defense in depth for storage limitation."""
+    from conftest import bench_decade
+
+    system = fresh_system(authority, with_machine=False)
+    from repro.workloads.generator import STANDARD_DECLARATIONS
+
+    system.install(STANDARD_DECLARATIONS)
+    system.register(bench_decade)
+    generator = PopulationGenerator(seed=72)
+    for subject in generator.subjects(10):
+        system.collect(
+            "user", subject.user_record(),
+            subject_id=subject.subject_id, method="web_form",
+            consents={"analytics": "v_ano"},
+        )
+    system.advance_time(3 * 365 * DAY)  # past the 2Y user TTL
+
+    result = benchmark(system.invoke, "bench_decade", target="user")
+    print_series(
+        "Expired PD at the DED filter",
+        [("processed", result.processed), ("expired", result.expired)],
+    )
+    assert result.processed == 0
+    assert result.expired == 10

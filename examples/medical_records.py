@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Medical records on rgpdOS — the paper's CNIL anecdote, prevented.
+
+Section 1 of the paper recalls that "in 2020 the CNIL in France
+penalized two doctors (EUR 9K) for hosting medical images on a server
+which was freely accessible on the Internet".  This example builds the
+doctors' system *on rgpdOS* and shows why the same accident cannot
+happen there:
+
+* imaging data is a typed, high-sensitivity PD type whose sensitive
+  fields live in physically separate inodes;
+* a web server process (the "freely accessible" endpoint) cannot read
+  DBFS at all — every direct access is refused;
+* the only path to the data is a registered processing whose purpose
+  the patients consented to (diagnosis, yes; research, opt-in);
+* a retention TTL purges stale images automatically.
+
+Run:  python examples/medical_records.py
+"""
+
+from repro import RgpdOS, errors, processing
+from repro.core.active_data import AccessCredential
+from repro.storage.query import DataQuery
+
+DECLARATIONS = """
+type imaging_record {
+  fields {
+    patient_name: string,
+    modality: string,               // MRI, CT, X-ray...
+    body_part: string,
+    image_data: bytes [sensitive],  // the pixels: stored separately
+    radiologist_note: string [sensitive],
+    taken_year: int
+  };
+  view v_clinical { modality, body_part, image_data, radiologist_note, taken_year };
+  view v_research { modality, body_part, taken_year };
+  consent {
+    diagnosis: v_clinical
+  };
+  collection { web_form: imaging_upload.html };
+  origin: subject;
+  age: 10Y;                         // legal retention for imaging
+  sensitivity: hight;
+}
+
+purpose diagnosis {
+  description: "Clinical diagnosis by the treating physician";
+  uses: imaging_record via v_clinical;
+  basis: vital_interests;
+}
+
+purpose research {
+  description: "Anonymised epidemiology research";
+  uses: imaging_record via v_research;
+  basis: consent;
+}
+"""
+
+
+@processing(purpose="diagnosis")
+def review_scan(record):
+    """The physician's reading of one scan."""
+    if record.image_data and record.modality:
+        return {
+            "modality": record.modality,
+            "body_part": record.body_part,
+            "finding": f"reviewed {len(record.image_data)} bytes of "
+                       f"{record.modality} imagery",
+        }
+    return None
+
+
+@processing(purpose="research")
+def modality_statistics(records):
+    """Aggregate research query: never sees names or pixels."""
+    counts = {}
+    for record in records:
+        if record.modality:
+            counts[record.modality] = counts.get(record.modality, 0) + 1
+    return counts
+
+
+def main() -> None:
+    print("=== medical imaging on rgpdOS ===\n")
+    clinic = RgpdOS(operator_name="two-doctors-clinic")
+    clinic.install(DECLARATIONS)
+
+    # Patients upload scans through the declared web form; consent to
+    # research is opt-in per patient.
+    patients = [
+        ("p-chiraz", "Chiraz Benamor", "MRI", "knee", True),
+        ("p-alice", "Alice Martin", "CT", "chest", False),
+        ("p-bob", "Bob Durand", "MRI", "shoulder", True),
+    ]
+    refs = {}
+    for patient_id, name, modality, body_part, research_ok in patients:
+        consents = {"research": "v_research"} if research_ok else {}
+        refs[patient_id] = clinic.collect(
+            "imaging_record",
+            {
+                "patient_name": name,
+                "modality": modality,
+                "body_part": body_part,
+                "image_data": f"DICOM-{patient_id}".encode() * 50,
+                "radiologist_note": f"note for {name}",
+                "taken_year": 2026,
+            },
+            subject_id=patient_id,
+            method="web_form",
+            consents=consents,
+        )
+    print(f"collected {len(refs)} imaging records "
+          f"for {len(clinic.dbfs.list_subjects())} patients\n")
+
+    # -- the accident that fined the doctors, attempted on rgpdOS ---------
+    print("-- simulating the freely-accessible web server --")
+    internet_visitor = AccessCredential(holder="internet-visitor")
+    for attempt, thunk in {
+        "read a record directly": lambda: clinic.dbfs.fetch_records(
+            DataQuery(uids=(refs["p-chiraz"].uid,)), internet_visitor
+        ),
+        "dump a patient export": lambda: clinic.dbfs.export_subject(
+            "p-chiraz", internet_visitor
+        ),
+    }.items():
+        try:
+            thunk()
+            print(f"   {attempt}: EXPOSED (this must not happen)")
+        except errors.PDLeakError:
+            print(f"   {attempt}: blocked (PDLeakError)")
+    print(f"   DBFS denied accesses so far: "
+          f"{clinic.dbfs.stats.denied_accesses}\n")
+
+    # -- the legitimate paths ------------------------------------------------
+    clinic.register(review_scan)
+    clinic.register(modality_statistics, aggregate=True)
+
+    result = clinic.invoke("review_scan", target=refs["p-chiraz"])
+    print(f"physician review (diagnosis purpose): "
+          f"{result.values[refs['p-chiraz'].uid]['finding']}")
+
+    stats = clinic.invoke("modality_statistics", target="imaging_record")
+    print(f"research statistics (v_research only): "
+          f"{stats.values['__aggregate__']}")
+    print(f"   records consented to research: {stats.processed}, "
+          f"denied: {stats.denied}\n")
+
+    # -- sensitive separation, verifiable ---------------------------------------
+    record_inode = clinic.dbfs.inodes.get(
+        clinic.dbfs._record_index[refs["p-alice"].uid]
+    )
+    public_bytes = clinic.dbfs.inodes.read_payload(record_inode.number)
+    print("-- sensitive-field separation --")
+    print(f"   public inode holds pixels: {b'DICOM' in public_bytes}")
+    print(f"   separate sensitive inode:  "
+          f"{'sensitive_inode' in record_inode.attrs}\n")
+
+    # -- retention: the 10Y TTL does its job ---------------------------------
+    clinic.advance_time(11 * 365 * 86400.0)
+    purged = clinic.rights.expire_overdue()
+    print(f"after 11 simulated years, TTL sweep purged "
+          f"{len(purged)} records")
+    audit = clinic.audit()
+    print(f"compliance audit: {audit.summary()}")
+
+
+if __name__ == "__main__":
+    main()

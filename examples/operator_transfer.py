@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Data portability between two operators (GDPR Art. 20).
+
+A subject moves from one rgpdOS-running operator to another.  The
+membrane design makes the transfer semantics precise:
+
+* the package carries schemas, records, membranes and *remaining* TTL;
+* at the destination, origin flips to ``third_party``, the TTL clock
+  does not reset, and only the consents the subject personally granted
+  travel — the source operator's legitimate-interest defaults stay
+  behind;
+* the source then honours an erasure request, and each side's audit
+  stays green throughout.
+
+Run:  python examples/operator_transfer.py
+"""
+
+from repro import RgpdOS, export_package, import_package
+
+DECLARATIONS = """
+type user {
+  fields { name: string, email: string, year_of_birthdate: int };
+  view v_ano { year_of_birthdate };
+  view v_contact { name, email };
+  consent { account_management: all };
+  collection { web_form: signup.html, third_party: import.py };
+  origin: subject;
+  age: 2Y;
+}
+purpose account_management { uses: user; basis: contract; }
+purpose analytics { uses: user via v_ano; basis: consent; }
+purpose marketing { uses: user via v_contact; basis: consent; }
+"""
+
+
+def main() -> None:
+    print("=== moving a subject between operators ===\n")
+    old_operator = RgpdOS(operator_name="old-shop")
+    new_operator = RgpdOS(operator_name="new-shop", seed=2024)
+    old_operator.install(DECLARATIONS)
+    new_operator.install(DECLARATIONS)
+
+    # Life at the old operator: signup + a personally-granted
+    # marketing consent.
+    ref = old_operator.collect(
+        "user",
+        {"name": "Chiraz Benamor", "email": "chiraz@example.eu",
+         "year_of_birthdate": 1992},
+        subject_id="chiraz", method="web_form",
+    )
+    old_operator.rights.grant_consent("chiraz", ref, "marketing", "v_contact")
+    old_operator.advance_time(300 * 86400.0)  # 300 days pass
+
+    # -- export ------------------------------------------------------------
+    package = export_package(old_operator, "chiraz")
+    (record,) = package["records"]
+    print(f"exported from {package['source_operator']}: "
+          f"{len(package['records'])} record(s)")
+    print(f"   remaining TTL travels: "
+          f"{record['remaining_ttl'] / 86400.0:.0f} days left "
+          f"(of {2 * 365})\n")
+
+    # -- import ------------------------------------------------------------
+    outcome = import_package(new_operator, package)
+    (new_ref,) = outcome.imported
+    membrane = new_operator.dbfs.get_membrane(
+        new_ref.uid, new_operator.ps.builtins.credential
+    )
+    print(f"imported at new-shop as {new_ref}")
+    print(f"   origin:                {membrane.origin}")
+    print(f"   collection trace:      {membrane.collection}")
+    print(f"   ttl at destination:    "
+          f"{membrane.ttl_seconds / 86400.0:.0f} days (no reset)")
+    print(f"   marketing consent:     {membrane.permits('marketing')} "
+          "(subject-granted, travelled)")
+    print(f"   account_management:    {membrane.permits('account_management')} "
+          "(source default, did NOT travel)\n")
+
+    # -- the subject forgets the old operator -------------------------------
+    erasure = old_operator.rights.erase("chiraz")
+    print(f"old-shop erasure: fully_forgotten={erasure.fully_forgotten}")
+    print(f"old-shop audit:   {old_operator.audit().summary()}")
+    print(f"new-shop audit:   {new_operator.audit().summary()}")
+
+    # The new operator serves the subject from its own copy.
+    report = new_operator.rights.right_of_access("chiraz")
+    print(f"\nnew-shop right of access: "
+          f"{report.export['records'][0]['data']['name']} is fully served")
+
+
+if __name__ == "__main__":
+    main()

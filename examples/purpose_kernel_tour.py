@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A tour of the purpose-kernel machine (paper § 2, Fig. 3).
+
+Boots a machine with the three kernel categories, runs PD and NPD work
+side by side, forwards IO through the dedicated driver kernels, and
+rebalances CPU and memory live while a PD burst is in flight — the
+"(dynamically) partition CPU and memory resources" cooperation the
+model calls for.
+
+Run:  python examples/purpose_kernel_tour.py
+"""
+
+from repro.core.clock import Clock
+from repro.kernel.machine import Machine, MachineConfig
+from repro.kernel.scheduler import Task
+from repro.kernel.subkernel import IORequest
+
+
+def make_burst(machine, kernel, count, quanta, done):
+    for index in range(count):
+        state = {"left": quanta}
+
+        def step(state=state, name=f"{kernel}-{index}"):
+            state["left"] -= 1
+            if state["left"] <= 0:
+                done.append(name)
+                return True
+            return False
+
+        machine.submit(kernel, Task(name=f"{kernel}-{index}", step=step))
+
+
+def main() -> None:
+    print("=== the purpose-kernel machine ===\n")
+    machine = Machine(
+        drivers={
+            "pd-nvme": lambda request: b"pd-bytes",
+            "npd-nvme": lambda request: b"npd-bytes",
+            "nic": lambda request: b"packet",
+        },
+        config=MachineConfig(
+            total_cores=8, total_frames=16384,
+            rgpdos_cores=2, gp_cores=3, driver_cores_each=1,
+            rgpdos_frames=6144, gp_frames=6144, driver_frames_each=1024,
+        ),
+        clock=Clock(),
+    ).boot()
+
+    print("-- boot: three kernel categories --")
+    for name, entry in machine.resource_report().items():
+        print(f"   {name:16s} {entry['category']:16s} "
+              f"cores={entry['cores']} frames={entry['frames']}")
+    print()
+
+    # -- mixed PD/NPD load, IO through driver kernels ------------------
+    done = []
+    make_burst(machine, "rgpdos-kernel", 40, 2, done)   # PD-heavy
+    make_burst(machine, "gp-kernel", 10, 2, done)       # light NPD
+    machine.rgpdos.send(
+        "drv-pd-nvme", "io",
+        IORequest(op="read", target="0", carries_pd=True),
+    )
+    machine.gp.submit_io("drv-npd-nvme", IORequest(op="read", target="0"))
+
+    # -- dynamic repartitioning mid-flight ------------------------------
+    print("-- PD burst arrives: stealing 2 cores and 2048 frames from "
+          "the general-purpose kernel --")
+    machine.rebalance_cores("gp-kernel", "rgpdos-kernel", 2)
+    machine.rebalance_memory("gp-kernel", "rgpdos-kernel", 2048)
+
+    ticks = machine.run()
+    print(f"   drained {len(done)} tasks in {ticks} ticks "
+          f"(clock: {machine.clock.now() * 1e3:.1f} simulated ms)\n")
+
+    print("-- after the run --")
+    report = machine.resource_report()
+    for name in ("rgpdos-kernel", "gp-kernel"):
+        entry = report[name]
+        print(f"   {name:16s} cores={entry['cores']} "
+              f"cpu={entry['cpu_seconds'] * 1e3:.1f}ms")
+    for name in ("drv-pd-nvme", "drv-npd-nvme", "drv-nic"):
+        entry = report[name]
+        print(f"   {name:16s} io={entry['io_requests']} "
+              f"pd_io={entry['pd_io_requests']}")
+    print("\n   note: every PD byte crossed a dedicated driver kernel —")
+    print("   the trusted base the paper wants to prove is exactly")
+    print("   rgpdOS + these drivers, never the general-purpose kernel.")
+
+
+if __name__ == "__main__":
+    main()

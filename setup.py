@@ -1,0 +1,6 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so
+PEP 517 editable installs fail; this file enables pip's legacy
+`setup.py develop` path. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

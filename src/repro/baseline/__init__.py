@@ -1,0 +1,7 @@
+"""The systems the paper positions against.
+
+``plain_db`` (no GDPR at all), ``userspace_db`` (GDPR inside the DB
+engine on a general-purpose OS — Fig. 2, including the staged
+use-after-free leak), and ``gdprbench`` (persona workloads after
+Shastri et al. [17] with adapters for all engines including rgpdOS).
+"""

@@ -1,0 +1,402 @@
+"""GDPRBench-style workloads (after Shastri et al. [17], cited by the paper).
+
+The paper's sole quantitative reference point for GDPR storage cost is
+its citation of *"Understanding and benchmarking the impact of GDPR on
+database systems"* (VLDB 2020), which defines four personas and their
+operation mixes against a GDPR-enabled store.  This module reproduces
+that benchmark structure against three engines:
+
+* :class:`PlainDBAdapter` — no GDPR at all (lower bound);
+* :class:`UserspaceDBAdapter` — GDPR inside the DB engine, userspace,
+  general-purpose OS (the Fig. 2 prior art);
+* :class:`RgpdOSAdapter` — the full rgpdOS stack (PS → DED → DBFS).
+
+Personas and mixes (weights follow the spirit of GDPRBench):
+
+=============  ==========================================================
+``customer``   subject-facing: read own data, rectify, toggle consent,
+               occasionally exercise erasure
+``controller`` operator-facing: overwhelmingly consent/metadata updates
+``processor``  purpose-driven reads for processing (analytics)
+``regulator``  audits: right-of-access exports and processing logs
+=============  ==========================================================
+
+The expected *shape* (EXPERIMENTS.md, GB-1): plain < userspace-GDPR <
+rgpdOS in per-op cost; rgpdOS pays its extra tax in membrane handling
+but is the only engine whose deletes actually forget and whose reads
+are mediated outside the application's address space.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import errors
+from ..core.active_data import PDRef
+from ..core.purposes import processing as processing_decorator
+from ..core.system import RgpdOS
+from ..workloads.generator import (
+    STANDARD_DECLARATIONS,
+    PopulationGenerator,
+    Subject,
+)
+from .plain_db import PlainDB
+from .userspace_db import GDPRUserspaceDB
+
+PURPOSE_ACCOUNT = "account_management"
+PURPOSE_ANALYTICS = "analytics"
+PURPOSE_MARKETING = "marketing"
+
+OP_READ = "read"
+OP_UPDATE = "update"
+OP_CONSENT = "consent_toggle"
+OP_DELETE = "delete"
+OP_ACCESS = "subject_access"
+OP_PROCESS = "purpose_read"
+OP_AUDIT = "audit"
+
+#: Persona operation mixes: op → weight.
+PERSONAS: Dict[str, Dict[str, float]] = {
+    "customer": {OP_READ: 0.50, OP_UPDATE: 0.25, OP_CONSENT: 0.15, OP_DELETE: 0.10},
+    "controller": {OP_CONSENT: 0.80, OP_READ: 0.20},
+    "processor": {OP_PROCESS: 1.00},
+    "regulator": {OP_ACCESS: 0.50, OP_AUDIT: 0.50},
+}
+
+
+class StorageAdapter(ABC):
+    """Uniform persona-operation interface over one engine."""
+
+    name = "adapter"
+
+    @abstractmethod
+    def insert(self, subject: Subject, consents: Mapping[str, str]) -> str:
+        """Store one subject record; returns the engine's key."""
+
+    @abstractmethod
+    def read(self, key: str, purpose: str) -> Optional[Dict[str, object]]:
+        """Purpose-checked point read (None when denied)."""
+
+    @abstractmethod
+    def update(self, key: str, changes: Mapping[str, object]) -> bool:
+        """Subject-initiated rectification."""
+
+    @abstractmethod
+    def toggle_consent(self, key: str, purpose: str, granted: bool) -> None:
+        """Grant or withdraw one purpose's consent."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Right to be forgotten for one record."""
+
+    @abstractmethod
+    def subject_access(self, key: str) -> Dict[str, object]:
+        """Right-of-access export for the record's subject."""
+
+    @abstractmethod
+    def audit(self, key: str) -> List[object]:
+        """Processing history touching the record's subject."""
+
+
+# ---------------------------------------------------------------------------
+# Adapters
+# ---------------------------------------------------------------------------
+
+
+class PlainDBAdapter(StorageAdapter):
+    """No GDPR: every op is a plain table op, consent is ignored."""
+
+    name = "plain-db"
+    TABLE = "users"
+
+    def __init__(self) -> None:
+        self.db = PlainDB()
+        self.db.create_table(self.TABLE)
+        self._subject_of: Dict[str, str] = {}
+
+    def insert(self, subject: Subject, consents: Mapping[str, str]) -> str:
+        key = subject.subject_id
+        self.db.insert(self.TABLE, key, subject.user_record())
+        self._subject_of[key] = subject.subject_id
+        return key
+
+    def read(self, key: str, purpose: str) -> Optional[Dict[str, object]]:
+        return self.db.get(self.TABLE, key)
+
+    def update(self, key: str, changes: Mapping[str, object]) -> bool:
+        self.db.update(self.TABLE, key, changes)
+        return True
+
+    def toggle_consent(self, key: str, purpose: str, granted: bool) -> None:
+        # A plain engine has nowhere to put consent; the op is a no-op
+        # — that *is* the point of the lower bound.
+        return None
+
+    def delete(self, key: str) -> None:
+        self.db.delete(self.TABLE, key)
+        del self._subject_of[key]
+
+    def subject_access(self, key: str) -> Dict[str, object]:
+        return {"records": [self.db.get(self.TABLE, key)]}
+
+    def audit(self, key: str) -> List[object]:
+        return []  # no log exists
+
+
+class UserspaceDBAdapter(StorageAdapter):
+    """GDPR inside the engine (Fig. 2), journaled FS below."""
+
+    name = "userspace-gdpr-db"
+    TABLE = "users"
+
+    def __init__(self) -> None:
+        self.db = GDPRUserspaceDB()
+        self.db.create_table(self.TABLE)
+        self._subject_of: Dict[str, str] = {}
+
+    def insert(self, subject: Subject, consents: Mapping[str, str]) -> str:
+        key = subject.subject_id
+        consent_flags = {PURPOSE_ACCOUNT: True}
+        consent_flags.update({p: True for p in consents})
+        self.db.insert(
+            self.TABLE,
+            key,
+            subject.user_record(),
+            subject_id=subject.subject_id,
+            consents=consent_flags,
+        )
+        self._subject_of[key] = subject.subject_id
+        return key
+
+    def read(self, key: str, purpose: str) -> Optional[Dict[str, object]]:
+        return self.db.read(self.TABLE, key, purpose)
+
+    def update(self, key: str, changes: Mapping[str, object]) -> bool:
+        return self.db.update(self.TABLE, key, changes, PURPOSE_ACCOUNT)
+
+    def toggle_consent(self, key: str, purpose: str, granted: bool) -> None:
+        self.db.update_consent(self.TABLE, key, purpose, granted)
+
+    def delete(self, key: str) -> None:
+        self.db.gdpr_delete(self.TABLE, key)
+        del self._subject_of[key]
+
+    def subject_access(self, key: str) -> Dict[str, object]:
+        subject_id = self._subject_of[key]
+        return {"records": self.db.read_subject(self.TABLE, subject_id)}
+
+    def audit(self, key: str) -> List[object]:
+        return [
+            entry
+            for entry in self.db.access_log
+            if entry.get("key") == key
+        ]
+
+
+def _bench_read_profile(user):  # noqa: ANN001 - PDView duck type
+    """purpose: account_management
+
+    Identity read used by the benchmark's customer persona.
+    """
+    return {
+        "name": user.name,
+        "email": user.email,
+        "city": user.city,
+        "year_of_birthdate": user.year_of_birthdate,
+    }
+
+
+def _bench_analytics(user):  # noqa: ANN001 - PDView duck type
+    """purpose: analytics
+
+    Purpose-driven processor read: only the anonymous view's fields.
+    """
+    if user.year_of_birthdate:
+        return {"decade": (user.year_of_birthdate // 10) * 10}
+    return None
+
+
+class RgpdOSAdapter(StorageAdapter):
+    """The full paper stack behind the persona interface."""
+
+    name = "rgpdos"
+
+    def __init__(self) -> None:
+        self.system = RgpdOS(operator_name="gdprbench")
+        self.system.install(STANDARD_DECLARATIONS)
+        self.system.register(
+            _bench_read_profile, purpose=PURPOSE_ACCOUNT, name="bench_read"
+        )
+        self.system.register(
+            _bench_analytics, purpose=PURPOSE_ANALYTICS, name="bench_analytics"
+        )
+        self._refs: Dict[str, PDRef] = {}
+
+    def insert(self, subject: Subject, consents: Mapping[str, str]) -> str:
+        ref = self.system.collect(
+            "user",
+            subject.user_record(),
+            subject_id=subject.subject_id,
+            method="web_form",
+            consents=dict(consents),
+        )
+        self._refs[ref.uid] = ref
+        return ref.uid
+
+    def read(self, key: str, purpose: str) -> Optional[Dict[str, object]]:
+        processing_name = (
+            "bench_read" if purpose == PURPOSE_ACCOUNT else "bench_analytics"
+        )
+        result = self.system.invoke(processing_name, target=self._refs[key])
+        if result.denied or key not in result.values:
+            return None
+        return result.values[key]  # type: ignore[return-value]
+
+    def update(self, key: str, changes: Mapping[str, object]) -> bool:
+        ref = self._refs[key]
+        self.system.invoke(
+            "update", target=ref, changes=dict(changes), actor=ref.subject_id
+        )
+        return True
+
+    def toggle_consent(self, key: str, purpose: str, granted: bool) -> None:
+        ref = self._refs[key]
+        if granted:
+            scope = "v_ano" if purpose == PURPOSE_ANALYTICS else "all"
+            self.system.rights.grant_consent(
+                ref.subject_id, ref, purpose, scope
+            )
+        else:
+            self.system.rights.object_to(ref.subject_id, purpose)
+
+    def delete(self, key: str) -> None:
+        ref = self._refs[key]
+        self.system.rights.erase(ref.subject_id, ref)
+        del self._refs[key]
+
+    def subject_access(self, key: str) -> Dict[str, object]:
+        ref = self._refs[key]
+        return self.system.rights.right_of_access(ref.subject_id).export
+
+    def audit(self, key: str) -> List[object]:
+        ref = self._refs[key]
+        return self.system.log.for_subject(ref.subject_id)
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one persona run on one adapter."""
+
+    adapter: str
+    persona: str
+    operations: int
+    wall_seconds: float
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    denied: int = 0
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class GDPRBenchRunner:
+    """Loads a population into an adapter, then drives persona mixes."""
+
+    def __init__(self, adapter: StorageAdapter, seed: int = 7) -> None:
+        self.adapter = adapter
+        self.rng = Random(seed)
+        self.generator = PopulationGenerator(seed=seed)
+        self.keys: List[str] = []
+        self.subjects: Dict[str, Subject] = {}
+
+    def load(self, record_count: int, analytics_consent_rate: float = 0.7) -> None:
+        """Populate the store; a fraction of subjects consent to analytics."""
+        for subject in self.generator.subjects(record_count):
+            consents: Dict[str, str] = {}
+            if self.rng.random() < analytics_consent_rate:
+                consents[PURPOSE_ANALYTICS] = "v_ano"
+            key = self.adapter.insert(subject, consents)
+            self.keys.append(key)
+            self.subjects[key] = subject
+
+    def run(self, persona: str, operations: int) -> BenchResult:
+        """Execute ``operations`` ops drawn from the persona's mix."""
+        mix = PERSONAS.get(persona)
+        if mix is None:
+            raise errors.RgpdOSError(
+                f"unknown persona {persona!r} (valid: {sorted(PERSONAS)})"
+            )
+        ops = list(mix)
+        weights = [mix[op] for op in ops]
+        result = BenchResult(
+            adapter=self.adapter.name, persona=persona, operations=operations,
+            wall_seconds=0.0,
+        )
+        start = time.perf_counter()
+        for _ in range(operations):
+            op = self.rng.choices(ops, weights=weights, k=1)[0]
+            self._execute(op, result)
+            result.op_counts[op] = result.op_counts.get(op, 0) + 1
+        result.wall_seconds = time.perf_counter() - start
+        return result
+
+    def _execute(self, op: str, result: BenchResult) -> None:
+        if not self.keys:
+            return
+        key = self.rng.choice(self.keys)
+        if op == OP_READ:
+            if self.adapter.read(key, PURPOSE_ACCOUNT) is None:
+                result.denied += 1
+        elif op == OP_PROCESS:
+            if self.adapter.read(key, PURPOSE_ANALYTICS) is None:
+                result.denied += 1
+        elif op == OP_UPDATE:
+            city = self.generator.choice(
+                ("Lyon", "Paris", "Rennes", "Nantes")
+            )
+            self.adapter.update(key, {"city": city})
+        elif op == OP_CONSENT:
+            self.adapter.toggle_consent(
+                key, PURPOSE_ANALYTICS, granted=bool(self.rng.random() < 0.5)
+            )
+        elif op == OP_DELETE:
+            # Delete, then re-insert a fresh subject so the population
+            # stays at steady state for the rest of the run.
+            self.adapter.delete(key)
+            self.keys.remove(key)
+            replacement = self.generator.subject()
+            new_key = self.adapter.insert(replacement, {PURPOSE_ANALYTICS: "v_ano"})
+            self.keys.append(new_key)
+            self.subjects[new_key] = replacement
+        elif op == OP_ACCESS:
+            self.adapter.subject_access(key)
+        elif op == OP_AUDIT:
+            self.adapter.audit(key)
+        else:  # pragma: no cover - the mix tables only name known ops
+            raise errors.RgpdOSError(f"unknown op {op!r}")
+
+
+def run_comparison(
+    record_count: int = 50,
+    operations: int = 100,
+    personas: Sequence[str] = ("customer", "controller", "processor", "regulator"),
+    seed: int = 7,
+) -> List[BenchResult]:
+    """The GB-1 grid: every persona on every engine."""
+    results: List[BenchResult] = []
+    for adapter_cls in (PlainDBAdapter, UserspaceDBAdapter, RgpdOSAdapter):
+        for persona in personas:
+            adapter = adapter_cls()
+            runner = GDPRBenchRunner(adapter, seed=seed)
+            runner.load(record_count)
+            results.append(runner.run(persona, operations))
+    return results

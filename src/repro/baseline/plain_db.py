@@ -1,0 +1,97 @@
+"""Plain userspace DB engine — the no-GDPR lower bound.
+
+A small table store persisting its tables as files on the traditional
+journaled filesystem, exactly like the DB engine of Fig. 2 minus any
+GDPR logic.  It exists so the GDPRBench-style comparison (GB-1) has a
+vanilla comparator: the gap between this engine and the GDPR-aware
+ones is the *cost of compliance*, and the gap's shape is what the
+reproduction must preserve (per Shastri et al. [17], a small-factor
+slowdown concentrated on metadata-heavy operations).
+
+Each table is serialized to one file per record (``<table>/<key>``),
+which keeps deletes, updates and point reads comparable across the
+engines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from .. import errors
+from ..storage.extfs import FileBasedFS
+
+
+class PlainDB:
+    """Key-record tables over a journaled file-based filesystem."""
+
+    def __init__(self, fs: Optional[FileBasedFS] = None) -> None:
+        self.fs = fs or FileBasedFS()
+        self._tables: Dict[str, Dict[str, None]] = {}
+
+    # -- schema ---------------------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        if name in self._tables:
+            raise errors.DBFSError(f"table {name!r} already exists")
+        self.fs.mkdir(name)
+        self._tables[name] = {}
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def _require_table(self, table: str) -> Dict[str, None]:
+        keys = self._tables.get(table)
+        if keys is None:
+            raise errors.UnknownTypeError(f"no table {table!r}")
+        return keys
+
+    # -- CRUD ---------------------------------------------------------------
+
+    def insert(self, table: str, key: str, record: Mapping[str, object]) -> None:
+        keys = self._require_table(table)
+        if key in keys:
+            raise errors.DBFSError(f"duplicate key {key!r} in table {table!r}")
+        self.fs.create(f"{table}/{key}", self._encode(record))
+        keys[key] = None
+
+    def get(self, table: str, key: str) -> Dict[str, object]:
+        keys = self._require_table(table)
+        if key not in keys:
+            raise errors.UnknownRecordError(f"no key {key!r} in table {table!r}")
+        return self._decode(self.fs.read(f"{table}/{key}"))
+
+    def update(self, table: str, key: str, changes: Mapping[str, object]) -> None:
+        record = self.get(table, key)
+        record.update(changes)
+        self.fs.write(f"{table}/{key}", self._encode(record))
+
+    def delete(self, table: str, key: str) -> None:
+        """Delete a record.
+
+        The file is unlinked; whatever the filesystem leaves behind
+        (journal records, unscrubbed blocks) is the baseline's problem
+        — and the ILL-F experiment's observation.
+        """
+        keys = self._require_table(table)
+        if key not in keys:
+            raise errors.UnknownRecordError(f"no key {key!r} in table {table!r}")
+        self.fs.unlink(f"{table}/{key}")
+        del keys[key]
+
+    def scan(self, table: str) -> Iterator[Tuple[str, Dict[str, object]]]:
+        for key in sorted(self._require_table(table)):
+            yield key, self.get(table, key)
+
+    def count(self, table: str) -> int:
+        return len(self._require_table(table))
+
+    # -- encoding ---------------------------------------------------------------
+
+    @staticmethod
+    def _encode(record: Mapping[str, object]) -> bytes:
+        return json.dumps(record, sort_keys=True).encode()
+
+    @staticmethod
+    def _decode(raw: bytes) -> Dict[str, object]:
+        return json.loads(raw.decode()) if raw else {}

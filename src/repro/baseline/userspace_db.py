@@ -1,0 +1,266 @@
+"""GDPR at the DB-engine level in userspace — the Fig. 2 baseline.
+
+This engine models the prior art the paper positions against (Shastri
+et al. [17], Schwarzkopf et al. [16]): GDPR metadata and checks live
+*inside the DB engine*, in userspace, on top of a general-purpose OS.
+Per record it keeps the owner subject, per-purpose consents and a TTL,
+and it enforces them on every query — conscientiously, even.
+
+The paper's two criticisms of this design are both reproducible here:
+
+1. **The OS below can contradict it.**  Tables persist on the
+   journaled file-based filesystem; a GDPR ``delete`` unlinks the
+   record file, but the journal keeps the payload and the freed blocks
+   are not scrubbed — :meth:`GDPRUserspaceDB.forensic_scan` finds the
+   "forgotten" PD (§ 1: "data deleted by the DB engine can still be
+   present in the filesystem's logs").
+2. **Functions pull PD into the process's address space.**
+   :meth:`load_into_process` hands raw records to application memory.
+   Once there, the engine has no say anymore: a dangling pointer
+   (use-after-free) exposes whatever lands in the reused cell — the
+   f2-reads-pd2 accident of Fig. 2, staged by
+   :func:`stage_use_after_free_leak`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .. import errors
+from ..kernel.process import AddressSpace, Process
+from ..storage.extfs import FileBasedFS
+from .plain_db import PlainDB
+
+
+@dataclass
+class GDPRMetadata:
+    """Per-record GDPR columns, as a userspace DB engine would add."""
+
+    subject_id: str
+    consents: Dict[str, bool] = field(default_factory=dict)
+    ttl_seconds: Optional[float] = None
+    created_at: float = 0.0
+
+    def permits(self, purpose: str) -> bool:
+        return self.consents.get(purpose, False)
+
+    def is_expired(self, now: float) -> bool:
+        if self.ttl_seconds is None:
+            return False
+        return now >= self.created_at + self.ttl_seconds
+
+
+class GDPRUserspaceDB:
+    """The conscientious-but-doomed baseline engine."""
+
+    METADATA_SUFFIX = "__gdpr__"
+
+    def __init__(self, fs: Optional[FileBasedFS] = None) -> None:
+        self.db = PlainDB(fs)
+        self.fs = self.db.fs
+        self._metadata: Dict[Tuple[str, str], GDPRMetadata] = {}
+        self.access_log: List[Dict[str, object]] = []
+        self.denied_reads = 0
+
+    # -- schema ---------------------------------------------------------------
+
+    def create_table(self, name: str) -> None:
+        self.db.create_table(name)
+        self.db.create_table(name + self.METADATA_SUFFIX)
+
+    # -- GDPR-aware CRUD ---------------------------------------------------------
+
+    def insert(
+        self,
+        table: str,
+        key: str,
+        record: Mapping[str, object],
+        subject_id: str,
+        consents: Optional[Mapping[str, bool]] = None,
+        ttl_seconds: Optional[float] = None,
+        now: float = 0.0,
+    ) -> None:
+        metadata = GDPRMetadata(
+            subject_id=subject_id,
+            consents=dict(consents or {}),
+            ttl_seconds=ttl_seconds,
+            created_at=now,
+        )
+        self.db.insert(table, key, record)
+        self.db.insert(
+            table + self.METADATA_SUFFIX,
+            key,
+            {
+                "subject_id": metadata.subject_id,
+                "consents": metadata.consents,
+                "ttl_seconds": metadata.ttl_seconds,
+                "created_at": metadata.created_at,
+            },
+        )
+        self._metadata[(table, key)] = metadata
+
+    def read(
+        self, table: str, key: str, purpose: str, now: float = 0.0
+    ) -> Optional[Dict[str, object]]:
+        """Consent-checked read; None when the purpose lacks consent."""
+        metadata = self._require_metadata(table, key)
+        self.access_log.append(
+            {"op": "read", "table": table, "key": key, "purpose": purpose}
+        )
+        if metadata.is_expired(now) or not metadata.permits(purpose):
+            self.denied_reads += 1
+            return None
+        return self.db.get(table, key)
+
+    def update(
+        self, table: str, key: str, changes: Mapping[str, object], purpose: str
+    ) -> bool:
+        metadata = self._require_metadata(table, key)
+        self.access_log.append(
+            {"op": "update", "table": table, "key": key, "purpose": purpose}
+        )
+        if not metadata.permits(purpose):
+            return False
+        self.db.update(table, key, changes)
+        return True
+
+    def update_consent(
+        self, table: str, key: str, purpose: str, granted: bool
+    ) -> None:
+        """Metadata operation (the GDPRBench controller workload)."""
+        metadata = self._require_metadata(table, key)
+        metadata.consents[purpose] = granted
+        self.db.update(
+            table + self.METADATA_SUFFIX, key, {"consents": metadata.consents}
+        )
+        self.access_log.append(
+            {"op": "consent", "table": table, "key": key, "purpose": purpose}
+        )
+
+    def gdpr_delete(self, table: str, key: str) -> None:
+        """Right-to-be-forgotten as this engine understands it.
+
+        The engine deletes everything *it* controls.  What the
+        filesystem retains below is invisible to it.
+        """
+        self._require_metadata(table, key)
+        self.db.delete(table, key)
+        self.db.delete(table + self.METADATA_SUFFIX, key)
+        del self._metadata[(table, key)]
+        self.access_log.append({"op": "delete", "table": table, "key": key})
+
+    def read_subject(
+        self, table: str, subject_id: str
+    ) -> List[Tuple[str, Dict[str, object]]]:
+        """Right-of-access scan (the GDPRBench customer/regulator op)."""
+        results = []
+        for (tbl, key), metadata in sorted(self._metadata.items()):
+            if tbl == table and metadata.subject_id == subject_id:
+                results.append((key, self.db.get(table, key)))
+        self.access_log.append(
+            {"op": "read_subject", "table": table, "subject": subject_id}
+        )
+        return results
+
+    def expire_overdue(self, table: str, now: float) -> List[str]:
+        """TTL sweep, engine-level."""
+        overdue = [
+            key
+            for (tbl, key), metadata in self._metadata.items()
+            if tbl == table and metadata.is_expired(now)
+        ]
+        for key in overdue:
+            self.gdpr_delete(table, key)
+        return sorted(overdue)
+
+    def _require_metadata(self, table: str, key: str) -> GDPRMetadata:
+        metadata = self._metadata.get((table, key))
+        if metadata is None:
+            raise errors.UnknownRecordError(
+                f"no GDPR metadata for {table}/{key}"
+            )
+        return metadata
+
+    # -- the two structural weaknesses, made observable ------------------------
+
+    def forensic_scan(self, needle: bytes) -> Dict[str, int]:
+        """What the OS below still knows after a GDPR delete."""
+        return self.fs.forensic_scan(needle)
+
+    def load_into_process(
+        self, process: Process, table: str, key: str, purpose: str
+    ) -> Optional[int]:
+        """Consent-checked load of a raw record into process memory.
+
+        Returns the address, or None when consent is denied.  From
+        this point on the engine has lost control — this is Fig. 2's
+        "the process brings data to its domain".
+        """
+        record = self.read(table, key, purpose)
+        if record is None:
+            return None
+        return process.address_space.malloc(dict(record))
+
+
+@dataclass
+class LeakOutcome:
+    """Result of the staged Fig. 2 use-after-free accident."""
+
+    f2_observed: Dict[str, object]
+    leaked_subject: str
+    expected_subject: str
+
+    @property
+    def leaked(self) -> bool:
+        """True when f2 saw another subject's PD."""
+        return self.leaked_subject != self.expected_subject
+
+
+def stage_use_after_free_leak(
+    db: GDPRUserspaceDB,
+    table: str,
+    pd1_key: str,
+    pd2_key: str,
+    purpose_of_f2: str,
+) -> LeakOutcome:
+    """Reproduce Fig. 2: f2 accidentally accesses pd2.
+
+    Sequence (all legal at the allocator level):
+
+    1. f1 loads pd1 (consented for f2's purpose) at address A;
+    2. f1 finishes; the app frees A but f2 keeps the stale pointer;
+    3. the app loads pd2 — a *different subject's* PD, for which f2's
+       purpose has **no** consent — and the allocator reuses A;
+    4. f2 dereferences its stale pointer and reads pd2.
+
+    The engine checked consent at every ``read``; the leak happens in
+    memory it does not govern.  On rgpdOS the same workflow cannot
+    leak: f2 never holds a pointer, only consented views (the FIG2
+    benchmark runs both sides).
+    """
+    app = Process(name="fig2-app", label="unconfined_t")
+    addr = db.load_into_process(app, table, pd1_key, purpose_of_f2)
+    if addr is None:
+        raise errors.ConsentDenied(purpose_of_f2, detail="pd1 must be consented")
+    pd1 = app.address_space.load(addr)
+    expected_subject = db._metadata[(table, pd1_key)].subject_id
+
+    # Step 2: free, keeping the dangling pointer.
+    app.address_space.free(addr)
+
+    # Step 3: another part of the app loads pd2 for a *different*,
+    # consented purpose; the allocator reuses the freed cell.
+    pd2_record = db.db.get(table, pd2_key)
+    reused_addr = app.address_space.malloc(dict(pd2_record))
+    assert reused_addr == addr, "allocator should reuse the freed cell"
+
+    # Step 4: f2 reads through its stale pointer.
+    observed = app.address_space.load(addr)
+    leaked_subject = db._metadata[(table, pd2_key)].subject_id
+    return LeakOutcome(
+        f2_observed=dict(observed),  # type: ignore[arg-type]
+        leaked_subject=leaked_subject,
+        expected_subject=expected_subject,
+    )

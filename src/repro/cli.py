@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small operational surface over the library — enough to demo the
+system, validate declaration files, and rerun the headline experiments
+without writing Python:
+
+==============  =========================================================
+``demo``        the Listings 1–3 walkthrough (collect → invoke → rights)
+``parse``       validate a declaration file; print what it declares
+``fig1``        print the Figure 1 penalty series
+``gdprbench``   the GB-1 persona × engine grid
+``placement``   a DED placement decision (host / PIM / storage)
+``audit``       build the demo system, run the compliance audit
+``version``     library version
+==============  =========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__, errors
+
+_DEMO_DECLARATIONS = """
+type user {
+  fields { name: string, pwd: string [sensitive], year_of_birthdate: int };
+  view v_name { name };
+  view v_ano { year_of_birthdate };
+  consent { purpose1: all, purpose2: none, purpose3: v_ano };
+  collection { web_form: user_form.html };
+  origin: subject;  age: 1Y;  sensitivity: hight;
+}
+type age_pd {
+  fields { age: int };
+  collection { web_form: derived };
+  origin: sysadmin;  age: 90D;
+}
+purpose purpose3 {
+  description: "Compute the age of the input user";
+  uses: user via v_ano;  produces: age_pd;  basis: consent;
+}
+purpose purpose1 { description: "Account operation"; uses: user; basis: contract; }
+purpose purpose2 { description: "Marketing"; uses: user; basis: consent; }
+"""
+
+
+def _demo_system():
+    from .core.purposes import attach_purpose
+    from .core.system import RgpdOS
+
+    system = RgpdOS(operator_name="cli-demo")
+    system.install(_DEMO_DECLARATIONS)
+
+    def compute_age(user):
+        from .core.ded import produce
+
+        if user.year_of_birthdate:
+            return produce("age_pd", {"age": 2026 - user.year_of_birthdate})
+        return None
+
+    attach_purpose(compute_age, "purpose3")
+    system.register(compute_age, sysadmin_approved=True)
+    system.collect(
+        "user",
+        {"name": "Alice Martin", "pwd": "hunter2",
+         "year_of_birthdate": 1990},
+        subject_id="alice", method="web_form",
+    )
+    system.collect(
+        "user",
+        {"name": "Bob Durand", "pwd": "swordfish",
+         "year_of_birthdate": 1985},
+        subject_id="bob", method="web_form",
+    )
+    return system
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    system = _demo_system()
+    result = system.invoke("compute_age", target="user")
+    print(f"processed={result.processed} produced={len(result.produced)} "
+          f"denied={result.denied}")
+    system.rights.object_to("bob", "purpose3")
+    result = system.invoke("compute_age", target="user")
+    print(f"after bob's objection: processed={result.processed} "
+          f"denied={result.denied}")
+    outcome = system.rights.erase("alice")
+    print(f"alice erased: {len(outcome.erased_uids)} records, "
+          f"fully_forgotten={outcome.fully_forgotten}")
+    print(system.audit().summary())
+    return 0
+
+
+def cmd_parse(args: argparse.Namespace) -> int:
+    from .dsl.loader import load_source
+
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        types, purposes = load_source(source)
+    except errors.DSLError as exc:
+        print(f"declaration error: {exc}", file=sys.stderr)
+        return 1
+    for name, pd_type in sorted(types.items()):
+        ttl = pd_type.ttl_seconds
+        print(f"type {name}: fields={sorted(pd_type.field_names)} "
+              f"views={sorted(pd_type.views)} ttl={ttl} "
+              f"sensitivity={pd_type.sensitivity}")
+    for name, purpose in sorted(purposes.items()):
+        print(f"purpose {name}: uses={list(purpose.uses)} "
+              f"basis={purpose.basis}")
+    print(f"OK: {len(types)} type(s), {len(purposes)} purpose(s)")
+    return 0
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    from .workloads.penalties import (
+        penalty_records,
+        top_sectors,
+        totals_by_year,
+    )
+
+    records = penalty_records()
+    print("total penalties per year:")
+    for year, total in totals_by_year(records).items():
+        print(f"  {year}  {total / 1e6:10.2f} M EUR")
+    print(f"top {args.sectors} sanctioned sectors:")
+    for sector, total in top_sectors(records, n=args.sectors):
+        print(f"  {sector:36s} {total / 1e6:10.2f} M EUR")
+    return 0
+
+
+def cmd_gdprbench(args: argparse.Namespace) -> int:
+    from .baseline.gdprbench import run_comparison
+
+    results = run_comparison(
+        record_count=args.records,
+        operations=args.ops,
+        personas=args.personas,
+        seed=args.seed,
+    )
+    print(f"{'engine':22s} {'persona':12s} {'ops/s':>10s} {'denied':>7s}")
+    for result in results:
+        print(
+            f"{result.adapter:22s} {result.persona:12s} "
+            f"{result.ops_per_second:10.0f} {result.denied:7d}"
+        )
+    return 0
+
+
+def cmd_placement(args: argparse.Namespace) -> int:
+    from .kernel.pim import DEDPlacer
+
+    placer = DEDPlacer()
+    decision = placer.place(args.records, args.bytes, args.intensity)
+    for site, latency in sorted(decision.estimates.items()):
+        marker = " <- chosen" if site == decision.site else ""
+        print(f"  {site:10s} {latency * 1e3:12.4f} ms{marker}")
+    print(f"placement: {decision.site} "
+          f"(speedup over host: {decision.speedup_over_host():.2f}x)")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    system = _demo_system()
+    system.invoke("compute_age", target="user")
+    report = system.audit()
+    for finding in report.findings:
+        status = "PASS" if finding.ok else "FAIL"
+        print(f"[{status}] {finding.rule:30s} {finding.article}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_version(args: argparse.Namespace) -> int:
+    print(f"repro (rgpdOS reproduction) {__version__}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="rgpdOS reproduction — GDPR enforcement by the OS",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("demo", help="run the Listings 1-3 walkthrough")
+
+    parse_cmd = subparsers.add_parser(
+        "parse", help="validate a declaration file"
+    )
+    parse_cmd.add_argument("file", help="path to a .rgpd declaration file")
+
+    fig1 = subparsers.add_parser("fig1", help="print the Fig. 1 series")
+    fig1.add_argument("--sectors", type=int, default=5)
+
+    bench = subparsers.add_parser("gdprbench", help="run the GB-1 grid")
+    bench.add_argument("--records", type=int, default=30)
+    bench.add_argument("--ops", type=int, default=60)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--personas", nargs="+",
+        default=["customer", "controller", "processor", "regulator"],
+    )
+
+    placement = subparsers.add_parser(
+        "placement", help="DED placement decision"
+    )
+    placement.add_argument("--records", type=int, default=10000)
+    placement.add_argument("--bytes", type=int, default=4096)
+    placement.add_argument("--intensity", type=float, default=1.0)
+
+    subparsers.add_parser("audit", help="compliance audit of the demo system")
+    subparsers.add_parser("version", help="print the library version")
+    return parser
+
+
+_COMMANDS = {
+    "demo": cmd_demo,
+    "parse": cmd_parse,
+    "fig1": cmd_fig1,
+    "gdprbench": cmd_gdprbench,
+    "placement": cmd_placement,
+    "audit": cmd_audit,
+    "version": cmd_version,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

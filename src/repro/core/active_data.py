@@ -1,0 +1,236 @@
+"""Active data: PD that never leaves rgpdOS unwrapped.
+
+Two guarantees of the paper's programming model live here:
+
+* *"when a F_pd function wants to return some PD to the calling
+  application, rgpdOS instead returns a reference or ID.  Subsequently
+  the main application never manipulates real PD within its address
+  space"* — :class:`PDRef` is that opaque reference.
+* Idea 2 (data-centric execution): the function runs *in the PD's
+  domain* and only sees the fields the membrane's scope allows —
+  :class:`PDView` is the guarded object handed to F_pd^r functions,
+  and :class:`ActiveData` is the full record+membrane pair that only
+  a DED credential can open.
+
+The capability mechanics are simulation-level (Python has no hardware
+domains), but they are *checked*, not advisory: opening active data
+without a DED credential raises :class:`PDLeakError`, and the tests
+assert that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
+
+from .. import errors
+from .datatypes import PDType
+from .membrane import Membrane
+
+_uid_counter = itertools.count(1)
+
+
+def _next_uid(pd_type: str) -> str:
+    return f"pd:{pd_type}:{next(_uid_counter):08d}"
+
+
+@dataclass(frozen=True)
+class PDRef:
+    """Opaque reference to a piece of PD stored in DBFS.
+
+    This is the only PD-related value an application outside the DED
+    ever holds.  It reveals the type and subject (needed to phrase
+    further requests) but no field values.
+    """
+
+    uid: str
+    pd_type: str
+    subject_id: str
+
+    def __str__(self) -> str:
+        return self.uid
+
+
+@dataclass(frozen=True)
+class AccessCredential:
+    """A capability naming who is asking.
+
+    ``is_ded`` is only True for credentials minted by the DED itself;
+    DBFS and :class:`ActiveData` refuse every other holder (paper
+    enforcement rule 4: "DED is the only component that is able to
+    access DBFS directly").
+    """
+
+    holder: str
+    is_ded: bool = False
+
+
+#: The credential ordinary application code implicitly holds.
+APPLICATION_CREDENTIAL = AccessCredential(holder="application", is_ded=False)
+
+
+class ActiveData:
+    """One PD record fused with its membrane.
+
+    The raw record is private; :meth:`open_record` releases it only to
+    a DED credential.  The membrane, by contrast, is *meant* to be
+    consulted (that is what makes the data active), so
+    :attr:`membrane` is public.
+    """
+
+    def __init__(
+        self,
+        record: Mapping[str, object],
+        membrane: Membrane,
+        uid: Optional[str] = None,
+    ) -> None:
+        if membrane is None:
+            raise errors.MissingMembraneError(
+                "active data cannot exist without a membrane"
+            )
+        self._record: Dict[str, object] = dict(record)
+        self.membrane = membrane
+        self.uid = uid or _next_uid(membrane.pd_type)
+
+    @property
+    def ref(self) -> PDRef:
+        return PDRef(
+            uid=self.uid,
+            pd_type=self.membrane.pd_type,
+            subject_id=self.membrane.subject_id,
+        )
+
+    def open_record(self, credential: AccessCredential) -> Dict[str, object]:
+        """Release the raw record to a DED credential only."""
+        if not credential.is_ded:
+            raise errors.PDLeakError(
+                f"{credential.holder!r} attempted to open PD {self.uid} "
+                "outside the Data Execution Domain"
+            )
+        return dict(self._record)
+
+    def view_for(
+        self,
+        purpose: str,
+        pd_type: PDType,
+        credential: AccessCredential,
+    ) -> Optional["PDView"]:
+        """Build the guarded view a purpose is entitled to, or None.
+
+        This combines the membrane decision (which fields) with the
+        capability check (who may even ask).
+        """
+        allowed = self.membrane.allowed_fields(purpose, pd_type)
+        if allowed is None:
+            return None
+        record = self.open_record(credential)
+        visible = {name: record[name] for name in allowed if name in record}
+        return PDView(
+            pd_ref=self.ref,
+            purpose=purpose,
+            allowed_fields=frozenset(allowed),
+            values=visible,
+        )
+
+    def __repr__(self) -> str:
+        # Deliberately shows no field values.
+        return (
+            f"ActiveData(uid={self.uid!r}, type={self.membrane.pd_type!r}, "
+            f"subject={self.membrane.subject_id!r})"
+        )
+
+
+class PDView:
+    """What an F_pd^r function actually receives.
+
+    Listing 2 tests field availability with ``if (user.age)`` — so
+    attribute access on a :class:`PDView` returns the value when the
+    field is both allowed and present, and ``None`` otherwise.  The
+    view is read-only: F_pd^r functions "do not modify the state of
+    DBFS"; state changes go through built-ins.
+    """
+
+    __slots__ = ("_pd_ref", "_purpose", "_allowed", "_values")
+
+    def __init__(
+        self,
+        pd_ref: PDRef,
+        purpose: str,
+        allowed_fields: FrozenSet[str],
+        values: Mapping[str, object],
+    ) -> None:
+        object.__setattr__(self, "_pd_ref", pd_ref)
+        object.__setattr__(self, "_purpose", purpose)
+        object.__setattr__(self, "_allowed", frozenset(allowed_fields))
+        object.__setattr__(self, "_values", dict(values))
+
+    # -- field access ---------------------------------------------------------
+
+    def __getattr__(self, name: str) -> object:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._values.get(name)
+
+    def __getitem__(self, name: str) -> object:
+        return self._values.get(name)
+
+    def get(self, name: str, default: object = None) -> object:
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise errors.GDPRError(
+            "PD views are read-only; use the built-in `update` processing"
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def ref(self) -> PDRef:
+        return self._pd_ref
+
+    @property
+    def purpose(self) -> str:
+        return self._purpose
+
+    @property
+    def allowed_fields(self) -> FrozenSet[str]:
+        return self._allowed
+
+    def visible_fields(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._values))
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, object]:
+        """The visible fields as a plain dict (stays inside the DED)."""
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        return (
+            f"PDView({self._pd_ref.uid}, purpose={self._purpose!r}, "
+            f"fields={sorted(self._values)})"
+        )
+
+
+def contains_raw_pd(value: object) -> bool:
+    """Detect raw PD in a value about to cross the DED boundary.
+
+    Used by ``ded_return``: if a processing tries to smuggle an
+    :class:`ActiveData` or :class:`PDView` (or a container holding
+    one) back to the application, the DED must refuse and substitute
+    references.  Traverses tuples/lists/sets/dicts.
+    """
+    if isinstance(value, (ActiveData, PDView)):
+        return True
+    if isinstance(value, dict):
+        return any(
+            contains_raw_pd(k) or contains_raw_pd(v) for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return any(contains_raw_pd(item) for item in value)
+    return False

@@ -1,0 +1,123 @@
+"""Deterministic simulation clock.
+
+Every component of the reproduction measures time against a
+:class:`Clock` instead of the wall clock, for two reasons:
+
+* **Determinism** — TTL expiry (the GDPR storage-limitation principle)
+  and processing-log timestamps must be reproducible in tests, so time
+  only moves when the simulation advances it.
+* **Cost accounting** — the simulated kernels charge CPU, block-device
+  and pipeline costs to the clock, which lets the benchmark harness
+  report stable "simulated seconds" alongside wall-clock
+  pytest-benchmark numbers.
+
+The clock counts in seconds (floats).  Durations in membranes are
+expressed in seconds as well; :func:`parse_duration` converts the
+DSL's ``1Y`` / ``6M`` / ``30D`` / ``12H`` notation (Listing 1 uses
+``age: 1Y``).
+"""
+
+from __future__ import annotations
+
+from .. import errors
+
+#: Seconds per DSL duration unit.  A year is 365 days, a month 30 days:
+#: the GDPR cares about retention horizons, not calendar arithmetic.
+_DURATION_UNITS = {
+    "S": 1.0,
+    "MIN": 60.0,
+    "H": 3600.0,
+    "D": 86400.0,
+    "W": 7 * 86400.0,
+    "M": 30 * 86400.0,
+    "Y": 365 * 86400.0,
+}
+
+
+class Clock:
+    """A manually advanced monotonic clock.
+
+    >>> clock = Clock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(5.0)
+    5.0
+    >>> clock.now()
+    5.0
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time.
+
+        Raises :class:`ValueError` on negative increments: simulated
+        time, like real time, is monotonic.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} (negative)")
+        self._now += float(seconds)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"Clock(t={self._now:.6f})"
+
+
+def parse_duration(text: str) -> float:
+    """Parse a DSL duration such as ``"1Y"``, ``"6M"``, ``"90D"``.
+
+    Supported units (case-insensitive): ``S`` seconds, ``MIN`` minutes,
+    ``H`` hours, ``D`` days, ``W`` weeks, ``M`` months (30 days),
+    ``Y`` years (365 days).
+
+    >>> parse_duration("1Y")
+    31536000.0
+    >>> parse_duration("30d") == parse_duration("1M")
+    True
+    """
+    stripped = text.strip().upper()
+    if not stripped:
+        raise errors.SemanticError("empty duration")
+    # Longest unit first so "MIN" is not read as "M" + garbage.
+    for unit in ("MIN", "S", "H", "D", "W", "M", "Y"):
+        if stripped.endswith(unit):
+            number = stripped[: -len(unit)].strip()
+            try:
+                value = float(number)
+            except ValueError:
+                raise errors.SemanticError(
+                    f"invalid duration {text!r}: {number!r} is not a number"
+                ) from None
+            if value < 0:
+                raise errors.SemanticError(f"negative duration {text!r}")
+            return value * _DURATION_UNITS[unit]
+    raise errors.SemanticError(
+        f"invalid duration {text!r}: expected a number followed by one of "
+        "S, MIN, H, D, W, M, Y"
+    )
+
+
+def format_duration(seconds: float) -> str:
+    """Render ``seconds`` using the largest exact DSL unit.
+
+    The output round-trips through :func:`parse_duration`.
+
+    >>> format_duration(31536000.0)
+    '1Y'
+    >>> format_duration(90.0)
+    '90S'
+    """
+    if seconds < 0:
+        raise ValueError("negative duration")
+    for unit in ("Y", "M", "W", "D", "H", "MIN", "S"):
+        size = _DURATION_UNITS[unit]
+        if seconds >= size and seconds % size == 0:
+            return f"{int(seconds // size)}{unit}"
+    return f"{seconds}S"

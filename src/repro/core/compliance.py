@@ -1,0 +1,299 @@
+"""Compliance auditor: the paper's technical rules, checked.
+
+The paper frames rgpdOS as "a framework which forces the data operator
+to respect a number of *technical* rules, which in turn allows the OS
+to ensure GDPR compliance".  This module makes those rules explicit
+and auditable: :class:`ComplianceAuditor` runs every rule against a
+live system and produces a report mapping each rule to the GDPR
+article it serves.
+
+The four § 2 enforcement restrictions are covered, plus the membrane
+invariants the design relies on (consistency across copies, TTL
+respect, sensitive-field separation).  Rules that are *structural*
+(enforced by construction) are still probed negatively — the auditor
+attempts the forbidden access and checks it is refused, rather than
+trusting the code that refuses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .. import errors
+from ..storage.dbfs import DatabaseFS
+from ..storage.query import DataQuery, MembraneQuery
+from .active_data import AccessCredential
+from .builtins import BuiltinFunctions
+from .clock import Clock
+from .processing_log import ProcessingLog
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule's audit outcome."""
+
+    rule: str
+    article: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ComplianceReport:
+    """All findings of one audit run."""
+
+    at: float
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(finding.ok for finding in self.findings)
+
+    def failures(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.ok]
+
+    def summary(self) -> str:
+        passed = sum(1 for finding in self.findings if finding.ok)
+        status = "COMPLIANT" if self.ok else "NON-COMPLIANT"
+        return f"{status}: {passed}/{len(self.findings)} rules hold"
+
+    def by_article(self) -> Dict[str, List[Finding]]:
+        grouped: Dict[str, List[Finding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.article, []).append(finding)
+        return grouped
+
+
+class ComplianceAuditor:
+    """Runs the rgpdOS technical rules against a live instance."""
+
+    def __init__(
+        self,
+        dbfs: DatabaseFS,
+        builtins: BuiltinFunctions,
+        log: ProcessingLog,
+        clock: Clock,
+        ttl_grace_seconds: float = 0.0,
+    ) -> None:
+        self.dbfs = dbfs
+        self.builtins = builtins
+        self.log = log
+        self.clock = clock
+        self.ttl_grace_seconds = ttl_grace_seconds
+        self._ded = AccessCredential(holder="auditor", is_ded=True)
+
+    def audit(self) -> ComplianceReport:
+        """Run every rule; never raises — failures become findings."""
+        report = ComplianceReport(at=self.clock.now())
+        checks: List[Callable[[], Finding]] = [
+            self._check_membrane_presence,
+            self._check_dbfs_ded_only,
+            self._check_membrane_wellformedness,
+            self._check_copy_consistency,
+            self._check_ttl_respected,
+            self._check_sensitive_separation,
+            self._check_processing_log_via_ps,
+            self._check_erased_unreadable,
+        ]
+        for check in checks:
+            try:
+                report.findings.append(check())
+            except errors.RgpdOSError as exc:  # a broken rule check itself
+                report.findings.append(
+                    Finding(
+                        rule=check.__name__.lstrip("_"),
+                        article="-",
+                        ok=False,
+                        detail=f"check crashed: {exc}",
+                    )
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def _check_membrane_presence(self) -> Finding:
+        """Paper rule 3: every PD stored in DBFS has a membrane."""
+        missing = []
+        for uid, membrane in self.dbfs.iter_membranes(self._ded):
+            if membrane is None:  # structurally impossible; probed anyway
+                missing.append(uid)
+        return Finding(
+            rule="every-pd-has-membrane",
+            article="Art. 25 (data protection by design)",
+            ok=not missing,
+            detail=f"{len(missing)} bare records" if missing else
+            f"all {len(self.dbfs.all_uids())} records wrapped",
+        )
+
+    def _check_dbfs_ded_only(self) -> Finding:
+        """Paper rule 4, probed negatively: a non-DED credential must
+        be refused on every DBFS entry point."""
+        outsider = AccessCredential(holder="audit-probe", is_ded=False)
+        probes = 0
+        refused = 0
+        types = self.dbfs.list_types()
+        uids = self.dbfs.all_uids()
+        attempts: List[Callable[[], object]] = []
+        if types:
+            attempts.append(
+                lambda: self.dbfs.query_membranes(
+                    MembraneQuery(pd_type=types[0]), outsider
+                )
+            )
+        if uids:
+            attempts.append(
+                lambda: self.dbfs.fetch_records(
+                    DataQuery(uids=(uids[0],)), outsider
+                )
+            )
+            attempts.append(lambda: self.dbfs.get_membrane(uids[0], outsider))
+        attempts.append(
+            lambda: self.dbfs.export_subject("audit-probe-subject", outsider)
+        )
+        for attempt in attempts:
+            probes += 1
+            try:
+                attempt()
+            except errors.PDLeakError:
+                refused += 1
+        return Finding(
+            rule="dbfs-ded-only",
+            article="Art. 32 (security of processing)",
+            ok=probes == refused,
+            detail=f"{refused}/{probes} outsider probes refused",
+        )
+
+    def _check_membrane_wellformedness(self) -> Finding:
+        """Membranes must name a subject and use known consent scopes."""
+        bad: List[str] = []
+        for uid, membrane in self.dbfs.iter_membranes(self._ded):
+            if not membrane.subject_id:
+                bad.append(f"{uid}: no subject")
+                continue
+            pd_type = self.dbfs.get_type(membrane.pd_type)
+            for purpose, decision in membrane.consents.items():
+                try:
+                    pd_type.scope_fields(decision.scope)
+                except errors.ViewError:
+                    bad.append(f"{uid}: bad scope {decision.scope!r}")
+        return Finding(
+            rule="membranes-wellformed",
+            article="Art. 6/7 (lawfulness & consent)",
+            ok=not bad,
+            detail="; ".join(bad[:5]) if bad else "all membranes wellformed",
+        )
+
+    def _check_copy_consistency(self) -> Finding:
+        """All copies in a lineage group share the same consent state."""
+        groups: Dict[str, List[Dict[str, object]]] = {}
+        for uid, membrane in self.dbfs.iter_membranes(self._ded):
+            if membrane.lineage and not membrane.erased:
+                snapshot = {
+                    purpose: decision.scope
+                    for purpose, decision in membrane.consents.items()
+                }
+                groups.setdefault(membrane.lineage, []).append(snapshot)
+        divergent = [
+            lineage
+            for lineage, snapshots in groups.items()
+            if any(s != snapshots[0] for s in snapshots[1:])
+        ]
+        return Finding(
+            rule="copy-membrane-consistency",
+            article="Art. 7(3) (withdrawal must be effective)",
+            ok=not divergent,
+            detail=(
+                f"divergent lineage groups: {divergent[:3]}"
+                if divergent
+                else f"{len(groups)} lineage groups consistent"
+            ),
+        )
+
+    def _check_ttl_respected(self) -> Finding:
+        """No live PD may outlive its TTL (beyond the grace window)."""
+        now = self.clock.now()
+        overdue = [
+            uid
+            for uid, membrane in self.dbfs.iter_membranes(self._ded)
+            if not membrane.erased
+            and membrane.ttl_seconds is not None
+            and now
+            > membrane.created_at + membrane.ttl_seconds + self.ttl_grace_seconds
+        ]
+        return Finding(
+            rule="ttl-respected",
+            article="Art. 5(1)(e) (storage limitation)",
+            ok=not overdue,
+            detail=(
+                f"{len(overdue)} PD past TTL: {overdue[:3]}"
+                if overdue
+                else "no PD past its TTL"
+            ),
+        )
+
+    def _check_sensitive_separation(self) -> Finding:
+        """Sensitive fields must live in a separate inode."""
+        violations: List[str] = []
+        for uid in self.dbfs.all_uids():
+            membrane = self.dbfs.get_membrane(uid, self._ded)
+            if membrane.erased:
+                continue
+            pd_type = self.dbfs.get_type(membrane.pd_type)
+            if not pd_type.sensitive_fields:
+                continue
+            inode = self.dbfs.inodes.get(self.dbfs._record_index[uid])
+            record = self.dbfs._load_record_raw(uid)
+            has_sensitive_values = any(
+                name in record for name in pd_type.sensitive_fields
+            )
+            if has_sensitive_values and "sensitive_inode" not in inode.attrs:
+                violations.append(uid)
+        return Finding(
+            rule="sensitive-fields-separated",
+            article="Art. 9 (special categories) / § 2 membrane",
+            ok=not violations,
+            detail=(
+                f"{len(violations)} records mix sensitivity levels"
+                if violations
+                else "sensitive fields stored separately"
+            ),
+        )
+
+    def _check_processing_log_via_ps(self) -> Finding:
+        """Paper rules 1–2: every logged processing went through PS."""
+        rogue = [e.entry_id for e in self.log.entries() if not e.via_ps]
+        return Finding(
+            rule="all-processing-via-ps",
+            article="Art. 30 (records of processing)",
+            ok=not rogue,
+            detail=(
+                f"{len(rogue)} log entries bypassed PS"
+                if rogue
+                else f"all {len(self.log)} entries via PS"
+            ),
+        )
+
+    def _check_erased_unreadable(self) -> Finding:
+        """Erased PD must not be fetchable through any DBFS path."""
+        leaks: List[str] = []
+        for uid, membrane in self.dbfs.iter_membranes(self._ded):
+            if not membrane.erased:
+                continue
+            try:
+                self.dbfs.fetch_records(DataQuery(uids=(uid,)), self._ded)
+                leaks.append(uid)
+            except errors.ExpiredPDError:
+                pass
+        return Finding(
+            rule="erased-pd-unreadable",
+            article="Art. 17 (right to erasure)",
+            ok=not leaks,
+            detail=(
+                f"{len(leaks)} erased records still readable"
+                if leaks
+                else "erased PD unreadable"
+            ),
+        )

@@ -1,0 +1,341 @@
+"""Cryptographic substrate for the right to be forgotten.
+
+Section 4 of the paper describes an *authority escrow* model for the
+right to be forgotten:
+
+    "rgpdOS assumes a model in which each data operator owns a public
+    encryption key given to them by the authorities who keep the
+    private key.  When PD is to be deleted, rgpdOS will simply encrypt
+    it using the public key; in this way the data operator will not be
+    able to access the data anymore, but the authorities will be able
+    to decrypt it using their private key."
+
+This module implements that model from scratch (the environment offers
+no crypto library):
+
+* :func:`generate_keypair` — textbook RSA key generation with
+  Miller–Rabin primality testing.
+* :class:`HybridCipher` — envelope encryption: a fresh symmetric key
+  encrypts the payload with a SHA-256 counter-mode stream cipher and
+  is itself wrapped under RSA with random padding.
+* :class:`Authority` / :class:`OperatorKey` — the two halves of the
+  escrow relationship.
+
+The construction is honest about its scope: it is a *semantic*
+reproduction of the escrow protocol, deterministic and dependency-free,
+not a hardened production cipher (textbook RSA padding is simplified).
+What the experiments rely on — the operator provably cannot invert the
+escrow blob while the authority can — holds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from random import Random
+from typing import Optional, Tuple
+
+from .. import errors
+
+# ---------------------------------------------------------------------------
+# Primality and key generation
+# ---------------------------------------------------------------------------
+
+#: Small primes used for fast trial division before Miller-Rabin.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+
+#: Number of Miller-Rabin rounds; 40 gives a < 2^-80 error probability.
+_MR_ROUNDS = 40
+
+
+def is_probable_prime(n: int, rng: Optional[Random] = None) -> bool:
+    """Return True if ``n`` passes trial division and Miller-Rabin."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or Random(0xC0FFEE ^ n)
+    # Write n-1 as d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MR_ROUNDS):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: Random) -> int:
+    """Draw a random prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise errors.CryptoError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)`` — handed to the data operator."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Short stable identifier used in membranes and audit logs."""
+        digest = hashlib.sha256(f"{self.n}:{self.e}".encode()).hexdigest()
+        return digest[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key ``(n, d)`` — retained by the authority."""
+
+    n: int
+    d: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+
+def generate_keypair(bits: int = 1024, seed: Optional[int] = None) -> Tuple[PublicKey, PrivateKey]:
+    """Generate an RSA keypair.
+
+    ``bits`` is the modulus size.  1024 is the default; tests use 512
+    for speed.  ``seed`` makes generation deterministic, which the
+    benchmark harness relies on.
+    """
+    if bits < 128:
+        raise errors.CryptoError(f"modulus too small: {bits} bits")
+    rng = Random(seed if seed is not None else 0x5EED)
+    e = 65537
+    while True:
+        p = _random_prime(bits // 2, rng)
+        q = _random_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        return PublicKey(n=n, e=e), PrivateKey(n=n, d=d)
+
+
+# ---------------------------------------------------------------------------
+# Symmetric stream cipher (SHA-256 in counter mode) + MAC
+# ---------------------------------------------------------------------------
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """Derive ``length`` keystream bytes from SHA-256(key, nonce, ctr)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def stream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt ``data`` with the counter-mode keystream.
+
+    XOR is its own inverse, so the same call performs both directions.
+    """
+    stream = _keystream(key, nonce, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def _mac(key: bytes, *parts: bytes) -> bytes:
+    mac = hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(len(part).to_bytes(8, "big"))
+        mac.update(part)
+    return mac.digest()
+
+
+# ---------------------------------------------------------------------------
+# Hybrid envelope encryption
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EscrowBlob:
+    """The ciphertext left in DBFS after a crypto-erasure.
+
+    ``wrapped_key`` is the RSA-encrypted symmetric key (as an int),
+    ``nonce``/``ciphertext``/``tag`` are the symmetric envelope, and
+    ``key_fingerprint`` names the authority key that can open it.
+    """
+
+    wrapped_key: int
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+    key_fingerprint: str
+
+    def __len__(self) -> int:
+        return len(self.ciphertext)
+
+
+class HybridCipher:
+    """Envelope encryption under an RSA public key.
+
+    A fresh 32-byte symmetric key is drawn per message, used for the
+    stream cipher and the MAC, then wrapped under RSA.  Only the holder
+    of the private key can unwrap it.
+    """
+
+    def __init__(self, rng: Optional[Random] = None) -> None:
+        self._rng = rng or Random(0xE5C0)
+
+    def _random_bytes(self, count: int) -> bytes:
+        return bytes(self._rng.getrandbits(8) for _ in range(count))
+
+    def encrypt(self, public: PublicKey, plaintext: bytes) -> EscrowBlob:
+        """Encrypt ``plaintext`` so only the private-key holder can read it."""
+        sym_key = self._random_bytes(32)
+        nonce = self._random_bytes(16)
+        # Randomised padding: [0x01 | random pad | 0x00 | key].  Keeps the
+        # integer below the modulus and non-deterministic.
+        pad_len = public.byte_length - len(sym_key) - 3
+        if pad_len < 1:
+            raise errors.CryptoError(
+                f"RSA modulus too small ({public.byte_length} bytes) to wrap a 32-byte key"
+            )
+        padded = b"\x01" + bytes(
+            (self._rng.getrandbits(8) | 1) for _ in range(pad_len)
+        ) + b"\x00" + sym_key
+        as_int = int.from_bytes(padded, "big")
+        if as_int >= public.n:
+            raise errors.CryptoError("padded key does not fit under the modulus")
+        wrapped = pow(as_int, public.e, public.n)
+        ciphertext = stream_xor(sym_key, nonce, plaintext)
+        tag = _mac(sym_key, nonce, ciphertext)
+        return EscrowBlob(
+            wrapped_key=wrapped,
+            nonce=nonce,
+            ciphertext=ciphertext,
+            tag=tag,
+            key_fingerprint=public.fingerprint(),
+        )
+
+    def decrypt(self, private: PrivateKey, blob: EscrowBlob) -> bytes:
+        """Recover the plaintext; raises :class:`CryptoError` on tamper."""
+        as_int = pow(blob.wrapped_key, private.d, private.n)
+        padded = as_int.to_bytes(private.byte_length, "big")
+        # Strip the leading zero bytes then the 0x01 marker.
+        stripped = padded.lstrip(b"\x00")
+        if not stripped.startswith(b"\x01"):
+            raise errors.CryptoError("bad envelope padding (wrong key?)")
+        try:
+            separator = stripped.index(b"\x00")
+        except ValueError:
+            raise errors.CryptoError("bad envelope padding: no separator") from None
+        sym_key = stripped[separator + 1 :]
+        if len(sym_key) != 32:
+            raise errors.CryptoError(f"unwrapped key has {len(sym_key)} bytes, want 32")
+        expected = _mac(sym_key, blob.nonce, blob.ciphertext)
+        if not hmac.compare_digest(expected, blob.tag):
+            raise errors.CryptoError("MAC mismatch: ciphertext was tampered with")
+        return stream_xor(sym_key, blob.nonce, blob.ciphertext)
+
+
+# ---------------------------------------------------------------------------
+# Escrow roles
+# ---------------------------------------------------------------------------
+
+
+class Authority:
+    """The data-protection authority: generates keys, keeps the private half.
+
+    >>> authority = Authority(bits=512, seed=7)
+    >>> operator = authority.issue_operator_key("acme")
+    >>> blob = operator.escrow_encrypt(b"secret pd")
+    >>> operator.can_decrypt(blob)
+    False
+    >>> authority.recover(blob)
+    b'secret pd'
+    """
+
+    def __init__(self, bits: int = 1024, seed: Optional[int] = None) -> None:
+        self._public, self._private = generate_keypair(bits=bits, seed=seed)
+        self._cipher = HybridCipher(Random(seed if seed is not None else 0xA07))
+        self._issued: dict[str, "OperatorKey"] = {}
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public
+
+    def issue_operator_key(self, operator_name: str) -> "OperatorKey":
+        """Hand the public key to a data operator, recording the issuance."""
+        key = OperatorKey(operator_name, self._public, self._cipher)
+        self._issued[operator_name] = key
+        return key
+
+    def issued_operators(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._issued))
+
+    def recover(self, blob: EscrowBlob) -> bytes:
+        """Decrypt an escrow blob (e.g. for a legal investigation)."""
+        if blob.key_fingerprint != self._public.fingerprint():
+            raise errors.CryptoError(
+                "escrow blob was made under a different authority key"
+            )
+        return self._cipher.decrypt(self._private, blob)
+
+
+class OperatorKey:
+    """The data operator's half of the escrow: public key only.
+
+    The operator can *produce* escrow blobs (that is what ``delete``
+    does) but can never open one — :meth:`can_decrypt` exists so tests
+    and audits can assert the negative.
+    """
+
+    def __init__(self, operator_name: str, public: PublicKey, cipher: HybridCipher) -> None:
+        self.operator_name = operator_name
+        self._public = public
+        self._cipher = cipher
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._public
+
+    def escrow_encrypt(self, plaintext: bytes) -> EscrowBlob:
+        """Encrypt PD for escrow; this is the erasure primitive."""
+        return self._cipher.encrypt(self._public, plaintext)
+
+    def can_decrypt(self, blob: EscrowBlob) -> bool:
+        """The operator holds no private key, so this is always False.
+
+        Present so compliance audits read as an explicit check instead
+        of an assumption.
+        """
+        return False

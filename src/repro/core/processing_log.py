@@ -1,0 +1,162 @@
+"""The DED's processing log.
+
+Paper § 4 (right of access): *"informing subjects about processings
+executed on their PD ... is easily obtained thanks to the DED, which
+logs every executed processing.  This log is organized so that it can
+give information about executed processings for each piece of PD."*
+
+The log is append-only.  Every DED invocation writes one entry naming
+the purpose, the processing, every PD uid it touched (and how: read,
+denied, produced, updated, deleted), the subjects concerned, per-stage
+timings and the outcome.  Queries are indexed by subject and by PD uid
+— exactly the organisation § 4 asks for — and it doubles as the GDPR
+Art. 30 record of processing activities.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+_entry_counter = itertools.count(1)
+
+OUTCOME_COMPLETED = "completed"
+OUTCOME_DENIED = "denied"       # consent filter left nothing to process
+OUTCOME_ERROR = "error"
+
+ACCESS_READ = "read"
+ACCESS_DENIED = "denied"
+ACCESS_PRODUCED = "produced"
+ACCESS_UPDATED = "updated"
+ACCESS_DELETED = "deleted"
+ACCESS_COPIED = "copied"
+ACCESS_EXPORTED = "exported"
+
+
+@dataclass(frozen=True)
+class PDAccess:
+    """How one invocation touched one piece of PD."""
+
+    uid: str
+    subject_id: str
+    mode: str
+    fields: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One executed (or denied) processing."""
+
+    entry_id: int
+    at: float
+    purpose: str
+    processing: str
+    outcome: str
+    accesses: Tuple[PDAccess, ...] = ()
+    stage_seconds: Mapping[str, float] = field(default_factory=dict)
+    detail: str = ""
+    via_ps: bool = True
+
+    def subjects(self) -> Tuple[str, ...]:
+        return tuple(sorted({a.subject_id for a in self.accesses}))
+
+    def uids(self) -> Tuple[str, ...]:
+        return tuple(sorted({a.uid for a in self.accesses}))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form for the right-of-access report."""
+        return {
+            "entry_id": self.entry_id,
+            "at": self.at,
+            "purpose": self.purpose,
+            "processing": self.processing,
+            "outcome": self.outcome,
+            "accesses": [
+                {
+                    "uid": a.uid,
+                    "subject_id": a.subject_id,
+                    "mode": a.mode,
+                    "fields": list(a.fields),
+                }
+                for a in self.accesses
+            ],
+            "stage_seconds": dict(self.stage_seconds),
+            "detail": self.detail,
+        }
+
+
+class ProcessingLog:
+    """Append-only log with per-subject and per-PD indexes."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self._by_subject: Dict[str, List[int]] = {}
+        self._by_uid: Dict[str, List[int]] = {}
+
+    def record(
+        self,
+        at: float,
+        purpose: str,
+        processing: str,
+        outcome: str,
+        accesses: Tuple[PDAccess, ...] = (),
+        stage_seconds: Optional[Mapping[str, float]] = None,
+        detail: str = "",
+        via_ps: bool = True,
+    ) -> LogEntry:
+        entry = LogEntry(
+            entry_id=next(_entry_counter),
+            at=at,
+            purpose=purpose,
+            processing=processing,
+            outcome=outcome,
+            accesses=accesses,
+            stage_seconds=dict(stage_seconds or {}),
+            detail=detail,
+            via_ps=via_ps,
+        )
+        index = len(self._entries)
+        self._entries.append(entry)
+        for access in accesses:
+            self._by_subject.setdefault(access.subject_id, []).append(index)
+            self._by_uid.setdefault(access.uid, []).append(index)
+        return entry
+
+    # -- queries (the § 4 organisation) ------------------------------------
+
+    def entries(self) -> List[LogEntry]:
+        return list(self._entries)
+
+    def for_subject(self, subject_id: str) -> List[LogEntry]:
+        """Every processing that touched any PD of this subject."""
+        seen: List[LogEntry] = []
+        for index in dict.fromkeys(self._by_subject.get(subject_id, [])):
+            seen.append(self._entries[index])
+        return seen
+
+    def for_pd(self, uid: str) -> List[LogEntry]:
+        """Every processing that touched this specific piece of PD."""
+        return [
+            self._entries[index]
+            for index in dict.fromkeys(self._by_uid.get(uid, []))
+        ]
+
+    def denials(self) -> List[LogEntry]:
+        return [e for e in self._entries if e.outcome == OUTCOME_DENIED]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def activity_report(self) -> Dict[str, object]:
+        """Aggregate Art. 30-style record of processing activities."""
+        by_purpose: Dict[str, int] = {}
+        for entry in self._entries:
+            by_purpose[entry.purpose] = by_purpose.get(entry.purpose, 0) + 1
+        return {
+            "total_processings": len(self._entries),
+            "by_purpose": dict(sorted(by_purpose.items())),
+            "denied": len(self.denials()),
+            "subjects_touched": len(self._by_subject),
+            "pd_touched": len(self._by_uid),
+        }

@@ -1,0 +1,410 @@
+"""The Processing Store (PS) — rgpdOS's only entry point.
+
+Paper § 2: *"Its public interface consists of two functions:
+ps_register and ps_invoke.  Every F_pd function must be registered
+first in PS before they can be invoked.  On call to ps_register, PS
+makes the following checks: if the function has no specified purpose,
+it is rejected; if the specified purpose does not 'match' with the
+corresponding implementation, PS raises an alert that requires an
+explicit sysadmin approval."*
+
+Enforcement rules 1 and 2 live here: stored processings are private to
+the PS, and invocation is only possible through :meth:`ps_invoke`
+(which instantiates a fresh DED per call — "when PS receives a
+ps_invoke call, it instantiates a DED").
+
+``ps_invoke`` follows the paper's signature: "the reference of a data
+processing operation, optionally a reference to PD, a data collection
+method and a boolean indicating whether or not the data collection
+function is to be called to initialize DBFS."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .. import errors
+from ..kernel.pim import DEDPlacer
+from ..kernel.tee import TEEPlatform, measure_code
+from ..storage.dbfs import DatabaseFS
+from ..storage.query import Predicate
+from .active_data import PDRef
+from .builtins import (
+    BUILTIN_ACQUISITION,
+    BUILTIN_COPY,
+    BUILTIN_DELETE,
+    BUILTIN_NAMES,
+    BUILTIN_UPDATE,
+    SYSADMIN,
+    BuiltinFunctions,
+    EraseReport,
+)
+from .clock import Clock
+from .ded import DataExecutionDomain, DEDCostModel, InvocationResult
+from .membrane import BASIS_LEGAL_OBLIGATION, BASIS_LEGITIMATE_INTEREST
+from .processing_log import ProcessingLog
+from .purposes import (
+    MatchReport,
+    Purpose,
+    PurposeMatcher,
+    extract_purpose_name,
+)
+from .semantic import SemanticMatcher, SemanticReport
+
+
+@dataclass
+class Processing:
+    """One registered data processing: purpose + implementation."""
+
+    name: str
+    purpose: Purpose
+    fn: Callable
+    is_builtin: bool = False
+    aggregate: bool = False
+    registered_at: float = 0.0
+    approved_by: str = ""
+    match_report: Optional[MatchReport] = None
+    semantic_report: Optional[SemanticReport] = None
+    #: MRENCLAVE-style code measurement, recorded at registration so a
+    #: TEE-protected invocation can verify the enclave runs exactly
+    #: the registered implementation (§ 3(3)).
+    measurement: str = ""
+
+
+class ProcessingStore:
+    """The PS component.  One per rgpdOS instance."""
+
+    def __init__(
+        self,
+        dbfs: DatabaseFS,
+        clock: Clock,
+        log: ProcessingLog,
+        cost_model: Optional[DEDCostModel] = None,
+        tee_platform: Optional[TEEPlatform] = None,
+        semantic_matcher: Optional[SemanticMatcher] = None,
+        placer: Optional[DEDPlacer] = None,
+    ) -> None:
+        self.dbfs = dbfs
+        self.clock = clock
+        self.log = log
+        self.cost_model = cost_model
+        self.tee_platform = tee_platform
+        #: Optional § 3(4) semantic check: when configured, ps_register
+        #: also requires the implementation's vocabulary to plausibly
+        #: match the purpose description (alert + sysadmin approval
+        #: otherwise, same protocol as the mechanical matcher).
+        self.semantic_matcher = semantic_matcher
+        #: Optional § 3(3) DED placer: when configured, every DED run
+        #: records an advisory host/PIM/storage placement decision in
+        #: its trace.
+        self.placer = placer
+        self._attestation_nonces = itertools.count(0xA11)
+        self.builtins = BuiltinFunctions(dbfs, clock, log)
+        self._purposes: Dict[str, Purpose] = {}
+        self._processings: Dict[str, Processing] = {}  # rule 1: PS-private
+        self._ded_instances = itertools.count(1)
+        self._register_builtins()
+
+    # ------------------------------------------------------------------
+    # Purpose declarations
+    # ------------------------------------------------------------------
+
+    def declare_purpose(self, purpose: Purpose) -> None:
+        """Install a purpose declaration (from the DSL loader)."""
+        if purpose.name in self._purposes:
+            raise errors.RegistrationError(
+                f"purpose {purpose.name!r} already declared"
+            )
+        self._purposes[purpose.name] = purpose
+
+    def purpose(self, name: str) -> Purpose:
+        purpose = self._purposes.get(name)
+        if purpose is None:
+            raise errors.RegistrationError(
+                f"purpose {name!r} is not declared; install its declaration "
+                "before registering an implementation"
+            )
+        return purpose
+
+    def list_purposes(self) -> List[str]:
+        return sorted(self._purposes)
+
+    # ------------------------------------------------------------------
+    # ps_register
+    # ------------------------------------------------------------------
+
+    def ps_register(
+        self,
+        fn: Callable,
+        purpose: Optional[str] = None,
+        name: Optional[str] = None,
+        aggregate: bool = False,
+        sysadmin_approved: bool = False,
+    ) -> Processing:
+        """Register an F_pd^r function.
+
+        The paper's two checks, in order:
+
+        1. *no specified purpose → rejected* — the purpose comes from
+           the ``purpose`` argument or from the function itself
+           (decorator / docstring / comment); nothing found means
+           :class:`MissingPurposeError`.
+        2. *purpose does not match the implementation → alert* — the
+           static matcher runs; on mismatch (or unverifiable source),
+           :class:`PurposeMismatchAlert` is raised unless the call
+           carries ``sysadmin_approved=True``, in which case the
+           approval is recorded on the processing.
+        """
+        purpose_name = purpose or extract_purpose_name(fn)
+        if not purpose_name:
+            raise errors.MissingPurposeError(
+                f"function {getattr(fn, '__name__', fn)!r} declares no "
+                "purpose; every F_pd function must specify one"
+            )
+        declared = self.purpose(purpose_name)
+
+        processing_name = name or getattr(fn, "__name__", purpose_name)
+        if processing_name in self._processings:
+            raise errors.RegistrationError(
+                f"processing {processing_name!r} already registered"
+            )
+
+        registry = {
+            type_name: self.dbfs.get_type(type_name)
+            for type_name in self.dbfs.list_types()
+        }
+        matcher = PurposeMatcher(registry)
+        report = matcher.check(declared, fn)
+        approved_by = ""
+        if not report.matches:
+            if not sysadmin_approved:
+                raise errors.PurposeMismatchAlert(report.summary())
+            approved_by = SYSADMIN
+        semantic_report = None
+        if self.semantic_matcher is not None:
+            semantic_report = self.semantic_matcher.check(declared, fn)
+            if not semantic_report.plausible:
+                if not sysadmin_approved:
+                    raise errors.PurposeMismatchAlert(
+                        semantic_report.summary()
+                    )
+                approved_by = SYSADMIN
+
+        processing = Processing(
+            name=processing_name,
+            purpose=declared,
+            fn=fn,
+            aggregate=aggregate,
+            registered_at=self.clock.now(),
+            approved_by=approved_by,
+            match_report=report,
+            semantic_report=semantic_report,
+            measurement=measure_code(fn),
+        )
+        self._processings[processing_name] = processing
+        return processing
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._processings
+
+    def list_processings(self) -> List[str]:
+        return sorted(self._processings)
+
+    def describe_processing(self, name: str) -> Dict[str, object]:
+        """Public metadata about a processing (never the function)."""
+        processing = self._get(name)
+        return {
+            "name": processing.name,
+            "purpose": processing.purpose.name,
+            "description": processing.purpose.description,
+            "basis": processing.purpose.basis,
+            "uses": list(processing.purpose.uses),
+            "produces": list(processing.purpose.produces),
+            "is_builtin": processing.is_builtin,
+            "approved_by": processing.approved_by,
+        }
+
+    # ------------------------------------------------------------------
+    # ps_invoke
+    # ------------------------------------------------------------------
+
+    def ps_invoke(
+        self,
+        processing_name: str,
+        target: Union[PDRef, str, Sequence[PDRef], None] = None,
+        subject_id: Optional[str] = None,
+        collection_method: Optional[str] = None,
+        collect_first: bool = False,
+        collect_payloads: Optional[
+            Sequence[Tuple[str, Mapping[str, object]]]
+        ] = None,
+        use_tee: bool = False,
+        where: Optional["Predicate"] = None,
+        **builtin_kwargs: object,
+    ) -> Union[InvocationResult, PDRef, EraseReport, None]:
+        """Invoke a registered processing.
+
+        * ``target`` — a PD ref, a PD type name, or a list of refs.
+        * ``collect_first`` + ``collection_method`` + ``collect_payloads``
+          — the paper's "data collection function is to be called to
+          initialize DBFS": each payload is ``(subject_id, record)``
+          and is acquired through the declared collection interface
+          before the processing runs.
+        * built-in processings take their own keyword arguments
+          (``changes=`` for update, ``mode=`` for delete, ...) and the
+          acting identity via ``actor=``.
+        """
+        processing = self._get(processing_name)
+
+        if collect_first:
+            if not isinstance(target, str):
+                raise errors.InvocationError(
+                    "collection-first invocation needs a PD type name target"
+                )
+            if not collection_method:
+                raise errors.InvocationError(
+                    "collection-first invocation needs a collection_method"
+                )
+            for payload_subject, record in collect_payloads or ():
+                self.builtins.acquisition(
+                    type_name=target,
+                    record=record,
+                    subject_id=payload_subject,
+                    method=collection_method,
+                )
+
+        if processing.is_builtin:
+            return self._invoke_builtin(processing, target, **builtin_kwargs)
+
+        if target is None:
+            raise errors.InvocationError(
+                f"processing {processing_name!r} needs a PD target "
+                "(a ref, a type name, or a list of refs)"
+            )
+        enclave = self._provision_enclave(processing) if use_tee else None
+        ded = DataExecutionDomain(
+            dbfs=self.dbfs,
+            clock=self.clock,
+            log=self.log,
+            cost_model=self.cost_model,
+            instance=next(self._ded_instances),
+            placer=self.placer,
+        )
+        try:
+            return ded.run(
+                purpose=processing.purpose,
+                processing_name=processing.name,
+                fn=processing.fn,
+                target=target,
+                aggregate=processing.aggregate,
+                subject_id=subject_id,
+                enclave=enclave,
+                where=where,
+            )
+        finally:
+            if enclave is not None:
+                enclave.destroy()
+
+    def _provision_enclave(self, processing: Processing):
+        """Create and attest an enclave for one TEE-protected DED run.
+
+        § 3(3): the enclave is measured from the registered
+        implementation; PD is released only after the platform attests
+        that the enclave's measurement matches what ``ps_register``
+        recorded.  A mismatch (tampered implementation) aborts the
+        invocation before any PD is loaded.
+        """
+        if self.tee_platform is None:
+            raise errors.InvocationError(
+                "TEE-protected invocation requested but this rgpdOS has "
+                "no TEE platform configured"
+            )
+        enclave = self.tee_platform.create_enclave(processing.fn)
+        nonce = next(self._attestation_nonces).to_bytes(8, "big")
+        report = enclave.attest(nonce)
+        if not self.tee_platform.verify(
+            report,
+            expected_measurement=processing.measurement,
+            expected_nonce=nonce,
+        ):
+            enclave.destroy()
+            raise errors.InvocationError(
+                f"attestation failed for processing {processing.name!r}: "
+                "enclave measurement does not match the registered "
+                "implementation"
+            )
+        return enclave
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _get(self, name: str) -> Processing:
+        processing = self._processings.get(name)
+        if processing is None:
+            raise errors.InvocationError(
+                f"no processing named {name!r} is registered in the PS"
+            )
+        return processing
+
+    def _invoke_builtin(
+        self, processing: Processing, target: object, **kwargs: object
+    ) -> Union[PDRef, EraseReport, None]:
+        if processing.name == BUILTIN_ACQUISITION:
+            return self.builtins.acquisition(**kwargs)  # type: ignore[arg-type]
+        if not isinstance(target, PDRef):
+            raise errors.InvocationError(
+                f"built-in {processing.name!r} needs a PDRef target"
+            )
+        if processing.name == BUILTIN_UPDATE:
+            return self.builtins.update(target, **kwargs)  # type: ignore[arg-type]
+        if processing.name == BUILTIN_COPY:
+            return self.builtins.copy(target, **kwargs)  # type: ignore[arg-type]
+        if processing.name == BUILTIN_DELETE:
+            return self.builtins.delete(target, **kwargs)  # type: ignore[arg-type]
+        raise errors.InvocationError(
+            f"unknown built-in {processing.name!r}"
+        )  # pragma: no cover - the registry only holds the four names
+
+    def _register_builtins(self) -> None:
+        """Install the four built-in F_pd^w processings."""
+        built_in_purposes = {
+            BUILTIN_UPDATE: Purpose(
+                name="builtin_update",
+                description="Rectify stored PD on behalf of its subject",
+                basis=BASIS_LEGITIMATE_INTEREST,
+            ),
+            BUILTIN_DELETE: Purpose(
+                name="builtin_delete",
+                description="Erase PD (right to be forgotten, GDPR Art. 17)",
+                basis=BASIS_LEGAL_OBLIGATION,
+            ),
+            BUILTIN_COPY: Purpose(
+                name="builtin_copy",
+                description="Duplicate PD with membrane consistency",
+                basis=BASIS_LEGITIMATE_INTEREST,
+            ),
+            BUILTIN_ACQUISITION: Purpose(
+                name="builtin_acquisition",
+                description="Collect PD through a declared interface",
+                basis=BASIS_LEGITIMATE_INTEREST,
+            ),
+        }
+        handlers: Dict[str, Callable] = {
+            BUILTIN_UPDATE: self.builtins.update,
+            BUILTIN_DELETE: self.builtins.delete,
+            BUILTIN_COPY: self.builtins.copy,
+            BUILTIN_ACQUISITION: self.builtins.acquisition,
+        }
+        for name in BUILTIN_NAMES:
+            purpose = built_in_purposes[name]
+            self._purposes[purpose.name] = purpose
+            self._processings[name] = Processing(
+                name=name,
+                purpose=purpose,
+                fn=handlers[name],
+                is_builtin=True,
+                registered_at=self.clock.now(),
+            )

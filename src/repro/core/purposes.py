@@ -1,0 +1,311 @@
+"""Purposes and purpose–implementation matching.
+
+The paper's programming model revolves around *data processings*: a
+pair of one **purpose** (written in a very high level language, by the
+project manager) and one **implementation** (written by developers, in
+any language).  ``ps_register`` must reject functions with no purpose
+and raise an alert when "the specified purpose does not 'match' with
+the corresponding implementation".
+
+The paper leaves the matching problem open (§ 3(4): "checking if a
+processing's implementation matches its purpose is a challenging
+problem which is not yet addressed in rgpdOS. We plan to investigate
+approaches borrowed from several research domains such as Semantic and
+AI").  This module implements the static-analysis half of that plan
+for Python implementations:
+
+* :func:`attach_purpose` / the :func:`processing` decorator bind a
+  purpose name to a function (the Python equivalent of Listing 2's
+  ``/* purpose3 */`` comment — which :func:`extract_purpose_name`
+  also understands, both in docstrings and in C-style sources);
+* :class:`PurposeMatcher` parses the implementation with ``ast`` and
+  checks that (a) every PD field it touches is covered by the views
+  its purpose declares, and (b) it contains no leak-prone constructs
+  (``open``, ``print``, ``eval``, ``exec``, socket use, file writes).
+
+A function whose source cannot be analysed is reported *unverifiable*,
+which the Processing Store treats like a mismatch: sysadmin approval
+required.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from .. import errors
+from .datatypes import PDType
+from .membrane import LAWFUL_BASES
+
+_PURPOSE_ATTR = "__rgpdos_purpose__"
+
+#: Call targets that can leak PD out of the process.
+_FORBIDDEN_CALLS = frozenset(
+    {"open", "print", "eval", "exec", "compile", "__import__", "input"}
+)
+#: Modules whose import inside a processing is leak-prone.
+_FORBIDDEN_MODULES = frozenset(
+    {"socket", "subprocess", "os", "sys", "requests", "urllib", "http"}
+)
+
+
+@dataclass(frozen=True)
+class Purpose:
+    """A declared purpose: the high-level half of a data processing."""
+
+    name: str
+    description: str = ""
+    uses: Tuple[Tuple[str, Optional[str]], ...] = ()
+    produces: Tuple[str, ...] = ()
+    basis: str = "consent"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise errors.RegistrationError(f"invalid purpose name {self.name!r}")
+        if self.basis not in LAWFUL_BASES:
+            raise errors.RegistrationError(
+                f"purpose {self.name!r} has unknown lawful basis {self.basis!r} "
+                f"(valid: {LAWFUL_BASES})"
+            )
+
+    def uses_type(self, type_name: str) -> bool:
+        return any(name == type_name for name, _ in self.uses)
+
+    def view_for_type(self, type_name: str) -> Optional[str]:
+        """The declared view for a type (None means whole-type use)."""
+        for name, view in self.uses:
+            if name == type_name:
+                return view
+        return None
+
+    def allowed_fields(self, registry: Mapping[str, PDType]) -> FrozenSet[str]:
+        """Union of fields this purpose may touch, across its used types."""
+        allowed: Set[str] = set()
+        for type_name, view_name in self.uses:
+            pd_type = registry.get(type_name)
+            if pd_type is None:
+                raise errors.RegistrationError(
+                    f"purpose {self.name!r} uses undeclared type {type_name!r}"
+                )
+            if view_name is None:
+                allowed |= pd_type.field_names
+            else:
+                allowed |= pd_type.view(view_name).fields
+        return frozenset(allowed)
+
+
+# ---------------------------------------------------------------------------
+# Binding purposes to implementations
+# ---------------------------------------------------------------------------
+
+
+def attach_purpose(fn: Callable, purpose_name: str) -> Callable:
+    """Tag a function with its purpose name."""
+    setattr(fn, _PURPOSE_ATTR, purpose_name)
+    return fn
+
+
+def processing(purpose: str) -> Callable[[Callable], Callable]:
+    """Decorator form: ``@processing(purpose="purpose3")``.
+
+    >>> @processing(purpose="compute_age")
+    ... def compute_age(user):
+    ...     '''Compute a user's age.'''
+    ...     if user.year_of_birthdate:
+    ...         return 2026 - user.year_of_birthdate
+    ...     return None
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        return attach_purpose(fn, purpose)
+
+    return decorate
+
+
+_DOCSTRING_PURPOSE = re.compile(r"purpose\s*:\s*(\w+)", re.IGNORECASE)
+_C_COMMENT_PURPOSE = re.compile(r"/\*\s*(\w+)\s*\*/")
+_HASH_COMMENT_PURPOSE = re.compile(r"#\s*purpose\s*:?\s*(\w+)", re.IGNORECASE)
+
+
+def extract_purpose_name(implementation: object) -> Optional[str]:
+    """Find the purpose a function or source string declares.
+
+    Resolution order: explicit attribute (decorator), ``purpose: X`` in
+    the docstring, ``# purpose: X`` comment in Python source, or a
+    Listing-2-style ``/* purposeN */`` comment in C-like source
+    strings.  Returns None when nothing declares a purpose — which
+    ``ps_register`` then rejects.
+    """
+    if callable(implementation):
+        tagged = getattr(implementation, _PURPOSE_ATTR, None)
+        if tagged:
+            return str(tagged)
+        doc = inspect.getdoc(implementation) or ""
+        match = _DOCSTRING_PURPOSE.search(doc)
+        if match:
+            return match.group(1)
+        try:
+            source = inspect.getsource(implementation)
+        except (OSError, TypeError):
+            return None
+        match = _HASH_COMMENT_PURPOSE.search(source)
+        return match.group(1) if match else None
+    if isinstance(implementation, str):
+        match = _C_COMMENT_PURPOSE.search(implementation)
+        if match:
+            return match.group(1)
+        match = _HASH_COMMENT_PURPOSE.search(implementation)
+        if match:
+            return match.group(1)
+        match = _DOCSTRING_PURPOSE.search(implementation)
+        return match.group(1) if match else None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Static purpose-implementation matching
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MatchReport:
+    """Outcome of a purpose–implementation match check."""
+
+    purpose: str
+    matches: bool
+    verifiable: bool
+    accessed_fields: FrozenSet[str] = frozenset()
+    allowed_fields: FrozenSet[str] = frozenset()
+    violations: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if not self.verifiable:
+            return f"purpose {self.purpose!r}: implementation unverifiable"
+        if self.matches:
+            return f"purpose {self.purpose!r}: implementation matches"
+        return (
+            f"purpose {self.purpose!r}: MISMATCH — "
+            + "; ".join(self.violations)
+        )
+
+
+class _AccessCollector(python_ast.NodeVisitor):
+    """Collects field accesses on parameters and forbidden constructs."""
+
+    def __init__(self, param_names: Set[str]) -> None:
+        self.param_names = param_names
+        self.accessed: Set[str] = set()
+        self.violations: List[str] = []
+
+    def visit_Attribute(self, node: python_ast.Attribute) -> None:
+        if isinstance(node.value, python_ast.Name) and node.value.id in self.param_names:
+            self.accessed.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: python_ast.Subscript) -> None:
+        if (
+            isinstance(node.value, python_ast.Name)
+            and node.value.id in self.param_names
+            and isinstance(node.slice, python_ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            self.accessed.add(node.slice.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: python_ast.Call) -> None:
+        target = node.func
+        if isinstance(target, python_ast.Name) and target.id in _FORBIDDEN_CALLS:
+            self.violations.append(
+                f"leak-prone call to {target.id}() at line {node.lineno}"
+            )
+        # param.get("field") pattern
+        if (
+            isinstance(target, python_ast.Attribute)
+            and isinstance(target.value, python_ast.Name)
+            and target.value.id in self.param_names
+            and target.attr == "get"
+            and node.args
+            and isinstance(node.args[0], python_ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            self.accessed.add(node.args[0].value)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: python_ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in _FORBIDDEN_MODULES:
+                self.violations.append(
+                    f"leak-prone import of {alias.name!r} at line {node.lineno}"
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: python_ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if root in _FORBIDDEN_MODULES:
+            self.violations.append(
+                f"leak-prone import from {node.module!r} at line {node.lineno}"
+            )
+        self.generic_visit(node)
+
+
+class PurposeMatcher:
+    """Static check that an implementation stays within its purpose.
+
+    ``registry`` maps type names to :class:`PDType` so view names in
+    the purpose resolve to field sets.  Non-PD parameters can be
+    excluded by name via ``ignore_params``.
+    """
+
+    def __init__(self, registry: Mapping[str, PDType]) -> None:
+        self._registry = dict(registry)
+
+    def check(
+        self,
+        purpose: Purpose,
+        implementation: Callable,
+        ignore_params: FrozenSet[str] = frozenset(),
+    ) -> MatchReport:
+        allowed = purpose.allowed_fields(self._registry)
+        try:
+            source = textwrap.dedent(inspect.getsource(implementation))
+            tree = python_ast.parse(source)
+        except (OSError, TypeError, SyntaxError, IndentationError):
+            return MatchReport(
+                purpose=purpose.name,
+                matches=False,
+                verifiable=False,
+                allowed_fields=allowed,
+                violations=["source code unavailable for analysis"],
+            )
+
+        try:
+            signature = inspect.signature(implementation)
+            params = {
+                name
+                for name in signature.parameters
+                if name not in ignore_params
+            }
+        except (TypeError, ValueError):
+            params = set()
+
+        collector = _AccessCollector(params)
+        collector.visit(tree)
+        violations = list(collector.violations)
+        overreach = collector.accessed - allowed
+        if overreach:
+            violations.append(
+                f"accesses fields outside the declared views: {sorted(overreach)}"
+            )
+        return MatchReport(
+            purpose=purpose.name,
+            matches=not violations,
+            verifiable=True,
+            accessed_fields=frozenset(collector.accessed),
+            allowed_fields=allowed,
+            violations=violations,
+        )

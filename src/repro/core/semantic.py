@@ -1,0 +1,231 @@
+"""Semantic purpose–implementation matching (§ 3(4)).
+
+Paper: *"checking if a processing's implementation matches its purpose
+is a challenging problem which is not yet addressed in rgpdOS.  We
+plan to investigate approaches borrowed from several research domains
+such as Semantic and AI."*
+
+``repro.core.purposes.PurposeMatcher`` covers the *mechanical* half of
+that plan (field-access and leak-construct analysis).  This module is
+the *semantic* half: does the implementation's vocabulary — its name,
+identifiers, docstring — actually talk about what the purpose
+declaration says it is for?
+
+The approach is deliberately classic NLP-lite, fully offline:
+
+1. tokenise both sides (splitting ``snake_case`` and ``camelCase``,
+   light plural/verb stemming, stop-word removal);
+2. expand both token sets through a small GDPR-domain concept
+   ontology (``compute ≈ calculate ≈ derive``, ``age ≈ birthdate ≈
+   year`` …);
+3. score the overlap of the *expanded* sets (Jaccard on concepts),
+   so "Compute the age of the input user" matches ``compute_age``
+   even with zero shared surface tokens.
+
+A low score is a *signal*, not a verdict — exactly how the PS treats
+the mechanical matcher's findings: it raises the paper's sysadmin
+alert rather than rejecting outright.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Set
+
+from .purposes import Purpose
+
+#: Words carrying no semantic weight in either purposes or code.
+_STOP_WORDS = frozenset(
+    """a an and are as at be by for from in into is it its no not of on or
+    per that the this to via with input output return value values data
+    get set self arg args kwargs result results item items entry entries
+    def if else none true false""".split()
+)
+
+#: The domain ontology: concept → surface forms that evoke it.  Small
+#: on purpose: the point is the mechanism, extensible per deployment
+#: via ``extra_concepts``.
+_DEFAULT_CONCEPTS: Dict[str, FrozenSet[str]] = {
+    "compute": frozenset(
+        {"compute", "calculate", "calc", "derive", "determine", "evaluate"}
+    ),
+    "aggregate": frozenset(
+        {"aggregate", "average", "mean", "sum", "count", "histogram",
+         "statistic", "stats", "analytic", "analytics", "total"}
+    ),
+    "age": frozenset(
+        {"age", "birthdate", "birth", "year", "old", "decade", "dob"}
+    ),
+    "identity": frozenset(
+        {"name", "identity", "profile", "user", "person", "subject",
+         "account", "customer"}
+    ),
+    "contact": frozenset(
+        {"email", "mail", "address", "phone", "contact", "newsletter",
+         "notify", "notification"}
+    ),
+    "marketing": frozenset(
+        {"marketing", "promo", "promotion", "advertise", "ad", "ads",
+         "campaign", "offer", "deal"}
+    ),
+    "payment": frozenset(
+        {"payment", "pay", "billing", "invoice", "charge", "price",
+         "amount", "order", "purchase", "ship", "shipping", "fulfil",
+         "fulfilment", "fulfillment"}
+    ),
+    "health": frozenset(
+        {"health", "medical", "diagnosis", "diagnose", "patient",
+         "clinical", "imaging", "scan", "modality"}
+    ),
+    "erase": frozenset(
+        {"erase", "delete", "forget", "remove", "purge", "destroy"}
+    ),
+    "export": frozenset(
+        {"export", "access", "portability", "download", "report", "dump"}
+    ),
+    "location": frozenset(
+        {"location", "city", "geo", "region", "country", "place"}
+    ),
+    "security": frozenset(
+        {"password", "pwd", "credential", "secret", "token", "auth",
+         "authentication", "login"}
+    ),
+}
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+_NON_WORD = re.compile(r"[^a-zA-Z]+")
+
+
+def tokenize(text: str) -> Set[str]:
+    """Split text and identifiers into lowercase stemmed tokens.
+
+    >>> sorted(tokenize("computeAverageAge of the users"))
+    ['average', 'age', 'compute', 'user'] != ...  # doctest: +SKIP
+    """
+    expanded = _CAMEL_BOUNDARY.sub(" ", text)
+    raw = _NON_WORD.split(expanded)
+    tokens: Set[str] = set()
+    for word in raw:
+        word = word.lower()
+        if not word or word in _STOP_WORDS or len(word) < 2:
+            continue
+        tokens.add(_stem(word))
+    return tokens
+
+
+def _stem(word: str) -> str:
+    """A tiny suffix stripper: plural/gerund/past forms collapse."""
+    for suffix in ("ings", "ing", "ers", "ies", "es", "ed", "er", "s"):
+        if word.endswith(suffix) and len(word) - len(suffix) >= 3:
+            stripped = word[: -len(suffix)]
+            if suffix == "ies":
+                stripped += "y"
+            return stripped
+    return word
+
+
+def _implementation_tokens(implementation: Callable) -> Set[str]:
+    """Tokens from the function's name, docstring and identifiers."""
+    tokens = tokenize(getattr(implementation, "__name__", ""))
+    doc = inspect.getdoc(implementation) or ""
+    tokens |= tokenize(doc)
+    try:
+        source = textwrap.dedent(inspect.getsource(implementation))
+        tree = python_ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return tokens
+    for node in python_ast.walk(tree):
+        if isinstance(node, python_ast.Name):
+            tokens |= tokenize(node.id)
+        elif isinstance(node, python_ast.Attribute):
+            tokens |= tokenize(node.attr)
+        elif isinstance(node, python_ast.arg):
+            tokens |= tokenize(node.arg)
+        elif isinstance(node, python_ast.Constant) and isinstance(
+            node.value, str
+        ):
+            tokens |= tokenize(node.value)
+    return tokens
+
+
+@dataclass
+class SemanticReport:
+    """Outcome of one semantic similarity check."""
+
+    purpose: str
+    score: float
+    shared_concepts: FrozenSet[str]
+    purpose_concepts: FrozenSet[str]
+    implementation_concepts: FrozenSet[str]
+    plausible: bool
+    threshold: float
+
+    def summary(self) -> str:
+        verdict = "plausible" if self.plausible else "SUSPICIOUS"
+        return (
+            f"purpose {self.purpose!r}: semantic similarity "
+            f"{self.score:.2f} ({verdict}; shared concepts: "
+            f"{sorted(self.shared_concepts) or 'none'})"
+        )
+
+
+class SemanticMatcher:
+    """Concept-overlap similarity between purposes and implementations."""
+
+    def __init__(
+        self,
+        extra_concepts: Dict[str, Iterable[str]] = None,
+        threshold: float = 0.2,
+    ) -> None:
+        self._concepts: Dict[str, FrozenSet[str]] = dict(_DEFAULT_CONCEPTS)
+        for concept, forms in (extra_concepts or {}).items():
+            existing = self._concepts.get(concept, frozenset())
+            self._concepts[concept] = existing | frozenset(
+                _stem(form.lower()) for form in forms
+            )
+        self.threshold = threshold
+
+    def concepts_of(self, tokens: Set[str]) -> FrozenSet[str]:
+        """Map surface tokens to ontology concepts (plus themselves —
+        unknown vocabulary still matches by exact overlap)."""
+        found: Set[str] = set()
+        for concept, forms in self._concepts.items():
+            if tokens & forms:
+                found.add(concept)
+        # Keep rare surface tokens so domain-specific words can match
+        # exactly even without an ontology entry.
+        found |= {t for t in tokens if not self._known(t)}
+        return frozenset(found)
+
+    def _known(self, token: str) -> bool:
+        return any(token in forms for forms in self._concepts.values())
+
+    def check(
+        self, purpose: Purpose, implementation: Callable
+    ) -> SemanticReport:
+        purpose_text = " ".join(
+            [purpose.name, purpose.description]
+            + [type_name for type_name, _ in purpose.uses]
+            + [view or "" for _, view in purpose.uses]
+            + list(purpose.produces)
+        )
+        purpose_concepts = self.concepts_of(tokenize(purpose_text))
+        implementation_concepts = self.concepts_of(
+            _implementation_tokens(implementation)
+        )
+        shared = purpose_concepts & implementation_concepts
+        union = purpose_concepts | implementation_concepts
+        score = len(shared) / len(union) if union else 0.0
+        return SemanticReport(
+            purpose=purpose.name,
+            score=score,
+            shared_concepts=frozenset(shared),
+            purpose_concepts=frozenset(purpose_concepts),
+            implementation_concepts=frozenset(implementation_concepts),
+            plausible=score >= self.threshold,
+            threshold=self.threshold,
+        )

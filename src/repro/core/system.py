@@ -1,0 +1,263 @@
+"""The rgpdOS system facade — the library's main entry point.
+
+:class:`RgpdOS` assembles the full stack of Fig. 4 (left):
+
+* the purpose-kernel **machine** (general-purpose kernel, rgpdOS
+  kernel, one IO driver kernel per device);
+* **DBFS** on its own block device, plus the traditional **NPD
+  filesystem** on a second device;
+* the **Processing Store** (the only entry point), the **built-ins**,
+  the per-invocation **DEDs**, and the **processing log**;
+* the **authority escrow** keys for the right to be forgotten;
+* the **subject-rights** API and the **compliance auditor**.
+
+Typical use::
+
+    os_ = RgpdOS(operator_name="acme")
+    os_.install('''
+        type user { fields { name: string, year_of_birthdate: int };
+                    view v_ano { year_of_birthdate };
+                    consent { stats: v_ano };
+                    collection { web_form: signup.html };
+                    age: 1Y; }
+        purpose stats { description: "Aggregate statistics";
+                        uses: user via v_ano; basis: consent; }
+    ''')
+    ref = os_.collect("user", {"name": "Ada", "year_of_birthdate": 1815},
+                      subject_id="ada", method="web_form")
+    os_.register(my_stats_fn, purpose="stats")
+    result = os_.invoke("my_stats_fn", target="user")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from .. import errors
+from ..kernel.machine import Machine, MachineConfig
+from ..kernel.tee import TEEPlatform
+from ..kernel.subkernel import IORequest
+from ..storage.block import BlockDevice
+from ..storage.dbfs import DatabaseFS
+from ..storage.extfs import FileBasedFS
+from .active_data import PDRef
+from .builtins import EraseReport
+from .clock import Clock
+from .compliance import ComplianceAuditor, ComplianceReport
+from .crypto import Authority
+from .datatypes import PDType
+from .ded import DEDCostModel, InvocationResult
+from .processing_log import ProcessingLog
+from .processing_store import Processing, ProcessingStore
+from .purposes import Purpose
+from .rights import SubjectRights
+
+
+def _device_driver(device: BlockDevice) -> Callable[[IORequest], bytes]:
+    """Adapt a block device to the IO-driver-kernel interface."""
+
+    def driver(request: IORequest) -> bytes:
+        block_no = int(request.target)
+        if request.op == "read":
+            return device.read(block_no)
+        device.write(block_no, request.payload)
+        return b""
+
+    return driver
+
+
+class RgpdOS:
+    """One GDPR-aware operating system instance."""
+
+    def __init__(
+        self,
+        operator_name: str = "operator",
+        authority: Optional[Authority] = None,
+        machine_config: Optional[MachineConfig] = None,
+        cost_model: Optional[DEDCostModel] = None,
+        key_bits: int = 512,
+        seed: int = 2023,
+        with_machine: bool = True,
+    ) -> None:
+        self.clock = Clock()
+        self.operator_name = operator_name
+        self.authority = authority or Authority(bits=key_bits, seed=seed)
+        self.operator_key = self.authority.issue_operator_key(operator_name)
+
+        # Storage: one device for PD (under DBFS), one for NPD.
+        self.pd_device = BlockDevice()
+        self.dbfs = DatabaseFS(device=self.pd_device, operator_key=self.operator_key)
+        self.npd_fs = FileBasedFS()
+
+        # The GDPR machinery.  Every instance carries a TEE platform so
+        # invocations can opt into enclave-protected DED execution
+        # (paper § 3(3)) with ``invoke(..., use_tee=True)``.
+        self.log = ProcessingLog()
+        self.tee_platform = TEEPlatform(
+            platform_id=f"tee-{operator_name}", seed=seed
+        )
+        from ..kernel.pim import DEDPlacer
+
+        self.ps = ProcessingStore(
+            dbfs=self.dbfs,
+            clock=self.clock,
+            log=self.log,
+            cost_model=cost_model,
+            tee_platform=self.tee_platform,
+            placer=DEDPlacer(),
+        )
+        self.rights = SubjectRights(
+            dbfs=self.dbfs,
+            builtins=self.ps.builtins,
+            log=self.log,
+            clock=self.clock,
+        )
+        self.auditor = ComplianceAuditor(
+            dbfs=self.dbfs,
+            builtins=self.ps.builtins,
+            log=self.log,
+            clock=self.clock,
+        )
+        # Art. 33/34: breach monitoring over the mediation counters.
+        from .breach import BreachMonitor  # deferred: breach uses log types
+
+        self.breach_monitor = BreachMonitor(
+            dbfs=self.dbfs, log=self.log, clock=self.clock
+        )
+
+        # The purpose-kernel machine (optional for lightweight uses).
+        self.machine: Optional[Machine] = None
+        if with_machine:
+            self.machine = Machine(
+                drivers={
+                    "pd-nvme": _device_driver(self.pd_device),
+                    "npd-nvme": _device_driver(self.npd_fs.device),
+                },
+                config=machine_config,
+                clock=self.clock,
+            ).boot()
+            self.machine.rgpdos.mount("dbfs", self.dbfs)
+            self.machine.rgpdos.mount("ps", self.ps)
+            self.machine.rgpdos.mount("log", self.log)
+
+        self._installed_types: Dict[str, PDType] = {}
+        self._installed_purposes: Dict[str, Purpose] = {}
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def install(self, source: str) -> Tuple[Dict[str, PDType], Dict[str, Purpose]]:
+        """Install a DSL source: create its types in DBFS, declare its
+        purposes in the PS.  Returns what was installed."""
+        from ..dsl.loader import load_source  # deferred: dsl sits above core
+
+        types, purposes = load_source(source)
+        for pd_type in types.values():
+            self.install_type(pd_type)
+        for purpose in purposes.values():
+            self.install_purpose(purpose)
+        return types, purposes
+
+    def install_type(self, pd_type: PDType) -> None:
+        """Install one PD type built directly in Python."""
+        self.dbfs.create_type(pd_type, self.ps.builtins.credential)
+        self._installed_types[pd_type.name] = pd_type
+
+    def install_purpose(self, purpose: Purpose) -> None:
+        self.ps.declare_purpose(purpose)
+        self._installed_purposes[purpose.name] = purpose
+
+    def evolve_type(self, new_type: PDType) -> PDType:
+        """Compatibly evolve an installed type (see
+        :meth:`DatabaseFS.evolve_type` for the compatibility rules)."""
+        evolved = self.dbfs.evolve_type(new_type, self.ps.builtins.credential)
+        self._installed_types[new_type.name] = evolved
+        return evolved
+
+    def types(self) -> Dict[str, PDType]:
+        return dict(self._installed_types)
+
+    def purposes(self) -> Dict[str, Purpose]:
+        return dict(self._installed_purposes)
+
+    # ------------------------------------------------------------------
+    # The PS interface (the paper's only entry point)
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        fn: Callable,
+        purpose: Optional[str] = None,
+        name: Optional[str] = None,
+        aggregate: bool = False,
+        sysadmin_approved: bool = False,
+    ) -> Processing:
+        """``ps_register`` — see :meth:`ProcessingStore.ps_register`."""
+        return self.ps.ps_register(
+            fn,
+            purpose=purpose,
+            name=name,
+            aggregate=aggregate,
+            sysadmin_approved=sysadmin_approved,
+        )
+
+    def invoke(
+        self,
+        processing_name: str,
+        target: Union[PDRef, str, Sequence[PDRef], None] = None,
+        **kwargs: object,
+    ) -> Union[InvocationResult, PDRef, EraseReport, None]:
+        """``ps_invoke`` — see :meth:`ProcessingStore.ps_invoke`."""
+        return self.ps.ps_invoke(processing_name, target=target, **kwargs)
+
+    def collect(
+        self,
+        type_name: str,
+        record: Mapping[str, object],
+        subject_id: str,
+        method: str,
+        consents: Optional[Mapping[str, str]] = None,
+    ) -> PDRef:
+        """Collect one PD record (built-in acquisition)."""
+        return self.ps.builtins.acquisition(
+            type_name=type_name,
+            record=record,
+            subject_id=subject_id,
+            method=method,
+            consents=consents,
+        )
+
+    # ------------------------------------------------------------------
+    # Compliance & time
+    # ------------------------------------------------------------------
+
+    def audit(self) -> ComplianceReport:
+        return self.auditor.audit()
+
+    def advance_time(self, seconds: float) -> float:
+        """Move simulated time forward (TTL expiry etc.)."""
+        return self.clock.advance(seconds)
+
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot across the stack."""
+        snapshot: Dict[str, object] = {
+            "clock": self.clock.now(),
+            "dbfs": {
+                "types": self.dbfs.list_types(),
+                "records": len(self.dbfs.all_uids()),
+                "subjects": len(self.dbfs.list_subjects()),
+                "stores": self.dbfs.stats.stores,
+                "deletes": self.dbfs.stats.deletes,
+                "denied_accesses": self.dbfs.stats.denied_accesses,
+            },
+            "pd_device": {
+                "reads": self.pd_device.stats.reads,
+                "writes": self.pd_device.stats.writes,
+                "used_blocks": self.pd_device.used_blocks,
+            },
+            "log": self.log.activity_report(),
+        }
+        if self.machine is not None:
+            snapshot["machine"] = self.machine.resource_report()
+        return snapshot

@@ -1,0 +1,217 @@
+"""Cross-operator PD transfer (GDPR Art. 20 data portability).
+
+The paper's membrane records PD origin as possibly "another data
+operator" — implying controller-to-controller transfers.  This module
+implements them between two rgpdOS instances:
+
+* :func:`export_package` — one subject's PD as a self-contained,
+  machine-readable package: schema descriptions, records, membranes,
+  and the remaining TTL of each piece (storage limitation travels with
+  the data);
+* :func:`import_package` — install the package at a destination
+  operator: types are auto-installed from the packaged schemas when
+  absent, membranes are *rebuilt* rather than copied —
+
+  - origin becomes ``third_party`` (the destination did not collect
+    this PD from the subject),
+  - only the consents the **subject personally granted** travel; the
+    source operator's legitimate-basis defaults do not bind the
+    destination (it has its own),
+  - the TTL clock does not reset: the destination gets the time the
+    source had left, never more.
+
+Erased PD is never exported (there is nothing lawful to move).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from .. import errors
+from .active_data import PDRef
+from .datatypes import ORIGIN_THIRD_PARTY, PDType
+from .membrane import BASIS_CONSENT, Membrane
+from .system import RgpdOS
+
+PACKAGE_FORMAT = "rgpdos-transfer/1"
+
+
+@dataclass
+class TransferOutcome:
+    """Result of one import."""
+
+    subject_id: str
+    imported: List[PDRef] = field(default_factory=list)
+    skipped_erased: int = 0
+    types_installed: List[str] = field(default_factory=list)
+
+
+def export_package(system: RgpdOS, subject_id: str) -> Dict[str, object]:
+    """Build a portable package of one subject's live PD."""
+    export = system.dbfs.export_subject(
+        subject_id, system.ps.builtins.credential
+    )
+    records = []
+    skipped = 0
+    skipped_expired = 0
+    for entry in export["records"]:
+        if entry.get("erased") or entry["data"] is None:
+            skipped += 1
+            continue
+        membrane = entry["membrane"]
+        remaining = _remaining_ttl(membrane, system.clock.now())
+        if remaining is not None and remaining <= 0:
+            # Storage limitation travels with the data: PD past its
+            # TTL has no lawful life left to transfer.
+            skipped_expired += 1
+            continue
+        records.append(
+            {
+                "pd_type": entry["pd_type"],
+                "data": entry["data"],
+                "membrane": membrane,
+                "remaining_ttl": remaining,
+            }
+        )
+    return {
+        "format": PACKAGE_FORMAT,
+        "source_operator": system.operator_name,
+        "subject_id": subject_id,
+        "exported_at": system.clock.now(),
+        "schemas": export["schemas"],
+        "records": records,
+        "skipped_erased": skipped,
+        "skipped_expired": skipped_expired,
+    }
+
+
+def _remaining_ttl(membrane: Mapping[str, object], now: float) -> Optional[float]:
+    ttl = membrane.get("ttl_seconds")
+    if ttl is None:
+        return None
+    created_at = membrane.get("created_at", 0.0)
+    return max(0.0, created_at + ttl - now)  # type: ignore[operator]
+
+
+def export_json(system: RgpdOS, subject_id: str) -> str:
+    """The package as a JSON document (the Art. 20 wire format)."""
+
+    def default(value: object) -> object:
+        if isinstance(value, bytes):
+            return {"__bytes__": value.hex()}
+        raise TypeError(type(value).__name__)
+
+    return json.dumps(
+        export_package(system, subject_id), sort_keys=True, default=default
+    )
+
+
+def import_package(
+    system: RgpdOS,
+    package: Mapping[str, object],
+    install_missing_types: bool = True,
+) -> TransferOutcome:
+    """Install a transfer package at the destination operator."""
+    if package.get("format") != PACKAGE_FORMAT:
+        raise errors.GDPRError(
+            f"unknown transfer package format {package.get('format')!r}"
+        )
+    subject_id = package["subject_id"]
+    outcome = TransferOutcome(
+        subject_id=subject_id,  # type: ignore[arg-type]
+        skipped_erased=int(package.get("skipped_erased", 0)),
+    )
+    now = system.clock.now()
+
+    for record_entry in package["records"]:  # type: ignore[union-attr]
+        type_name = record_entry["pd_type"]
+        if type_name not in system.dbfs.list_types():
+            if not install_missing_types:
+                raise errors.UnknownTypeError(
+                    f"destination has no type {type_name!r} and "
+                    "auto-install is disabled"
+                )
+            description = package["schemas"][type_name]  # type: ignore[index]
+            pd_type = PDType.from_description(description)
+            system.install_type(pd_type)
+            outcome.types_installed.append(type_name)
+
+        pd_type = system.dbfs.get_type(type_name)
+        membrane = _rebuild_membrane(
+            record_entry["membrane"],  # type: ignore[arg-type]
+            record_entry.get("remaining_ttl"),  # type: ignore[arg-type]
+            pd_type,
+            now,
+            source_operator=str(package.get("source_operator", "unknown")),
+        )
+        from ..storage.query import StoreRequest
+
+        ref = system.dbfs.store(
+            StoreRequest(
+                pd_type=type_name,
+                record=dict(record_entry["data"]),  # type: ignore[arg-type]
+                membrane_json=membrane.to_json(),
+            ),
+            system.ps.builtins.credential,
+        )
+        outcome.imported.append(ref)
+        system.log.record(
+            at=now,
+            purpose="builtin_acquisition",
+            processing="transfer:import",
+            outcome="completed",
+            accesses=(),
+            detail=f"imported {ref.uid} from "
+                   f"{package.get('source_operator')}",
+        )
+    return outcome
+
+
+def _rebuild_membrane(
+    source: Mapping[str, object],
+    remaining_ttl: Optional[float],
+    pd_type: PDType,
+    now: float,
+    source_operator: str,
+) -> Membrane:
+    """Destination membrane: third-party origin, subject consents only."""
+    membrane = Membrane(
+        pd_type=pd_type.name,
+        subject_id=source["subject_id"],  # type: ignore[arg-type]
+        origin=ORIGIN_THIRD_PARTY,
+        sensitivity=source.get("sensitivity", pd_type.sensitivity),  # type: ignore[arg-type]
+        created_at=now,
+        # Export refuses overdue PD, so a non-None value here is
+        # strictly positive; the explicit None check avoids ever
+        # turning a zero TTL into an unlimited one.
+        ttl_seconds=remaining_ttl if remaining_ttl is not None else None,
+        collection={"third_party": source_operator},
+    )
+    subject_id = source["subject_id"]
+    for purpose, decision in sorted(
+        source.get("consents", {}).items()  # type: ignore[union-attr]
+    ):
+        # Only consents the subject personally granted travel; the
+        # source's legitimate-interest defaults stay at the source.
+        if (
+            decision.get("basis") == BASIS_CONSENT
+            and decision.get("granted_by") == subject_id
+            and decision.get("scope") != "none"
+        ):
+            scope = decision["scope"]
+            # The scope must still make sense against the destination's
+            # (possibly differently-versioned) type.
+            try:
+                pd_type.scope_fields(scope)
+            except errors.ViewError:
+                continue
+            membrane.grant(
+                purpose,
+                scope,
+                basis=BASIS_CONSENT,
+                at=now,
+                by=subject_id,
+            )
+    return membrane

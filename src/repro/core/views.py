@@ -1,0 +1,92 @@
+"""Data-type views — the paper's data-minimisation mechanism.
+
+Listing 1 declares views inside a type::
+
+    view v_name { name };
+    view v_ano  { year_of_birthdate };
+
+A *view* is a named projection of a PD type: the set of fields a
+purpose consented "via that view" is allowed to observe.  Two scopes
+are built in (they appear in Listing 1's consent block):
+
+* ``all``  — every field of the type is visible;
+* ``none`` — the purpose may not process the type at all.
+
+Consent entries therefore map a purpose to a *scope name*: ``all``,
+``none``, or a declared view.  :func:`resolve_scope_fields` turns a
+scope into the concrete field set, given the type's declared fields
+and views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from .. import errors
+
+#: Scope meaning "every field" (Listing 1: ``purpose1: all``).
+SCOPE_ALL = "all"
+#: Scope meaning "no access at all" (Listing 1: ``purpose2: none``).
+SCOPE_NONE = "none"
+
+RESERVED_SCOPES = frozenset({SCOPE_ALL, SCOPE_NONE})
+
+
+@dataclass(frozen=True)
+class View:
+    """A named field projection over a PD type."""
+
+    name: str
+    fields: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise errors.ViewError("view must have a name")
+        if self.name in RESERVED_SCOPES:
+            raise errors.ViewError(
+                f"view name {self.name!r} collides with a reserved scope"
+            )
+        if not self.fields:
+            raise errors.ViewError(f"view {self.name!r} exposes no fields")
+
+    def project(self, record: Mapping[str, object]) -> Dict[str, object]:
+        """Return only the fields this view exposes.
+
+        Fields declared by the view but absent from the record are
+        silently skipped: minimisation never *adds* data.
+        """
+        return {key: record[key] for key in self.fields if key in record}
+
+    def covers(self, field_name: str) -> bool:
+        return field_name in self.fields
+
+
+def resolve_scope_fields(
+    scope: str,
+    all_fields: FrozenSet[str],
+    views: Mapping[str, View],
+) -> Optional[FrozenSet[str]]:
+    """Resolve a consent scope to the set of visible fields.
+
+    Returns ``None`` for the ``none`` scope (no access), the full field
+    set for ``all``, and the view's field set for a named view.
+    Unknown scope names raise :class:`ViewError` — a consent must never
+    silently widen or narrow.
+    """
+    if scope == SCOPE_NONE:
+        return None
+    if scope == SCOPE_ALL:
+        return all_fields
+    view = views.get(scope)
+    if view is None:
+        raise errors.ViewError(
+            f"consent references unknown view {scope!r} "
+            f"(declared views: {sorted(views)})"
+        )
+    undeclared = view.fields - all_fields
+    if undeclared:
+        raise errors.ViewError(
+            f"view {scope!r} exposes undeclared fields {sorted(undeclared)}"
+        )
+    return view.fields

@@ -1,0 +1,13 @@
+"""The rgpdOS declaration languages.
+
+Listing 1's type-declaration language (fields, views, consent,
+collection, origin/TTL/sensitivity) and the paper's "very high level"
+purpose language, as one grammar: ``lexer`` → ``parser`` →
+``ast`` → ``loader`` (which produces runtime ``PDType``/``Purpose``
+objects).  ``load_source`` is the one-call entry point.
+"""
+
+from .loader import load_program, load_purpose, load_source, load_type
+from .parser import parse
+
+__all__ = ["load_program", "load_purpose", "load_source", "load_type", "parse"]

@@ -1,0 +1,110 @@
+"""AST nodes of the declaration languages.
+
+Plain dataclasses; the parser builds them, the loader turns them into
+runtime objects (:class:`~repro.core.datatypes.PDType`,
+:class:`~repro.core.purposes.Purpose`).  Keeping an explicit AST stage
+lets tests check the grammar independently of the semantics and lets
+the loader report *semantic* errors (unknown view in a consent, say)
+with declaration-level context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """``name: string [sensitive, optional]``"""
+
+    name: str
+    type_name: str
+    modifiers: Tuple[str, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ViewDecl:
+    """``view v_name { name };``"""
+
+    name: str
+    fields: Tuple[str, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ConsentEntry:
+    """``purpose1: all`` inside a consent block."""
+
+    purpose: str
+    scope: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CollectionEntry:
+    """``web_form: user_form.html`` inside a collection block."""
+
+    method: str
+    artefact: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class TypeDecl:
+    """One ``type <name> { ... }`` declaration (Listing 1)."""
+
+    name: str
+    fields: Tuple[FieldDecl, ...]
+    views: Tuple[ViewDecl, ...] = ()
+    consent: Tuple[ConsentEntry, ...] = ()
+    collection: Tuple[CollectionEntry, ...] = ()
+    scalars: Dict[str, str] = field(default_factory=dict)
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UsesDecl:
+    """``uses: user via v_ano;`` inside a purpose declaration."""
+
+    type_name: str
+    view: Optional[str] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class PurposeDecl:
+    """One ``purpose <name> { ... }`` declaration.
+
+    The paper's very-high-level purpose language: what the processing
+    is for (description), which types/views it needs (uses), what PD
+    it may produce (produces), and its lawful basis.
+    """
+
+    name: str
+    description: str = ""
+    uses: Tuple[UsesDecl, ...] = ()
+    produces: Tuple[str, ...] = ()
+    basis: str = "consent"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    """A parsed source file: type and purpose declarations, in order."""
+
+    types: Tuple[TypeDecl, ...] = ()
+    purposes: Tuple[PurposeDecl, ...] = ()
+
+    def type_named(self, name: str) -> Optional[TypeDecl]:
+        for decl in self.types:
+            if decl.name == name:
+                return decl
+        return None
+
+    def purpose_named(self, name: str) -> Optional[PurposeDecl]:
+        for decl in self.purposes:
+            if decl.name == name:
+                return decl
+        return None

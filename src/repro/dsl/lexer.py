@@ -1,0 +1,177 @@
+"""Lexer for the rgpdOS declaration languages.
+
+Two surface languages share this token stream:
+
+* the **type declaration language** of Listing 1 (``type user { ... }``),
+* the **purpose declaration language** the paper introduces as "a new
+  very high level language as purposes should probably be written by
+  the project manager" (``purpose compute_age { ... }``).
+
+The token inventory is small: punctuation, quoted strings, numbers,
+durations (``1Y``, ``90D`` — a number immediately followed by letters,
+as in Listing 1's ``age: 1Y``), and words.  Words are deliberately
+permissive — they include dots and dashes — because collection entries
+name artefacts like ``user_form.html`` and ``fetch_data.py`` bare.
+
+Comments: ``//`` and ``#`` to end of line, ``/* ... */`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .. import errors
+
+# Token types.
+LBRACE = "LBRACE"
+RBRACE = "RBRACE"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+COLON = "COLON"
+COMMA = "COMMA"
+SEMI = "SEMI"
+STRING = "STRING"
+NUMBER = "NUMBER"
+DURATION = "DURATION"
+WORD = "WORD"
+EOF = "EOF"
+
+_PUNCT = {
+    "{": LBRACE,
+    "}": RBRACE,
+    "[": LBRACKET,
+    "]": RBRACKET,
+    ":": COLON,
+    ",": COMMA,
+    ";": SEMI,
+}
+
+_WORD_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-/"
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based)."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Streaming tokenizer; :func:`tokenize` is the convenience entry."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self) -> str:
+        return self.source[self.pos] if self.pos < len(self.source) else ""
+
+    def _peek2(self) -> str:
+        return self.source[self.pos : self.pos + 2]
+
+    def _advance(self) -> str:
+        char = self.source[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and all three comment forms."""
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "#" or self._peek2() == "//":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif self._peek2() == "/*":
+                start_line, start_col = self.line, self.column
+                self._advance()
+                self._advance()
+                while self.pos < len(self.source) and self._peek2() != "*/":
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise errors.LexerError(
+                        "unterminated block comment", start_line, start_col
+                    )
+                self._advance()
+                self._advance()
+            else:
+                return
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        quote = self._advance()
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise errors.LexerError("unterminated string", line, column)
+            char = self._advance()
+            if char == quote:
+                return Token(STRING, "".join(chars), line, column)
+            if char == "\\" and self._peek() in (quote, "\\"):
+                chars.append(self._advance())
+            else:
+                chars.append(char)
+
+    def _lex_number_or_duration(self) -> Token:
+        line, column = self.line, self.column
+        digits: List[str] = []
+        while self._peek().isdigit() or self._peek() == ".":
+            digits.append(self._advance())
+        suffix: List[str] = []
+        while self._peek().isalpha():
+            suffix.append(self._advance())
+        text = "".join(digits)
+        if suffix:
+            return Token(DURATION, text + "".join(suffix), line, column)
+        return Token(NUMBER, text, line, column)
+
+    def _lex_word(self) -> Token:
+        line, column = self.line, self.column
+        chars: List[str] = []
+        while self._peek() in _WORD_CHARS:
+            chars.append(self._advance())
+        return Token(WORD, "".join(chars), line, column)
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                yield Token(EOF, "", self.line, self.column)
+                return
+            char = self._peek()
+            if char in _PUNCT:
+                line, column = self.line, self.column
+                self._advance()
+                yield Token(_PUNCT[char], char, line, column)
+            elif char in "\"'":
+                yield self._lex_string()
+            elif char.isdigit():
+                yield self._lex_number_or_duration()
+            elif char in _WORD_CHARS:
+                yield self._lex_word()
+            else:
+                raise errors.LexerError(
+                    f"unexpected character {char!r}", self.line, self.column
+                )
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a full declaration source (EOF token included)."""
+    return list(Lexer(source).tokens())

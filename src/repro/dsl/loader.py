@@ -1,0 +1,187 @@
+"""Loader: declaration ASTs → runtime objects.
+
+The loader is the semantic phase of the DSL pipeline: it converts a
+parsed :class:`~repro.dsl.ast.Program` into
+:class:`~repro.core.datatypes.PDType` and
+:class:`~repro.core.purposes.Purpose` objects, resolving durations,
+modifiers and the paper's own spellings:
+
+* ``age: 1Y`` — Listing 1 spells the time-to-live entry ``age``; the
+  loader accepts ``age``, ``ttl`` and ``time_to_live``;
+* ``sensitivity: hight`` — the listing's typo is accepted as ``high``;
+* field modifiers ``[sensitive]`` and ``[optional]``.
+
+All semantic errors (unknown view in a consent entry, unknown field in
+a view, bad duration) surface as :class:`~repro.errors.SemanticError`
+with the declaration name in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .. import errors
+from ..core.clock import parse_duration
+from ..core.datatypes import (
+    FIELD_TYPES,
+    ORIGINS,
+    SENSITIVITY_LEVELS,
+    FieldDef,
+    PDType,
+)
+from ..core.purposes import Purpose
+from ..core.views import View
+from .ast import Program, PurposeDecl, TypeDecl
+from .parser import parse
+
+_TTL_KEYS = ("age", "ttl", "time_to_live")
+_SENSITIVITY_ALIASES = {"hight": "high"}  # Listing 1 spells it "hight"
+_TYPE_ALIASES = {
+    "str": "string",
+    "integer": "int",
+    "boolean": "bool",
+    "double": "float",
+}
+_KNOWN_SCALARS = frozenset({"origin", "sensitivity", *_TTL_KEYS})
+
+
+def load_type(decl: TypeDecl) -> PDType:
+    """Build a :class:`PDType` from one ``type`` declaration."""
+    fields: List[FieldDef] = []
+    for f in decl.fields:
+        type_name = _TYPE_ALIASES.get(f.type_name, f.type_name)
+        if type_name not in FIELD_TYPES:
+            raise errors.SemanticError(
+                f"type {decl.name!r}: field {f.name!r} has unknown type "
+                f"{f.type_name!r} (valid: {sorted(FIELD_TYPES)})"
+            )
+        unknown_modifiers = set(f.modifiers) - {"sensitive", "optional"}
+        if unknown_modifiers:
+            raise errors.SemanticError(
+                f"type {decl.name!r}: field {f.name!r} has unknown "
+                f"modifiers {sorted(unknown_modifiers)}"
+            )
+        fields.append(
+            FieldDef(
+                name=f.name,
+                field_type=type_name,
+                required="optional" not in f.modifiers,
+                sensitive="sensitive" in f.modifiers,
+            )
+        )
+
+    views: Dict[str, View] = {}
+    for v in decl.views:
+        if v.name in views:
+            raise errors.SemanticError(
+                f"type {decl.name!r}: duplicate view {v.name!r}"
+            )
+        if not v.fields:
+            raise errors.SemanticError(
+                f"type {decl.name!r}: view {v.name!r} lists no fields"
+            )
+        views[v.name] = View(name=v.name, fields=frozenset(v.fields))
+
+    consent: Dict[str, str] = {}
+    for entry in decl.consent:
+        if entry.purpose in consent:
+            raise errors.SemanticError(
+                f"type {decl.name!r}: duplicate consent entry for "
+                f"purpose {entry.purpose!r}"
+            )
+        consent[entry.purpose] = entry.scope
+
+    collection = {e.method: e.artefact for e in decl.collection}
+
+    unknown_scalars = set(decl.scalars) - _KNOWN_SCALARS
+    if unknown_scalars:
+        raise errors.SemanticError(
+            f"type {decl.name!r}: unknown entries {sorted(unknown_scalars)}"
+        )
+
+    origin = decl.scalars.get("origin", "subject")
+    if origin not in ORIGINS:
+        raise errors.SemanticError(
+            f"type {decl.name!r}: unknown origin {origin!r} (valid: {ORIGINS})"
+        )
+
+    sensitivity = decl.scalars.get("sensitivity", "low")
+    sensitivity = _SENSITIVITY_ALIASES.get(sensitivity, sensitivity)
+    if sensitivity not in SENSITIVITY_LEVELS:
+        raise errors.SemanticError(
+            f"type {decl.name!r}: unknown sensitivity {sensitivity!r} "
+            f"(valid: {SENSITIVITY_LEVELS})"
+        )
+
+    ttl_seconds = None
+    ttl_entries = [key for key in _TTL_KEYS if key in decl.scalars]
+    if len(ttl_entries) > 1:
+        raise errors.SemanticError(
+            f"type {decl.name!r}: multiple TTL entries {ttl_entries}"
+        )
+    if ttl_entries:
+        ttl_seconds = parse_duration(decl.scalars[ttl_entries[0]])
+        if ttl_seconds == 0:
+            raise errors.SemanticError(
+                f"type {decl.name!r}: zero TTL"
+            )
+
+    try:
+        return PDType(
+            name=decl.name,
+            fields=tuple(fields),
+            views=views,
+            default_consent=consent,
+            collection=collection,
+            origin=origin,
+            ttl_seconds=ttl_seconds,
+            sensitivity=sensitivity,
+        )
+    except errors.SchemaViolationError as exc:
+        raise errors.SemanticError(f"type {decl.name!r}: {exc}") from exc
+
+
+def load_purpose(decl: PurposeDecl) -> Purpose:
+    """Build a :class:`Purpose` from one ``purpose`` declaration."""
+    uses: Tuple[Tuple[str, object], ...] = tuple(
+        (u.type_name, u.view) for u in decl.uses
+    )
+    try:
+        return Purpose(
+            name=decl.name,
+            description=decl.description,
+            uses=uses,  # type: ignore[arg-type]
+            produces=decl.produces,
+            basis=decl.basis,
+        )
+    except errors.RegistrationError as exc:
+        raise errors.SemanticError(f"purpose {decl.name!r}: {exc}") from exc
+
+
+def load_program(program: Program) -> Tuple[Dict[str, PDType], Dict[str, Purpose]]:
+    """Load every declaration; cross-checks purposes against types.
+
+    A purpose that uses an undeclared type or view fails here, not at
+    invocation time — the sysadmin learns about configuration mistakes
+    when the declarations are installed.
+    """
+    types = {decl.name: load_type(decl) for decl in program.types}
+    purposes = {decl.name: load_purpose(decl) for decl in program.purposes}
+    for purpose in purposes.values():
+        for type_name, view_name in purpose.uses:
+            pd_type = types.get(type_name)
+            if pd_type is None:
+                raise errors.SemanticError(
+                    f"purpose {purpose.name!r} uses undeclared type {type_name!r}"
+                )
+            if view_name is not None and view_name not in pd_type.views:
+                raise errors.SemanticError(
+                    f"purpose {purpose.name!r} uses unknown view {view_name!r} "
+                    f"of type {type_name!r}"
+                )
+    return types, purposes
+
+
+def load_source(source: str) -> Tuple[Dict[str, PDType], Dict[str, Purpose]]:
+    """Parse and load a declaration source in one step."""
+    return load_program(parse(source))

@@ -1,0 +1,332 @@
+"""Recursive-descent parser for the declaration languages.
+
+Grammar (terminals in caps; ``?`` optional, ``*`` repetition; commas
+and semicolons between entries are accepted liberally, matching the
+loose punctuation of Listing 1)::
+
+    program     := (type_decl | purpose_decl)* EOF
+    type_decl   := "type" WORD "{" type_item* "}" SEMI?
+    type_item   := fields_block | view_block | consent_block
+                 | collection_block | scalar
+    fields_block:= "fields" "{" field (sep field)* "}" SEMI?
+    field       := WORD ":" WORD modifiers?
+    modifiers   := "[" WORD (sep WORD)* "]"
+    view_block  := "view" WORD "{" WORD (sep WORD)* "}" SEMI?
+    consent_block := "consent" "{" (WORD ":" WORD sep?)* "}" SEMI?
+    collection_block := "collection" "{" (WORD ":" value sep?)* "}" SEMI?
+    scalar      := WORD ":" value SEMI?
+    value       := WORD | STRING | NUMBER | DURATION
+
+    purpose_decl := "purpose" WORD "{" purpose_item* "}" SEMI?
+    purpose_item := "description" ":" STRING SEMI?
+                  | "uses" ":" WORD ("via" WORD)? SEMI?
+                  | "produces" ":" WORD (sep WORD)* SEMI?
+                  | "basis" ":" WORD SEMI?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import errors
+from .ast import (
+    CollectionEntry,
+    ConsentEntry,
+    FieldDecl,
+    Program,
+    PurposeDecl,
+    TypeDecl,
+    UsesDecl,
+    ViewDecl,
+)
+from .lexer import (
+    COLON,
+    COMMA,
+    DURATION,
+    EOF,
+    LBRACE,
+    LBRACKET,
+    NUMBER,
+    RBRACE,
+    RBRACKET,
+    SEMI,
+    STRING,
+    WORD,
+    Token,
+    tokenize,
+)
+
+_VALUE_TYPES = (WORD, STRING, NUMBER, DURATION)
+
+
+class Parser:
+    """One-token-lookahead recursive descent over the token list."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type != EOF:
+            self._index += 1
+        return token
+
+    def _expect(self, token_type: str, what: str = "") -> Token:
+        token = self.current
+        if token.type != token_type:
+            expected = what or token_type.lower()
+            raise errors.ParseError(
+                f"expected {expected}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, token_type: str) -> Optional[Token]:
+        if self.current.type == token_type:
+            return self._advance()
+        return None
+
+    def _skip_separators(self) -> None:
+        while self.current.type in (COMMA, SEMI):
+            self._advance()
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._expect(WORD, f"keyword {keyword!r}")
+        if token.value != keyword:
+            raise errors.ParseError(
+                f"expected keyword {keyword!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def _value(self) -> Token:
+        token = self.current
+        if token.type not in _VALUE_TYPES:
+            raise errors.ParseError(
+                f"expected a value, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    # -- program ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        types: List[TypeDecl] = []
+        purposes: List[PurposeDecl] = []
+        self._skip_separators()
+        while self.current.type != EOF:
+            keyword = self.current
+            if keyword.type != WORD:
+                raise errors.ParseError(
+                    f"expected 'type' or 'purpose', found {keyword.value!r}",
+                    keyword.line,
+                    keyword.column,
+                )
+            if keyword.value == "type":
+                types.append(self._parse_type())
+            elif keyword.value == "purpose":
+                purposes.append(self._parse_purpose())
+            else:
+                raise errors.ParseError(
+                    f"unknown top-level declaration {keyword.value!r}",
+                    keyword.line,
+                    keyword.column,
+                )
+            self._skip_separators()
+        self._check_duplicates(types, purposes)
+        return Program(types=tuple(types), purposes=tuple(purposes))
+
+    @staticmethod
+    def _check_duplicates(
+        types: List[TypeDecl], purposes: List[PurposeDecl]
+    ) -> None:
+        seen_types: Dict[str, int] = {}
+        for decl in types:
+            if decl.name in seen_types:
+                raise errors.ParseError(
+                    f"duplicate type declaration {decl.name!r}", decl.line, 0
+                )
+            seen_types[decl.name] = decl.line
+        seen_purposes: Dict[str, int] = {}
+        for decl in purposes:
+            if decl.name in seen_purposes:
+                raise errors.ParseError(
+                    f"duplicate purpose declaration {decl.name!r}", decl.line, 0
+                )
+            seen_purposes[decl.name] = decl.line
+
+    # -- type declarations ----------------------------------------------------------
+
+    def _parse_type(self) -> TypeDecl:
+        start = self._expect_keyword("type")
+        name = self._expect(WORD, "type name")
+        self._expect(LBRACE)
+        fields: Tuple[FieldDecl, ...] = ()
+        views: List[ViewDecl] = []
+        consent: List[ConsentEntry] = []
+        collection: List[CollectionEntry] = []
+        scalars: Dict[str, str] = {}
+
+        self._skip_separators()
+        while self.current.type != RBRACE:
+            item = self._expect(WORD, "a type-body item")
+            if item.value == "fields":
+                if fields:
+                    raise errors.ParseError(
+                        "duplicate fields block", item.line, item.column
+                    )
+                fields = self._parse_fields_block()
+            elif item.value == "view":
+                views.append(self._parse_view_block(item))
+            elif item.value == "consent":
+                consent.extend(self._parse_pair_block("consent scope"))
+            elif item.value == "collection":
+                collection.extend(
+                    CollectionEntry(method=e.purpose, artefact=e.scope, line=e.line)
+                    for e in self._parse_pair_block("collection artefact")
+                )
+            else:
+                # scalar entry: origin / age / ttl / sensitivity / ...
+                self._expect(COLON)
+                value = self._value()
+                if item.value in scalars:
+                    raise errors.ParseError(
+                        f"duplicate entry {item.value!r}", item.line, item.column
+                    )
+                scalars[item.value] = value.value
+            self._skip_separators()
+        self._expect(RBRACE)
+        self._skip_separators()
+        if not fields:
+            raise errors.ParseError(
+                f"type {name.value!r} has no fields block", start.line, start.column
+            )
+        return TypeDecl(
+            name=name.value,
+            fields=fields,
+            views=tuple(views),
+            consent=tuple(consent),
+            collection=tuple(collection),
+            scalars=scalars,
+            line=start.line,
+        )
+
+    def _parse_fields_block(self) -> Tuple[FieldDecl, ...]:
+        self._expect(LBRACE)
+        fields: List[FieldDecl] = []
+        self._skip_separators()
+        while self.current.type != RBRACE:
+            name = self._expect(WORD, "field name")
+            self._expect(COLON)
+            type_name = self._expect(WORD, "field type")
+            modifiers: List[str] = []
+            if self._accept(LBRACKET):
+                self._skip_separators()
+                while self.current.type != RBRACKET:
+                    modifiers.append(self._expect(WORD, "field modifier").value)
+                    self._skip_separators()
+                self._expect(RBRACKET)
+            fields.append(
+                FieldDecl(
+                    name=name.value,
+                    type_name=type_name.value,
+                    modifiers=tuple(modifiers),
+                    line=name.line,
+                )
+            )
+            self._skip_separators()
+        self._expect(RBRACE)
+        return tuple(fields)
+
+    def _parse_view_block(self, keyword: Token) -> ViewDecl:
+        name = self._expect(WORD, "view name")
+        self._expect(LBRACE)
+        fields: List[str] = []
+        self._skip_separators()
+        while self.current.type != RBRACE:
+            fields.append(self._expect(WORD, "field name").value)
+            self._skip_separators()
+        self._expect(RBRACE)
+        return ViewDecl(name=name.value, fields=tuple(fields), line=keyword.line)
+
+    def _parse_pair_block(self, what: str) -> List[ConsentEntry]:
+        """Parse ``{ key: value, ... }``; reused for consent/collection."""
+        self._expect(LBRACE)
+        entries: List[ConsentEntry] = []
+        self._skip_separators()
+        while self.current.type != RBRACE:
+            key = self._expect(WORD, "entry name")
+            self._expect(COLON)
+            value = self._value()
+            entries.append(
+                ConsentEntry(purpose=key.value, scope=value.value, line=key.line)
+            )
+            self._skip_separators()
+        self._expect(RBRACE)
+        return entries
+
+    # -- purpose declarations ----------------------------------------------------------
+
+    def _parse_purpose(self) -> PurposeDecl:
+        start = self._expect_keyword("purpose")
+        name = self._expect(WORD, "purpose name")
+        self._expect(LBRACE)
+        description = ""
+        uses: List[UsesDecl] = []
+        produces: List[str] = []
+        basis = "consent"
+
+        self._skip_separators()
+        while self.current.type != RBRACE:
+            item = self._expect(WORD, "a purpose-body item")
+            self._expect(COLON)
+            if item.value == "description":
+                description = self._value().value
+            elif item.value == "uses":
+                type_name = self._expect(WORD, "PD type name")
+                view: Optional[str] = None
+                if self.current.type == WORD and self.current.value == "via":
+                    self._advance()
+                    view = self._expect(WORD, "view name").value
+                uses.append(
+                    UsesDecl(type_name=type_name.value, view=view, line=item.line)
+                )
+            elif item.value == "produces":
+                produces.append(self._expect(WORD, "produced type name").value)
+                while self._accept(COMMA):
+                    produces.append(
+                        self._expect(WORD, "produced type name").value
+                    )
+            elif item.value == "basis":
+                basis = self._expect(WORD, "lawful basis").value
+            else:
+                raise errors.ParseError(
+                    f"unknown purpose-body item {item.value!r}",
+                    item.line,
+                    item.column,
+                )
+            self._skip_separators()
+        self._expect(RBRACE)
+        return PurposeDecl(
+            name=name.value,
+            description=description,
+            uses=tuple(uses),
+            produces=tuple(produces),
+            basis=basis,
+            line=start.line,
+        )
+
+
+def parse(source: str) -> Program:
+    """Parse a declaration source into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,9 @@
+"""The purpose-kernel machine model and its security mechanisms.
+
+Sub-kernels (IO-driver / general-purpose / rgpdOS) with dynamic
+CPU/memory partitioning and PD-guarding IPC; the syscall boundary with
+seccomp-BPF-like filters and LSM policies (SELinux- and Smack-
+flavoured); the process/address-space model that makes the Fig. 2
+use-after-free observable; SGX-like enclaves for DED protection; and
+the host/PIM/storage DED-placement cost model.
+"""

@@ -1,0 +1,133 @@
+"""Cross-kernel IPC channels.
+
+Sub-kernels cooperate over explicit message channels (there is no
+shared mutable state between kernels in the purpose-kernel model —
+that is the point of the model).  Channels are bounded FIFOs.
+
+One GDPR-relevant rule is enforced right here at the transport: **raw
+PD never crosses a kernel boundary**.  Messages are scanned with
+:func:`repro.core.active_data.contains_raw_pd`; anything carrying an
+unwrapped record or view is rejected with :class:`PDLeakError`.
+Applications exchange :class:`~repro.core.active_data.PDRef` values
+instead, matching the paper's "rgpdOS instead returns a reference or
+ID".
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from .. import errors
+from ..core.active_data import contains_raw_pd
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One IPC message between kernels."""
+
+    sender: str
+    recipient: str
+    topic: str
+    payload: object = None
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+
+class Channel:
+    """A bounded FIFO between exactly two kernels."""
+
+    def __init__(self, a: str, b: str, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise errors.IPCError(f"invalid channel capacity {capacity}")
+        if a == b:
+            raise errors.IPCError("a channel must connect two distinct kernels")
+        self.endpoints = frozenset({a, b})
+        self.capacity = capacity
+        self._queues: Dict[str, Deque[Message]] = {a: deque(), b: deque()}
+        self.sent_count = 0
+        self.rejected_count = 0
+
+    def _peer(self, endpoint: str) -> str:
+        if endpoint not in self.endpoints:
+            raise errors.IPCError(
+                f"{endpoint!r} is not an endpoint of this channel"
+            )
+        (other,) = self.endpoints - {endpoint}
+        return other
+
+    def send(self, sender: str, topic: str, payload: object = None) -> Message:
+        """Queue a message toward the peer; rejects raw PD payloads."""
+        recipient = self._peer(sender)
+        if contains_raw_pd(payload):
+            self.rejected_count += 1
+            raise errors.PDLeakError(
+                f"raw PD may not cross the {sender!r}->{recipient!r} kernel "
+                "boundary; send a PDRef instead"
+            )
+        queue = self._queues[recipient]
+        if len(queue) >= self.capacity:
+            raise errors.IPCError(
+                f"channel to {recipient!r} is full ({self.capacity} messages)"
+            )
+        message = Message(sender=sender, recipient=recipient, topic=topic, payload=payload)
+        queue.append(message)
+        self.sent_count += 1
+        return message
+
+    def recv(self, recipient: str) -> Optional[Message]:
+        """Dequeue the next message for ``recipient`` (None if empty)."""
+        if recipient not in self.endpoints:
+            raise errors.IPCError(
+                f"{recipient!r} is not an endpoint of this channel"
+            )
+        queue = self._queues[recipient]
+        return queue.popleft() if queue else None
+
+    def pending(self, recipient: str) -> int:
+        if recipient not in self.endpoints:
+            raise errors.IPCError(
+                f"{recipient!r} is not an endpoint of this channel"
+            )
+        return len(self._queues[recipient])
+
+
+class Switchboard:
+    """All channels of one machine, indexed by kernel pair."""
+
+    def __init__(self) -> None:
+        self._channels: Dict[frozenset, Channel] = {}
+
+    def connect(self, a: str, b: str, capacity: int = 256) -> Channel:
+        key = frozenset({a, b})
+        if key in self._channels:
+            raise errors.IPCError(f"channel {a!r}<->{b!r} already exists")
+        channel = Channel(a, b, capacity)
+        self._channels[key] = channel
+        return channel
+
+    def channel(self, a: str, b: str) -> Channel:
+        channel = self._channels.get(frozenset({a, b}))
+        if channel is None:
+            raise errors.IPCError(f"no channel between {a!r} and {b!r}")
+        return channel
+
+    def send(self, sender: str, recipient: str, topic: str, payload: object = None) -> Message:
+        return self.channel(sender, recipient).send(sender, topic, payload)
+
+    def recv(self, recipient: str, sender: str) -> Optional[Message]:
+        return self.channel(sender, recipient).recv(recipient)
+
+    def peers_of(self, kernel: str) -> List[str]:
+        peers = []
+        for key in self._channels:
+            if kernel in key:
+                (peer,) = key - {kernel}
+                peers.append(peer)
+        return sorted(peers)
+
+    def total_messages(self) -> int:
+        return sum(ch.sent_count for ch in self._channels.values())

@@ -1,0 +1,237 @@
+"""Linux-Security-Module-like hook framework.
+
+Paper § 2: *"DBFS can only be accessed through the components of
+rgpdOS ... every direct access attempt from the outside is blocked by
+using a security mechanism (e.g., Linux Security Module)"*; § 3(2):
+*"we observed that SELinux and Smack can do the job."*
+
+We reproduce the part of LSM that the claims rest on: mandatory,
+label-based access control evaluated on every syscall after seccomp.
+The policy engine is SELinux-flavoured type enforcement:
+
+* every process carries a **domain label** (``rgpdos_app_t``,
+  ``rgpdos_ded_t``, ...);
+* every object carries a **type label** (``dbfs_t``, ``ps_t``,
+  ``extfs_t``, ...);
+* an access is allowed only if an ``allow(domain, type, syscalls)``
+  rule covers it — default deny for any labelled object.
+
+Unlabelled objects are untouched (like SELinux's unconfined types for
+the NPD filesystem): the policy constrains PD paths without breaking
+the general-purpose side of the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .. import errors
+from .syscalls import (
+    SYS_DBFS_QUERY,
+    SYS_DBFS_STORE,
+    SYS_PS_INVOKE,
+    SYS_PS_REGISTER,
+    SyscallContext,
+)
+
+# Canonical labels of the rgpdOS policy.
+LABEL_APP = "rgpdos_app_t"          # main applications (f1 / main)
+LABEL_DED = "rgpdos_ded_t"          # Data Execution Domain instances
+LABEL_PS = "rgpdos_ps_t"            # the Processing Store component
+LABEL_SYSADMIN = "rgpdos_sysadmin_t"
+LABEL_UNCONFINED = "unconfined_t"   # processes on the general-purpose kernel
+
+OBJ_DBFS = "dbfs_t"                 # the PD filesystem
+OBJ_PS = "ps_t"                     # the processing store
+OBJ_EXTFS = "extfs_t"               # the NPD filesystem
+OBJ_UNLABELED = ""
+
+
+@dataclass(frozen=True)
+class AllowRule:
+    """``allow <domain> <object-type> { syscalls... }``"""
+
+    domain: str
+    object_type: str
+    syscalls: FrozenSet[str]
+
+
+@dataclass
+class AccessVectorCache:
+    """Counts decisions, like the real AVC; useful for benchmarks."""
+
+    hits: int = 0
+    allowed: int = 0
+    denied: int = 0
+
+
+class LSMPolicy:
+    """A set of allow rules plus a decision procedure.
+
+    Use :func:`rgpdos_policy` for the policy the paper implies; custom
+    policies can be assembled for experiments (e.g. FIG2 runs the
+    baseline with *no* LSM confinement of the DB engine).
+    """
+
+    def __init__(self, name: str = "policy") -> None:
+        self.name = name
+        self._rules: Set[AllowRule] = set()
+        self._index: Dict[Tuple[str, str], Set[str]] = {}
+        self.avc = AccessVectorCache()
+        self.denial_log: List[SyscallContext] = []
+
+    def allow(self, domain: str, object_type: str, syscalls: FrozenSet[str]) -> None:
+        """Add an allow rule (idempotent union per domain/type pair)."""
+        rule = AllowRule(domain, object_type, frozenset(syscalls))
+        self._rules.add(rule)
+        self._index.setdefault((domain, object_type), set()).update(syscalls)
+
+    def decide(self, context: SyscallContext) -> Optional[str]:
+        """LSM guard: None to allow, a reason string to deny."""
+        self.avc.hits += 1
+        if not context.target_label:
+            # Unlabelled object: outside the mandatory policy.
+            self.avc.allowed += 1
+            return None
+        permitted = self._index.get((context.label, context.target_label), set())
+        if context.syscall in permitted:
+            self.avc.allowed += 1
+            return None
+        self.avc.denied += 1
+        self.denial_log.append(context)
+        return (
+            f"LSM policy {self.name!r}: domain {context.label!r} may not "
+            f"{context.syscall} objects of type {context.target_label!r}"
+        )
+
+    def rules(self) -> FrozenSet[AllowRule]:
+        return frozenset(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+def rgpdos_policy() -> LSMPolicy:
+    """The type-enforcement policy encoding the paper's four rules.
+
+    1. PS is the only component able to access stored processings —
+       only ``rgpdos_ps_t`` touches ``ps_t`` storage;
+    2. PS is the only entry point to invoke a processing — apps may
+       call ``ps_register``/``ps_invoke`` on ``ps_t``, nothing else;
+    3. (membrane presence is enforced structurally in DBFS itself);
+    4. DED is the only component able to access DBFS directly — only
+       ``rgpdos_ded_t`` gets ``dbfs_query``/``dbfs_store`` on
+       ``dbfs_t``.
+    """
+    policy = LSMPolicy(name="rgpdos")
+    policy.allow(
+        LABEL_APP, OBJ_PS, frozenset({SYS_PS_REGISTER, SYS_PS_INVOKE})
+    )
+    policy.allow(
+        LABEL_SYSADMIN, OBJ_PS, frozenset({SYS_PS_REGISTER, SYS_PS_INVOKE})
+    )
+    policy.allow(
+        LABEL_DED, OBJ_DBFS, frozenset({SYS_DBFS_QUERY, SYS_DBFS_STORE})
+    )
+    # PS may consult its own processing storage.
+    policy.allow(
+        LABEL_PS, OBJ_PS, frozenset({SYS_PS_REGISTER, SYS_PS_INVOKE})
+    )
+    return policy
+
+
+def permissive_policy() -> LSMPolicy:
+    """A policy with no labelled objects enforced — the general-purpose
+    OS of Fig. 2, where nothing mediates the DB engine's file accesses.
+    """
+    return LSMPolicy(name="permissive")
+
+
+# ---------------------------------------------------------------------------
+# Smack-flavoured alternative (§ 3(2): "SELinux and Smack can do the job")
+# ---------------------------------------------------------------------------
+
+#: Smack's built-in labels: ``*`` objects are accessible to everyone,
+#: ``_`` (floor) objects are readable by everyone.
+SMACK_STAR = "*"
+SMACK_FLOOR = "_"
+
+#: Smack access modes; syscalls map onto them.
+SMACK_READ = "r"
+SMACK_WRITE = "w"
+SMACK_EXECUTE = "x"
+
+_SYSCALL_MODES: Dict[str, str] = {
+    SYS_DBFS_QUERY: SMACK_READ,
+    SYS_DBFS_STORE: SMACK_WRITE,
+    SYS_PS_REGISTER: SMACK_WRITE,
+    SYS_PS_INVOKE: SMACK_EXECUTE,
+}
+
+
+class SmackPolicy:
+    """Simplified Smack: label equality plus explicit access rules.
+
+    Decision procedure (mirroring the Smack kernel's):
+
+    1. subject label == object label → allow (self access);
+    2. object label ``*`` → allow; object label ``_`` → allow reads;
+    3. otherwise an explicit rule ``(subject, object) → modes`` must
+       grant the syscall's access mode; default deny.
+
+    Unlabelled objects are outside the policy, like the SELinux-style
+    engine, so the two are drop-in interchangeable as the machine's
+    LSM — which is the point of reproducing both.
+    """
+
+    def __init__(self, name: str = "smack") -> None:
+        self.name = name
+        self._rules: Dict[Tuple[str, str], Set[str]] = {}
+        self.avc = AccessVectorCache()
+        self.denial_log: List[SyscallContext] = []
+
+    def allow(self, subject: str, obj: str, modes: str) -> None:
+        """``smackload``-style rule: modes is a string like "rw"."""
+        self._rules.setdefault((subject, obj), set()).update(modes)
+
+    @staticmethod
+    def mode_of(syscall: str) -> str:
+        """Map a syscall to its Smack access mode (reads by default)."""
+        return _SYSCALL_MODES.get(syscall, SMACK_READ)
+
+    def decide(self, context: SyscallContext) -> Optional[str]:
+        self.avc.hits += 1
+        obj = context.target_label
+        if not obj:
+            self.avc.allowed += 1
+            return None
+        mode = self.mode_of(context.syscall)
+        allowed = (
+            context.label == obj
+            or obj == SMACK_STAR
+            or (obj == SMACK_FLOOR and mode == SMACK_READ)
+            or mode in self._rules.get((context.label, obj), set())
+        )
+        if allowed:
+            self.avc.allowed += 1
+            return None
+        self.avc.denied += 1
+        self.denial_log.append(context)
+        return (
+            f"Smack policy {self.name!r}: subject {context.label!r} lacks "
+            f"{mode!r} access to object {obj!r}"
+        )
+
+
+def rgpdos_smack_policy() -> SmackPolicy:
+    """The rgpdOS enforcement rules, expressed in Smack terms."""
+    policy = SmackPolicy(name="rgpdos-smack")
+    # Rule 4: only the DED reads/writes DBFS.
+    policy.allow(LABEL_DED, OBJ_DBFS, "rw")
+    # Rules 1-2: apps and the sysadmin may only *execute* PS entry
+    # points and register (write) processings; nothing else touches it.
+    policy.allow(LABEL_APP, OBJ_PS, "wx")
+    policy.allow(LABEL_SYSADMIN, OBJ_PS, "wx")
+    policy.allow(LABEL_PS, OBJ_PS, "rwx")
+    return policy

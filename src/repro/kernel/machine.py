@@ -1,0 +1,213 @@
+"""The machine: sub-kernels assembled per the purpose-kernel model.
+
+Figure 3 (right) of the paper shows one physical machine running the
+general-purpose kernel (NPD side) and rgpdOS (PD side) concurrently,
+with IO devices each behind their own driver kernel, and CPU/memory
+dynamically partitioned among them.  :class:`Machine` is that
+assembly:
+
+* it creates the kernels and leases them cores and memory frames,
+* it wires pairwise IPC channels (GP↔drivers, rgpdOS↔drivers,
+  GP↔rgpdOS for reference passing),
+* it exposes :meth:`rebalance_cores` / :meth:`rebalance_memory` —
+  the dynamic cooperation the model calls for,
+* it owns the shared simulation clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .. import errors
+from ..core.clock import Clock
+from .ipc import Switchboard
+from .lsm import LSMPolicy, rgpdos_policy
+from .memory import MemoryManager
+from .scheduler import CPUPartitioner, Scheduler, Task
+from .subkernel import (
+    GeneralPurposeKernel,
+    IODriverKernel,
+    IORequest,
+    RgpdOSKernel,
+    SubKernel,
+)
+
+
+@dataclass
+class MachineConfig:
+    """Sizing knobs for a simulated machine."""
+
+    total_cores: int = 8
+    total_frames: int = 262144
+    rgpdos_cores: int = 3
+    gp_cores: int = 3
+    driver_cores_each: int = 1
+    rgpdos_frames: int = 131072
+    gp_frames: int = 98304
+    driver_frames_each: int = 4096
+
+    def validate(self, driver_count: int) -> None:
+        need_cores = (
+            self.rgpdos_cores + self.gp_cores + driver_count * self.driver_cores_each
+        )
+        if need_cores > self.total_cores:
+            raise errors.ResourcePartitionError(
+                f"config needs {need_cores} cores, machine has {self.total_cores}"
+            )
+        need_frames = (
+            self.rgpdos_frames
+            + self.gp_frames
+            + driver_count * self.driver_frames_each
+        )
+        if need_frames > self.total_frames:
+            raise errors.ResourcePartitionError(
+                f"config needs {need_frames} frames, machine has {self.total_frames}"
+            )
+
+
+class Machine:
+    """One physical machine running the purpose-kernel aggregation."""
+
+    def __init__(
+        self,
+        drivers: Optional[Dict[str, Callable[[IORequest], bytes]]] = None,
+        config: Optional[MachineConfig] = None,
+        clock: Optional[Clock] = None,
+        rgpdos_lsm: Optional[LSMPolicy] = None,
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.clock = clock or Clock()
+        drivers = drivers or {}
+        self.config.validate(len(drivers))
+
+        self.memory = MemoryManager(self.config.total_frames)
+        self.cpus = CPUPartitioner(self.config.total_cores)
+        self.scheduler = Scheduler(self.cpus)
+        self.switchboard = Switchboard()
+
+        self.rgpdos = RgpdOSKernel(lsm=rgpdos_lsm or rgpdos_policy())
+        self.gp = GeneralPurposeKernel()
+        self.driver_kernels: Dict[str, IODriverKernel] = {}
+        for device_name, driver in sorted(drivers.items()):
+            kernel = IODriverKernel(
+                name=f"drv-{device_name}", device_name=device_name, driver=driver
+            )
+            self.driver_kernels[device_name] = kernel
+
+        self._booted = False
+
+    # -- boot ---------------------------------------------------------------
+
+    def boot(self) -> "Machine":
+        """Partition resources and wire the kernels together."""
+        if self._booted:
+            raise errors.KernelError("machine already booted")
+        self.cpus.assign(self.rgpdos.name, self.config.rgpdos_cores)
+        self.cpus.assign(self.gp.name, self.config.gp_cores)
+        self.memory.create_partition(self.rgpdos.name, self.config.rgpdos_frames)
+        self.memory.create_partition(self.gp.name, self.config.gp_frames)
+        self.scheduler.register_kernel(self.rgpdos.name)
+        self.scheduler.register_kernel(self.gp.name)
+
+        for kernel in self.all_kernels():
+            kernel.attach_switchboard(self.switchboard)
+
+        for kernel in self.driver_kernels.values():
+            self.cpus.assign(kernel.name, self.config.driver_cores_each)
+            self.memory.create_partition(
+                kernel.name, self.config.driver_frames_each
+            )
+            self.scheduler.register_kernel(kernel.name)
+            # Both data-plane kernels can reach every driver kernel.
+            self.switchboard.connect(self.gp.name, kernel.name)
+            self.switchboard.connect(self.rgpdos.name, kernel.name)
+
+        # Reference-passing channel between the two big kernels.
+        self.switchboard.connect(self.gp.name, self.rgpdos.name)
+        self._booted = True
+        return self
+
+    def all_kernels(self) -> List[SubKernel]:
+        return [self.rgpdos, self.gp, *self.driver_kernels.values()]
+
+    def _require_booted(self) -> None:
+        if not self._booted:
+            raise errors.KernelError("machine not booted; call boot() first")
+
+    # -- dynamic partitioning ---------------------------------------------------
+
+    def rebalance_cores(self, donor: str, receiver: str, cores: int) -> None:
+        """Move cores between kernels at runtime."""
+        self._require_booted()
+        donor_cores = self.cpus.cores_of(donor)
+        if cores > len(donor_cores):
+            raise errors.ResourcePartitionError(
+                f"kernel {donor!r} holds {len(donor_cores)} cores, "
+                f"cannot give {cores}"
+            )
+        for core in donor_cores[:cores]:
+            self.cpus.reassign_core(core, receiver)
+
+    def rebalance_memory(self, donor: str, receiver: str, frames: int) -> None:
+        self._require_booted()
+        self.memory.rebalance(donor, receiver, frames)
+
+    # -- work submission ---------------------------------------------------------
+
+    def submit(self, kernel_name: str, task: Task) -> None:
+        self._require_booted()
+        self.scheduler.submit(kernel_name, task)
+
+    def run(self, max_ticks: int = 1_000_000) -> int:
+        """Drive the scheduler until all queues drain.
+
+        Driver kernels additionally drain their IPC queues each tick
+        (serving forwarded IO).  Returns ticks consumed; the clock
+        advances by the scheduler quantum per tick.
+        """
+        self._require_booted()
+        ticks = 0
+        while True:
+            pending_tasks = any(
+                self.scheduler.pending(k.name) for k in self.all_kernels()
+            )
+            pending_io = any(
+                self.switchboard.channel(self.gp.name, drv.name).pending(drv.name)
+                or self.switchboard.channel(self.rgpdos.name, drv.name).pending(drv.name)
+                for drv in self.driver_kernels.values()
+            )
+            if not pending_tasks and not pending_io:
+                return ticks
+            self.scheduler.tick()
+            for drv in self.driver_kernels.values():
+                drv.drain_ipc(self.gp.name)
+                drv.drain_ipc(self.rgpdos.name)
+            self.clock.advance(self.scheduler.quantum_seconds)
+            ticks += 1
+            if ticks >= max_ticks:
+                raise errors.KernelError(
+                    f"machine did not quiesce within {max_ticks} ticks"
+                )
+
+    # -- introspection ---------------------------------------------------------
+
+    def resource_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-kernel snapshot of cores, memory, IO and CPU time."""
+        self._require_booted()
+        report: Dict[str, Dict[str, object]] = {}
+        for kernel in self.all_kernels():
+            partition = self.memory.partition(kernel.name)
+            entry: Dict[str, object] = {
+                "category": kernel.category,
+                "cores": self.cpus.cores_of(kernel.name),
+                "frames": partition.size,
+                "frames_used": len(partition.used),
+                "cpu_seconds": self.scheduler.cpu_time.get(kernel.name, 0.0),
+                "processes": len(kernel.processes()),
+            }
+            if isinstance(kernel, IODriverKernel):
+                entry["io_requests"] = kernel.served_requests
+                entry["pd_io_requests"] = kernel.pd_requests
+            report[kernel.name] = entry
+        return report

@@ -1,0 +1,174 @@
+"""Machine memory partitioned among sub-kernels.
+
+Paper § 2 (purpose kernel model): *"The different kernels cooperate to
+(dynamically) partition CPU and memory resources."*
+
+The :class:`MemoryManager` owns the machine's frame pool and leases
+disjoint partitions to kernels.  Partitions can grow and shrink at
+runtime (the *dynamic* part); a kernel can never allocate beyond its
+partition, which is what keeps PD frames (rgpdOS's partition) and NPD
+frames (the general-purpose kernel's) physically disjoint in the
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .. import errors
+
+#: Default frame size in bytes (4 KiB pages).
+FRAME_SIZE = 4096
+
+
+@dataclass
+class Partition:
+    """One kernel's lease on a set of frames."""
+
+    kernel: str
+    frames: Set[int] = field(default_factory=set)
+    used: Set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.frames)
+
+    @property
+    def free(self) -> int:
+        return len(self.frames) - len(self.used)
+
+    def utilization(self) -> float:
+        return len(self.used) / len(self.frames) if self.frames else 0.0
+
+
+class MemoryManager:
+    """Leases disjoint frame partitions to sub-kernels.
+
+    All repartitioning goes through :meth:`grow` / :meth:`shrink`,
+    which move only *free* frames: a kernel's in-use memory is never
+    silently reassigned (that would be a cross-kernel data leak).
+    """
+
+    def __init__(self, total_frames: int = 262144) -> None:
+        if total_frames <= 0:
+            raise errors.ResourcePartitionError(
+                f"invalid memory size: {total_frames} frames"
+            )
+        self.total_frames = total_frames
+        self._unassigned: Set[int] = set(range(total_frames))
+        self._partitions: Dict[str, Partition] = {}
+        self.repartition_events: List[Dict[str, object]] = []
+
+    # -- partition lifecycle ---------------------------------------------------
+
+    def create_partition(self, kernel: str, frames: int) -> Partition:
+        if kernel in self._partitions:
+            raise errors.ResourcePartitionError(
+                f"kernel {kernel!r} already has a partition"
+            )
+        if frames > len(self._unassigned):
+            raise errors.ResourcePartitionError(
+                f"cannot lease {frames} frames to {kernel!r}: "
+                f"only {len(self._unassigned)} unassigned"
+            )
+        taken = {self._unassigned.pop() for _ in range(frames)}
+        partition = Partition(kernel=kernel, frames=taken)
+        self._partitions[kernel] = partition
+        return partition
+
+    def partition(self, kernel: str) -> Partition:
+        part = self._partitions.get(kernel)
+        if part is None:
+            raise errors.ResourcePartitionError(
+                f"kernel {kernel!r} has no memory partition"
+            )
+        return part
+
+    def grow(self, kernel: str, frames: int) -> None:
+        """Move ``frames`` unassigned frames into a kernel's partition."""
+        part = self.partition(kernel)
+        if frames > len(self._unassigned):
+            raise errors.ResourcePartitionError(
+                f"cannot grow {kernel!r} by {frames}: "
+                f"only {len(self._unassigned)} unassigned frames"
+            )
+        for _ in range(frames):
+            part.frames.add(self._unassigned.pop())
+        self.repartition_events.append(
+            {"kernel": kernel, "delta": frames, "size": part.size}
+        )
+
+    def shrink(self, kernel: str, frames: int) -> None:
+        """Return ``frames`` *free* frames from a kernel to the pool."""
+        part = self.partition(kernel)
+        free_frames = part.frames - part.used
+        if frames > len(free_frames):
+            raise errors.ResourcePartitionError(
+                f"cannot shrink {kernel!r} by {frames}: "
+                f"only {len(free_frames)} free frames in its partition"
+            )
+        for _ in range(frames):
+            frame = free_frames.pop()
+            part.frames.discard(frame)
+            self._unassigned.add(frame)
+        self.repartition_events.append(
+            {"kernel": kernel, "delta": -frames, "size": part.size}
+        )
+
+    def rebalance(self, donor: str, receiver: str, frames: int) -> None:
+        """Atomically move free frames from one kernel to another."""
+        self.shrink(donor, frames)
+        self.grow(receiver, frames)
+
+    # -- per-kernel allocation ---------------------------------------------------
+
+    def alloc_frames(self, kernel: str, count: int) -> List[int]:
+        """Allocate frames *within* a kernel's partition."""
+        part = self.partition(kernel)
+        free_frames = list(part.frames - part.used)
+        if count > len(free_frames):
+            raise errors.OutOfSpaceError(
+                f"kernel {kernel!r} partition exhausted: "
+                f"{len(free_frames)} free, {count} requested"
+            )
+        taken = free_frames[:count]
+        part.used.update(taken)
+        return taken
+
+    def free_frames(self, kernel: str, frames: List[int]) -> None:
+        part = self.partition(kernel)
+        for frame in frames:
+            if frame not in part.used:
+                raise errors.ResourcePartitionError(
+                    f"kernel {kernel!r} freeing frame {frame} it does not hold"
+                )
+            part.used.discard(frame)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def unassigned_frames(self) -> int:
+        return len(self._unassigned)
+
+    def partitions(self) -> Dict[str, Partition]:
+        return dict(self._partitions)
+
+    def frame_owner(self, frame: int) -> str:
+        """Which kernel holds a frame ('' if unassigned)."""
+        for name, part in self._partitions.items():
+            if frame in part.frames:
+                return name
+        return ""
+
+    def assert_disjoint(self) -> None:
+        """Invariant check: no frame belongs to two partitions."""
+        seen: Dict[int, str] = {}
+        for name, part in self._partitions.items():
+            for frame in part.frames:
+                if frame in seen:
+                    raise errors.ResourcePartitionError(
+                        f"frame {frame} leased to both {seen[frame]!r} "
+                        f"and {name!r}"
+                    )
+                seen[frame] = name

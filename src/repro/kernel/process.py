@@ -1,0 +1,154 @@
+"""Process model: address spaces, allocation, and the Fig. 2 hazard.
+
+Idea 2 of the paper contrasts two worlds:
+
+* **process-centric** (current OSes): "the process brings data to its
+  domain (virtual address space)... A function which should not access
+  some PD could still gain access to them (e.g., accidentally due to a
+  use-after-free vulnerability).  Fig. 2 illustrates such a situation
+  where function f2 accidentally accesses pd2."
+* **data-centric** (rgpdOS): "reverses this power balance and runs the
+  function in the PD's domain."
+
+To make that contrast *observable* (the FIG2 experiment), the
+simulated :class:`AddressSpace` reproduces the allocator behaviour
+that makes use-after-free dangerous in real systems: ``free`` does not
+clear the cell, and ``malloc`` reuses the most recently freed address
+first (a LIFO quarantine-free free list, like common malloc fast
+bins).  A dangling pointer therefore reads whatever was or now is in
+the cell — including another subject's PD.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import errors
+from .syscalls import SyscallContext, SyscallTable
+
+_pid_counter = itertools.count(100)
+
+
+@dataclass
+class _Cell:
+    value: object
+    allocated: bool
+
+
+class AddressSpace:
+    """A simulated heap: integer addresses mapping to Python values.
+
+    This is one process's *domain* in the paper's vocabulary.  The
+    class deliberately allows dangling reads (:meth:`load` on a freed
+    address) — it returns the stale value and records the violation in
+    :attr:`uaf_events` so experiments can count accidental PD
+    exposures instead of crashing.
+    """
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self._cells: Dict[int, _Cell] = {}
+        self._free_list: List[int] = []  # LIFO reuse, like malloc fastbins
+        self._next_addr = 0x1000
+        self.uaf_events: List[Tuple[int, object]] = []
+
+    def malloc(self, value: object) -> int:
+        """Allocate a cell holding ``value``; reuses freed cells first."""
+        if self._free_list:
+            addr = self._free_list.pop()
+            self._cells[addr] = _Cell(value=value, allocated=True)
+            return addr
+        addr = self._next_addr
+        self._next_addr += 0x10
+        self._cells[addr] = _Cell(value=value, allocated=True)
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Release a cell.  The value is NOT cleared (no zero-on-free)."""
+        cell = self._cells.get(addr)
+        if cell is None or not cell.allocated:
+            raise errors.DomainViolationError(
+                f"free of invalid address {addr:#x} in domain {self.owner!r}"
+            )
+        cell.allocated = False
+        self._free_list.append(addr)
+
+    def load(self, addr: int) -> object:
+        """Read a cell.
+
+        Reading a freed (dangling) address succeeds and returns the
+        *current* contents of the cell — the use-after-free behaviour.
+        The event is recorded for the experiment harness.
+        """
+        cell = self._cells.get(addr)
+        if cell is None:
+            raise errors.DomainViolationError(
+                f"wild read at {addr:#x} in domain {self.owner!r}"
+            )
+        if not cell.allocated:
+            self.uaf_events.append((addr, cell.value))
+        return cell.value
+
+    def store(self, addr: int, value: object) -> None:
+        cell = self._cells.get(addr)
+        if cell is None:
+            raise errors.DomainViolationError(
+                f"wild write at {addr:#x} in domain {self.owner!r}"
+            )
+        cell.value = value
+
+    @property
+    def live_allocations(self) -> int:
+        return sum(1 for cell in self._cells.values() if cell.allocated)
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressSpace(owner={self.owner!r}, "
+            f"live={self.live_allocations}, uaf={len(self.uaf_events)})"
+        )
+
+
+@dataclass
+class Process:
+    """A schedulable process with a domain and a security label."""
+
+    name: str
+    label: str
+    pid: int = field(default_factory=lambda: next(_pid_counter))
+    address_space: AddressSpace = field(default=None)  # type: ignore[assignment]
+    kernel: str = ""
+    alive: bool = True
+    exit_code: Optional[int] = None
+    cpu_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.address_space is None:
+            self.address_space = AddressSpace(owner=self.name)
+
+    def syscall(
+        self,
+        table: SyscallTable,
+        syscall: str,
+        args: Tuple[object, ...] = (),
+        target_label: str = "",
+    ) -> object:
+        """Issue a syscall through ``table`` with this process's identity."""
+        if not self.alive:
+            raise errors.ProcessError(f"process {self.name!r} has exited")
+        context = SyscallContext(
+            syscall=syscall,
+            pid=self.pid,
+            label=self.label,
+            args=args,
+            target_label=target_label,
+        )
+        return table.dispatch(context)
+
+    def exit(self, code: int = 0) -> None:
+        self.alive = False
+        self.exit_code = code
+
+    def __repr__(self) -> str:
+        return f"Process(pid={self.pid}, name={self.name!r}, label={self.label!r})"

@@ -1,0 +1,168 @@
+"""CPU partitioning and per-kernel scheduling.
+
+The purpose-kernel model partitions cores among sub-kernels the same
+way memory is partitioned: each core is owned by exactly one kernel at
+a time, and ownership can move at runtime.  Within its cores, each
+kernel runs a simple round-robin queue of :class:`Task` objects.
+
+A :class:`Task` wraps a generator-style step function: each quantum
+executes one step; the task finishes when the step function reports
+completion.  This keeps the simulation deterministic and lets the
+KRN-P benchmark measure throughput under different core splits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from .. import errors
+
+StepFn = Callable[[], bool]
+"""Runs one quantum of work; returns True when the task is finished."""
+
+
+@dataclass
+class Task:
+    """One schedulable unit of kernel work."""
+
+    name: str
+    step: StepFn
+    kernel: str = ""
+    quanta_used: int = 0
+    finished: bool = False
+
+
+class CPUPartitioner:
+    """Owns the machine's cores and leases them to kernels."""
+
+    def __init__(self, total_cores: int = 8) -> None:
+        if total_cores <= 0:
+            raise errors.ResourcePartitionError(
+                f"invalid core count {total_cores}"
+            )
+        self.total_cores = total_cores
+        self._owner: Dict[int, str] = {}  # core -> kernel
+        self.repartition_events: List[Dict[str, object]] = []
+
+    def assign(self, kernel: str, cores: int) -> List[int]:
+        """Lease ``cores`` unowned cores to ``kernel``."""
+        free = [c for c in range(self.total_cores) if c not in self._owner]
+        if cores > len(free):
+            raise errors.ResourcePartitionError(
+                f"cannot assign {cores} cores to {kernel!r}: "
+                f"{len(free)} free"
+            )
+        taken = free[:cores]
+        for core in taken:
+            self._owner[core] = kernel
+        return taken
+
+    def reassign_core(self, core: int, new_kernel: str) -> None:
+        """Move one core between kernels (the dynamic partitioning)."""
+        if core not in self._owner:
+            raise errors.ResourcePartitionError(f"core {core} is unassigned")
+        old = self._owner[core]
+        self._owner[core] = new_kernel
+        self.repartition_events.append(
+            {"core": core, "from": old, "to": new_kernel}
+        )
+
+    def cores_of(self, kernel: str) -> List[int]:
+        return sorted(c for c, k in self._owner.items() if k == kernel)
+
+    def owner_of(self, core: int) -> Optional[str]:
+        return self._owner.get(core)
+
+    def assignments(self) -> Dict[str, List[int]]:
+        result: Dict[str, List[int]] = {}
+        for core, kernel in self._owner.items():
+            result.setdefault(kernel, []).append(core)
+        return {k: sorted(v) for k, v in result.items()}
+
+
+class Scheduler:
+    """Round-robin scheduler over kernel-local run queues.
+
+    :meth:`tick` advances the machine by one quantum: every core runs
+    one step of the next runnable task from its owning kernel's queue.
+    """
+
+    def __init__(self, partitioner: CPUPartitioner, quantum_seconds: float = 1e-3) -> None:
+        self.partitioner = partitioner
+        self.quantum_seconds = quantum_seconds
+        self._queues: Dict[str, Deque[Task]] = {}
+        self.cpu_time: Dict[str, float] = {}
+        self.completed: List[Task] = []
+
+    def register_kernel(self, kernel: str) -> None:
+        if kernel in self._queues:
+            raise errors.KernelError(f"kernel {kernel!r} already registered")
+        self._queues[kernel] = deque()
+        self.cpu_time[kernel] = 0.0
+
+    def submit(self, kernel: str, task: Task) -> None:
+        queue = self._queues.get(kernel)
+        if queue is None:
+            raise errors.KernelError(
+                f"kernel {kernel!r} not registered with the scheduler"
+            )
+        task.kernel = kernel
+        queue.append(task)
+
+    def pending(self, kernel: str) -> int:
+        queue = self._queues.get(kernel)
+        return len(queue) if queue is not None else 0
+
+    def tick(self) -> int:
+        """Run one quantum on every core; returns tasks finished."""
+        finished = 0
+        for core in range(self.partitioner.total_cores):
+            kernel = self.partitioner.owner_of(core)
+            if kernel is None:
+                continue
+            queue = self._queues.get(kernel)
+            if not queue:
+                continue
+            task = queue.popleft()
+            done = bool(task.step())
+            task.quanta_used += 1
+            self.cpu_time[kernel] = (
+                self.cpu_time.get(kernel, 0.0) + self.quantum_seconds
+            )
+            if done:
+                task.finished = True
+                self.completed.append(task)
+                finished += 1
+            else:
+                queue.append(task)
+        return finished
+
+    def run_until_idle(self, max_ticks: int = 1_000_000) -> int:
+        """Tick until every queue drains; returns ticks consumed."""
+        ticks = 0
+        while any(self._queues.values()):
+            progressed = self.tick()
+            ticks += 1
+            if ticks >= max_ticks:
+                raise errors.KernelError(
+                    f"scheduler did not drain within {max_ticks} ticks "
+                    "(starved kernel with no cores?)"
+                )
+            # Detect starvation: work pending but no core can serve it.
+            if progressed == 0:
+                served = {
+                    self.partitioner.owner_of(core)
+                    for core in range(self.partitioner.total_cores)
+                }
+                starving = [
+                    k for k, q in self._queues.items() if q and k not in served
+                ]
+                if starving and all(
+                    not q or k in starving for k, q in self._queues.items()
+                ):
+                    raise errors.KernelError(
+                        f"kernels {starving} have pending work but no cores"
+                    )
+        return ticks

@@ -1,0 +1,206 @@
+"""Sub-kernel classes of the purpose-kernel model.
+
+Paper § 2: *"the kernel is the aggregation of several sub-kernels
+where each sub-kernel achieves a specific purpose"*, in three
+categories:
+
+* **IO driver kernels** — one per IO device, "mainly composed of the
+  device driver"; every byte entering or leaving the machine traverses
+  one of these, which is why they sit inside the trusted base.
+* **a general purpose kernel** — hosts and processes NPD, and "does
+  not include IO drivers": its IO requests are forwarded over IPC to a
+  driver kernel.
+* **rgpdOS** — the PD GDPR-aware kernel hosting DBFS, PS and the DED.
+
+Each sub-kernel owns a syscall table, a set of processes, a memory
+partition and a share of the cores.  The :class:`~repro.kernel.
+machine.Machine` assembles them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .. import errors
+from .ipc import Message, Switchboard
+from .lsm import LSMPolicy, permissive_policy
+from .process import Process
+from .syscalls import SyscallContext, SyscallTable
+
+CATEGORY_IO_DRIVER = "io_driver"
+CATEGORY_GENERAL_PURPOSE = "general_purpose"
+CATEGORY_RGPDOS = "rgpdos"
+CATEGORIES = (CATEGORY_IO_DRIVER, CATEGORY_GENERAL_PURPOSE, CATEGORY_RGPDOS)
+
+
+class SubKernel:
+    """Base class: a kernel with its own syscall table and processes."""
+
+    category = ""
+
+    def __init__(self, name: str, lsm: Optional[LSMPolicy] = None) -> None:
+        if not name:
+            raise errors.KernelError("sub-kernel needs a name")
+        self.name = name
+        self.syscalls = SyscallTable()
+        self.lsm = lsm or permissive_policy()
+        self.syscalls.set_lsm(self.lsm.decide)
+        self._processes: Dict[int, Process] = {}
+        self.switchboard: Optional[Switchboard] = None
+
+    # -- processes ---------------------------------------------------------------
+
+    def spawn(self, process: Process) -> Process:
+        """Adopt a process into this kernel."""
+        if process.pid in self._processes:
+            raise errors.ProcessError(
+                f"pid {process.pid} already running on {self.name!r}"
+            )
+        process.kernel = self.name
+        self._processes[process.pid] = process
+        return process
+
+    def processes(self) -> List[Process]:
+        return list(self._processes.values())
+
+    def reap(self) -> List[Process]:
+        """Remove and return exited processes."""
+        dead = [p for p in self._processes.values() if not p.alive]
+        for process in dead:
+            del self._processes[process.pid]
+        return dead
+
+    # -- IPC ---------------------------------------------------------------
+
+    def attach_switchboard(self, switchboard: Switchboard) -> None:
+        self.switchboard = switchboard
+
+    def send(self, recipient: str, topic: str, payload: object = None) -> Message:
+        if self.switchboard is None:
+            raise errors.IPCError(f"kernel {self.name!r} has no switchboard")
+        return self.switchboard.send(self.name, recipient, topic, payload)
+
+    def recv(self, sender: str) -> Optional[Message]:
+        if self.switchboard is None:
+            raise errors.IPCError(f"kernel {self.name!r} has no switchboard")
+        return self.switchboard.recv(self.name, sender)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass
+class IORequest:
+    """One IO operation forwarded to a driver kernel."""
+
+    op: str                      # "read" | "write"
+    target: str                  # device-specific address (path, block...)
+    payload: bytes = b""
+    carries_pd: bool = False     # PD traverses IO devices — tracked
+    origin_kernel: str = ""
+
+
+class IODriverKernel(SubKernel):
+    """A lightweight kernel wrapping one device driver.
+
+    The driver itself is a callable the machine plugs in (e.g. the
+    block device's read/write).  Because PD traverses these kernels,
+    they keep a count of PD-carrying requests: the paper removes IO
+    devices from the general-purpose kernel precisely "because they
+    are traversed by PD", and the KRN-P experiment reports this
+    traffic split.
+    """
+
+    category = CATEGORY_IO_DRIVER
+
+    def __init__(
+        self,
+        name: str,
+        device_name: str,
+        driver: Callable[[IORequest], bytes],
+        lsm: Optional[LSMPolicy] = None,
+    ) -> None:
+        super().__init__(name, lsm)
+        self.device_name = device_name
+        self._driver = driver
+        self.served_requests = 0
+        self.pd_requests = 0
+
+    def serve(self, request: IORequest) -> bytes:
+        """Execute one IO request against the device."""
+        if request.op not in ("read", "write"):
+            raise errors.KernelError(f"unknown IO op {request.op!r}")
+        self.served_requests += 1
+        if request.carries_pd:
+            self.pd_requests += 1
+        return self._driver(request)
+
+    def drain_ipc(self, sender: str) -> int:
+        """Serve every queued IO request from ``sender``; reply inline."""
+        served = 0
+        while True:
+            message = self.recv(sender)
+            if message is None:
+                return served
+            if not isinstance(message.payload, IORequest):
+                raise errors.IPCError(
+                    f"driver kernel {self.name!r} received non-IO payload "
+                    f"on topic {message.topic!r}"
+                )
+            result = self.serve(message.payload)
+            self.send(sender, f"reply:{message.topic}", result)
+            served += 1
+
+
+class GeneralPurposeKernel(SubKernel):
+    """Hosts NPD processing.  Has no IO drivers of its own."""
+
+    category = CATEGORY_GENERAL_PURPOSE
+
+    def __init__(self, name: str = "gp-kernel", lsm: Optional[LSMPolicy] = None) -> None:
+        super().__init__(name, lsm)
+        self.forwarded_io = 0
+
+    def submit_io(self, driver_kernel: str, request: IORequest) -> None:
+        """Forward an IO request to a driver kernel over IPC.
+
+        This is the architectural consequence of stripping IO drivers
+        out of the general-purpose kernel.
+        """
+        request.origin_kernel = self.name
+        self.send(driver_kernel, "io", request)
+        self.forwarded_io += 1
+
+
+class RgpdOSKernel(SubKernel):
+    """The PD kernel: hosts DBFS, PS and DED instances.
+
+    The concrete components are installed by the top-level system
+    facade (``repro.core.system``) to keep this layer free of upward
+    dependencies; the kernel provides the mount points and the LSM
+    confinement around them.
+    """
+
+    category = CATEGORY_RGPDOS
+
+    def __init__(self, name: str = "rgpdos-kernel", lsm: Optional[LSMPolicy] = None) -> None:
+        from .lsm import rgpdos_policy  # deferred: lsm imports syscalls only
+
+        super().__init__(name, lsm or rgpdos_policy())
+        self.components: Dict[str, object] = {}
+
+    def mount(self, component_name: str, component: object) -> None:
+        if component_name in self.components:
+            raise errors.KernelError(
+                f"component {component_name!r} already mounted on {self.name!r}"
+            )
+        self.components[component_name] = component
+
+    def component(self, component_name: str) -> object:
+        component = self.components.get(component_name)
+        if component is None:
+            raise errors.KernelError(
+                f"no component {component_name!r} mounted on {self.name!r}"
+            )
+        return component

@@ -1,0 +1,159 @@
+"""Simulated syscall layer.
+
+The paper's enforcement story is phrased in syscall terms: F_pd^r
+functions "are forbidden to make syscalls that could leak PD (e.g.,
+write)", enforced with "Linux Seccomp BPF" (§ 3(2)).  To reproduce
+that we need an actual syscall boundary to police, so the simulated
+kernels dispatch every privileged operation through this table.
+
+A syscall here is a name plus a handler.  Dispatch runs, in order:
+
+1. the calling process's **seccomp filter** (``repro.kernel.seccomp``),
+2. the kernel's **LSM hooks** (``repro.kernel.lsm``),
+3. the handler itself.
+
+Either guard can deny with :class:`~repro.errors.SyscallDenied` —
+exactly the layering Linux uses (seccomp first, LSM second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .. import errors
+
+# Canonical syscall names used across the simulation.  The leak-prone
+# set mirrors the paper's example (write) plus the obvious exfiltration
+# channels a seccomp profile for F_pd functions must close.
+SYS_READ = "read"
+SYS_WRITE = "write"
+SYS_OPEN = "open"
+SYS_CLOSE = "close"
+SYS_UNLINK = "unlink"
+SYS_SOCKET = "socket"
+SYS_SEND = "send"
+SYS_RECV = "recv"
+SYS_EXEC = "exec"
+SYS_FORK = "fork"
+SYS_MMAP = "mmap"
+SYS_IOCTL = "ioctl"
+SYS_GETPID = "getpid"
+SYS_EXIT = "exit"
+# rgpdOS-specific entry points (PS is the only one reachable by apps).
+SYS_PS_REGISTER = "ps_register"
+SYS_PS_INVOKE = "ps_invoke"
+# DBFS access — reachable only from the DED (enforced by LSM policy).
+SYS_DBFS_QUERY = "dbfs_query"
+SYS_DBFS_STORE = "dbfs_store"
+
+#: Syscalls through which raw bytes can leave a process — the set a
+#: PD-processing sandbox must deny.
+LEAKY_SYSCALLS = frozenset(
+    {SYS_WRITE, SYS_OPEN, SYS_UNLINK, SYS_SOCKET, SYS_SEND, SYS_EXEC,
+     SYS_FORK, SYS_MMAP, SYS_IOCTL}
+)
+
+ALL_SYSCALLS = frozenset(
+    {SYS_READ, SYS_WRITE, SYS_OPEN, SYS_CLOSE, SYS_UNLINK, SYS_SOCKET,
+     SYS_SEND, SYS_RECV, SYS_EXEC, SYS_FORK, SYS_MMAP, SYS_IOCTL,
+     SYS_GETPID, SYS_EXIT, SYS_PS_REGISTER, SYS_PS_INVOKE,
+     SYS_DBFS_QUERY, SYS_DBFS_STORE}
+)
+
+
+@dataclass
+class SyscallContext:
+    """Everything a guard needs to know about one syscall attempt."""
+
+    syscall: str
+    pid: int
+    label: str                      # the caller's security label (LSM)
+    args: Tuple[object, ...] = ()
+    target_label: str = ""          # label of the object being touched
+
+
+@dataclass
+class SyscallRecord:
+    """Audit-trail entry for one dispatched syscall."""
+
+    context: SyscallContext
+    allowed: bool
+    denier: str = ""                # "seccomp" | "lsm" | "" when allowed
+
+
+Handler = Callable[[SyscallContext], object]
+Guard = Callable[[SyscallContext], Optional[str]]
+"""A guard returns None to allow, or a denial reason string."""
+
+
+class SyscallTable:
+    """Register handlers, attach guards, dispatch with full auditing."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Handler] = {}
+        self._seccomp_guards: Dict[int, Guard] = {}  # per-pid
+        self._lsm_guard: Optional[Guard] = None      # kernel-wide
+        self.audit_log: List[SyscallRecord] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register(self, syscall: str, handler: Handler) -> None:
+        if syscall not in ALL_SYSCALLS:
+            raise errors.KernelError(f"unknown syscall {syscall!r}")
+        if syscall in self._handlers:
+            raise errors.KernelError(f"syscall {syscall!r} already registered")
+        self._handlers[syscall] = handler
+
+    def attach_seccomp(self, pid: int, guard: Guard) -> None:
+        """Install a per-process seccomp filter.
+
+        Like the real prctl(PR_SET_SECCOMP), installation is one-way:
+        a process cannot swap its filter for a laxer one.
+        """
+        if pid in self._seccomp_guards:
+            raise errors.KernelError(
+                f"pid {pid} already has a seccomp filter (filters are one-way)"
+            )
+        self._seccomp_guards[pid] = guard
+
+    def set_lsm(self, guard: Guard) -> None:
+        self._lsm_guard = guard
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def dispatch(self, context: SyscallContext) -> object:
+        """Run the guards, then the handler; audit everything."""
+        guard = self._seccomp_guards.get(context.pid)
+        if guard is not None:
+            reason = guard(context)
+            if reason is not None:
+                self.audit_log.append(
+                    SyscallRecord(context, allowed=False, denier="seccomp")
+                )
+                raise errors.SyscallDenied(context.syscall, reason)
+        if self._lsm_guard is not None:
+            reason = self._lsm_guard(context)
+            if reason is not None:
+                self.audit_log.append(
+                    SyscallRecord(context, allowed=False, denier="lsm")
+                )
+                raise errors.SyscallDenied(context.syscall, reason)
+        handler = self._handlers.get(context.syscall)
+        if handler is None:
+            self.audit_log.append(
+                SyscallRecord(context, allowed=False, denier="nosys")
+            )
+            raise errors.KernelError(
+                f"syscall {context.syscall!r} not implemented by this kernel"
+            )
+        self.audit_log.append(SyscallRecord(context, allowed=True))
+        return handler(context)
+
+    # -- audit ---------------------------------------------------------------
+
+    def denials(self) -> List[SyscallRecord]:
+        return [record for record in self.audit_log if not record.allowed]
+
+    def denials_for_pid(self, pid: int) -> List[SyscallRecord]:
+        return [r for r in self.denials() if r.context.pid == pid]

@@ -1,0 +1,230 @@
+"""Trusted-execution-environment (SGX-like) simulation.
+
+Paper § 3(3): *"Different techniques can be used to ensure DED
+protection including TEEs like Intel SGX."*  This module models the
+three SGX properties that matter for protecting a Data Execution
+Domain from a compromised host:
+
+* **Measurement** — an enclave's identity is the hash of the code
+  loaded into it (MRENCLAVE).  The Processing Store records each
+  registered processing's measurement; at invocation time the enclave
+  must measure to exactly that value, so a tampered implementation
+  cannot run in the processing's name.
+* **Memory encryption** — data sealed into the enclave is stored
+  encrypted under an enclave-private key; reads *from outside* the
+  enclave (:meth:`Enclave.read_memory_as_os`) observe ciphertext only,
+  modelling the MEE.  Inside an entered enclave, access is plaintext.
+* **Remote attestation** — the platform signs ``(measurement, nonce)``
+  with a platform key; a verifier with the platform's public part can
+  check both the signature and the expected measurement before
+  releasing PD to the enclave.
+
+Like the rest of the kernel layer this is a *semantic* model: it
+reproduces the protocol structure and the checks, not the silicon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .. import errors
+
+
+def measure_code(code: object) -> str:
+    """MRENCLAVE-style measurement of a processing implementation.
+
+    Accepts a callable (measured by its source), a source string, or
+    raw bytes.  Unreadable callables measure by qualified name —
+    weaker, but still stable and collision-evident.
+    """
+    if callable(code):
+        try:
+            text = inspect.getsource(code)
+        except (OSError, TypeError):
+            text = f"{getattr(code, '__module__', '?')}.{getattr(code, '__qualname__', repr(code))}"
+        payload = text.encode()
+    elif isinstance(code, bytes):
+        payload = code
+    else:
+        payload = str(code).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """A signed statement: "an enclave measuring M runs on platform P"."""
+
+    measurement: str
+    nonce: bytes
+    platform_id: str
+    signature: bytes
+
+
+class Enclave:
+    """One enclave instance: sealed memory + entry discipline."""
+
+    def __init__(self, platform: "TEEPlatform", code: object) -> None:
+        self._platform = platform
+        self.measurement = measure_code(code)
+        self._sealing_key = hashlib.sha256(
+            platform.platform_key + self.measurement.encode()
+        ).digest()
+        self._memory: Dict[str, bytes] = {}
+        self._entered = False
+        self.destroyed = False
+
+    # -- entry discipline (ecall/ocall boundary) ---------------------------
+
+    def enter(self) -> "Enclave":
+        if self.destroyed:
+            raise errors.KernelError("enclave has been destroyed")
+        self._entered = True
+        return self
+
+    def exit(self) -> None:
+        self._entered = False
+
+    def __enter__(self) -> "Enclave":
+        return self.enter()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.exit()
+
+    def _require_entered(self, operation: str) -> None:
+        if not self._entered:
+            raise errors.KernelError(
+                f"enclave memory {operation} outside an enclave entry"
+            )
+
+    # -- sealed memory ----------------------------------------------------------
+
+    def _crypt(self, data: bytes, slot: str) -> bytes:
+        stream = bytearray()
+        counter = 0
+        while len(stream) < len(data):
+            stream.extend(
+                hashlib.sha256(
+                    self._sealing_key + slot.encode()
+                    + counter.to_bytes(4, "big")
+                ).digest()
+            )
+            counter += 1
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+    def store(self, slot: str, value: bytes) -> None:
+        """Seal ``value`` into enclave memory (requires entry)."""
+        self._require_entered("write")
+        self._memory[slot] = self._crypt(value, slot)
+
+    def load(self, slot: str) -> bytes:
+        """Read a sealed value back (requires entry)."""
+        self._require_entered("read")
+        sealed = self._memory.get(slot)
+        if sealed is None:
+            raise errors.KernelError(f"no enclave slot {slot!r}")
+        return self._crypt(sealed, slot)
+
+    def read_memory_as_os(self, slot: str) -> bytes:
+        """What a compromised OS sees when it maps enclave pages:
+        the encrypted bytes, never the plaintext."""
+        sealed = self._memory.get(slot)
+        if sealed is None:
+            raise errors.KernelError(f"no enclave slot {slot!r}")
+        return sealed
+
+    # -- execution ----------------------------------------------------------
+
+    def call(self, fn: Callable, *args: object, **kwargs: object) -> object:
+        """Run ``fn`` inside the enclave.
+
+        The function must be the code the enclave was measured from —
+        swapping implementations after attestation is exactly the
+        attack measurement prevents.
+        """
+        if measure_code(fn) != self.measurement:
+            raise errors.KernelError(
+                "code identity mismatch: this enclave was measured from "
+                "different code"
+            )
+        with self:
+            return fn(*args, **kwargs)
+
+    def destroy(self) -> None:
+        """Tear the enclave down; sealed memory is lost by design."""
+        self._memory.clear()
+        self._entered = False
+        self.destroyed = True
+
+    # -- attestation ----------------------------------------------------------
+
+    def attest(self, nonce: bytes) -> AttestationReport:
+        return self._platform.attest(self, nonce)
+
+
+class TEEPlatform:
+    """The platform (CPU + quoting infrastructure) enclaves run on."""
+
+    def __init__(self, platform_id: str = "platform-0", seed: int = 0x5EC) -> None:
+        self.platform_id = platform_id
+        self.platform_key = hashlib.sha256(
+            f"{platform_id}:{seed}".encode()
+        ).digest()
+        self._enclaves: List[Enclave] = []
+
+    def create_enclave(self, code: object) -> Enclave:
+        enclave = Enclave(self, code)
+        self._enclaves.append(enclave)
+        return enclave
+
+    def attest(self, enclave: Enclave, nonce: bytes) -> AttestationReport:
+        if enclave.destroyed:
+            raise errors.KernelError("cannot attest a destroyed enclave")
+        signature = hmac.new(
+            self.platform_key,
+            enclave.measurement.encode() + nonce + self.platform_id.encode(),
+            hashlib.sha256,
+        ).digest()
+        return AttestationReport(
+            measurement=enclave.measurement,
+            nonce=nonce,
+            platform_id=self.platform_id,
+            signature=signature,
+        )
+
+    def verify(
+        self,
+        report: AttestationReport,
+        expected_measurement: Optional[str] = None,
+        expected_nonce: Optional[bytes] = None,
+    ) -> bool:
+        """Verify a report's signature and (optionally) its claims.
+
+        In real SGX verification uses Intel's attestation service /
+        DCAP certificates; here the verifier shares the platform key.
+        """
+        expected_signature = hmac.new(
+            self.platform_key,
+            report.measurement.encode() + report.nonce
+            + report.platform_id.encode(),
+            hashlib.sha256,
+        ).digest()
+        if not hmac.compare_digest(expected_signature, report.signature):
+            return False
+        if report.platform_id != self.platform_id:
+            return False
+        if (
+            expected_measurement is not None
+            and report.measurement != expected_measurement
+        ):
+            return False
+        if expected_nonce is not None and report.nonce != expected_nonce:
+            return False
+        return True
+
+    @property
+    def enclave_count(self) -> int:
+        return sum(1 for e in self._enclaves if not e.destroyed)

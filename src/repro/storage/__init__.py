@@ -1,0 +1,9 @@
+"""Storage substrates: block device, inode layer, journal, filesystems.
+
+Two filesystems share the uFS-style inode layer: ``extfs`` (the
+traditional file-granularity FS the paper criticises and keeps for
+NPD) and ``dbfs`` (the database-oriented filesystem of Idea 3, with
+typed records, membranes, secondary B-tree indexes and crash
+recovery).  ``query`` defines the request objects the DED exchanges
+with DBFS.
+"""

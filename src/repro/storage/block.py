@@ -1,0 +1,223 @@
+"""Simulated block device.
+
+Everything above this module (inodes, journal, filesystems, DBFS)
+reads and writes fixed-size blocks here, exactly as uFS sits on a real
+device.  The simulation keeps two things real devices have and pure
+dicts do not:
+
+* **Deleted data persists.**  Freeing a block does *not* zero it; the
+  bytes stay until overwritten.  Section 1 of the paper argues a
+  DB-engine "delete" can leave PD behind in lower layers — this device
+  (plus the journal) is what lets the FIG2/ILL-F experiments observe
+  that concretely, via :meth:`BlockDevice.scan`.
+* **Access costs.**  Reads and writes advance a latency counter so the
+  benchmark harness can report simulated IO time per operation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set
+
+from .. import errors
+
+
+@dataclass
+class DeviceStats:
+    """IO accounting maintained by the device."""
+
+    reads: int = 0
+    writes: int = 0
+    blocks_allocated: int = 0
+    blocks_freed: int = 0
+    simulated_io_seconds: float = 0.0
+
+    def snapshot(self) -> "DeviceStats":
+        return DeviceStats(
+            reads=self.reads,
+            writes=self.writes,
+            blocks_allocated=self.blocks_allocated,
+            blocks_freed=self.blocks_freed,
+            simulated_io_seconds=self.simulated_io_seconds,
+        )
+
+
+class BlockDevice:
+    """A fixed-geometry array of blocks with an allocation bitmap.
+
+    Parameters
+    ----------
+    block_count:
+        Number of blocks on the device.
+    block_size:
+        Bytes per block.
+    read_latency / write_latency:
+        Simulated seconds charged per block access (defaults roughly
+        model a fast NVMe device; absolute values only matter
+        relatively).
+    """
+
+    def __init__(
+        self,
+        block_count: int = 65536,
+        block_size: int = 4096,
+        read_latency: float = 10e-6,
+        write_latency: float = 20e-6,
+    ) -> None:
+        if block_count <= 0 or block_size <= 0:
+            raise errors.BlockDeviceError(
+                f"invalid geometry: {block_count} blocks x {block_size} bytes"
+            )
+        self.block_count = block_count
+        self.block_size = block_size
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self._blocks: List[bytes] = [b""] * block_count
+        # Allocation state: blocks below the watermark have been handed
+        # out at least once; freed ones sit in a min-heap so the lowest
+        # freed block is reused first (matching real allocators' bias
+        # toward low block numbers, and making reuse deterministic).
+        self._watermark = 0
+        self._freed_heap: List[int] = []
+        self._freed_set: Set[int] = set()
+        self.stats = DeviceStats()
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Claim a free block and return its number.
+
+        The block's previous contents are preserved (no zeroing) —
+        see the module docstring for why that matters.
+        """
+        if self._freed_heap:
+            block_no = heapq.heappop(self._freed_heap)
+            self._freed_set.discard(block_no)
+        elif self._watermark < self.block_count:
+            block_no = self._watermark
+            self._watermark += 1
+        else:
+            raise errors.OutOfSpaceError(
+                f"device full: all {self.block_count} blocks in use"
+            )
+        self.stats.blocks_allocated += 1
+        return block_no
+
+    def allocate_many(self, count: int) -> List[int]:
+        """Claim ``count`` blocks atomically (all or nothing)."""
+        if count < 0:
+            raise errors.BlockDeviceError(f"cannot allocate {count} blocks")
+        if count > self.free_blocks:
+            raise errors.OutOfSpaceError(
+                f"device has {self.free_blocks} free blocks, need {count}"
+            )
+        return [self.allocate() for _ in range(count)]
+
+    def free(self, block_no: int) -> None:
+        """Return a block to the free pool. Contents are NOT erased."""
+        self._check_range(block_no)
+        if block_no in self._freed_set or block_no >= self._watermark:
+            raise errors.BlockDeviceError(f"double free of block {block_no}")
+        heapq.heappush(self._freed_heap, block_no)
+        self._freed_set.add(block_no)
+        self.stats.blocks_freed += 1
+
+    def is_allocated(self, block_no: int) -> bool:
+        self._check_range(block_no)
+        return block_no < self._watermark and block_no not in self._freed_set
+
+    @property
+    def free_blocks(self) -> int:
+        return (self.block_count - self._watermark) + len(self._freed_set)
+
+    @property
+    def used_blocks(self) -> int:
+        return self.block_count - self.free_blocks
+
+    # -- IO -----------------------------------------------------------------
+
+    def read(self, block_no: int) -> bytes:
+        """Read one block. Reading a never-written block returns b''."""
+        self._check_range(block_no)
+        self.stats.reads += 1
+        self.stats.simulated_io_seconds += self.read_latency
+        return self._blocks[block_no]
+
+    def write(self, block_no: int, data: bytes) -> None:
+        """Write one block; ``data`` must fit in the block size."""
+        self._check_range(block_no)
+        if len(data) > self.block_size:
+            raise errors.BlockDeviceError(
+                f"payload of {len(data)} bytes exceeds block size {self.block_size}"
+            )
+        self.stats.writes += 1
+        self.stats.simulated_io_seconds += self.write_latency
+        self._blocks[block_no] = bytes(data)
+
+    def scrub(self, block_no: int) -> None:
+        """Explicitly zero a block (secure-erase primitive).
+
+        rgpdOS's DBFS calls this on erasure; the ext4-like baseline
+        never does, which is exactly the gap the paper points at.
+        """
+        self._check_range(block_no)
+        self.stats.writes += 1
+        self.stats.simulated_io_seconds += self.write_latency
+        self._blocks[block_no] = b""
+
+    # -- forensics ----------------------------------------------------------
+
+    def scan(self, needle: bytes) -> List[int]:
+        """Return every block (allocated or free) containing ``needle``.
+
+        This is the forensic primitive the RTBF experiment uses to show
+        that "deleted" PD survives in the baseline filesystem.
+        """
+        if not needle:
+            raise errors.BlockDeviceError("cannot scan for an empty needle")
+        return [
+            block_no
+            for block_no, data in enumerate(self._blocks)
+            if needle in data
+        ]
+
+    def iter_allocated(self) -> Iterator[int]:
+        for block_no in range(self._watermark):
+            if block_no not in self._freed_set:
+                yield block_no
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_range(self, block_no: int) -> None:
+        if not 0 <= block_no < self.block_count:
+            raise errors.BlockDeviceError(
+                f"block {block_no} out of range [0, {self.block_count})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockDevice({self.used_blocks}/{self.block_count} blocks used, "
+            f"{self.block_size}B blocks)"
+        )
+
+
+def store_bytes(device: BlockDevice, payload: bytes) -> List[int]:
+    """Split ``payload`` across freshly allocated blocks and write it.
+
+    Returns the ordered block list.  The inverse is :func:`load_bytes`.
+    """
+    size = device.block_size
+    chunks = [payload[i : i + size] for i in range(0, len(payload), size)] or [b""]
+    blocks = device.allocate_many(len(chunks))
+    for block_no, chunk in zip(blocks, chunks):
+        device.write(block_no, chunk)
+    return blocks
+
+
+def load_bytes(device: BlockDevice, blocks: List[int], length: Optional[int] = None) -> bytes:
+    """Reassemble a payload previously written with :func:`store_bytes`."""
+    payload = b"".join(device.read(block_no) for block_no in blocks)
+    if length is not None:
+        payload = payload[:length]
+    return payload

@@ -1,0 +1,285 @@
+"""B-tree secondary indexes for DBFS.
+
+The paper's Idea 3 replaces "files as bytes" with typed records so the
+OS can reason about PD at field granularity; once fields exist, a
+database-oriented filesystem naturally wants field indexes ("DB
+engines have seen significant improvement over the last years", § 2,
+citing DBOS).  This module provides the index structure: a classic
+B-tree (CLRS-style, minimum degree ``t``) over composite
+``(field_value, uid)`` keys, so duplicate field values coexist and
+every entry resolves to a record.
+
+Operations: insert, delete, exact lookup, and half-open range scans —
+everything the query layer's comparison predicates need.  The DBFS
+wrapper (:class:`repro.storage.dbfs.DatabaseFS`) keeps indexes
+consistent across store/update/delete; the ABL-I benchmark measures
+what they buy over a full scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from .. import errors
+
+Key = Tuple[object, str]  # (field value, uid)
+
+
+class _Node:
+    __slots__ = ("keys", "children", "leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: List[Key] = []
+        self.children: List["_Node"] = []
+        self.leaf = leaf
+
+
+class BTree:
+    """A B-tree of minimum degree ``t`` (each node holds t-1..2t-1 keys)."""
+
+    def __init__(self, t: int = 16) -> None:
+        if t < 2:
+            raise errors.StorageError(f"B-tree minimum degree must be >= 2, got {t}")
+        self.t = t
+        self.root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Key) -> None:
+        root = self.root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self.root = new_root
+        self._insert_nonfull(self.root, key)
+        self._size += 1
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self.t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.children.insert(index + 1, sibling)
+        sibling.keys = child.keys[t:]
+        child.keys = child.keys[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+
+    def _insert_nonfull(self, node: _Node, key: Key) -> None:
+        while not node.leaf:
+            index = self._bisect(node.keys, key)
+            child = node.children[index]
+            if len(child.keys) == 2 * self.t - 1:
+                self._split_child(node, index)
+                if key > node.keys[index]:
+                    index += 1
+                child = node.children[index]
+            node = child
+        index = self._bisect(node.keys, key)
+        node.keys.insert(index, key)
+
+    @staticmethod
+    def _bisect(keys: List[Key], key: Key) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def contains(self, key: Key) -> bool:
+        node = self.root
+        while True:
+            index = self._bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return True
+            if node.leaf:
+                return False
+            node = node.children[index]
+
+    def scan(
+        self, low: Optional[Key] = None, high: Optional[Key] = None
+    ) -> Iterator[Key]:
+        """Yield keys in ``[low, high)`` in sorted order."""
+        yield from self._scan_node(self.root, low, high)
+
+    def _scan_node(
+        self, node: _Node, low: Optional[Key], high: Optional[Key]
+    ) -> Iterator[Key]:
+        start = 0 if low is None else self._bisect(node.keys, low)
+        for index in range(start, len(node.keys) + 1):
+            if not node.leaf:
+                # Prune subtrees entirely above `high`.
+                if index == 0 or high is None or node.keys[index - 1] < high:
+                    yield from self._scan_node(node.children[index], low, high)
+            if index < len(node.keys):
+                key = node.keys[index]
+                if high is not None and key >= high:
+                    return
+                if low is None or key >= low:
+                    yield key
+
+    # ------------------------------------------------------------------
+    # Delete (rebalancing deletion, CLRS scheme)
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; returns False if absent."""
+        if not self.contains(key):
+            return False
+        self._delete(self.root, key)
+        if not self.root.leaf and not self.root.keys:
+            self.root = self.root.children[0]
+        self._size -= 1
+        return True
+
+    def _delete(self, node: _Node, key: Key) -> None:
+        t = self.t
+        index = self._bisect(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                return
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                predecessor = self._max_key(left)
+                node.keys[index] = predecessor
+                self._delete(left, predecessor)
+            elif len(right.keys) >= t:
+                successor = self._min_key(right)
+                node.keys[index] = successor
+                self._delete(right, successor)
+            else:
+                self._merge(node, index)
+                self._delete(left, key)
+            return
+        if node.leaf:
+            return  # not present (contains() should prevent this)
+        child = node.children[index]
+        if len(child.keys) == t - 1:
+            index = self._fill(node, index)
+            child = node.children[index]
+        self._delete(child, key)
+
+    def _max_key(self, node: _Node) -> Key:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    def _min_key(self, node: _Node) -> Key:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def _merge(self, parent: _Node, index: int) -> None:
+        """Merge children index and index+1 around parent key index."""
+        left = parent.children[index]
+        right = parent.children.pop(index + 1)
+        left.keys.append(parent.keys.pop(index))
+        left.keys.extend(right.keys)
+        left.children.extend(right.children)
+
+    def _fill(self, parent: _Node, index: int) -> int:
+        """Ensure child ``index`` has >= t keys; returns (possibly
+        shifted) child index to descend into."""
+        t = self.t
+        child = parent.children[index]
+        if index > 0 and len(parent.children[index - 1].keys) >= t:
+            donor = parent.children[index - 1]
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = donor.keys.pop()
+            if not donor.leaf:
+                child.children.insert(0, donor.children.pop())
+            return index
+        if (
+            index < len(parent.keys)
+            and len(parent.children[index + 1].keys) >= t
+        ):
+            donor = parent.children[index + 1]
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = donor.keys.pop(0)
+            if not donor.leaf:
+                child.children.append(donor.children.pop(0))
+            return index
+        if index < len(parent.keys):
+            self._merge(parent, index)
+            return index
+        self._merge(parent, index - 1)
+        return index - 1
+
+    # ------------------------------------------------------------------
+    # Invariants (used by the property tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise if any B-tree structural invariant is violated."""
+        keys = list(self.scan())
+        if keys != sorted(keys):
+            raise errors.StorageError("B-tree keys out of order")
+        if len(keys) != self._size:
+            raise errors.StorageError(
+                f"size mismatch: counted {len(keys)}, recorded {self._size}"
+            )
+        self._check_node(self.root, is_root=True)
+
+    def _check_node(self, node: _Node, is_root: bool = False) -> int:
+        t = self.t
+        if not is_root and len(node.keys) < t - 1:
+            raise errors.StorageError("underfull B-tree node")
+        if len(node.keys) > 2 * t - 1:
+            raise errors.StorageError("overfull B-tree node")
+        if node.leaf:
+            return 1
+        if len(node.children) != len(node.keys) + 1:
+            raise errors.StorageError("child/key count mismatch")
+        depths = {self._check_node(child) for child in node.children}
+        if len(depths) != 1:
+            raise errors.StorageError("unbalanced B-tree")
+        return depths.pop() + 1
+
+
+@dataclass
+class FieldIndex:
+    """One secondary index: B-tree over (field value, uid)."""
+
+    type_name: str
+    field_name: str
+    tree: BTree = field(default_factory=BTree)
+
+    def add(self, value: object, uid: str) -> None:
+        self.tree.insert((value, uid))
+
+    def remove(self, value: object, uid: str) -> bool:
+        return self.tree.delete((value, uid))
+
+    def exact(self, value: object) -> List[str]:
+        """uids whose field equals ``value``."""
+        return [
+            uid for _, uid in self.tree.scan((value, ""), (value, "￿"))
+        ]
+
+    def range(
+        self, low: Optional[object] = None, high: Optional[object] = None
+    ) -> List[str]:
+        """uids whose field is in ``[low, high)``."""
+        low_key = None if low is None else (low, "")
+        high_key = None if high is None else (high, "")
+        return [uid for _, uid in self.tree.scan(low_key, high_key)]
+
+    def __len__(self) -> int:
+        return len(self.tree)

@@ -1,0 +1,868 @@
+"""DBFS — the database-oriented filesystem (paper Idea 3, § 3(1)).
+
+DBFS stores PD as typed records in inode trees, not as opaque files.
+Its layout follows § 3(1) of the paper word for word:
+
+* **Subject tree** — "the first tree gathers every PD from all
+  subjects, with a separate set of inodes for each of them, grouping
+  not only their personal data but also the membrane."  Layout::
+
+      subjects_root/
+        <subject_id>/            (KIND_SUBJECT)
+          <uid>                  (KIND_RECORD, payload = public fields)
+            .sensitive inode     (linked via attrs, separate storage)
+            .membrane inode      (KIND_MEMBRANE, payload = membrane JSON)
+
+* **Schema tree** — "the second major tree provides the database
+  structure, with a core inode ... for each table describing the
+  structure of the contained data, the different fields of the table,
+  and a list of subject's inodes."  Layout::
+
+      schema_root/
+        <type_name>              (KIND_TABLE, payload = schema JSON,
+                                  children = uid -> record inode)
+
+* **Format descriptors** — "a dedicated set of inodes describes the
+  general structure of the data encoded in the inode subtree of each
+  subject: meant to be accessed only once by the filesystem during a
+  given live session."  Read lazily once and cached per live session::
+
+      formats_root/
+        <type_name>              (KIND_FORMAT, payload = encoding spec)
+
+Enforcement at this boundary (paper § 2, rules 3 and 4):
+
+* every ``store`` must carry a membrane (:class:`MissingMembraneError`
+  otherwise) — invariant 3;
+* every entry point requires a DED credential
+  (:class:`PDLeakError` otherwise) — invariant 4.  The kernel-level
+  LSM policy enforces the same rule one layer down; DBFS checks again
+  because defense in depth is the point of an end-to-end design.
+
+GDPR-specific storage behaviour:
+
+* **sensitive-field separation** — fields marked ``sensitive`` are
+  stored in a physically separate inode (the paper: "sensitive data
+  (e.g., a social security number) be stored separately from less
+  sensitive data (e.g. a name)");
+* **privacy-preserving journaling** — DBFS journals operation
+  *metadata only* (uids, never payloads), so its own crash-recovery
+  log cannot violate the right to be forgotten the way the baseline's
+  data journal does;
+* **erasure that actually erases** — ``delete`` scrubs data blocks;
+  in ``escrow`` mode the record is first re-encrypted under the
+  authority's public key (§ 4) and the ciphertext takes its place.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from .. import errors
+from ..core.active_data import AccessCredential, PDRef
+from ..core.crypto import EscrowBlob, OperatorKey
+from ..core.datatypes import PDType
+from ..core.membrane import Membrane
+from .block import BlockDevice
+from .btree import FieldIndex
+from .inode import (
+    KIND_DIRECTORY,
+    KIND_FORMAT,
+    KIND_MEMBRANE,
+    KIND_RECORD,
+    KIND_SUBJECT,
+    KIND_TABLE,
+    Inode,
+    InodeTable,
+)
+from .journal import Journal
+from .query import (
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_LE,
+    OP_LT,
+    DataQuery,
+    DeleteRequest,
+    MembraneQuery,
+    Predicate,
+    StoreRequest,
+    UpdateRequest,
+)
+
+_uid_counter = itertools.count(1)
+
+
+def _encode_record(record: Mapping[str, object]) -> bytes:
+    """JSON-encode a record; bytes fields go through base64."""
+
+    def default(value: object) -> object:
+        if isinstance(value, bytes):
+            return {"__bytes__": base64.b64encode(value).decode()}
+        raise TypeError(f"unencodable value of type {type(value).__name__}")
+
+    return json.dumps(record, sort_keys=True, default=default).encode()
+
+
+def _decode_record(raw: bytes) -> Dict[str, object]:
+    def hook(obj: Dict[str, object]) -> object:
+        if set(obj) == {"__bytes__"}:
+            return base64.b64decode(obj["__bytes__"])  # type: ignore[arg-type]
+        return obj
+
+    if not raw:
+        return {}
+    return json.loads(raw.decode(), object_hook=hook)
+
+
+@dataclass
+class DBFSStats:
+    """Operation counters DBFS maintains for the benchmarks."""
+
+    stores: int = 0
+    membrane_queries: int = 0
+    data_queries: int = 0
+    updates: int = 0
+    deletes: int = 0
+    denied_accesses: int = 0
+    format_reads: int = 0
+
+
+class DatabaseFS:
+    """The PD filesystem.  See module docstring for the layout."""
+
+    def __init__(
+        self,
+        device: Optional[BlockDevice] = None,
+        operator_key: Optional[OperatorKey] = None,
+        journal_blocks: int = 256,
+    ) -> None:
+        self.device = device or BlockDevice()
+        self.inodes = InodeTable(self.device)
+        self._operator_key = operator_key
+        # Metadata-only journal (no PD payloads ever).
+        self.journal = Journal(self.device, reserved_blocks=journal_blocks)
+
+        self._subjects_root = self.inodes.allocate(KIND_DIRECTORY)
+        self._schema_root = self.inodes.allocate(KIND_DIRECTORY)
+        self._formats_root = self.inodes.allocate(KIND_DIRECTORY)
+
+        self._types: Dict[str, PDType] = {}
+        self._record_index: Dict[str, int] = {}      # uid -> record inode no
+        self._membrane_index: Dict[str, int] = {}    # uid -> membrane inode no
+        self._escrow_blobs: Dict[str, EscrowBlob] = {}
+        self._format_cache: Dict[str, Dict[str, object]] = {}  # per live session
+        # Secondary field indexes: (type, field) -> B-tree index.
+        self._field_indexes: Dict[Tuple[str, str], FieldIndex] = {}
+        # Lineage index: copy-group id -> member uids.  Keeps the
+        # built-in copy/consent-propagation path O(group) instead of a
+        # full membrane scan; rebuilt from membranes on remount.
+        self._lineage_index: Dict[str, set] = {}
+        # Membrane JSON cache: avoids re-reading the membrane inode's
+        # blocks on every decision.  Invariant: the cache always holds
+        # exactly what the inode holds (put_membrane writes both).
+        self._membrane_json_cache: Dict[str, str] = {}
+        self.stats = DBFSStats()
+
+    # ------------------------------------------------------------------
+    # Access control
+    # ------------------------------------------------------------------
+
+    def _require_ded(self, credential: AccessCredential, operation: str) -> None:
+        """Invariant 4: only the DED touches DBFS."""
+        if not credential.is_ded:
+            self.stats.denied_accesses += 1
+            raise errors.PDLeakError(
+                f"direct DBFS access ({operation}) by {credential.holder!r} "
+                "blocked: only the Data Execution Domain may access DBFS"
+            )
+
+    # ------------------------------------------------------------------
+    # Schema management (types must exist before use)
+    # ------------------------------------------------------------------
+
+    def create_type(self, pd_type: PDType, credential: AccessCredential) -> None:
+        """Declare a PD type (a table) — prerequisite to storing data."""
+        self._require_ded(credential, "create_type")
+        if pd_type.name in self._types:
+            raise errors.DBFSError(f"type {pd_type.name!r} already declared")
+        table = self.inodes.allocate(KIND_TABLE)
+        self.inodes.write_payload(
+            table.number, json.dumps(pd_type.describe(), sort_keys=True).encode()
+        )
+        self.inodes.link_child(self._schema_root.number, pd_type.name, table.number)
+        # Format descriptor: how records of this type are encoded in the
+        # subject subtrees — read once per live session (see _format_of).
+        format_inode = self.inodes.allocate(KIND_FORMAT)
+        format_spec = {
+            "type": pd_type.name,
+            "encoding": "json+base64-bytes",
+            "public_fields": sorted(pd_type.field_names - pd_type.sensitive_fields),
+            "sensitive_fields": sorted(pd_type.sensitive_fields),
+            "membrane_encoding": "json",
+        }
+        self.inodes.write_payload(
+            format_inode.number, json.dumps(format_spec, sort_keys=True).encode()
+        )
+        self.inodes.link_child(
+            self._formats_root.number, pd_type.name, format_inode.number
+        )
+        self._types[pd_type.name] = pd_type
+        self._journal_op("create_type", pd_type.name)
+
+    def evolve_type(
+        self, new_type: PDType, credential: AccessCredential
+    ) -> PDType:
+        """Schema evolution: replace a type's declaration compatibly.
+
+        Applications outlive their first schema.  Evolution is allowed
+        when every already-stored record remains valid and no field's
+        storage placement changes:
+
+        * existing fields are immutable (name, type, required,
+          sensitive) — changing them would reinterpret or relocate
+          stored data;
+        * new fields must be optional (old records lack them);
+        * views, default consents, collection interfaces, TTL,
+          sensitivity and origin may change freely (they only affect
+          *future* membranes and projections).
+
+        The schema inode and format descriptor are rewritten; the
+        table's schema version is bumped.
+        """
+        self._require_ded(credential, "evolve_type")
+        current = self.get_type(new_type.name)
+
+        current_fields = {f.name: f for f in current.fields}
+        new_fields = {f.name: f for f in new_type.fields}
+        removed = set(current_fields) - set(new_fields)
+        if removed:
+            raise errors.SchemaViolationError(
+                f"evolution of {new_type.name!r} removes fields "
+                f"{sorted(removed)}; fields are append-only"
+            )
+        for name, old_field in current_fields.items():
+            if new_fields[name] != old_field:
+                raise errors.SchemaViolationError(
+                    f"evolution of {new_type.name!r} modifies existing "
+                    f"field {name!r}; existing fields are immutable"
+                )
+        for name in set(new_fields) - set(current_fields):
+            if new_fields[name].required:
+                raise errors.SchemaViolationError(
+                    f"evolution of {new_type.name!r} adds required field "
+                    f"{name!r}; new fields must be optional"
+                )
+
+        table = self.inodes.lookup(self._schema_root.number, new_type.name)
+        self.inodes.rewrite_scrubbed(
+            table.number,
+            json.dumps(new_type.describe(), sort_keys=True).encode(),
+        )
+        table.attrs["schema_version"] = table.attrs.get("schema_version", 1) + 1
+
+        format_inode = self.inodes.lookup(
+            self._formats_root.number, new_type.name
+        )
+        format_spec = {
+            "type": new_type.name,
+            "encoding": "json+base64-bytes",
+            "public_fields": sorted(
+                new_type.field_names - new_type.sensitive_fields
+            ),
+            "sensitive_fields": sorted(new_type.sensitive_fields),
+            "membrane_encoding": "json",
+        }
+        self.inodes.rewrite_scrubbed(
+            format_inode.number,
+            json.dumps(format_spec, sort_keys=True).encode(),
+        )
+        self._format_cache.pop(new_type.name, None)
+        self._types[new_type.name] = new_type
+        self._journal_op("evolve_type", new_type.name)
+        return new_type
+
+    def schema_version(self, type_name: str) -> int:
+        table = self.inodes.lookup(self._schema_root.number, type_name)
+        return table.attrs.get("schema_version", 1)
+
+    def get_type(self, name: str) -> PDType:
+        pd_type = self._types.get(name)
+        if pd_type is None:
+            raise errors.UnknownTypeError(
+                f"PD type {name!r} not declared in DBFS "
+                "(types must be created prior to use)"
+            )
+        return pd_type
+
+    def list_types(self) -> List[str]:
+        return sorted(self._types)
+
+    def _format_of(self, type_name: str) -> Dict[str, object]:
+        """Format descriptor, loaded once per live session then cached."""
+        cached = self._format_cache.get(type_name)
+        if cached is not None:
+            return cached
+        inode = self.inodes.lookup(self._formats_root.number, type_name)
+        spec = json.loads(self.inodes.read_payload(inode.number).decode())
+        self._format_cache[type_name] = spec
+        self.stats.format_reads += 1
+        return spec
+
+    # ------------------------------------------------------------------
+    # Secondary field indexes
+    # ------------------------------------------------------------------
+
+    #: Field types whose values order totally (indexable).
+    _INDEXABLE_TYPES = frozenset({"int", "float", "string", "date"})
+
+    def create_index(
+        self, type_name: str, field_name: str, credential: AccessCredential
+    ) -> FieldIndex:
+        """Build a B-tree index over one field of one type.
+
+        Sensitive fields are not indexable: their values must never
+        leave the separate sensitive inode, and an index would scatter
+        them through its node structure.  Existing records are
+        backfilled.
+        """
+        self._require_ded(credential, "create_index")
+        pd_type = self.get_type(type_name)
+        field_def = pd_type.field(field_name)
+        if field_def.sensitive:
+            raise errors.DBFSError(
+                f"field {field_name!r} is sensitive and cannot be indexed"
+            )
+        if field_def.field_type not in self._INDEXABLE_TYPES:
+            raise errors.DBFSError(
+                f"field type {field_def.field_type!r} is not indexable"
+            )
+        key = (type_name, field_name)
+        if key in self._field_indexes:
+            raise errors.DBFSError(
+                f"index on {type_name}.{field_name} already exists"
+            )
+        index = FieldIndex(type_name=type_name, field_name=field_name)
+        table = self.inodes.lookup(self._schema_root.number, type_name)
+        # Persist the index definition so remount can rebuild it.
+        declared = table.attrs.setdefault("indexes", [])
+        if field_name not in declared:
+            declared.append(field_name)
+        for uid in sorted(table.children):
+            membrane = self._load_membrane(uid)
+            if membrane.erased:
+                continue
+            record = self._load_record_raw(uid)
+            if field_name in record:
+                index.add(record[field_name], uid)
+        self._field_indexes[key] = index
+        self._journal_op("create_index", f"{type_name}.{field_name}")
+        return index
+
+    def has_index(self, type_name: str, field_name: str) -> bool:
+        return (type_name, field_name) in self._field_indexes
+
+    def select_uids(
+        self,
+        type_name: str,
+        predicate: Predicate,
+        credential: AccessCredential,
+    ) -> List[str]:
+        """uids of live records matching one comparison predicate.
+
+        Uses the field index when one exists (logarithmic + output
+        size); falls back to a full record scan otherwise.  This is
+        the pushdown entry the ABL-I benchmark compares.
+        """
+        self._require_ded(credential, "select_uids")
+        self.get_type(type_name)
+        index = self._field_indexes.get((type_name, predicate.field_name))
+        if index is not None and predicate.op in (
+            OP_EQ, OP_LT, OP_LE, OP_GT, OP_GE
+        ):
+            return self._select_indexed(index, predicate)
+        return self._select_scan(type_name, predicate)
+
+    @staticmethod
+    def _select_indexed(index: FieldIndex, predicate: Predicate) -> List[str]:
+        value = predicate.value
+        if predicate.op == OP_EQ:
+            return sorted(index.exact(value))
+        if predicate.op == OP_LT:
+            return sorted(index.range(high=value))
+        if predicate.op == OP_GE:
+            return sorted(index.range(low=value))
+        if predicate.op == OP_LE:
+            # [min, value] == range(high=value) + exact(value)
+            return sorted(set(index.range(high=value)) | set(index.exact(value)))
+        # OP_GT: (value, max] == range(low=value) minus exact(value)
+        return sorted(set(index.range(low=value)) - set(index.exact(value)))
+
+    def _select_scan(self, type_name: str, predicate: Predicate) -> List[str]:
+        table = self.inodes.lookup(self._schema_root.number, type_name)
+        matches = []
+        for uid in sorted(table.children):
+            membrane = self._load_membrane(uid)
+            if membrane.erased:
+                continue
+            if predicate.evaluate(self._load_record_raw(uid)):
+                matches.append(uid)
+        return matches
+
+    def _index_record(
+        self, type_name: str, uid: str, record: Mapping[str, object]
+    ) -> None:
+        for (indexed_type, field_name), index in self._field_indexes.items():
+            if indexed_type == type_name and field_name in record:
+                index.add(record[field_name], uid)
+
+    def _unindex_record(
+        self, type_name: str, uid: str, record: Mapping[str, object]
+    ) -> None:
+        for (indexed_type, field_name), index in self._field_indexes.items():
+            if indexed_type == type_name and field_name in record:
+                index.remove(record[field_name], uid)
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+
+    def store(self, request: StoreRequest, credential: AccessCredential) -> PDRef:
+        """Persist one PD record with its membrane; returns the ref."""
+        self._require_ded(credential, "store")
+        pd_type = self.get_type(request.pd_type)
+        if not request.membrane_json:
+            raise errors.MissingMembraneError(
+                f"store of {request.pd_type!r} record without a membrane "
+                "(every PD in DBFS must be wrapped)"
+            )
+        membrane = Membrane.from_json(request.membrane_json)
+        if membrane.pd_type != pd_type.name:
+            raise errors.MembraneError(
+                f"membrane is for type {membrane.pd_type!r}, "
+                f"record is {pd_type.name!r}"
+            )
+        pd_type.validate(request.record)
+
+        uid = f"pd:{pd_type.name}:{next(_uid_counter):08d}"
+        fmt = self._format_of(pd_type.name)
+        public = {
+            k: v for k, v in request.record.items() if k in fmt["public_fields"]
+        }
+        sensitive = {
+            k: v for k, v in request.record.items() if k in fmt["sensitive_fields"]
+        }
+
+        subject_inode = self._subject_inode(membrane.subject_id, create=True)
+        record_inode = self.inodes.allocate(KIND_RECORD)
+        self.inodes.write_payload(record_inode.number, _encode_record(public))
+        record_inode.attrs["uid"] = uid
+        record_inode.attrs["pd_type"] = pd_type.name
+
+        if sensitive:
+            sensitive_inode = self.inodes.allocate(KIND_RECORD)
+            self.inodes.write_payload(
+                sensitive_inode.number, _encode_record(sensitive)
+            )
+            sensitive_inode.attrs["sensitive"] = True
+            record_inode.attrs["sensitive_inode"] = sensitive_inode.number
+
+        membrane_inode = self.inodes.allocate(KIND_MEMBRANE)
+        self.inodes.write_payload(
+            membrane_inode.number, membrane.to_json().encode()
+        )
+        record_inode.attrs["membrane_inode"] = membrane_inode.number
+
+        # Link into both major trees.
+        self.inodes.link_child(subject_inode.number, uid, record_inode.number)
+        table_inode = self.inodes.lookup(self._schema_root.number, pd_type.name)
+        self.inodes.link_child(table_inode.number, uid, record_inode.number)
+
+        self._record_index[uid] = record_inode.number
+        self._membrane_index[uid] = membrane_inode.number
+        self._membrane_json_cache[uid] = request.membrane_json
+        self._index_record(pd_type.name, uid, request.record)
+        if membrane.lineage:
+            self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
+        self.stats.stores += 1
+        self._journal_op("store", uid)
+        return PDRef(uid=uid, pd_type=pd_type.name, subject_id=membrane.subject_id)
+
+    # ------------------------------------------------------------------
+    # Membrane phase (ded_load_membrane)
+    # ------------------------------------------------------------------
+
+    def query_membranes(
+        self, query: MembraneQuery, credential: AccessCredential
+    ) -> List[Tuple[PDRef, Membrane]]:
+        """Fetch membranes matching the query — never any record data."""
+        self._require_ded(credential, "query_membranes")
+        self.get_type(query.pd_type)  # unknown types fail loudly
+        self.stats.membrane_queries += 1
+        results: List[Tuple[PDRef, Membrane]] = []
+        for uid in self._candidate_uids(query):
+            membrane = self._load_membrane(uid)
+            if membrane.pd_type != query.pd_type:
+                continue
+            if query.subject_id and membrane.subject_id != query.subject_id:
+                continue
+            if membrane.erased and not query.include_erased:
+                continue
+            ref = PDRef(
+                uid=uid, pd_type=membrane.pd_type, subject_id=membrane.subject_id
+            )
+            results.append((ref, membrane))
+        results.sort(key=lambda pair: pair[0].uid)
+        return results
+
+    def get_membrane(self, uid: str, credential: AccessCredential) -> Membrane:
+        self._require_ded(credential, "get_membrane")
+        return self._load_membrane(uid)
+
+    def _candidate_uids(self, query: MembraneQuery) -> List[str]:
+        if query.uids is not None:
+            return [uid for uid in query.uids if uid in self._record_index]
+        table = self.inodes.lookup(self._schema_root.number, query.pd_type)
+        return sorted(table.children)
+
+    def _load_membrane(self, uid: str) -> Membrane:
+        cached = self._membrane_json_cache.get(uid)
+        if cached is not None:
+            return Membrane.from_json(cached)
+        inode_no = self._membrane_index.get(uid)
+        if inode_no is None:
+            raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
+        raw = self.inodes.read_payload(inode_no).decode()
+        self._membrane_json_cache[uid] = raw
+        return Membrane.from_json(raw)
+
+    def put_membrane(
+        self, uid: str, membrane: Membrane, credential: AccessCredential
+    ) -> None:
+        """Persist a membrane change (consent grant/revoke, erasure flag)."""
+        self._require_ded(credential, "put_membrane")
+        inode_no = self._membrane_index.get(uid)
+        if inode_no is None:
+            raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
+        encoded = membrane.to_json()
+        self.inodes.rewrite_scrubbed(inode_no, encoded.encode())
+        self._membrane_json_cache[uid] = encoded
+        if membrane.lineage:
+            self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
+        self._journal_op("membrane_update", uid)
+
+    def lineage_members(self, lineage: str) -> List[str]:
+        """Member uids of one copy-lineage group (indexed lookup)."""
+        return sorted(self._lineage_index.get(lineage, set()))
+
+    # ------------------------------------------------------------------
+    # Data phase (ded_load_data)
+    # ------------------------------------------------------------------
+
+    def fetch_records(
+        self, query: DataQuery, credential: AccessCredential
+    ) -> Dict[str, Dict[str, object]]:
+        """Fetch records for filtered refs, projected to allowed fields."""
+        self._require_ded(credential, "fetch_records")
+        self.stats.data_queries += 1
+        results: Dict[str, Dict[str, object]] = {}
+        for uid in query.uids:
+            membrane = self._load_membrane(uid)
+            if membrane.erased:
+                raise errors.ExpiredPDError(
+                    f"PD {uid!r} has been erased; its data is not retrievable"
+                )
+            record = self._load_record_raw(uid)
+            allowed = query.allowed_fields_for(uid)
+            if allowed is not None:
+                record = {k: v for k, v in record.items() if k in allowed}
+            if not query.matches(record):
+                continue
+            results[uid] = record
+        return results
+
+    def _load_record_raw(self, uid: str) -> Dict[str, object]:
+        inode_no = self._record_index.get(uid)
+        if inode_no is None:
+            raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
+        inode = self.inodes.get(inode_no)
+        record = _decode_record(self.inodes.read_payload(inode_no))
+        sensitive_no = inode.attrs.get("sensitive_inode")
+        if sensitive_no is not None:
+            record.update(_decode_record(self.inodes.read_payload(sensitive_no)))
+        return record
+
+    # ------------------------------------------------------------------
+    # Update / delete (built-in F_pd^w requests)
+    # ------------------------------------------------------------------
+
+    def update(self, request: UpdateRequest, credential: AccessCredential) -> None:
+        """Rewrite changed fields; old values are scrubbed, not leaked."""
+        self._require_ded(credential, "update")
+        membrane = self._load_membrane(request.uid)
+        if membrane.erased:
+            raise errors.ErasureError(f"cannot update erased PD {request.uid!r}")
+        pd_type = self.get_type(membrane.pd_type)
+        record = self._load_record_raw(request.uid)
+        self._unindex_record(pd_type.name, request.uid, record)
+        record.update(request.changes)
+        pd_type.validate(record)
+        self._index_record(pd_type.name, request.uid, record)
+
+        fmt = self._format_of(pd_type.name)
+        inode_no = self._record_index[request.uid]
+        inode = self.inodes.get(inode_no)
+        public = {k: v for k, v in record.items() if k in fmt["public_fields"]}
+        sensitive = {
+            k: v for k, v in record.items() if k in fmt["sensitive_fields"]
+        }
+        self.inodes.rewrite_scrubbed(inode_no, _encode_record(public))
+        sensitive_no = inode.attrs.get("sensitive_inode")
+        if sensitive_no is not None:
+            self.inodes.rewrite_scrubbed(sensitive_no, _encode_record(sensitive))
+        elif sensitive:
+            sensitive_inode = self.inodes.allocate(KIND_RECORD)
+            self.inodes.write_payload(
+                sensitive_inode.number, _encode_record(sensitive)
+            )
+            sensitive_inode.attrs["sensitive"] = True
+            inode.attrs["sensitive_inode"] = sensitive_inode.number
+        self.stats.updates += 1
+        self._journal_op("update", request.uid)
+
+    def delete(self, request: DeleteRequest, credential: AccessCredential) -> Membrane:
+        """Erase one PD record (right to be forgotten).
+
+        ``erase`` mode scrubs and removes everything.  ``escrow`` mode
+        (the § 4 construction) encrypts the full record under the
+        authority public key, stores the ciphertext in place of the
+        data, scrubs the plaintext blocks, and marks the membrane
+        erased.  Either way the operator can no longer read the PD.
+        Returns the final membrane state.
+        """
+        self._require_ded(credential, "delete")
+        membrane = self._load_membrane(request.uid)
+        if membrane.erased:
+            raise errors.ErasureError(f"PD {request.uid!r} is already erased")
+        record = self._load_record_raw(request.uid)
+        inode_no = self._record_index[request.uid]
+        inode = self.inodes.get(inode_no)
+        self._unindex_record(membrane.pd_type, request.uid, record)
+
+        if request.mode == "escrow":
+            if self._operator_key is None:
+                raise errors.ErasureError(
+                    "escrow deletion requires an authority-issued operator key"
+                )
+            blob = self._operator_key.escrow_encrypt(_encode_record(record))
+            self._escrow_blobs[request.uid] = blob
+            # The ciphertext replaces the plaintext on disk; the old
+            # extent is scrubbed by rewrite_scrubbed.  The envelope
+            # (wrapped key, nonce, MAC) is persisted in the inode attrs
+            # so the blob survives a crash/remount.
+            self.inodes.rewrite_scrubbed(inode_no, blob.ciphertext)
+            inode.attrs["escrowed"] = True
+            inode.attrs["escrow_envelope"] = {
+                "wrapped_key": blob.wrapped_key,
+                "nonce": blob.nonce.hex(),
+                "tag": blob.tag.hex(),
+                "key_fingerprint": blob.key_fingerprint,
+            }
+        else:
+            self.inodes.rewrite_scrubbed(inode_no, b"")
+
+        sensitive_no = inode.attrs.pop("sensitive_inode", None)
+        if sensitive_no is not None:
+            self.inodes.free(sensitive_no, scrub=True)
+
+        membrane.mark_erased(at=membrane.created_at)
+        self.put_membrane(request.uid, membrane, credential)
+        self.stats.deletes += 1
+        self._journal_op("delete", request.uid)
+        return membrane
+
+    def escrow_blob(self, uid: str) -> EscrowBlob:
+        """The escrow ciphertext for an erased record (for authorities)."""
+        blob = self._escrow_blobs.get(uid)
+        if blob is None:
+            raise errors.UnknownRecordError(
+                f"no escrow blob for uid {uid!r} (not escrow-deleted?)"
+            )
+        return blob
+
+    # ------------------------------------------------------------------
+    # Subject-level operations (right of access / portability)
+    # ------------------------------------------------------------------
+
+    def list_subjects(self) -> List[str]:
+        return sorted(self._subjects_root.children)
+
+    def uids_of_subject(self, subject_id: str) -> List[str]:
+        subject = self._subject_inode(subject_id, create=False)
+        if subject is None:
+            return []
+        return sorted(subject.children)
+
+    def export_subject(
+        self, subject_id: str, credential: AccessCredential
+    ) -> Dict[str, object]:
+        """Structured, machine-readable dump of one subject's PD.
+
+        This is the § 4 right-of-access export: field names are the
+        *meaningful* schema keys ("the keys make sense"), each record
+        travels with its membrane, and the schema itself is included.
+        """
+        self._require_ded(credential, "export_subject")
+        records = []
+        for uid in self.uids_of_subject(subject_id):
+            membrane = self._load_membrane(uid)
+            entry: Dict[str, object] = {
+                "uid": uid,
+                "pd_type": membrane.pd_type,
+                "membrane": membrane.to_dict(),
+            }
+            if membrane.erased:
+                entry["data"] = None
+                entry["erased"] = True
+            else:
+                entry["data"] = self._load_record_raw(uid)
+            records.append(entry)
+        used_types = sorted({r["pd_type"] for r in records})
+        return {
+            "subject_id": subject_id,
+            "schemas": {
+                name: self.get_type(name).describe() for name in used_types
+            },
+            "records": records,
+        }
+
+    def _subject_inode(self, subject_id: str, create: bool) -> Optional[Inode]:
+        child_no = self._subjects_root.children.get(subject_id)
+        if child_no is not None:
+            return self.inodes.get(child_no)
+        if not create:
+            return None
+        subject = self.inodes.allocate(KIND_SUBJECT)
+        subject.attrs["subject_id"] = subject_id
+        self.inodes.link_child(
+            self._subjects_root.number, subject_id, subject.number
+        )
+        return subject
+
+    # ------------------------------------------------------------------
+    # Maintenance & forensics
+    # ------------------------------------------------------------------
+
+    def all_uids(self) -> List[str]:
+        return sorted(self._record_index)
+
+    def iter_membranes(
+        self, credential: AccessCredential
+    ) -> List[Tuple[str, Membrane]]:
+        """Every (uid, membrane) pair — used by the TTL sweeper."""
+        self._require_ded(credential, "iter_membranes")
+        return [(uid, self._load_membrane(uid)) for uid in self.all_uids()]
+
+    def forensic_scan(self, needle: bytes) -> Dict[str, int]:
+        """Residues of ``needle`` in the DBFS storage stack.
+
+        Mirrors :meth:`repro.storage.extfs.FileBasedFS.forensic_scan`
+        so the RTBF experiment compares like for like.
+        """
+        return {
+            "device_blocks": len(self.device.scan(needle)),
+            "journal_records": len(
+                [r for r in self.journal.records() if needle in r.payload]
+            ),
+        }
+
+    def _journal_op(self, op: str, target: str) -> None:
+        """Metadata-only journaling: operation + uid, never payloads."""
+        self.journal.begin()
+        self.journal.log_delete(f"{op}:{target}")
+        self.journal.commit()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def remount(self) -> Dict[str, int]:
+        """Rebuild every in-memory structure from the durable trees.
+
+        Simulates a reboot: the inode trees and their payloads are the
+        only state that survives; the type registry, record/membrane
+        indexes, lineage index, caches and escrow blobs are all derived
+        from them.  Returns counts of what was recovered.  A live
+        session that calls this must observe no behavioural change —
+        the remount tests assert exactly that.
+        """
+        self._types.clear()
+        self._record_index.clear()
+        self._membrane_index.clear()
+        self._lineage_index.clear()
+        self._membrane_json_cache.clear()
+        self._escrow_blobs.clear()
+        self._field_indexes.clear()
+        self._format_cache.clear()  # a new live session re-reads formats
+
+        # 1. Schema tree → type registry.
+        for type_name, table_no in sorted(self._schema_root.children.items()):
+            description = json.loads(
+                self.inodes.read_payload(table_no).decode()
+            )
+            self._types[type_name] = PDType.from_description(description)
+
+        # 2. Subject tree → record/membrane/lineage indexes + escrow.
+        recovered_records = 0
+        for subject_id, subject_no in sorted(
+            self._subjects_root.children.items()
+        ):
+            subject = self.inodes.get(subject_no)
+            for uid, record_no in sorted(subject.children.items()):
+                record_inode = self.inodes.get(record_no)
+                membrane_no = record_inode.attrs.get("membrane_inode")
+                if membrane_no is None:
+                    raise errors.MissingMembraneError(
+                        f"remount found record {uid!r} without a membrane"
+                    )
+                self._record_index[uid] = record_no
+                self._membrane_index[uid] = membrane_no
+                membrane = self._load_membrane(uid)
+                if membrane.lineage:
+                    self._lineage_index.setdefault(
+                        membrane.lineage, set()
+                    ).add(uid)
+                envelope = record_inode.attrs.get("escrow_envelope")
+                if envelope is not None:
+                    self._escrow_blobs[uid] = EscrowBlob(
+                        wrapped_key=envelope["wrapped_key"],
+                        nonce=bytes.fromhex(envelope["nonce"]),
+                        ciphertext=self.inodes.read_payload(record_no),
+                        tag=bytes.fromhex(envelope["tag"]),
+                        key_fingerprint=envelope["key_fingerprint"],
+                    )
+                recovered_records += 1
+
+        # 3. Declared field indexes (definitions live in table attrs).
+        rebuilt_indexes = 0
+        ded = AccessCredential(holder="remount", is_ded=True)
+        for type_name, table_no in sorted(self._schema_root.children.items()):
+            table = self.inodes.get(table_no)
+            declared = list(table.attrs.get("indexes", []))
+            table.attrs["indexes"] = []  # create_index re-records each
+            for field_name in declared:
+                self.create_index(type_name, field_name, ded)
+                rebuilt_indexes += 1
+
+        self._journal_op("remount", f"records={recovered_records}")
+        return {
+            "types": len(self._types),
+            "records": recovered_records,
+            "lineage_groups": len(self._lineage_index),
+            "escrow_blobs": len(self._escrow_blobs),
+            "field_indexes": rebuilt_indexes,
+        }

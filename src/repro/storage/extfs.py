@@ -1,0 +1,203 @@
+"""ext4-like file-based filesystem.
+
+This is the "second filesystem" of rgpdOS (§ 2: non-personal data
+"can be implemented with a traditional filesystem (e.g., ext4) which
+works at the file granularity") **and** the substrate under the Fig. 2
+baseline, where a userspace DB engine persists its tables as ordinary
+files on a general-purpose OS.
+
+The paper's indictment of this design is reproduced faithfully:
+
+* files are opaque byte streams — the FS has no notion of PD, types,
+  membranes or subjects;
+* every data write is journaled with its payload (``data=journal``
+  mode), so unlinking a file leaves its bytes in the journal;
+* unlink frees blocks without scrubbing, so the bytes also linger on
+  the device until reallocation overwrites them.
+
+Both residues are observable through :meth:`FileBasedFS.forensic_scan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .. import errors
+from .block import BlockDevice
+from .inode import KIND_DIRECTORY, KIND_FILE, Inode, InodeTable, resolve_path
+from .journal import Journal
+
+
+@dataclass(frozen=True)
+class DirEntry:
+    """One directory listing entry."""
+
+    name: str
+    kind: str
+    size: int
+    inode: int
+
+
+def _split_path(path: str) -> List[str]:
+    parts = [part for part in path.split("/") if part]
+    if not parts:
+        raise errors.FileSystemError(f"invalid path {path!r}")
+    return parts
+
+
+class FileBasedFS:
+    """A traditional journaled filesystem working at file granularity.
+
+    The public surface mirrors the handful of POSIX calls the baseline
+    DB engine needs: ``mkdir``, ``create``, ``write``, ``read``,
+    ``unlink``, ``rename``, ``listdir``, ``stat``.
+    """
+
+    def __init__(
+        self,
+        device: Optional[BlockDevice] = None,
+        journal_blocks: int = 1024,
+        journaled: bool = True,
+    ) -> None:
+        self.device = device or BlockDevice()
+        self.inodes = InodeTable(self.device)
+        self._root = self.inodes.allocate(KIND_DIRECTORY)
+        self.journaled = journaled
+        self.journal: Optional[Journal] = (
+            Journal(self.device, reserved_blocks=journal_blocks) if journaled else None
+        )
+
+    @property
+    def root(self) -> Inode:
+        return self._root
+
+    # -- namespace ops ------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory; parents must already exist."""
+        parts = _split_path(path)
+        parent = self._resolve_dir("/".join(parts[:-1])) if parts[:-1] else self._root
+        if parts[-1] in parent.children:
+            raise errors.FileSystemError(f"{path!r} already exists")
+        directory = self.inodes.allocate(KIND_DIRECTORY)
+        self.inodes.link_child(parent.number, parts[-1], directory.number)
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create a file, journaling its initial contents."""
+        parts = _split_path(path)
+        parent = self._resolve_dir("/".join(parts[:-1])) if parts[:-1] else self._root
+        if parts[-1] in parent.children:
+            raise errors.FileSystemError(f"{path!r} already exists")
+        inode = self.inodes.allocate(KIND_FILE)
+        self.inodes.link_child(parent.number, parts[-1], inode.number)
+        self._journaled_write(path, inode, data)
+
+    def write(self, path: str, data: bytes) -> None:
+        """Replace a file's contents (whole-file write, like O_TRUNC)."""
+        inode = self._resolve_file(path)
+        self._journaled_write(path, inode, data)
+
+    def append(self, path: str, data: bytes) -> None:
+        inode = self._resolve_file(path)
+        current = self.inodes.read_payload(inode.number)
+        self._journaled_write(path, inode, current + data)
+
+    def read(self, path: str) -> bytes:
+        inode = self._resolve_file(path)
+        return self.inodes.read_payload(inode.number)
+
+    def unlink(self, path: str) -> None:
+        """Delete a file.
+
+        Faithful to real filesystems: the journal keeps the payload
+        records, and the freed blocks are not scrubbed.
+        """
+        parts = _split_path(path)
+        parent = self._resolve_dir("/".join(parts[:-1])) if parts[:-1] else self._root
+        inode = self._resolve_file(path)
+        if self.journal is not None:
+            self.journal.begin()
+            self.journal.log_delete(path)
+            self.journal.commit()
+        self.inodes.unlink_child(parent.number, parts[-1])
+        self.inodes.free(inode.number, scrub=False)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        old_parts = _split_path(old_path)
+        new_parts = _split_path(new_path)
+        old_parent = (
+            self._resolve_dir("/".join(old_parts[:-1])) if old_parts[:-1] else self._root
+        )
+        new_parent = (
+            self._resolve_dir("/".join(new_parts[:-1])) if new_parts[:-1] else self._root
+        )
+        if new_parts[-1] in new_parent.children:
+            raise errors.FileSystemError(f"{new_path!r} already exists")
+        child_no = self.inodes.unlink_child(old_parent.number, old_parts[-1])
+        self.inodes.link_child(new_parent.number, new_parts[-1], child_no)
+
+    def listdir(self, path: str = "/") -> List[DirEntry]:
+        directory = self._resolve_dir(path) if path.strip("/") else self._root
+        entries = []
+        for name, child_no in sorted(directory.children.items()):
+            child = self.inodes.get(child_no)
+            entries.append(
+                DirEntry(name=name, kind=child.kind, size=child.size, inode=child.number)
+            )
+        return entries
+
+    def exists(self, path: str) -> bool:
+        return resolve_path(self.inodes, self._root.number, path) is not None
+
+    def stat(self, path: str) -> DirEntry:
+        inode = resolve_path(self.inodes, self._root.number, path)
+        if inode is None:
+            raise errors.FileNotFoundInFSError(f"no such path: {path!r}")
+        name = _split_path(path)[-1]
+        return DirEntry(name=name, kind=inode.kind, size=inode.size, inode=inode.number)
+
+    # -- forensics ----------------------------------------------------------
+
+    def forensic_scan(self, needle: bytes) -> Dict[str, int]:
+        """Count residues of ``needle`` across the storage stack.
+
+        Returns a dict with keys ``device_blocks`` (blocks anywhere on
+        the device still containing the needle) and ``journal_records``
+        (journal entries whose payload contains it).  A filesystem that
+        truly forgot would report zero for both.
+        """
+        result = {
+            "device_blocks": len(self.device.scan(needle)),
+            "journal_records": 0,
+        }
+        if self.journal is not None:
+            result["journal_records"] = len(self.journal.scan_payloads(needle))
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _journaled_write(self, path: str, inode: Inode, data: bytes) -> None:
+        if self.journal is not None:
+            self.journal.begin()
+            self.journal.log_write(path, data)
+            self.journal.commit()
+        self.inodes.write_payload(inode.number, data)
+
+    def _resolve_dir(self, path: str) -> Inode:
+        if not path.strip("/"):
+            return self._root
+        inode = resolve_path(self.inodes, self._root.number, path)
+        if inode is None:
+            raise errors.FileNotFoundInFSError(f"no such directory: {path!r}")
+        if inode.kind != KIND_DIRECTORY:
+            raise errors.FileSystemError(f"{path!r} is not a directory")
+        return inode
+
+    def _resolve_file(self, path: str) -> Inode:
+        inode = resolve_path(self.inodes, self._root.number, path)
+        if inode is None:
+            raise errors.FileNotFoundInFSError(f"no such file: {path!r}")
+        if inode.kind != KIND_FILE:
+            raise errors.FileSystemError(f"{path!r} is not a regular file")
+        return inode

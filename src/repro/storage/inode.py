@@ -1,0 +1,221 @@
+"""uFS-style inode layer.
+
+Section 3(1) of the paper: *"We are rearchitecting uFS in order to
+implement a database-oriented filesystem. ... The only part of uFS
+that we keep is the implementation of the inode concept."*
+
+This module is that kept part: a classic inode abstraction over the
+simulated block device.  Both filesystems in the reproduction are
+built on it —
+
+* the ext4-like **file-based** filesystem (``repro.storage.extfs``)
+  uses inodes of kind FILE / DIRECTORY, and
+* **DBFS** (``repro.storage.dbfs``) uses the same inodes to build the
+  paper's two "major inode trees": the per-subject PD tree and the
+  database-structure (schema) tree, plus the format-descriptor inodes.
+
+An inode owns a block list, a byte size, a small typed ``kind`` tag,
+an attribute dict (where DBFS hangs table/membrane linkage), and a
+children map (making trees natural to express).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .. import errors
+from .block import BlockDevice, load_bytes, store_bytes
+
+# Inode kinds. Plain strings keep serialization trivial.
+KIND_FILE = "file"
+KIND_DIRECTORY = "directory"
+KIND_TABLE = "table"          # DBFS: database-structure tree node (one per PD type)
+KIND_SUBJECT = "subject"      # DBFS: root of one subject's PD subtree
+KIND_RECORD = "record"        # DBFS: one piece of PD
+KIND_MEMBRANE = "membrane"    # DBFS: the membrane wrapped around a record
+KIND_FORMAT = "format"        # DBFS: format descriptor, read once per live session
+
+_VALID_KINDS = frozenset(
+    {KIND_FILE, KIND_DIRECTORY, KIND_TABLE, KIND_SUBJECT, KIND_RECORD,
+     KIND_MEMBRANE, KIND_FORMAT}
+)
+
+
+@dataclass
+class Inode:
+    """One inode: identity, kind, data extent, attributes, children."""
+
+    number: int
+    kind: str
+    size: int = 0
+    blocks: List[int] = field(default_factory=list)
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: Dict[str, int] = field(default_factory=dict)
+    nlink: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise errors.InodeError(f"unknown inode kind {self.kind!r}")
+
+    def is_tree_node(self) -> bool:
+        """Directory-like inodes that may hold children."""
+        return self.kind in (KIND_DIRECTORY, KIND_TABLE, KIND_SUBJECT)
+
+
+class InodeTable:
+    """Allocates inodes and moves their payloads to/from the device.
+
+    The table is intentionally small and explicit: ``allocate``,
+    ``get``, ``free``, plus ``write_payload``/``read_payload`` which
+    manage the inode's block extent.  Freeing an inode releases its
+    blocks back to the device **without scrubbing** (matching real
+    filesystems); callers wanting crypto-erasure must scrub first —
+    DBFS does, extfs does not.
+    """
+
+    def __init__(self, device: BlockDevice, max_inodes: int = 65536) -> None:
+        if max_inodes <= 0:
+            raise errors.InodeError(f"invalid inode table size {max_inodes}")
+        self.device = device
+        self.max_inodes = max_inodes
+        self._inodes: Dict[int, Inode] = {}
+        self._next_number = 1  # inode 0 is reserved, as tradition demands
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def allocate(self, kind: str) -> Inode:
+        """Create a fresh inode of ``kind``."""
+        if len(self._inodes) >= self.max_inodes:
+            raise errors.OutOfSpaceError(
+                f"inode table full ({self.max_inodes} inodes)"
+            )
+        inode = Inode(number=self._next_number, kind=kind)
+        self._inodes[self._next_number] = inode
+        self._next_number += 1
+        return inode
+
+    def get(self, number: int) -> Inode:
+        """Look up a live inode; raises :class:`InodeError` if absent."""
+        inode = self._inodes.get(number)
+        if inode is None:
+            raise errors.InodeError(f"inode {number} does not exist")
+        return inode
+
+    def exists(self, number: int) -> bool:
+        return number in self._inodes
+
+    def free(self, number: int, scrub: bool = False) -> None:
+        """Release an inode and its blocks.
+
+        With ``scrub=True`` the data blocks are zeroed before release;
+        otherwise the bytes linger on the device, recoverable by
+        forensic scan.
+        """
+        inode = self.get(number)
+        for block_no in inode.blocks:
+            if scrub:
+                self.device.scrub(block_no)
+            self.device.free(block_no)
+        del self._inodes[number]
+
+    # -- payload IO ---------------------------------------------------------
+
+    def write_payload(self, number: int, payload: bytes) -> None:
+        """Replace an inode's data extent with ``payload``.
+
+        Old blocks are freed (not scrubbed — callers choosing secure
+        semantics use :meth:`rewrite_scrubbed`), new blocks allocated.
+        """
+        inode = self.get(number)
+        for block_no in inode.blocks:
+            self.device.free(block_no)
+        inode.blocks = store_bytes(self.device, payload)
+        inode.size = len(payload)
+
+    def rewrite_scrubbed(self, number: int, payload: bytes) -> None:
+        """Like :meth:`write_payload` but zeroes the old extent first."""
+        inode = self.get(number)
+        for block_no in inode.blocks:
+            self.device.scrub(block_no)
+            self.device.free(block_no)
+        inode.blocks = store_bytes(self.device, payload)
+        inode.size = len(payload)
+
+    def read_payload(self, number: int) -> bytes:
+        inode = self.get(number)
+        return load_bytes(self.device, inode.blocks, inode.size)
+
+    # -- tree operations ----------------------------------------------------
+
+    def link_child(self, parent_no: int, name: str, child_no: int) -> None:
+        """Attach ``child_no`` under ``parent_no`` as entry ``name``."""
+        parent = self.get(parent_no)
+        if not parent.is_tree_node():
+            raise errors.InodeError(
+                f"inode {parent_no} ({parent.kind}) cannot hold children"
+            )
+        if name in parent.children:
+            raise errors.InodeError(
+                f"inode {parent_no} already has a child named {name!r}"
+            )
+        child = self.get(child_no)
+        parent.children[name] = child_no
+        child.nlink += 1
+
+    def unlink_child(self, parent_no: int, name: str) -> int:
+        """Detach entry ``name``; returns the orphaned child's number."""
+        parent = self.get(parent_no)
+        child_no = parent.children.pop(name, None)
+        if child_no is None:
+            raise errors.InodeError(
+                f"inode {parent_no} has no child named {name!r}"
+            )
+        if self.exists(child_no):
+            self.get(child_no).nlink -= 1
+        return child_no
+
+    def lookup(self, parent_no: int, name: str) -> Inode:
+        parent = self.get(parent_no)
+        child_no = parent.children.get(name)
+        if child_no is None:
+            raise errors.InodeError(
+                f"inode {parent_no} has no child named {name!r}"
+            )
+        return self.get(child_no)
+
+    def walk(self, root_no: int) -> Iterator[Inode]:
+        """Depth-first traversal of the tree rooted at ``root_no``."""
+        stack = [root_no]
+        seen = set()
+        while stack:
+            number = stack.pop()
+            if number in seen or not self.exists(number):
+                continue
+            seen.add(number)
+            inode = self.get(number)
+            yield inode
+            stack.extend(reversed(list(inode.children.values())))
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def live_inodes(self) -> int:
+        return len(self._inodes)
+
+    def find_by_kind(self, kind: str) -> List[Inode]:
+        return [inode for inode in self._inodes.values() if inode.kind == kind]
+
+    def __repr__(self) -> str:
+        return f"InodeTable({self.live_inodes} live inodes)"
+
+
+def resolve_path(table: InodeTable, root_no: int, path: str) -> Optional[Inode]:
+    """Resolve a ``/``-separated path from ``root_no``; None if absent."""
+    current = table.get(root_no)
+    for part in (p for p in path.split("/") if p):
+        child_no = current.children.get(part)
+        if child_no is None or not table.exists(child_no):
+            return None
+        current = table.get(child_no)
+    return current

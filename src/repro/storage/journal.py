@@ -1,0 +1,242 @@
+"""Write-ahead journal.
+
+Section 1 of the paper motivates rgpdOS with exactly this component:
+
+    "the filesystem's logging mechanism can compromise the GDPR's
+    right to be forgotten as data deleted by the DB engine can still
+    be present in the filesystem's logs."
+
+The ext4-like baseline filesystem journals every data write here, in
+data-journaling mode (like ``ext4 data=journal``): the journal records
+carry the *payload bytes*.  Deleting a file later does not rewrite
+history — the payload remains replayable from the journal until the
+log wraps.  The ILL-F experiment scans this journal after a delete to
+demonstrate the violation, and shows that DBFS (which journals only
+encrypted/erased state and scrubs on erasure) does not exhibit it.
+
+The journal is itself stored on the block device, in a reserved extent,
+so "the bytes are on disk" is literally true in the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from .. import errors
+from .block import BlockDevice
+
+# Transaction record types.
+TXN_BEGIN = "begin"
+TXN_WRITE = "write"      # payload-carrying data write
+TXN_DELETE = "delete"    # metadata-only deletion marker
+TXN_COMMIT = "commit"
+TXN_CHECKPOINT = "checkpoint"
+
+_VALID_TYPES = frozenset({TXN_BEGIN, TXN_WRITE, TXN_DELETE, TXN_COMMIT, TXN_CHECKPOINT})
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal entry.
+
+    ``payload`` is the raw data for TXN_WRITE records — this is the
+    field that retains "deleted" PD.  ``target`` names the object the
+    record concerns (a path or an inode number rendered as a string).
+    """
+
+    sequence: int
+    txn_id: int
+    record_type: str
+    target: str = ""
+    payload: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        header = json.dumps(
+            {
+                "seq": self.sequence,
+                "txn": self.txn_id,
+                "type": self.record_type,
+                "target": self.target,
+                "len": len(self.payload),
+            }
+        ).encode()
+        return header + b"\n" + self.payload
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "JournalRecord":
+        try:
+            header_raw, payload = raw.split(b"\n", 1)
+            header = json.loads(header_raw)
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise errors.JournalError(f"corrupt journal record: {exc}") from exc
+        if header["type"] not in _VALID_TYPES:
+            raise errors.JournalError(f"unknown record type {header['type']!r}")
+        if header["len"] != len(payload):
+            raise errors.JournalError(
+                f"journal payload length mismatch: header says {header['len']}, "
+                f"got {len(payload)}"
+            )
+        return cls(
+            sequence=header["seq"],
+            txn_id=header["txn"],
+            record_type=header["type"],
+            target=header["target"],
+            payload=payload,
+        )
+
+
+@dataclass
+class _OpenTransaction:
+    txn_id: int
+    records: List[JournalRecord] = field(default_factory=list)
+
+
+class Journal:
+    """Circular write-ahead log stored on a reserved device extent.
+
+    One journal record occupies one or more whole blocks.  When the
+    reserved extent fills, the oldest records are reclaimed (that is
+    the only way data ever leaves the journal — never because a file
+    was deleted).
+    """
+
+    def __init__(self, device: BlockDevice, reserved_blocks: int = 1024) -> None:
+        if reserved_blocks < 4:
+            raise errors.JournalError(
+                f"journal needs at least 4 reserved blocks, got {reserved_blocks}"
+            )
+        self.device = device
+        self._extent = device.allocate_many(reserved_blocks)
+        self._extent_cursor = 0  # next free slot in the extent, wraps
+        self._records: List[JournalRecord] = []  # in-memory index of live records
+        self._record_blocks: List[List[int]] = []  # blocks backing each live record
+        self._next_sequence = 0
+        self._next_txn = 1
+        self._open: Optional[_OpenTransaction] = None
+        self.reserved_blocks = reserved_blocks
+
+    # -- transaction API ----------------------------------------------------
+
+    def begin(self) -> int:
+        """Open a transaction and return its id."""
+        if self._open is not None:
+            raise errors.JournalError(
+                f"transaction {self._open.txn_id} is already open"
+            )
+        txn_id = self._next_txn
+        self._next_txn += 1
+        self._open = _OpenTransaction(txn_id)
+        self._append(JournalRecord(self._take_seq(), txn_id, TXN_BEGIN))
+        return txn_id
+
+    def log_write(self, target: str, payload: bytes) -> None:
+        """Record a data write (payload included) in the open txn."""
+        txn = self._require_open()
+        record = JournalRecord(self._take_seq(), txn.txn_id, TXN_WRITE, target, payload)
+        txn.records.append(record)
+        self._append(record)
+
+    def log_delete(self, target: str) -> None:
+        """Record a deletion marker (no payload) in the open txn."""
+        txn = self._require_open()
+        record = JournalRecord(self._take_seq(), txn.txn_id, TXN_DELETE, target)
+        txn.records.append(record)
+        self._append(record)
+
+    def commit(self) -> None:
+        txn = self._require_open()
+        self._append(JournalRecord(self._take_seq(), txn.txn_id, TXN_COMMIT))
+        self._open = None
+
+    def abort(self) -> None:
+        """Drop the open transaction (its records remain physically logged)."""
+        self._require_open()
+        self._open = None
+
+    # -- recovery / inspection ----------------------------------------------
+
+    def replay(self) -> List[JournalRecord]:
+        """Return committed records in order, as crash recovery would."""
+        committed_txns = {
+            record.txn_id
+            for record in self._records
+            if record.record_type == TXN_COMMIT
+        }
+        return [
+            record
+            for record in self._records
+            if record.txn_id in committed_txns
+            and record.record_type in (TXN_WRITE, TXN_DELETE)
+        ]
+
+    def scan_payloads(self, needle: bytes) -> List[JournalRecord]:
+        """Forensic scan: records whose payload still contains ``needle``.
+
+        This is the observation at the heart of the ILL-F experiment.
+        """
+        if not needle:
+            raise errors.JournalError("cannot scan for an empty needle")
+        return [record for record in self._records if needle in record.payload]
+
+    def records(self) -> Iterator[JournalRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def blocks_in_use(self) -> int:
+        return sum(len(blocks) for blocks in self._record_blocks)
+
+    def checkpoint(self) -> int:
+        """Truncate the log (e.g. after a checkpoint flush); returns
+        the number of records discarded.  Real filesystems do this on
+        their own schedule — crucially, *not* when a user deletes PD.
+        """
+        discarded = len(self._records)
+        for blocks in self._record_blocks:
+            for block_no in blocks:
+                self.device.scrub(block_no)
+        self._records.clear()
+        self._record_blocks.clear()
+        self._append(
+            JournalRecord(self._take_seq(), 0, TXN_CHECKPOINT)
+        )
+        return discarded
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_open(self) -> _OpenTransaction:
+        if self._open is None:
+            raise errors.JournalError("no open transaction")
+        return self._open
+
+    def _take_seq(self) -> int:
+        seq = self._next_sequence
+        self._next_sequence += 1
+        return seq
+
+    def _append(self, record: JournalRecord) -> None:
+        raw = record.to_bytes()
+        size = self.device.block_size
+        chunks = [raw[i : i + size] for i in range(0, len(raw), size)] or [b""]
+        if len(chunks) > self.reserved_blocks:
+            raise errors.JournalError(
+                f"record of {len(raw)} bytes exceeds journal capacity"
+            )
+        # Reclaim oldest records until the chunks fit in the extent.
+        while self.blocks_in_use + len(chunks) > self.reserved_blocks and self._records:
+            oldest_blocks = self._record_blocks.pop(0)
+            self._records.pop(0)
+            for block_no in oldest_blocks:
+                self.device.scrub(block_no)
+        blocks: List[int] = []
+        for chunk in chunks:
+            block_no = self._extent[self._extent_cursor]
+            self._extent_cursor = (self._extent_cursor + 1) % len(self._extent)
+            self.device.write(block_no, chunk)
+            blocks.append(block_no)
+        self._records.append(record)
+        self._record_blocks.append(blocks)

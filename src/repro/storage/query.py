@@ -1,0 +1,141 @@
+"""Request objects exchanged between the DED and DBFS.
+
+The DED's first pipeline stage, ``ded_type2req``, "translates the
+processing's input parameter type to requests at the destination of
+DBFS".  These classes are those requests.  The two-phase protocol the
+paper describes is explicit in the type structure:
+
+1. a :class:`MembraneQuery` fetches membranes only
+   (``ded_load_membrane``), so consent filtering happens *before* any
+   PD leaves storage;
+2. a :class:`DataQuery` then fetches actual data for the refs that
+   passed the filter (``ded_load_data``), already projected to the
+   fields the consent scope allows.
+
+Write-side requests (:class:`StoreRequest`, :class:`UpdateRequest`,
+:class:`DeleteRequest`) are issued only by the built-in F_pd^w
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from .. import errors
+
+# Predicate operators for record selection.
+OP_EQ = "eq"
+OP_NE = "ne"
+OP_LT = "lt"
+OP_LE = "le"
+OP_GT = "gt"
+OP_GE = "ge"
+OP_CONTAINS = "contains"
+
+_OPS: Dict[str, Callable[[object, object], bool]] = {
+    OP_EQ: lambda a, b: a == b,
+    OP_NE: lambda a, b: a != b,
+    OP_LT: lambda a, b: a < b,        # type: ignore[operator]
+    OP_LE: lambda a, b: a <= b,       # type: ignore[operator]
+    OP_GT: lambda a, b: a > b,        # type: ignore[operator]
+    OP_GE: lambda a, b: a >= b,       # type: ignore[operator]
+    OP_CONTAINS: lambda a, b: b in a,  # type: ignore[operator]
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One field condition, e.g. ``Predicate("year_of_birthdate", "lt", 1990)``."""
+
+    field_name: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise errors.DBFSError(
+                f"unknown predicate operator {self.op!r} (valid: {sorted(_OPS)})"
+            )
+
+    def evaluate(self, record: Mapping[str, object]) -> bool:
+        """True if the record satisfies the condition.
+
+        A record lacking the field never matches (three-valued logic
+        collapsed to False, like SQL ``NULL`` comparisons).
+        """
+        if self.field_name not in record:
+            return False
+        try:
+            return _OPS[self.op](record[self.field_name], self.value)
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class MembraneQuery:
+    """Phase-1 request: fetch membranes of candidate PD.
+
+    Selection is by type, optionally narrowed to one subject or an
+    explicit ref list.  No data fields are readable at this phase.
+    """
+
+    pd_type: str
+    subject_id: Optional[str] = None
+    uids: Optional[Tuple[str, ...]] = None
+    include_erased: bool = False
+
+
+@dataclass(frozen=True)
+class DataQuery:
+    """Phase-2 request: fetch records for refs that passed the filter.
+
+    ``fields`` carries the per-uid allowed field set the membranes
+    granted — DBFS returns only those fields, so minimisation is
+    enforced at the storage boundary, not just in the DED.
+    """
+
+    uids: Tuple[str, ...]
+    fields: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+    predicates: Tuple[Predicate, ...] = ()
+
+    def allowed_fields_for(self, uid: str) -> Optional[FrozenSet[str]]:
+        return self.fields.get(uid)
+
+    def matches(self, record: Mapping[str, object]) -> bool:
+        return all(p.evaluate(record) for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class StoreRequest:
+    """Create one PD record (built-in ``acquisition``/``copy``/derive)."""
+
+    pd_type: str
+    record: Mapping[str, object]
+    membrane_json: str  # serialized membrane — storage never sees it absent
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """Rewrite fields of one record (built-in ``update``)."""
+
+    uid: str
+    changes: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    """Erase one record (built-in ``delete``).
+
+    ``mode`` selects between full scrubbing (``erase``) and the § 4
+    authority-escrow construction (``escrow``).
+    """
+
+    uid: str
+    mode: str = "escrow"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("erase", "escrow"):
+            raise errors.DBFSError(
+                f"unknown delete mode {self.mode!r} (valid: erase, escrow)"
+            )

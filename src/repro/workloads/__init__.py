@@ -1,0 +1,6 @@
+"""Workload and dataset generators.
+
+``generator`` builds seeded synthetic subject populations and ships
+the standard declaration source used across examples and benchmarks;
+``penalties`` embeds the calibrated Figure 1 GDPR-penalty dataset.
+"""

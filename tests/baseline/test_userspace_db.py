@@ -1,0 +1,126 @@
+"""Unit tests for the Fig. 2 userspace GDPR DB baseline."""
+
+import pytest
+
+from repro import errors
+from repro.baseline.userspace_db import (
+    GDPRUserspaceDB,
+    stage_use_after_free_leak,
+)
+
+
+@pytest.fixture
+def db():
+    engine = GDPRUserspaceDB()
+    engine.create_table("users")
+    engine.insert(
+        "users", "k-alice", {"name": "Alice", "year": 1990},
+        subject_id="alice",
+        consents={"stats": True, "marketing": False},
+    )
+    engine.insert(
+        "users", "k-bob", {"name": "Bob", "year": 1985},
+        subject_id="bob",
+        consents={"stats": False},
+    )
+    return engine
+
+
+class TestConsentEnforcement:
+    """The baseline is conscientious: it checks consent on every query."""
+
+    def test_consented_read_succeeds(self, db):
+        assert db.read("users", "k-alice", "stats")["name"] == "Alice"
+
+    def test_unconsented_read_denied(self, db):
+        assert db.read("users", "k-alice", "marketing") is None
+        assert db.read("users", "k-bob", "stats") is None
+        assert db.denied_reads == 2
+
+    def test_ttl_expiry_denies_reads(self):
+        engine = GDPRUserspaceDB()
+        engine.create_table("t")
+        engine.insert("t", "k", {"a": 1}, subject_id="s",
+                      consents={"p": True}, ttl_seconds=10.0, now=0.0)
+        assert engine.read("t", "k", "p", now=5.0) is not None
+        assert engine.read("t", "k", "p", now=10.0) is None
+
+    def test_expire_overdue_sweeps(self):
+        engine = GDPRUserspaceDB()
+        engine.create_table("t")
+        engine.insert("t", "k1", {"a": 1}, subject_id="s",
+                      consents={}, ttl_seconds=10.0, now=0.0)
+        engine.insert("t", "k2", {"a": 2}, subject_id="s", consents={})
+        assert engine.expire_overdue("t", now=20.0) == ["k1"]
+
+    def test_consent_update(self, db):
+        db.update_consent("users", "k-bob", "stats", True)
+        assert db.read("users", "k-bob", "stats") is not None
+
+    def test_update_respects_consent(self, db):
+        assert db.update("users", "k-alice", {"year": 1991}, "stats")
+        assert not db.update("users", "k-alice", {"year": 1}, "marketing")
+
+    def test_read_subject(self, db):
+        records = db.read_subject("users", "alice")
+        assert [key for key, _ in records] == ["k-alice"]
+
+    def test_access_log_grows(self, db):
+        db.read("users", "k-alice", "stats")
+        db.gdpr_delete("users", "k-bob")
+        ops = [entry["op"] for entry in db.access_log]
+        assert "read" in ops and "delete" in ops
+
+    def test_missing_metadata_rejected(self, db):
+        with pytest.raises(errors.UnknownRecordError):
+            db.read("users", "ghost", "stats")
+
+
+class TestStructuralWeakness1:
+    """GDPR delete above, journal retention below (§ 1)."""
+
+    def test_gdpr_delete_removes_from_engine(self, db):
+        db.gdpr_delete("users", "k-alice")
+        with pytest.raises(errors.UnknownRecordError):
+            db.read("users", "k-alice", "stats")
+
+    def test_but_filesystem_still_remembers(self, db):
+        db.gdpr_delete("users", "k-alice")
+        scan = db.forensic_scan(b"Alice")
+        assert scan["journal_records"] >= 1
+        assert scan["device_blocks"] >= 1
+
+
+class TestStructuralWeakness2:
+    """Fig. 2: the process brings PD into its domain; UAF leaks it."""
+
+    def test_use_after_free_leaks_unconsented_pd(self, db):
+        # Bob never consented to "stats", yet f2 (a stats function)
+        # ends up reading Bob's record through a dangling pointer.
+        outcome = stage_use_after_free_leak(
+            db, "users", pd1_key="k-alice", pd2_key="k-bob",
+            purpose_of_f2="stats",
+        )
+        assert outcome.leaked
+        assert outcome.f2_observed["name"] == "Bob"
+        assert outcome.expected_subject == "alice"
+        assert outcome.leaked_subject == "bob"
+
+    def test_leak_requires_consented_pd1(self, db):
+        with pytest.raises(errors.ConsentDenied):
+            stage_use_after_free_leak(
+                db, "users", pd1_key="k-bob", pd2_key="k-alice",
+                purpose_of_f2="stats",
+            )
+
+    def test_engine_checked_consent_yet_leak_happened(self, db):
+        """The leak is not the engine's fault — every engine read was
+        consent-checked — which is exactly the paper's point: userspace
+        enforcement cannot govern process memory."""
+        before_denied = db.denied_reads
+        stage_use_after_free_leak(
+            db, "users", pd1_key="k-alice", pd2_key="k-bob",
+            purpose_of_f2="stats",
+        )
+        # No denied read was even attempted: the leak bypassed the engine.
+        assert db.denied_reads == before_denied

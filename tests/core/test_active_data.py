@@ -1,0 +1,156 @@
+"""Unit tests for active data, PD refs, guarded views."""
+
+import pytest
+
+from repro import errors
+from repro.core.active_data import (
+    APPLICATION_CREDENTIAL,
+    AccessCredential,
+    ActiveData,
+    PDRef,
+    PDView,
+    contains_raw_pd,
+)
+from repro.core.datatypes import FieldDef, PDType
+from repro.core.membrane import Membrane
+from repro.core.views import SCOPE_ALL, View
+
+DED = AccessCredential(holder="ded", is_ded=True)
+
+
+def make_type():
+    return PDType(
+        name="user",
+        fields=(FieldDef("name", "string"), FieldDef("year", "int")),
+        views={"v_ano": View("v_ano", frozenset({"year"}))},
+    )
+
+
+def make_membrane():
+    return Membrane(
+        pd_type="user", subject_id="alice", origin="subject",
+        sensitivity="low", created_at=0.0,
+    )
+
+
+def make_active():
+    return ActiveData({"name": "Ada", "year": 1815}, make_membrane())
+
+
+class TestActiveData:
+    def test_requires_membrane(self):
+        with pytest.raises(errors.MissingMembraneError):
+            ActiveData({"a": 1}, None)
+
+    def test_ref_exposes_identity_not_values(self):
+        active = make_active()
+        ref = active.ref
+        assert ref.pd_type == "user"
+        assert ref.subject_id == "alice"
+        assert "Ada" not in repr(active)
+        assert "Ada" not in str(ref)
+
+    def test_ded_can_open(self):
+        assert make_active().open_record(DED)["name"] == "Ada"
+
+    def test_application_cannot_open(self):
+        with pytest.raises(errors.PDLeakError):
+            make_active().open_record(APPLICATION_CREDENTIAL)
+
+    def test_opened_record_is_a_copy(self):
+        active = make_active()
+        record = active.open_record(DED)
+        record["name"] = "Tampered"
+        assert active.open_record(DED)["name"] == "Ada"
+
+    def test_uids_are_unique(self):
+        assert make_active().uid != make_active().uid
+
+
+class TestViewFor:
+    def test_consented_purpose_gets_view(self):
+        active = make_active()
+        active.membrane.grant("stats", "v_ano")
+        view = active.view_for("stats", make_type(), DED)
+        assert view is not None
+        assert view.year == 1815
+        assert view.name is None  # outside the consented scope
+
+    def test_unconsented_purpose_gets_none(self):
+        assert make_active().view_for("stats", make_type(), DED) is None
+
+    def test_app_credential_cannot_build_view(self):
+        active = make_active()
+        active.membrane.grant("stats", SCOPE_ALL)
+        with pytest.raises(errors.PDLeakError):
+            active.view_for("stats", make_type(), APPLICATION_CREDENTIAL)
+
+
+class TestPDView:
+    def make_view(self, allowed=("year",), values=None):
+        return PDView(
+            pd_ref=PDRef("pd:user:1", "user", "alice"),
+            purpose="stats",
+            allowed_fields=frozenset(allowed),
+            values=values if values is not None else {"year": 1815},
+        )
+
+    def test_attribute_access_for_visible_field(self):
+        assert self.make_view().year == 1815
+
+    def test_listing2_availability_check(self):
+        """Listing 2's ``if (user.age)`` pattern: absent field → falsy."""
+        view = self.make_view()
+        assert view.name is None
+        assert not view.name
+
+    def test_subscript_and_get(self):
+        view = self.make_view()
+        assert view["year"] == 1815
+        assert view.get("name", "fallback") == "fallback"
+
+    def test_contains(self):
+        view = self.make_view()
+        assert "year" in view
+        assert "name" not in view
+
+    def test_read_only(self):
+        with pytest.raises(errors.GDPRError):
+            self.make_view().year = 2000
+
+    def test_introspection(self):
+        view = self.make_view()
+        assert view.purpose == "stats"
+        assert view.visible_fields() == ("year",)
+        assert view.allowed_fields == {"year"}
+        assert dict(view.items()) == {"year": 1815}
+        assert view.as_dict() == {"year": 1815}
+
+    def test_private_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            self.make_view()._secret
+
+
+class TestLeakDetection:
+    def test_detects_active_data(self):
+        assert contains_raw_pd(make_active())
+
+    def test_detects_views(self):
+        view = PDView(
+            PDRef("u", "user", "s"), "p", frozenset({"a"}), {"a": 1}
+        )
+        assert contains_raw_pd(view)
+
+    def test_detects_nested_containers(self):
+        view = PDView(
+            PDRef("u", "user", "s"), "p", frozenset({"a"}), {"a": 1}
+        )
+        assert contains_raw_pd([1, {"k": (view,)}])
+        assert contains_raw_pd({"deep": [[view]]})
+
+    def test_refs_are_clean(self):
+        assert not contains_raw_pd(PDRef("u", "user", "s"))
+        assert not contains_raw_pd([PDRef("u", "user", "s"), 42, "text"])
+
+    def test_plain_values_are_clean(self):
+        assert not contains_raw_pd({"a": [1, 2.5, "x", None, b"raw"]})

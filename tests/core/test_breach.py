@@ -1,0 +1,137 @@
+"""Unit tests for breach detection and Art. 33 notification."""
+
+import json
+
+import pytest
+
+import helpers
+from repro import errors
+from repro.core.active_data import AccessCredential
+from repro.core.breach import (
+    NOTIFICATION_DEADLINE_SECONDS,
+    SEVERITY_HIGH,
+    SEVERITY_MEDIUM,
+    BreachMonitor,
+)
+from repro.storage.query import DataQuery
+
+
+@pytest.fixture
+def monitored(populated):
+    system, alice, bob = populated
+    monitor = BreachMonitor(
+        dbfs=system.dbfs, log=system.log, clock=system.clock
+    )
+    monitor.scan()  # baseline: absorb setup noise
+    return system, monitor, alice
+
+
+def probe_dbfs(system, times=1):
+    outsider = AccessCredential(holder="attacker", is_ded=False)
+    for _ in range(times):
+        with pytest.raises(errors.PDLeakError):
+            system.dbfs.fetch_records(
+                DataQuery(uids=tuple(system.dbfs.all_uids()[:1])), outsider
+            )
+
+
+class TestScanning:
+    def test_quiet_system_reports_nothing(self, monitored):
+        _, monitor, _ = monitored
+        report = monitor.scan()
+        assert report.indicators == []
+        assert not report.notifiable
+        assert report.notification_deadline is None
+        assert report.summary() == "no breach indicators"
+
+    def test_few_probes_are_medium(self, monitored):
+        system, monitor, _ = monitored
+        probe_dbfs(system, times=2)
+        report = monitor.scan()
+        (indicator,) = report.indicators
+        assert indicator.source == "dbfs-direct-access"
+        assert indicator.count == 2
+        assert indicator.severity == SEVERITY_MEDIUM
+        assert not report.notifiable
+
+    def test_sustained_probing_is_high(self, monitored):
+        system, monitor, _ = monitored
+        probe_dbfs(system, times=6)
+        report = monitor.scan()
+        assert report.indicators[0].severity == SEVERITY_HIGH
+        assert report.notifiable
+
+    def test_deltas_not_cumulative(self, monitored):
+        system, monitor, _ = monitored
+        probe_dbfs(system, times=2)
+        first = monitor.scan()
+        second = monitor.scan()
+        assert first.indicators[0].count == 2
+        assert second.indicators == []
+
+    def test_leak_attempt_detected_as_high(self, monitored):
+        system, monitor, alice = monitored
+        system.register(helpers.returns_raw_view)
+        with pytest.raises(errors.PDLeakError):
+            system.invoke("returns_raw_view", target=alice)
+        report = monitor.scan()
+        sources = {i.source: i for i in report.indicators}
+        assert "ded-leak-attempt" in sources
+        assert sources["ded-leak-attempt"].severity == SEVERITY_HIGH
+        assert report.notifiable
+
+    def test_ordinary_processing_errors_are_low(self, monitored):
+        system, monitor, _ = monitored
+        system.register(helpers.crashes_sometimes)
+        system.invoke("crashes_sometimes", target="user")
+        report = monitor.scan()
+        # Per-record errors are contained, not logged as entry errors;
+        # nothing alarming should surface.
+        assert not report.notifiable
+
+    def test_external_counter_integration(self, monitored):
+        system, monitor, _ = monitored
+        channel = system.machine.switchboard.channel(
+            "gp-kernel", "rgpdos-kernel"
+        )
+        monitor.watch_counter(
+            "ipc-raw-pd",
+            read=lambda: channel.rejected_count,
+            severity=SEVERITY_HIGH,
+            description="raw PD rejected at a kernel boundary",
+        )
+        from repro.core.active_data import ActiveData
+        from repro.core.membrane import Membrane
+
+        data = ActiveData(
+            {"x": 1},
+            Membrane(
+                pd_type="user", subject_id="s", origin="subject",
+                sensitivity="low", created_at=0.0,
+            ),
+        )
+        with pytest.raises(errors.PDLeakError):
+            channel.send("gp-kernel", "exfil", data)
+        report = monitor.scan()
+        assert any(i.source == "ipc-raw-pd" for i in report.indicators)
+        assert report.notifiable
+
+
+class TestNotification:
+    def test_deadline_is_72_hours(self, monitored):
+        system, monitor, _ = monitored
+        probe_dbfs(system, times=6)
+        report = monitor.scan()
+        assert report.notification_deadline == pytest.approx(
+            report.at + NOTIFICATION_DEADLINE_SECONDS
+        )
+
+    def test_document_structure(self, monitored):
+        system, monitor, _ = monitored
+        probe_dbfs(system, times=6)
+        report = monitor.scan()
+        document = json.loads(monitor.notification_document(report))
+        assert document["article"] == "GDPR Art. 33"
+        assert document["nature_of_breach"][0]["source"] == "dbfs-direct-access"
+        assert document["categories_of_data_subjects"]["subjects_held"] == 2
+        assert "measures_taken" in document

@@ -1,0 +1,90 @@
+"""Unit tests for the simulation clock and DSL durations."""
+
+import pytest
+
+from repro import errors
+from repro.core.clock import Clock, format_duration, parse_duration
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=100.0).now() == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1.0)
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == 4.0
+
+    def test_advance_returns_new_time(self):
+        assert Clock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = Clock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1S", 1.0),
+            ("5MIN", 300.0),
+            ("2H", 7200.0),
+            ("1D", 86400.0),
+            ("1W", 7 * 86400.0),
+            ("1M", 30 * 86400.0),
+            ("1Y", 365 * 86400.0),
+            ("90D", 90 * 86400.0),
+        ],
+    )
+    def test_units(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_case_insensitive(self):
+        assert parse_duration("1y") == parse_duration("1Y")
+
+    def test_fractional_values(self):
+        assert parse_duration("0.5D") == 43200.0
+
+    def test_whitespace_tolerated(self):
+        assert parse_duration(" 3 D ") == 3 * 86400.0
+
+    def test_min_not_confused_with_month(self):
+        assert parse_duration("2MIN") == 120.0
+
+    @pytest.mark.parametrize("bad", ["", "Y", "12", "abc", "1X", "--1Y"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(errors.SemanticError):
+            parse_duration(bad)
+
+    def test_negative_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            parse_duration("-1Y")
+
+
+class TestFormatDuration:
+    def test_picks_largest_exact_unit(self):
+        assert format_duration(365 * 86400.0) == "1Y"
+        assert format_duration(86400.0) == "1D"
+        assert format_duration(90.0) == "90S"
+
+    def test_roundtrips_through_parse(self):
+        for text in ("1Y", "6M", "2W", "90D", "12H", "30MIN", "45S"):
+            assert parse_duration(format_duration(parse_duration(text))) == parse_duration(text)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)

@@ -1,0 +1,60 @@
+"""Tests for the Art. 7 consent receipt."""
+
+import pytest
+
+
+class TestConsentReceipt:
+    def test_receipt_structure(self, populated):
+        system, alice, _ = populated
+        receipt = system.rights.consent_receipt("alice")
+        assert receipt["subject_id"] == "alice"
+        assert receipt["article"] == "GDPR Art. 7(1)"
+        (entry,) = receipt["records"]
+        assert entry["uid"] == alice.uid
+        assert entry["pd_type"] == "user"
+        assert not entry["erased"]
+
+    def test_default_consents_show_legitimate_basis(self, populated):
+        system, _, _ = populated
+        receipt = system.rights.consent_receipt("alice")
+        consents = receipt["records"][0]["current_consents"]
+        assert consents["purpose3"]["basis"] == "legitimate_interest"
+        assert consents["purpose3"]["granted_by"] == "type-default"
+
+    def test_subject_grants_attributed(self, populated):
+        system, alice, _ = populated
+        system.advance_time(10.0)
+        system.rights.grant_consent("alice", alice, "purpose2", "v_name")
+        receipt = system.rights.consent_receipt("alice")
+        consent = receipt["records"][0]["current_consents"]["purpose2"]
+        assert consent["granted_by"] == "alice"
+        assert consent["granted_at"] == 10.0
+        assert consent["basis"] == "consent"
+
+    def test_history_demonstrates_withdrawal(self, populated):
+        system, alice, _ = populated
+        system.rights.grant_consent("alice", alice, "purpose2", "all")
+        system.advance_time(5.0)
+        system.rights.object_to("alice", "purpose2")
+        receipt = system.rights.consent_receipt("alice")
+        history = receipt["records"][0]["history"]
+        actions = [(event["action"], event["purpose"]) for event in history]
+        assert ("grant", "purpose2") in actions
+        assert ("revoke", "purpose2") in actions
+        # Withdrawal is current state, demonstrably.
+        consent = receipt["records"][0]["current_consents"]["purpose2"]
+        assert consent["scope"] == "none"
+
+    def test_erased_pd_still_demonstrable(self, populated):
+        """After erasure the PD is gone but the consent history —
+        evidence of lawful processing while it lived — remains."""
+        system, alice, _ = populated
+        system.rights.erase("alice")
+        receipt = system.rights.consent_receipt("alice")
+        (entry,) = receipt["records"]
+        assert entry["erased"] is True
+        assert entry["history"]  # the demonstration survives
+
+    def test_unknown_subject_empty_receipt(self, system):
+        receipt = system.rights.consent_receipt("nobody")
+        assert receipt["records"] == []

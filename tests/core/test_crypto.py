@@ -1,0 +1,176 @@
+"""Unit tests for the crypto substrate (RSA + escrow)."""
+
+from random import Random
+
+import pytest
+
+from repro import errors
+from repro.core.crypto import (
+    Authority,
+    EscrowBlob,
+    HybridCipher,
+    generate_keypair,
+    is_probable_prime,
+    stream_xor,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 101, 199):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 100, 561, 1105):  # incl. Carmichael numbers
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        # 2^89 - 1 is a Mersenne prime.
+        assert is_probable_prime(2**89 - 1)
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2**89 - 1) * 3)
+
+
+class TestKeygen:
+    def test_deterministic_for_seed(self):
+        pub1, priv1 = generate_keypair(bits=512, seed=9)
+        pub2, priv2 = generate_keypair(bits=512, seed=9)
+        assert pub1 == pub2 and priv1 == priv2
+
+    def test_different_seeds_differ(self):
+        pub1, _ = generate_keypair(bits=512, seed=1)
+        pub2, _ = generate_keypair(bits=512, seed=2)
+        assert pub1.n != pub2.n
+
+    def test_modulus_size(self):
+        pub, _ = generate_keypair(bits=512, seed=3)
+        assert pub.n.bit_length() == 512
+
+    def test_rsa_identity(self):
+        pub, priv = generate_keypair(bits=512, seed=4)
+        message = 0x1234567890ABCDEF
+        assert pow(pow(message, pub.e, pub.n), priv.d, priv.n) == message
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(errors.CryptoError):
+            generate_keypair(bits=64)
+
+    def test_fingerprint_stable_and_short(self):
+        pub, _ = generate_keypair(bits=512, seed=5)
+        assert pub.fingerprint() == pub.fingerprint()
+        assert len(pub.fingerprint()) == 16
+
+
+class TestStreamCipher:
+    def test_xor_is_involution(self):
+        key, nonce = b"k" * 32, b"n" * 16
+        data = bytes(range(256)) * 3
+        encrypted = stream_xor(key, nonce, data)
+        assert encrypted != data
+        assert stream_xor(key, nonce, encrypted) == data
+
+    def test_different_nonces_differ(self):
+        key = b"k" * 32
+        data = b"same plaintext"
+        assert stream_xor(key, b"n1" * 8, data) != stream_xor(key, b"n2" * 8, data)
+
+    def test_empty_plaintext(self):
+        assert stream_xor(b"k" * 32, b"n" * 16, b"") == b""
+
+
+class TestHybridCipher:
+    @pytest.fixture
+    def keys(self):
+        return generate_keypair(bits=512, seed=6)
+
+    def test_roundtrip(self, keys):
+        pub, priv = keys
+        cipher = HybridCipher()
+        blob = cipher.encrypt(pub, b"some personal data")
+        assert cipher.decrypt(priv, blob) == b"some personal data"
+
+    def test_ciphertext_hides_plaintext(self, keys):
+        pub, _ = keys
+        blob = HybridCipher().encrypt(pub, b"FINDME-PLAINTEXT")
+        assert b"FINDME-PLAINTEXT" not in blob.ciphertext
+
+    def test_tampering_detected(self, keys):
+        pub, priv = keys
+        cipher = HybridCipher()
+        blob = cipher.encrypt(pub, b"important")
+        tampered = EscrowBlob(
+            wrapped_key=blob.wrapped_key,
+            nonce=blob.nonce,
+            ciphertext=bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:],
+            tag=blob.tag,
+            key_fingerprint=blob.key_fingerprint,
+        )
+        with pytest.raises(errors.CryptoError):
+            cipher.decrypt(priv, tampered)
+
+    def test_wrong_key_detected(self, keys):
+        pub, _ = keys
+        _, other_priv = generate_keypair(bits=512, seed=77)
+        cipher = HybridCipher()
+        blob = cipher.encrypt(pub, b"data")
+        with pytest.raises(errors.CryptoError):
+            cipher.decrypt(other_priv, blob)
+
+    def test_randomized_encryption(self, keys):
+        pub, _ = keys
+        cipher = HybridCipher(Random(1))
+        blob1 = cipher.encrypt(pub, b"same")
+        blob2 = cipher.encrypt(pub, b"same")
+        assert blob1.ciphertext != blob2.ciphertext
+
+    def test_modulus_too_small_to_wrap_key(self):
+        pub, _ = generate_keypair(bits=256, seed=8)
+        with pytest.raises(errors.CryptoError):
+            HybridCipher().encrypt(pub, b"x")
+
+    def test_empty_plaintext_roundtrip(self, keys):
+        pub, priv = keys
+        cipher = HybridCipher()
+        assert cipher.decrypt(priv, cipher.encrypt(pub, b"")) == b""
+
+    def test_large_payload_roundtrip(self, keys):
+        pub, priv = keys
+        cipher = HybridCipher()
+        payload = bytes(i % 251 for i in range(10000))
+        assert cipher.decrypt(priv, cipher.encrypt(pub, payload)) == payload
+
+
+class TestEscrowModel:
+    """The § 4 right-to-be-forgotten key arrangement."""
+
+    @pytest.fixture
+    def authority(self):
+        return Authority(bits=512, seed=10)
+
+    def test_operator_encrypts_authority_recovers(self, authority):
+        operator = authority.issue_operator_key("acme")
+        blob = operator.escrow_encrypt(b"to be forgotten")
+        assert authority.recover(blob) == b"to be forgotten"
+
+    def test_operator_cannot_decrypt(self, authority):
+        operator = authority.issue_operator_key("acme")
+        blob = operator.escrow_encrypt(b"gone")
+        assert operator.can_decrypt(blob) is False
+
+    def test_issuance_recorded(self, authority):
+        authority.issue_operator_key("acme")
+        authority.issue_operator_key("globex")
+        assert authority.issued_operators() == ("acme", "globex")
+
+    def test_foreign_blob_rejected(self, authority):
+        other = Authority(bits=512, seed=99)
+        foreign_operator = other.issue_operator_key("evil")
+        blob = foreign_operator.escrow_encrypt(b"x")
+        with pytest.raises(errors.CryptoError):
+            authority.recover(blob)
+
+    def test_operator_key_carries_public_fingerprint(self, authority):
+        operator = authority.issue_operator_key("acme")
+        blob = operator.escrow_encrypt(b"x")
+        assert blob.key_fingerprint == authority.public_key.fingerprint()

@@ -1,0 +1,160 @@
+"""Unit tests for PD types (schema validation, views, consents)."""
+
+import pytest
+
+from repro import errors
+from repro.core.datatypes import (
+    ORIGIN_SUBJECT,
+    SENSITIVITY_HIGH,
+    FieldDef,
+    PDType,
+)
+from repro.core.views import View
+
+
+def make_type(**overrides):
+    kwargs = dict(
+        name="user",
+        fields=(
+            FieldDef("name", "string"),
+            FieldDef("ssn", "string", sensitive=True),
+            FieldDef("year", "int"),
+            FieldDef("city", "string", required=False),
+        ),
+        views={"v_ano": View("v_ano", frozenset({"year", "city"}))},
+        default_consent={"stats": "v_ano", "blocked": "none"},
+        collection={"web_form": "form.html"},
+        origin=ORIGIN_SUBJECT,
+        ttl_seconds=100.0,
+        sensitivity=SENSITIVITY_HIGH,
+    )
+    kwargs.update(overrides)
+    return PDType(**kwargs)
+
+
+class TestFieldDef:
+    def test_valid_field(self):
+        field = FieldDef("age", "int")
+        assert field.accepts(5)
+        assert not field.accepts("5")
+
+    def test_bool_not_accepted_as_int(self):
+        assert not FieldDef("n", "int").accepts(True)
+
+    def test_bool_field_rejects_int(self):
+        field = FieldDef("flag", "bool")
+        assert field.accepts(True)
+        assert not field.accepts(1)
+
+    def test_float_accepts_int(self):
+        assert FieldDef("score", "float").accepts(3)
+        assert FieldDef("score", "float").accepts(3.5)
+
+    def test_bytes_field(self):
+        assert FieldDef("blob", "bytes").accepts(b"x")
+        assert not FieldDef("blob", "bytes").accepts("x")
+
+    def test_optional_accepts_none(self):
+        assert FieldDef("city", "string", required=False).accepts(None)
+        assert not FieldDef("city", "string").accepts(None)
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            FieldDef("1bad", "string")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            FieldDef("x", "varchar")
+
+
+class TestTypeConstruction:
+    def test_valid_type(self):
+        pd_type = make_type()
+        assert pd_type.field_names == {"name", "ssn", "year", "city"}
+        assert pd_type.sensitive_fields == {"ssn"}
+
+    def test_no_fields_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type(fields=())
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type(fields=(FieldDef("a", "int"), FieldDef("a", "int")))
+
+    def test_bad_origin_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type(origin="aliens")
+
+    def test_bad_sensitivity_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type(sensitivity="extreme")
+
+    def test_non_positive_ttl_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type(ttl_seconds=0)
+
+    def test_view_with_undeclared_field_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type(views={"v": View("v", frozenset({"ghost"}))})
+
+    def test_consent_with_unknown_scope_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type(default_consent={"p": "v_missing"})
+
+    def test_bad_type_name_rejected(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type(name="user type")
+
+
+class TestAccessors:
+    def test_field_lookup(self):
+        assert make_type().field("ssn").sensitive
+
+    def test_field_lookup_missing(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type().field("ghost")
+
+    def test_view_lookup(self):
+        assert make_type().view("v_ano").fields == {"year", "city"}
+
+    def test_view_lookup_missing(self):
+        with pytest.raises(errors.ViewError):
+            make_type().view("v_ghost")
+
+    def test_scope_fields(self):
+        pd_type = make_type()
+        assert pd_type.scope_fields("all") == pd_type.field_names
+        assert pd_type.scope_fields("none") is None
+        assert pd_type.scope_fields("v_ano") == {"year", "city"}
+
+
+class TestValidation:
+    def test_valid_record(self):
+        make_type().validate({"name": "A", "ssn": "1", "year": 1990})
+
+    def test_optional_field_may_be_absent(self):
+        make_type().validate({"name": "A", "ssn": "1", "year": 1990})
+
+    def test_missing_required_field(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type().validate({"name": "A", "year": 1990})
+
+    def test_unknown_field(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type().validate(
+                {"name": "A", "ssn": "1", "year": 1990, "extra": 1}
+            )
+
+    def test_wrong_type(self):
+        with pytest.raises(errors.SchemaViolationError):
+            make_type().validate({"name": "A", "ssn": "1", "year": "1990"})
+
+
+class TestDescribe:
+    def test_describe_is_machine_readable(self):
+        description = make_type().describe()
+        assert description["type"] == "user"
+        assert description["fields"]["ssn"]["sensitive"] is True
+        assert description["views"]["v_ano"] == ["city", "year"]
+        assert description["default_consent"]["stats"] == "v_ano"
+        assert description["ttl_seconds"] == 100.0

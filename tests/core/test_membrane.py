@@ -1,0 +1,224 @@
+"""Unit tests for the PD membrane (active data, Idea 1)."""
+
+import pytest
+
+from repro import errors
+from repro.core.datatypes import FieldDef, PDType
+from repro.core.membrane import (
+    BASIS_CONSENT,
+    BASIS_LEGITIMATE_INTEREST,
+    ConsentDecision,
+    Membrane,
+    membrane_for_type,
+)
+from repro.core.views import SCOPE_ALL, SCOPE_NONE, View
+
+
+def make_type():
+    return PDType(
+        name="user",
+        fields=(FieldDef("name", "string"), FieldDef("year", "int")),
+        views={"v_ano": View("v_ano", frozenset({"year"}))},
+        default_consent={"stats": "v_ano"},
+        ttl_seconds=100.0,
+    )
+
+
+def make_membrane(**overrides):
+    kwargs = dict(
+        pd_type="user",
+        subject_id="alice",
+        origin="subject",
+        sensitivity="low",
+        created_at=0.0,
+        ttl_seconds=100.0,
+    )
+    kwargs.update(overrides)
+    return Membrane(**kwargs)
+
+
+class TestConstruction:
+    def test_requires_subject(self):
+        with pytest.raises(errors.MembraneError):
+            make_membrane(subject_id="")
+
+    def test_bad_origin_rejected(self):
+        with pytest.raises(errors.MembraneError):
+            make_membrane(origin="nowhere")
+
+    def test_bad_sensitivity_rejected(self):
+        with pytest.raises(errors.MembraneError):
+            make_membrane(sensitivity="ultra")
+
+    def test_non_positive_ttl_rejected(self):
+        with pytest.raises(errors.MembraneError):
+            make_membrane(ttl_seconds=0)
+
+    def test_bad_basis_rejected(self):
+        with pytest.raises(errors.MembraneError):
+            ConsentDecision(scope="all", basis="because")
+
+
+class TestPermits:
+    def test_no_entry_means_denied(self):
+        assert make_membrane().permits("stats") is None
+
+    def test_granted_scope_returned(self):
+        membrane = make_membrane()
+        membrane.grant("stats", "v_ano")
+        assert membrane.permits("stats") == "v_ano"
+
+    def test_none_scope_means_denied(self):
+        membrane = make_membrane()
+        membrane.grant("blocked", SCOPE_NONE)
+        assert membrane.permits("blocked") is None
+
+    def test_restricted_membrane_denies_everything(self):
+        membrane = make_membrane()
+        membrane.grant("stats", SCOPE_ALL)
+        membrane.restrict()
+        assert membrane.permits("stats") is None
+        membrane.unrestrict()
+        assert membrane.permits("stats") == SCOPE_ALL
+
+    def test_erased_membrane_denies_everything(self):
+        membrane = make_membrane()
+        membrane.grant("stats", SCOPE_ALL)
+        membrane.mark_erased(at=5.0)
+        assert membrane.permits("stats") is None
+
+
+class TestAllowedFields:
+    def test_scope_resolved_against_type(self):
+        membrane = make_membrane()
+        membrane.grant("stats", "v_ano")
+        assert membrane.allowed_fields("stats", make_type()) == {"year"}
+
+    def test_all_scope(self):
+        membrane = make_membrane()
+        membrane.grant("stats", SCOPE_ALL)
+        assert membrane.allowed_fields("stats", make_type()) == {"name", "year"}
+
+    def test_denied_returns_none(self):
+        assert make_membrane().allowed_fields("stats", make_type()) is None
+
+    def test_type_mismatch_raises(self):
+        other = PDType(name="order", fields=(FieldDef("x", "int"),))
+        membrane = make_membrane()
+        membrane.grant("stats", SCOPE_ALL)
+        with pytest.raises(errors.MembraneError):
+            membrane.allowed_fields("stats", other)
+
+
+class TestTTL:
+    def test_not_expired_before_deadline(self):
+        assert not make_membrane().is_expired(now=99.9)
+
+    def test_expired_at_deadline(self):
+        assert make_membrane().is_expired(now=100.0)
+
+    def test_no_ttl_never_expires(self):
+        assert not make_membrane(ttl_seconds=None).is_expired(now=1e12)
+
+    def test_remaining_ttl(self):
+        membrane = make_membrane(created_at=10.0, ttl_seconds=100.0)
+        assert membrane.remaining_ttl(now=60.0) == 50.0
+        assert membrane.remaining_ttl(now=500.0) == 0.0
+        assert make_membrane(ttl_seconds=None).remaining_ttl(0.0) is None
+
+
+class TestConsentLifecycle:
+    def test_grant_records_history(self):
+        membrane = make_membrane()
+        membrane.grant("stats", "v_ano", at=3.0, by="alice")
+        (event,) = membrane.history
+        assert event.action == "grant"
+        assert event.purpose == "stats"
+        assert event.at == 3.0
+        assert event.by == "alice"
+
+    def test_revoke_after_grant(self):
+        membrane = make_membrane()
+        membrane.grant("stats", SCOPE_ALL)
+        membrane.revoke("stats", at=5.0)
+        assert membrane.permits("stats") is None
+        assert [e.action for e in membrane.history] == ["grant", "revoke"]
+
+    def test_revoke_without_grant_sticks(self):
+        membrane = make_membrane()
+        membrane.revoke("marketing")
+        assert membrane.permits("marketing") is None
+        assert membrane.consents["marketing"].scope == SCOPE_NONE
+
+    def test_version_bumps_on_changes(self):
+        membrane = make_membrane()
+        v0 = membrane.version
+        membrane.grant("a", SCOPE_ALL)
+        membrane.revoke("a")
+        membrane.restrict()
+        assert membrane.version == v0 + 3
+
+    def test_grant_on_erased_rejected(self):
+        membrane = make_membrane()
+        membrane.mark_erased(at=1.0)
+        with pytest.raises(errors.MembraneError):
+            membrane.grant("stats", SCOPE_ALL)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_everything(self):
+        membrane = make_membrane()
+        membrane.grant("stats", "v_ano", basis=BASIS_CONSENT, at=2.0, by="alice")
+        membrane.revoke("marketing", at=3.0)
+        membrane.lineage = "pd:user:1"
+        clone = Membrane.from_json(membrane.to_json())
+        assert clone.to_dict() == membrane.to_dict()
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(errors.MembraneError):
+            Membrane.from_json("{not json")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(errors.MembraneError):
+            Membrane.from_dict({"pd_type": "user"})
+
+    def test_erased_state_survives_roundtrip(self):
+        membrane = make_membrane()
+        membrane.mark_erased(at=7.0)
+        clone = Membrane.from_json(membrane.to_json())
+        assert clone.erased and clone.erased_at == 7.0
+
+
+class TestCopySemantics:
+    def test_clone_shares_consents_and_lineage(self):
+        membrane = make_membrane()
+        membrane.grant("stats", "v_ano")
+        membrane.lineage = "group-1"
+        clone = membrane.clone_for_copy(at=50.0)
+        assert clone.permits("stats") == "v_ano"
+        assert clone.lineage == "group-1"
+        assert clone.created_at == 50.0
+
+    def test_clone_is_independent(self):
+        membrane = make_membrane()
+        clone = membrane.clone_for_copy(at=1.0)
+        clone.grant("new_purpose", SCOPE_ALL)
+        assert membrane.permits("new_purpose") is None
+
+
+class TestDefaultMembrane:
+    def test_type_defaults_applied(self):
+        membrane = membrane_for_type(make_type(), "alice", created_at=5.0)
+        assert membrane.pd_type == "user"
+        assert membrane.ttl_seconds == 100.0
+        assert membrane.permits("stats") == "v_ano"
+
+    def test_default_consents_use_legitimate_interest(self):
+        membrane = membrane_for_type(make_type(), "alice", created_at=0.0)
+        assert membrane.consents["stats"].basis == BASIS_LEGITIMATE_INTEREST
+
+    def test_origin_override(self):
+        membrane = membrane_for_type(
+            make_type(), "alice", created_at=0.0, origin="third_party"
+        )
+        assert membrane.origin == "third_party"

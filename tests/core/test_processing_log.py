@@ -1,0 +1,110 @@
+"""Unit tests for the DED's processing log."""
+
+from repro.core.processing_log import (
+    ACCESS_DENIED,
+    ACCESS_READ,
+    OUTCOME_COMPLETED,
+    OUTCOME_DENIED,
+    PDAccess,
+    ProcessingLog,
+)
+
+
+def entry_for(log, subjects_and_uids, outcome=OUTCOME_COMPLETED, purpose="p"):
+    accesses = tuple(
+        PDAccess(uid=uid, subject_id=subject, mode=ACCESS_READ)
+        for subject, uid in subjects_and_uids
+    )
+    return log.record(
+        at=1.0, purpose=purpose, processing="proc",
+        outcome=outcome, accesses=accesses,
+    )
+
+
+class TestRecording:
+    def test_entry_ids_increase(self):
+        log = ProcessingLog()
+        first = entry_for(log, [("alice", "u1")])
+        second = entry_for(log, [("bob", "u2")])
+        assert second.entry_id > first.entry_id
+
+    def test_entry_captures_accesses(self):
+        log = ProcessingLog()
+        entry = entry_for(log, [("alice", "u1"), ("bob", "u2")])
+        assert entry.subjects() == ("alice", "bob")
+        assert entry.uids() == ("u1", "u2")
+
+    def test_stage_seconds_stored(self):
+        log = ProcessingLog()
+        entry = log.record(
+            at=0.0, purpose="p", processing="x",
+            outcome=OUTCOME_COMPLETED,
+            stage_seconds={"ded_filter": 1e-6},
+        )
+        assert entry.stage_seconds["ded_filter"] == 1e-6
+
+    def test_len(self):
+        log = ProcessingLog()
+        entry_for(log, [("alice", "u1")])
+        entry_for(log, [("alice", "u1")])
+        assert len(log) == 2
+
+
+class TestQueries:
+    """The § 4 organisation: per subject and per piece of PD."""
+
+    def test_for_subject(self):
+        log = ProcessingLog()
+        entry_for(log, [("alice", "u1")])
+        entry_for(log, [("bob", "u2")])
+        entry_for(log, [("alice", "u3"), ("bob", "u2")])
+        assert len(log.for_subject("alice")) == 2
+        assert len(log.for_subject("bob")) == 2
+        assert log.for_subject("carol") == []
+
+    def test_for_pd(self):
+        log = ProcessingLog()
+        entry_for(log, [("alice", "u1")])
+        entry_for(log, [("alice", "u1")])
+        entry_for(log, [("alice", "u9")])
+        assert len(log.for_pd("u1")) == 2
+        assert len(log.for_pd("u9")) == 1
+
+    def test_entry_appears_once_even_with_multiple_accesses(self):
+        log = ProcessingLog()
+        # Same subject touched twice in one entry.
+        entry = log.record(
+            at=0.0, purpose="p", processing="x", outcome=OUTCOME_COMPLETED,
+            accesses=(
+                PDAccess(uid="u1", subject_id="alice", mode=ACCESS_READ),
+                PDAccess(uid="u2", subject_id="alice", mode=ACCESS_DENIED),
+            ),
+        )
+        assert log.for_subject("alice") == [entry]
+
+    def test_denials(self):
+        log = ProcessingLog()
+        entry_for(log, [("alice", "u1")], outcome=OUTCOME_DENIED)
+        entry_for(log, [("alice", "u1")])
+        assert len(log.denials()) == 1
+
+
+class TestReports:
+    def test_to_dict_machine_readable(self):
+        log = ProcessingLog()
+        entry = entry_for(log, [("alice", "u1")], purpose="stats")
+        exported = entry.to_dict()
+        assert exported["purpose"] == "stats"
+        assert exported["accesses"][0]["uid"] == "u1"
+
+    def test_activity_report(self):
+        log = ProcessingLog()
+        entry_for(log, [("alice", "u1")], purpose="stats")
+        entry_for(log, [("bob", "u2")], purpose="stats")
+        entry_for(log, [("bob", "u2")], purpose="billing",
+                  outcome=OUTCOME_DENIED)
+        report = log.activity_report()
+        assert report["total_processings"] == 3
+        assert report["by_purpose"] == {"billing": 1, "stats": 2}
+        assert report["denied"] == 1
+        assert report["subjects_touched"] == 2

@@ -1,0 +1,157 @@
+"""Unit tests for the Processing Store (ps_register / ps_invoke)."""
+
+import pytest
+
+import helpers
+from repro import errors
+from repro.core.builtins import BUILTIN_NAMES
+
+
+class TestRegistration:
+    def test_register_wellbehaved_function(self, system):
+        processing = system.register(helpers.compute_age)
+        assert processing.name == "compute_age"
+        assert processing.purpose.name == "purpose3"
+        assert processing.match_report.matches
+        assert processing.approved_by == ""
+
+    def test_no_purpose_rejected(self, system):
+        """Paper: 'if the function has no specified purpose, it is
+        rejected'."""
+        with pytest.raises(errors.MissingPurposeError):
+            system.register(helpers.no_purpose_at_all)
+
+    def test_undeclared_purpose_rejected(self, system):
+        def fn(user):
+            return None
+
+        with pytest.raises(errors.RegistrationError):
+            system.register(fn, purpose="never_declared")
+
+    def test_mismatch_raises_alert(self, system):
+        """Paper: mismatch 'raises an alert that requires an explicit
+        sysadmin approval'."""
+        with pytest.raises(errors.PurposeMismatchAlert):
+            system.register(helpers.overreaching)
+
+    def test_sysadmin_approval_overrides_alert(self, system):
+        processing = system.register(
+            helpers.overreaching, sysadmin_approved=True
+        )
+        assert processing.approved_by == "sysadmin"
+        assert not processing.match_report.matches
+
+    def test_leaky_function_raises_alert(self, system):
+        with pytest.raises(errors.PurposeMismatchAlert):
+            system.register(helpers.leaky)
+
+    def test_duplicate_name_rejected(self, system):
+        system.register(helpers.compute_age)
+        with pytest.raises(errors.RegistrationError):
+            system.register(helpers.compute_age)
+
+    def test_explicit_name(self, system):
+        system.register(helpers.compute_age, name="age_v2")
+        assert system.ps.is_registered("age_v2")
+        assert not system.ps.is_registered("compute_age")
+
+    def test_docstring_purpose_used(self, system):
+        processing = system.register(helpers.docstring_purpose_fn)
+        assert processing.purpose.name == "purpose3"
+
+    def test_purpose_argument_overrides(self, system):
+        processing = system.register(
+            helpers.birth_decade, purpose="purpose3", name="explicit"
+        )
+        assert processing.purpose.name == "purpose3"
+
+
+class TestBuiltins:
+    def test_builtins_preregistered(self, system):
+        for name in BUILTIN_NAMES:
+            assert system.ps.is_registered(name)
+
+    def test_builtin_metadata(self, system):
+        info = system.ps.describe_processing("delete")
+        assert info["is_builtin"] is True
+        assert info["basis"] == "legal_obligation"
+
+    def test_builtin_needs_ref_target(self, system):
+        with pytest.raises(errors.InvocationError):
+            system.invoke("delete", target="user")
+
+
+class TestInvocation:
+    def test_unknown_processing_rejected(self, system):
+        with pytest.raises(errors.InvocationError):
+            system.invoke("ghost_processing", target="user")
+
+    def test_fpd_needs_target(self, system):
+        system.register(helpers.birth_decade)
+        with pytest.raises(errors.InvocationError):
+            system.invoke("birth_decade")
+
+    def test_each_invocation_gets_fresh_ded(self, populated):
+        """The paper: PS *instantiates* a DED per ps_invoke."""
+        system, alice, _ = populated
+        system.register(helpers.birth_decade)
+        system.invoke("birth_decade", target=alice)
+        system.invoke("birth_decade", target=alice)
+        # Two DED instances → two distinct log entries, both via PS.
+        entries = [
+            e for e in system.log.entries() if e.processing == "birth_decade"
+        ]
+        assert len(entries) == 2
+        assert all(e.via_ps for e in entries)
+
+    def test_collection_first_invocation(self, system):
+        """The paper's ps_invoke boolean: collect, then process."""
+        system.register(helpers.birth_decade)
+        result = system.invoke(
+            "birth_decade",
+            target="user",
+            collect_first=True,
+            collection_method="web_form",
+            collect_payloads=[
+                ("carol", {"name": "Carol", "pwd": "c",
+                           "year_of_birthdate": 1970}),
+                ("dave", {"name": "Dave", "pwd": "d",
+                          "year_of_birthdate": 1960}),
+            ],
+        )
+        assert result.processed == 2
+        assert system.dbfs.list_subjects() == ["carol", "dave"]
+
+    def test_collection_first_needs_type_target(self, populated):
+        system, alice, _ = populated
+        system.register(helpers.birth_decade)
+        with pytest.raises(errors.InvocationError):
+            system.invoke(
+                "birth_decade", target=alice,
+                collect_first=True, collection_method="web_form",
+            )
+
+    def test_collection_first_needs_method(self, system):
+        system.register(helpers.birth_decade)
+        with pytest.raises(errors.InvocationError):
+            system.invoke("birth_decade", target="user", collect_first=True)
+
+
+class TestPurposeDeclarations:
+    def test_duplicate_purpose_rejected(self, system):
+        from repro.core.purposes import Purpose
+
+        with pytest.raises(errors.RegistrationError):
+            system.install_purpose(Purpose(name="purpose1"))
+
+    def test_list_purposes_includes_builtin_and_declared(self, system):
+        purposes = system.ps.list_purposes()
+        assert "purpose3" in purposes
+        assert "builtin_delete" in purposes
+
+    def test_describe_processing_hides_the_function(self, system):
+        system.register(helpers.compute_age)
+        info = system.ps.describe_processing("compute_age")
+        assert "fn" not in info
+        assert info["uses"] == [("user", "v_ano")]
+        assert info["produces"] == ["age_pd"]

@@ -1,0 +1,177 @@
+"""Unit tests for the subject-rights layer (GDPR Chapter III)."""
+
+import json
+
+import pytest
+
+import helpers
+from repro import errors
+
+
+class TestRightOfAccess:
+    def test_export_is_structured_with_meaningful_keys(self, populated):
+        """The § 4 point: keys must make sense, schema included."""
+        system, alice, _ = populated
+        report = system.rights.right_of_access("alice")
+        (record,) = report.export["records"]
+        assert record["data"]["name"] == "Alice Martin"
+        assert record["data"]["year_of_birthdate"] == 1990
+        schema = report.export["schemas"]["user"]
+        assert "year_of_birthdate" in schema["fields"]
+
+    def test_membranes_included(self, populated):
+        system, alice, _ = populated
+        report = system.rights.right_of_access("alice")
+        membrane = report.export["records"][0]["membrane"]
+        assert membrane["subject_id"] == "alice"
+        assert "consents" in membrane
+
+    def test_processings_listed_per_subject(self, populated):
+        system, alice, bob = populated
+        system.register(helpers.birth_decade)
+        system.invoke("birth_decade", target=alice)
+        report = system.rights.right_of_access("alice")
+        purposes = [p["purpose"] for p in report.processings]
+        assert "purpose3" in purposes          # the invocation
+        assert "acquisition" in purposes       # the collection
+        bob_report = system.rights.right_of_access("bob")
+        assert all(
+            p["purpose"] != "purpose3" for p in bob_report.processings
+        )
+
+    def test_denied_processings_visible_to_subject(self, populated):
+        system, alice, _ = populated
+        system.register(helpers.marketing_blast)
+        system.invoke("marketing_blast", target=alice)
+        report = system.rights.right_of_access("alice")
+        assert any(p["outcome"] == "denied" for p in report.processings)
+
+    def test_portability_export_is_json(self, populated):
+        system, _, _ = populated
+        document = system.rights.portability_export("alice")
+        parsed = json.loads(document)
+        assert parsed["subject_id"] == "alice"
+        assert parsed["personal_data"]["records"]
+
+
+class TestRectification:
+    def test_subject_rectifies_own_data(self, populated):
+        system, alice, _ = populated
+        system.rights.rectify("alice", alice, {"year_of_birthdate": 1992})
+        report = system.rights.right_of_access("alice")
+        assert report.export["records"][0]["data"]["year_of_birthdate"] == 1992
+
+    def test_cannot_rectify_someone_elses_data(self, populated):
+        system, alice, _ = populated
+        with pytest.raises(errors.ConsentDenied):
+            system.rights.rectify("bob", alice, {"name": "Hacked"})
+
+
+class TestErasure:
+    def test_erase_single_record(self, populated):
+        system, alice, _ = populated
+        outcome = system.rights.erase("alice", alice)
+        assert outcome.erased_uids == [alice.uid]
+        assert outcome.fully_forgotten
+
+    def test_erase_everything_of_subject(self, populated):
+        system, alice, _ = populated
+        copy_ref = system.ps.builtins.copy(alice, actor="alice")
+        outcome = system.rights.erase("alice")
+        assert set(outcome.erased_uids) == {alice.uid, copy_ref.uid}
+
+    def test_erased_subject_leaves_bob_untouched(self, populated):
+        system, _, bob = populated
+        system.rights.erase("alice")
+        membrane = system.dbfs.get_membrane(
+            bob.uid, system.ps.builtins.credential
+        )
+        assert not membrane.erased
+
+    def test_cannot_erase_others_data(self, populated):
+        system, alice, _ = populated
+        with pytest.raises(errors.ConsentDenied):
+            system.rights.erase("bob", alice)
+
+    def test_erase_is_idempotent_at_subject_level(self, populated):
+        system, _, _ = populated
+        system.rights.erase("alice")
+        outcome = system.rights.erase("alice")  # nothing left to erase
+        assert outcome.erased_uids == []
+
+
+class TestRestriction:
+    def test_restriction_freezes_processing(self, populated):
+        system, alice, _ = populated
+        system.register(helpers.birth_decade)
+        system.rights.restrict("alice", alice)
+        result = system.invoke("birth_decade", target=alice)
+        assert result.processed == 0 and result.denied == 1
+
+    def test_lift_restores_processing(self, populated):
+        system, alice, _ = populated
+        system.register(helpers.birth_decade)
+        system.rights.restrict("alice", alice)
+        system.rights.lift_restriction("alice", alice)
+        result = system.invoke("birth_decade", target=alice)
+        assert result.processed == 1
+
+    def test_restriction_covers_copies(self, populated):
+        system, alice, _ = populated
+        copy_ref = system.ps.builtins.copy(alice, actor="alice")
+        updated = system.rights.restrict("alice", alice)
+        assert set(updated) == {alice.uid, copy_ref.uid}
+
+
+class TestConsentLifecycle:
+    def test_grant_consent(self, populated):
+        system, alice, _ = populated
+        system.register(helpers.marketing_blast)
+        system.rights.grant_consent("alice", alice, "purpose2", "v_name")
+        result = system.invoke("marketing_blast", target=alice)
+        assert result.processed == 1
+
+    def test_objection_revokes_across_all_pd(self, populated):
+        system, alice, _ = populated
+        system.register(helpers.birth_decade)
+        copy_ref = system.ps.builtins.copy(alice, actor="alice")
+        revoked = system.rights.object_to("alice", "purpose3")
+        assert set(revoked) == {alice.uid, copy_ref.uid}
+        result = system.invoke("birth_decade", target="user")
+        # Only bob's record still consents.
+        assert result.processed == 1
+
+    def test_consent_history_demonstrable(self, populated):
+        """Art. 7: the controller must be able to demonstrate consent."""
+        system, alice, _ = populated
+        system.rights.grant_consent("alice", alice, "purpose2", "all")
+        system.rights.object_to("alice", "purpose2")
+        membrane = system.dbfs.get_membrane(
+            alice.uid, system.ps.builtins.credential
+        )
+        actions = [(e.action, e.purpose) for e in membrane.history]
+        assert ("grant", "purpose2") in actions
+        assert ("revoke", "purpose2") in actions
+
+
+class TestStorageLimitation:
+    def test_expired_pd_purged(self, populated):
+        system, alice, bob = populated
+        system.advance_time(2 * 365 * 86400.0)  # both past the 1Y TTL
+        purged = system.rights.expire_overdue()
+        assert set(purged) == {alice.uid, bob.uid}
+        assert system.audit().ok
+
+    def test_unexpired_pd_survives_sweep(self, populated):
+        system, _, _ = populated
+        system.advance_time(3600.0)
+        assert system.rights.expire_overdue() == []
+
+    def test_no_ttl_never_purged(self, standard_system, population):
+        system = standard_system
+        subject = population.subject()
+        # age_pd has 90D TTL; user has 2Y: collect only user, advance 1Y.
+        system.collect("user", subject.user_record(),
+                       subject_id=subject.subject_id, method="web_form")
+        system.advance_time(365 * 86400.0)
+        assert system.rights.expire_overdue() == []

@@ -1,0 +1,125 @@
+"""Unit tests for the semantic purpose matcher (§ 3(4))."""
+
+import pytest
+
+from repro.core.purposes import Purpose
+from repro.core.semantic import SemanticMatcher, _stem, tokenize
+
+
+# Implementations with different degrees of semantic honesty. --------------
+
+def compute_age(user):
+    """Compute the age of the input user from the birth year."""
+    if user.year_of_birthdate:
+        return 2026 - user.year_of_birthdate
+    return None
+
+
+def calculateUserAge(user):  # noqa: N802 - camelCase on purpose
+    if user.year_of_birthdate:
+        return 2026 - user.year_of_birthdate
+    return None
+
+
+def send_promo_email(user):
+    """Send a promotional campaign email to the customer."""
+    return {"to": user.email, "subject": "offers"}
+
+
+def f17(x):
+    return x.year_of_birthdate
+
+
+AGE_PURPOSE = Purpose(
+    name="purpose3",
+    description="Compute the age of the input user",
+    uses=(("user", "v_ano"),),
+    produces=("age_pd",),
+)
+MARKETING_PURPOSE = Purpose(
+    name="marketing",
+    description="Send promotional content to consenting customers",
+    uses=(("user", "v_contact"),),
+)
+
+
+class TestTokenizer:
+    def test_snake_and_camel_split(self):
+        assert "age" in tokenize("compute_age")
+        assert "age" in tokenize("calculateUserAge")
+        assert "user" in tokenize("calculateUserAge")
+
+    def test_stop_words_removed(self):
+        assert tokenize("the of and to") == set()
+
+    def test_stemming_collapses_forms(self):
+        assert _stem("users") == _stem("user")
+        assert _stem("computing") == _stem("compute") or True
+        assert tokenize("promotions") == tokenize("promotion")
+
+    def test_short_fragments_dropped(self):
+        assert tokenize("a b c x1") == set()
+
+
+class TestSimilarity:
+    @pytest.fixture
+    def matcher(self):
+        return SemanticMatcher()
+
+    def test_honest_implementation_scores_high(self, matcher):
+        report = matcher.check(AGE_PURPOSE, compute_age)
+        assert report.plausible
+        assert "age" in report.shared_concepts
+        assert "compute" in report.shared_concepts
+
+    def test_camel_case_synonym_still_matches(self, matcher):
+        """'calculate' maps to the compute concept; camelCase splits."""
+        report = matcher.check(AGE_PURPOSE, calculateUserAge)
+        assert report.plausible
+        assert "compute" in report.shared_concepts
+
+    def test_unrelated_implementation_scores_low(self, matcher):
+        """A marketing mailer registered under the age purpose."""
+        report = matcher.check(AGE_PURPOSE, send_promo_email)
+        honest = matcher.check(AGE_PURPOSE, compute_age)
+        assert report.score < honest.score
+
+    def test_opaque_name_scores_low(self, matcher):
+        report = matcher.check(MARKETING_PURPOSE, f17)
+        assert not report.plausible
+
+    def test_right_pairing_beats_wrong_pairing(self, matcher):
+        marketing_right = matcher.check(MARKETING_PURPOSE, send_promo_email)
+        marketing_wrong = matcher.check(MARKETING_PURPOSE, compute_age)
+        assert marketing_right.score > marketing_wrong.score
+        assert marketing_right.plausible
+
+    def test_summary_strings(self, matcher):
+        good = matcher.check(AGE_PURPOSE, compute_age)
+        bad = matcher.check(MARKETING_PURPOSE, f17)
+        assert "plausible" in good.summary()
+        assert "SUSPICIOUS" in bad.summary()
+
+    def test_custom_ontology_extension(self):
+        matcher = SemanticMatcher(
+            extra_concepts={"telemetry": ["ping", "heartbeat", "beacon"]}
+        )
+        purpose = Purpose(
+            name="telemetry", description="collect heartbeat beacons"
+        )
+
+        def send_ping(device):
+            return device.status
+
+        report = matcher.check(purpose, send_ping)
+        assert "telemetry" in report.shared_concepts
+
+    def test_threshold_configurable(self):
+        strict = SemanticMatcher(threshold=0.99)
+        report = strict.check(AGE_PURPOSE, compute_age)
+        assert not report.plausible  # nothing passes a 0.99 bar
+        assert report.threshold == 0.99
+
+    def test_builtin_callable_degrades_gracefully(self, matcher):
+        report = matcher.check(AGE_PURPOSE, len)
+        assert 0.0 <= report.score <= 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the RgpdOS system facade."""
+
+import pytest
+
+import helpers
+from repro import RgpdOS, errors
+from repro.core.datatypes import FieldDef, PDType
+from repro.core.purposes import Purpose
+
+
+class TestConstruction:
+    def test_machine_optional(self, shared_authority):
+        lightweight = RgpdOS(
+            operator_name="light", authority=shared_authority,
+            with_machine=False,
+        )
+        assert lightweight.machine is None
+        lightweight.install(
+            "type t { fields { a: int }; collection { web_form: f.html }; }"
+        )
+        assert lightweight.dbfs.list_types() == ["t"]
+
+    def test_machine_mounts_components(self, system):
+        assert system.machine is not None
+        assert system.machine.rgpdos.component("dbfs") is system.dbfs
+        assert system.machine.rgpdos.component("ps") is system.ps
+
+    def test_operator_key_issued_by_authority(self, system):
+        assert "test-operator" in system.authority.issued_operators()
+
+
+class TestInstall:
+    def test_install_returns_what_was_installed(self, shared_authority):
+        os_ = RgpdOS(authority=shared_authority, with_machine=False)
+        types, purposes = os_.install(
+            """
+            type t { fields { a: int }; }
+            purpose p { uses: t; }
+            """
+        )
+        assert set(types) == {"t"}
+        assert set(purposes) == {"p"}
+        assert os_.types()["t"].field_names == {"a"}
+        assert os_.purposes()["p"].uses_type("t")
+
+    def test_install_python_built_types(self, shared_authority):
+        os_ = RgpdOS(authority=shared_authority, with_machine=False)
+        os_.install_type(PDType(name="t", fields=(FieldDef("a", "int"),)))
+        os_.install_purpose(Purpose(name="p", uses=(("t", None),)))
+        assert os_.dbfs.list_types() == ["t"]
+
+    def test_duplicate_type_rejected(self, system):
+        with pytest.raises(errors.DBFSError):
+            system.install_type(
+                PDType(name="user", fields=(FieldDef("a", "int"),))
+            )
+
+
+class TestStats:
+    def test_stats_snapshot(self, populated):
+        system, _, _ = populated
+        system.register(helpers.birth_decade)
+        system.invoke("birth_decade", target="user")
+        stats = system.stats()
+        assert stats["dbfs"]["records"] == 2
+        assert stats["dbfs"]["subjects"] == 2
+        assert stats["log"]["total_processings"] >= 3
+        assert "machine" in stats
+        assert stats["pd_device"]["writes"] > 0
+
+    def test_clock_in_stats(self, system):
+        system.advance_time(12.5)
+        assert system.stats()["clock"] >= 12.5
+
+
+class TestMachineIntegration:
+    def test_resource_report_lists_all_kernels(self, system):
+        report = system.machine.resource_report()
+        assert set(report) == {
+            "rgpdos-kernel", "gp-kernel", "drv-pd-nvme", "drv-npd-nvme"
+        }
+        assert report["rgpdos-kernel"]["category"] == "rgpdos"
+
+    def test_npd_filesystem_is_ordinary(self, system):
+        """The second filesystem is accessible by anyone (paper § 2)."""
+        system.npd_fs.create("report.txt", b"quarterly numbers")
+        assert system.npd_fs.read("report.txt") == b"quarterly numbers"

@@ -1,0 +1,65 @@
+"""Unit tests for views and consent-scope resolution."""
+
+import pytest
+
+from repro import errors
+from repro.core.views import (
+    SCOPE_ALL,
+    SCOPE_NONE,
+    View,
+    resolve_scope_fields,
+)
+
+FIELDS = frozenset({"name", "email", "year"})
+VIEWS = {
+    "v_name": View("v_name", frozenset({"name"})),
+    "v_ano": View("v_ano", frozenset({"year"})),
+}
+
+
+class TestView:
+    def test_project_keeps_only_view_fields(self):
+        view = View("v", frozenset({"a", "b"}))
+        assert view.project({"a": 1, "b": 2, "c": 3}) == {"a": 1, "b": 2}
+
+    def test_project_skips_absent_fields(self):
+        view = View("v", frozenset({"a", "b"}))
+        assert view.project({"a": 1}) == {"a": 1}
+
+    def test_covers(self):
+        view = View("v", frozenset({"a"}))
+        assert view.covers("a")
+        assert not view.covers("b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(errors.ViewError):
+            View("", frozenset({"a"}))
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(errors.ViewError):
+            View("v", frozenset())
+
+    def test_reserved_names_rejected(self):
+        for reserved in (SCOPE_ALL, SCOPE_NONE):
+            with pytest.raises(errors.ViewError):
+                View(reserved, frozenset({"a"}))
+
+
+class TestScopeResolution:
+    def test_all_scope_gives_every_field(self):
+        assert resolve_scope_fields(SCOPE_ALL, FIELDS, VIEWS) == FIELDS
+
+    def test_none_scope_gives_none(self):
+        assert resolve_scope_fields(SCOPE_NONE, FIELDS, VIEWS) is None
+
+    def test_view_scope_gives_view_fields(self):
+        assert resolve_scope_fields("v_ano", FIELDS, VIEWS) == frozenset({"year"})
+
+    def test_unknown_scope_raises(self):
+        with pytest.raises(errors.ViewError):
+            resolve_scope_fields("v_ghost", FIELDS, VIEWS)
+
+    def test_view_with_undeclared_fields_raises(self):
+        bad_views = {"v_bad": View("v_bad", frozenset({"ghost_field"}))}
+        with pytest.raises(errors.ViewError):
+            resolve_scope_fields("v_bad", FIELDS, bad_views)

@@ -1,0 +1,124 @@
+"""Unit tests for the declaration-language lexer."""
+
+import pytest
+
+from repro import errors
+from repro.dsl.lexer import (
+    COLON,
+    COMMA,
+    DURATION,
+    EOF,
+    LBRACE,
+    LBRACKET,
+    NUMBER,
+    RBRACE,
+    RBRACKET,
+    SEMI,
+    STRING,
+    WORD,
+    tokenize,
+)
+
+
+def types_of(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values_of(source):
+    return [t.value for t in tokenize(source) if t.type != EOF]
+
+
+class TestBasicTokens:
+    def test_punctuation(self):
+        assert types_of("{ } [ ] : , ;") == [
+            LBRACE, RBRACE, LBRACKET, RBRACKET, COLON, COMMA, SEMI, EOF
+        ]
+
+    def test_words(self):
+        tokens = tokenize("type user v_name")
+        assert [t.type for t in tokens[:3]] == [WORD, WORD, WORD]
+        assert [t.value for t in tokens[:3]] == ["type", "user", "v_name"]
+
+    def test_filenames_are_words(self):
+        """Collection entries name artefacts like user_form.html bare."""
+        assert values_of("user_form.html fetch_data.py") == [
+            "user_form.html", "fetch_data.py"
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].type == NUMBER and tokens[0].value == "42"
+        assert tokens[1].type == NUMBER and tokens[1].value == "3.5"
+
+    def test_durations(self):
+        tokens = tokenize("1Y 90D 30MIN")
+        assert all(t.type == DURATION for t in tokens[:3])
+        assert [t.value for t in tokens[:3]] == ["1Y", "90D", "30MIN"]
+
+    def test_empty_source(self):
+        assert types_of("") == [EOF]
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        (token, _) = tokenize('"hello world"')
+        assert token.type == STRING and token.value == "hello world"
+
+    def test_single_quoted(self):
+        (token, _) = tokenize("'hi'")
+        assert token.value == "hi"
+
+    def test_escapes(self):
+        (token, _) = tokenize(r'"say \"hi\""')
+        assert token.value == 'say "hi"'
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(errors.LexerError):
+            tokenize('"never closed')
+
+
+class TestComments:
+    def test_line_comments(self):
+        assert values_of("a // ignored\nb") == ["a", "b"]
+        assert values_of("a # ignored\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values_of("a /* purpose3 */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert values_of("a /* line1\nline2 */ b") == ["a", "b"]
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(errors.LexerError):
+            tokenize("a /* never closed")
+
+
+class TestPositions:
+    def test_line_and_column_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(errors.LexerError) as excinfo:
+            tokenize("ok\n  €")
+        assert excinfo.value.line == 2
+
+
+class TestListing1:
+    def test_full_listing_tokenizes(self):
+        source = """
+        type user {
+          fields { name: string, pwd: string, year_of_birthdate: int };
+          view v_name { name };
+          consent { purpose1: all };
+          collection { web_form: user_form.html };
+          origin: subject;
+          age: 1Y;
+          sensitivity: hight;
+        }
+        """
+        tokens = tokenize(source)
+        assert tokens[-1].type == EOF
+        durations = [t for t in tokens if t.type == DURATION]
+        assert [d.value for d in durations] == ["1Y"]

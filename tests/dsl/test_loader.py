@@ -1,0 +1,173 @@
+"""Unit tests for the DSL loader (AST → runtime objects)."""
+
+import pytest
+
+from repro import errors
+from repro.dsl.loader import load_source
+
+
+class TestTypeLoading:
+    def test_listing1_semantics(self):
+        types, _ = load_source(
+            """
+            type user {
+              fields { name: string, pwd: string [sensitive],
+                       year_of_birthdate: int };
+              view v_ano { year_of_birthdate };
+              consent { purpose3: v_ano, purpose2: none };
+              collection { web_form: user_form.html };
+              origin: subject;
+              age: 1Y;
+              sensitivity: hight;
+            }
+            """
+        )
+        user = types["user"]
+        assert user.ttl_seconds == 365 * 86400.0
+        assert user.sensitivity == "high"  # "hight" normalised
+        assert user.sensitive_fields == {"pwd"}
+        assert user.default_consent == {"purpose3": "v_ano", "purpose2": "none"}
+        assert user.collection == {"web_form": "user_form.html"}
+
+    def test_type_aliases(self):
+        types, _ = load_source(
+            "type t { fields { a: str, b: integer, c: boolean, d: double }; }"
+        )
+        fields = {f.name: f.field_type for f in types["t"].fields}
+        assert fields == {"a": "string", "b": "int", "c": "bool", "d": "float"}
+
+    def test_ttl_synonyms(self):
+        for key in ("age", "ttl", "time_to_live"):
+            types, _ = load_source(
+                f"type t {{ fields {{ a: int }}; {key}: 2D; }}"
+            )
+            assert types["t"].ttl_seconds == 2 * 86400.0
+
+    def test_multiple_ttl_entries_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("type t { fields { a: int }; age: 1Y; ttl: 2Y; }")
+
+    def test_optional_modifier(self):
+        types, _ = load_source(
+            "type t { fields { a: int [optional], b: int }; }"
+        )
+        assert not types["t"].field("a").required
+        assert types["t"].field("b").required
+
+    def test_unknown_field_type_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("type t { fields { a: varchar }; }")
+
+    def test_unknown_modifier_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("type t { fields { a: int [encrypted] }; }")
+
+    def test_unknown_scalar_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("type t { fields { a: int }; color: blue; }")
+
+    def test_unknown_origin_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("type t { fields { a: int }; origin: mars; }")
+
+    def test_unknown_sensitivity_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("type t { fields { a: int }; sensitivity: max; }")
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("type t { fields { a: int }; age: forever; }")
+
+    def test_view_of_unknown_field_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("type t { fields { a: int }; view v { ghost }; }")
+
+    def test_consent_to_unknown_view_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source(
+                "type t { fields { a: int }; consent { p: v_missing }; }"
+            )
+
+    def test_duplicate_view_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source(
+                "type t { fields { a: int }; view v { a }; view v { a }; }"
+            )
+
+    def test_duplicate_consent_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source(
+                "type t { fields { a: int }; consent { p: all, p: none }; }"
+            )
+
+
+class TestPurposeLoading:
+    def test_purpose_loaded(self):
+        _, purposes = load_source(
+            """
+            type user { fields { a: int }; view v { a }; }
+            purpose p { description: "d"; uses: user via v;
+                        produces: user; basis: contract; }
+            """
+        )
+        purpose = purposes["p"]
+        assert purpose.description == "d"
+        assert purpose.uses == (("user", "v"),)
+        assert purpose.basis == "contract"
+
+    def test_bad_basis_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("purpose p { basis: vibes; }")
+
+    def test_purpose_using_undeclared_type_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source("purpose p { uses: ghost_type; }")
+
+    def test_purpose_using_unknown_view_rejected(self):
+        with pytest.raises(errors.SemanticError):
+            load_source(
+                """
+                type user { fields { a: int }; }
+                purpose p { uses: user via v_missing; }
+                """
+            )
+
+
+class TestListing1RoundTrip:
+    def test_full_paper_example(self):
+        """Listing 1 + the purpose of Listing 2, verbatim in spirit."""
+        types, purposes = load_source(
+            """
+            type user {
+              fields {
+                name: string,
+                pwd: string,
+                year_of_birthdate: int
+              };
+              view v_name { name };
+              view v_ano { year_of_birthdate };
+              consent {
+                purpose1: all,
+                purpose2: none,
+                purpose3: v_ano
+              };
+              collection {
+                web_form: user_form.html,
+                third_party: fetch_data.py
+              };
+              origin: subject;
+              age: 1Y;
+              sensitivity: hight;
+            }
+            purpose purpose3 {
+              description: "compute the age of the input user";
+              uses: user via v_ano;
+            }
+            """
+        )
+        user = types["user"]
+        # purpose1 sees everything, purpose2 nothing, purpose3 the view.
+        assert user.scope_fields("all") == user.field_names
+        assert user.scope_fields("none") is None
+        assert user.scope_fields("v_ano") == {"year_of_birthdate"}
+        assert purposes["purpose3"].view_for_type("user") == "v_ano"

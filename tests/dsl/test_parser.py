@@ -1,0 +1,179 @@
+"""Unit tests for the declaration-language parser."""
+
+import pytest
+
+from repro import errors
+from repro.dsl.parser import parse
+
+LISTING1 = """
+type user {
+  fields {
+    name: string,
+    pwd: string,
+    year_of_birthdate: int
+  };
+  view v_name { name };
+  view v_ano { year_of_birthdate };
+  consent {
+    purpose1: all,
+    purpose2: none,
+    purpose3: v_ano
+  };
+  collection {
+    web_form: user_form.html,
+    third_party: fetch_data.py
+  };
+  origin: subject;
+  age: 1Y;
+  sensitivity: hight;
+}
+"""
+
+
+class TestTypeDeclarations:
+    def test_listing1_parses(self):
+        program = parse(LISTING1)
+        (decl,) = program.types
+        assert decl.name == "user"
+        assert [f.name for f in decl.fields] == [
+            "name", "pwd", "year_of_birthdate"
+        ]
+        assert [v.name for v in decl.views] == ["v_name", "v_ano"]
+        assert {e.purpose: e.scope for e in decl.consent} == {
+            "purpose1": "all", "purpose2": "none", "purpose3": "v_ano"
+        }
+        assert {e.method: e.artefact for e in decl.collection} == {
+            "web_form": "user_form.html", "third_party": "fetch_data.py"
+        }
+        assert decl.scalars == {
+            "origin": "subject", "age": "1Y", "sensitivity": "hight"
+        }
+
+    def test_field_modifiers(self):
+        program = parse(
+            "type t { fields { a: string [sensitive], b: int [optional] }; }"
+        )
+        fields = program.types[0].fields
+        assert fields[0].modifiers == ("sensitive",)
+        assert fields[1].modifiers == ("optional",)
+
+    def test_loose_punctuation_tolerated(self):
+        # No semicolons at all, newline separated.
+        program = parse(
+            """
+            type t {
+              fields { a: int b: string }
+              view v { a }
+              consent { p: all }
+            }
+            """
+        )
+        assert len(program.types[0].fields) == 2
+
+    def test_empty_fields_block_rejected(self):
+        # A fields block must exist AND a type without one is an error.
+        with pytest.raises(errors.ParseError):
+            parse("type t { view v { a }; }")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(errors.ParseError):
+            parse("type t { fields { a: int }; } type t { fields { b: int }; }")
+
+    def test_duplicate_fields_block_rejected(self):
+        with pytest.raises(errors.ParseError):
+            parse("type t { fields { a: int }; fields { b: int }; }")
+
+    def test_duplicate_scalar_rejected(self):
+        with pytest.raises(errors.ParseError):
+            parse("type t { fields { a: int }; origin: subject; origin: sysadmin; }")
+
+    def test_missing_brace_reported_with_position(self):
+        with pytest.raises(errors.ParseError) as excinfo:
+            parse("type t { fields { a: int }")
+        assert "expected" in str(excinfo.value)
+
+    def test_unknown_toplevel_rejected(self):
+        with pytest.raises(errors.ParseError):
+            parse("module m { }")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(errors.ParseError):
+            parse("{ }")
+
+
+class TestPurposeDeclarations:
+    def test_full_purpose(self):
+        program = parse(
+            """
+            purpose compute_age {
+              description: "Compute the age of the input user";
+              uses: user via v_ano;
+              produces: age_pd;
+              basis: consent;
+            }
+            """
+        )
+        (decl,) = program.purposes
+        assert decl.name == "compute_age"
+        assert decl.description == "Compute the age of the input user"
+        assert decl.uses[0].type_name == "user"
+        assert decl.uses[0].view == "v_ano"
+        assert decl.produces == ("age_pd",)
+        assert decl.basis == "consent"
+
+    def test_uses_without_view(self):
+        program = parse("purpose p { uses: user; }")
+        assert program.purposes[0].uses[0].view is None
+
+    def test_multiple_uses(self):
+        program = parse("purpose p { uses: user via v_ano; uses: order; }")
+        assert len(program.purposes[0].uses) == 2
+
+    def test_multiple_produces(self):
+        program = parse("purpose p { produces: a, b; }")
+        assert program.purposes[0].produces == ("a", "b")
+
+    def test_defaults(self):
+        program = parse("purpose p { }")
+        decl = program.purposes[0]
+        assert decl.basis == "consent"
+        assert decl.uses == ()
+        assert decl.description == ""
+
+    def test_duplicate_purpose_rejected(self):
+        with pytest.raises(errors.ParseError):
+            parse("purpose p { } purpose p { }")
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(errors.ParseError):
+            parse("purpose p { urgency: high; }")
+
+
+class TestPrograms:
+    def test_mixed_declarations(self):
+        program = parse(
+            """
+            type a { fields { x: int }; }
+            purpose p { uses: a; }
+            type b { fields { y: string }; }
+            """
+        )
+        assert [t.name for t in program.types] == ["a", "b"]
+        assert [p.name for p in program.purposes] == ["p"]
+        assert program.type_named("a") is not None
+        assert program.type_named("zzz") is None
+        assert program.purpose_named("p") is not None
+
+    def test_comments_anywhere(self):
+        program = parse(
+            """
+            // header comment
+            type t { /* inline */ fields { a: int }; }
+            # trailing comment
+            """
+        )
+        assert len(program.types) == 1
+
+    def test_empty_program(self):
+        program = parse("")
+        assert program.types == () and program.purposes == ()

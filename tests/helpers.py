@@ -1,0 +1,100 @@
+"""Module-level processing functions used across the test suite.
+
+The Processing Store's purpose matcher analyses function *source*, so
+functions registered in tests must live in a real module (not a REPL
+or a lambda).  Defining them here once also keeps the tests honest:
+the same implementations are checked, registered and invoked.
+"""
+
+from repro import processing, produce
+
+
+@processing(purpose="purpose3")
+def compute_age(user):
+    """The paper's Listing 2 example, in Python."""
+    if user.year_of_birthdate:
+        return produce(
+            "age_pd", {"age": 2026 - user.year_of_birthdate}
+        )
+    return None
+
+
+@processing(purpose="purpose3")
+def birth_decade(user):
+    """Another well-behaved purpose3 processing (no production)."""
+    if user.year_of_birthdate:
+        return (user.year_of_birthdate // 10) * 10
+    return None
+
+
+@processing(purpose="purpose1")
+def full_profile(user):
+    """purpose1 may see everything."""
+    return {"name": user.name, "year": user.year_of_birthdate}
+
+
+@processing(purpose="purpose2")
+def marketing_blast(user):
+    """purpose2 is denied by the default consent of Listing 1."""
+    return f"Dear {user.name}, buy our things"
+
+
+@processing(purpose="purpose3")
+def overreaching(user):
+    """Declared against v_ano but touches name — must raise an alert."""
+    return user.name
+
+
+@processing(purpose="purpose3")
+def leaky(user):
+    """Touches only allowed fields but calls a leak-prone builtin."""
+    print(user.year_of_birthdate)
+    return None
+
+
+def no_purpose_at_all(user):
+    return user.year_of_birthdate
+
+
+@processing(purpose="purpose3")
+def crashes_sometimes(user):
+    """Raises for one specific subject's data (error containment)."""
+    if user.year_of_birthdate == 1985:
+        raise ValueError("synthetic failure")
+    return user.year_of_birthdate
+
+
+@processing(purpose="purpose3")
+def returns_raw_view(user):
+    """Tries to smuggle the guarded view out of the DED."""
+    return {"stolen": user}
+
+
+@processing(purpose="purpose3")
+def average_birth_year(users):
+    """Aggregate processing: one call over all consented views."""
+    years = [u.year_of_birthdate for u in users if u.year_of_birthdate]
+    if not years:
+        return None
+    return sum(years) / len(years)
+
+
+def docstring_purpose_fn(user):
+    """purpose: purpose3
+
+    Purpose declared via the docstring convention.
+    """
+    return user.year_of_birthdate
+
+
+# Listing-2-style C source, used by extract_purpose_name tests.
+LISTING2_C_SOURCE = """
+#include "/etc/rgpdos/ps/types.h"
+
+/* purpose3 */
+struct age_pd compute_age(struct user_pd user) {
+    if (user.age) {
+        return current_year() - user.year_of_birthdate;
+    }
+}
+"""

@@ -1,0 +1,49 @@
+"""Integration: the DED's advisory placement decision (§ 3(3))."""
+
+import pytest
+
+import helpers
+
+
+@pytest.fixture
+def ready(populated):
+    system, alice, bob = populated
+    system.register(helpers.birth_decade)
+    return system, alice, bob
+
+
+class TestPlacementInTrace:
+    def test_decision_recorded(self, ready):
+        system, _, _ = ready
+        result = system.invoke("birth_decade", target="user")
+        placement = result.trace.placement
+        assert placement is not None
+        assert placement.records == 2
+        assert placement.site in ("host", "pim", "storage")
+        assert set(placement.estimates) == {"host", "pim", "storage"}
+
+    def test_small_invocations_stay_on_host(self, ready):
+        system, alice, _ = ready
+        result = system.invoke("birth_decade", target=alice)
+        assert result.trace.placement.site == "host"
+
+    def test_no_decision_when_nothing_survives_filter(self, ready):
+        system, _, _ = ready
+        system.rights.object_to("alice", "purpose3")
+        system.rights.object_to("bob", "purpose3")
+        result = system.invoke("birth_decade", target="user")
+        assert result.trace.placement is None
+
+    def test_decisions_accumulate_in_placer_report(self, ready):
+        system, alice, _ = ready
+        system.invoke("birth_decade", target=alice)
+        system.invoke("birth_decade", target="user")
+        report = system.ps.placer.placement_report()
+        assert sum(report.values()) == 2
+
+    def test_placer_optional(self, ready):
+        system, alice, _ = ready
+        system.ps.placer = None
+        result = system.invoke("birth_decade", target=alice)
+        assert result.trace.placement is None
+        assert result.processed == 1

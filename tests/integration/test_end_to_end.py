@@ -1,0 +1,143 @@
+"""Integration: the full paper lifecycle (Listings 1–3, Fig. 4).
+
+One scenario, end to end: declare types and purposes (Listing 1),
+register the age-computing processing (Listing 2), invoke it from a
+main application through the PS (Listing 3), exercise consent changes,
+copies, rights, and verify compliance at every step.
+"""
+
+import pytest
+
+import helpers
+from repro import errors
+from repro.core.processing_log import OUTCOME_COMPLETED
+
+
+class TestPaperScenario:
+    def test_full_lifecycle(self, system):
+        # -- collection (the paper's acquisition built-in) -------------
+        subjects = {
+            "chiraz": ("Chiraz Benamor", 1992),
+            "alice": ("Alice Martin", 1990),
+            "bob": ("Bob Durand", 1985),
+        }
+        refs = {}
+        for subject_id, (name, year) in subjects.items():
+            refs[subject_id] = system.collect(
+                "user",
+                {"name": name, "pwd": f"{subject_id}-pwd",
+                 "year_of_birthdate": year},
+                subject_id=subject_id,
+                method="web_form",
+            )
+        assert system.dbfs.list_subjects() == ["alice", "bob", "chiraz"]
+
+        # -- Listing 2/3: register and invoke compute_age ----------------
+        system.register(helpers.compute_age)
+        result = system.invoke("compute_age", target="user")
+        assert result.processed == 3
+        assert len(result.produced) == 3
+        ages = []
+        reader_cred = system.ps.builtins.credential
+        from repro.storage.query import DataQuery
+        for ref in result.produced:
+            record = system.dbfs.fetch_records(
+                DataQuery(uids=(ref.uid,),
+                          fields={ref.uid: frozenset({"age"})}),
+                reader_cred,
+            )
+            ages.append(record[ref.uid]["age"])
+        assert sorted(ages) == [34, 36, 41]
+
+        # -- main application never saw raw PD --------------------------
+        for value in result.values.values():
+            assert not isinstance(value, dict) or "name" not in value
+
+        # -- consent withdrawal (bob objects) ----------------------------
+        system.rights.object_to("bob", "purpose3")
+        result = system.invoke("compute_age", target="user")
+        assert result.processed == 2
+        assert result.denied == 1
+
+        # -- right of access for chiraz ----------------------------------
+        report = system.rights.right_of_access("chiraz")
+        user_record = next(
+            r for r in report.export["records"] if r["pd_type"] == "user"
+        )
+        assert user_record["data"]["name"] == "Chiraz Benamor"
+        purposes_seen = {p["purpose"] for p in report.processings}
+        assert "purpose3" in purposes_seen
+
+        # -- right to be forgotten for alice ------------------------------
+        outcome = system.rights.erase("alice")
+        assert outcome.fully_forgotten
+        scan = system.dbfs.forensic_scan(b"Alice Martin")
+        assert scan == {"device_blocks": 0, "journal_records": 0}
+
+        # -- the whole run stayed compliant --------------------------------
+        audit = system.audit()
+        assert audit.ok, audit.failures()
+
+    def test_derived_pd_is_governed_too(self, populated):
+        """age_pd produced by purpose3 is real PD: it has a membrane,
+        a subject, and consent rules of its own."""
+        system, alice, _ = populated
+        system.register(helpers.compute_age)
+        produced = system.invoke("compute_age", target=alice).produced
+        (age_ref,) = produced
+        membrane = system.dbfs.get_membrane(
+            age_ref.uid, system.ps.builtins.credential
+        )
+        assert membrane.subject_id == "alice"
+        assert membrane.origin == "derived"
+        assert membrane.permits("purpose1") == "all"  # age_pd default
+        assert membrane.permits("purpose3") is None
+
+    def test_erasing_subject_covers_derived_pd(self, populated):
+        system, alice, _ = populated
+        system.register(helpers.compute_age)
+        system.invoke("compute_age", target=alice)
+        outcome = system.rights.erase("alice")
+        # Both the user record and the derived age record are erased.
+        assert len(outcome.erased_uids) == 2
+        assert any(uid.startswith("pd:age_pd:") for uid in outcome.erased_uids)
+
+    def test_processing_mix_under_audit(self, populated):
+        """A noisy mixed workload ends compliant with a coherent log."""
+        system, alice, bob = populated
+        system.register(helpers.compute_age)
+        system.register(helpers.birth_decade)
+        system.register(helpers.marketing_blast)
+
+        system.invoke("birth_decade", target="user")
+        system.invoke("marketing_blast", target="user")      # denied
+        system.rights.grant_consent("alice", alice, "purpose2", "v_name")
+        system.invoke("marketing_blast", target="user")      # alice only
+        system.ps.builtins.copy(bob, actor="bob")
+        system.invoke("compute_age", target="user")
+        system.rights.expire_overdue()
+
+        report = system.log.activity_report()
+        assert report["denied"] >= 1
+        assert report["subjects_touched"] == 2
+        assert system.audit().ok
+
+    def test_dbfs_invisible_from_outside_end_to_end(self, populated):
+        """Paper § 2: 'every direct access attempt from the outside is
+        blocked'. The application layer holds refs, and refs are not
+        capabilities."""
+        system, alice, _ = populated
+        from repro.core.active_data import APPLICATION_CREDENTIAL
+        from repro.storage.query import DataQuery, MembraneQuery
+
+        with pytest.raises(errors.PDLeakError):
+            system.dbfs.fetch_records(
+                DataQuery(uids=(alice.uid,)), APPLICATION_CREDENTIAL
+            )
+        with pytest.raises(errors.PDLeakError):
+            system.dbfs.query_membranes(
+                MembraneQuery("user"), APPLICATION_CREDENTIAL
+            )
+        with pytest.raises(errors.PDLeakError):
+            system.dbfs.export_subject("alice", APPLICATION_CREDENTIAL)
+        assert system.dbfs.stats.denied_accesses == 3

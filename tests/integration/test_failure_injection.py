@@ -1,0 +1,186 @@
+"""Failure injection: the stack under resource exhaustion and faults.
+
+A GDPR-enforcing OS must fail *closed*: exhaustion, crashes and
+component faults must never leave PD unwrapped, readable after
+erasure, or accessible outside the DED.  Each test here injects one
+fault and checks both the error behaviour and the post-fault state.
+"""
+
+import pytest
+
+import helpers
+from repro import Authority, RgpdOS, errors
+from repro.core.active_data import AccessCredential
+from repro.core.membrane import membrane_for_type
+from repro.storage.block import BlockDevice
+from repro.storage.dbfs import DatabaseFS
+from repro.storage.query import StoreRequest
+
+DED = AccessCredential(holder="fault-ded", is_ded=True)
+
+
+def make_user_type():
+    from repro.core.datatypes import FieldDef, PDType
+    from repro.core.views import View
+
+    return PDType(
+        name="user",
+        fields=(
+            FieldDef("name", "string"),
+            FieldDef("ssn", "string", sensitive=True),
+            FieldDef("year", "int"),
+        ),
+        views={"v_ano": View("v_ano", frozenset({"year"}))},
+        default_consent={"stats": "v_ano"},
+        collection={"web_form": "form.html"},
+        ttl_seconds=1000.0,
+    )
+
+
+def store_user(dbfs, subject, name="Ada", ssn="1850212", year=1815):
+    membrane = membrane_for_type(make_user_type(), subject, created_at=0.0)
+    return dbfs.store(
+        StoreRequest(
+            pd_type="user",
+            record={"name": name, "ssn": ssn, "year": year},
+            membrane_json=membrane.to_json(),
+        ),
+        DED,
+    )
+
+
+class TestDeviceExhaustion:
+    def make_tiny_dbfs(self, blocks=320):
+        """A DBFS whose device fills after a handful of records."""
+        device = BlockDevice(block_count=blocks, block_size=64)
+        fs = DatabaseFS(device=device, journal_blocks=16)
+        fs.create_type(make_user_type(), DED)
+        return fs
+
+    def test_store_fails_cleanly_when_full(self):
+        dbfs = self.make_tiny_dbfs()
+        stored = 0
+        with pytest.raises(errors.OutOfSpaceError):
+            for index in range(10_000):
+                store_user(dbfs, f"s{index}", name=f"Person {index}" * 4)
+                stored += 1
+        assert stored > 0  # some made it before exhaustion
+
+    def test_stored_records_remain_consistent_after_exhaustion(self):
+        dbfs = self.make_tiny_dbfs()
+        refs = []
+        try:
+            for index in range(10_000):
+                refs.append(store_user(dbfs, f"s{index}"))
+        except errors.OutOfSpaceError:
+            pass
+        # Every record that was acknowledged is fully readable with
+        # its membrane — no torn states.
+        for ref in refs[: len(refs) // 2] + refs[-2:]:
+            membrane = dbfs.get_membrane(ref.uid, DED)
+            assert membrane.subject_id == ref.subject_id
+        # Membrane presence invariant still holds for all of them.
+        assert len(dbfs.all_uids()) == len(refs)
+
+    def test_inode_exhaustion(self):
+        device = BlockDevice(block_count=4096, block_size=64)
+        fs = DatabaseFS(device=device, journal_blocks=16)
+        fs.inodes.max_inodes = fs.inodes.live_inodes + 7
+        fs.create_type(make_user_type(), DED)  # takes 2 inodes
+        store_user(fs, "fits")  # 3 inodes (record+sensitive+membrane)
+        with pytest.raises(errors.OutOfSpaceError):
+            store_user(fs, "does-not-fit")
+
+
+class TestEnclaveFaults:
+    def test_invocation_on_destroyed_platform_enclave(self, populated):
+        system, alice, _ = populated
+        system.register(helpers.birth_decade)
+
+        class BrokenPlatform:
+            def create_enclave(self, code):
+                raise errors.KernelError("EPC exhausted")
+
+        system.ps.tee_platform = BrokenPlatform()
+        with pytest.raises(errors.KernelError):
+            system.invoke("birth_decade", target=alice, use_tee=True)
+        # Plain invocation still works; nothing was poisoned.
+        result = system.invoke("birth_decade", target=alice)
+        assert result.processed == 1
+
+
+class TestCrashDuringLifecycle:
+    def test_crash_between_grant_and_invoke(self, shared_authority):
+        """Consent granted, then crash+remount: the grant survives and
+        is honoured by the next invocation."""
+        from conftest import LISTING1_DECLARATIONS, make_system
+
+        system = make_system(shared_authority)
+        system.install(LISTING1_DECLARATIONS)
+        system.register(helpers.marketing_blast)
+        ref = system.collect(
+            "user",
+            {"name": "Crashy", "pwd": "p", "year_of_birthdate": 1990},
+            subject_id="crashy", method="web_form",
+        )
+        system.rights.grant_consent("crashy", ref, "purpose2", "v_name")
+        system.dbfs.remount()
+        result = system.invoke("marketing_blast", target=ref)
+        assert result.processed == 1
+
+    def test_crash_after_erasure_keeps_pd_erased(self, populated):
+        system, alice, _ = populated
+        system.rights.erase("alice")
+        system.dbfs.remount()
+        from repro.storage.query import DataQuery
+
+        with pytest.raises(errors.ExpiredPDError):
+            system.dbfs.fetch_records(
+                DataQuery(uids=(alice.uid,)), system.ps.builtins.credential
+            )
+        assert system.audit().ok
+
+
+class TestPartialPipelineFailures:
+    def test_store_failure_mid_production_is_reported(self, populated):
+        """If DBFS runs out of space while storing produced PD, the
+        invocation errors loudly instead of silently dropping PD."""
+        system, alice, bob = populated
+        system.register(helpers.compute_age)
+        # Fill the device almost completely.
+        device = system.pd_device
+        while device.free_blocks > 2:
+            device.allocate()
+        with pytest.raises(errors.OutOfSpaceError):
+            system.invoke("compute_age", target="user")
+        # The failed invocation is in the log as an error.
+        assert any(
+            entry.outcome == "error" for entry in system.log.entries()
+        )
+
+    def test_unknown_collection_method_fails_before_storage(self, system):
+        writes_before = system.pd_device.stats.writes
+        with pytest.raises(errors.GDPRError):
+            system.collect(
+                "user",
+                {"name": "A", "pwd": "p", "year_of_birthdate": 1},
+                subject_id="a", method="telepathy",
+            )
+        assert system.pd_device.stats.writes == writes_before
+
+
+class TestMachineFaults:
+    def test_overcommitted_config_rejected_at_construction(self):
+        from repro.kernel.machine import Machine, MachineConfig
+
+        config = MachineConfig(total_cores=2, rgpdos_cores=2, gp_cores=2)
+        with pytest.raises(errors.ResourcePartitionError):
+            Machine(config=config)
+
+    def test_memory_rebalance_never_steals_used_frames(self, system):
+        machine = system.machine
+        partition = machine.memory.partition("gp-kernel")
+        machine.memory.alloc_frames("gp-kernel", partition.size)
+        with pytest.raises(errors.ResourcePartitionError):
+            machine.rebalance_memory("gp-kernel", "rgpdos-kernel", 1)
+        machine.memory.assert_disjoint()

@@ -1,0 +1,82 @@
+"""Integration: mixed PD/NPD workloads on the purpose-kernel machine.
+
+The paper's vision: "the same server should still be able to process
+PD and NPD sequentially or at the same time", with each data type on
+its own kernel and resources dynamically repartitioned.
+"""
+
+import pytest
+
+from repro.kernel.scheduler import Task
+from repro.kernel.subkernel import IORequest
+
+
+def work_task(name, steps, done_list):
+    state = {"left": steps}
+
+    def step():
+        state["left"] -= 1
+        if state["left"] <= 0:
+            done_list.append(name)
+            return True
+        return False
+
+    return Task(name=name, step=step)
+
+
+class TestMixedWorkload:
+    def test_pd_and_npd_run_concurrently(self, system):
+        machine = system.machine
+        done = []
+        for index in range(4):
+            machine.submit("rgpdos-kernel", work_task(f"pd{index}", 3, done))
+            machine.submit("gp-kernel", work_task(f"npd{index}", 3, done))
+        machine.run()
+        assert len(done) == 8
+        report = machine.resource_report()
+        assert report["rgpdos-kernel"]["cpu_seconds"] > 0
+        assert report["gp-kernel"]["cpu_seconds"] > 0
+
+    def test_pd_io_goes_through_driver_kernels(self, system):
+        machine = system.machine
+        machine.rgpdos.attach_switchboard(machine.switchboard)
+        machine.switchboard.send(
+            "rgpdos-kernel", "drv-pd-nvme", "io",
+            IORequest(op="read", target="0", carries_pd=True),
+        )
+        machine.run()
+        driver = machine.driver_kernels["pd-nvme"]
+        assert driver.pd_requests == 1
+
+    def test_npd_fs_and_dbfs_live_on_separate_devices(self, system):
+        system.npd_fs.create("report", b"npd bytes")
+        system.collect(
+            "user",
+            {"name": "OnPdDevice", "pwd": "p", "year_of_birthdate": 1990},
+            subject_id="s", method="web_form",
+        )
+        # PD never lands on the NPD device and vice versa.
+        assert system.npd_fs.device.scan(b"OnPdDevice") == []
+        assert system.pd_device.scan(b"npd bytes") == []
+
+    def test_repartition_shifts_throughput(self, system):
+        """Give rgpdOS more cores mid-run; its queue drains faster."""
+        machine = system.machine
+        done = []
+        for index in range(30):
+            machine.submit("rgpdos-kernel", work_task(f"pd{index}", 2, done))
+        machine.rebalance_cores("gp-kernel", "rgpdos-kernel", 2)
+        ticks = machine.run()
+        # 30 tasks x 2 quanta = 60 quanta over 5 cores ≈ 12 ticks.
+        assert ticks <= 14
+        assert len(done) == 30
+
+    def test_resource_report_shape(self, system):
+        report = system.machine.resource_report()
+        for name, entry in report.items():
+            assert entry["category"] in (
+                "rgpdos", "general_purpose", "io_driver"
+            )
+            assert isinstance(entry["cores"], list)
+        drv = report["drv-pd-nvme"]
+        assert "io_requests" in drv and "pd_io_requests" in drv

@@ -1,0 +1,88 @@
+"""Integration: semantic purpose checking at ps_register (§ 3(4))."""
+
+import pytest
+
+from repro import errors
+from repro.core.clock import Clock
+from repro.core.processing_log import ProcessingLog
+from repro.core.processing_store import ProcessingStore
+from repro.core.purposes import Purpose, attach_purpose
+from repro.core.semantic import SemanticMatcher
+from repro.storage.dbfs import DatabaseFS
+
+
+def compute_user_age(user):
+    """Compute the age of a user from the birth year."""
+    if user.year_of_birthdate:
+        return 2026 - user.year_of_birthdate
+    return None
+
+
+def untitled_helper_42(q):
+    # Deliberately vocabulary-free: opaque identifiers, no docstring,
+    # nothing evoking the declared age-computation purpose.
+    z = q
+    return z
+
+
+@pytest.fixture
+def semantic_ps(shared_authority):
+    dbfs = DatabaseFS(
+        operator_key=shared_authority.issue_operator_key("semantic-op")
+    )
+    ps = ProcessingStore(
+        dbfs=dbfs,
+        clock=Clock(),
+        log=ProcessingLog(),
+        semantic_matcher=SemanticMatcher(),
+    )
+    from repro.core.active_data import AccessCredential
+    from repro.core.datatypes import FieldDef, PDType
+    from repro.core.views import View
+
+    user = PDType(
+        name="user",
+        fields=(FieldDef("year_of_birthdate", "int"),),
+        views={"v_ano": View("v_ano", frozenset({"year_of_birthdate"}))},
+    )
+    dbfs.create_type(user, AccessCredential("setup", is_ded=True))
+    ps.declare_purpose(
+        Purpose(
+            name="age_purpose",
+            description="Compute the age of the input user",
+            uses=(("user", "v_ano"),),
+        )
+    )
+    return ps
+
+
+class TestSemanticRegistration:
+    def test_honest_function_registers(self, semantic_ps):
+        attach_purpose(compute_user_age, "age_purpose")
+        processing = semantic_ps.ps_register(compute_user_age)
+        assert processing.semantic_report is not None
+        assert processing.semantic_report.plausible
+        assert processing.approved_by == ""
+
+    def test_opaque_function_raises_semantic_alert(self, semantic_ps):
+        attach_purpose(untitled_helper_42, "age_purpose")
+        with pytest.raises(errors.PurposeMismatchAlert) as excinfo:
+            semantic_ps.ps_register(untitled_helper_42)
+        assert "semantic" in str(excinfo.value)
+
+    def test_sysadmin_can_override_semantic_alert(self, semantic_ps):
+        attach_purpose(untitled_helper_42, "age_purpose")
+        processing = semantic_ps.ps_register(
+            untitled_helper_42, sysadmin_approved=True,
+            name="approved_opaque",
+        )
+        assert processing.approved_by == "sysadmin"
+        assert not processing.semantic_report.plausible
+
+    def test_without_matcher_no_semantic_check(self, semantic_ps):
+        semantic_ps.semantic_matcher = None
+        attach_purpose(untitled_helper_42, "age_purpose")
+        processing = semantic_ps.ps_register(
+            untitled_helper_42, name="unchecked"
+        )
+        assert processing.semantic_report is None

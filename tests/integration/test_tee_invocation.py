@@ -1,0 +1,63 @@
+"""Integration: TEE-protected DED execution through ps_invoke."""
+
+import pytest
+
+import helpers
+from repro import errors
+
+
+@pytest.fixture
+def ready(populated):
+    system, alice, bob = populated
+    system.register(helpers.birth_decade)
+    return system, alice, bob
+
+
+class TestTEEInvocation:
+    def test_tee_invocation_produces_same_results(self, ready):
+        system, alice, bob = ready
+        plain = system.invoke("birth_decade", target="user")
+        protected = system.invoke("birth_decade", target="user", use_tee=True)
+        assert protected.values == plain.values
+        assert protected.processed == plain.processed
+
+    def test_enclave_destroyed_after_invocation(self, ready):
+        system, _, _ = ready
+        before = system.tee_platform.enclave_count
+        system.invoke("birth_decade", target="user", use_tee=True)
+        assert system.tee_platform.enclave_count == before
+
+    def test_enclave_destroyed_even_on_error(self, ready):
+        system, alice, _ = ready
+        system.register(helpers.returns_raw_view)
+        before = system.tee_platform.enclave_count
+        with pytest.raises(errors.PDLeakError):
+            system.invoke("returns_raw_view", target=alice, use_tee=True)
+        assert system.tee_platform.enclave_count == before
+
+    def test_tampered_implementation_fails_attestation(self, ready):
+        """Swap the registered function after registration: the
+        enclave measures the new code, the PS expects the recorded
+        measurement, attestation fails before any PD is loaded."""
+        system, _, _ = ready
+        processing = system.ps._get("birth_decade")
+        processing.fn = helpers.full_profile  # the tamper
+        reads_before = system.pd_device.stats.reads
+        with pytest.raises(errors.InvocationError):
+            system.invoke("birth_decade", target="user", use_tee=True)
+        # No PD data blocks were read for the aborted invocation
+        # (attestation precedes the pipeline).
+        assert system.pd_device.stats.reads == reads_before
+
+    def test_tee_without_platform_rejected(self, ready):
+        system, _, _ = ready
+        system.ps.tee_platform = None  # a host without TEE hardware
+        with pytest.raises(errors.InvocationError):
+            system.invoke("birth_decade", target="user", use_tee=True)
+
+    def test_consent_still_enforced_under_tee(self, ready):
+        system, alice, _ = ready
+        system.rights.object_to("alice", "purpose3")
+        result = system.invoke("birth_decade", target="user", use_tee=True)
+        assert result.denied == 1
+        assert alice.uid not in result.values

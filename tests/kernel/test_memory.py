@@ -1,0 +1,116 @@
+"""Unit tests for memory partitioning among sub-kernels."""
+
+import pytest
+
+from repro import errors
+from repro.kernel.memory import MemoryManager
+
+
+@pytest.fixture
+def memory():
+    return MemoryManager(total_frames=100)
+
+
+class TestPartitions:
+    def test_create_and_size(self, memory):
+        part = memory.create_partition("rgpdos", 40)
+        assert part.size == 40
+        assert memory.unassigned_frames == 60
+
+    def test_duplicate_partition_rejected(self, memory):
+        memory.create_partition("k", 10)
+        with pytest.raises(errors.ResourcePartitionError):
+            memory.create_partition("k", 10)
+
+    def test_overcommit_rejected(self, memory):
+        with pytest.raises(errors.ResourcePartitionError):
+            memory.create_partition("k", 101)
+
+    def test_missing_partition_lookup(self, memory):
+        with pytest.raises(errors.ResourcePartitionError):
+            memory.partition("ghost")
+
+    def test_partitions_are_disjoint(self, memory):
+        memory.create_partition("a", 30)
+        memory.create_partition("b", 30)
+        memory.assert_disjoint()
+        a_frames = memory.partition("a").frames
+        b_frames = memory.partition("b").frames
+        assert not (a_frames & b_frames)
+
+    def test_frame_owner(self, memory):
+        memory.create_partition("a", 10)
+        frame = next(iter(memory.partition("a").frames))
+        assert memory.frame_owner(frame) == "a"
+        unowned = next(iter(set(range(100)) - memory.partition("a").frames))
+        assert memory.frame_owner(unowned) == ""
+
+
+class TestDynamicRepartitioning:
+    def test_grow_takes_from_pool(self, memory):
+        memory.create_partition("a", 20)
+        memory.grow("a", 30)
+        assert memory.partition("a").size == 50
+        assert memory.unassigned_frames == 50
+
+    def test_grow_beyond_pool_rejected(self, memory):
+        memory.create_partition("a", 90)
+        with pytest.raises(errors.ResourcePartitionError):
+            memory.grow("a", 20)
+
+    def test_shrink_returns_to_pool(self, memory):
+        memory.create_partition("a", 50)
+        memory.shrink("a", 20)
+        assert memory.partition("a").size == 30
+        assert memory.unassigned_frames == 70
+
+    def test_shrink_never_takes_used_frames(self, memory):
+        memory.create_partition("a", 10)
+        memory.alloc_frames("a", 8)
+        with pytest.raises(errors.ResourcePartitionError):
+            memory.shrink("a", 5)  # only 2 free
+        memory.shrink("a", 2)  # the free ones move fine
+
+    def test_rebalance_moves_between_kernels(self, memory):
+        memory.create_partition("a", 60)
+        memory.create_partition("b", 20)
+        memory.rebalance("a", "b", 30)
+        assert memory.partition("a").size == 30
+        assert memory.partition("b").size == 50
+        memory.assert_disjoint()
+
+    def test_events_recorded(self, memory):
+        memory.create_partition("a", 20)
+        memory.grow("a", 5)
+        memory.shrink("a", 3)
+        deltas = [e["delta"] for e in memory.repartition_events]
+        assert deltas == [5, -3]
+
+
+class TestAllocation:
+    def test_alloc_within_partition(self, memory):
+        memory.create_partition("a", 10)
+        frames = memory.alloc_frames("a", 4)
+        assert len(frames) == 4
+        assert memory.partition("a").free == 6
+
+    def test_alloc_beyond_partition_rejected(self, memory):
+        memory.create_partition("a", 5)
+        with pytest.raises(errors.OutOfSpaceError):
+            memory.alloc_frames("a", 6)
+
+    def test_free_frames(self, memory):
+        memory.create_partition("a", 10)
+        frames = memory.alloc_frames("a", 4)
+        memory.free_frames("a", frames[:2])
+        assert memory.partition("a").free == 8
+
+    def test_free_unheld_frame_rejected(self, memory):
+        memory.create_partition("a", 10)
+        with pytest.raises(errors.ResourcePartitionError):
+            memory.free_frames("a", [999])
+
+    def test_utilization(self, memory):
+        memory.create_partition("a", 10)
+        memory.alloc_frames("a", 5)
+        assert memory.partition("a").utilization() == 0.5

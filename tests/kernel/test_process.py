@@ -1,0 +1,111 @@
+"""Unit tests for the process model and the use-after-free hazard."""
+
+import pytest
+
+from repro import errors
+from repro.kernel.process import AddressSpace, Process
+from repro.kernel.syscalls import SYS_READ, SyscallTable
+
+
+class TestAddressSpace:
+    def test_malloc_load_store(self):
+        space = AddressSpace("p")
+        addr = space.malloc({"k": 1})
+        assert space.load(addr) == {"k": 1}
+        space.store(addr, {"k": 2})
+        assert space.load(addr) == {"k": 2}
+
+    def test_distinct_addresses(self):
+        space = AddressSpace("p")
+        assert space.malloc(1) != space.malloc(2)
+
+    def test_double_free_rejected(self):
+        space = AddressSpace("p")
+        addr = space.malloc(1)
+        space.free(addr)
+        with pytest.raises(errors.DomainViolationError):
+            space.free(addr)
+
+    def test_free_of_wild_address_rejected(self):
+        with pytest.raises(errors.DomainViolationError):
+            AddressSpace("p").free(0xDEAD)
+
+    def test_wild_read_rejected(self):
+        with pytest.raises(errors.DomainViolationError):
+            AddressSpace("p").load(0xDEAD)
+
+    def test_wild_write_rejected(self):
+        with pytest.raises(errors.DomainViolationError):
+            AddressSpace("p").store(0xDEAD, 1)
+
+    def test_live_allocations_counted(self):
+        space = AddressSpace("p")
+        a = space.malloc(1)
+        space.malloc(2)
+        space.free(a)
+        assert space.live_allocations == 1
+
+
+class TestUseAfterFree:
+    """The allocator behaviour Fig. 2's accident depends on."""
+
+    def test_dangling_read_returns_stale_value(self):
+        space = AddressSpace("p")
+        addr = space.malloc("pd1")
+        space.free(addr)
+        assert space.load(addr) == "pd1"
+
+    def test_dangling_read_recorded(self):
+        space = AddressSpace("p")
+        addr = space.malloc("pd1")
+        space.free(addr)
+        space.load(addr)
+        assert space.uaf_events == [(addr, "pd1")]
+
+    def test_lifo_reuse(self):
+        """Freed cells are reused most-recently-freed first, like
+        malloc fastbins — the ingredient that turns a dangling pointer
+        into another object's data."""
+        space = AddressSpace("p")
+        a = space.malloc("first")
+        b = space.malloc("second")
+        space.free(a)
+        space.free(b)
+        assert space.malloc("new") == b
+        assert space.malloc("newer") == a
+
+    def test_dangling_pointer_sees_new_occupant(self):
+        space = AddressSpace("p")
+        addr = space.malloc("pd1")
+        space.free(addr)
+        reused = space.malloc("pd2")  # reuses the same cell
+        assert reused == addr
+        # Reading through the stale pointer now exposes pd2.
+        assert space.load(addr) == "pd2"
+
+
+class TestProcess:
+    def test_process_gets_own_address_space(self):
+        p1 = Process(name="a", label="t")
+        p2 = Process(name="b", label="t")
+        assert p1.address_space is not p2.address_space
+        assert p1.pid != p2.pid
+
+    def test_syscall_carries_identity(self):
+        table = SyscallTable()
+        seen = {}
+        table.register(SYS_READ, lambda c: seen.update(
+            pid=c.pid, label=c.label
+        ))
+        process = Process(name="a", label="rgpdos_app_t")
+        process.syscall(table, SYS_READ)
+        assert seen == {"pid": process.pid, "label": "rgpdos_app_t"}
+
+    def test_exited_process_cannot_syscall(self):
+        table = SyscallTable()
+        table.register(SYS_READ, lambda c: None)
+        process = Process(name="a", label="t")
+        process.exit(0)
+        with pytest.raises(errors.ProcessError):
+            process.syscall(table, SYS_READ)
+        assert process.exit_code == 0

@@ -1,0 +1,136 @@
+"""Unit tests for CPU partitioning and the per-kernel scheduler."""
+
+import pytest
+
+from repro import errors
+from repro.kernel.scheduler import CPUPartitioner, Scheduler, Task
+
+
+def counting_task(name, steps):
+    """A task finishing after ``steps`` quanta."""
+    state = {"left": steps}
+
+    def step():
+        state["left"] -= 1
+        return state["left"] <= 0
+
+    return Task(name=name, step=step)
+
+
+class TestPartitioner:
+    def test_assign_cores(self):
+        cpus = CPUPartitioner(total_cores=4)
+        cores = cpus.assign("a", 3)
+        assert len(cores) == 3
+        assert cpus.cores_of("a") == cores
+
+    def test_overcommit_rejected(self):
+        cpus = CPUPartitioner(total_cores=2)
+        cpus.assign("a", 2)
+        with pytest.raises(errors.ResourcePartitionError):
+            cpus.assign("b", 1)
+
+    def test_reassign_core(self):
+        cpus = CPUPartitioner(total_cores=2)
+        cpus.assign("a", 2)
+        core = cpus.cores_of("a")[0]
+        cpus.reassign_core(core, "b")
+        assert cpus.owner_of(core) == "b"
+        assert len(cpus.cores_of("a")) == 1
+        assert cpus.repartition_events[-1]["to"] == "b"
+
+    def test_reassign_unassigned_rejected(self):
+        cpus = CPUPartitioner(total_cores=2)
+        with pytest.raises(errors.ResourcePartitionError):
+            cpus.reassign_core(0, "a")
+
+    def test_assignments_snapshot(self):
+        cpus = CPUPartitioner(total_cores=3)
+        cpus.assign("a", 1)
+        cpus.assign("b", 2)
+        assert cpus.assignments() == {"a": [0], "b": [1, 2]}
+
+
+class TestScheduler:
+    def make(self, cores_a=1, cores_b=1):
+        cpus = CPUPartitioner(total_cores=cores_a + cores_b)
+        scheduler = Scheduler(cpus)
+        cpus.assign("a", cores_a)
+        cpus.assign("b", cores_b)
+        scheduler.register_kernel("a")
+        scheduler.register_kernel("b")
+        return cpus, scheduler
+
+    def test_task_completes(self):
+        _, scheduler = self.make()
+        task = counting_task("t", steps=3)
+        scheduler.submit("a", task)
+        ticks = scheduler.run_until_idle()
+        assert task.finished
+        assert task.quanta_used == 3
+        assert ticks == 3
+
+    def test_round_robin_within_kernel(self):
+        _, scheduler = self.make(cores_a=1)
+        t1 = counting_task("t1", steps=2)
+        t2 = counting_task("t2", steps=2)
+        scheduler.submit("a", t1)
+        scheduler.submit("a", t2)
+        scheduler.run_until_idle()
+        # One core, interleaved: both finish, neither starves.
+        assert t1.finished and t2.finished
+
+    def test_kernels_run_in_parallel(self):
+        _, scheduler = self.make(cores_a=1, cores_b=1)
+        ta = counting_task("ta", steps=5)
+        tb = counting_task("tb", steps=5)
+        scheduler.submit("a", ta)
+        scheduler.submit("b", tb)
+        ticks = scheduler.run_until_idle()
+        assert ticks == 5  # both progress every tick
+
+    def test_cpu_time_accounting(self):
+        _, scheduler = self.make()
+        scheduler.submit("a", counting_task("t", steps=4))
+        scheduler.run_until_idle()
+        assert scheduler.cpu_time["a"] == pytest.approx(
+            4 * scheduler.quantum_seconds
+        )
+        assert scheduler.cpu_time["b"] == 0.0
+
+    def test_more_cores_more_throughput(self):
+        cpus = CPUPartitioner(total_cores=4)
+        scheduler = Scheduler(cpus)
+        cpus.assign("a", 3)
+        cpus.assign("b", 1)
+        scheduler.register_kernel("a")
+        scheduler.register_kernel("b")
+        for index in range(6):
+            scheduler.submit("a", counting_task(f"a{index}", steps=2))
+            scheduler.submit("b", counting_task(f"b{index}", steps=2))
+        scheduler.run_until_idle()
+        assert scheduler.cpu_time["a"] == scheduler.cpu_time["b"]  # same work
+        # but a's wall-clock share was 3 cores wide: check it drained
+        # earlier via completion order.
+        order = [t.kernel for t in scheduler.completed]
+        assert order.index("b") >= order.index("a")
+
+    def test_submit_to_unregistered_kernel_rejected(self):
+        _, scheduler = self.make()
+        with pytest.raises(errors.KernelError):
+            scheduler.submit("ghost", counting_task("t", 1))
+
+    def test_starvation_detected(self):
+        cpus = CPUPartitioner(total_cores=1)
+        scheduler = Scheduler(cpus)
+        cpus.assign("a", 1)
+        scheduler.register_kernel("a")
+        scheduler.register_kernel("no-cores")
+        scheduler.submit("no-cores", counting_task("t", 1))
+        with pytest.raises(errors.KernelError):
+            scheduler.run_until_idle()
+
+    def test_duplicate_kernel_registration_rejected(self):
+        _, scheduler = self.make()
+        with pytest.raises(errors.KernelError):
+            scheduler.register_kernel("a")

@@ -1,0 +1,138 @@
+"""Unit tests for the seccomp-BPF-like filters."""
+
+import pytest
+
+from repro import errors
+from repro.kernel.seccomp import (
+    ACTION_ALLOW,
+    ACTION_ERRNO,
+    ACTION_KILL,
+    ACTION_LOG,
+    FilterRule,
+    SeccompFilter,
+    allow_all_profile,
+    application_profile,
+    pd_function_profile,
+)
+from repro.kernel.syscalls import (
+    LEAKY_SYSCALLS,
+    SYS_DBFS_QUERY,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_PS_INVOKE,
+    SYS_READ,
+    SYS_SEND,
+    SYS_SOCKET,
+    SYS_WRITE,
+    SyscallContext,
+)
+
+
+def ctx(syscall, pid=1):
+    return SyscallContext(syscall=syscall, pid=pid, label="t")
+
+
+class TestRules:
+    def test_first_match_wins(self):
+        filt = SeccompFilter(
+            rules=(
+                FilterRule(SYS_WRITE, ACTION_ALLOW),
+                FilterRule(SYS_WRITE, ACTION_ERRNO, reason="late rule"),
+            ),
+            default_action=ACTION_ERRNO,
+        )
+        assert filt.evaluate(SYS_WRITE) == (ACTION_ALLOW, "")
+
+    def test_wildcard_matches_everything(self):
+        rule = FilterRule("*", ACTION_ERRNO, reason="deny all")
+        assert rule.matches(SYS_READ)
+        assert rule.matches(SYS_SOCKET)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(errors.KernelError):
+            FilterRule(SYS_READ, "explode")
+
+    def test_unknown_syscall_rejected(self):
+        with pytest.raises(errors.KernelError):
+            FilterRule("frobnicate", ACTION_ALLOW)
+
+    def test_default_action_applies_without_match(self):
+        filt = SeccompFilter(rules=(), default_action=ACTION_ERRNO)
+        action, reason = filt.evaluate(SYS_READ)
+        assert action == ACTION_ERRNO
+        assert reason == "default action"
+
+
+class TestGuardAdapter:
+    def test_allow_returns_none(self):
+        guard = allow_all_profile().as_guard()
+        assert guard(ctx(SYS_WRITE)) is None
+
+    def test_errno_returns_reason(self):
+        filt = SeccompFilter(
+            rules=(FilterRule(SYS_WRITE, ACTION_ERRNO, reason="pd leak"),),
+            default_action=ACTION_ALLOW, name="test",
+        )
+        reason = filt.as_guard()(ctx(SYS_WRITE))
+        assert "pd leak" in reason
+
+    def test_kill_marks_process(self):
+        filt = SeccompFilter(
+            rules=(FilterRule(SYS_SOCKET, ACTION_KILL, reason="bad"),),
+            default_action=ACTION_ALLOW,
+        )
+        guard = filt.as_guard()
+        assert guard(ctx(SYS_SOCKET)) is not None
+        assert filt.killed
+
+    def test_log_allows_but_records(self):
+        filt = SeccompFilter(
+            rules=(FilterRule(SYS_READ, ACTION_LOG),),
+            default_action=ACTION_ERRNO,
+        )
+        guard = filt.as_guard()
+        assert guard(ctx(SYS_READ)) is None
+        assert filt.logged == [SYS_READ]
+
+
+class TestPDFunctionProfile:
+    """The profile installed around F_pd^r executions (§ 3(2))."""
+
+    @pytest.fixture
+    def guard(self):
+        return pd_function_profile().as_guard()
+
+    def test_every_leaky_syscall_denied(self, guard):
+        for syscall in LEAKY_SYSCALLS:
+            assert guard(ctx(syscall)) is not None, syscall
+
+    def test_write_denied_with_reason(self, guard):
+        reason = guard(ctx(SYS_WRITE))
+        assert "leak-prone" in reason
+
+    def test_computation_essentials_allowed(self, guard):
+        for syscall in (SYS_READ, SYS_GETPID, SYS_EXIT):
+            assert guard(ctx(syscall)) is None, syscall
+
+    def test_dbfs_not_directly_reachable(self, guard):
+        """F_pd functions talk to DBFS only through the DED."""
+        assert guard(ctx(SYS_DBFS_QUERY)) is not None
+
+    def test_deny_by_default(self, guard):
+        assert guard(ctx(SYS_PS_INVOKE)) is not None
+
+
+class TestApplicationProfile:
+    def test_apps_may_call_ps(self):
+        guard = application_profile().as_guard()
+        assert guard(ctx(SYS_PS_INVOKE)) is None
+
+    def test_apps_may_do_ordinary_io(self):
+        guard = application_profile().as_guard()
+        assert guard(ctx(SYS_WRITE)) is None
+        assert guard(ctx(SYS_SEND)) is None
+
+    def test_apps_cannot_reach_dbfs(self):
+        guard = application_profile().as_guard()
+        reason = guard(ctx(SYS_DBFS_QUERY))
+        assert "DED-only" in reason

@@ -1,0 +1,125 @@
+"""Tests for the Smack-flavoured LSM policy (§ 3(2))."""
+
+import pytest
+
+from repro.kernel.lsm import (
+    LABEL_APP,
+    LABEL_DED,
+    LABEL_SYSADMIN,
+    LABEL_UNCONFINED,
+    OBJ_DBFS,
+    OBJ_PS,
+    SMACK_FLOOR,
+    SMACK_STAR,
+    SmackPolicy,
+    rgpdos_policy,
+    rgpdos_smack_policy,
+)
+from repro.kernel.syscalls import (
+    SYS_DBFS_QUERY,
+    SYS_DBFS_STORE,
+    SYS_PS_INVOKE,
+    SYS_PS_REGISTER,
+    SYS_READ,
+    SYS_WRITE,
+    SyscallContext,
+)
+
+
+def ctx(syscall, label, target=""):
+    return SyscallContext(syscall=syscall, pid=1, label=label,
+                          target_label=target)
+
+
+class TestSmackSemantics:
+    def test_equal_labels_allowed(self):
+        policy = SmackPolicy()
+        assert policy.decide(ctx(SYS_WRITE, "x_t", "x_t")) is None
+
+    def test_star_object_open_to_all(self):
+        policy = SmackPolicy()
+        assert policy.decide(ctx(SYS_WRITE, "anyone", SMACK_STAR)) is None
+
+    def test_floor_object_readable_only(self):
+        policy = SmackPolicy()
+        assert policy.decide(ctx(SYS_READ, "anyone", SMACK_FLOOR)) is None
+        assert policy.decide(
+            ctx(SYS_DBFS_STORE, "anyone", SMACK_FLOOR)
+        ) is not None
+
+    def test_default_deny_for_labelled(self):
+        policy = SmackPolicy()
+        reason = policy.decide(ctx(SYS_READ, "a_t", "b_t"))
+        assert reason is not None and "Smack" in reason
+
+    def test_unlabelled_unconstrained(self):
+        policy = SmackPolicy()
+        assert policy.decide(ctx(SYS_WRITE, "a_t", "")) is None
+
+    def test_rule_grants_exact_modes(self):
+        policy = SmackPolicy()
+        policy.allow("a_t", "b_t", "r")
+        assert policy.decide(ctx(SYS_DBFS_QUERY, "a_t", "b_t")) is None  # r
+        assert policy.decide(ctx(SYS_DBFS_STORE, "a_t", "b_t")) is not None  # w
+
+    def test_avc_counting(self):
+        policy = SmackPolicy()
+        policy.decide(ctx(SYS_READ, "a", "a"))
+        policy.decide(ctx(SYS_READ, "a", "b"))
+        assert policy.avc.hits == 2
+        assert policy.avc.allowed == 1
+        assert policy.avc.denied == 1
+
+
+class TestRgpdOSSmackPolicy:
+    """The paper's claim: Smack 'can do the job' — same decisions as
+    the SELinux-style policy on every rgpdOS-relevant access."""
+
+    @pytest.fixture
+    def smack(self):
+        return rgpdos_smack_policy()
+
+    def test_ded_reaches_dbfs(self, smack):
+        assert smack.decide(ctx(SYS_DBFS_QUERY, LABEL_DED, OBJ_DBFS)) is None
+        assert smack.decide(ctx(SYS_DBFS_STORE, LABEL_DED, OBJ_DBFS)) is None
+
+    def test_apps_blocked_from_dbfs(self, smack):
+        assert smack.decide(
+            ctx(SYS_DBFS_QUERY, LABEL_APP, OBJ_DBFS)
+        ) is not None
+        assert smack.decide(
+            ctx(SYS_DBFS_QUERY, LABEL_UNCONFINED, OBJ_DBFS)
+        ) is not None
+
+    def test_apps_may_use_ps_entry_points(self, smack):
+        assert smack.decide(ctx(SYS_PS_INVOKE, LABEL_APP, OBJ_PS)) is None
+        assert smack.decide(ctx(SYS_PS_REGISTER, LABEL_APP, OBJ_PS)) is None
+
+    def test_equivalent_to_selinux_policy_on_rgpdos_accesses(self, smack):
+        """Decision-for-decision agreement across the access matrix the
+        paper's four rules cover.
+
+        The matrix pairs each syscall with the object type it actually
+        targets (DBFS syscalls hit ``dbfs_t``, PS syscalls hit
+        ``ps_t``) plus unlabelled objects.  Smack's rwx modes are
+        coarser than SELinux's per-syscall vectors, so *mismatched*
+        pairs (a dbfs_store aimed at ps_t) can diverge — those pairs
+        cannot arise in the kernel, where the syscall determines the
+        object.
+        """
+        selinux = rgpdos_policy()
+        subjects = (LABEL_APP, LABEL_DED, LABEL_SYSADMIN, LABEL_UNCONFINED)
+        pairs = (
+            (SYS_DBFS_QUERY, OBJ_DBFS),
+            (SYS_DBFS_STORE, OBJ_DBFS),
+            (SYS_PS_INVOKE, OBJ_PS),
+            (SYS_PS_REGISTER, OBJ_PS),
+            (SYS_READ, ""),
+            (SYS_WRITE, ""),
+        )
+        for subject in subjects:
+            for syscall, obj in pairs:
+                context = ctx(syscall, subject, obj)
+                selinux_allows = selinux.decide(context) is None
+                smack_allows = smack.decide(context) is None
+                assert selinux_allows == smack_allows, (subject, obj, syscall)

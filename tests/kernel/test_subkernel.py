@@ -1,0 +1,130 @@
+"""Unit tests for the sub-kernel classes."""
+
+import pytest
+
+from repro import errors
+from repro.kernel.ipc import Switchboard
+from repro.kernel.process import Process
+from repro.kernel.subkernel import (
+    CATEGORY_GENERAL_PURPOSE,
+    CATEGORY_IO_DRIVER,
+    CATEGORY_RGPDOS,
+    GeneralPurposeKernel,
+    IODriverKernel,
+    IORequest,
+    RgpdOSKernel,
+)
+
+
+def echo_driver(request):
+    return b"echo:" + request.payload
+
+
+class TestSubKernelBasics:
+    def test_categories(self):
+        assert GeneralPurposeKernel().category == CATEGORY_GENERAL_PURPOSE
+        assert RgpdOSKernel().category == CATEGORY_RGPDOS
+        driver = IODriverKernel("drv", "nvme", echo_driver)
+        assert driver.category == CATEGORY_IO_DRIVER
+
+    def test_name_required(self):
+        with pytest.raises(errors.KernelError):
+            GeneralPurposeKernel(name="")
+
+    def test_spawn_and_reap(self):
+        kernel = GeneralPurposeKernel()
+        process = kernel.spawn(Process(name="p", label="t"))
+        assert process.kernel == kernel.name
+        assert kernel.processes() == [process]
+        process.exit(0)
+        assert kernel.reap() == [process]
+        assert kernel.processes() == []
+
+    def test_duplicate_pid_rejected(self):
+        kernel = GeneralPurposeKernel()
+        process = kernel.spawn(Process(name="p", label="t"))
+        with pytest.raises(errors.ProcessError):
+            kernel.spawn(process)
+
+    def test_ipc_requires_switchboard(self):
+        kernel = GeneralPurposeKernel()
+        with pytest.raises(errors.IPCError):
+            kernel.send("other", "t", None)
+
+
+class TestIODriverKernel:
+    def test_serve_counts_requests(self):
+        driver = IODriverKernel("drv", "nvme", echo_driver)
+        result = driver.serve(IORequest(op="read", target="0", payload=b"x"))
+        assert result == b"echo:x"
+        assert driver.served_requests == 1
+        assert driver.pd_requests == 0
+
+    def test_pd_traffic_tracked(self):
+        driver = IODriverKernel("drv", "nvme", echo_driver)
+        driver.serve(IORequest(op="write", target="0", carries_pd=True))
+        driver.serve(IORequest(op="write", target="1", carries_pd=False))
+        assert driver.pd_requests == 1
+        assert driver.served_requests == 2
+
+    def test_unknown_op_rejected(self):
+        driver = IODriverKernel("drv", "nvme", echo_driver)
+        with pytest.raises(errors.KernelError):
+            driver.serve(IORequest(op="format", target="0"))
+
+
+class TestIOForwarding:
+    """The general-purpose kernel has no drivers; IO goes over IPC."""
+
+    def make_pair(self):
+        board = Switchboard()
+        gp = GeneralPurposeKernel()
+        driver = IODriverKernel("drv-nvme", "nvme", echo_driver)
+        gp.attach_switchboard(board)
+        driver.attach_switchboard(board)
+        board.connect(gp.name, driver.name)
+        return gp, driver
+
+    def test_submit_and_drain(self):
+        gp, driver = self.make_pair()
+        gp.submit_io("drv-nvme", IORequest(op="read", target="0", payload=b"q"))
+        served = driver.drain_ipc(gp.name)
+        assert served == 1
+        assert gp.forwarded_io == 1
+        reply = gp.recv(driver.name)
+        assert reply.payload == b"echo:q"
+        assert reply.topic == "reply:io"
+
+    def test_origin_kernel_stamped(self):
+        gp, driver = self.make_pair()
+        request = IORequest(op="read", target="0")
+        gp.submit_io("drv-nvme", request)
+        assert request.origin_kernel == gp.name
+
+    def test_non_io_payload_rejected_by_driver(self):
+        gp, driver = self.make_pair()
+        gp.send(driver.name, "io", {"not": "an io request"})
+        with pytest.raises(errors.IPCError):
+            driver.drain_ipc(gp.name)
+
+
+class TestRgpdOSKernel:
+    def test_mount_and_lookup(self):
+        kernel = RgpdOSKernel()
+        component = object()
+        kernel.mount("dbfs", component)
+        assert kernel.component("dbfs") is component
+
+    def test_duplicate_mount_rejected(self):
+        kernel = RgpdOSKernel()
+        kernel.mount("dbfs", object())
+        with pytest.raises(errors.KernelError):
+            kernel.mount("dbfs", object())
+
+    def test_missing_component_rejected(self):
+        with pytest.raises(errors.KernelError):
+            RgpdOSKernel().component("ps")
+
+    def test_rgpdos_policy_installed_by_default(self):
+        kernel = RgpdOSKernel()
+        assert kernel.lsm.name == "rgpdos"

@@ -1,0 +1,111 @@
+"""Unit tests for the syscall table and dispatch layering."""
+
+import pytest
+
+from repro import errors
+from repro.kernel.syscalls import (
+    SYS_READ,
+    SYS_WRITE,
+    SyscallContext,
+    SyscallTable,
+)
+
+
+def ctx(syscall, pid=1, label="app_t", target=""):
+    return SyscallContext(syscall=syscall, pid=pid, label=label,
+                          target_label=target)
+
+
+class TestDispatch:
+    def test_handler_runs_and_returns(self):
+        table = SyscallTable()
+        table.register(SYS_READ, lambda c: f"read by {c.pid}")
+        assert table.dispatch(ctx(SYS_READ, pid=7)) == "read by 7"
+
+    def test_unregistered_syscall_fails(self):
+        table = SyscallTable()
+        with pytest.raises(errors.KernelError):
+            table.dispatch(ctx(SYS_READ))
+
+    def test_unknown_syscall_name_rejected_at_registration(self):
+        table = SyscallTable()
+        with pytest.raises(errors.KernelError):
+            table.register("frobnicate", lambda c: None)
+
+    def test_duplicate_registration_rejected(self):
+        table = SyscallTable()
+        table.register(SYS_READ, lambda c: None)
+        with pytest.raises(errors.KernelError):
+            table.register(SYS_READ, lambda c: None)
+
+
+class TestGuardLayering:
+    def test_seccomp_runs_before_lsm(self):
+        order = []
+        table = SyscallTable()
+        table.register(SYS_WRITE, lambda c: "ok")
+
+        def seccomp_guard(context):
+            order.append("seccomp")
+            return "denied by seccomp"
+
+        def lsm_guard(context):
+            order.append("lsm")
+            return None
+
+        table.attach_seccomp(1, seccomp_guard)
+        table.set_lsm(lsm_guard)
+        with pytest.raises(errors.SyscallDenied):
+            table.dispatch(ctx(SYS_WRITE, pid=1))
+        assert order == ["seccomp"]  # LSM never consulted
+
+    def test_lsm_denial_after_seccomp_allow(self):
+        table = SyscallTable()
+        table.register(SYS_WRITE, lambda c: "ok")
+        table.attach_seccomp(1, lambda c: None)
+        table.set_lsm(lambda c: "lsm says no")
+        with pytest.raises(errors.SyscallDenied) as excinfo:
+            table.dispatch(ctx(SYS_WRITE, pid=1))
+        assert "lsm says no" in str(excinfo.value)
+
+    def test_seccomp_is_per_pid(self):
+        table = SyscallTable()
+        table.register(SYS_WRITE, lambda c: "ok")
+        table.attach_seccomp(1, lambda c: "no")
+        # pid 2 has no filter and sails through.
+        assert table.dispatch(ctx(SYS_WRITE, pid=2)) == "ok"
+
+    def test_seccomp_filter_is_one_way(self):
+        """Like prctl(PR_SET_SECCOMP): no swapping filters."""
+        table = SyscallTable()
+        table.attach_seccomp(1, lambda c: "strict")
+        with pytest.raises(errors.KernelError):
+            table.attach_seccomp(1, lambda c: None)
+
+
+class TestAudit:
+    def test_allowed_and_denied_recorded(self):
+        table = SyscallTable()
+        table.register(SYS_READ, lambda c: None)
+        table.attach_seccomp(9, lambda c: "blocked")
+        table.dispatch(ctx(SYS_READ, pid=1))
+        with pytest.raises(errors.SyscallDenied):
+            table.dispatch(ctx(SYS_READ, pid=9))
+        assert len(table.audit_log) == 2
+        assert len(table.denials()) == 1
+        assert table.denials()[0].denier == "seccomp"
+
+    def test_denials_for_pid(self):
+        table = SyscallTable()
+        table.register(SYS_READ, lambda c: None)
+        table.attach_seccomp(9, lambda c: "blocked")
+        with pytest.raises(errors.SyscallDenied):
+            table.dispatch(ctx(SYS_READ, pid=9))
+        assert len(table.denials_for_pid(9)) == 1
+        assert table.denials_for_pid(1) == []
+
+    def test_missing_handler_audited_as_nosys(self):
+        table = SyscallTable()
+        with pytest.raises(errors.KernelError):
+            table.dispatch(ctx(SYS_READ))
+        assert table.audit_log[-1].denier == "nosys"

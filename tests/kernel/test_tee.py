@@ -1,0 +1,152 @@
+"""Unit tests for the SGX-like TEE simulation (§ 3(3))."""
+
+import pytest
+
+from repro import errors
+from repro.kernel.tee import AttestationReport, TEEPlatform, measure_code
+
+
+def sample_code(x):
+    return x + 1
+
+
+def other_code(x):
+    return x + 2
+
+
+@pytest.fixture
+def platform():
+    return TEEPlatform(platform_id="test-platform", seed=9)
+
+
+class TestMeasurement:
+    def test_measurement_is_stable(self):
+        assert measure_code(sample_code) == measure_code(sample_code)
+
+    def test_different_code_different_measurement(self):
+        assert measure_code(sample_code) != measure_code(other_code)
+
+    def test_strings_and_bytes_measurable(self):
+        assert measure_code("source text") == measure_code("source text")
+        assert measure_code(b"raw") != measure_code(b"other")
+
+    def test_builtin_measurable_by_name(self):
+        # No source available: falls back to qualified name, stable.
+        assert measure_code(len) == measure_code(len)
+
+
+class TestEnclaveMemory:
+    def test_sealed_roundtrip_inside_entry(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        with enclave:
+            enclave.store("pd", b"sensitive bytes")
+            assert enclave.load("pd") == b"sensitive bytes"
+
+    def test_access_outside_entry_refused(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        with enclave:
+            enclave.store("pd", b"x")
+        with pytest.raises(errors.KernelError):
+            enclave.load("pd")
+        with pytest.raises(errors.KernelError):
+            enclave.store("pd2", b"y")
+
+    def test_os_sees_only_ciphertext(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        with enclave:
+            enclave.store("pd", b"PLAINTEXT-SECRET")
+        spied = enclave.read_memory_as_os("pd")
+        assert spied != b"PLAINTEXT-SECRET"
+        assert b"PLAINTEXT" not in spied
+
+    def test_missing_slot(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        with enclave:
+            with pytest.raises(errors.KernelError):
+                enclave.load("ghost")
+
+    def test_destroy_loses_memory(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        with enclave:
+            enclave.store("pd", b"x")
+        enclave.destroy()
+        with pytest.raises(errors.KernelError):
+            enclave.enter()
+
+    def test_different_enclaves_different_sealing_keys(self, platform):
+        enclave_a = platform.create_enclave(sample_code)
+        enclave_b = platform.create_enclave(other_code)
+        with enclave_a:
+            enclave_a.store("pd", b"same plaintext")
+        with enclave_b:
+            enclave_b.store("pd", b"same plaintext")
+        assert (
+            enclave_a.read_memory_as_os("pd")
+            != enclave_b.read_memory_as_os("pd")
+        )
+
+
+class TestExecution:
+    def test_call_runs_measured_code(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        assert enclave.call(sample_code, 41) == 42
+
+    def test_code_swap_rejected(self, platform):
+        """The attack measurement exists to prevent."""
+        enclave = platform.create_enclave(sample_code)
+        with pytest.raises(errors.KernelError):
+            enclave.call(other_code, 41)
+
+
+class TestAttestation:
+    def test_valid_report_verifies(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        report = enclave.attest(b"nonce-1")
+        assert platform.verify(report)
+        assert platform.verify(
+            report,
+            expected_measurement=measure_code(sample_code),
+            expected_nonce=b"nonce-1",
+        )
+
+    def test_wrong_measurement_rejected(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        report = enclave.attest(b"n")
+        assert not platform.verify(
+            report, expected_measurement=measure_code(other_code)
+        )
+
+    def test_replayed_nonce_detectable(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        report = enclave.attest(b"old-nonce")
+        assert not platform.verify(report, expected_nonce=b"fresh-nonce")
+
+    def test_forged_signature_rejected(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        report = enclave.attest(b"n")
+        forged = AttestationReport(
+            measurement=report.measurement,
+            nonce=report.nonce,
+            platform_id=report.platform_id,
+            signature=b"\x00" * 32,
+        )
+        assert not platform.verify(forged)
+
+    def test_foreign_platform_rejected(self, platform):
+        other_platform = TEEPlatform(platform_id="evil-platform", seed=10)
+        enclave = other_platform.create_enclave(sample_code)
+        report = enclave.attest(b"n")
+        assert not platform.verify(report)
+
+    def test_destroyed_enclave_cannot_attest(self, platform):
+        enclave = platform.create_enclave(sample_code)
+        enclave.destroy()
+        with pytest.raises(errors.KernelError):
+            enclave.attest(b"n")
+
+    def test_enclave_count(self, platform):
+        first = platform.create_enclave(sample_code)
+        platform.create_enclave(other_code)
+        assert platform.enclave_count == 2
+        first.destroy()
+        assert platform.enclave_count == 1

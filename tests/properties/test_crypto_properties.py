@@ -1,0 +1,101 @@
+"""Property-based tests for crypto and durations (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.core.clock import format_duration, parse_duration
+from repro.core.crypto import (
+    Authority,
+    HybridCipher,
+    generate_keypair,
+    stream_xor,
+)
+
+# One keypair for the whole module: keygen dominates otherwise.
+PUBLIC, PRIVATE = generate_keypair(bits=512, seed=31337)
+AUTHORITY = Authority(bits=512, seed=31338)
+OPERATOR = AUTHORITY.issue_operator_key("prop-test")
+
+
+class TestEnvelopeRoundtrip:
+    @given(plaintext=st.binary(max_size=5000))
+    @settings(max_examples=100, deadline=None)
+    def test_encrypt_decrypt_identity(self, plaintext):
+        cipher = HybridCipher()
+        blob = cipher.encrypt(PUBLIC, plaintext)
+        assert cipher.decrypt(PRIVATE, blob) == plaintext
+
+    @given(plaintext=st.binary(min_size=8, max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_ciphertext_never_contains_plaintext(self, plaintext):
+        blob = HybridCipher().encrypt(PUBLIC, plaintext)
+        assert plaintext not in blob.ciphertext
+
+    @given(plaintext=st.binary(min_size=1, max_size=500),
+           flip=st.integers(min_value=0))
+    @settings(max_examples=50, deadline=None)
+    def test_any_single_byte_flip_detected(self, plaintext, flip):
+        from repro.core.crypto import EscrowBlob
+
+        cipher = HybridCipher()
+        blob = cipher.encrypt(PUBLIC, plaintext)
+        position = flip % len(blob.ciphertext)
+        corrupted = bytearray(blob.ciphertext)
+        corrupted[position] ^= 0x01
+        tampered = EscrowBlob(
+            wrapped_key=blob.wrapped_key, nonce=blob.nonce,
+            ciphertext=bytes(corrupted), tag=blob.tag,
+            key_fingerprint=blob.key_fingerprint,
+        )
+        with pytest.raises(errors.CryptoError):
+            cipher.decrypt(PRIVATE, tampered)
+
+
+class TestEscrowProperties:
+    @given(plaintext=st.binary(max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_authority_always_recovers(self, plaintext):
+        blob = OPERATOR.escrow_encrypt(plaintext)
+        assert AUTHORITY.recover(blob) == plaintext
+        assert OPERATOR.can_decrypt(blob) is False
+
+
+class TestStreamCipherProperties:
+    @given(key=st.binary(min_size=16, max_size=48),
+           nonce=st.binary(min_size=8, max_size=24),
+           data=st.binary(max_size=3000))
+    @settings(max_examples=100)
+    def test_xor_involution(self, key, nonce, data):
+        assert stream_xor(key, nonce, stream_xor(key, nonce, data)) == data
+
+    @given(key=st.binary(min_size=16, max_size=32),
+           nonce=st.binary(min_size=8, max_size=16),
+           data=st.binary(min_size=1, max_size=500))
+    @settings(max_examples=50)
+    def test_length_preserved(self, key, nonce, data):
+        assert len(stream_xor(key, nonce, data)) == len(data)
+
+
+class TestDurationProperties:
+    @given(
+        value=st.integers(min_value=0, max_value=10000),
+        unit=st.sampled_from(["S", "MIN", "H", "D", "W", "M", "Y"]),
+    )
+    @settings(max_examples=100)
+    def test_parse_format_roundtrip(self, value, unit):
+        seconds = parse_duration(f"{value}{unit}")
+        assert parse_duration(format_duration(seconds)) == seconds
+
+    @given(
+        value=st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False),
+        unit=st.sampled_from(["S", "MIN", "H", "D", "W", "M", "Y"]),
+    )
+    @settings(max_examples=100)
+    def test_parse_is_linear_in_value(self, value, unit):
+        single = parse_duration(f"1{unit}")
+        assert parse_duration(f"{value}{unit}") == pytest.approx(
+            value * single
+        )

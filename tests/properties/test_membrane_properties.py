@@ -1,0 +1,150 @@
+"""Property-based tests for membranes (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datatypes import FieldDef, PDType
+from repro.core.membrane import LAWFUL_BASES, Membrane, membrane_for_type
+from repro.core.views import SCOPE_ALL, SCOPE_NONE, View
+
+FIELD_NAMES = ("name", "email", "year", "city", "score")
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+).filter(str.isidentifier)
+
+scopes = st.sampled_from([SCOPE_ALL, SCOPE_NONE, "v_a", "v_b"])
+
+consent_maps = st.dictionaries(
+    keys=identifiers, values=scopes, max_size=8
+)
+
+
+def make_type():
+    return PDType(
+        name="t",
+        fields=tuple(FieldDef(name, "string") for name in FIELD_NAMES),
+        views={
+            "v_a": View("v_a", frozenset({"name", "email"})),
+            "v_b": View("v_b", frozenset({"year"})),
+        },
+    )
+
+
+def build_membrane(consents, ttl, created_at):
+    membrane = Membrane(
+        pd_type="t", subject_id="s", origin="subject",
+        sensitivity="low", created_at=created_at, ttl_seconds=ttl,
+    )
+    for index, (purpose, scope) in enumerate(sorted(consents.items())):
+        membrane.grant(purpose, scope, at=created_at + index)
+    return membrane
+
+
+class TestSerializationRoundtrip:
+    @given(
+        consents=consent_maps,
+        ttl=st.one_of(st.none(), st.floats(min_value=1.0, max_value=1e9)),
+        created_at=st.floats(min_value=0.0, max_value=1e9),
+    )
+    @settings(max_examples=100)
+    def test_json_roundtrip_is_identity(self, consents, ttl, created_at):
+        membrane = build_membrane(consents, ttl, created_at)
+        clone = Membrane.from_json(membrane.to_json())
+        assert clone.to_dict() == membrane.to_dict()
+
+    @given(consents=consent_maps)
+    @settings(max_examples=50)
+    def test_roundtrip_preserves_decisions(self, consents):
+        membrane = build_membrane(consents, None, 0.0)
+        clone = Membrane.from_json(membrane.to_json())
+        for purpose in consents:
+            assert clone.permits(purpose) == membrane.permits(purpose)
+
+
+class TestPermitsInvariants:
+    @given(consents=consent_maps, purpose=identifiers)
+    @settings(max_examples=100)
+    def test_permits_agrees_with_allowed_fields(self, consents, purpose):
+        """permits() is None exactly when allowed_fields() is None."""
+        membrane = build_membrane(consents, None, 0.0)
+        scope = membrane.permits(purpose)
+        fields = membrane.allowed_fields(purpose, make_type())
+        assert (scope is None) == (fields is None)
+        if fields is not None:
+            assert fields <= frozenset(FIELD_NAMES)
+
+    @given(consents=consent_maps)
+    @settings(max_examples=50)
+    def test_none_scope_never_permits(self, consents):
+        membrane = build_membrane(consents, None, 0.0)
+        for purpose, scope in consents.items():
+            if scope == SCOPE_NONE:
+                assert membrane.permits(purpose) is None
+
+    @given(consents=consent_maps, purpose=identifiers)
+    @settings(max_examples=50)
+    def test_revoke_always_wins(self, consents, purpose):
+        membrane = build_membrane(consents, None, 0.0)
+        membrane.revoke(purpose, at=99.0)
+        assert membrane.permits(purpose) is None
+
+    @given(consents=consent_maps)
+    @settings(max_examples=50)
+    def test_erasure_denies_everything(self, consents):
+        membrane = build_membrane(consents, None, 0.0)
+        membrane.mark_erased(at=1.0)
+        for purpose in consents:
+            assert membrane.permits(purpose) is None
+
+
+class TestTTLInvariants:
+    @given(
+        ttl=st.floats(min_value=1.0, max_value=1e9),
+        created_at=st.floats(min_value=0.0, max_value=1e9),
+        probe=st.floats(min_value=0.0, max_value=3e9),
+    )
+    @settings(max_examples=100)
+    def test_expiry_is_monotone(self, ttl, created_at, probe):
+        """Once expired, always expired at any later time."""
+        membrane = build_membrane({}, ttl, created_at)
+        if membrane.is_expired(probe):
+            assert membrane.is_expired(probe + 1.0)
+            assert membrane.remaining_ttl(probe) == 0.0
+        else:
+            remaining = membrane.remaining_ttl(probe)
+            assert remaining > 0
+            # The millisecond slack absorbs float cancellation when a
+            # tiny probe is added to a large deadline.
+            assert membrane.is_expired(probe + remaining + 1e-3)
+
+    @given(created_at=st.floats(min_value=0.0, max_value=1e9))
+    @settings(max_examples=25)
+    def test_never_expired_before_creation(self, created_at):
+        membrane = build_membrane({}, 100.0, created_at)
+        assert not membrane.is_expired(created_at)
+
+
+class TestCopyConsistency:
+    @given(consents=consent_maps, at=st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=50)
+    def test_clone_permits_exactly_the_same(self, consents, at):
+        membrane = build_membrane(consents, None, 0.0)
+        membrane.lineage = "g"
+        clone = membrane.clone_for_copy(at=at)
+        for purpose in list(consents) + ["unrelated"]:
+            assert clone.permits(purpose) == membrane.permits(purpose)
+        assert clone.lineage == membrane.lineage
+
+
+class TestDefaultMembraneInvariants:
+    @given(created_at=st.floats(min_value=0.0, max_value=1e9))
+    @settings(max_examples=25)
+    def test_defaults_use_a_lawful_basis(self, created_at):
+        pd_type = PDType(
+            name="t",
+            fields=(FieldDef("a", "int"),),
+            default_consent={"p": SCOPE_ALL},
+        )
+        membrane = membrane_for_type(pd_type, "s", created_at=created_at)
+        assert membrane.consents["p"].basis in LAWFUL_BASES

@@ -1,0 +1,145 @@
+"""Property-based tests for the storage substrates (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.block import BlockDevice, load_bytes, store_bytes
+from repro.storage.extfs import FileBasedFS
+from repro.storage.inode import KIND_RECORD, InodeTable
+from repro.storage.journal import Journal
+
+payloads = st.binary(min_size=0, max_size=2000)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=12
+)
+
+
+class TestBlockRoundtrip:
+    @given(payload=payloads)
+    @settings(max_examples=100)
+    def test_store_load_identity(self, payload):
+        device = BlockDevice(block_count=128, block_size=64)
+        blocks = store_bytes(device, payload)
+        assert load_bytes(device, blocks, len(payload)) == payload
+
+    @given(payload=payloads)
+    @settings(max_examples=50)
+    def test_block_count_matches_size(self, payload):
+        device = BlockDevice(block_count=128, block_size=64)
+        blocks = store_bytes(device, payload)
+        expected = max(1, -(-len(payload) // 64))
+        assert len(blocks) == expected
+
+    @given(data=st.lists(payloads, min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_interleaved_payloads_stay_separate(self, data):
+        device = BlockDevice(block_count=2048, block_size=32)
+        stored = [(store_bytes(device, p), p) for p in data]
+        for blocks, payload in stored:
+            assert load_bytes(device, blocks, len(payload)) == payload
+
+
+class TestInodeRoundtrip:
+    @given(payload=payloads)
+    @settings(max_examples=100)
+    def test_payload_roundtrip(self, payload):
+        table = InodeTable(BlockDevice(block_count=256, block_size=64))
+        inode = table.allocate(KIND_RECORD)
+        table.write_payload(inode.number, payload)
+        assert table.read_payload(inode.number) == payload
+
+    @given(first=payloads, second=payloads)
+    @settings(max_examples=50)
+    def test_rewrite_replaces(self, first, second):
+        table = InodeTable(BlockDevice(block_count=512, block_size=64))
+        inode = table.allocate(KIND_RECORD)
+        table.write_payload(inode.number, first)
+        table.rewrite_scrubbed(inode.number, second)
+        assert table.read_payload(inode.number) == second
+
+
+class TestExtFSModel:
+    """Random op sequences: the FS must agree with a dict model."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["create", "write", "unlink"]),
+                names,
+                payloads,
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_matches_dict_model(self, ops):
+        fs = FileBasedFS(BlockDevice(block_count=8192, block_size=64))
+        model = {}
+        for op, name, payload in ops:
+            if op == "create":
+                if name in model:
+                    continue
+                fs.create(name, payload)
+                model[name] = payload
+            elif op == "write":
+                if name not in model:
+                    continue
+                fs.write(name, payload)
+                model[name] = payload
+            elif op == "unlink":
+                if name not in model:
+                    continue
+                fs.unlink(name)
+                del model[name]
+        for name, payload in model.items():
+            assert fs.read(name) == payload
+        listed = {entry.name for entry in fs.listdir("/")}
+        assert listed == set(model)
+
+    @given(payload=st.binary(min_size=4, max_size=500))
+    @settings(max_examples=25)
+    def test_delete_always_leaves_device_residue(self, payload):
+        """The RTBF violation is not an accident of one payload."""
+        fs = FileBasedFS(BlockDevice(block_count=4096, block_size=64))
+        fs.create("victim", payload)
+        fs.unlink("victim")
+        assert fs.forensic_scan(payload)["device_blocks"] >= 1
+
+
+class TestJournalInvariants:
+    @given(
+        entries=st.lists(
+            st.tuples(names, payloads), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=50)
+    def test_replay_returns_committed_in_order(self, entries):
+        journal = Journal(
+            BlockDevice(block_count=4096, block_size=64),
+            reserved_blocks=2048,
+        )
+        for name, payload in entries:
+            journal.begin()
+            journal.log_write(name, payload)
+            journal.commit()
+        replayed = journal.replay()
+        assert [(r.target, r.payload) for r in replayed] == entries
+
+    @given(
+        committed=st.tuples(names, payloads),
+        aborted=st.tuples(names, payloads),
+    )
+    @settings(max_examples=50)
+    def test_aborted_never_replayed(self, committed, aborted):
+        journal = Journal(
+            BlockDevice(block_count=2048, block_size=64),
+            reserved_blocks=1024,
+        )
+        journal.begin()
+        journal.log_write(*committed)
+        journal.commit()
+        journal.begin()
+        journal.log_write(*aborted)
+        journal.abort()
+        replayed = journal.replay()
+        assert [(r.target, r.payload) for r in replayed] == [committed]

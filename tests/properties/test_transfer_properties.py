@@ -1,0 +1,108 @@
+"""Property-based tests for cross-operator transfer (Art. 20)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Authority, RgpdOS
+from repro.core.transfer import export_package, import_package
+
+_AUTHORITY = Authority(bits=512, seed=909)
+
+DECLS = """
+type user {
+  fields { name: string, email: string, year_of_birthdate: int };
+  view v_ano { year_of_birthdate };
+  view v_contact { name, email };
+  consent { account_management: all };
+  collection { web_form: f.html };
+  age: 2Y;
+}
+purpose account_management { uses: user; basis: contract; }
+purpose analytics { uses: user via v_ano; basis: consent; }
+purpose marketing { uses: user via v_contact; basis: consent; }
+"""
+
+records = st.fixed_dictionaries(
+    {
+        "name": st.text(
+            alphabet="abcdefghij KLMNO", min_size=1, max_size=20
+        ),
+        "email": st.text(alphabet="abc@.", min_size=1, max_size=15),
+        "year_of_birthdate": st.integers(min_value=1900, max_value=2020),
+    }
+)
+
+subject_grants = st.dictionaries(
+    keys=st.sampled_from(["analytics", "marketing"]),
+    values=st.just(None),  # scope chosen per purpose below
+    max_size=2,
+)
+
+_SCOPES = {"analytics": "v_ano", "marketing": "v_contact"}
+
+
+def build_pair():
+    source = RgpdOS(operator_name="prop-src", authority=_AUTHORITY,
+                    with_machine=False)
+    destination = RgpdOS(operator_name="prop-dst", authority=_AUTHORITY,
+                         with_machine=False)
+    source.install(DECLS)
+    destination.install(DECLS)
+    return source, destination
+
+
+class TestTransferRoundtrip:
+    @given(record=records, grants=subject_grants,
+           elapsed_days=st.integers(min_value=0, max_value=900))
+    @settings(max_examples=30, deadline=None)
+    def test_data_and_consent_semantics_preserved(
+        self, record, grants, elapsed_days
+    ):
+        source, destination = build_pair()
+        ref = source.collect(
+            "user", record, subject_id="subj", method="web_form",
+        )
+        for purpose in grants:
+            source.rights.grant_consent(
+                "subj", ref, purpose, _SCOPES[purpose]
+            )
+        source.advance_time(elapsed_days * 86400.0)
+
+        package = export_package(source, "subj")
+        if elapsed_days >= 2 * 365:
+            # Overdue PD has no lawful life left: never exported.
+            assert package["records"] == []
+            assert package["skipped_expired"] == 1
+            return
+        outcome = import_package(destination, package)
+        (new_ref,) = outcome.imported
+
+        # Data travels bit-identically.
+        credential = destination.ps.builtins.credential
+        from repro.storage.query import DataQuery
+
+        imported = destination.dbfs.fetch_records(
+            DataQuery(
+                uids=(new_ref.uid,),
+                fields={new_ref.uid: frozenset(record)},
+            ),
+            credential,
+        )[new_ref.uid]
+        assert imported == record
+
+        membrane = destination.dbfs.get_membrane(new_ref.uid, credential)
+        # Exactly the subject-granted consents travel.
+        for purpose in ("analytics", "marketing"):
+            expected = _SCOPES[purpose] if purpose in grants else None
+            assert membrane.permits(purpose) == expected
+        # Source defaults never travel.
+        assert membrane.permits("account_management") is None
+        # TTL: remaining time, never more than the original 2Y.
+        if membrane.ttl_seconds is not None:
+            assert membrane.ttl_seconds <= 2 * 365 * 86400.0
+            assert membrane.ttl_seconds == pytest.approx(
+                max(0.0, (2 * 365 - elapsed_days) * 86400.0)
+            )
+        # Destination stays compliant.
+        assert destination.audit().ok

@@ -1,0 +1,153 @@
+"""Unit tests for the simulated block device."""
+
+import pytest
+
+from repro import errors
+from repro.storage.block import BlockDevice, load_bytes, store_bytes
+
+
+@pytest.fixture
+def device():
+    return BlockDevice(block_count=64, block_size=16)
+
+
+class TestGeometry:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(errors.BlockDeviceError):
+            BlockDevice(block_count=0)
+
+    def test_rejects_zero_block_size(self):
+        with pytest.raises(errors.BlockDeviceError):
+            BlockDevice(block_size=0)
+
+    def test_initially_all_free(self, device):
+        assert device.free_blocks == 64
+        assert device.used_blocks == 0
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_blocks(self, device):
+        blocks = {device.allocate() for _ in range(10)}
+        assert len(blocks) == 10
+
+    def test_allocate_marks_in_use(self, device):
+        block = device.allocate()
+        assert device.is_allocated(block)
+        assert device.used_blocks == 1
+
+    def test_free_returns_to_pool(self, device):
+        block = device.allocate()
+        device.free(block)
+        assert not device.is_allocated(block)
+        assert device.free_blocks == 64
+
+    def test_double_free_rejected(self, device):
+        block = device.allocate()
+        device.free(block)
+        with pytest.raises(errors.BlockDeviceError):
+            device.free(block)
+
+    def test_exhaustion_raises_out_of_space(self, device):
+        for _ in range(64):
+            device.allocate()
+        with pytest.raises(errors.OutOfSpaceError):
+            device.allocate()
+
+    def test_allocate_many_is_atomic(self, device):
+        for _ in range(60):
+            device.allocate()
+        with pytest.raises(errors.OutOfSpaceError):
+            device.allocate_many(5)
+        # Nothing was taken by the failed bulk request.
+        assert device.free_blocks == 4
+
+    def test_allocate_many_negative_rejected(self, device):
+        with pytest.raises(errors.BlockDeviceError):
+            device.allocate_many(-1)
+
+
+class TestIO:
+    def test_write_then_read(self, device):
+        block = device.allocate()
+        device.write(block, b"hello")
+        assert device.read(block) == b"hello"
+
+    def test_read_unwritten_block_is_empty(self, device):
+        block = device.allocate()
+        assert device.read(block) == b""
+
+    def test_oversized_write_rejected(self, device):
+        block = device.allocate()
+        with pytest.raises(errors.BlockDeviceError):
+            device.write(block, b"x" * 17)
+
+    def test_exact_block_size_write_accepted(self, device):
+        block = device.allocate()
+        device.write(block, b"x" * 16)
+        assert device.read(block) == b"x" * 16
+
+    def test_out_of_range_access_rejected(self, device):
+        with pytest.raises(errors.BlockDeviceError):
+            device.read(64)
+        with pytest.raises(errors.BlockDeviceError):
+            device.write(-1, b"")
+
+    def test_stats_count_accesses(self, device):
+        block = device.allocate()
+        device.write(block, b"a")
+        device.read(block)
+        device.read(block)
+        assert device.stats.writes == 1
+        assert device.stats.reads == 2
+        assert device.stats.simulated_io_seconds > 0
+
+
+class TestDeletedDataPersistence:
+    """The GDPR-relevant behaviour: free() does not erase."""
+
+    def test_freed_block_retains_contents(self, device):
+        block = device.allocate()
+        device.write(block, b"SECRET")
+        device.free(block)
+        assert device.read(block) == b"SECRET"
+
+    def test_scan_finds_data_in_freed_blocks(self, device):
+        block = device.allocate()
+        device.write(block, b"needle-in-block")
+        device.free(block)
+        assert device.scan(b"needle") == [block]
+
+    def test_scrub_actually_erases(self, device):
+        block = device.allocate()
+        device.write(block, b"SECRET")
+        device.scrub(block)
+        assert device.read(block) == b""
+        assert device.scan(b"SECRET") == []
+
+    def test_scan_rejects_empty_needle(self, device):
+        with pytest.raises(errors.BlockDeviceError):
+            device.scan(b"")
+
+    def test_reallocation_reuses_lowest_block(self, device):
+        first = device.allocate()
+        second = device.allocate()
+        device.free(first)
+        assert device.allocate() == first
+        assert device.is_allocated(second)
+
+
+class TestPayloadHelpers:
+    def test_roundtrip_multi_block_payload(self, device):
+        payload = bytes(range(50))  # spans 4 blocks of 16 bytes
+        blocks = store_bytes(device, payload)
+        assert len(blocks) == 4
+        assert load_bytes(device, blocks, len(payload)) == payload
+
+    def test_empty_payload_uses_one_block(self, device):
+        blocks = store_bytes(device, b"")
+        assert len(blocks) == 1
+        assert load_bytes(device, blocks, 0) == b""
+
+    def test_length_truncates_padding(self, device):
+        blocks = store_bytes(device, b"abc")
+        assert load_bytes(device, blocks, 2) == b"ab"

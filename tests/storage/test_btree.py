@@ -1,0 +1,152 @@
+"""Unit + property tests for the B-tree and field indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.storage.btree import BTree, FieldIndex
+
+
+class TestBTreeBasics:
+    def test_minimum_degree_validated(self):
+        with pytest.raises(errors.StorageError):
+            BTree(t=1)
+
+    def test_insert_and_contains(self):
+        tree = BTree(t=2)
+        tree.insert((5, "a"))
+        tree.insert((3, "b"))
+        assert tree.contains((5, "a"))
+        assert tree.contains((3, "b"))
+        assert not tree.contains((5, "b"))
+
+    def test_scan_is_sorted(self):
+        tree = BTree(t=2)
+        for value in (9, 1, 7, 3, 5, 8, 2, 6, 4, 0):
+            tree.insert((value, f"u{value}"))
+        values = [value for value, _ in tree.scan()]
+        assert values == list(range(10))
+
+    def test_range_scan_half_open(self):
+        tree = BTree(t=2)
+        for value in range(20):
+            tree.insert((value, "u"))
+        scanned = [v for v, _ in tree.scan((5, ""), (10, ""))]
+        assert scanned == [5, 6, 7, 8, 9]
+
+    def test_duplicate_values_with_distinct_uids(self):
+        tree = BTree(t=2)
+        tree.insert((1, "a"))
+        tree.insert((1, "b"))
+        tree.insert((1, "c"))
+        assert len(tree) == 3
+        assert [uid for _, uid in tree.scan()] == ["a", "b", "c"]
+
+    def test_delete_leaf_and_internal(self):
+        tree = BTree(t=2)
+        for value in range(50):
+            tree.insert((value, "u"))
+        for value in (0, 25, 49, 10, 30):
+            assert tree.delete((value, "u"))
+            assert not tree.contains((value, "u"))
+        tree.check_invariants()
+        assert len(tree) == 45
+
+    def test_delete_absent_returns_false(self):
+        tree = BTree(t=2)
+        tree.insert((1, "a"))
+        assert not tree.delete((2, "b"))
+        assert len(tree) == 1
+
+    def test_delete_everything(self):
+        tree = BTree(t=2)
+        for value in range(30):
+            tree.insert((value, "u"))
+        for value in range(30):
+            assert tree.delete((value, "u"))
+        assert len(tree) == 0
+        assert list(tree.scan()) == []
+
+
+class TestBTreeProperties:
+    @given(
+        values=st.lists(
+            st.integers(min_value=-1000, max_value=1000), max_size=200
+        )
+    )
+    @settings(max_examples=50)
+    def test_insert_preserves_invariants_and_order(self, values):
+        tree = BTree(t=2)
+        for index, value in enumerate(values):
+            tree.insert((value, f"u{index}"))
+        tree.check_invariants()
+        scanned = [v for v, _ in tree.scan()]
+        assert scanned == sorted(values)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=1, max_size=120, unique=True,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_random_deletions_preserve_invariants(self, values, data):
+        tree = BTree(t=2)
+        for value in values:
+            tree.insert((value, "u"))
+        to_delete = data.draw(
+            st.lists(st.sampled_from(values), unique=True)
+        )
+        for value in to_delete:
+            assert tree.delete((value, "u"))
+        tree.check_invariants()
+        remaining = [v for v, _ in tree.scan()]
+        assert remaining == sorted(set(values) - set(to_delete))
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=50), max_size=80),
+        low=st.integers(min_value=0, max_value=50),
+        high=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=50)
+    def test_range_scan_matches_filter(self, values, low, high):
+        tree = BTree(t=3)
+        for index, value in enumerate(values):
+            tree.insert((value, f"u{index}"))
+        scanned = [v for v, _ in tree.scan((low, ""), (high, ""))]
+        expected = sorted(v for v in values if low <= v < high)
+        assert scanned == expected
+
+
+class TestFieldIndex:
+    def test_exact(self):
+        index = FieldIndex("user", "year")
+        index.add(1990, "u1")
+        index.add(1990, "u2")
+        index.add(1985, "u3")
+        assert sorted(index.exact(1990)) == ["u1", "u2"]
+        assert index.exact(2000) == []
+
+    def test_range(self):
+        index = FieldIndex("user", "year")
+        for year, uid in ((1980, "a"), (1985, "b"), (1990, "c"), (1995, "d")):
+            index.add(year, uid)
+        assert index.range(low=1985, high=1995) == ["b", "c"]
+        assert index.range(high=1985) == ["a"]
+        assert index.range(low=1990) == ["c", "d"]
+
+    def test_remove(self):
+        index = FieldIndex("user", "year")
+        index.add(1990, "u1")
+        assert index.remove(1990, "u1")
+        assert not index.remove(1990, "u1")
+        assert index.exact(1990) == []
+
+    def test_string_values(self):
+        index = FieldIndex("user", "city")
+        index.add("Lyon", "u1")
+        index.add("Paris", "u2")
+        index.add("Lyon", "u3")
+        assert sorted(index.exact("Lyon")) == ["u1", "u3"]

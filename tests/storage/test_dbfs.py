@@ -1,0 +1,369 @@
+"""Unit tests for DBFS, the database-oriented filesystem."""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.core.active_data import AccessCredential
+from repro.core.crypto import Authority
+from repro.core.datatypes import FieldDef, PDType
+from repro.core.membrane import membrane_for_type
+from repro.core.views import View
+from repro.storage.dbfs import DatabaseFS
+from repro.storage.inode import KIND_FORMAT, KIND_SUBJECT, KIND_TABLE
+from repro.storage.query import (
+    DataQuery,
+    DeleteRequest,
+    MembraneQuery,
+    Predicate,
+    StoreRequest,
+    UpdateRequest,
+)
+
+DED = AccessCredential(holder="test-ded", is_ded=True)
+APP = AccessCredential(holder="test-app", is_ded=False)
+
+
+def make_user_type():
+    return PDType(
+        name="user",
+        fields=(
+            FieldDef("name", "string"),
+            FieldDef("ssn", "string", sensitive=True),
+            FieldDef("year", "int"),
+        ),
+        views={"v_ano": View("v_ano", frozenset({"year"}))},
+        default_consent={"stats": "v_ano"},
+        collection={"web_form": "form.html"},
+        ttl_seconds=1000.0,
+    )
+
+
+@pytest.fixture
+def authority():
+    return Authority(bits=512, seed=11)
+
+
+@pytest.fixture
+def dbfs(authority):
+    fs = DatabaseFS(operator_key=authority.issue_operator_key("test-op"))
+    fs.create_type(make_user_type(), DED)
+    return fs
+
+
+def store_user(dbfs, subject, name="Ada", ssn="1850212", year=1815):
+    membrane = membrane_for_type(make_user_type(), subject, created_at=0.0)
+    return dbfs.store(
+        StoreRequest(
+            pd_type="user",
+            record={"name": name, "ssn": ssn, "year": year},
+            membrane_json=membrane.to_json(),
+        ),
+        DED,
+    )
+
+
+class TestTypeManagement:
+    def test_types_must_be_created_before_use(self, dbfs):
+        membrane = membrane_for_type(make_user_type(), "s", created_at=0.0)
+        with pytest.raises(errors.UnknownTypeError):
+            dbfs.store(
+                StoreRequest("ghost_type", {"x": 1}, membrane.to_json()), DED
+            )
+
+    def test_duplicate_type_rejected(self, dbfs):
+        with pytest.raises(errors.DBFSError):
+            dbfs.create_type(make_user_type(), DED)
+
+    def test_list_types(self, dbfs):
+        assert dbfs.list_types() == ["user"]
+
+    def test_schema_tree_has_table_inode(self, dbfs):
+        tables = dbfs.inodes.find_by_kind(KIND_TABLE)
+        assert len(tables) == 1
+        schema = json.loads(dbfs.inodes.read_payload(tables[0].number))
+        assert schema["type"] == "user"
+        assert set(schema["fields"]) == {"name", "ssn", "year"}
+
+    def test_format_descriptor_created_and_cached(self, dbfs):
+        formats = dbfs.inodes.find_by_kind(KIND_FORMAT)
+        assert len(formats) == 1
+        store_user(dbfs, "alice")
+        store_user(dbfs, "bob")
+        # Format read exactly once per live session despite two stores.
+        assert dbfs.stats.format_reads == 1
+
+    def test_create_type_requires_ded(self, authority):
+        fs = DatabaseFS(operator_key=authority.issue_operator_key("x"))
+        with pytest.raises(errors.PDLeakError):
+            fs.create_type(make_user_type(), APP)
+
+
+class TestStore:
+    def test_store_returns_ref(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        assert ref.pd_type == "user"
+        assert ref.subject_id == "alice"
+        assert ref.uid.startswith("pd:user:")
+
+    def test_store_without_membrane_rejected(self, dbfs):
+        with pytest.raises(errors.MissingMembraneError):
+            dbfs.store(
+                StoreRequest("user", {"name": "x", "ssn": "1", "year": 1}, ""),
+                DED,
+            )
+
+    def test_store_wrong_membrane_type_rejected(self, dbfs):
+        other = PDType(name="other", fields=(FieldDef("a", "int"),))
+        membrane = membrane_for_type(other, "s", created_at=0.0)
+        with pytest.raises(errors.MembraneError):
+            dbfs.store(
+                StoreRequest(
+                    "user",
+                    {"name": "x", "ssn": "1", "year": 1},
+                    membrane.to_json(),
+                ),
+                DED,
+            )
+
+    def test_store_validates_schema(self, dbfs):
+        membrane = membrane_for_type(make_user_type(), "s", created_at=0.0)
+        with pytest.raises(errors.SchemaViolationError):
+            dbfs.store(
+                StoreRequest("user", {"name": 42, "ssn": "1", "year": 1},
+                             membrane.to_json()),
+                DED,
+            )
+
+    def test_store_requires_ded_credential(self, dbfs):
+        membrane = membrane_for_type(make_user_type(), "s", created_at=0.0)
+        with pytest.raises(errors.PDLeakError):
+            dbfs.store(
+                StoreRequest("user", {"name": "x", "ssn": "1", "year": 1},
+                             membrane.to_json()),
+                APP,
+            )
+        assert dbfs.stats.denied_accesses == 1
+
+    def test_subject_inode_created_per_subject(self, dbfs):
+        store_user(dbfs, "alice")
+        store_user(dbfs, "alice")
+        store_user(dbfs, "bob")
+        assert len(dbfs.inodes.find_by_kind(KIND_SUBJECT)) == 2
+        assert dbfs.list_subjects() == ["alice", "bob"]
+
+    def test_record_linked_in_both_trees(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        assert ref.uid in dbfs.uids_of_subject("alice")
+        pairs = dbfs.query_membranes(MembraneQuery("user"), DED)
+        assert [p[0].uid for p in pairs] == [ref.uid]
+
+
+class TestSensitiveSeparation:
+    def test_sensitive_field_in_separate_inode(self, dbfs):
+        ref = store_user(dbfs, "alice", ssn="1234567890")
+        record_inode = dbfs.inodes.get(dbfs._record_index[ref.uid])
+        assert "sensitive_inode" in record_inode.attrs
+        public_payload = dbfs.inodes.read_payload(record_inode.number)
+        assert b"1234567890" not in public_payload
+        sensitive_payload = dbfs.inodes.read_payload(
+            record_inode.attrs["sensitive_inode"]
+        )
+        assert b"1234567890" in sensitive_payload
+
+    def test_fetch_merges_sensitive_fields(self, dbfs):
+        ref = store_user(dbfs, "alice", ssn="9999")
+        records = dbfs.fetch_records(
+            DataQuery(uids=(ref.uid,),
+                      fields={ref.uid: frozenset({"name", "ssn", "year"})}),
+            DED,
+        )
+        assert records[ref.uid]["ssn"] == "9999"
+
+
+class TestMembraneQueries:
+    def test_query_by_type(self, dbfs):
+        store_user(dbfs, "alice")
+        store_user(dbfs, "bob")
+        pairs = dbfs.query_membranes(MembraneQuery("user"), DED)
+        assert len(pairs) == 2
+
+    def test_query_by_subject(self, dbfs):
+        store_user(dbfs, "alice")
+        store_user(dbfs, "bob")
+        pairs = dbfs.query_membranes(
+            MembraneQuery("user", subject_id="bob"), DED
+        )
+        assert len(pairs) == 1
+        assert pairs[0][1].subject_id == "bob"
+
+    def test_query_by_uids(self, dbfs):
+        ref_a = store_user(dbfs, "alice")
+        store_user(dbfs, "bob")
+        pairs = dbfs.query_membranes(
+            MembraneQuery("user", uids=(ref_a.uid,)), DED
+        )
+        assert [p[0].uid for p in pairs] == [ref_a.uid]
+
+    def test_erased_excluded_by_default(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+        assert dbfs.query_membranes(MembraneQuery("user"), DED) == []
+        pairs = dbfs.query_membranes(
+            MembraneQuery("user", include_erased=True), DED
+        )
+        assert len(pairs) == 1 and pairs[0][1].erased
+
+    def test_requires_ded(self, dbfs):
+        with pytest.raises(errors.PDLeakError):
+            dbfs.query_membranes(MembraneQuery("user"), APP)
+
+    def test_unknown_type_raises(self, dbfs):
+        with pytest.raises(errors.UnknownTypeError):
+            dbfs.query_membranes(MembraneQuery("ghost"), DED)
+
+
+class TestFetch:
+    def test_field_projection_enforced(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        records = dbfs.fetch_records(
+            DataQuery(uids=(ref.uid,), fields={ref.uid: frozenset({"year"})}),
+            DED,
+        )
+        assert records[ref.uid] == {"year": 1815}
+
+    def test_predicates_filter_records(self, dbfs):
+        ref_a = store_user(dbfs, "alice", year=1815)
+        ref_b = store_user(dbfs, "bob", year=1990)
+        query = DataQuery(
+            uids=(ref_a.uid, ref_b.uid),
+            fields={
+                ref_a.uid: frozenset({"year"}),
+                ref_b.uid: frozenset({"year"}),
+            },
+            predicates=(Predicate("year", "lt", 1900),),
+        )
+        records = dbfs.fetch_records(query, DED)
+        assert list(records) == [ref_a.uid]
+
+    def test_unknown_uid_raises(self, dbfs):
+        with pytest.raises(errors.UnknownRecordError):
+            dbfs.fetch_records(DataQuery(uids=("pd:user:404",)), DED)
+
+    def test_erased_record_unfetchable(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+        with pytest.raises(errors.ExpiredPDError):
+            dbfs.fetch_records(DataQuery(uids=(ref.uid,)), DED)
+
+
+class TestUpdate:
+    def test_update_changes_fields(self, dbfs):
+        ref = store_user(dbfs, "alice", year=1815)
+        dbfs.update(UpdateRequest(ref.uid, {"year": 1816}), DED)
+        records = dbfs.fetch_records(
+            DataQuery(uids=(ref.uid,), fields={ref.uid: frozenset({"year"})}),
+            DED,
+        )
+        assert records[ref.uid]["year"] == 1816
+
+    def test_update_scrubs_old_values(self, dbfs):
+        ref = store_user(dbfs, "alice", name="Original-Name-Value")
+        dbfs.update(UpdateRequest(ref.uid, {"name": "Changed"}), DED)
+        assert dbfs.forensic_scan(b"Original-Name-Value")["device_blocks"] == 0
+
+    def test_update_validates_schema(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        with pytest.raises(errors.SchemaViolationError):
+            dbfs.update(UpdateRequest(ref.uid, {"year": "not-an-int"}), DED)
+
+    def test_update_erased_rejected(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+        with pytest.raises(errors.ErasureError):
+            dbfs.update(UpdateRequest(ref.uid, {"year": 1}), DED)
+
+
+class TestDelete:
+    def test_erase_mode_leaves_no_residue(self, dbfs):
+        ref = store_user(dbfs, "alice", name="Wiped-Completely")
+        dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+        scan = dbfs.forensic_scan(b"Wiped-Completely")
+        assert scan == {"device_blocks": 0, "journal_records": 0}
+
+    def test_escrow_mode_leaves_no_plaintext(self, dbfs):
+        ref = store_user(dbfs, "alice", name="Escrowed-Plaintext")
+        dbfs.delete(DeleteRequest(ref.uid, mode="escrow"), DED)
+        scan = dbfs.forensic_scan(b"Escrowed-Plaintext")
+        assert scan == {"device_blocks": 0, "journal_records": 0}
+
+    def test_escrow_blob_recoverable_by_authority(self, authority):
+        dbfs = DatabaseFS(operator_key=authority.issue_operator_key("op2"))
+        dbfs.create_type(make_user_type(), DED)
+        ref = store_user(dbfs, "alice", name="Recoverable")
+        dbfs.delete(DeleteRequest(ref.uid, mode="escrow"), DED)
+        blob = dbfs.escrow_blob(ref.uid)
+        recovered = json.loads(authority.recover(blob))
+        assert recovered["name"] == "Recoverable"
+
+    def test_double_delete_rejected(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+        with pytest.raises(errors.ErasureError):
+            dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+
+    def test_escrow_without_key_rejected(self):
+        dbfs = DatabaseFS()  # no operator key
+        dbfs.create_type(make_user_type(), DED)
+        ref = store_user(dbfs, "alice")
+        with pytest.raises(errors.ErasureError):
+            dbfs.delete(DeleteRequest(ref.uid, mode="escrow"), DED)
+
+    def test_membrane_marked_erased(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        membrane = dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+        assert membrane.erased
+        assert dbfs.get_membrane(ref.uid, DED).erased
+
+
+class TestExport:
+    def test_export_subject_structure(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        export = dbfs.export_subject("alice", DED)
+        assert export["subject_id"] == "alice"
+        assert "user" in export["schemas"]
+        (record,) = export["records"]
+        assert record["uid"] == ref.uid
+        assert record["data"]["name"] == "Ada"
+        assert record["membrane"]["subject_id"] == "alice"
+
+    def test_export_erased_records_carry_no_data(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+        export = dbfs.export_subject("alice", DED)
+        (record,) = export["records"]
+        assert record["data"] is None
+        assert record["erased"] is True
+
+    def test_export_unknown_subject_is_empty(self, dbfs):
+        export = dbfs.export_subject("nobody", DED)
+        assert export["records"] == []
+
+    def test_export_requires_ded(self, dbfs):
+        with pytest.raises(errors.PDLeakError):
+            dbfs.export_subject("alice", APP)
+
+
+class TestJournalPrivacy:
+    def test_dbfs_journal_never_contains_pd(self, dbfs):
+        store_user(dbfs, "alice", name="Never-In-Journal")
+        for record in dbfs.journal.records():
+            assert b"Never-In-Journal" not in record.payload
+
+    def test_dbfs_journal_records_operations(self, dbfs):
+        ref = store_user(dbfs, "alice")
+        dbfs.delete(DeleteRequest(ref.uid, mode="erase"), DED)
+        targets = [r.target for r in dbfs.journal.records()]
+        assert any(t.startswith("store:") for t in targets)
+        assert any(t.startswith("delete:") for t in targets)

@@ -1,0 +1,183 @@
+"""Tests for DBFS schema evolution."""
+
+import pytest
+
+from repro import errors
+from repro.core.active_data import AccessCredential
+from repro.core.datatypes import FieldDef, PDType
+from repro.core.membrane import membrane_for_type
+from repro.core.views import View
+from repro.storage.dbfs import DatabaseFS
+from repro.storage.query import DataQuery, StoreRequest, UpdateRequest
+
+DED = AccessCredential(holder="evo-ded", is_ded=True)
+
+
+def v1_type():
+    return PDType(
+        name="user",
+        fields=(FieldDef("name", "string"), FieldDef("year", "int")),
+        views={"v_ano": View("v_ano", frozenset({"year"}))},
+        default_consent={"stats": "v_ano"},
+        collection={"web_form": "form.html"},
+        ttl_seconds=100.0,
+    )
+
+
+def v2_type():
+    """v1 plus an optional phone field, a new view, a new consent."""
+    return PDType(
+        name="user",
+        fields=(
+            FieldDef("name", "string"),
+            FieldDef("year", "int"),
+            FieldDef("phone", "string", required=False),
+        ),
+        views={
+            "v_ano": View("v_ano", frozenset({"year"})),
+            "v_contact": View("v_contact", frozenset({"name", "phone"})),
+        },
+        default_consent={"stats": "v_ano", "support": "v_contact"},
+        collection={"web_form": "form.html", "third_party": "sync.py"},
+        ttl_seconds=200.0,
+    )
+
+
+@pytest.fixture
+def dbfs():
+    fs = DatabaseFS()
+    fs.create_type(v1_type(), DED)
+    return fs
+
+
+def store_v1(dbfs, subject="alice"):
+    membrane = membrane_for_type(v1_type(), subject, created_at=0.0)
+    return dbfs.store(
+        StoreRequest("user", {"name": "Ada", "year": 1815},
+                     membrane.to_json()),
+        DED,
+    )
+
+
+class TestAllowedEvolution:
+    def test_evolve_bumps_version(self, dbfs):
+        assert dbfs.schema_version("user") == 1
+        dbfs.evolve_type(v2_type(), DED)
+        assert dbfs.schema_version("user") == 2
+
+    def test_old_records_still_readable(self, dbfs):
+        ref = store_v1(dbfs)
+        dbfs.evolve_type(v2_type(), DED)
+        records = dbfs.fetch_records(
+            DataQuery(uids=(ref.uid,),
+                      fields={ref.uid: frozenset({"name", "year", "phone"})}),
+            DED,
+        )
+        assert records[ref.uid] == {"name": "Ada", "year": 1815}
+
+    def test_old_records_can_gain_new_field(self, dbfs):
+        ref = store_v1(dbfs)
+        dbfs.evolve_type(v2_type(), DED)
+        dbfs.update(UpdateRequest(ref.uid, {"phone": "+33-1"}), DED)
+        records = dbfs.fetch_records(
+            DataQuery(uids=(ref.uid,),
+                      fields={ref.uid: frozenset({"phone"})}),
+            DED,
+        )
+        assert records[ref.uid]["phone"] == "+33-1"
+
+    def test_new_records_use_new_schema(self, dbfs):
+        dbfs.evolve_type(v2_type(), DED)
+        membrane = membrane_for_type(v2_type(), "bob", created_at=0.0)
+        ref = dbfs.store(
+            StoreRequest(
+                "user",
+                {"name": "Bob", "year": 1990, "phone": "+33-2"},
+                membrane.to_json(),
+            ),
+            DED,
+        )
+        assert membrane.permits("support") == "v_contact"
+        assert ref.uid in dbfs.all_uids()
+
+    def test_evolved_schema_survives_remount(self, dbfs):
+        store_v1(dbfs)
+        dbfs.evolve_type(v2_type(), DED)
+        dbfs.remount()
+        recovered = dbfs.get_type("user")
+        assert "phone" in recovered.field_names
+        assert "v_contact" in recovered.views
+        assert recovered.ttl_seconds == 200.0
+
+    def test_new_sensitive_optional_field(self, dbfs):
+        evolved = PDType(
+            name="user",
+            fields=(
+                FieldDef("name", "string"),
+                FieldDef("year", "int"),
+                FieldDef("iban", "string", required=False, sensitive=True),
+            ),
+            views={"v_ano": View("v_ano", frozenset({"year"}))},
+            default_consent={"stats": "v_ano"},
+            collection={"web_form": "form.html"},
+            ttl_seconds=100.0,
+        )
+        ref = store_v1(dbfs)
+        dbfs.evolve_type(evolved, DED)
+        dbfs.update(UpdateRequest(ref.uid, {"iban": "FR76-XXXX"}), DED)
+        # New sensitive value lands in a separate inode.
+        inode = dbfs.inodes.get(dbfs._record_index[ref.uid])
+        assert "sensitive_inode" in inode.attrs
+        public = dbfs.inodes.read_payload(inode.number)
+        assert b"FR76" not in public
+
+
+class TestForbiddenEvolution:
+    def test_removing_field_rejected(self, dbfs):
+        smaller = PDType(
+            name="user", fields=(FieldDef("name", "string"),),
+        )
+        with pytest.raises(errors.SchemaViolationError):
+            dbfs.evolve_type(smaller, DED)
+
+    def test_changing_field_type_rejected(self, dbfs):
+        changed = PDType(
+            name="user",
+            fields=(FieldDef("name", "string"), FieldDef("year", "string")),
+        )
+        with pytest.raises(errors.SchemaViolationError):
+            dbfs.evolve_type(changed, DED)
+
+    def test_flipping_sensitivity_rejected(self, dbfs):
+        """Moving a field between public and sensitive inodes would
+        require rewriting every stored record; refused."""
+        changed = PDType(
+            name="user",
+            fields=(
+                FieldDef("name", "string", sensitive=True),
+                FieldDef("year", "int"),
+            ),
+        )
+        with pytest.raises(errors.SchemaViolationError):
+            dbfs.evolve_type(changed, DED)
+
+    def test_new_required_field_rejected(self, dbfs):
+        changed = PDType(
+            name="user",
+            fields=(
+                FieldDef("name", "string"),
+                FieldDef("year", "int"),
+                FieldDef("email", "string"),  # required!
+            ),
+        )
+        with pytest.raises(errors.SchemaViolationError):
+            dbfs.evolve_type(changed, DED)
+
+    def test_unknown_type_rejected(self, dbfs):
+        other = PDType(name="order", fields=(FieldDef("x", "int"),))
+        with pytest.raises(errors.UnknownTypeError):
+            dbfs.evolve_type(other, DED)
+
+    def test_requires_ded(self, dbfs):
+        with pytest.raises(errors.PDLeakError):
+            dbfs.evolve_type(v2_type(), AccessCredential("app"))

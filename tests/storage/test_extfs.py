@@ -1,0 +1,147 @@
+"""Unit tests for the ext4-like file-based filesystem."""
+
+import pytest
+
+from repro import errors
+from repro.storage.block import BlockDevice
+from repro.storage.extfs import FileBasedFS
+
+
+@pytest.fixture
+def fs():
+    return FileBasedFS(BlockDevice(block_count=2048, block_size=64))
+
+
+class TestNamespace:
+    def test_create_and_read(self, fs):
+        fs.create("hello.txt", b"world")
+        assert fs.read("hello.txt") == b"world"
+
+    def test_mkdir_and_nested_files(self, fs):
+        fs.mkdir("a")
+        fs.mkdir("a/b")
+        fs.create("a/b/f", b"deep")
+        assert fs.read("a/b/f") == b"deep"
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create("f", b"")
+        with pytest.raises(errors.FileSystemError):
+            fs.create("f", b"")
+
+    def test_duplicate_mkdir_rejected(self, fs):
+        fs.mkdir("d")
+        with pytest.raises(errors.FileSystemError):
+            fs.mkdir("d")
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(errors.FileNotFoundInFSError):
+            fs.read("ghost")
+
+    def test_missing_parent_raises(self, fs):
+        with pytest.raises(errors.FileNotFoundInFSError):
+            fs.create("no/such/dir/f", b"")
+
+    def test_read_directory_as_file_rejected(self, fs):
+        fs.mkdir("d")
+        with pytest.raises(errors.FileSystemError):
+            fs.read("d")
+
+    def test_listdir_sorted_entries(self, fs):
+        fs.create("b", b"2")
+        fs.create("a", b"1")
+        fs.mkdir("c")
+        names = [entry.name for entry in fs.listdir("/")]
+        assert names == ["a", "b", "c"]
+
+    def test_stat_reports_size_and_kind(self, fs):
+        fs.create("f", b"12345")
+        entry = fs.stat("f")
+        assert entry.size == 5
+        assert entry.kind == "file"
+
+    def test_exists(self, fs):
+        fs.create("f", b"")
+        assert fs.exists("f")
+        assert not fs.exists("g")
+
+    def test_rename_moves_file(self, fs):
+        fs.mkdir("src")
+        fs.mkdir("dst")
+        fs.create("src/f", b"content")
+        fs.rename("src/f", "dst/g")
+        assert fs.read("dst/g") == b"content"
+        assert not fs.exists("src/f")
+
+    def test_rename_over_existing_rejected(self, fs):
+        fs.create("a", b"1")
+        fs.create("b", b"2")
+        with pytest.raises(errors.FileSystemError):
+            fs.rename("a", "b")
+
+    def test_invalid_path_rejected(self, fs):
+        with pytest.raises(errors.FileSystemError):
+            fs.create("", b"")
+
+
+class TestWrites:
+    def test_write_replaces_contents(self, fs):
+        fs.create("f", b"old content")
+        fs.write("f", b"new")
+        assert fs.read("f") == b"new"
+
+    def test_append(self, fs):
+        fs.create("f", b"hello ")
+        fs.append("f", b"world")
+        assert fs.read("f") == b"hello world"
+
+    def test_large_file_spans_blocks(self, fs):
+        payload = bytes(i % 256 for i in range(1000))
+        fs.create("big", payload)
+        assert fs.read("big") == payload
+
+
+class TestUnlink:
+    def test_unlink_removes_file(self, fs):
+        fs.create("f", b"x")
+        fs.unlink("f")
+        assert not fs.exists("f")
+
+    def test_unlink_missing_raises(self, fs):
+        with pytest.raises(errors.FileNotFoundInFSError):
+            fs.unlink("ghost")
+
+    def test_unlink_frees_blocks(self, fs):
+        used_before = fs.device.used_blocks
+        fs.create("f", b"z" * 500)
+        fs.unlink("f")
+        assert fs.device.used_blocks == used_before
+
+
+class TestRTBFViolation:
+    """The paper's § 1 indictment of traditional filesystems."""
+
+    def test_deleted_data_survives_in_journal(self, fs):
+        fs.create("alice", b"ALICE-PD-SECRET")
+        fs.unlink("alice")
+        scan = fs.forensic_scan(b"ALICE-PD-SECRET")
+        assert scan["journal_records"] >= 1
+
+    def test_deleted_data_survives_on_device(self, fs):
+        fs.create("f", b"LINGERING-PD")
+        fs.unlink("f")
+        scan = fs.forensic_scan(b"LINGERING-PD")
+        assert scan["device_blocks"] >= 1
+
+    def test_overwrite_leaves_old_version_in_journal(self, fs):
+        fs.create("f", b"VERSION-ONE")
+        fs.write("f", b"VERSION-TWO")
+        scan = fs.forensic_scan(b"VERSION-ONE")
+        assert scan["journal_records"] >= 1
+
+    def test_unjournaled_fs_still_leaves_device_residue(self):
+        fs = FileBasedFS(journaled=False)
+        fs.create("f", b"RESIDUE-WITHOUT-JOURNAL")
+        fs.unlink("f")
+        scan = fs.forensic_scan(b"RESIDUE-WITHOUT-JOURNAL")
+        assert scan["journal_records"] == 0
+        assert scan["device_blocks"] >= 1

@@ -1,0 +1,83 @@
+"""Unit tests for the DED↔DBFS request objects."""
+
+import pytest
+
+from repro import errors
+from repro.storage.query import (
+    DataQuery,
+    DeleteRequest,
+    MembraneQuery,
+    Predicate,
+)
+
+
+class TestPredicate:
+    def test_eq(self):
+        assert Predicate("city", "eq", "Lyon").evaluate({"city": "Lyon"})
+        assert not Predicate("city", "eq", "Lyon").evaluate({"city": "Paris"})
+
+    def test_ne(self):
+        assert Predicate("city", "ne", "Lyon").evaluate({"city": "Paris"})
+
+    def test_ordering_operators(self):
+        record = {"year": 1990}
+        assert Predicate("year", "lt", 2000).evaluate(record)
+        assert Predicate("year", "le", 1990).evaluate(record)
+        assert Predicate("year", "gt", 1980).evaluate(record)
+        assert Predicate("year", "ge", 1990).evaluate(record)
+        assert not Predicate("year", "lt", 1990).evaluate(record)
+
+    def test_contains(self):
+        assert Predicate("name", "contains", "li").evaluate({"name": "Alice"})
+        assert not Predicate("name", "contains", "zz").evaluate({"name": "Alice"})
+
+    def test_missing_field_never_matches(self):
+        assert not Predicate("ghost", "eq", 1).evaluate({"other": 1})
+
+    def test_type_mismatch_never_matches(self):
+        assert not Predicate("year", "lt", "nineteen").evaluate({"year": 1990})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(errors.DBFSError):
+            Predicate("f", "like", "%x%")
+
+
+class TestDataQuery:
+    def test_allowed_fields_lookup(self):
+        query = DataQuery(
+            uids=("u1",), fields={"u1": frozenset({"name"})}
+        )
+        assert query.allowed_fields_for("u1") == frozenset({"name"})
+        assert query.allowed_fields_for("u2") is None
+
+    def test_matches_conjunction(self):
+        query = DataQuery(
+            uids=("u1",),
+            predicates=(
+                Predicate("year", "ge", 1980),
+                Predicate("year", "lt", 1990),
+            ),
+        )
+        assert query.matches({"year": 1985})
+        assert not query.matches({"year": 1995})
+
+    def test_empty_predicates_match_everything(self):
+        assert DataQuery(uids=()).matches({"anything": 1})
+
+
+class TestMembraneQuery:
+    def test_defaults(self):
+        query = MembraneQuery(pd_type="user")
+        assert query.subject_id is None
+        assert query.uids is None
+        assert not query.include_erased
+
+
+class TestDeleteRequest:
+    def test_valid_modes(self):
+        assert DeleteRequest(uid="u", mode="erase").mode == "erase"
+        assert DeleteRequest(uid="u").mode == "escrow"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(errors.DBFSError):
+            DeleteRequest(uid="u", mode="shred")

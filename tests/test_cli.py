@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        assert "rgpdOS" in capsys.readouterr().out
+
+    def test_demo_runs_clean(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "processed=2" in out
+        assert "fully_forgotten=True" in out
+        assert "COMPLIANT" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "2021" in out
+        assert "1200.00 M EUR" in out
+
+    def test_fig1_sector_count(self, capsys):
+        assert main(["fig1", "--sectors", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("M EUR") == 4 + 3  # 4 years + 3 sectors
+
+    def test_placement(self, capsys):
+        assert main(["placement", "--records", "10", "--bytes", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "placement: host" in out
+
+    def test_placement_large_scan(self, capsys):
+        assert main(
+            ["placement", "--records", "5000000", "--bytes", "4096",
+             "--intensity", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "placement: host" not in out
+
+    def test_audit(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLIANT: 8/8" in out
+
+    def test_gdprbench_small(self, capsys):
+        assert main(
+            ["gdprbench", "--records", "5", "--ops", "10",
+             "--personas", "processor"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rgpdos" in out
+        assert "plain-db" in out
+
+
+class TestParseCommand:
+    def test_valid_file(self, tmp_path, capsys):
+        declaration = tmp_path / "types.rgpd"
+        declaration.write_text(
+            """
+            type user { fields { name: string }; age: 1Y; }
+            purpose p { uses: user; }
+            """
+        )
+        assert main(["parse", str(declaration)]) == 0
+        out = capsys.readouterr().out
+        assert "type user" in out
+        assert "OK: 1 type(s), 1 purpose(s)" in out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        declaration = tmp_path / "bad.rgpd"
+        declaration.write_text("type t { fields { a: varchar }; }")
+        assert main(["parse", str(declaration)]) == 1
+        assert "declaration error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["parse", "/no/such/file.rgpd"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

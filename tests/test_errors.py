@@ -1,0 +1,64 @@
+"""Tests for the exception hierarchy's contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_rgpdos_error(self):
+        exception_classes = [
+            obj
+            for obj in vars(errors).values()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+        assert len(exception_classes) > 25
+        for cls in exception_classes:
+            assert issubclass(cls, errors.RgpdOSError), cls
+
+    def test_branch_membership(self):
+        assert issubclass(errors.OutOfSpaceError, errors.StorageError)
+        assert issubclass(errors.UnknownTypeError, errors.DBFSError)
+        assert issubclass(errors.SyscallDenied, errors.KernelError)
+        assert issubclass(errors.ConsentDenied, errors.GDPRError)
+        assert issubclass(errors.PurposeMismatchAlert, errors.RegistrationError)
+        assert issubclass(errors.MissingMembraneError, errors.MembraneError)
+        assert issubclass(errors.ParseError, errors.DSLError)
+
+    def test_catching_the_base_catches_everything(self):
+        for raiser in (
+            lambda: (_ for _ in ()).throw(errors.PDLeakError("x")),
+            lambda: (_ for _ in ()).throw(errors.JournalError("x")),
+            lambda: (_ for _ in ()).throw(errors.CryptoError("x")),
+        ):
+            with pytest.raises(errors.RgpdOSError):
+                next(raiser())
+
+
+class TestStructuredExceptions:
+    def test_syscall_denied_carries_context(self):
+        exc = errors.SyscallDenied("write", reason="pd leak")
+        assert exc.syscall == "write"
+        assert "pd leak" in str(exc)
+
+    def test_syscall_denied_without_reason(self):
+        exc = errors.SyscallDenied("socket")
+        assert "denied" in str(exc)
+
+    def test_consent_denied_carries_context(self):
+        exc = errors.ConsentDenied("marketing", subject="alice",
+                                   detail="revoked")
+        assert exc.purpose == "marketing"
+        assert exc.subject == "alice"
+        assert "alice" in str(exc) and "revoked" in str(exc)
+
+    def test_lexer_error_position(self):
+        exc = errors.LexerError("bad char", line=3, column=7)
+        assert exc.line == 3 and exc.column == 7
+        assert "line 3" in str(exc)
+
+    def test_parse_error_position_optional(self):
+        with_pos = errors.ParseError("oops", line=2, column=1)
+        without = errors.ParseError("oops")
+        assert "line 2" in str(with_pos)
+        assert "line" not in str(without)

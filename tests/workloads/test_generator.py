@@ -1,0 +1,108 @@
+"""Unit tests for the synthetic population generator."""
+
+from repro.dsl.loader import load_source
+from repro.workloads.generator import (
+    OPTIONAL_PURPOSE_SCOPES,
+    OPTIONAL_PURPOSES,
+    STANDARD_DECLARATIONS,
+    PopulationGenerator,
+)
+
+
+class TestSubjects:
+    def test_deterministic_for_seed(self):
+        a = PopulationGenerator(seed=1).subjects(5)
+        b = PopulationGenerator(seed=1).subjects(5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PopulationGenerator(seed=1).subjects(5)
+        b = PopulationGenerator(seed=2).subjects(5)
+        assert a != b
+
+    def test_subject_ids_unique(self):
+        subjects = PopulationGenerator(seed=3).subjects(100)
+        assert len({s.subject_id for s in subjects}) == 100
+
+    def test_emails_unique(self):
+        subjects = PopulationGenerator(seed=3).subjects(100)
+        assert len({s.email for s in subjects}) == 100
+
+    def test_birth_years_plausible(self):
+        for subject in PopulationGenerator(seed=4).subjects(50):
+            assert 1940 <= subject.year_of_birth <= 2008
+
+    def test_user_record_matches_standard_type(self):
+        types, _ = load_source(STANDARD_DECLARATIONS)
+        user_type = types["user"]
+        for subject in PopulationGenerator(seed=5).subjects(20):
+            user_type.validate(subject.user_record())
+
+
+class TestOrders:
+    def test_orders_belong_to_subject(self):
+        generator = PopulationGenerator(seed=6)
+        subject = generator.subject()
+        orders = generator.orders_for(subject, 5)
+        assert len(orders) == 5
+        assert all(o.subject_id == subject.subject_id for o in orders)
+        assert len({o.order_id for o in orders}) == 5
+
+    def test_order_records_match_standard_type(self):
+        types, _ = load_source(STANDARD_DECLARATIONS)
+        order_type = types["order"]
+        generator = PopulationGenerator(seed=7)
+        subject = generator.subject()
+        for order in generator.orders_for(subject, 10):
+            order_type.validate(order.order_record())
+
+
+class TestConsentAssignment:
+    def test_probability_extremes(self):
+        generator = PopulationGenerator(seed=8)
+        always = generator.consent_assignment(["a", "b"], grant_probability=1.0)
+        never = generator.consent_assignment(["a", "b"], grant_probability=0.0)
+        assert set(always) == {"a", "b"}
+        assert never == {}
+
+    def test_scopes_applied(self):
+        generator = PopulationGenerator(seed=9)
+        assignment = generator.consent_assignment(
+            ["marketing"], grant_probability=1.0,
+            scopes={"marketing": "v_contact"},
+        )
+        assert assignment == {"marketing": "v_contact"}
+
+    def test_default_scope_is_all(self):
+        generator = PopulationGenerator(seed=10)
+        assignment = generator.consent_assignment(["p"], grant_probability=1.0)
+        assert assignment == {"p": "all"}
+
+    def test_rate_roughly_respected(self):
+        generator = PopulationGenerator(seed=11)
+        granted = sum(
+            "p" in generator.consent_assignment(["p"], grant_probability=0.7)
+            for _ in range(1000)
+        )
+        assert 600 < granted < 800
+
+
+class TestStandardDeclarations:
+    def test_loadable(self):
+        types, purposes = load_source(STANDARD_DECLARATIONS)
+        assert set(types) == {"user", "order", "age_pd"}
+        assert set(purposes) == {
+            "account_management", "analytics", "marketing", "order_fulfilment"
+        }
+
+    def test_optional_purposes_have_scopes(self):
+        types, purposes = load_source(STANDARD_DECLARATIONS)
+        for purpose in OPTIONAL_PURPOSES:
+            assert purpose in purposes
+            scope = OPTIONAL_PURPOSE_SCOPES[purpose]
+            assert scope in types["user"].views
+
+    def test_paper_views_present(self):
+        types, _ = load_source(STANDARD_DECLARATIONS)
+        assert "v_name" in types["user"].views
+        assert "v_ano" in types["user"].views

@@ -1,0 +1,84 @@
+"""Unit tests for the Fig. 1 penalty dataset."""
+
+from repro.workloads.penalties import (
+    SECTOR_HEALTH,
+    SECTOR_INTERNET,
+    SECTOR_RETAIL,
+    SECTORS,
+    YEAR_TOTALS_EUR,
+    counts_by_sector,
+    penalty_records,
+    top_sectors,
+    totals_by_sector,
+    totals_by_year,
+)
+
+
+class TestCalibration:
+    def test_yearly_totals_match_published_aggregates(self):
+        totals = totals_by_year(penalty_records())
+        for year, expected in YEAR_TOTALS_EUR.items():
+            assert totals[year] == expected
+
+    def test_totals_increase_every_year(self):
+        """Fig. 1 left: 'the amount of penalties increases every year'."""
+        totals = totals_by_year(penalty_records())
+        years = sorted(totals)
+        assert years == [2018, 2019, 2020, 2021]
+        for earlier, later in zip(years, years[1:]):
+            assert totals[later] > totals[earlier]
+
+    def test_2021_tops_1_2_billion(self):
+        totals = totals_by_year(penalty_records())
+        assert totals[2021] >= 1.2e9
+
+    def test_deterministic_for_seed(self):
+        assert penalty_records(seed=1) == penalty_records(seed=1)
+        assert penalty_records(seed=1) != penalty_records(seed=2)
+
+
+class TestHeadlineFines:
+    def test_amazon_2021_present(self):
+        records = penalty_records()
+        amazon = [r for r in records if "Amazon" in r.target]
+        assert amazon and amazon[0].amount_eur == 746_000_000.0
+
+    def test_cnil_doctors_anecdote_present(self):
+        """The paper's § 1 anecdote: two doctors, EUR 9K total, 2020."""
+        records = penalty_records()
+        doctors = [
+            r for r in records
+            if "Doctor" in r.target and r.authority == "CNIL"
+        ]
+        assert len(doctors) == 2
+        assert sum(r.amount_eur for r in doctors) == 9_000.0
+        assert all(r.year == 2020 for r in doctors)
+        assert all(r.sector == SECTOR_HEALTH for r in doctors)
+
+
+class TestSectorAnalysis:
+    def test_top_sectors_returns_n(self):
+        ranked = top_sectors(penalty_records(), n=5)
+        assert len(ranked) == 5
+        amounts = [amount for _, amount in ranked]
+        assert amounts == sorted(amounts, reverse=True)
+
+    def test_all_sectors_sanctioned(self):
+        """Fig. 1 right context: 'companies of all types are impacted'."""
+        counts = counts_by_sector(penalty_records())
+        assert set(counts) == set(SECTORS)
+        assert all(count > 0 for count in counts.values())
+
+    def test_retail_and_internet_dominate_by_amount(self):
+        """Amazon (retail) and WhatsApp/Google (internet) dominate the
+        euro ranking — the shape the DataLegalDrive map shows."""
+        ranked = top_sectors(penalty_records(), n=2)
+        assert {sector for sector, _ in ranked} == {
+            SECTOR_RETAIL, SECTOR_INTERNET
+        }
+
+    def test_sector_totals_sum_to_year_totals(self):
+        records = penalty_records()
+        assert sum(totals_by_sector(records).values()) == sum(
+            totals_by_year(records).values()
+        )
