@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 from .. import errors
 from ..kernel.pim import DEDPlacer, PlacementDecision
 from ..kernel.seccomp import SeccompFilter, pd_function_profile
+from ..storage.cache import MISSING, LRUCache
 from ..storage.dbfs import DatabaseFS
 from ..storage.query import DataQuery, MembraneQuery, Predicate, StoreRequest
 from .active_data import AccessCredential, PDRef, PDView, contains_raw_pd
@@ -142,6 +143,66 @@ class InvocationResult:
 ProcessingFn = Callable[..., object]
 
 
+class MembraneDecisionCache:
+    """Consent decisions memoised across invocations.
+
+    The Processing Store owns one of these and hands it to every DED
+    it creates, so repeated invocations for the same purpose skip
+    re-evaluating each membrane's consent scope.
+
+    Keys are ``(uid, purpose name, membrane version, schema version)``.
+    The membrane's version is bumped monotonically on *every*
+    consent/scope mutation (grant, revoke, restrict, unrestrict,
+    erasure — see :class:`repro.core.membrane.Membrane`), so a cached
+    decision can never outlive a withdrawal: the next invocation sees
+    a new version, misses, and re-evaluates.  The schema version covers
+    purpose-view/field changes via ``evolve_type``.  Purposes are
+    immutable once declared, so the name suffices.
+
+    Values are the *effective* field set the decision grants — a
+    non-empty frozenset — or ``None`` for a denial (denials are worth
+    caching too: a subject who never consented is re-asked on every
+    analytics sweep).  TTL expiry is deliberately **not** cached — it
+    depends on the clock, and a decision that was valid a second ago
+    may be expired now; :meth:`DataExecutionDomain._filter` checks it
+    before consulting this cache.
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self._lru = LRUCache(capacity, name="decision-cache")
+
+    @property
+    def enabled(self) -> bool:
+        return self._lru.enabled
+
+    def lookup(
+        self, uid: str, purpose_name: str, membrane_version: int, schema_version: int
+    ) -> object:
+        """The cached decision, or :data:`MISSING` on a miss."""
+        return self._lru.get((uid, purpose_name, membrane_version, schema_version))
+
+    def store(
+        self,
+        uid: str,
+        purpose_name: str,
+        membrane_version: int,
+        schema_version: int,
+        decision: Optional[frozenset],
+    ) -> None:
+        self._lru.put(
+            (uid, purpose_name, membrane_version, schema_version), decision
+        )
+
+    def clear(self) -> int:
+        return self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def as_dict(self) -> Dict[str, object]:
+        return self._lru.as_dict()
+
+
 class DataExecutionDomain:
     """One DED instance — created per ``ps_invoke``, then discarded."""
 
@@ -153,12 +214,14 @@ class DataExecutionDomain:
         cost_model: Optional[DEDCostModel] = None,
         instance: int = 0,
         placer: Optional[DEDPlacer] = None,
+        decision_cache: Optional[MembraneDecisionCache] = None,
     ) -> None:
         self.dbfs = dbfs
         self.clock = clock
         self.log = log
         self.cost = cost_model or DEDCostModel()
         self.placer = placer
+        self.decisions = decision_cache
         self.credential = AccessCredential(
             holder=f"ded-{instance}", is_ded=True
         )
@@ -408,21 +471,35 @@ class DataExecutionDomain:
             if declared_view is not None
             else pd_type.field_names
         )
+        cache = self.decisions if (
+            self.decisions is not None and self.decisions.enabled
+        ) else None
+        schema_version = (
+            self.dbfs.schema_version(pd_type.name) if cache is not None else 0
+        )
         for ref, membrane in pairs:
+            # TTL expiry is clock-dependent and checked on every pass —
+            # never answered from the decision cache.
             if membrane.is_expired(now):
                 result.expired += 1
                 continue
-            allowed = membrane.allowed_fields(purpose.name, pd_type)
-            if allowed is None:
-                result.denied += 1
-                accesses.append(
-                    PDAccess(
-                        uid=ref.uid, subject_id=ref.subject_id, mode=ACCESS_DENIED
-                    )
+            if cache is not None:
+                effective = cache.lookup(
+                    ref.uid, purpose.name, membrane.version, schema_version
                 )
-                continue
-            effective = frozenset(allowed & declared_fields)
-            if not effective:
+                if effective is MISSING:
+                    effective = self._decide(
+                        purpose, pd_type, membrane, declared_fields
+                    )
+                    cache.store(
+                        ref.uid, purpose.name, membrane.version,
+                        schema_version, effective,
+                    )
+            else:
+                effective = self._decide(
+                    purpose, pd_type, membrane, declared_fields
+                )
+            if effective is None:
                 result.denied += 1
                 accesses.append(
                     PDAccess(
@@ -432,6 +509,26 @@ class DataExecutionDomain:
                 continue
             survivors.append((ref, membrane, effective))
         return survivors
+
+    @staticmethod
+    def _decide(
+        purpose: Purpose,
+        pd_type: PDType,
+        membrane: Membrane,
+        declared_fields: frozenset,
+    ) -> Optional[frozenset]:
+        """One consent decision: the effective field set, or None.
+
+        The effective set is the intersection of what the membrane
+        grants and what the purpose declared; an empty intersection is
+        a denial (nothing may be read), collapsed to ``None`` so the
+        decision cache stores a single denial shape.
+        """
+        allowed = membrane.allowed_fields(purpose.name, pd_type)
+        if allowed is None:
+            return None
+        effective = frozenset(allowed & declared_fields)
+        return effective or None
 
     def _execute(
         self,

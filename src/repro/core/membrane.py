@@ -79,7 +79,19 @@ class ConsentEvent:
 
 @dataclass
 class Membrane:
-    """The active metadata wrapped around one piece of PD."""
+    """The active metadata wrapped around one piece of PD.
+
+    **Version contract.**  ``version`` is bumped monotonically by
+    *every* consent/scope mutation — :meth:`grant`, :meth:`revoke`,
+    :meth:`restrict`, :meth:`unrestrict` and :meth:`mark_erased`.  The
+    DED's membrane-decision cache
+    (:class:`repro.core.ded.MembraneDecisionCache`) keys its entries on
+    this version, which is what makes caching consent decisions safe:
+    a withdrawal changes the version, so the stale cached decision is
+    simply never looked up again, and revocation takes effect on the
+    very next invocation.  Any new mutating method MUST keep bumping
+    ``version``.
+    """
 
     pd_type: str
     subject_id: str

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 from .. import errors
 from ..kernel.pim import DEDPlacer
 from ..kernel.tee import TEEPlatform, measure_code
+from ..storage.cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from ..storage.dbfs import DatabaseFS
 from ..storage.query import Predicate
 from .active_data import PDRef
@@ -42,7 +43,12 @@ from .builtins import (
     EraseReport,
 )
 from .clock import Clock
-from .ded import DataExecutionDomain, DEDCostModel, InvocationResult
+from .ded import (
+    DataExecutionDomain,
+    DEDCostModel,
+    InvocationResult,
+    MembraneDecisionCache,
+)
 from .membrane import BASIS_LEGAL_OBLIGATION, BASIS_LEGITIMATE_INTEREST
 from .processing_log import ProcessingLog
 from .purposes import (
@@ -85,12 +91,23 @@ class ProcessingStore:
         tee_platform: Optional[TEEPlatform] = None,
         semantic_matcher: Optional[SemanticMatcher] = None,
         placer: Optional[DEDPlacer] = None,
+        cache_config: Optional[CacheConfig] = None,
     ) -> None:
         self.dbfs = dbfs
         self.clock = clock
         self.log = log
         self.cost_model = cost_model
         self.tee_platform = tee_platform
+        self.cache_config = (
+            cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
+        )
+        #: Shared across every DED this PS creates: each ps_invoke gets
+        #: a fresh DED (the paper's rule), but consent decisions carry
+        #: over — the membrane version in the cache key keeps them
+        #: exactly as fresh as re-evaluation would be.
+        self.decision_cache = MembraneDecisionCache(
+            capacity=self.cache_config.decision_cache_entries
+        )
         #: Optional § 3(4) semantic check: when configured, ps_register
         #: also requires the implementation's vocabulary to plausibly
         #: match the purpose description (alert + sysadmin approval
@@ -291,6 +308,7 @@ class ProcessingStore:
             cost_model=self.cost_model,
             instance=next(self._ded_instances),
             placer=self.placer,
+            decision_cache=self.decision_cache,
         )
         try:
             return ded.run(

@@ -38,6 +38,7 @@ from ..kernel.machine import Machine, MachineConfig
 from ..kernel.tee import TEEPlatform
 from ..kernel.subkernel import IORequest
 from ..storage.block import BlockDevice
+from ..storage.cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from ..storage.dbfs import DatabaseFS
 from ..storage.extfs import FileBasedFS
 from .active_data import PDRef
@@ -78,15 +79,29 @@ class RgpdOS:
         key_bits: int = 512,
         seed: int = 2023,
         with_machine: bool = True,
+        cache_config: Optional[CacheConfig] = None,
     ) -> None:
         self.clock = Clock()
         self.operator_name = operator_name
         self.authority = authority or Authority(bits=key_bits, seed=seed)
         self.operator_key = self.authority.issue_operator_key(operator_name)
+        #: Fast-path knobs (see ``repro.storage.cache.CacheConfig``),
+        #: threaded down to the block device, DBFS and the PS's
+        #: decision cache.  ``CacheConfig.disabled()`` restores the
+        #: un-cached behaviour — performance changes, results never do.
+        self.cache_config = (
+            cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
+        )
 
         # Storage: one device for PD (under DBFS), one for NPD.
-        self.pd_device = BlockDevice()
-        self.dbfs = DatabaseFS(device=self.pd_device, operator_key=self.operator_key)
+        self.pd_device = BlockDevice(
+            page_cache_blocks=self.cache_config.page_cache_blocks
+        )
+        self.dbfs = DatabaseFS(
+            device=self.pd_device,
+            operator_key=self.operator_key,
+            cache_config=self.cache_config,
+        )
         self.npd_fs = FileBasedFS()
 
         # The GDPR machinery.  Every instance carries a TEE platform so
@@ -105,6 +120,7 @@ class RgpdOS:
             cost_model=cost_model,
             tee_platform=self.tee_platform,
             placer=DEDPlacer(),
+            cache_config=self.cache_config,
         )
         self.rights = SubjectRights(
             dbfs=self.dbfs,
@@ -261,3 +277,14 @@ class RgpdOS:
         if self.machine is not None:
             snapshot["machine"] = self.machine.resource_report()
         return snapshot
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Every fast-path cache in the stack, one report.
+
+        Aggregates the block-device page cache, the DBFS record /
+        listing / membrane caches, journal group-commit counters, and
+        the PS's membrane-decision cache.
+        """
+        report: Dict[str, object] = dict(self.dbfs.cache_stats())
+        report["decision_cache"] = self.ps.decision_cache.as_dict()
+        return report

@@ -6,19 +6,28 @@ device.  The simulation keeps two things real devices have and pure
 dicts do not:
 
 * **Deleted data persists.**  Freeing a block does *not* zero it; the
-  bytes stay until overwritten.  Section 1 of the paper argues a
-  DB-engine "delete" can leave PD behind in lower layers — this device
-  (plus the journal) is what lets the FIG2/ILL-F experiments observe
-  that concretely, via :meth:`BlockDevice.scan`.
+  bytes stay until the block is scrubbed or handed out again.  Section
+  1 of the paper argues a DB-engine "delete" can leave PD behind in
+  lower layers — this device (plus the journal) is what lets the
+  FIG2/ILL-F experiments observe that concretely, via
+  :meth:`BlockDevice.scan`.  (Reallocation *does* scrub: handing a
+  freed block's stale bytes to a new owner would leak the previous
+  owner's PD through an ordinary ``read``.)
 * **Access costs.**  Reads and writes advance a latency counter so the
   benchmark harness can report simulated IO time per operation.
+* **Page cache.**  An LRU cache of recently touched blocks
+  (write-through) absorbs repeat reads without the simulated latency
+  charge.  Its RTBF-critical invariant: a scrubbed or freed block is
+  *invalidated*, never served stale — secure erasure must reach the
+  cache, not only the medium.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from .. import errors
 
@@ -32,6 +41,10 @@ class DeviceStats:
     blocks_allocated: int = 0
     blocks_freed: int = 0
     simulated_io_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
 
     def snapshot(self) -> "DeviceStats":
         return DeviceStats(
@@ -40,6 +53,10 @@ class DeviceStats:
             blocks_allocated=self.blocks_allocated,
             blocks_freed=self.blocks_freed,
             simulated_io_seconds=self.simulated_io_seconds,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_evictions=self.cache_evictions,
+            cache_invalidations=self.cache_invalidations,
         )
 
 
@@ -56,6 +73,10 @@ class BlockDevice:
         Simulated seconds charged per block access (defaults roughly
         model a fast NVMe device; absolute values only matter
         relatively).
+    page_cache_blocks:
+        Capacity of the LRU page cache (blocks).  ``0`` disables the
+        cache (every read pays the device latency) — the FASTPATH
+        benchmark's baseline configuration.
     """
 
     def __init__(
@@ -64,15 +85,22 @@ class BlockDevice:
         block_size: int = 4096,
         read_latency: float = 10e-6,
         write_latency: float = 20e-6,
+        page_cache_blocks: int = 1024,
     ) -> None:
         if block_count <= 0 or block_size <= 0:
             raise errors.BlockDeviceError(
                 f"invalid geometry: {block_count} blocks x {block_size} bytes"
             )
+        if page_cache_blocks < 0:
+            raise errors.BlockDeviceError(
+                f"invalid page cache capacity {page_cache_blocks}"
+            )
         self.block_count = block_count
         self.block_size = block_size
         self.read_latency = read_latency
         self.write_latency = write_latency
+        self.page_cache_blocks = page_cache_blocks
+        self._page_cache: "OrderedDict[int, bytes]" = OrderedDict()
         self._blocks: List[bytes] = [b""] * block_count
         # Allocation state: blocks below the watermark have been handed
         # out at least once; freed ones sit in a min-heap so the lowest
@@ -88,12 +116,20 @@ class BlockDevice:
     def allocate(self) -> int:
         """Claim a free block and return its number.
 
-        The block's previous contents are preserved (no zeroing) —
-        see the module docstring for why that matters.
+        A reused block is scrubbed before it is handed out: without
+        this, a freed-then-reallocated block exposes the previous
+        owner's PD to the new owner's very first ``read`` (the § 1
+        lower-layer leak, one level below the journal).  Freed blocks
+        that have *not* been reallocated keep their bytes — that
+        residue is what the FIG2/ILL-F forensic scans observe.
         """
         if self._freed_heap:
             block_no = heapq.heappop(self._freed_heap)
             self._freed_set.discard(block_no)
+            if self._blocks[block_no]:
+                # Secure-erase stale contents before the new owner can
+                # observe them (charged like any scrub write).
+                self.scrub(block_no)
         elif self._watermark < self.block_count:
             block_no = self._watermark
             self._watermark += 1
@@ -115,12 +151,19 @@ class BlockDevice:
         return [self.allocate() for _ in range(count)]
 
     def free(self, block_no: int) -> None:
-        """Return a block to the free pool. Contents are NOT erased."""
+        """Return a block to the free pool.
+
+        The medium keeps the bytes (see the module docstring), but the
+        page cache must not: a freed block is no longer anyone's data,
+        and serving it from cache would hand stale PD to the next
+        owner even after the on-medium copy is scrubbed.
+        """
         self._check_range(block_no)
         if block_no in self._freed_set or block_no >= self._watermark:
             raise errors.BlockDeviceError(f"double free of block {block_no}")
         heapq.heappush(self._freed_heap, block_no)
         self._freed_set.add(block_no)
+        self._cache_invalidate(block_no)
         self.stats.blocks_freed += 1
 
     def is_allocated(self, block_no: int) -> bool:
@@ -138,14 +181,30 @@ class BlockDevice:
     # -- IO -----------------------------------------------------------------
 
     def read(self, block_no: int) -> bytes:
-        """Read one block. Reading a never-written block returns b''."""
+        """Read one block. Reading a never-written block returns b''.
+
+        A page-cache hit skips the simulated device latency; every
+        logical read still counts in ``stats.reads``.
+        """
         self._check_range(block_no)
         self.stats.reads += 1
+        cached = self._page_cache.get(block_no)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self._page_cache.move_to_end(block_no)
+            return cached
+        self.stats.cache_misses += 1
         self.stats.simulated_io_seconds += self.read_latency
-        return self._blocks[block_no]
+        data = self._blocks[block_no]
+        self._cache_insert(block_no, data)
+        return data
 
     def write(self, block_no: int, data: bytes) -> None:
-        """Write one block; ``data`` must fit in the block size."""
+        """Write one block; ``data`` must fit in the block size.
+
+        Write-through: the medium and the page cache are updated
+        together, so a later read can never observe pre-write bytes.
+        """
         self._check_range(block_no)
         if len(data) > self.block_size:
             raise errors.BlockDeviceError(
@@ -154,17 +213,21 @@ class BlockDevice:
         self.stats.writes += 1
         self.stats.simulated_io_seconds += self.write_latency
         self._blocks[block_no] = bytes(data)
+        self._cache_insert(block_no, self._blocks[block_no])
 
     def scrub(self, block_no: int) -> None:
         """Explicitly zero a block (secure-erase primitive).
 
         rgpdOS's DBFS calls this on erasure; the ext4-like baseline
         never does, which is exactly the gap the paper points at.
+        The block is also dropped from the page cache — erasure that
+        leaves the bytes readable from cache would be no erasure.
         """
         self._check_range(block_no)
         self.stats.writes += 1
         self.stats.simulated_io_seconds += self.write_latency
         self._blocks[block_no] = b""
+        self._cache_invalidate(block_no)
 
     # -- forensics ----------------------------------------------------------
 
@@ -186,6 +249,40 @@ class BlockDevice:
         for block_no in range(self._watermark):
             if block_no not in self._freed_set:
                 yield block_no
+
+    # -- page cache ---------------------------------------------------------
+
+    def _cache_insert(self, block_no: int, data: bytes) -> None:
+        if self.page_cache_blocks <= 0:
+            return
+        if block_no in self._page_cache:
+            self._page_cache.move_to_end(block_no)
+        self._page_cache[block_no] = data
+        while len(self._page_cache) > self.page_cache_blocks:
+            self._page_cache.popitem(last=False)
+            self.stats.cache_evictions += 1
+
+    def _cache_invalidate(self, block_no: int) -> None:
+        if self._page_cache.pop(block_no, None) is not None:
+            self.stats.cache_invalidations += 1
+
+    def cached_blocks(self) -> List[int]:
+        """Block numbers currently resident in the page cache (tests)."""
+        return list(self._page_cache)
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Observable page-cache state (size, capacity, hit rate)."""
+        lookups = self.stats.cache_hits + self.stats.cache_misses
+        return {
+            "name": "page-cache",
+            "capacity": self.page_cache_blocks,
+            "size": len(self._page_cache),
+            "hits": self.stats.cache_hits,
+            "misses": self.stats.cache_misses,
+            "evictions": self.stats.cache_evictions,
+            "invalidations": self.stats.cache_invalidations,
+            "hit_rate": round(self.stats.cache_hits / lookups, 4) if lookups else 0.0,
+        }
 
     # -- helpers ------------------------------------------------------------
 

@@ -60,7 +60,7 @@ import base64
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from .. import errors
 from ..core.active_data import AccessCredential, PDRef
@@ -69,6 +69,7 @@ from ..core.datatypes import PDType
 from ..core.membrane import Membrane
 from .block import BlockDevice
 from .btree import FieldIndex
+from .cache import MISSING, CacheConfig, DEFAULT_CACHE_CONFIG, LRUCache
 from .inode import (
     KIND_DIRECTORY,
     KIND_FORMAT,
@@ -86,6 +87,7 @@ from .query import (
     OP_GT,
     OP_LE,
     OP_LT,
+    OP_NE,
     DataQuery,
     DeleteRequest,
     MembraneQuery,
@@ -124,12 +126,17 @@ class DBFSStats:
     """Operation counters DBFS maintains for the benchmarks."""
 
     stores: int = 0
+    bulk_stores: int = 0
     membrane_queries: int = 0
     data_queries: int = 0
     updates: int = 0
     deletes: int = 0
     denied_accesses: int = 0
     format_reads: int = 0
+    listing_cache_hits: int = 0
+    listing_cache_misses: int = 0
+    membrane_cache_hits: int = 0
+    membrane_cache_misses: int = 0
 
 
 class DatabaseFS:
@@ -140,8 +147,12 @@ class DatabaseFS:
         device: Optional[BlockDevice] = None,
         operator_key: Optional[OperatorKey] = None,
         journal_blocks: int = 256,
+        cache_config: Optional[CacheConfig] = None,
     ) -> None:
-        self.device = device or BlockDevice()
+        self.cache_config = cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
+        self.device = device or BlockDevice(
+            page_cache_blocks=self.cache_config.page_cache_blocks
+        )
         self.inodes = InodeTable(self.device)
         self._operator_key = operator_key
         # Metadata-only journal (no PD payloads ever).
@@ -166,6 +177,25 @@ class DatabaseFS:
         # blocks on every decision.  Invariant: the cache always holds
         # exactly what the inode holds (put_membrane writes both).
         self._membrane_json_cache: Dict[str, str] = {}
+        # Decoded-record cache (uid -> merged public+sensitive dict).
+        # Values are copied on both insert and return: callers mutate
+        # the dict they get back (update() does), and a cache handing
+        # out its own storage would let one caller corrupt another's
+        # view.  Invalidated on delete, refreshed on update, cleared on
+        # evolve_type/remount.
+        self._record_cache = LRUCache(
+            self.cache_config.record_cache_records, name="record-cache"
+        )
+        # Sorted per-table uid listing (type -> sorted uids), so
+        # _select_scan/_candidate_uids stop re-sorting table.children
+        # on every query.  Invalidated on store/delete of that type.
+        self._listing_cache: Dict[str, List[str]] = {}
+        # Decoded Membrane objects (uid -> Membrane), sharing one
+        # object per uid instead of re-running Membrane.from_json per
+        # decision.  Safe because every mutation site follows the
+        # get -> mutate -> put_membrane discipline and put_membrane
+        # refreshes this cache alongside the JSON cache.
+        self._membrane_cache: Dict[str, Membrane] = {}
         self.stats = DBFSStats()
 
     # ------------------------------------------------------------------
@@ -282,6 +312,9 @@ class DatabaseFS:
             json.dumps(format_spec, sort_keys=True).encode(),
         )
         self._format_cache.pop(new_type.name, None)
+        # Cached decoded records embed the old schema's field split;
+        # drop them all (evolutions are rare, the cache refills fast).
+        self._record_cache.clear()
         self._types[new_type.name] = new_type
         self._journal_op("evolve_type", new_type.name)
         return new_type
@@ -352,7 +385,7 @@ class DatabaseFS:
         declared = table.attrs.setdefault("indexes", [])
         if field_name not in declared:
             declared.append(field_name)
-        for uid in sorted(table.children):
+        for uid in self._table_listing(type_name):
             membrane = self._load_membrane(uid)
             if membrane.erased:
                 continue
@@ -382,7 +415,7 @@ class DatabaseFS:
         self.get_type(type_name)
         index = self._field_indexes.get((type_name, predicate.field_name))
         if index is not None and predicate.op in (
-            OP_EQ, OP_LT, OP_LE, OP_GT, OP_GE
+            OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE
         ):
             return self._select_indexed(index, predicate)
         return self._select_scan(type_name, predicate)
@@ -392,6 +425,12 @@ class DatabaseFS:
         value = predicate.value
         if predicate.op == OP_EQ:
             return sorted(index.exact(value))
+        if predicate.op == OP_NE:
+            # Full range minus exact matches.  The index holds exactly
+            # the live records carrying the field, and a record lacking
+            # the field never matches any predicate (SQL NULL rules),
+            # so this equals the scan result without touching records.
+            return sorted(set(index.range()) - set(index.exact(value)))
         if predicate.op == OP_LT:
             return sorted(index.range(high=value))
         if predicate.op == OP_GE:
@@ -403,15 +442,32 @@ class DatabaseFS:
         return sorted(set(index.range(low=value)) - set(index.exact(value)))
 
     def _select_scan(self, type_name: str, predicate: Predicate) -> List[str]:
-        table = self.inodes.lookup(self._schema_root.number, type_name)
         matches = []
-        for uid in sorted(table.children):
+        for uid in self._table_listing(type_name):
             membrane = self._load_membrane(uid)
             if membrane.erased:
                 continue
             if predicate.evaluate(self._load_record_raw(uid)):
                 matches.append(uid)
         return matches
+
+    def _table_listing(self, type_name: str) -> List[str]:
+        """Sorted uids of one table, cached until a store/delete.
+
+        Callers iterate the returned list and must not mutate it.
+        """
+        if not self.cache_config.listing_cache:
+            table = self.inodes.lookup(self._schema_root.number, type_name)
+            return sorted(table.children)
+        cached = self._listing_cache.get(type_name)
+        if cached is not None:
+            self.stats.listing_cache_hits += 1
+            return cached
+        table = self.inodes.lookup(self._schema_root.number, type_name)
+        listing = sorted(table.children)
+        self._listing_cache[type_name] = listing
+        self.stats.listing_cache_misses += 1
+        return listing
 
     def _index_record(
         self, type_name: str, uid: str, record: Mapping[str, object]
@@ -484,13 +540,36 @@ class DatabaseFS:
 
         self._record_index[uid] = record_inode.number
         self._membrane_index[uid] = membrane_inode.number
-        self._membrane_json_cache[uid] = request.membrane_json
+        self._membrane_json_cache[uid] = membrane.to_json()
+        if self.cache_config.membrane_object_cache:
+            self._membrane_cache[uid] = membrane
+        self._record_cache.put(uid, dict(request.record))
+        self._listing_cache.pop(pd_type.name, None)
         self._index_record(pd_type.name, uid, request.record)
         if membrane.lineage:
             self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
         self.stats.stores += 1
         self._journal_op("store", uid)
         return PDRef(uid=uid, pd_type=pd_type.name, subject_id=membrane.subject_id)
+
+    def store_many(
+        self, requests: Sequence[StoreRequest], credential: AccessCredential
+    ) -> List[PDRef]:
+        """Bulk store under one journal group commit.
+
+        Semantically identical to N :meth:`store` calls; the only
+        difference is the journal cost — N op records share a single
+        BEGIN/COMMIT pair and one flush (see
+        :meth:`repro.storage.journal.Journal.batch`).  The GDPRBench
+        load phase uses this path.
+        """
+        self._require_ded(credential, "store_many")
+        refs: List[PDRef] = []
+        with self.journal.batch():
+            for request in requests:
+                refs.append(self.store(request, credential))
+        self.stats.bulk_stores += 1
+        return refs
 
     # ------------------------------------------------------------------
     # Membrane phase (ded_load_membrane)
@@ -526,19 +605,28 @@ class DatabaseFS:
     def _candidate_uids(self, query: MembraneQuery) -> List[str]:
         if query.uids is not None:
             return [uid for uid in query.uids if uid in self._record_index]
-        table = self.inodes.lookup(self._schema_root.number, query.pd_type)
-        return sorted(table.children)
+        return self._table_listing(query.pd_type)
 
     def _load_membrane(self, uid: str) -> Membrane:
+        if self.cache_config.membrane_object_cache:
+            decoded = self._membrane_cache.get(uid)
+            if decoded is not None:
+                self.stats.membrane_cache_hits += 1
+                return decoded
         cached = self._membrane_json_cache.get(uid)
         if cached is not None:
-            return Membrane.from_json(cached)
-        inode_no = self._membrane_index.get(uid)
-        if inode_no is None:
-            raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
-        raw = self.inodes.read_payload(inode_no).decode()
-        self._membrane_json_cache[uid] = raw
-        return Membrane.from_json(raw)
+            membrane = Membrane.from_json(cached)
+        else:
+            inode_no = self._membrane_index.get(uid)
+            if inode_no is None:
+                raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
+            raw = self.inodes.read_payload(inode_no).decode()
+            self._membrane_json_cache[uid] = raw
+            membrane = Membrane.from_json(raw)
+        if self.cache_config.membrane_object_cache:
+            self.stats.membrane_cache_misses += 1
+            self._membrane_cache[uid] = membrane
+        return membrane
 
     def put_membrane(
         self, uid: str, membrane: Membrane, credential: AccessCredential
@@ -551,6 +639,10 @@ class DatabaseFS:
         encoded = membrane.to_json()
         self.inodes.rewrite_scrubbed(inode_no, encoded.encode())
         self._membrane_json_cache[uid] = encoded
+        if self.cache_config.membrane_object_cache:
+            self._membrane_cache[uid] = membrane
+        else:
+            self._membrane_cache.pop(uid, None)
         if membrane.lineage:
             self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
         self._journal_op("membrane_update", uid)
@@ -586,6 +678,9 @@ class DatabaseFS:
         return results
 
     def _load_record_raw(self, uid: str) -> Dict[str, object]:
+        cached = self._record_cache.get(uid)
+        if cached is not MISSING:
+            return dict(cached)  # type: ignore[call-overload]
         inode_no = self._record_index.get(uid)
         if inode_no is None:
             raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
@@ -594,6 +689,7 @@ class DatabaseFS:
         sensitive_no = inode.attrs.get("sensitive_inode")
         if sensitive_no is not None:
             record.update(_decode_record(self.inodes.read_payload(sensitive_no)))
+        self._record_cache.put(uid, dict(record))
         return record
 
     # ------------------------------------------------------------------
@@ -631,6 +727,9 @@ class DatabaseFS:
             )
             sensitive_inode.attrs["sensitive"] = True
             inode.attrs["sensitive_inode"] = sensitive_inode.number
+        # Write-through: the cache holds the post-update record, never
+        # the pre-update one.
+        self._record_cache.put(request.uid, dict(record))
         self.stats.updates += 1
         self._journal_op("update", request.uid)
 
@@ -678,6 +777,11 @@ class DatabaseFS:
         sensitive_no = inode.attrs.pop("sensitive_inode", None)
         if sensitive_no is not None:
             self.inodes.free(sensitive_no, scrub=True)
+
+        # Erasure must reach the caches too: a cached copy of the
+        # record is exactly the § 1 lower-layer leak, one level up.
+        self._record_cache.invalidate(request.uid)
+        self._listing_cache.pop(membrane.pd_type, None)
 
         membrane.mark_erased(at=membrane.created_at)
         self.put_membrane(request.uid, membrane, credential)
@@ -787,6 +891,56 @@ class DatabaseFS:
         self.journal.commit()
 
     # ------------------------------------------------------------------
+    # Cache observability
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, Dict[str, object]]:
+        """Size/hit-rate report for every fast-path cache in the stack.
+
+        Documented in ``docs/API.md`` ("Performance & caching"); the
+        FASTPATH benchmark records this alongside its timings.
+        """
+        listing_lookups = (
+            self.stats.listing_cache_hits + self.stats.listing_cache_misses
+        )
+        membrane_lookups = (
+            self.stats.membrane_cache_hits + self.stats.membrane_cache_misses
+        )
+        journal = self.journal.stats
+        return {
+            "page_cache": self.device.cache_stats(),
+            "record_cache": self._record_cache.as_dict(),
+            "listing_cache": {
+                "name": "listing-cache",
+                "enabled": self.cache_config.listing_cache,
+                "size": len(self._listing_cache),
+                "hits": self.stats.listing_cache_hits,
+                "misses": self.stats.listing_cache_misses,
+                "hit_rate": round(
+                    self.stats.listing_cache_hits / listing_lookups, 4
+                ) if listing_lookups else 0.0,
+            },
+            "membrane_cache": {
+                "name": "membrane-cache",
+                "enabled": self.cache_config.membrane_object_cache,
+                "size": len(self._membrane_cache),
+                "hits": self.stats.membrane_cache_hits,
+                "misses": self.stats.membrane_cache_misses,
+                "hit_rate": round(
+                    self.stats.membrane_cache_hits / membrane_lookups, 4
+                ) if membrane_lookups else 0.0,
+            },
+            "journal": {
+                "name": "journal-group-commit",
+                "appends": journal.appends,
+                "commits": journal.commits,
+                "flushes": journal.flushes,
+                "group_commits": journal.group_commits,
+                "batched_ops": journal.batched_ops,
+            },
+        }
+
+    # ------------------------------------------------------------------
     # Crash recovery
     # ------------------------------------------------------------------
 
@@ -805,6 +959,9 @@ class DatabaseFS:
         self._membrane_index.clear()
         self._lineage_index.clear()
         self._membrane_json_cache.clear()
+        self._membrane_cache.clear()
+        self._record_cache.clear()
+        self._listing_cache.clear()
         self._escrow_blobs.clear()
         self._field_indexes.clear()
         self._format_cache.clear()  # a new live session re-reads formats

@@ -1,0 +1,123 @@
+"""Tests for the membrane-decision cache (DED fast path).
+
+The load-bearing invariant: a cached consent decision must never
+outlive a withdrawal.  The cache keys on the membrane's monotonically
+bumped version, so consent revocation takes effect on the very next
+invocation — these tests prove it for every mutation kind (revoke,
+restrict, erase, re-grant).
+"""
+
+import pytest
+
+import helpers
+from repro import RgpdOS
+from repro.kernel.machine import MachineConfig
+from repro.storage.cache import CacheConfig
+
+from conftest import LISTING1_DECLARATIONS, SMALL_MACHINE
+
+
+@pytest.fixture
+def ready(populated):
+    system, alice, bob = populated
+    system.register(helpers.birth_decade)
+    return system, alice, bob
+
+
+class TestDecisionCaching:
+    def test_repeat_invocation_hits_cache(self, ready):
+        system, _, _ = ready
+        first = system.invoke("birth_decade", target="user")
+        report_after_first = system.ps.decision_cache.as_dict()
+        second = system.invoke("birth_decade", target="user")
+        report = system.ps.decision_cache.as_dict()
+        assert first.values == second.values
+        assert report["hits"] > report_after_first["hits"]
+
+    def test_decision_cache_visible_in_system_stats(self, ready):
+        system, _, _ = ready
+        system.invoke("birth_decade", target="user")
+        report = system.cache_stats()
+        assert report["decision_cache"]["name"] == "decision-cache"
+        assert report["decision_cache"]["size"] > 0
+
+    def test_denials_are_cached_too(self, ready):
+        system, alice, _ = ready
+        system.register(helpers.marketing_blast)  # purpose2: denied
+        system.invoke("marketing_blast", target="user")
+        before = system.ps.decision_cache.as_dict()["hits"]
+        result = system.invoke("marketing_blast", target="user")
+        assert result.denied == 2
+        assert system.ps.decision_cache.as_dict()["hits"] > before
+
+
+class TestRevocationImmediacy:
+    def test_withdrawal_effective_on_next_invocation(self, ready):
+        """The acceptance-criterion test: withdrawn consent is never
+        honored from the cache."""
+        system, alice, _ = ready
+        warm = system.invoke("birth_decade", target="user")
+        assert warm.processed == 2
+        assert alice.uid in warm.values
+        system.rights.object_to("alice", "purpose3")
+        after = system.invoke("birth_decade", target="user")
+        assert after.processed == 1
+        assert after.denied == 1
+        assert alice.uid not in after.values
+
+    def test_regrant_effective_on_next_invocation(self, ready):
+        system, alice, _ = ready
+        system.invoke("birth_decade", target="user")  # warm
+        system.rights.object_to("alice", "purpose3")
+        system.invoke("birth_decade", target="user")  # denial now cached
+        system.rights.grant_consent("alice", alice, "purpose3", "v_ano")
+        again = system.invoke("birth_decade", target="user")
+        assert again.processed == 2
+        assert alice.uid in again.values
+
+    def test_restriction_effective_on_next_invocation(self, ready):
+        system, alice, _ = ready
+        system.invoke("birth_decade", target="user")  # warm
+        system.rights.restrict("alice", alice)
+        after = system.invoke("birth_decade", target="user")
+        assert alice.uid not in after.values
+        system.rights.lift_restriction("alice", alice)
+        lifted = system.invoke("birth_decade", target="user")
+        assert alice.uid in lifted.values
+
+    def test_erasure_effective_on_next_invocation(self, ready):
+        system, alice, _ = ready
+        system.invoke("birth_decade", target="user")  # warm
+        system.rights.erase("alice", alice, mode="erase")
+        after = system.invoke("birth_decade", target="user")
+        assert alice.uid not in after.values
+        assert after.processed == 1
+
+
+class TestDisabledDecisionCache:
+    @pytest.fixture
+    def uncached_system(self, shared_authority):
+        os_ = RgpdOS(
+            operator_name="uncached-op",
+            authority=shared_authority,
+            machine_config=MachineConfig(**SMALL_MACHINE),
+            cache_config=CacheConfig.disabled(),
+        )
+        os_.install(LISTING1_DECLARATIONS)
+        return os_
+
+    def test_disabled_cache_stays_empty_and_correct(self, uncached_system):
+        system = uncached_system
+        alice = system.collect(
+            "user",
+            {"name": "Alice", "pwd": "pw", "year_of_birthdate": 1990},
+            subject_id="alice",
+            method="web_form",
+        )
+        system.register(helpers.birth_decade)
+        result = system.invoke("birth_decade", target="user")
+        assert result.values[alice.uid] == 1990
+        assert not system.ps.decision_cache.enabled
+        assert len(system.ps.decision_cache) == 0
+        system.rights.object_to("alice", "purpose3")
+        assert system.invoke("birth_decade", target="user").denied == 1

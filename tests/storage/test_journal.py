@@ -72,6 +72,89 @@ class TestTransactions:
         assert second == first + 1
 
 
+class TestGroupCommit:
+    """journal.batch(): N ops, one BEGIN/COMMIT pair, one flush."""
+
+    def test_batch_coalesces_records(self, journal):
+        with journal.batch():
+            for index in range(5):
+                journal.begin()
+                journal.log_delete(f"op:{index}")
+                journal.commit()
+        # N + 2 records instead of 3N.
+        assert len(journal) == 7
+        assert journal.stats.flushes == 1
+        assert journal.stats.commits == 1
+        assert journal.stats.group_commits == 1
+
+    def test_unbatched_ops_cost_three_records_each(self, journal):
+        for index in range(5):
+            journal.begin()
+            journal.log_delete(f"op:{index}")
+            journal.commit()
+        assert len(journal) == 15
+        assert journal.stats.flushes == 5
+
+    def test_batched_ops_share_one_txn_id(self, journal):
+        with journal.batch() as group_txn:
+            first = journal.begin()
+            journal.log_delete("a")
+            journal.commit()
+            second = journal.begin()
+            journal.log_delete("b")
+            journal.commit()
+        assert first == second == group_txn
+        assert journal.stats.batched_ops == 2
+
+    def test_batched_records_replay_as_committed(self, journal):
+        with journal.batch():
+            journal.begin()
+            journal.log_delete("x")
+            journal.commit()
+            journal.begin()
+            journal.log_delete("y")
+            journal.commit()
+        replayed = journal.replay()
+        assert [record.target for record in replayed] == ["x", "y"]
+
+    def test_nested_batch_rejected(self, journal):
+        with journal.batch():
+            with pytest.raises(errors.JournalError):
+                with journal.batch():
+                    pass
+
+    def test_batch_over_open_txn_rejected(self, journal):
+        journal.begin()
+        with pytest.raises(errors.JournalError):
+            with journal.batch():
+                pass
+
+    def test_abort_inside_batch_rejected(self, journal):
+        with journal.batch():
+            journal.begin()
+            with pytest.raises(errors.JournalError):
+                journal.abort()
+            journal.commit()
+
+    def test_plain_transactions_work_after_batch(self, journal):
+        with journal.batch():
+            journal.begin()
+            journal.log_delete("grouped")
+            journal.commit()
+        txn = journal.begin()
+        journal.log_delete("solo")
+        journal.commit()
+        assert txn > 0
+        assert [r.target for r in journal.replay()] == ["grouped", "solo"]
+
+    def test_appends_counted(self, journal):
+        with journal.batch():
+            journal.begin()
+            journal.log_delete("only")
+            journal.commit()
+        assert journal.stats.appends == 3  # BEGIN + op + COMMIT
+
+
 class TestRTBFViolation:
     """The § 1 observation: deleted data lives on in the journal."""
 
