@@ -12,15 +12,14 @@ Three microbenchmarks compare the default cache configuration against
 
 The acceptance target is >=3x on the two read-side microbenchmarks.
 Results (plus every cache's hit rates) are emitted to
-``BENCH_fastpath.json`` at the repo root so the trajectory is
-machine-readable.
+``BENCH_fastpath.json`` at the repo root in the shared
+``bench_util`` schema so the trajectory is machine-readable.
 """
 
 import itertools
-import json
 import time
-from pathlib import Path
 
+from bench_util import merge_metric
 from conftest import bench_decade, print_series
 
 from repro import RgpdOS
@@ -36,7 +35,6 @@ from repro.workloads.generator import (
 SUBJECTS = 100
 ROUNDS = 10
 TARGET_SPEEDUP = 3.0
-RESULT_FILE = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
 
 
 def build_system(authority, cache_config):
@@ -70,15 +68,6 @@ def time_repeat(fn, rounds=ROUNDS):
     return time.perf_counter() - start
 
 
-def _merge_result(key, payload):
-    """Accumulate one benchmark's numbers into BENCH_fastpath.json."""
-    data = {}
-    if RESULT_FILE.exists():
-        data = json.loads(RESULT_FILE.read_text())
-    data[key] = payload
-    RESULT_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-
-
 def test_fastpath_repeated_scan(benchmark, authority):
     """Repeated predicate scan: >=3x from the record/listing caches."""
     predicate = Predicate("year_of_birthdate", "ge", 0)
@@ -106,14 +95,16 @@ def test_fastpath_repeated_scan(benchmark, authority):
     ]
     print_series("FASTPATH repeated scan (100 subjects, 10 rounds)", rows)
     benchmark.extra_info["speedup"] = speedup
-    _merge_result("repeated_scan", {
-        "subjects": SUBJECTS,
-        "rounds": ROUNDS,
-        "caches_off_seconds": uncached_seconds,
-        "caches_on_seconds": cached_seconds,
-        "speedup": speedup,
-        "cache_stats": cached.cache_stats(),
-    })
+    merge_metric(
+        "fastpath", "repeated_scan",
+        config={"subjects": SUBJECTS, "rounds": ROUNDS},
+        samples={
+            "caches_off_seconds": uncached_seconds,
+            "caches_on_seconds": cached_seconds,
+        },
+        speedup=speedup, baseline="caches_off_seconds",
+        extra={"cache_stats": cached.cache_stats()},
+    )
     assert speedup >= TARGET_SPEEDUP, (
         f"repeated-scan speedup {speedup:.2f}x below the "
         f"{TARGET_SPEEDUP}x target"
@@ -148,14 +139,16 @@ def test_fastpath_repeated_invocation(benchmark, authority):
     ]
     print_series("FASTPATH repeated invocation (100 subjects, 10 rounds)", rows)
     benchmark.extra_info["speedup"] = speedup
-    _merge_result("repeated_invocation", {
-        "subjects": SUBJECTS,
-        "rounds": ROUNDS,
-        "caches_off_seconds": uncached_seconds,
-        "caches_on_seconds": cached_seconds,
-        "speedup": speedup,
-        "decision_cache": decisions,
-    })
+    merge_metric(
+        "fastpath", "repeated_invocation",
+        config={"subjects": SUBJECTS, "rounds": ROUNDS},
+        samples={
+            "caches_off_seconds": uncached_seconds,
+            "caches_on_seconds": cached_seconds,
+        },
+        speedup=speedup, baseline="caches_off_seconds",
+        extra={"decision_cache": decisions},
+    )
     assert decisions["hits"] > 0
     assert speedup >= TARGET_SPEEDUP, (
         f"repeated-invocation speedup {speedup:.2f}x below the "
@@ -202,14 +195,17 @@ def test_fastpath_bulk_load_group_commit(benchmark, authority):
         ("flushes", flushes, 50),
     ]
     print_series("FASTPATH bulk load (50 stores)", rows)
-    _merge_result("bulk_load", {
-        "stores": 50,
-        "grouped_records": appends,
-        "grouped_flushes": flushes,
-        "ungrouped_records": 3 * 50,
-        "ungrouped_flushes": 50,
-        "journal_stats": dbfs.cache_stats()["journal"],
-    })
+    merge_metric(
+        "fastpath", "bulk_load",
+        config={"stores": 50},
+        samples={
+            "grouped_records": appends,
+            "grouped_flushes": flushes,
+            "ungrouped_records": 3 * 50,
+            "ungrouped_flushes": 50,
+        },
+        extra={"journal_stats": dbfs.cache_stats()["journal"]},
+    )
     benchmark.pedantic(
         lambda: dbfs.store_many(requests(10, "b"), credential),
         rounds=3, iterations=1,

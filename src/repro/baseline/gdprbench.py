@@ -39,6 +39,7 @@ from .. import errors
 from ..core.active_data import PDRef
 from ..core.purposes import processing as processing_decorator
 from ..core.system import RgpdOS
+from ..storage.journal import JournalConfig
 from ..workloads.generator import (
     STANDARD_DECLARATIONS,
     PopulationGenerator,
@@ -228,12 +229,34 @@ def _bench_analytics(user):  # noqa: ANN001 - PDView duck type
 
 
 class RgpdOSAdapter(StorageAdapter):
-    """The full paper stack behind the persona interface."""
+    """The full paper stack behind the persona interface.
+
+    ``shards`` selects the DBFS layout: 1 (the default) is the seed's
+    single DatabaseFS; N > 1 runs the sharded scatter-gather store, so
+    the persona mixes measure how subject-scoped GDPR ops scale with
+    shard count.  ``pd_device_blocks`` sizes each PD device (large
+    populations need more than the default 65536 blocks per shard) and
+    ``journal_config`` sets the per-shard auto-checkpoint policy.
+    """
 
     name = "rgpdos"
 
-    def __init__(self) -> None:
-        self.system = RgpdOS(operator_name="gdprbench")
+    def __init__(
+        self,
+        shards: int = 1,
+        pd_device_blocks: Optional[int] = None,
+        journal_config: Optional[JournalConfig] = None,
+        with_machine: bool = True,
+    ) -> None:
+        self.system = RgpdOS(
+            operator_name="gdprbench",
+            shards=shards,
+            pd_device_blocks=pd_device_blocks,
+            journal_config=journal_config,
+            with_machine=with_machine,
+        )
+        if shards > 1:
+            self.name = f"rgpdos-{shards}shard"
         self.system.install(STANDARD_DECLARATIONS)
         self.system.register(
             _bench_read_profile, purpose=PURPOSE_ACCOUNT, name="bench_read"
@@ -257,9 +280,9 @@ class RgpdOSAdapter(StorageAdapter):
     def insert_many(
         self, batch: Sequence[Tuple[Subject, Mapping[str, str]]]
     ) -> List[str]:
-        """Bulk load under one journal group commit (see
+        """Bulk load under one journal group commit per shard (see
         :meth:`repro.storage.journal.Journal.batch`)."""
-        with self.system.dbfs.journal.batch():
+        with self.system.dbfs.batch():
             return [
                 self.insert(subject, consents) for subject, consents in batch
             ]
@@ -414,12 +437,20 @@ def run_comparison(
     operations: int = 100,
     personas: Sequence[str] = ("customer", "controller", "processor", "regulator"),
     seed: int = 7,
+    shards: int = 1,
 ) -> List[BenchResult]:
-    """The GB-1 grid: every persona on every engine."""
+    """The GB-1 grid: every persona on every engine.
+
+    ``shards`` applies to the rgpdOS engine only (the baselines have
+    no sharded layout to select).
+    """
     results: List[BenchResult] = []
     for adapter_cls in (PlainDBAdapter, UserspaceDBAdapter, RgpdOSAdapter):
         for persona in personas:
-            adapter = adapter_cls()
+            if adapter_cls is RgpdOSAdapter:
+                adapter: StorageAdapter = RgpdOSAdapter(shards=shards)
+            else:
+                adapter = adapter_cls()
             runner = GDPRBenchRunner(adapter, seed=seed)
             runner.load(record_count)
             results.append(runner.run(persona, operations))

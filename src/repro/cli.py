@@ -144,6 +144,7 @@ def cmd_gdprbench(args: argparse.Namespace) -> int:
         operations=args.ops,
         personas=args.personas,
         seed=args.seed,
+        shards=args.shards,
     )
     print(f"{'engine':22s} {'persona':12s} {'ops/s':>10s} {'denied':>7s}")
     for result in results:
@@ -204,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--records", type=int, default=30)
     bench.add_argument("--ops", type=int, default=60)
     bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--shards", type=int, default=1,
+        help="DBFS shard count for the rgpdOS engine (default 1)",
+    )
     bench.add_argument(
         "--personas", nargs="+",
         default=["customer", "controller", "processor", "regulator"],

@@ -313,19 +313,12 @@ class BuiltinFunctions:
         # Residue = needle matches OUTSIDE the extents of live records.
         # Other subjects may legitimately store the same value (a
         # shared city name, say); those blocks are not residue of this
-        # erasure.
-        legit_blocks = self._live_record_blocks()
-        residue_blocks = 0
-        residue_journal = 0
-        for needle in needles:
-            residue_blocks += sum(
-                1
-                for block_no in self.dbfs.device.scan(needle)
-                if block_no not in legit_blocks
-            )
-            residue_journal += len(
-                [r for r in self.dbfs.journal.records() if needle in r.payload]
-            )
+        # erasure.  DBFS scopes the scan: on a sharded store only the
+        # owning shard's device and journal are searched, which is what
+        # keeps per-delete cost flat as the population grows.
+        residue = self.dbfs.residue_counts(
+            needles, subject_id=membrane.subject_id
+        )
 
         self.log.record(
             at=self.clock.now(),
@@ -339,24 +332,9 @@ class BuiltinFunctions:
             uid=target.uid,
             mode=mode,
             erased_lineage=erased,
-            residue_device_blocks=residue_blocks,
-            residue_journal_records=residue_journal,
+            residue_device_blocks=residue["device_blocks"],
+            residue_journal_records=residue["journal_records"],
         )
-
-
-    def _live_record_blocks(self) -> set:
-        """Block extents of every live (non-erased) record and its
-        sensitive sibling — legitimate homes for PD bytes."""
-        blocks: set = set()
-        for uid, membrane in self.dbfs.iter_membranes(self.credential):
-            if membrane.erased:
-                continue
-            inode = self.dbfs.inodes.get(self.dbfs._record_index[uid])
-            blocks.update(inode.blocks)
-            sensitive_no = inode.attrs.get("sensitive_inode")
-            if sensitive_no is not None:
-                blocks.update(self.dbfs.inodes.get(sensitive_no).blocks)
-        return blocks
 
 
 def _full_record_query(uid: str, dbfs: DatabaseFS):

@@ -244,7 +244,7 @@ class ComplianceAuditor:
             pd_type = self.dbfs.get_type(membrane.pd_type)
             if not pd_type.sensitive_fields:
                 continue
-            inode = self.dbfs.inodes.get(self.dbfs._record_index[uid])
+            inode = self.dbfs.record_inode(uid)
             record = self.dbfs._load_record_raw(uid)
             has_sensitive_values = any(
                 name in record for name in pd_type.sensitive_fields

@@ -387,8 +387,7 @@ class DataExecutionDomain:
         now knows exactly: how many records, how wide."""
         sample = survivors[:5]
         sizes = [
-            self.dbfs.inodes.get(self.dbfs._record_index[ref.uid]).size
-            for ref, _, _ in sample
+            self.dbfs.record_size(ref.uid) for ref, _, _ in sample
         ]
         bytes_per_record = max(1, sum(sizes) // max(1, len(sizes)))
         return self.placer.place(

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from .. import errors
 from ..storage.dbfs import DatabaseFS
@@ -171,6 +171,49 @@ class SubjectRights:
                 self.builtins.delete(target, mode=mode, actor=subject_id)
             )
         return outcome
+
+    # ------------------------------------------------------------------
+    # Batched multi-subject rights (scatter-gather over shards)
+    # ------------------------------------------------------------------
+
+    def bulk_right_of_access(
+        self, subject_ids: Sequence[str]
+    ) -> Dict[str, AccessReport]:
+        """Art. 15 exports for many subjects, grouped by owning shard.
+
+        Each subject's export touches only its shard, so a regulator
+        sweep over thousands of subjects walks the shards one at a
+        time, shard-local caches staying hot, instead of ping-ponging
+        across all of them.
+        """
+        reports: Dict[str, AccessReport] = {}
+        for _, group in sorted(
+            self.dbfs.subjects_by_shard(subject_ids).items()
+        ):
+            for subject_id in group:
+                reports[subject_id] = self.right_of_access(subject_id)
+        return reports
+
+    def bulk_erase(
+        self, subject_ids: Sequence[str], mode: str = "escrow"
+    ) -> Dict[str, ErasureOutcome]:
+        """Art. 17 for many subjects: one journal group commit per shard.
+
+        Subjects are grouped by owning shard; every shard's erasures
+        (membrane rewrites + delete markers) share a single
+        :meth:`~repro.storage.journal.Journal.batch` group commit, so
+        the journal cost of an N-subject purge is one flush per shard
+        rather than several per subject.
+        """
+        outcomes: Dict[str, ErasureOutcome] = {}
+        for index, group in sorted(
+            self.dbfs.subjects_by_shard(subject_ids).items()
+        ):
+            shard = self.dbfs.shards[index]
+            with shard.journal.batch():
+                for subject_id in group:
+                    outcomes[subject_id] = self.erase(subject_id, mode=mode)
+        return outcomes
 
     # ------------------------------------------------------------------
     # Art. 18 — restriction of processing

@@ -41,6 +41,8 @@ from ..storage.block import BlockDevice
 from ..storage.cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from ..storage.dbfs import DatabaseFS
 from ..storage.extfs import FileBasedFS
+from ..storage.journal import JournalConfig
+from ..storage.shard import ShardedDBFS
 from .active_data import PDRef
 from .builtins import EraseReport
 from .clock import Clock
@@ -80,6 +82,10 @@ class RgpdOS:
         seed: int = 2023,
         with_machine: bool = True,
         cache_config: Optional[CacheConfig] = None,
+        shards: int = 1,
+        journal_blocks: int = 256,
+        journal_config: Optional[JournalConfig] = None,
+        pd_device_blocks: Optional[int] = None,
     ) -> None:
         self.clock = Clock()
         self.operator_name = operator_name
@@ -92,16 +98,40 @@ class RgpdOS:
         self.cache_config = (
             cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
         )
+        if shards < 1:
+            raise errors.GDPRError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
 
-        # Storage: one device for PD (under DBFS), one for NPD.
-        self.pd_device = BlockDevice(
-            page_cache_blocks=self.cache_config.page_cache_blocks
-        )
-        self.dbfs = DatabaseFS(
-            device=self.pd_device,
-            operator_key=self.operator_key,
-            cache_config=self.cache_config,
-        )
+        # Storage: one device per PD shard (under DBFS), one for NPD.
+        # ``shards=1`` (the default) keeps the seed layout: a single
+        # plain DatabaseFS on a single device.  ``shards=N`` scales the
+        # PD side out to N ShardedDBFS shards, each on its own device
+        # behind its own driver kernel.
+        device_kwargs: Dict[str, int] = {
+            "page_cache_blocks": self.cache_config.page_cache_blocks
+        }
+        if pd_device_blocks is not None:
+            device_kwargs["block_count"] = pd_device_blocks
+        self.pd_devices = [
+            BlockDevice(**device_kwargs) for _ in range(shards)
+        ]
+        self.pd_device = self.pd_devices[0]
+        if shards == 1:
+            self.dbfs: Union[DatabaseFS, ShardedDBFS] = DatabaseFS(
+                device=self.pd_device,
+                operator_key=self.operator_key,
+                journal_blocks=journal_blocks,
+                cache_config=self.cache_config,
+                journal_config=journal_config,
+            )
+        else:
+            self.dbfs = ShardedDBFS(
+                devices=self.pd_devices,
+                operator_key=self.operator_key,
+                journal_blocks=journal_blocks,
+                cache_config=self.cache_config,
+                journal_config=journal_config,
+            )
         self.npd_fs = FileBasedFS()
 
         # The GDPR machinery.  Every instance carries a TEE platform so
@@ -142,13 +172,35 @@ class RgpdOS:
         )
 
         # The purpose-kernel machine (optional for lightweight uses).
+        # Shard 0's driver keeps the historical "pd-nvme" name; extra
+        # shards get "pd-nvme1", "pd-nvme2", ... driver kernels.  The
+        # default MachineConfig fits two drivers, so a multi-shard
+        # machine (when the caller didn't size one) is scaled to hold
+        # one driver kernel per device.
         self.machine: Optional[Machine] = None
         if with_machine:
+            drivers = {"pd-nvme": _device_driver(self.pd_devices[0])}
+            for index, device in enumerate(self.pd_devices[1:], start=1):
+                drivers[f"pd-nvme{index}"] = _device_driver(device)
+            drivers["npd-nvme"] = _device_driver(self.npd_fs.device)
+            if machine_config is None and len(drivers) > 2:
+                defaults = MachineConfig()
+                machine_config = MachineConfig(
+                    total_cores=max(
+                        defaults.total_cores,
+                        defaults.rgpdos_cores
+                        + defaults.gp_cores
+                        + len(drivers) * defaults.driver_cores_each,
+                    ),
+                    total_frames=max(
+                        defaults.total_frames,
+                        defaults.rgpdos_frames
+                        + defaults.gp_frames
+                        + len(drivers) * defaults.driver_frames_each,
+                    ),
+                )
             self.machine = Machine(
-                drivers={
-                    "pd-nvme": _device_driver(self.pd_device),
-                    "npd-nvme": _device_driver(self.npd_fs.device),
-                },
+                drivers=drivers,
                 config=machine_config,
                 clock=self.clock,
             ).boot()
@@ -257,20 +309,22 @@ class RgpdOS:
 
     def stats(self) -> Dict[str, object]:
         """Operational snapshot across the stack."""
+        dbfs_stats = self.dbfs.stats
         snapshot: Dict[str, object] = {
             "clock": self.clock.now(),
             "dbfs": {
                 "types": self.dbfs.list_types(),
                 "records": len(self.dbfs.all_uids()),
                 "subjects": len(self.dbfs.list_subjects()),
-                "stores": self.dbfs.stats.stores,
-                "deletes": self.dbfs.stats.deletes,
-                "denied_accesses": self.dbfs.stats.denied_accesses,
+                "stores": dbfs_stats.stores,
+                "deletes": dbfs_stats.deletes,
+                "denied_accesses": dbfs_stats.denied_accesses,
+                "shards": self.dbfs.shard_count,
             },
             "pd_device": {
-                "reads": self.pd_device.stats.reads,
-                "writes": self.pd_device.stats.writes,
-                "used_blocks": self.pd_device.used_blocks,
+                "reads": sum(d.stats.reads for d in self.pd_devices),
+                "writes": sum(d.stats.writes for d in self.pd_devices),
+                "used_blocks": sum(d.used_blocks for d in self.pd_devices),
             },
             "log": self.log.activity_report(),
         }
@@ -288,3 +342,8 @@ class RgpdOS:
         report: Dict[str, object] = dict(self.dbfs.cache_stats())
         report["decision_cache"] = self.ps.decision_cache.as_dict()
         return report
+
+    def shard_stats(self) -> Sequence[Dict[str, object]]:
+        """Per-shard occupancy and journal summary (one entry when
+        ``shards=1``).  See :meth:`ShardedDBFS.shard_stats`."""
+        return self.dbfs.shard_stats()

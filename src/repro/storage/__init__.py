@@ -4,6 +4,10 @@ Two filesystems share the uFS-style inode layer: ``extfs`` (the
 traditional file-granularity FS the paper criticises and keeps for
 NPD) and ``dbfs`` (the database-oriented filesystem of Idea 3, with
 typed records, membranes, secondary B-tree indexes and crash
-recovery).  ``query`` defines the request objects the DED exchanges
-with DBFS.
+recovery).  ``shard`` scales DBFS out: N independent shards behind
+the same interface, subjects placed by stable hash (lineage-affine),
+type-level queries scatter-gathered.  ``query`` defines the request
+objects the DED exchanges with DBFS.
 """
+
+from .shard import ShardedDBFS, shard_index  # noqa: F401

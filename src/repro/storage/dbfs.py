@@ -59,8 +59,9 @@ from __future__ import annotations
 import base64
 import itertools
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .. import errors
 from ..core.active_data import AccessCredential, PDRef
@@ -80,7 +81,7 @@ from .inode import (
     Inode,
     InodeTable,
 )
-from .journal import Journal
+from .journal import Journal, JournalConfig
 from .query import (
     OP_EQ,
     OP_GE,
@@ -148,15 +149,24 @@ class DatabaseFS:
         operator_key: Optional[OperatorKey] = None,
         journal_blocks: int = 256,
         cache_config: Optional[CacheConfig] = None,
+        journal_config: Optional[JournalConfig] = None,
     ) -> None:
         self.cache_config = cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
         self.device = device or BlockDevice(
             page_cache_blocks=self.cache_config.page_cache_blocks
         )
-        self.inodes = InodeTable(self.device)
+        # Inode capacity tracks the device: a bigger device (the
+        # sharding benchmarks size devices per population slice) gets
+        # a proportionally bigger table; the default 65536-block
+        # device keeps the historical 65536-inode cap.
+        self.inodes = InodeTable(
+            self.device, max_inodes=max(65536, self.device.block_count)
+        )
         self._operator_key = operator_key
         # Metadata-only journal (no PD payloads ever).
-        self.journal = Journal(self.device, reserved_blocks=journal_blocks)
+        self.journal = Journal(
+            self.device, reserved_blocks=journal_blocks, config=journal_config
+        )
 
         self._subjects_root = self.inodes.allocate(KIND_DIRECTORY)
         self._schema_root = self.inodes.allocate(KIND_DIRECTORY)
@@ -571,6 +581,19 @@ class DatabaseFS:
         self.stats.bulk_stores += 1
         return refs
 
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Group-commit context over this store's journal(s).
+
+        On a single DBFS this is :meth:`Journal.batch` verbatim; the
+        sharded store opens one batch per shard journal.  Callers that
+        want journal coalescing should use this rather than reaching
+        for ``dbfs.journal`` directly, so the same code works against
+        both layouts.
+        """
+        with self.journal.batch():
+            yield
+
     # ------------------------------------------------------------------
     # Membrane phase (ded_load_membrane)
     # ------------------------------------------------------------------
@@ -884,6 +907,110 @@ class DatabaseFS:
             ),
         }
 
+    def record_inode(self, uid: str) -> Inode:
+        """The record's primary inode (compliance/auditor accessor)."""
+        inode_no = self._record_index.get(uid)
+        if inode_no is None:
+            raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
+        return self.inodes.get(inode_no)
+
+    def record_size(self, uid: str) -> int:
+        """On-disk payload size of the record's primary inode."""
+        return self.record_inode(uid).size
+
+    def live_record_blocks(self) -> set:
+        """Block extents of every live (non-erased) record and its
+        sensitive sibling — the legitimate homes for PD bytes, which a
+        residue scan must not count as leaks."""
+        blocks: set = set()
+        for uid in self.all_uids():
+            if self._load_membrane(uid).erased:
+                continue
+            inode = self.inodes.get(self._record_index[uid])
+            blocks.update(inode.blocks)
+            sensitive_no = inode.attrs.get("sensitive_inode")
+            if sensitive_no is not None:
+                blocks.update(self.inodes.get(sensitive_no).blocks)
+        return blocks
+
+    def residue_counts(
+        self,
+        needles: Sequence[bytes],
+        subject_id: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Post-erasure residue of ``needles`` outside live records.
+
+        Returns ``{"device_blocks": n, "journal_records": m}``.  Blocks
+        belonging to live records are excluded — other subjects may
+        legitimately store the same value (a shared city name, say).
+        ``subject_id`` is the erased subject; a single DBFS ignores it,
+        but the sharded store uses it to scan only the owning shard's
+        device and journal (the subject's plaintext never existed
+        anywhere else — that locality is the point of lineage-affine
+        placement).
+        """
+        legit_blocks = self.live_record_blocks()
+        device_blocks = 0
+        journal_records = 0
+        for needle in needles:
+            device_blocks += sum(
+                1
+                for block_no in self.device.scan(needle)
+                if block_no not in legit_blocks
+            )
+            journal_records += len(
+                [r for r in self.journal.records() if needle in r.payload]
+            )
+        return {
+            "device_blocks": device_blocks,
+            "journal_records": journal_records,
+        }
+
+    # ------------------------------------------------------------------
+    # Shard topology (trivial on a single DBFS)
+    # ------------------------------------------------------------------
+    #
+    # A plain DatabaseFS presents itself as a one-shard store so code
+    # written against ShardedDBFS (rights batching, benchmarks, CLI
+    # reporting) runs unchanged against the seed layout.
+
+    @property
+    def shard_count(self) -> int:
+        return 1
+
+    @property
+    def shards(self) -> List["DatabaseFS"]:
+        return [self]
+
+    def shard_index_for_subject(self, subject_id: str) -> int:
+        return 0
+
+    def shard_for_subject(self, subject_id: str) -> "DatabaseFS":
+        return self
+
+    def shard_for_uid(self, uid: str) -> "DatabaseFS":
+        return self
+
+    def subjects_by_shard(
+        self, subject_ids: Sequence[str]
+    ) -> Dict[int, List[str]]:
+        return {0: list(subject_ids)}
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """Per-shard occupancy/journal summary (one entry here)."""
+        journal = self.journal.stats
+        return [
+            {
+                "shard": 0,
+                "subjects": len(self._subjects_root.children),
+                "records": len(self._record_index),
+                "device_blocks_used": self.device.used_blocks,
+                "journal_blocks_in_use": self.journal.blocks_in_use,
+                "journal_records": len(self.journal),
+                "journal_checkpoints": journal.checkpoints,
+            }
+        ]
+
     def _journal_op(self, op: str, target: str) -> None:
         """Metadata-only journaling: operation + uid, never payloads."""
         self.journal.begin()
@@ -965,6 +1092,14 @@ class DatabaseFS:
         self._escrow_blobs.clear()
         self._field_indexes.clear()
         self._format_cache.clear()  # a new live session re-reads formats
+
+        # 0. Journal recovery: re-read the committed log from the
+        # device (crash-recovery cost ∝ live log length — this is the
+        # phase the auto-checkpoint policy bounds).  DBFS journals
+        # metadata only, so the trees below stay authoritative; the
+        # recovered records are accounted in ``journal.stats`` rather
+        # than in the (idempotent) return dict.
+        self.journal.recover()
 
         # 1. Schema tree → type registry.
         for type_name, table_no in sorted(self._schema_root.children.items()):

@@ -24,7 +24,17 @@ committed group with a single flush.  N independent ops cost
 ``3N`` records (BEGIN + op + COMMIT each) and N flushes; a batched
 group costs ``N + 2`` records and one flush.  DBFS exposes this
 through :meth:`repro.storage.dbfs.DatabaseFS.store_many`, which the
-GDPRBench load phase uses.
+GDPRBench load phase uses.  A batch is all-or-nothing: if the body
+raises, no COMMIT record is written and recovery treats the whole
+group as never having happened.
+
+**Auto-checkpoint** (:class:`JournalConfig`): without a checkpoint
+policy the log only sheds records when the reserved extent wraps, so
+``blocks_in_use`` grows to the cap and recovery replays the full
+history every remount.  A threshold on live records or blocks flushes
+and truncates the log after the enclosing commit, bounding both the
+replay cost of :meth:`Journal.recover` and the window during which
+op metadata (uids, never payloads) of erased PD lingers in the log.
 """
 
 from __future__ import annotations
@@ -103,6 +113,28 @@ class _OpenTransaction:
     records: List[JournalRecord] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class JournalConfig:
+    """Auto-checkpoint policy knobs.
+
+    ``checkpoint_after_records`` / ``checkpoint_after_blocks`` bound
+    the live log: once either threshold is reached at a commit
+    boundary, the journal checkpoints (flushes and truncates) itself.
+    ``None`` disables that trigger; the all-``None`` default preserves
+    the historical never-checkpoint behaviour.
+    """
+
+    checkpoint_after_records: Optional[int] = None
+    checkpoint_after_blocks: Optional[int] = None
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.checkpoint_after_records is not None
+            or self.checkpoint_after_blocks is not None
+        )
+
+
 @dataclass
 class JournalStats:
     """Append/flush accounting — what group commit saves is visible here."""
@@ -112,6 +144,11 @@ class JournalStats:
     flushes: int = 0        # commit flushes actually issued
     group_commits: int = 0  # batches closed
     batched_ops: int = 0    # begin/commit pairs absorbed into a batch
+    aborted_batches: int = 0      # batches closed without a COMMIT
+    checkpoints: int = 0          # checkpoint truncations issued
+    checkpointed_records: int = 0  # records discarded by checkpoints
+    recovers: int = 0             # recovery passes run
+    recovered_records: int = 0    # committed records re-read from disk
 
 
 class Journal:
@@ -123,12 +160,18 @@ class Journal:
     was deleted).
     """
 
-    def __init__(self, device: BlockDevice, reserved_blocks: int = 1024) -> None:
+    def __init__(
+        self,
+        device: BlockDevice,
+        reserved_blocks: int = 1024,
+        config: Optional[JournalConfig] = None,
+    ) -> None:
         if reserved_blocks < 4:
             raise errors.JournalError(
                 f"journal needs at least 4 reserved blocks, got {reserved_blocks}"
             )
         self.device = device
+        self.config = config or JournalConfig()
         self._extent = device.allocate_many(reserved_blocks)
         self._extent_cursor = 0  # next free slot in the extent, wraps
         self._records: List[JournalRecord] = []  # in-memory index of live records
@@ -190,6 +233,7 @@ class Journal:
         self.stats.commits += 1
         self.stats.flushes += 1
         self._open = None
+        self._maybe_checkpoint()
 
     def abort(self) -> None:
         """Drop the open transaction (its records remain physically logged)."""
@@ -212,6 +256,11 @@ class Journal:
         one COMMIT record and one flush close the group.  Batches do
         not nest, and a batch cannot open while a plain transaction is
         in flight.
+
+        The group is all-or-nothing: if the body raises, the COMMIT
+        record is never written, so :meth:`replay`/:meth:`recover` see
+        none of the group's records — exactly what a crash in the
+        middle of the batch would leave behind.
         """
         if self._batching:
             raise errors.JournalError("a journal batch is already open")
@@ -226,13 +275,19 @@ class Journal:
         self._append(JournalRecord(self._take_seq(), txn_id, TXN_BEGIN))
         try:
             yield txn_id
-        finally:
+        except BaseException:
+            self._batching = False
+            self._open = None
+            self.stats.aborted_batches += 1
+            raise
+        else:
             self._batching = False
             self._append(JournalRecord(self._take_seq(), txn_id, TXN_COMMIT))
             self.stats.commits += 1
             self.stats.flushes += 1
             self.stats.group_commits += 1
             self._open = None
+            self._maybe_checkpoint()
 
     # -- recovery / inspection ----------------------------------------------
 
@@ -249,6 +304,37 @@ class Journal:
             if record.txn_id in committed_txns
             and record.record_type in (TXN_WRITE, TXN_DELETE)
         ]
+
+    def recover(self) -> List[JournalRecord]:
+        """Crash recovery proper: re-read the log from the device.
+
+        Unlike :meth:`replay` (which trusts the in-memory index), this
+        reads every live record's blocks back from the extent, parses
+        and validates them, then returns the committed WRITE/DELETE
+        records in order.  Its cost is proportional to the log length
+        — which is what the auto-checkpoint policy bounds, and what
+        the SHARD benchmark's remount comparison measures.  Records of
+        transactions lacking a COMMIT (a crash mid-batch) are dropped
+        wholesale: group commits are all-or-nothing.
+        """
+        on_disk: List[JournalRecord] = []
+        for blocks in self._record_blocks:
+            raw = b"".join(self.device.read(block_no) for block_no in blocks)
+            on_disk.append(JournalRecord.from_bytes(raw))
+        committed_txns = {
+            record.txn_id
+            for record in on_disk
+            if record.record_type == TXN_COMMIT
+        }
+        recovered = [
+            record
+            for record in on_disk
+            if record.txn_id in committed_txns
+            and record.record_type in (TXN_WRITE, TXN_DELETE)
+        ]
+        self.stats.recovers += 1
+        self.stats.recovered_records += len(recovered)
+        return recovered
 
     def scan_payloads(self, needle: bytes) -> List[JournalRecord]:
         """Forensic scan: records whose payload still contains ``needle``.
@@ -283,9 +369,22 @@ class Journal:
         self._append(
             JournalRecord(self._take_seq(), 0, TXN_CHECKPOINT)
         )
+        self.stats.checkpoints += 1
+        self.stats.checkpointed_records += discarded
         return discarded
 
     # -- internals ----------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        """Apply the auto-checkpoint policy at a commit boundary."""
+        if self._open is not None or not self.config.enabled:
+            return
+        cap_records = self.config.checkpoint_after_records
+        cap_blocks = self.config.checkpoint_after_blocks
+        if (cap_records is not None and len(self._records) >= cap_records) or (
+            cap_blocks is not None and self.blocks_in_use >= cap_blocks
+        ):
+            self.checkpoint()
 
     def _require_open(self) -> _OpenTransaction:
         if self._open is None:

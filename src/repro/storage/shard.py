@@ -1,0 +1,479 @@
+"""Sharded DBFS — scatter-gather over N independent `DatabaseFS` shards.
+
+The paper's § 3(1) layout gives every data subject their own inode
+subtree; nothing in the design requires all those subtrees to live in
+one filesystem.  :class:`ShardedDBFS` exploits that: it runs N
+independent :class:`~repro.storage.dbfs.DatabaseFS` instances — each
+with its own :class:`~repro.storage.block.BlockDevice` and metadata
+journal — and places every subject on exactly one shard by a stable
+hash of ``subject_id``.
+
+**Placement is lineage-affine.**  Copies made by the ``copy`` built-in
+keep the original's ``subject_id``, so a whole lineage group always
+lands on one shard and RTBF / consent propagation / restriction never
+cross a shard boundary.  That locality is what makes the expensive
+subject-scoped operations flat in the population size:
+
+* *routing* — store, fetch, update, delete, export, membrane get/put
+  and the post-erasure residue scan touch only the owning shard (a
+  delete's ``device.scan`` walks one shard's blocks, not all of them);
+* *scatter-gather* — type-level queries (``select_uids``,
+  ``query_membranes``, ``iter_membranes``, ``forensic_scan``) fan out
+  to every shard and merge, preserving the single-DBFS result order;
+* *batched rights* — multi-subject operations group their per-shard
+  work under one :meth:`~repro.storage.journal.Journal.batch` group
+  commit per shard (see :meth:`ShardedDBFS.batch` and
+  ``SubjectRights.bulk_erase`` / ``bulk_right_of_access``).
+
+The schema trees are replicated: every shard declares every type, so
+any shard can answer a type-level query over its own subjects and the
+format descriptors stay a per-shard, read-once affair.
+
+``ShardedDBFS(shard_count=1)`` is behaviour-compatible with a plain
+``DatabaseFS`` — the equivalence tests in
+``tests/storage/test_sharding.py`` assert identical results op by op —
+and ``RgpdOS(shards=1)`` (the default) keeps constructing the plain
+class, so the seed layout is untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from contextlib import ExitStack, contextmanager
+from dataclasses import replace as _dc_replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .. import errors
+from ..core.active_data import AccessCredential, PDRef
+from ..core.crypto import EscrowBlob, OperatorKey
+from ..core.datatypes import PDType
+from ..core.membrane import Membrane
+from .block import BlockDevice
+from .btree import FieldIndex
+from .cache import CacheConfig, DEFAULT_CACHE_CONFIG
+from .dbfs import DatabaseFS, DBFSStats
+from .journal import JournalConfig
+from .query import (
+    DataQuery,
+    DeleteRequest,
+    MembraneQuery,
+    Predicate,
+    StoreRequest,
+    UpdateRequest,
+)
+
+
+def shard_index(subject_id: str, shard_count: int) -> int:
+    """Stable placement: CRC-32 of the subject id, modulo shard count.
+
+    Deliberately *not* Python's ``hash`` (randomised per process —
+    placement must survive a reboot/remount unchanged).
+    """
+    return zlib.crc32(subject_id.encode("utf-8")) % shard_count
+
+
+class ShardedDBFS:
+    """N independent DBFS shards behind the single-DBFS interface.
+
+    Drop-in for :class:`DatabaseFS` everywhere the kernel, DED,
+    built-ins, rights engine, compliance auditor and benchmarks touch
+    the store.  See the module docstring for the routing rules.
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 1,
+        devices: Optional[Sequence[BlockDevice]] = None,
+        operator_key: Optional[OperatorKey] = None,
+        journal_blocks: int = 256,
+        cache_config: Optional[CacheConfig] = None,
+        journal_config: Optional[JournalConfig] = None,
+    ) -> None:
+        if devices is not None:
+            shard_count = len(devices)
+        if shard_count < 1:
+            raise errors.DBFSError(
+                f"a sharded DBFS needs at least 1 shard, got {shard_count}"
+            )
+        self.cache_config = (
+            cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
+        )
+        self.journal_config = journal_config
+        self._shards: List[DatabaseFS] = [
+            DatabaseFS(
+                device=devices[i] if devices is not None else None,
+                operator_key=operator_key,
+                journal_blocks=journal_blocks,
+                cache_config=self.cache_config,
+                journal_config=journal_config,
+            )
+            for i in range(shard_count)
+        ]
+        # uid -> owning shard index; maintained at store time and
+        # rebuilt from the shards' subject trees on remount.
+        self._uid_shard: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> List[DatabaseFS]:
+        return list(self._shards)
+
+    def shard_index_for_subject(self, subject_id: str) -> int:
+        return shard_index(subject_id, len(self._shards))
+
+    def shard_for_subject(self, subject_id: str) -> DatabaseFS:
+        return self._shards[self.shard_index_for_subject(subject_id)]
+
+    def shard_for_uid(self, uid: str) -> DatabaseFS:
+        return self._owning_shard(uid)
+
+    def subjects_by_shard(
+        self, subject_ids: Sequence[str]
+    ) -> Dict[int, List[str]]:
+        """Group subject ids by owning shard (insertion order kept)."""
+        groups: Dict[int, List[str]] = {}
+        for subject_id in subject_ids:
+            groups.setdefault(
+                self.shard_index_for_subject(subject_id), []
+            ).append(subject_id)
+        return groups
+
+    def _owning_shard(self, uid: str) -> DatabaseFS:
+        """Shard holding ``uid``; unknown uids fall through to shard 0
+        so the error type (and its DED-check ordering) matches the
+        single-DBFS behaviour exactly."""
+        index = self._uid_shard.get(uid)
+        return self._shards[0 if index is None else index]
+
+    # ------------------------------------------------------------------
+    # Schema management (replicated to every shard)
+    # ------------------------------------------------------------------
+
+    def create_type(self, pd_type: PDType, credential: AccessCredential) -> None:
+        for shard in self._shards:
+            shard.create_type(pd_type, credential)
+
+    def evolve_type(
+        self, new_type: PDType, credential: AccessCredential
+    ) -> PDType:
+        result = new_type
+        for shard in self._shards:
+            result = shard.evolve_type(new_type, credential)
+        return result
+
+    def schema_version(self, type_name: str) -> int:
+        return self._shards[0].schema_version(type_name)
+
+    def get_type(self, name: str) -> PDType:
+        return self._shards[0].get_type(name)
+
+    def list_types(self) -> List[str]:
+        return self._shards[0].list_types()
+
+    # ------------------------------------------------------------------
+    # Secondary field indexes (one per shard, queried scatter-gather)
+    # ------------------------------------------------------------------
+
+    def create_index(
+        self, type_name: str, field_name: str, credential: AccessCredential
+    ) -> List[FieldIndex]:
+        return [
+            shard.create_index(type_name, field_name, credential)
+            for shard in self._shards
+        ]
+
+    def has_index(self, type_name: str, field_name: str) -> bool:
+        return self._shards[0].has_index(type_name, field_name)
+
+    def select_uids(
+        self,
+        type_name: str,
+        predicate: Predicate,
+        credential: AccessCredential,
+    ) -> List[str]:
+        matches: List[str] = []
+        for shard in self._shards:
+            matches.extend(shard.select_uids(type_name, predicate, credential))
+        return sorted(matches)
+
+    # ------------------------------------------------------------------
+    # Store (routed by the membrane's subject id)
+    # ------------------------------------------------------------------
+
+    def _store_shard_index(self, request: StoreRequest) -> int:
+        """Placement for a store: hash the membrane's subject id.
+
+        Anything malformed (no membrane, unparseable JSON, missing
+        subject) routes to shard 0, whose own validation raises the
+        same error a single DBFS would.
+        """
+        if not request.membrane_json:
+            return 0
+        try:
+            subject_id = json.loads(request.membrane_json).get("subject_id")
+        except (ValueError, AttributeError):
+            return 0
+        if not isinstance(subject_id, str) or not subject_id:
+            return 0
+        return self.shard_index_for_subject(subject_id)
+
+    def store(self, request: StoreRequest, credential: AccessCredential) -> PDRef:
+        index = self._store_shard_index(request)
+        ref = self._shards[index].store(request, credential)
+        self._uid_shard[ref.uid] = index
+        return ref
+
+    def store_many(
+        self, requests: Sequence[StoreRequest], credential: AccessCredential
+    ) -> List[PDRef]:
+        """Bulk store: one journal group commit per involved shard.
+
+        Refs come back in request order, exactly as the single-DBFS
+        ``store_many`` returns them.
+        """
+        self._shards[0]._require_ded(credential, "store_many")
+        placements = [self._store_shard_index(r) for r in requests]
+        refs: List[PDRef] = []
+        with ExitStack() as stack:
+            for index in sorted(set(placements)):
+                stack.enter_context(self._shards[index].journal.batch())
+            for request, index in zip(requests, placements):
+                ref = self._shards[index].store(request, credential)
+                self._uid_shard[ref.uid] = index
+                refs.append(ref)
+        for index in sorted(set(placements)):
+            self._shards[index].stats.bulk_stores += 1
+        return refs
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Group-commit context spanning every shard's journal."""
+        with ExitStack() as stack:
+            for shard in self._shards:
+                stack.enter_context(shard.journal.batch())
+            yield
+
+    # ------------------------------------------------------------------
+    # Membrane phase
+    # ------------------------------------------------------------------
+
+    def query_membranes(
+        self, query: MembraneQuery, credential: AccessCredential
+    ) -> List[Tuple[PDRef, Membrane]]:
+        if query.subject_id:
+            # Subject-scoped: only the owning shard can hold matches,
+            # but the type must still fail loudly if undeclared.
+            self.get_type(query.pd_type)
+            shard = self.shard_for_subject(query.subject_id)
+            return shard.query_membranes(query, credential)
+        if query.uids is not None:
+            results: List[Tuple[PDRef, Membrane]] = []
+            for index, uids in self._uids_by_shard(query.uids).items():
+                sub_query = _dc_replace(query, uids=tuple(uids))
+                results.extend(
+                    self._shards[index].query_membranes(sub_query, credential)
+                )
+            results.sort(key=lambda pair: pair[0].uid)
+            return results
+        results = []
+        for shard in self._shards:
+            results.extend(shard.query_membranes(query, credential))
+        results.sort(key=lambda pair: pair[0].uid)
+        return results
+
+    def get_membrane(self, uid: str, credential: AccessCredential) -> Membrane:
+        return self._owning_shard(uid).get_membrane(uid, credential)
+
+    def put_membrane(
+        self, uid: str, membrane: Membrane, credential: AccessCredential
+    ) -> None:
+        self._owning_shard(uid).put_membrane(uid, membrane, credential)
+
+    def lineage_members(self, lineage: str) -> List[str]:
+        # A lineage id is the uid of the group's first copy source, so
+        # the whole group lives on that uid's shard (lineage affinity).
+        index = self._uid_shard.get(lineage)
+        if index is not None:
+            return self._shards[index].lineage_members(lineage)
+        members: List[str] = []
+        for shard in self._shards:
+            members.extend(shard.lineage_members(lineage))
+        return sorted(members)
+
+    # ------------------------------------------------------------------
+    # Data phase
+    # ------------------------------------------------------------------
+
+    def fetch_records(
+        self, query: DataQuery, credential: AccessCredential
+    ) -> Dict[str, Dict[str, object]]:
+        self._shards[0]._require_ded(credential, "fetch_records")
+        results: Dict[str, Dict[str, object]] = {}
+        for index, uids in self._uids_by_shard(query.uids).items():
+            sub_query = _dc_replace(query, uids=tuple(uids))
+            results.update(
+                self._shards[index].fetch_records(sub_query, credential)
+            )
+        return results
+
+    def _load_record_raw(self, uid: str) -> Dict[str, object]:
+        return self._owning_shard(uid)._load_record_raw(uid)
+
+    def _uids_by_shard(self, uids: Sequence[str]) -> Dict[int, List[str]]:
+        """Group uids by owning shard; unknown uids go to shard 0 so
+        lookups fail with the single-DBFS error."""
+        groups: Dict[int, List[str]] = {}
+        for uid in uids:
+            groups.setdefault(self._uid_shard.get(uid, 0), []).append(uid)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Update / delete
+    # ------------------------------------------------------------------
+
+    def update(self, request: UpdateRequest, credential: AccessCredential) -> None:
+        self._owning_shard(request.uid).update(request, credential)
+
+    def delete(
+        self, request: DeleteRequest, credential: AccessCredential
+    ) -> Membrane:
+        return self._owning_shard(request.uid).delete(request, credential)
+
+    def escrow_blob(self, uid: str) -> EscrowBlob:
+        return self._owning_shard(uid).escrow_blob(uid)
+
+    # ------------------------------------------------------------------
+    # Subject-level operations (single-shard by construction)
+    # ------------------------------------------------------------------
+
+    def list_subjects(self) -> List[str]:
+        subjects: List[str] = []
+        for shard in self._shards:
+            subjects.extend(shard.list_subjects())
+        return sorted(subjects)
+
+    def uids_of_subject(self, subject_id: str) -> List[str]:
+        return self.shard_for_subject(subject_id).uids_of_subject(subject_id)
+
+    def export_subject(
+        self, subject_id: str, credential: AccessCredential
+    ) -> Dict[str, object]:
+        return self.shard_for_subject(subject_id).export_subject(
+            subject_id, credential
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance & forensics (scatter-gather)
+    # ------------------------------------------------------------------
+
+    def all_uids(self) -> List[str]:
+        uids: List[str] = []
+        for shard in self._shards:
+            uids.extend(shard.all_uids())
+        return sorted(uids)
+
+    def iter_membranes(
+        self, credential: AccessCredential
+    ) -> List[Tuple[str, Membrane]]:
+        pairs: List[Tuple[str, Membrane]] = []
+        for shard in self._shards:
+            pairs.extend(shard.iter_membranes(credential))
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+    def forensic_scan(self, needle: bytes) -> Dict[str, int]:
+        totals = {"device_blocks": 0, "journal_records": 0}
+        for shard in self._shards:
+            counts = shard.forensic_scan(needle)
+            totals["device_blocks"] += counts["device_blocks"]
+            totals["journal_records"] += counts["journal_records"]
+        return totals
+
+    def record_inode(self, uid: str):
+        return self._owning_shard(uid).record_inode(uid)
+
+    def record_size(self, uid: str) -> int:
+        return self._owning_shard(uid).record_size(uid)
+
+    def residue_counts(
+        self,
+        needles: Sequence[bytes],
+        subject_id: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Residue scan, scoped to the owning shard when the erased
+        subject is known — the subject's plaintext never touched any
+        other shard's device or journal, so scanning them would only
+        cost time.  Without a subject the scan covers every shard.
+        """
+        if subject_id is not None:
+            return self.shard_for_subject(subject_id).residue_counts(
+                needles, subject_id=subject_id
+            )
+        totals = {"device_blocks": 0, "journal_records": 0}
+        for shard in self._shards:
+            counts = shard.residue_counts(needles)
+            totals["device_blocks"] += counts["device_blocks"]
+            totals["journal_records"] += counts["journal_records"]
+        return totals
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> DBFSStats:
+        """Aggregated operation counters (sum over shards)."""
+        total = DBFSStats()
+        for shard in self._shards:
+            for name in vars(total):
+                setattr(
+                    total, name, getattr(total, name) + getattr(shard.stats, name)
+                )
+        return total
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Per-shard cache/journal report, plus the shard count."""
+        return {
+            "shards": len(self._shards),
+            "per_shard": [shard.cache_stats() for shard in self._shards],
+        }
+
+    def shard_stats(self) -> List[Dict[str, object]]:
+        """One occupancy/journal summary per shard."""
+        stats: List[Dict[str, object]] = []
+        for index, shard in enumerate(self._shards):
+            entry = shard.shard_stats()[0]
+            entry["shard"] = index
+            stats.append(entry)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def remount(self) -> Dict[str, int]:
+        """Remount every shard and rebuild the uid→shard map.
+
+        Schema counts are reported once (the schema trees are
+        replicas); record-level counts are summed across shards.
+        """
+        per_shard = [shard.remount() for shard in self._shards]
+        self._uid_shard.clear()
+        for index, shard in enumerate(self._shards):
+            for uid in shard.all_uids():
+                self._uid_shard[uid] = index
+        return {
+            "types": per_shard[0]["types"],
+            "records": sum(r["records"] for r in per_shard),
+            "lineage_groups": sum(r["lineage_groups"] for r in per_shard),
+            "escrow_blobs": sum(r["escrow_blobs"] for r in per_shard),
+            "field_indexes": per_shard[0]["field_indexes"],
+        }

@@ -1,0 +1,485 @@
+"""ShardedDBFS: placement, routing, scatter-gather, bulk rights.
+
+The contract under test is behavioural equivalence: a sharded store
+must answer every DBFS operation exactly as a single ``DatabaseFS``
+holding the same data would — same results, same ordering, same
+errors — while keeping each subject's PD (and its whole lineage
+group) confined to one shard's device and journal.
+"""
+
+import itertools
+import zlib
+
+import pytest
+
+from repro import errors
+from repro.core.active_data import AccessCredential, PDRef
+from repro.core.crypto import Authority
+from repro.core.membrane import membrane_for_type
+from repro.core.system import RgpdOS
+from repro.storage import dbfs as dbfs_module
+from repro.storage.dbfs import DatabaseFS
+from repro.storage.query import (
+    DataQuery,
+    DeleteRequest,
+    MembraneQuery,
+    Predicate,
+    StoreRequest,
+    UpdateRequest,
+)
+from repro.storage.shard import ShardedDBFS, shard_index
+
+from test_dbfs import make_user_type
+
+DED = AccessCredential(holder="shard-ded", is_ded=True)
+FIELDS = frozenset({"name", "ssn", "year"})
+
+
+@pytest.fixture
+def authority():
+    return Authority(bits=512, seed=77)
+
+
+def build_store(authority, cls, count=4, uid_base=900_000):
+    """A fresh (Sharded)DBFS with the user type declared.
+
+    The uid counter is pinned so two stores built with the same base
+    assign identical uids to the same request sequence — that's what
+    makes the equivalence assertions exact.
+    """
+    dbfs_module._uid_counter = itertools.count(uid_base)
+    key = authority.issue_operator_key("shard-op")
+    if cls is DatabaseFS:
+        fs = DatabaseFS(operator_key=key)
+    else:
+        fs = ShardedDBFS(shard_count=count, operator_key=key)
+    fs.create_type(make_user_type(), DED)
+    return fs
+
+
+def store_subject(fs, subject, name="Ada", ssn="1850212", year=1815):
+    membrane = membrane_for_type(make_user_type(), subject, created_at=0.0)
+    return fs.store(
+        StoreRequest(
+            pd_type="user",
+            record={"name": name, "ssn": ssn, "year": year},
+            membrane_json=membrane.to_json(),
+        ),
+        DED,
+    )
+
+
+def populate(fs, count=12, uid_base=None):
+    """``count`` subjects with distinctive field values; returns refs.
+
+    Passing the same ``uid_base`` to two populates makes the two
+    stores assign identical uids, so results compare exactly.
+    """
+    if uid_base is not None:
+        dbfs_module._uid_counter = itertools.count(uid_base)
+    return [
+        store_subject(
+            fs, f"subj-{i:03d}", name=f"Name {i}", ssn=f"SSN-{i:05d}",
+            year=1900 + i,
+        )
+        for i in range(count)
+    ]
+
+
+class TestPlacement:
+    def test_placement_is_stable_crc32(self):
+        for subject in ("alice", "bob", "subj-042", ""):
+            expected = zlib.crc32(subject.encode("utf-8")) % 4
+            assert shard_index(subject, 4) == expected
+
+    def test_one_shard_maps_everything_to_zero(self):
+        assert shard_index("anyone", 1) == 0
+
+    def test_subjects_spread_over_shards(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        populate(sharded, count=32)
+        occupancy = [len(s.list_subjects()) for s in sharded.shards]
+        assert sum(occupancy) == 32
+        assert sum(1 for n in occupancy if n > 0) >= 2  # actually spread
+
+    def test_subjects_by_shard_partitions_and_keeps_order(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        subjects = [f"subj-{i:03d}" for i in range(16)]
+        groups = sharded.subjects_by_shard(subjects)
+        regrouped = [s for _, group in sorted(groups.items()) for s in group]
+        assert sorted(regrouped) == sorted(subjects)
+        for index, group in groups.items():
+            assert all(
+                sharded.shard_index_for_subject(s) == index for s in group
+            )
+            # Insertion order within a shard's group is preserved.
+            assert group == [
+                s for s in subjects
+                if sharded.shard_index_for_subject(s) == index
+            ]
+
+    def test_store_routes_by_membrane_subject(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        ref = store_subject(sharded, "alice")
+        owner = sharded.shard_for_subject("alice")
+        assert sharded.shard_for_uid(ref.uid) is owner
+        assert "alice" in owner.list_subjects()
+        others = [s for s in sharded.shards if s is not owner]
+        assert all("alice" not in s.list_subjects() for s in others)
+
+    def test_schema_is_replicated_to_every_shard(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        for shard in sharded.shards:
+            assert shard.list_types() == ["user"]
+        assert sharded.list_types() == ["user"]
+        assert sharded.get_type("user").name == "user"
+
+
+class TestShardsOneEquivalence:
+    """ShardedDBFS(shard_count=1) must behave exactly like DatabaseFS."""
+
+    @pytest.fixture
+    def pair(self, authority):
+        plain = build_store(authority, DatabaseFS)
+        sharded = build_store(authority, ShardedDBFS, count=1)
+        return plain, sharded
+
+    def test_store_and_fetch_identical(self, pair):
+        plain, sharded = pair
+        refs_p = populate(plain, count=6, uid_base=910_000)
+        refs_s = populate(sharded, count=6, uid_base=910_000)
+        assert [r.uid for r in refs_p] == [r.uid for r in refs_s]
+        for ref in refs_p:
+            query = DataQuery(uids=(ref.uid,), fields={ref.uid: FIELDS})
+            assert plain.fetch_records(query, DED) == sharded.fetch_records(
+                query, DED
+            )
+
+    def test_query_membranes_identical(self, pair):
+        plain, sharded = pair
+        populate(plain, count=6, uid_base=910_000)
+        populate(sharded, count=6, uid_base=910_000)
+        query = MembraneQuery("user")
+        result_p = plain.query_membranes(query, DED)
+        result_s = sharded.query_membranes(query, DED)
+        assert [r[0].uid for r in result_p] == [r[0].uid for r in result_s]
+        assert [r[1].subject_id for r in result_p] == [
+            r[1].subject_id for r in result_s
+        ]
+
+    def test_select_update_delete_identical(self, pair):
+        plain, sharded = pair
+        predicate = Predicate("year", "ge", 1903)
+        results = []
+        for fs in pair:
+            refs = populate(fs, count=6, uid_base=910_000)
+            fs.update(
+                UpdateRequest(uid=refs[0].uid, changes={"name": "Renamed"}),
+                DED,
+            )
+            membrane = fs.delete(DeleteRequest(uid=refs[1].uid), DED)
+            results.append((
+                fs.select_uids("user", predicate, DED),
+                fs._load_record_raw(refs[0].uid),
+                membrane.erased,
+                sorted(fs.list_subjects()),
+            ))
+        assert results[0] == results[1]
+
+    def test_unknown_uid_errors_identical(self, pair):
+        plain, sharded = pair
+        for fs in (plain, sharded):
+            with pytest.raises(errors.UnknownRecordError):
+                fs.get_membrane("uid:ghost", DED)
+            with pytest.raises(errors.UnknownRecordError):
+                fs.record_inode("uid:ghost")
+
+    def test_non_ded_rejected_before_routing(self, pair):
+        plain, sharded = pair
+        nobody = AccessCredential(holder="nobody", is_ded=False)
+        for fs in (plain, sharded):
+            with pytest.raises(errors.PDLeakError):
+                fs.fetch_records(DataQuery(uids=("u",), fields={}), nobody)
+            with pytest.raises(errors.PDLeakError):
+                fs.store_many([], nobody)
+
+    def test_export_and_stats_identical(self, pair):
+        plain, sharded = pair
+        populate(plain, count=4, uid_base=910_000)
+        populate(sharded, count=4, uid_base=910_000)
+        assert plain.export_subject("subj-001", DED) == sharded.export_subject(
+            "subj-001", DED
+        )
+        assert vars(plain.stats) == vars(sharded.stats)
+
+
+class TestScatterGather:
+    """4 shards vs 1 DBFS over the same data: merged results match."""
+
+    @pytest.fixture
+    def pair(self, authority):
+        plain = build_store(authority, DatabaseFS)
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        populate(plain, count=12, uid_base=920_000)
+        populate(sharded, count=12, uid_base=920_000)
+        return plain, sharded
+
+    def test_select_uids_merges_sorted(self, pair):
+        plain, sharded = pair
+        predicate = Predicate("year", "ge", 1905)
+        assert sharded.select_uids("user", predicate, DED) == sorted(
+            plain.select_uids("user", predicate, DED)
+        )
+
+    def test_query_membranes_full_fanout(self, pair):
+        plain, sharded = pair
+        query = MembraneQuery("user")
+        assert [p[0].uid for p in sharded.query_membranes(query, DED)] == [
+            p[0].uid for p in plain.query_membranes(query, DED)
+        ]
+
+    def test_query_membranes_by_subject_hits_one_shard(self, pair):
+        _, sharded = pair
+        query = MembraneQuery("user", subject_id="subj-005")
+        pairs = sharded.query_membranes(query, DED)
+        assert len(pairs) == 1
+        assert pairs[0][1].subject_id == "subj-005"
+        with pytest.raises(errors.UnknownTypeError):
+            sharded.query_membranes(
+                MembraneQuery("ghost", subject_id="subj-005"), DED
+            )
+
+    def test_fetch_records_grouped_by_shard(self, pair):
+        plain, sharded = pair
+        uids = tuple(sharded.all_uids())
+        query = DataQuery(uids=uids, fields={u: FIELDS for u in uids})
+        assert sharded.fetch_records(query, DED) == plain.fetch_records(
+            query, DED
+        )
+
+    def test_iter_membranes_and_all_uids_union(self, pair):
+        plain, sharded = pair
+        assert sharded.all_uids() == sorted(plain.all_uids())
+        assert [u for u, _ in sharded.iter_membranes(DED)] == sorted(
+            u for u, _ in plain.iter_membranes(DED)
+        )
+        assert sharded.list_subjects() == plain.list_subjects()
+
+    def test_forensic_scan_sums_all_shards(self, pair):
+        plain, sharded = pair
+        # "Name 7" lives on exactly one shard but the scan covers all.
+        assert (
+            sharded.forensic_scan(b"Name 7")["device_blocks"]
+            == plain.forensic_scan(b"Name 7")["device_blocks"]
+            > 0
+        )
+
+    def test_secondary_index_per_shard(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        refs = populate(sharded, count=8)
+        indexes = sharded.create_index("user", "year", DED)
+        assert len(indexes) == 4
+        assert sharded.has_index("user", "year")
+        assert sharded.select_uids(
+            "user", Predicate("year", "eq", 1903), DED
+        ) == [refs[3].uid]
+
+
+class TestBatchedStores:
+    def test_store_many_one_group_commit_per_involved_shard(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        requests = []
+        for i in range(20):
+            membrane = membrane_for_type(
+                make_user_type(), f"bulk-{i}", created_at=0.0
+            )
+            requests.append(StoreRequest(
+                pd_type="user",
+                record={"name": f"B {i}", "ssn": f"B-{i}", "year": 1950 + i},
+                membrane_json=membrane.to_json(),
+            ))
+        involved = {
+            sharded.shard_index_for_subject(f"bulk-{i}") for i in range(20)
+        }
+        refs = sharded.store_many(requests, DED)
+        assert len(refs) == 20
+        # Refs come back in request order.
+        assert [r.subject_id for r in refs] == [
+            f"bulk-{i}" for i in range(20)
+        ]
+        for index, shard in enumerate(sharded.shards):
+            expected = 1 if index in involved else 0
+            assert shard.journal.stats.group_commits == expected
+            assert shard.stats.bulk_stores == expected
+
+    def test_batch_spans_every_shard(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=3)
+        with sharded.batch():
+            populate(sharded, count=9)
+        for shard in sharded.shards:
+            assert shard.journal.stats.group_commits == 1
+
+
+class TestErasureLocality:
+    """The ISSUE acceptance bar: erasing a subject touches exactly one
+    shard's journal, and its plaintext residue is confined there."""
+
+    def test_erase_touches_exactly_one_journal(self, authority):
+        system = RgpdOS(
+            operator_name="shard-test", authority=authority,
+            with_machine=False, shards=4,
+        )
+        system.install_type(make_user_type())
+        for i in range(8):
+            system.collect(
+                "user",
+                {"name": f"Name {i}", "ssn": f"SSN-{i}", "year": 1900 + i},
+                subject_id=f"subj-{i:03d}", method="web_form",
+            )
+        dbfs = system.dbfs
+        owner_index = dbfs.shard_index_for_subject("subj-003")
+        before = [len(s.journal) for s in dbfs.shards]
+
+        outcome = system.rights.erase("subj-003")
+
+        assert outcome.fully_forgotten
+        after = [len(s.journal) for s in dbfs.shards]
+        for index in range(4):
+            if index == owner_index:
+                assert after[index] > before[index]
+            else:
+                assert after[index] == before[index]
+
+    def test_lineage_affinity_keeps_copies_on_one_shard(self, authority):
+        system = RgpdOS(
+            operator_name="shard-test", authority=authority,
+            with_machine=False, shards=4,
+        )
+        system.install_type(make_user_type())
+        ref = system.collect(
+            "user", {"name": "Ada", "ssn": "1815", "year": 1815},
+            subject_id="ada", method="web_form",
+        )
+        copy_ref = system.ps.builtins.copy(ref)
+        dbfs = system.dbfs
+        owner = dbfs.shard_for_subject("ada")
+        assert dbfs.shard_for_uid(ref.uid) is owner
+        assert dbfs.shard_for_uid(copy_ref.uid) is owner
+        group = system.ps.builtins.lineage_of(ref.uid)
+        assert sorted(group) == sorted([ref.uid, copy_ref.uid])
+        # Erasing the original takes the copy with it — all on one shard.
+        report = system.ps.builtins.delete(ref)
+        assert sorted(report.erased_lineage) == sorted(group)
+        assert report.fully_forgotten
+
+
+class TestBulkRights:
+    @pytest.fixture
+    def system(self, authority):
+        system = RgpdOS(
+            operator_name="bulk-test", authority=authority,
+            with_machine=False, shards=4,
+        )
+        system.install_type(make_user_type())
+        for i in range(12):
+            system.collect(
+                "user",
+                {"name": f"Name {i}", "ssn": f"SSN-{i}", "year": 1900 + i},
+                subject_id=f"subj-{i:03d}", method="web_form",
+            )
+        return system
+
+    def test_bulk_right_of_access_covers_every_subject(self, system):
+        subjects = [f"subj-{i:03d}" for i in range(12)]
+        reports = system.rights.bulk_right_of_access(subjects)
+        assert sorted(reports) == sorted(subjects)
+        for subject_id, report in reports.items():
+            assert report.subject_id == subject_id
+            assert report.export["subject_id"] == subject_id
+            (record,) = report.export["records"]
+            assert record["pd_type"] == "user"
+
+    def test_bulk_erase_one_group_commit_per_shard(self, system):
+        subjects = [f"subj-{i:03d}" for i in range(8)]
+        dbfs = system.dbfs
+        involved = set(dbfs.subjects_by_shard(subjects))
+        commits_before = [
+            s.journal.stats.group_commits for s in dbfs.shards
+        ]
+        outcomes = system.rights.bulk_erase(subjects)
+        assert sorted(outcomes) == sorted(subjects)
+        assert all(o.fully_forgotten for o in outcomes.values())
+        for index, shard in enumerate(dbfs.shards):
+            delta = shard.journal.stats.group_commits - commits_before[index]
+            assert delta == (1 if index in involved else 0)
+        # The erased subjects' data is really gone (membranes remain,
+        # flagged erased, data scrubbed); the rest still live.
+        for i in range(8):
+            report = system.rights.right_of_access(f"subj-{i:03d}")
+            assert all(
+                entry["erased"] and entry["data"] is None
+                for entry in report.export["records"]
+            )
+        live = dbfs.list_subjects()
+        assert all(f"subj-{i:03d}" in live for i in range(8, 12))
+
+
+class TestSystemWiring:
+    def test_default_is_a_plain_dbfs(self, authority):
+        system = RgpdOS(
+            operator_name="plain", authority=authority, with_machine=False
+        )
+        assert isinstance(system.dbfs, DatabaseFS)
+        assert system.dbfs.shard_count == 1
+        assert system.stats()["dbfs"]["shards"] == 1
+
+    def test_sharded_system_exposes_topology(self, authority):
+        system = RgpdOS(
+            operator_name="sharded", authority=authority, shards=4,
+        )
+        assert isinstance(system.dbfs, ShardedDBFS)
+        assert system.dbfs.shard_count == 4
+        assert len(system.pd_devices) == 4
+        assert system.stats()["dbfs"]["shards"] == 4
+        stats = system.shard_stats()
+        assert [entry["shard"] for entry in stats] == [0, 1, 2, 3]
+        # One NVMe driver per shard device, plus the non-PD device.
+        drivers = sorted(system.machine.driver_kernels)
+        assert drivers == ["npd-nvme", "pd-nvme", "pd-nvme1", "pd-nvme2",
+                           "pd-nvme3"]
+
+    def test_shard_count_must_be_positive(self, authority):
+        with pytest.raises(errors.GDPRError):
+            RgpdOS(operator_name="bad", authority=authority, shards=0)
+
+    def test_cache_stats_reports_per_shard(self, authority):
+        system = RgpdOS(
+            operator_name="sharded", authority=authority,
+            with_machine=False, shards=3,
+        )
+        stats = system.cache_stats()
+        assert stats["shards"] == 3
+        assert len(stats["per_shard"]) == 3
+
+
+class TestShardedRemount:
+    def test_remount_rebuilds_routing(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        refs = populate(sharded, count=10)
+        sharded.delete(DeleteRequest(uid=refs[0].uid), DED)
+        expected_map = dict(sharded._uid_shard)
+
+        counts = sharded.remount()
+
+        assert counts["types"] == 1
+        assert counts["records"] == 10  # erased membrane survives remount
+        assert counts["escrow_blobs"] == 1
+        assert sharded._uid_shard == expected_map
+        # Routing still works: fetch a surviving record post-remount.
+        query = DataQuery(uids=(refs[5].uid,), fields={refs[5].uid: FIELDS})
+        assert sharded.fetch_records(query, DED)[refs[5].uid]["name"] == "Name 5"
+
+    def test_remount_is_idempotent(self, authority):
+        sharded = build_store(authority, ShardedDBFS, count=4)
+        populate(sharded, count=6)
+        assert sharded.remount() == sharded.remount()
