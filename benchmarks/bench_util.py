@@ -25,14 +25,44 @@ raw measurements, and ``speedup``/``baseline`` appear only on
 comparative metrics (speedup is *vs the named baseline sample*).
 Additional metric-specific keys (cache stats, journal stats) ride
 along at the metric level.
+
+Since schema version 2, metrics may carry a ``latency`` block mapping
+operation names to latency-histogram summaries pulled from the
+telemetry registry (``repro.obs``)::
+
+    "latency": {
+      "dbfs.select": {"count": 800, "p50_us": 41.2, "p95_us": 97.0,
+                      "p99_us": 143.8, "max_us": 512.0, "mean_us": 48.9}
+    }
 """
 
 import json
 from pathlib import Path
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence
+
+try:  # benchmarks run with PYTHONPATH=src; keep import failure readable
+    from repro.obs import MetricsRegistry
+except ImportError:  # pragma: no cover - bench harness misconfiguration
+    MetricsRegistry = None  # type: ignore[assignment, misc]
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+
+def latency_block(
+    registry: "MetricsRegistry", names: Sequence[str]
+) -> Dict[str, Dict[str, float]]:
+    """Latency summaries (p50/p95/p99/max, µs) for the named histograms.
+
+    Histograms with no observations are omitted, so smoke runs that
+    skip an op don't emit all-zero percentiles.
+    """
+    block: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        histogram = registry.histograms.get(name)
+        if histogram is not None and histogram.count:
+            block[name] = histogram.summary()
+    return block
 
 
 def result_path(bench_name: str) -> Path:
@@ -46,6 +76,7 @@ def merge_metric(
     samples: Optional[Mapping[str, object]] = None,
     speedup: Optional[float] = None,
     baseline: Optional[str] = None,
+    latency: Optional[Mapping[str, Mapping[str, float]]] = None,
     extra: Optional[Mapping[str, object]] = None,
 ) -> Path:
     """Accumulate one metric into ``BENCH_<bench_name>.json``.
@@ -68,6 +99,8 @@ def merge_metric(
     if speedup is not None:
         entry["speedup"] = round(float(speedup), 4)
         entry["baseline"] = baseline or "baseline"
+    if latency:
+        entry["latency"] = {name: dict(summary) for name, summary in latency.items()}
     if extra:
         entry.update(extra)
     metrics[metric] = entry  # type: ignore[index]

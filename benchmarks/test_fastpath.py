@@ -19,7 +19,7 @@ Results (plus every cache's hit rates) are emitted to
 import itertools
 import time
 
-from bench_util import merge_metric
+from bench_util import latency_block, merge_metric
 from conftest import bench_decade, print_series
 
 from repro import RgpdOS
@@ -103,6 +103,9 @@ def test_fastpath_repeated_scan(benchmark, authority):
             "caches_on_seconds": cached_seconds,
         },
         speedup=speedup, baseline="caches_off_seconds",
+        latency=latency_block(
+            cached.telemetry.registry, ["dbfs.select", "block.read"]
+        ),
         extra={"cache_stats": cached.cache_stats()},
     )
     assert speedup >= TARGET_SPEEDUP, (
@@ -147,6 +150,10 @@ def test_fastpath_repeated_invocation(benchmark, authority):
             "caches_on_seconds": cached_seconds,
         },
         speedup=speedup, baseline="caches_off_seconds",
+        latency=latency_block(
+            cached.telemetry.registry,
+            ["ps.invoke", "ded.run", "dbfs.query_membranes", "dbfs.fetch_records"],
+        ),
         extra={"decision_cache": decisions},
     )
     assert decisions["hits"] > 0
@@ -204,6 +211,10 @@ def test_fastpath_bulk_load_group_commit(benchmark, authority):
             "ungrouped_records": 3 * 50,
             "ungrouped_flushes": 50,
         },
+        latency=latency_block(
+            system.telemetry.registry,
+            ["dbfs.store", "journal.batch", "journal.commit", "block.write"],
+        ),
         extra={"journal_stats": dbfs.cache_stats()["journal"]},
     )
     benchmark.pedantic(

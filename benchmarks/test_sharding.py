@@ -25,7 +25,7 @@ record their numbers without asserting a ratio the scale can't show.
 import os
 import time
 
-from bench_util import merge_metric
+from bench_util import latency_block, merge_metric
 from conftest import print_series
 
 from repro import RgpdOS
@@ -64,6 +64,7 @@ def test_shard_subject_scoped_mix():
     """customer+regulator mix: 1 shard vs SHARDS shards, same ops."""
     timings = {}
     loads = {}
+    latencies = {}
     for shards in (1, SHARDS):
         runner = build_runner(shards)
         start = time.perf_counter()
@@ -73,6 +74,11 @@ def test_shard_subject_scoped_mix():
         for persona in PERSONAS:
             total += runner.run(persona, OPS_PER_PERSONA).wall_seconds
         timings[shards] = total
+        latencies[shards] = latency_block(
+            runner.adapter.system.telemetry.registry,
+            ["ps.invoke", "rights.access", "rights.erase",
+             "dbfs.select", "dbfs.export_subject", "journal.commit"],
+        )
     speedup = timings[1] / timings[SHARDS]
 
     rows = [
@@ -101,6 +107,8 @@ def test_shard_subject_scoped_mix():
             "sharded_load_seconds": loads[SHARDS],
         },
         speedup=speedup, baseline="one_shard_seconds",
+        latency=latencies[SHARDS],
+        extra={"one_shard_latency": latencies[1]},
     )
     if FULL_SCALE:
         assert speedup >= TARGET_MIX_SPEEDUP, (
@@ -182,6 +190,10 @@ def test_shard_remount_recovery_bounded():
             "checkpointed_remount_seconds": remount_checkpointed,
         },
         speedup=speedup, baseline="no_checkpoint_seconds",
+        latency=latency_block(
+            checkpointed.telemetry.registry,
+            ["journal.recover", "journal.checkpoint", "journal.commit"],
+        ),
         extra={
             "journal_stats": {
                 "checkpoints": checkpointed.dbfs.journal.stats.checkpoints,

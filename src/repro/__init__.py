@@ -57,6 +57,13 @@ from .core.system import RgpdOS
 from .core.views import SCOPE_ALL, SCOPE_NONE, View
 from .dsl.loader import load_source
 from .kernel.pim import DEDPlacer, PlacementDecision
+from .obs import (
+    LatencyHistogram,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    parse_prometheus,
+)
 from .kernel.tee import Enclave, TEEPlatform, measure_code
 from .dsl.parser import parse
 
@@ -92,9 +99,11 @@ __all__ = [
     "FieldDef",
     "Finding",
     "InvocationResult",
+    "LatencyHistogram",
     "LogEntry",
     "MatchReport",
     "Membrane",
+    "MetricsRegistry",
     "OperatorKey",
     "PDAccess",
     "PDRef",
@@ -110,6 +119,8 @@ __all__ = [
     "SCOPE_NONE",
     "StageTrace",
     "SubjectRights",
+    "Telemetry",
+    "Tracer",
     "View",
     "errors",
     "extract_purpose_name",
@@ -119,6 +130,7 @@ __all__ = [
     "membrane_for_type",
     "parse",
     "parse_duration",
+    "parse_prometheus",
     "processing",
     "produce",
 ]

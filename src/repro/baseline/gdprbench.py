@@ -39,6 +39,7 @@ from .. import errors
 from ..core.active_data import PDRef
 from ..core.purposes import processing as processing_decorator
 from ..core.system import RgpdOS
+from ..obs import Telemetry
 from ..storage.journal import JournalConfig
 from ..workloads.generator import (
     STANDARD_DECLARATIONS,
@@ -247,6 +248,7 @@ class RgpdOSAdapter(StorageAdapter):
         pd_device_blocks: Optional[int] = None,
         journal_config: Optional[JournalConfig] = None,
         with_machine: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.system = RgpdOS(
             operator_name="gdprbench",
@@ -254,6 +256,7 @@ class RgpdOSAdapter(StorageAdapter):
             pd_device_blocks=pd_device_blocks,
             journal_config=journal_config,
             with_machine=with_machine,
+            telemetry=telemetry,
         )
         if shards > 1:
             self.name = f"rgpdos-{shards}shard"
@@ -438,17 +441,22 @@ def run_comparison(
     personas: Sequence[str] = ("customer", "controller", "processor", "regulator"),
     seed: int = 7,
     shards: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[BenchResult]:
     """The GB-1 grid: every persona on every engine.
 
-    ``shards`` applies to the rgpdOS engine only (the baselines have
-    no sharded layout to select).
+    ``shards`` and ``telemetry`` apply to the rgpdOS engine only (the
+    baselines have no sharded layout and no probe points); passing one
+    shared :class:`Telemetry` collects every persona run's spans and
+    latency histograms into a single registry/tracer.
     """
     results: List[BenchResult] = []
     for adapter_cls in (PlainDBAdapter, UserspaceDBAdapter, RgpdOSAdapter):
         for persona in personas:
             if adapter_cls is RgpdOSAdapter:
-                adapter: StorageAdapter = RgpdOSAdapter(shards=shards)
+                adapter: StorageAdapter = RgpdOSAdapter(
+                    shards=shards, telemetry=telemetry
+                )
             else:
                 adapter = adapter_cls()
             runner = GDPRBenchRunner(adapter, seed=seed)

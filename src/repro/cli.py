@@ -11,13 +11,19 @@ without writing Python:
 ``gdprbench``   the GB-1 persona × engine grid
 ``placement``   a DED placement decision (host / PIM / storage)
 ``audit``       build the demo system, run the compliance audit
+``stats``       exercise the demo system, dump the telemetry snapshot
 ``version``     library version
 ==============  =========================================================
+
+``demo`` and ``gdprbench`` accept ``--trace-out FILE`` to dump the
+run's trace spans as JSONL; ``stats`` accepts ``--format prometheus``
+for a scrapeable metrics dump.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -46,11 +52,13 @@ purpose purpose2 { description: "Marketing"; uses: user; basis: consent; }
 """
 
 
-def _demo_system():
+def _demo_system(shards: int = 1, telemetry=None):
     from .core.purposes import attach_purpose
     from .core.system import RgpdOS
 
-    system = RgpdOS(operator_name="cli-demo")
+    system = RgpdOS(
+        operator_name="cli-demo", shards=shards, telemetry=telemetry
+    )
     system.install(_DEMO_DECLARATIONS)
 
     def compute_age(user):
@@ -90,6 +98,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(f"alice erased: {len(outcome.erased_uids)} records, "
           f"fully_forgotten={outcome.fully_forgotten}")
     print(system.audit().summary())
+    if args.trace_out:
+        count = system.telemetry.export_trace_jsonl(args.trace_out)
+        print(f"wrote {count} trace span(s) to {args.trace_out}")
     return 0
 
 
@@ -138,13 +149,16 @@ def cmd_fig1(args: argparse.Namespace) -> int:
 
 def cmd_gdprbench(args: argparse.Namespace) -> int:
     from .baseline.gdprbench import run_comparison
+    from .obs import Telemetry
 
+    telemetry = Telemetry() if args.trace_out else None
     results = run_comparison(
         record_count=args.records,
         operations=args.ops,
         personas=args.personas,
         seed=args.seed,
         shards=args.shards,
+        telemetry=telemetry,
     )
     print(f"{'engine':22s} {'persona':12s} {'ops/s':>10s} {'denied':>7s}")
     for result in results:
@@ -152,6 +166,9 @@ def cmd_gdprbench(args: argparse.Namespace) -> int:
             f"{result.adapter:22s} {result.persona:12s} "
             f"{result.ops_per_second:10.0f} {result.denied:7d}"
         )
+    if telemetry is not None:
+        count = telemetry.export_trace_jsonl(args.trace_out)
+        print(f"wrote {count} trace span(s) to {args.trace_out}")
     return 0
 
 
@@ -179,6 +196,23 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Build the demo system, run one round of work, dump telemetry."""
+    system = _demo_system(shards=args.shards)
+    system.invoke("compute_age", target="user")
+    system.rights.right_of_access("alice")
+    if args.format == "prometheus":
+        print(system.telemetry.to_prometheus(), end="")
+        return 0
+    report = {
+        "stats": system.stats(),
+        "cache_stats": system.cache_stats(),
+        "shard_stats": list(system.shard_stats()),
+    }
+    print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def cmd_version(args: argparse.Namespace) -> int:
     print(f"repro (rgpdOS reproduction) {__version__}")
     return 0
@@ -191,7 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("demo", help="run the Listings 1-3 walkthrough")
+    demo = subparsers.add_parser("demo", help="run the Listings 1-3 walkthrough")
+    demo.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the run's trace spans to FILE as JSONL",
+    )
 
     parse_cmd = subparsers.add_parser(
         "parse", help="validate a declaration file"
@@ -213,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--personas", nargs="+",
         default=["customer", "controller", "processor", "regulator"],
     )
+    bench.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the rgpdOS engine's trace spans to FILE as JSONL",
+    )
 
     placement = subparsers.add_parser(
         "placement", help="DED placement decision"
@@ -222,6 +264,19 @@ def build_parser() -> argparse.ArgumentParser:
     placement.add_argument("--intensity", type=float, default=1.0)
 
     subparsers.add_parser("audit", help="compliance audit of the demo system")
+
+    stats = subparsers.add_parser(
+        "stats", help="telemetry snapshot of an exercised demo system"
+    )
+    stats.add_argument(
+        "--shards", type=int, default=1,
+        help="DBFS shard count for the demo system (default 1)",
+    )
+    stats.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="output format (default json)",
+    )
+
     subparsers.add_parser("version", help="print the library version")
     return parser
 
@@ -233,6 +288,7 @@ _COMMANDS = {
     "gdprbench": cmd_gdprbench,
     "placement": cmd_placement,
     "audit": cmd_audit,
+    "stats": cmd_stats,
     "version": cmd_version,
 }
 

@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from .. import errors
 from ..kernel.pim import DEDPlacer, PlacementDecision
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..kernel.seccomp import SeccompFilter, pd_function_profile
 from ..storage.cache import MISSING, LRUCache
 from ..storage.dbfs import DatabaseFS
@@ -67,6 +68,10 @@ STAGES = (
     "ded_store",
     "ded_return",
 )
+
+# Pre-built telemetry op names, one per stage (avoids a per-call
+# f-string on the invoke hot path).
+_STAGE_OPS = {stage: f"ded.{stage}" for stage in STAGES}
 
 
 @dataclass
@@ -215,6 +220,7 @@ class DataExecutionDomain:
         instance: int = 0,
         placer: Optional[DEDPlacer] = None,
         decision_cache: Optional[MembraneDecisionCache] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.dbfs = dbfs
         self.clock = clock
@@ -222,6 +228,7 @@ class DataExecutionDomain:
         self.cost = cost_model or DEDCostModel()
         self.placer = placer
         self.decisions = decision_cache
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.credential = AccessCredential(
             holder=f"ded-{instance}", is_ded=True
         )
@@ -256,6 +263,31 @@ class DataExecutionDomain:
         function through it, so a compromised host only ever sees
         enclave ciphertext.
         """
+        with self.telemetry.op(
+            "ded.run", purpose=purpose.name, processing=processing_name,
+            subject_id=subject_id,
+        ) as span:
+            result = self._run_impl(
+                purpose, processing_name, fn, target, aggregate,
+                subject_id, enclave, where,
+            )
+            span.set_attrs(
+                consented=result.trace.counts.get("consented", 0),
+                processed=result.processed,
+            )
+            return result
+
+    def _run_impl(
+        self,
+        purpose: Purpose,
+        processing_name: str,
+        fn: ProcessingFn,
+        target: Union[PDRef, str, Sequence[PDRef]],
+        aggregate: bool,
+        subject_id: Optional[str],
+        enclave: Optional[object],
+        where: Optional["Predicate"],
+    ) -> InvocationResult:
         result = InvocationResult(purpose=purpose.name, processing=processing_name)
         trace = result.trace
         accesses: List[PDAccess] = []
@@ -660,9 +692,10 @@ class DataExecutionDomain:
         simulated: Optional[float],
         thunk: Callable[[], object],
     ) -> object:
-        start = time.perf_counter()
-        value = thunk()
-        wall = time.perf_counter() - start
+        with self.telemetry.op(_STAGE_OPS[stage]):
+            start = time.perf_counter()
+            value = thunk()
+            wall = time.perf_counter() - start
         trace.charge(stage, simulated if simulated is not None else 0.0, wall)
         self.clock.advance(simulated if simulated is not None else 0.0)
         return value

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 from .. import errors
 from ..kernel.pim import DEDPlacer
 from ..kernel.tee import TEEPlatform, measure_code
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..storage.cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from ..storage.dbfs import DatabaseFS
 from ..storage.query import Predicate
@@ -92,12 +93,14 @@ class ProcessingStore:
         semantic_matcher: Optional[SemanticMatcher] = None,
         placer: Optional[DEDPlacer] = None,
         cache_config: Optional[CacheConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.dbfs = dbfs
         self.clock = clock
         self.log = log
         self.cost_model = cost_model
         self.tee_platform = tee_platform
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cache_config = (
             cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
         )
@@ -273,6 +276,29 @@ class ProcessingStore:
           (``changes=`` for update, ``mode=`` for delete, ...) and the
           acting identity via ``actor=``.
         """
+        with self.telemetry.op(
+            "ps.invoke", processing=processing_name, subject_id=subject_id,
+        ):
+            return self._ps_invoke_impl(
+                processing_name, target, subject_id, collection_method,
+                collect_first, collect_payloads, use_tee, where,
+                **builtin_kwargs,
+            )
+
+    def _ps_invoke_impl(
+        self,
+        processing_name: str,
+        target: Union[PDRef, str, Sequence[PDRef], None],
+        subject_id: Optional[str],
+        collection_method: Optional[str],
+        collect_first: bool,
+        collect_payloads: Optional[
+            Sequence[Tuple[str, Mapping[str, object]]]
+        ],
+        use_tee: bool,
+        where: Optional["Predicate"],
+        **builtin_kwargs: object,
+    ) -> Union[InvocationResult, PDRef, EraseReport, None]:
         processing = self._get(processing_name)
 
         if collect_first:
@@ -309,6 +335,7 @@ class ProcessingStore:
             instance=next(self._ded_instances),
             placer=self.placer,
             decision_cache=self.decision_cache,
+            telemetry=self.telemetry,
         )
         try:
             return ded.run(

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from .. import errors
+from ..obs import NULL_TELEMETRY, Telemetry
 from ..storage.dbfs import DatabaseFS
 from .active_data import AccessCredential, PDRef
 from .builtins import BuiltinFunctions, EraseReport
@@ -93,11 +94,13 @@ class SubjectRights:
         builtins: BuiltinFunctions,
         log: ProcessingLog,
         clock: Clock,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.dbfs = dbfs
         self.builtins = builtins
         self.log = log
         self.clock = clock
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._credential = AccessCredential(holder="subject-rights", is_ded=True)
 
     # ------------------------------------------------------------------
@@ -111,16 +114,20 @@ class SubjectRights:
         the § 4 point about keys that "make sense"); the processing
         part is the DED log filtered to this subject.
         """
-        export = self.dbfs.export_subject(subject_id, self._credential)
-        processings = [
-            entry.to_dict() for entry in self.log.for_subject(subject_id)
-        ]
-        return AccessReport(
-            subject_id=subject_id,
-            generated_at=self.clock.now(),
-            export=export,
-            processings=processings,
-        )
+        with self.telemetry.op(
+            "rights.access", subject_id=subject_id
+        ) as span:
+            export = self.dbfs.export_subject(subject_id, self._credential)
+            processings = [
+                entry.to_dict() for entry in self.log.for_subject(subject_id)
+            ]
+            span.set_attr("records", len(export["records"]))
+            return AccessReport(
+                subject_id=subject_id,
+                generated_at=self.clock.now(),
+                export=export,
+                processings=processings,
+            )
 
     # ------------------------------------------------------------------
     # Art. 20 — portability
@@ -153,24 +160,29 @@ class SubjectRights:
     ) -> ErasureOutcome:
         """Erase one PD record — or, with no ref, everything the
         subject has — including all copies."""
-        outcome = ErasureOutcome(subject_id=subject_id)
-        if ref is not None:
-            self._require_ownership(subject_id, ref.uid)
-            outcome.reports.append(
-                self.builtins.delete(ref, mode=mode, actor=subject_id)
-            )
+        with self.telemetry.op(
+            "rights.erase", subject_id=subject_id, mode=mode
+        ) as span:
+            outcome = ErasureOutcome(subject_id=subject_id)
+            if ref is not None:
+                self._require_ownership(subject_id, ref.uid)
+                outcome.reports.append(
+                    self.builtins.delete(ref, mode=mode, actor=subject_id)
+                )
+                span.set_attr("erased", len(outcome.erased_uids))
+                return outcome
+            for uid in self.dbfs.uids_of_subject(subject_id):
+                membrane = self.dbfs.get_membrane(uid, self._credential)
+                if membrane.erased:
+                    continue
+                target = PDRef(
+                    uid=uid, pd_type=membrane.pd_type, subject_id=subject_id
+                )
+                outcome.reports.append(
+                    self.builtins.delete(target, mode=mode, actor=subject_id)
+                )
+            span.set_attr("erased", len(outcome.erased_uids))
             return outcome
-        for uid in self.dbfs.uids_of_subject(subject_id):
-            membrane = self.dbfs.get_membrane(uid, self._credential)
-            if membrane.erased:
-                continue
-            target = PDRef(
-                uid=uid, pd_type=membrane.pd_type, subject_id=subject_id
-            )
-            outcome.reports.append(
-                self.builtins.delete(target, mode=mode, actor=subject_id)
-            )
-        return outcome
 
     # ------------------------------------------------------------------
     # Batched multi-subject rights (scatter-gather over shards)
@@ -187,11 +199,18 @@ class SubjectRights:
         across all of them.
         """
         reports: Dict[str, AccessReport] = {}
-        for _, group in sorted(
-            self.dbfs.subjects_by_shard(subject_ids).items()
+        with self.telemetry.op(
+            "rights.bulk_access", subjects=len(subject_ids)
         ):
-            for subject_id in group:
-                reports[subject_id] = self.right_of_access(subject_id)
+            for index, group in sorted(
+                self.dbfs.subjects_by_shard(subject_ids).items()
+            ):
+                with self.telemetry.span(
+                    "rights.shard", shard=index, op="access",
+                    subjects=len(group),
+                ):
+                    for subject_id in group:
+                        reports[subject_id] = self.right_of_access(subject_id)
         return reports
 
     def bulk_erase(
@@ -206,13 +225,22 @@ class SubjectRights:
         rather than several per subject.
         """
         outcomes: Dict[str, ErasureOutcome] = {}
-        for index, group in sorted(
-            self.dbfs.subjects_by_shard(subject_ids).items()
+        with self.telemetry.op(
+            "rights.bulk_erase", subjects=len(subject_ids), mode=mode
         ):
-            shard = self.dbfs.shards[index]
-            with shard.journal.batch():
-                for subject_id in group:
-                    outcomes[subject_id] = self.erase(subject_id, mode=mode)
+            for index, group in sorted(
+                self.dbfs.subjects_by_shard(subject_ids).items()
+            ):
+                shard = self.dbfs.shards[index]
+                with self.telemetry.span(
+                    "rights.shard", shard=index, op="erase",
+                    subjects=len(group),
+                ):
+                    with shard.journal.batch():
+                        for subject_id in group:
+                            outcomes[subject_id] = self.erase(
+                                subject_id, mode=mode
+                            )
         return outcomes
 
     # ------------------------------------------------------------------
@@ -327,21 +355,23 @@ class SubjectRights:
 
         rgpdOS runs this periodically; benchmarks call it directly.
         """
-        now = self.clock.now()
-        purged: List[str] = []
-        for uid, membrane in self.dbfs.iter_membranes(self._credential):
-            if membrane.erased or not membrane.is_expired(now):
-                continue
-            ref = PDRef(
-                uid=uid,
-                pd_type=membrane.pd_type,
-                subject_id=membrane.subject_id,
-            )
-            report = self.builtins.delete(
-                ref, mode=mode, actor="sysadmin", include_copies=False
-            )
-            purged.extend(report.erased_lineage)
-        return sorted(set(purged))
+        with self.telemetry.op("rights.ttl_sweep") as span:
+            now = self.clock.now()
+            purged: List[str] = []
+            for uid, membrane in self.dbfs.iter_membranes(self._credential):
+                if membrane.erased or not membrane.is_expired(now):
+                    continue
+                ref = PDRef(
+                    uid=uid,
+                    pd_type=membrane.pd_type,
+                    subject_id=membrane.subject_id,
+                )
+                report = self.builtins.delete(
+                    ref, mode=mode, actor="sysadmin", include_copies=False
+                )
+                purged.extend(report.erased_lineage)
+            span.set_attr("purged", len(set(purged)))
+            return sorted(set(purged))
 
     # ------------------------------------------------------------------
     # Internals

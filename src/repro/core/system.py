@@ -37,6 +37,7 @@ from .. import errors
 from ..kernel.machine import Machine, MachineConfig
 from ..kernel.tee import TEEPlatform
 from ..kernel.subkernel import IORequest
+from ..obs import MetricsRegistry, Telemetry
 from ..storage.block import BlockDevice
 from ..storage.cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from ..storage.dbfs import DatabaseFS
@@ -86,8 +87,15 @@ class RgpdOS:
         journal_blocks: int = 256,
         journal_config: Optional[JournalConfig] = None,
         pd_device_blocks: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.clock = Clock()
+        #: Cross-layer telemetry (``repro.obs``): one metrics registry
+        #: and one tracer shared by the PS, DEDs, rights API, DBFS,
+        #: journals and block devices.  Enabled by default; pass
+        #: ``Telemetry.disabled()`` to strip every probe down to a
+        #: null-object no-op.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.operator_name = operator_name
         self.authority = authority or Authority(bits=key_bits, seed=seed)
         self.operator_key = self.authority.issue_operator_key(operator_name)
@@ -107,8 +115,9 @@ class RgpdOS:
         # plain DatabaseFS on a single device.  ``shards=N`` scales the
         # PD side out to N ShardedDBFS shards, each on its own device
         # behind its own driver kernel.
-        device_kwargs: Dict[str, int] = {
-            "page_cache_blocks": self.cache_config.page_cache_blocks
+        device_kwargs: Dict[str, object] = {
+            "page_cache_blocks": self.cache_config.page_cache_blocks,
+            "telemetry": self.telemetry,
         }
         if pd_device_blocks is not None:
             device_kwargs["block_count"] = pd_device_blocks
@@ -123,6 +132,7 @@ class RgpdOS:
                 journal_blocks=journal_blocks,
                 cache_config=self.cache_config,
                 journal_config=journal_config,
+                telemetry=self.telemetry,
             )
         else:
             self.dbfs = ShardedDBFS(
@@ -131,6 +141,7 @@ class RgpdOS:
                 journal_blocks=journal_blocks,
                 cache_config=self.cache_config,
                 journal_config=journal_config,
+                telemetry=self.telemetry,
             )
         self.npd_fs = FileBasedFS()
 
@@ -151,12 +162,14 @@ class RgpdOS:
             tee_platform=self.tee_platform,
             placer=DEDPlacer(),
             cache_config=self.cache_config,
+            telemetry=self.telemetry,
         )
         self.rights = SubjectRights(
             dbfs=self.dbfs,
             builtins=self.ps.builtins,
             log=self.log,
             clock=self.clock,
+            telemetry=self.telemetry,
         )
         self.auditor = ComplianceAuditor(
             dbfs=self.dbfs,
@@ -210,6 +223,10 @@ class RgpdOS:
 
         self._installed_types: Dict[str, PDType] = {}
         self._installed_purposes: Dict[str, Purpose] = {}
+
+        # Pull-based stats: the registry calls back at snapshot time so
+        # idle systems pay nothing for bookkeeping between exports.
+        self.telemetry.registry.register_collector(self._publish_stats_gauges)
 
     # ------------------------------------------------------------------
     # Declarations
@@ -307,24 +324,91 @@ class RgpdOS:
         """Move simulated time forward (TTL expiry etc.)."""
         return self.clock.advance(seconds)
 
-    def stats(self) -> Dict[str, object]:
-        """Operational snapshot across the stack."""
+    def _stat_gauge_values(self) -> Dict[str, int]:
+        """Every numeric ``stats()`` field as a flat gauge mapping."""
         dbfs_stats = self.dbfs.stats
+        shards = self.dbfs.shards
+        return {
+            "rgpdos.dbfs.records": len(self.dbfs.all_uids()),
+            "rgpdos.dbfs.subjects": len(self.dbfs.list_subjects()),
+            "rgpdos.dbfs.stores": dbfs_stats.stores,
+            "rgpdos.dbfs.deletes": dbfs_stats.deletes,
+            "rgpdos.dbfs.denied_accesses": dbfs_stats.denied_accesses,
+            "rgpdos.dbfs.shards": self.dbfs.shard_count,
+            "rgpdos.pd_device.reads": sum(d.stats.reads for d in self.pd_devices),
+            "rgpdos.pd_device.writes": sum(d.stats.writes for d in self.pd_devices),
+            "rgpdos.pd_device.used_blocks": sum(
+                d.used_blocks for d in self.pd_devices
+            ),
+            "rgpdos.journal.commits": sum(s.journal.stats.commits for s in shards),
+            "rgpdos.journal.flushes": sum(s.journal.stats.flushes for s in shards),
+            "rgpdos.journal.group_commits": sum(
+                s.journal.stats.group_commits for s in shards
+            ),
+            "rgpdos.journal.batched_ops": sum(
+                s.journal.stats.batched_ops for s in shards
+            ),
+            "rgpdos.journal.checkpoints": sum(
+                s.journal.stats.checkpoints for s in shards
+            ),
+            "rgpdos.journal.checkpointed_records": sum(
+                s.journal.stats.checkpointed_records for s in shards
+            ),
+            "rgpdos.journal.live_records": sum(len(s.journal) for s in shards),
+            "rgpdos.journal.blocks_in_use": sum(
+                s.journal.blocks_in_use for s in shards
+            ),
+        }
+
+    def _publish_stats_gauges(self, registry: MetricsRegistry) -> None:
+        """Collector hook: mirror the operational snapshot into gauges
+        so Prometheus scrapes see the same numbers ``stats()`` reports."""
+        for name, value in self._stat_gauge_values().items():
+            registry.gauge(name).set(value)
+
+    def stats(self) -> Dict[str, object]:
+        """Operational snapshot across the stack.
+
+        The numeric fields are served from the telemetry registry (the
+        same gauges the Prometheus exporter scrapes); with telemetry
+        disabled they are computed directly.  Either way the shape is
+        identical, including the ``journal`` block folding PR 2's
+        group-commit / checkpoint machinery into the snapshot.
+        """
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            registry.collect()
+            values = {
+                name: registry.gauge_value(name)
+                for name in self._stat_gauge_values()
+            }
+        else:
+            values = self._stat_gauge_values()
         snapshot: Dict[str, object] = {
             "clock": self.clock.now(),
             "dbfs": {
                 "types": self.dbfs.list_types(),
-                "records": len(self.dbfs.all_uids()),
-                "subjects": len(self.dbfs.list_subjects()),
-                "stores": dbfs_stats.stores,
-                "deletes": dbfs_stats.deletes,
-                "denied_accesses": dbfs_stats.denied_accesses,
-                "shards": self.dbfs.shard_count,
+                "records": values["rgpdos.dbfs.records"],
+                "subjects": values["rgpdos.dbfs.subjects"],
+                "stores": values["rgpdos.dbfs.stores"],
+                "deletes": values["rgpdos.dbfs.deletes"],
+                "denied_accesses": values["rgpdos.dbfs.denied_accesses"],
+                "shards": values["rgpdos.dbfs.shards"],
             },
             "pd_device": {
-                "reads": sum(d.stats.reads for d in self.pd_devices),
-                "writes": sum(d.stats.writes for d in self.pd_devices),
-                "used_blocks": sum(d.used_blocks for d in self.pd_devices),
+                "reads": values["rgpdos.pd_device.reads"],
+                "writes": values["rgpdos.pd_device.writes"],
+                "used_blocks": values["rgpdos.pd_device.used_blocks"],
+            },
+            "journal": {
+                "commits": values["rgpdos.journal.commits"],
+                "flushes": values["rgpdos.journal.flushes"],
+                "group_commits": values["rgpdos.journal.group_commits"],
+                "batched_ops": values["rgpdos.journal.batched_ops"],
+                "checkpoints": values["rgpdos.journal.checkpoints"],
+                "checkpointed_records": values["rgpdos.journal.checkpointed_records"],
+                "live_records": values["rgpdos.journal.live_records"],
+                "blocks_in_use": values["rgpdos.journal.blocks_in_use"],
             },
             "log": self.log.activity_report(),
         }

@@ -1,0 +1,151 @@
+"""repro.obs — unified telemetry: metrics, trace spans, exporters.
+
+One :class:`Telemetry` object is shared by every layer of an
+:class:`~repro.core.system.RgpdOS` instance (block device, journal,
+DBFS, shards, DED pipeline, processing store, subject rights).  It
+bundles
+
+* a :class:`~repro.obs.registry.MetricsRegistry` (counters, gauges,
+  p50/p95/p99 latency histograms),
+* a :class:`~repro.obs.tracing.Tracer` (cross-layer spans sharing one
+  trace id per request),
+* exporters (``snapshot()`` JSON, ``to_prometheus()`` text, JSONL /
+  Chrome ``trace_event`` span dumps).
+
+Disabled mode (``Telemetry.disabled()``) hands out shared null
+instruments so instrumentation left in the code costs roughly one
+attribute check per operation.  ``NULL_TELEMETRY`` is the module-wide
+disabled singleton used as the default by layers constructed
+standalone.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from .exporters import parse_prometheus, snapshot, to_prometheus
+from .histogram import DEFAULT_BUCKET_BOUNDS_NS, LatencyHistogram
+from .registry import (Counter, Gauge, MetricsRegistry, Timer,
+                       NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, NULL_TIMER)
+from .tracing import NULL_SPAN, Span, Tracer
+
+
+class _OpContext:
+    """Span + latency histogram for one named operation, in one ``with``."""
+
+    __slots__ = ("_telemetry", "_name", "_attrs", "_span_cm", "_start_ns")
+
+    def __init__(self, telemetry: "Telemetry", name: str,
+                 attrs: Dict[str, object]):
+        self._telemetry = telemetry
+        self._name = name
+        self._attrs = attrs
+        self._span_cm = None
+        self._start_ns = 0
+
+    def __enter__(self):
+        self._start_ns = time.perf_counter_ns()
+        self._span_cm = self._telemetry.tracer.span(self._name, **self._attrs)
+        return self._span_cm.__enter__()
+
+    def __exit__(self, *exc_info) -> bool:
+        self._span_cm.__exit__(*exc_info)
+        self._telemetry.registry.histogram(self._name).observe(
+            time.perf_counter_ns() - self._start_ns)
+        return False
+
+
+class _NullOp:
+    __slots__ = ()
+
+    def __enter__(self):
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_OP = _NullOp()
+
+
+class Telemetry:
+    """Facade bundling a metrics registry, a tracer, and exporters."""
+
+    def __init__(self, enabled: bool = True, tracing: bool = True,
+                 max_spans: int = 20000):
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled and tracing,
+                             max_spans=max_spans)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(enabled=False)
+
+    # -- instruments -----------------------------------------------------
+
+    def counter(self, name: str):
+        return self.registry.counter(name)
+
+    def gauge(self, name: str):
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str):
+        return self.registry.histogram(name)
+
+    def timer(self, name: str):
+        return self.registry.timer(name)
+
+    def span(self, name: str, **attrs: object):
+        return self.tracer.span(name, **attrs)
+
+    def op(self, name: str, **attrs: object):
+        """Trace span *and* latency histogram for one operation.
+
+        The context target is the live :class:`Span` (or a shared null
+        span when disabled), so callers may ``span.set_attr(...)``
+        results discovered mid-operation.
+        """
+        if not self.enabled:
+            return _NULL_OP
+        return _OpContext(self, name, attrs)
+
+    # -- exports ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump of every instrument (collectors refreshed)."""
+        return snapshot(self.registry)
+
+    def to_prometheus(self, prefix: str = "repro") -> str:
+        return to_prometheus(self.registry, prefix=prefix)
+
+    def export_trace_jsonl(self, path: str) -> int:
+        return self.tracer.export_jsonl(path)
+
+    def export_chrome_trace(self, path: str) -> int:
+        return self.tracer.export_chrome_trace(path)
+
+
+NULL_TELEMETRY = Telemetry.disabled()
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_BOUNDS_NS",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NULL_TIMER",
+    "Span",
+    "Telemetry",
+    "Timer",
+    "Tracer",
+    "parse_prometheus",
+    "snapshot",
+    "to_prometheus",
+]

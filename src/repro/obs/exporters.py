@@ -1,0 +1,109 @@
+"""Registry exporters: Prometheus text format and JSON snapshots.
+
+The Prometheus exporter emits the subset of the text exposition format
+that counters, gauges, and summary-style histograms need::
+
+    # TYPE repro_journal_commits counter
+    repro_journal_commits 42
+    # TYPE repro_dbfs_store_latency summary
+    repro_dbfs_store_latency{quantile="0.5"} 1.23e-05
+    repro_dbfs_store_latency_sum 0.0042
+    repro_dbfs_store_latency_count 42
+
+Histogram quantile values are exported in **seconds** (the Prometheus
+base unit for time).  :func:`parse_prometheus` is the matching reader —
+used by the test suite and the CI gate to prove the export actually
+parses rather than eyeballing it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from .registry import MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+_QUANTILES = (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99))
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """Map a dotted registry name onto a legal Prometheus name."""
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    candidate = f"{prefix}_{flat}" if prefix else flat
+    if not _NAME_OK.match(candidate):
+        candidate = "_" + candidate
+    return candidate
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro",
+                  refresh: bool = True) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    if refresh:
+        registry.collect()
+    lines = []
+    for name in sorted(registry.counters):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {registry.counters[name].value}")
+    for name in sorted(registry.gauges):
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {registry.gauges[name].value}")
+    for name in sorted(registry.histograms):
+        histogram = registry.histograms[name]
+        metric = sanitize_metric_name(name, prefix) + "_latency"
+        lines.append(f"# TYPE {metric} summary")
+        for label, fraction in _QUANTILES:
+            seconds = histogram.percentile(fraction) / 1e9
+            lines.append(f'{metric}{{quantile="{label}"}} {seconds:.9g}')
+        lines.append(f"{metric}_sum {histogram.sum_ns / 1e9:.9g}")
+        lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], float]:
+    """Parse Prometheus text back into ``{(name, labels): value}``.
+
+    ``labels`` is a sorted tuple of (key, value) pairs, or ``None`` when
+    the sample carries no labels.  Raises ``ValueError`` on any line
+    that is neither a comment, blank, nor a well-formed sample — which
+    is exactly what the CI gate wants.
+    """
+    samples: Dict[Tuple[str, Optional[Tuple[Tuple[str, str], ...]]], float] = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: not a valid sample: {raw!r}")
+        labels_text = match.group("labels")
+        labels: Optional[Tuple[Tuple[str, str], ...]] = None
+        if labels_text is not None:
+            pairs = _LABEL.findall(labels_text)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in pairs)
+            if rebuilt != labels_text.strip().rstrip(","):
+                raise ValueError(
+                    f"line {line_no}: malformed labels: {labels_text!r}")
+            labels = tuple(sorted(pairs))
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {line_no}: bad value {match.group('value')!r}"
+            ) from exc
+        samples[(match.group("name"), labels)] = value
+    return samples
+
+
+def snapshot(registry: MetricsRegistry, refresh: bool = True) -> Dict[str, object]:
+    """JSON-safe registry snapshot (collectors run unless refresh=False)."""
+    return registry.as_dict(refresh=refresh)

@@ -1,0 +1,111 @@
+"""Fixed-bucket latency histograms.
+
+A :class:`LatencyHistogram` is the unit of latency accounting for the
+whole telemetry layer: every instrumented operation records one
+``perf_counter_ns`` delta into one histogram.  The design goals are
+
+* **cheap observe** — one ``bisect`` over a shared tuple of bucket
+  upper bounds plus two attribute updates; no allocation;
+* **useful percentiles** — p50/p95/p99 answered by a cumulative walk
+  with linear interpolation inside the winning bucket, clamped to the
+  exact observed min/max so tails are never over-reported;
+* **zero dependencies** — plain lists and the stdlib only.
+
+Buckets are powers of two from 256 ns to ~17 s, which covers everything
+from a page-cache hit on the simulated :class:`BlockDevice` to a full
+scatter-gather ``bulk_erase`` over many shards.  Values past the last
+bound land in an overflow bucket whose percentile estimate is the exact
+observed maximum.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+# Upper bounds (inclusive), in nanoseconds: 2**8 .. 2**34.
+DEFAULT_BUCKET_BOUNDS_NS = tuple(1 << exp for exp in range(8, 35))
+
+
+class LatencyHistogram:
+    """A fixed-bucket histogram of durations in nanoseconds."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum_ns",
+                 "min_ns", "max_ns")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[int] = DEFAULT_BUCKET_BOUNDS_NS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        # One count per bound plus a final overflow bucket.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns = 0
+
+    def observe(self, duration_ns: int) -> None:
+        """Record one duration (negative clock skew clamps to zero)."""
+        if duration_ns < 0:
+            duration_ns = 0
+        self.counts[bisect_left(self.bounds, duration_ns)] += 1
+        self.count += 1
+        self.sum_ns += duration_ns
+        if self.min_ns is None or duration_ns < self.min_ns:
+            self.min_ns = duration_ns
+        if duration_ns > self.max_ns:
+            self.max_ns = duration_ns
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated duration (ns) at ``fraction`` in [0, 1]."""
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if index >= len(self.bounds):
+                    return float(self.max_ns)
+                lower = self.bounds[index - 1] if index else 0
+                upper = self.bounds[index]
+                position = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * position
+                # The true extrema are known exactly; never exceed them.
+                estimate = min(estimate, float(self.max_ns))
+                if self.min_ns is not None:
+                    estimate = max(estimate, float(self.min_ns))
+                return estimate
+            cumulative += bucket_count
+        return float(self.max_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        return self.sum_ns / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """p50/p95/p99/max (and count/mean) in microseconds."""
+
+        def us(ns: float) -> float:
+            return round(ns / 1000.0, 3)
+
+        return {
+            "count": self.count,
+            "p50_us": us(self.percentile(0.50)),
+            "p95_us": us(self.percentile(0.95)),
+            "p99_us": us(self.percentile(0.99)),
+            "max_us": us(self.max_ns),
+            "mean_us": us(self.mean_ns),
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum_ns = 0
+        self.min_ns = None
+        self.max_ns = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LatencyHistogram({self.name!r}, count={self.count}, "
+                f"p50={self.percentile(0.5):.0f}ns)")

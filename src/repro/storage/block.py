@@ -25,11 +25,13 @@ dicts do not:
 from __future__ import annotations
 
 import heapq
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set
 
 from .. import errors
+from ..obs import NULL_TELEMETRY, Telemetry
 
 
 @dataclass
@@ -77,6 +79,12 @@ class BlockDevice:
         Capacity of the LRU page cache (blocks).  ``0`` disables the
         cache (every read pays the device latency) — the FASTPATH
         benchmark's baseline configuration.
+    telemetry:
+        Shared :class:`~repro.obs.Telemetry`.  When enabled, every
+        ``read``/``write``/``scrub`` records its wall time into the
+        ``block.read`` / ``block.write`` / ``block.scrub`` histograms.
+        The histograms are bound once at construction so the disabled
+        path costs a single ``is not None`` test per operation.
     """
 
     def __init__(
@@ -86,6 +94,7 @@ class BlockDevice:
         read_latency: float = 10e-6,
         write_latency: float = 20e-6,
         page_cache_blocks: int = 1024,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if block_count <= 0 or block_size <= 0:
             raise errors.BlockDeviceError(
@@ -110,6 +119,14 @@ class BlockDevice:
         self._freed_heap: List[int] = []
         self._freed_set: Set[int] = set()
         self.stats = DeviceStats()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            self._hist_read = registry.histogram("block.read")
+            self._hist_write = registry.histogram("block.write")
+            self._hist_scrub = registry.histogram("block.scrub")
+        else:
+            self._hist_read = self._hist_write = self._hist_scrub = None
 
     # -- allocation ---------------------------------------------------------
 
@@ -186,17 +203,23 @@ class BlockDevice:
         A page-cache hit skips the simulated device latency; every
         logical read still counts in ``stats.reads``.
         """
+        hist = self._hist_read
+        start = time.perf_counter_ns() if hist is not None else 0
         self._check_range(block_no)
         self.stats.reads += 1
         cached = self._page_cache.get(block_no)
         if cached is not None:
             self.stats.cache_hits += 1
             self._page_cache.move_to_end(block_no)
+            if hist is not None:
+                hist.observe(time.perf_counter_ns() - start)
             return cached
         self.stats.cache_misses += 1
         self.stats.simulated_io_seconds += self.read_latency
         data = self._blocks[block_no]
         self._cache_insert(block_no, data)
+        if hist is not None:
+            hist.observe(time.perf_counter_ns() - start)
         return data
 
     def write(self, block_no: int, data: bytes) -> None:
@@ -205,6 +228,8 @@ class BlockDevice:
         Write-through: the medium and the page cache are updated
         together, so a later read can never observe pre-write bytes.
         """
+        hist = self._hist_write
+        start = time.perf_counter_ns() if hist is not None else 0
         self._check_range(block_no)
         if len(data) > self.block_size:
             raise errors.BlockDeviceError(
@@ -214,6 +239,8 @@ class BlockDevice:
         self.stats.simulated_io_seconds += self.write_latency
         self._blocks[block_no] = bytes(data)
         self._cache_insert(block_no, self._blocks[block_no])
+        if hist is not None:
+            hist.observe(time.perf_counter_ns() - start)
 
     def scrub(self, block_no: int) -> None:
         """Explicitly zero a block (secure-erase primitive).
@@ -223,11 +250,15 @@ class BlockDevice:
         The block is also dropped from the page cache — erasure that
         leaves the bytes readable from cache would be no erasure.
         """
+        hist = self._hist_scrub
+        start = time.perf_counter_ns() if hist is not None else 0
         self._check_range(block_no)
         self.stats.writes += 1
         self.stats.simulated_io_seconds += self.write_latency
         self._blocks[block_no] = b""
         self._cache_invalidate(block_no)
+        if hist is not None:
+            hist.observe(time.perf_counter_ns() - start)
 
     # -- forensics ----------------------------------------------------------
 

@@ -68,6 +68,7 @@ from ..core.active_data import AccessCredential, PDRef
 from ..core.crypto import EscrowBlob, OperatorKey
 from ..core.datatypes import PDType
 from ..core.membrane import Membrane
+from ..obs import NULL_TELEMETRY, Telemetry
 from .block import BlockDevice
 from .btree import FieldIndex
 from .cache import MISSING, CacheConfig, DEFAULT_CACHE_CONFIG, LRUCache
@@ -150,10 +151,13 @@ class DatabaseFS:
         journal_blocks: int = 256,
         cache_config: Optional[CacheConfig] = None,
         journal_config: Optional[JournalConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.cache_config = cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.device = device or BlockDevice(
-            page_cache_blocks=self.cache_config.page_cache_blocks
+            page_cache_blocks=self.cache_config.page_cache_blocks,
+            telemetry=self.telemetry,
         )
         # Inode capacity tracks the device: a bigger device (the
         # sharding benchmarks size devices per population slice) gets
@@ -165,7 +169,8 @@ class DatabaseFS:
         self._operator_key = operator_key
         # Metadata-only journal (no PD payloads ever).
         self.journal = Journal(
-            self.device, reserved_blocks=journal_blocks, config=journal_config
+            self.device, reserved_blocks=journal_blocks, config=journal_config,
+            telemetry=self.telemetry,
         )
 
         self._subjects_root = self.inodes.allocate(KIND_DIRECTORY)
@@ -424,11 +429,19 @@ class DatabaseFS:
         self._require_ded(credential, "select_uids")
         self.get_type(type_name)
         index = self._field_indexes.get((type_name, predicate.field_name))
-        if index is not None and predicate.op in (
+        indexed = index is not None and predicate.op in (
             OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE
-        ):
-            return self._select_indexed(index, predicate)
-        return self._select_scan(type_name, predicate)
+        )
+        with self.telemetry.op(
+            "dbfs.select", pd_type=type_name,
+            field=predicate.field_name, indexed=indexed,
+        ) as span:
+            if indexed:
+                uids = self._select_indexed(index, predicate)
+            else:
+                uids = self._select_scan(type_name, predicate)
+            span.set_attr("matched", len(uids))
+            return uids
 
     @staticmethod
     def _select_indexed(index: FieldIndex, predicate: Predicate) -> List[str]:
@@ -499,6 +512,14 @@ class DatabaseFS:
 
     def store(self, request: StoreRequest, credential: AccessCredential) -> PDRef:
         """Persist one PD record with its membrane; returns the ref."""
+        with self.telemetry.op("dbfs.store", pd_type=request.pd_type) as span:
+            ref = self._store_impl(request, credential)
+            span.set_attrs(uid=ref.uid, subject_id=ref.subject_id)
+            return ref
+
+    def _store_impl(
+        self, request: StoreRequest, credential: AccessCredential
+    ) -> PDRef:
         self._require_ded(credential, "store")
         pd_type = self.get_type(request.pd_type)
         if not request.membrane_json:
@@ -575,9 +596,10 @@ class DatabaseFS:
         """
         self._require_ded(credential, "store_many")
         refs: List[PDRef] = []
-        with self.journal.batch():
-            for request in requests:
-                refs.append(self.store(request, credential))
+        with self.telemetry.op("dbfs.store_many", count=len(requests)):
+            with self.journal.batch():
+                for request in requests:
+                    refs.append(self.store(request, credential))
         self.stats.bulk_stores += 1
         return refs
 
@@ -604,22 +626,31 @@ class DatabaseFS:
         """Fetch membranes matching the query — never any record data."""
         self._require_ded(credential, "query_membranes")
         self.get_type(query.pd_type)  # unknown types fail loudly
-        self.stats.membrane_queries += 1
-        results: List[Tuple[PDRef, Membrane]] = []
-        for uid in self._candidate_uids(query):
-            membrane = self._load_membrane(uid)
-            if membrane.pd_type != query.pd_type:
-                continue
-            if query.subject_id and membrane.subject_id != query.subject_id:
-                continue
-            if membrane.erased and not query.include_erased:
-                continue
-            ref = PDRef(
-                uid=uid, pd_type=membrane.pd_type, subject_id=membrane.subject_id
+        with self.telemetry.op(
+            "dbfs.query_membranes", pd_type=query.pd_type,
+            subject_id=query.subject_id,
+        ) as span:
+            hits_before = self.stats.membrane_cache_hits
+            self.stats.membrane_queries += 1
+            results: List[Tuple[PDRef, Membrane]] = []
+            for uid in self._candidate_uids(query):
+                membrane = self._load_membrane(uid)
+                if membrane.pd_type != query.pd_type:
+                    continue
+                if query.subject_id and membrane.subject_id != query.subject_id:
+                    continue
+                if membrane.erased and not query.include_erased:
+                    continue
+                ref = PDRef(
+                    uid=uid, pd_type=membrane.pd_type, subject_id=membrane.subject_id
+                )
+                results.append((ref, membrane))
+            results.sort(key=lambda pair: pair[0].uid)
+            span.set_attrs(
+                matched=len(results),
+                cache_hits=self.stats.membrane_cache_hits - hits_before,
             )
-            results.append((ref, membrane))
-        results.sort(key=lambda pair: pair[0].uid)
-        return results
+            return results
 
     def get_membrane(self, uid: str, credential: AccessCredential) -> Membrane:
         self._require_ded(credential, "get_membrane")
@@ -683,22 +714,26 @@ class DatabaseFS:
     ) -> Dict[str, Dict[str, object]]:
         """Fetch records for filtered refs, projected to allowed fields."""
         self._require_ded(credential, "fetch_records")
-        self.stats.data_queries += 1
-        results: Dict[str, Dict[str, object]] = {}
-        for uid in query.uids:
-            membrane = self._load_membrane(uid)
-            if membrane.erased:
-                raise errors.ExpiredPDError(
-                    f"PD {uid!r} has been erased; its data is not retrievable"
-                )
-            record = self._load_record_raw(uid)
-            allowed = query.allowed_fields_for(uid)
-            if allowed is not None:
-                record = {k: v for k, v in record.items() if k in allowed}
-            if not query.matches(record):
-                continue
-            results[uid] = record
-        return results
+        with self.telemetry.op(
+            "dbfs.fetch_records", count=len(query.uids)
+        ) as span:
+            self.stats.data_queries += 1
+            results: Dict[str, Dict[str, object]] = {}
+            for uid in query.uids:
+                membrane = self._load_membrane(uid)
+                if membrane.erased:
+                    raise errors.ExpiredPDError(
+                        f"PD {uid!r} has been erased; its data is not retrievable"
+                    )
+                record = self._load_record_raw(uid)
+                allowed = query.allowed_fields_for(uid)
+                if allowed is not None:
+                    record = {k: v for k, v in record.items() if k in allowed}
+                if not query.matches(record):
+                    continue
+                results[uid] = record
+            span.set_attr("matched", len(results))
+            return results
 
     def _load_record_raw(self, uid: str) -> Dict[str, object]:
         cached = self._record_cache.get(uid)
@@ -721,6 +756,12 @@ class DatabaseFS:
 
     def update(self, request: UpdateRequest, credential: AccessCredential) -> None:
         """Rewrite changed fields; old values are scrubbed, not leaked."""
+        with self.telemetry.op("dbfs.update", uid=request.uid):
+            self._update_impl(request, credential)
+
+    def _update_impl(
+        self, request: UpdateRequest, credential: AccessCredential
+    ) -> None:
         self._require_ded(credential, "update")
         membrane = self._load_membrane(request.uid)
         if membrane.erased:
@@ -766,6 +807,14 @@ class DatabaseFS:
         erased.  Either way the operator can no longer read the PD.
         Returns the final membrane state.
         """
+        with self.telemetry.op(
+            "dbfs.delete", uid=request.uid, mode=request.mode
+        ):
+            return self._delete_impl(request, credential)
+
+    def _delete_impl(
+        self, request: DeleteRequest, credential: AccessCredential
+    ) -> Membrane:
         self._require_ded(credential, "delete")
         membrane = self._load_membrane(request.uid)
         if membrane.erased:
@@ -843,6 +892,16 @@ class DatabaseFS:
         *meaningful* schema keys ("the keys make sense"), each record
         travels with its membrane, and the schema itself is included.
         """
+        with self.telemetry.op(
+            "dbfs.export_subject", subject_id=subject_id
+        ) as span:
+            export = self._export_subject_impl(subject_id, credential)
+            span.set_attr("records", len(export["records"]))
+            return export
+
+    def _export_subject_impl(
+        self, subject_id: str, credential: AccessCredential
+    ) -> Dict[str, object]:
         self._require_ded(credential, "export_subject")
         records = []
         for uid in self.uids_of_subject(subject_id):

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
 from .. import errors
+from ..obs import NULL_TELEMETRY, Telemetry
 from .block import BlockDevice
 
 # Transaction record types.
@@ -165,6 +166,7 @@ class Journal:
         device: BlockDevice,
         reserved_blocks: int = 1024,
         config: Optional[JournalConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if reserved_blocks < 4:
             raise errors.JournalError(
@@ -172,6 +174,7 @@ class Journal:
             )
         self.device = device
         self.config = config or JournalConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._extent = device.allocate_many(reserved_blocks)
         self._extent_cursor = 0  # next free slot in the extent, wraps
         self._records: List[JournalRecord] = []  # in-memory index of live records
@@ -229,9 +232,10 @@ class Journal:
             self._require_open()
             return
         txn = self._require_open()
-        self._append(JournalRecord(self._take_seq(), txn.txn_id, TXN_COMMIT))
-        self.stats.commits += 1
-        self.stats.flushes += 1
+        with self.telemetry.op("journal.commit", txn=txn.txn_id):
+            self._append(JournalRecord(self._take_seq(), txn.txn_id, TXN_COMMIT))
+            self.stats.commits += 1
+            self.stats.flushes += 1
         self._open = None
         self._maybe_checkpoint()
 
@@ -272,22 +276,26 @@ class Journal:
         self._next_txn += 1
         self._open = _OpenTransaction(txn_id)
         self._batching = True
-        self._append(JournalRecord(self._take_seq(), txn_id, TXN_BEGIN))
-        try:
-            yield txn_id
-        except BaseException:
-            self._batching = False
-            self._open = None
-            self.stats.aborted_batches += 1
-            raise
-        else:
-            self._batching = False
-            self._append(JournalRecord(self._take_seq(), txn_id, TXN_COMMIT))
-            self.stats.commits += 1
-            self.stats.flushes += 1
-            self.stats.group_commits += 1
-            self._open = None
-            self._maybe_checkpoint()
+        ops_before = self.stats.batched_ops
+        with self.telemetry.op("journal.batch", txn=txn_id) as span:
+            self._append(JournalRecord(self._take_seq(), txn_id, TXN_BEGIN))
+            try:
+                yield txn_id
+            except BaseException:
+                self._batching = False
+                self._open = None
+                self.stats.aborted_batches += 1
+                span.set_attr("aborted", True)
+                raise
+            else:
+                self._batching = False
+                self._append(JournalRecord(self._take_seq(), txn_id, TXN_COMMIT))
+                self.stats.commits += 1
+                self.stats.flushes += 1
+                self.stats.group_commits += 1
+                span.set_attr("ops", self.stats.batched_ops - ops_before)
+                self._open = None
+                self._maybe_checkpoint()
 
     # -- recovery / inspection ----------------------------------------------
 
@@ -317,23 +325,25 @@ class Journal:
         transactions lacking a COMMIT (a crash mid-batch) are dropped
         wholesale: group commits are all-or-nothing.
         """
-        on_disk: List[JournalRecord] = []
-        for blocks in self._record_blocks:
-            raw = b"".join(self.device.read(block_no) for block_no in blocks)
-            on_disk.append(JournalRecord.from_bytes(raw))
-        committed_txns = {
-            record.txn_id
-            for record in on_disk
-            if record.record_type == TXN_COMMIT
-        }
-        recovered = [
-            record
-            for record in on_disk
-            if record.txn_id in committed_txns
-            and record.record_type in (TXN_WRITE, TXN_DELETE)
-        ]
-        self.stats.recovers += 1
-        self.stats.recovered_records += len(recovered)
+        with self.telemetry.op("journal.recover") as span:
+            on_disk: List[JournalRecord] = []
+            for blocks in self._record_blocks:
+                raw = b"".join(self.device.read(block_no) for block_no in blocks)
+                on_disk.append(JournalRecord.from_bytes(raw))
+            committed_txns = {
+                record.txn_id
+                for record in on_disk
+                if record.record_type == TXN_COMMIT
+            }
+            recovered = [
+                record
+                for record in on_disk
+                if record.txn_id in committed_txns
+                and record.record_type in (TXN_WRITE, TXN_DELETE)
+            ]
+            self.stats.recovers += 1
+            self.stats.recovered_records += len(recovered)
+            span.set_attr("records", len(recovered))
         return recovered
 
     def scan_payloads(self, needle: bytes) -> List[JournalRecord]:
@@ -360,17 +370,19 @@ class Journal:
         the number of records discarded.  Real filesystems do this on
         their own schedule — crucially, *not* when a user deletes PD.
         """
-        discarded = len(self._records)
-        for blocks in self._record_blocks:
-            for block_no in blocks:
-                self.device.scrub(block_no)
-        self._records.clear()
-        self._record_blocks.clear()
-        self._append(
-            JournalRecord(self._take_seq(), 0, TXN_CHECKPOINT)
-        )
-        self.stats.checkpoints += 1
-        self.stats.checkpointed_records += discarded
+        with self.telemetry.op("journal.checkpoint") as span:
+            discarded = len(self._records)
+            for blocks in self._record_blocks:
+                for block_no in blocks:
+                    self.device.scrub(block_no)
+            self._records.clear()
+            self._record_blocks.clear()
+            self._append(
+                JournalRecord(self._take_seq(), 0, TXN_CHECKPOINT)
+            )
+            self.stats.checkpoints += 1
+            self.stats.checkpointed_records += discarded
+            span.set_attr("discarded", discarded)
         return discarded
 
     # -- internals ----------------------------------------------------------

@@ -49,6 +49,7 @@ from ..core.active_data import AccessCredential, PDRef
 from ..core.crypto import EscrowBlob, OperatorKey
 from ..core.datatypes import PDType
 from ..core.membrane import Membrane
+from ..obs import NULL_TELEMETRY, Telemetry
 from .block import BlockDevice
 from .btree import FieldIndex
 from .cache import CacheConfig, DEFAULT_CACHE_CONFIG
@@ -89,6 +90,7 @@ class ShardedDBFS:
         journal_blocks: int = 256,
         cache_config: Optional[CacheConfig] = None,
         journal_config: Optional[JournalConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if devices is not None:
             shard_count = len(devices)
@@ -100,6 +102,10 @@ class ShardedDBFS:
             cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
         )
         self.journal_config = journal_config
+        # One Telemetry shared by every shard: spans from different
+        # shards land in the same tracer, which is what makes
+        # scatter-gather skew visible in a single trace.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._shards: List[DatabaseFS] = [
             DatabaseFS(
                 device=devices[i] if devices is not None else None,
@@ -107,6 +113,7 @@ class ShardedDBFS:
                 journal_blocks=journal_blocks,
                 cache_config=self.cache_config,
                 journal_config=journal_config,
+                telemetry=self.telemetry,
             )
             for i in range(shard_count)
         ]
@@ -200,8 +207,13 @@ class ShardedDBFS:
         credential: AccessCredential,
     ) -> List[str]:
         matches: List[str] = []
-        for shard in self._shards:
-            matches.extend(shard.select_uids(type_name, predicate, credential))
+        for index, shard in enumerate(self._shards):
+            with self.telemetry.span(
+                "shard.fanout", shard=index, op="select_uids"
+            ):
+                matches.extend(
+                    shard.select_uids(type_name, predicate, credential)
+                )
         return sorted(matches)
 
     # ------------------------------------------------------------------
@@ -278,14 +290,22 @@ class ShardedDBFS:
             results: List[Tuple[PDRef, Membrane]] = []
             for index, uids in self._uids_by_shard(query.uids).items():
                 sub_query = _dc_replace(query, uids=tuple(uids))
-                results.extend(
-                    self._shards[index].query_membranes(sub_query, credential)
-                )
+                with self.telemetry.span(
+                    "shard.fanout", shard=index, op="query_membranes"
+                ):
+                    results.extend(
+                        self._shards[index].query_membranes(
+                            sub_query, credential
+                        )
+                    )
             results.sort(key=lambda pair: pair[0].uid)
             return results
         results = []
-        for shard in self._shards:
-            results.extend(shard.query_membranes(query, credential))
+        for index, shard in enumerate(self._shards):
+            with self.telemetry.span(
+                "shard.fanout", shard=index, op="query_membranes"
+            ):
+                results.extend(shard.query_membranes(query, credential))
         results.sort(key=lambda pair: pair[0].uid)
         return results
 
@@ -319,9 +339,12 @@ class ShardedDBFS:
         results: Dict[str, Dict[str, object]] = {}
         for index, uids in self._uids_by_shard(query.uids).items():
             sub_query = _dc_replace(query, uids=tuple(uids))
-            results.update(
-                self._shards[index].fetch_records(sub_query, credential)
-            )
+            with self.telemetry.span(
+                "shard.fanout", shard=index, op="fetch_records"
+            ):
+                results.update(
+                    self._shards[index].fetch_records(sub_query, credential)
+                )
         return results
 
     def _load_record_raw(self, uid: str) -> Dict[str, object]:
@@ -391,8 +414,11 @@ class ShardedDBFS:
 
     def forensic_scan(self, needle: bytes) -> Dict[str, int]:
         totals = {"device_blocks": 0, "journal_records": 0}
-        for shard in self._shards:
-            counts = shard.forensic_scan(needle)
+        for index, shard in enumerate(self._shards):
+            with self.telemetry.span(
+                "shard.fanout", shard=index, op="forensic_scan"
+            ):
+                counts = shard.forensic_scan(needle)
             totals["device_blocks"] += counts["device_blocks"]
             totals["journal_records"] += counts["journal_records"]
         return totals

@@ -1,0 +1,113 @@
+"""``RgpdOS.stats()`` served from the telemetry registry — including
+the journal block that folds group-commit/checkpoint state into the
+snapshot — and shape parity with the disabled-telemetry fallback."""
+
+import pytest
+
+from repro import RgpdOS, Telemetry
+from repro.storage.journal import JournalConfig
+
+import helpers
+from conftest import LISTING1_DECLARATIONS
+
+
+def _exercised_system(authority, **kwargs):
+    system = RgpdOS(
+        operator_name="stats-test", authority=authority,
+        with_machine=False, **kwargs,
+    )
+    system.install(LISTING1_DECLARATIONS)
+    system.register(helpers.birth_decade)
+    for index in range(4):
+        system.collect(
+            "user",
+            {"name": f"user-{index}", "pwd": "pw",
+             "year_of_birthdate": 1980 + index},
+            subject_id=f"subject-{index}", method="web_form",
+        )
+    system.invoke("birth_decade", target="user")
+    return system
+
+
+class TestJournalBlock:
+    def test_stats_reports_journal_counters(self, shared_authority):
+        system = _exercised_system(shared_authority)
+        journal = system.stats()["journal"]
+        assert journal["commits"] == system.dbfs.journal.stats.commits > 0
+        assert journal["flushes"] > 0
+        assert journal["live_records"] == len(system.dbfs.journal)
+        assert journal["blocks_in_use"] == system.dbfs.journal.blocks_in_use
+        assert journal["group_commits"] == 0
+        assert journal["checkpoints"] == 0
+
+    def test_group_commit_and_checkpoints_surface(self, shared_authority):
+        system = _exercised_system(
+            shared_authority,
+            journal_config=JournalConfig(checkpoint_after_records=4),
+        )
+        with system.dbfs.batch():
+            system.collect(
+                "user",
+                {"name": "batched", "pwd": "pw", "year_of_birthdate": 2000},
+                subject_id="batched", method="web_form",
+            )
+        journal = system.stats()["journal"]
+        assert journal["group_commits"] >= 1
+        assert journal["batched_ops"] >= 1
+        assert journal["checkpoints"] >= 1
+        assert journal["checkpointed_records"] > 0
+
+    def test_journal_aggregates_across_shards(self, shared_authority):
+        system = _exercised_system(shared_authority, shards=3)
+        journal = system.stats()["journal"]
+        per_shard = [shard.journal.stats.commits for shard in system.dbfs.shards]
+        assert journal["commits"] == sum(per_shard)
+        assert sum(1 for commits in per_shard if commits) > 1
+        assert journal["live_records"] == sum(
+            len(shard.journal) for shard in system.dbfs.shards
+        )
+
+
+class TestRegistryBacked:
+    def test_numeric_fields_match_registry_gauges(self, shared_authority):
+        system = _exercised_system(shared_authority)
+        stats = system.stats()
+        registry = system.telemetry.registry
+        assert stats["dbfs"]["stores"] == registry.gauge_value(
+            "rgpdos.dbfs.stores"
+        )
+        assert stats["pd_device"]["reads"] == registry.gauge_value(
+            "rgpdos.pd_device.reads"
+        )
+        assert stats["journal"]["commits"] == registry.gauge_value(
+            "rgpdos.journal.commits"
+        )
+
+    def test_disabled_telemetry_same_shape(self, shared_authority):
+        enabled = _exercised_system(shared_authority)
+        disabled = _exercised_system(
+            shared_authority, telemetry=Telemetry.disabled()
+        )
+        enabled_stats, disabled_stats = enabled.stats(), disabled.stats()
+        assert set(enabled_stats) == set(disabled_stats)
+        for section in ("dbfs", "pd_device", "journal"):
+            assert set(enabled_stats[section]) == set(disabled_stats[section])
+        assert disabled_stats["journal"]["commits"] > 0
+        # nothing leaked into the disabled registry
+        assert disabled.telemetry.registry.gauges == {}
+
+    def test_cache_stats_shape_preserved(self, shared_authority):
+        system = _exercised_system(shared_authority)
+        report = system.cache_stats()
+        assert {"page_cache", "record_cache", "listing_cache",
+                "membrane_cache", "journal", "decision_cache"} <= set(report)
+
+    def test_prometheus_export_carries_stats_gauges(self, shared_authority):
+        from repro import parse_prometheus
+
+        system = _exercised_system(shared_authority)
+        samples = parse_prometheus(system.telemetry.to_prometheus())
+        assert samples[("repro_rgpdos_journal_commits", None)] == (
+            system.dbfs.journal.stats.commits
+        )
+        assert ("repro_rgpdos_dbfs_records", None) in samples

@@ -1,0 +1,106 @@
+"""Exporter round-trips: Prometheus text parses back, trace JSONL and
+Chrome trace files load as JSON."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Telemetry,
+    parse_prometheus,
+)
+from repro.obs.exporters import sanitize_metric_name, snapshot, to_prometheus
+
+
+@pytest.fixture
+def busy_telemetry():
+    telemetry = Telemetry()
+    telemetry.counter("requests.total").inc(3)
+    telemetry.gauge("queue.depth").set(2)
+    for ns in (1_000, 2_000, 4_000, 8_000):
+        telemetry.histogram("op.latency").observe(ns)
+    with telemetry.span("root", subject_id="alice"):
+        with telemetry.span("child", shard=1):
+            pass
+    return telemetry
+
+
+class TestPrometheusExport:
+    def test_round_trip_parses(self, busy_telemetry):
+        text = busy_telemetry.to_prometheus()
+        samples = parse_prometheus(text)
+        assert samples[("repro_requests_total", None)] == 3
+        assert samples[("repro_queue_depth", None)] == 2
+        assert samples[("repro_op_latency_latency_count", None)] == 4
+
+    def test_quantiles_in_seconds_and_ordered(self, busy_telemetry):
+        samples = parse_prometheus(busy_telemetry.to_prometheus())
+        p50 = samples[("repro_op_latency_latency", (("quantile", "0.5"),))]
+        p95 = samples[("repro_op_latency_latency", (("quantile", "0.95"),))]
+        p99 = samples[("repro_op_latency_latency", (("quantile", "0.99"),))]
+        assert 0 < p50 <= p95 <= p99 < 1  # ns values exported as seconds
+        total = samples[("repro_op_latency_latency_sum", None)]
+        assert total == pytest.approx(15_000 / 1e9)
+
+    def test_type_lines_present(self, busy_telemetry):
+        text = busy_telemetry.to_prometheus()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_op_latency_latency summary" in text
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not prometheus\n")
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("dbfs.select") == "repro_dbfs_select"
+        assert sanitize_metric_name("9weird-name!") == "repro_9weird_name_"
+
+    def test_empty_registry_exports_empty(self):
+        assert parse_prometheus(to_prometheus(MetricsRegistry())) == {}
+
+
+class TestJsonSnapshot:
+    def test_snapshot_sections(self, busy_telemetry):
+        report = busy_telemetry.snapshot()
+        assert report["counters"]["requests.total"] == 3
+        assert report["gauges"]["queue.depth"] == 2
+        assert report["histograms"]["op.latency"]["count"] == 4
+        # the snapshot is JSON-serialisable as-is
+        json.dumps(report)
+
+    def test_module_level_snapshot_matches(self, busy_telemetry):
+        assert snapshot(busy_telemetry.registry) == busy_telemetry.snapshot()
+
+
+class TestTraceExports:
+    def test_jsonl_loads_line_by_line(self, busy_telemetry, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = busy_telemetry.export_trace_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 2
+        spans = [json.loads(line) for line in lines]
+        assert {span["name"] for span in spans} == {"root", "child"}
+        root = next(s for s in spans if s["name"] == "root")
+        child = next(s for s in spans if s["name"] == "child")
+        assert child["parent_id"] == root["span_id"]
+        assert child["trace_id"] == root["trace_id"]
+        assert root["attrs"] == {"subject_id": "alice"}
+
+    def test_chrome_trace_loads(self, busy_telemetry, tmp_path):
+        path = tmp_path / "trace.json"
+        count = busy_telemetry.export_chrome_trace(str(path))
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert count == len(events) == 2
+        assert all(event["ph"] == "X" for event in events)
+        assert all(event["dur"] >= 0 for event in events)
+
+    def test_disabled_exports_are_empty(self, tmp_path):
+        telemetry = Telemetry.disabled()
+        with telemetry.span("ignored"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert telemetry.export_trace_jsonl(str(path)) == 0
+        assert path.read_text() == ""

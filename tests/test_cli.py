@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import parse_prometheus
 
 
 class TestCommands:
@@ -83,3 +86,48 @@ class TestParseCommand:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestStatsCommand:
+    def test_json_report_sections(self, capsys):
+        assert main(["stats"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"stats", "cache_stats", "shard_stats"}
+        assert report["stats"]["journal"]["commits"] > 0
+        assert report["stats"]["dbfs"]["records"] > 0
+        assert "decision_cache" in report["cache_stats"]
+        assert len(report["shard_stats"]) == 1
+
+    def test_sharded_report(self, capsys):
+        assert main(["stats", "--shards", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["stats"]["dbfs"]["shards"] == 2
+        assert len(report["shard_stats"]) == 2
+
+    def test_prometheus_format_parses(self, capsys):
+        assert main(["stats", "--format", "prometheus"]) == 0
+        samples = parse_prometheus(capsys.readouterr().out)
+        assert samples  # non-empty
+        assert ("repro_rgpdos_journal_commits", None) in samples
+
+
+class TestTraceOut:
+    def test_demo_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "demo.jsonl"
+        assert main(["demo", "--trace-out", str(trace)]) == 0
+        assert "trace span(s)" in capsys.readouterr().out
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert spans
+        names = {span["name"] for span in spans}
+        assert "ps.invoke" in names
+        assert "dbfs.store" in names
+
+    def test_gdprbench_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "bench.jsonl"
+        assert main(
+            ["gdprbench", "--records", "4", "--ops", "4",
+             "--personas", "customer", "--trace-out", str(trace)]
+        ) == 0
+        spans = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert spans
+        assert any(span["name"] == "ps.invoke" for span in spans)
