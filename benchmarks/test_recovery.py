@@ -1,0 +1,188 @@
+"""RECOVERY — crash remount cost tracks the live log, sweeps stay cheap.
+
+Two measurements, emitted to ``BENCH_recovery.json`` in the shared
+``bench_util`` schema:
+
+* **remount vs log length** — a single DBFS volume accumulates N
+  store transactions with auto-checkpointing disabled, then the
+  true-crash remount path (``DatabaseFS.remount_from_device`` — fresh
+  journal + trees from device bytes and the inode table alone) is
+  timed at several log lengths.  The journal-recovery phase is linear
+  in the live log, which is exactly what the checkpoint policy bounds
+  in production; this metric records the unbounded slope.
+* **crash sweep throughput** — the full CrashSim sweep (power cut at
+  *every* write index of the reference workload, remount + three
+  invariants per cut) at 1 shard and ``RECOVERY_BENCH_SHARDS``
+  shards.  The sweep must pass at every index — this doubles as the
+  crash-consistency smoke gate in CI — and the trials/second figure
+  documents that exhaustive sweeping is cheap enough to keep in the
+  default test tier.
+
+Scale knobs (for the CI smoke job): ``RECOVERY_BENCH_STORES``,
+``RECOVERY_BENCH_SHARDS``, ``RECOVERY_BENCH_STRIDE``.
+"""
+
+import os
+import time
+
+from bench_util import latency_block, merge_metric
+from conftest import print_series
+
+from repro.core.membrane import membrane_for_type
+from repro.obs import Telemetry
+from repro.storage.crashsim import (
+    DED,
+    CrashSim,
+    name_needle,
+    reference_type,
+    ssn_needle,
+)
+from repro.storage.dbfs import DatabaseFS
+from repro.storage.journal import JournalConfig
+from repro.storage.query import DataQuery, StoreRequest
+
+from repro.core.crypto import Authority
+
+MAX_STORES = int(os.environ.get("RECOVERY_BENCH_STORES", "256"))
+SHARDS = int(os.environ.get("RECOVERY_BENCH_SHARDS", "4"))
+SWEEP_STRIDE = int(os.environ.get("RECOVERY_BENCH_STRIDE", "1"))
+REMOUNT_ROUNDS = 3
+
+AUTHORITY = Authority(bits=512, seed=424)
+OPERATOR_KEY = AUTHORITY.issue_operator_key("recovery-bench-op")
+
+#: Never checkpoint during the fill so the live log grows with N —
+#: the metric measures the log-length slope, not the policy bound.
+UNBOUNDED = JournalConfig(checkpoint_after_records=None,
+                          checkpoint_after_blocks=None)
+
+
+def _fill(stores):
+    """A DBFS volume holding ``stores`` crash_user records, log live."""
+    telemetry = Telemetry(tracing=False)
+    fs = DatabaseFS(
+        operator_key=OPERATOR_KEY,
+        journal_blocks=4096,
+        journal_config=UNBOUNDED,
+        telemetry=telemetry,
+    )
+    fs.create_type(reference_type(), DED)
+    uids = []
+    for i in range(stores):
+        membrane = membrane_for_type(
+            reference_type(), f"recovery-subject-{i}", created_at=0.0
+        )
+        ref = fs.store(
+            StoreRequest(
+                pd_type="crash_user",
+                record={
+                    "name": name_needle(i),
+                    "ssn": ssn_needle(i),
+                    "year": 1900 + i,
+                },
+                membrane_json=membrane.to_json(),
+            ),
+            DED,
+        )
+        uids.append(ref.uid)
+    return fs, uids, telemetry
+
+
+def test_remount_time_vs_log_length():
+    """True-crash remount cost at several live-log lengths."""
+    series = sorted({max(1, MAX_STORES // 8), max(1, MAX_STORES // 2),
+                     MAX_STORES})
+    rows = [("stores", "log_records", "remount_s")]
+    samples = {}
+    recovered_log = {}
+    last_latency = None
+    for stores in series:
+        fs, uids, _ = _fill(stores)
+        best = None
+        for _ in range(REMOUNT_ROUNDS):
+            telemetry = Telemetry(tracing=False)
+            start = time.perf_counter()
+            recovered = DatabaseFS.remount_from_device(
+                fs.device, fs.inodes,
+                operator_key=OPERATOR_KEY,
+                journal_config=UNBOUNDED,
+                telemetry=telemetry,
+            )
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            last_latency = latency_block(
+                telemetry.registry, ["journal.recover"]
+            )
+        log_records = recovered.journal.stats.recovered_records
+        recovered_log[stores] = log_records
+
+        # Sanity: recovery was lossless — first and last record read
+        # back byte-for-byte through the remounted volume.
+        for i in (0, stores - 1):
+            fetched = recovered.fetch_records(
+                DataQuery(
+                    uids=(uids[i],),
+                    fields={uids[i]: frozenset({"name", "ssn", "year"})},
+                ),
+                DED,
+            )[uids[i]]
+            assert fetched["name"] == name_needle(i)
+            assert fetched["ssn"] == ssn_needle(i)
+
+        samples[f"stores_{stores}_seconds"] = best
+        rows.append((stores, log_records, round(best, 4)))
+
+    # More history must mean a longer live log (the thing remount
+    # re-reads); wall-clock ratios are too noisy to gate on.
+    assert recovered_log[series[0]] < recovered_log[series[-1]]
+
+    print_series(
+        f"RECOVERY remount vs log length (up to {MAX_STORES} stores, "
+        "no checkpointing)", rows,
+    )
+    merge_metric(
+        "recovery", "remount_vs_log_length",
+        config={
+            "max_stores": MAX_STORES,
+            "series": series,
+            "rounds": REMOUNT_ROUNDS,
+            "journal_blocks": 4096,
+            "checkpointing": "disabled",
+        },
+        samples=samples,
+        latency=last_latency,
+        extra={"log_records": {str(k): v for k, v in recovered_log.items()}},
+    )
+
+
+def test_crash_sweep_throughput():
+    """Exhaustive power-cut sweep passes and stays cheap at both scales."""
+    rows = [("shards", "trials", "sweep_s", "trials_per_s")]
+    samples = {}
+    summaries = {}
+    for shard_count in sorted({1, SHARDS}):
+        sim = CrashSim(shard_count=shard_count, seed=11)
+        start = time.perf_counter()
+        report = sim.sweep(stride=SWEEP_STRIDE)
+        elapsed = time.perf_counter() - start
+        assert report.passed, (
+            f"crash sweep failed at {shard_count} shards: "
+            f"{[t.failures for t in report.failing_trials()]}"
+        )
+        trials = len(report.trials)
+        rate = trials / elapsed if elapsed else float("inf")
+        samples[f"shards_{shard_count}_sweep_seconds"] = elapsed
+        samples[f"shards_{shard_count}_trials"] = trials
+        summaries[str(shard_count)] = report.summary()
+        rows.append((shard_count, trials, round(elapsed, 3), round(rate, 1)))
+
+    print_series(
+        f"RECOVERY crash sweep (stride {SWEEP_STRIDE}, every write index)",
+        rows,
+    )
+    merge_metric(
+        "recovery", "crash_sweep",
+        config={"shards": sorted({1, SHARDS}), "stride": SWEEP_STRIDE},
+        samples=samples,
+        extra={"sweep_summaries": summaries},
+    )

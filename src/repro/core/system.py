@@ -216,6 +216,7 @@ class RgpdOS:
                 drivers=drivers,
                 config=machine_config,
                 clock=self.clock,
+                telemetry=self.telemetry,
             ).boot()
             self.machine.rgpdos.mount("dbfs", self.dbfs)
             self.machine.rgpdos.mount("ps", self.ps)

@@ -28,6 +28,24 @@ class BlockDeviceError(StorageError):
     """Raised on invalid block-device access (out of range, bad size)."""
 
 
+class TransientIOError(BlockDeviceError):
+    """A transient device fault (media retry, bus glitch).
+
+    The operation did not take effect; retrying it is safe and is
+    expected to succeed.  The NVMe driver path retries these with
+    bounded exponential backoff.
+    """
+
+
+class PowerLossError(BlockDeviceError):
+    """The simulated device lost power mid-operation.
+
+    Not retryable: the device stays dead until ``power_on()``.  Raised
+    by :class:`repro.storage.faults.FaultyBlockDevice` when a fault
+    plan cuts power, and never caught by the driver retry loop.
+    """
+
+
 class OutOfSpaceError(StorageError):
     """Raised when a device or filesystem has no free blocks/inodes left."""
 
@@ -62,6 +80,15 @@ class UnknownRecordError(DBFSError):
 
 class SchemaViolationError(DBFSError):
     """Raised when a record does not conform to its declared PD type."""
+
+
+class ShardUnavailableError(DBFSError):
+    """Raised when an operation routes to a shard that failed recovery.
+
+    A sharded remount isolates per-shard corruption: the healthy shards
+    keep serving, and only operations that *must* touch the degraded
+    shard raise this error.
+    """
 
 
 # ---------------------------------------------------------------------------

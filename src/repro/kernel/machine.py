@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 from .. import errors
 from ..core.clock import Clock
+from ..obs import NULL_TELEMETRY, Telemetry
 from .ipc import Switchboard
 from .lsm import LSMPolicy, rgpdos_policy
 from .memory import MemoryManager
@@ -46,6 +47,11 @@ class MachineConfig:
     rgpdos_frames: int = 131072
     gp_frames: int = 98304
     driver_frames_each: int = 4096
+    # NVMe-style transient-fault handling in the driver kernels:
+    # bounded retries with exponential backoff charged to the
+    # simulation clock (see IODriverKernel.serve).
+    io_retry_limit: int = 3
+    io_retry_backoff_seconds: float = 100e-6
 
     def validate(self, driver_count: int) -> None:
         need_cores = (
@@ -75,9 +81,11 @@ class Machine:
         config: Optional[MachineConfig] = None,
         clock: Optional[Clock] = None,
         rgpdos_lsm: Optional[LSMPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config or MachineConfig()
         self.clock = clock or Clock()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         drivers = drivers or {}
         self.config.validate(len(drivers))
 
@@ -91,7 +99,13 @@ class Machine:
         self.driver_kernels: Dict[str, IODriverKernel] = {}
         for device_name, driver in sorted(drivers.items()):
             kernel = IODriverKernel(
-                name=f"drv-{device_name}", device_name=device_name, driver=driver
+                name=f"drv-{device_name}",
+                device_name=device_name,
+                driver=driver,
+                retry_limit=self.config.io_retry_limit,
+                backoff_seconds=self.config.io_retry_backoff_seconds,
+                clock=self.clock,
+                telemetry=self.telemetry,
             )
             self.driver_kernels[device_name] = kernel
 

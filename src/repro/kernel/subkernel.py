@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .. import errors
+from ..obs import NULL_TELEMETRY, Telemetry
 from .ipc import Message, Switchboard
 from .lsm import LSMPolicy, permissive_policy
 from .process import Process
@@ -120,21 +121,75 @@ class IODriverKernel(SubKernel):
         device_name: str,
         driver: Callable[[IORequest], bytes],
         lsm: Optional[LSMPolicy] = None,
+        retry_limit: int = 3,
+        backoff_seconds: float = 100e-6,
+        clock: Optional[object] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__(name, lsm)
         self.device_name = device_name
         self._driver = driver
         self.served_requests = 0
         self.pd_requests = 0
+        # Transient-fault absorption (an NVMe command timing out and
+        # being reissued): bounded retries with exponential backoff
+        # charged to the simulated clock.  Only TransientIOError is
+        # retried — PowerLossError and plain BlockDeviceError are
+        # permanent as far as the driver can tell.
+        self.retry_limit = retry_limit
+        self.backoff_seconds = backoff_seconds
+        self.clock = clock
+        self.transient_errors = 0
+        self.io_retries = 0
+        self.retries_exhausted = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            registry = self.telemetry.registry
+            self._ctr_transient = registry.counter(
+                f"io.{device_name}.transient_errors"
+            )
+            self._ctr_retries = registry.counter(f"io.{device_name}.retries")
+            self._ctr_exhausted = registry.counter(f"io.{device_name}.exhausted")
+        else:
+            self._ctr_transient = self._ctr_retries = self._ctr_exhausted = None
 
     def serve(self, request: IORequest) -> bytes:
-        """Execute one IO request against the device."""
+        """Execute one IO request, absorbing transient device faults.
+
+        A :class:`~repro.errors.TransientIOError` is retried up to
+        ``retry_limit`` times with exponential backoff (charged to the
+        simulated clock, so the latency of a flaky device is visible
+        in benchmark timings); when the budget is exhausted the last
+        error propagates.  All outcomes are surfaced in telemetry as
+        ``io.<device>.transient_errors`` / ``.retries`` /
+        ``.exhausted``.
+        """
         if request.op not in ("read", "write"):
             raise errors.KernelError(f"unknown IO op {request.op!r}")
         self.served_requests += 1
         if request.carries_pd:
             self.pd_requests += 1
-        return self._driver(request)
+        attempt = 0
+        while True:
+            try:
+                return self._driver(request)
+            except errors.TransientIOError:
+                attempt += 1
+                self.transient_errors += 1
+                if self._ctr_transient is not None:
+                    self._ctr_transient.inc()
+                if attempt > self.retry_limit:
+                    self.retries_exhausted += 1
+                    if self._ctr_exhausted is not None:
+                        self._ctr_exhausted.inc()
+                    raise
+                if self.clock is not None:
+                    self.clock.advance(
+                        self.backoff_seconds * (2 ** (attempt - 1))
+                    )
+                self.io_retries += 1
+                if self._ctr_retries is not None:
+                    self._ctr_retries.inc()
 
     def drain_ipc(self, sender: str) -> int:
         """Serve every queued IO request from ``sender``; reply inline."""

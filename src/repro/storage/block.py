@@ -281,6 +281,22 @@ class BlockDevice:
             if block_no not in self._freed_set:
                 yield block_no
 
+    def scan_cache(self, needle: bytes) -> List[int]:
+        """Return every page-cache-resident block containing ``needle``.
+
+        The RTBF invariant must hold in the cache too: after a crash,
+        a lost write can leave the cache ahead of the medium, and after
+        an erasure nothing may serve the old bytes.  The crash harness
+        checks this alongside the on-medium :meth:`scan`.
+        """
+        if not needle:
+            raise errors.BlockDeviceError("cannot scan for an empty needle")
+        return [
+            block_no
+            for block_no, data in self._page_cache.items()
+            if needle in data
+        ]
+
     # -- page cache ---------------------------------------------------------
 
     def _cache_insert(self, block_no: int, data: bytes) -> None:
@@ -300,6 +316,18 @@ class BlockDevice:
     def cached_blocks(self) -> List[int]:
         """Block numbers currently resident in the page cache (tests)."""
         return list(self._page_cache)
+
+    def drop_page_cache(self) -> int:
+        """Discard every cached block; returns how many were dropped.
+
+        Remount-after-crash must call this: the cache belongs to the
+        *session*, not the medium, and after a power cut it can hold
+        write-through copies of writes the medium never received.
+        """
+        dropped = len(self._page_cache)
+        self._page_cache.clear()
+        self.stats.cache_invalidations += dropped
+        return dropped
 
     def cache_stats(self) -> Dict[str, object]:
         """Observable page-cache state (size, capacity, hit rate)."""

@@ -69,7 +69,7 @@ from ..core.crypto import EscrowBlob, OperatorKey
 from ..core.datatypes import PDType
 from ..core.membrane import Membrane
 from ..obs import NULL_TELEMETRY, Telemetry
-from .block import BlockDevice
+from .block import BlockDevice, store_bytes
 from .btree import FieldIndex
 from .cache import MISSING, CacheConfig, DEFAULT_CACHE_CONFIG, LRUCache
 from .inode import (
@@ -82,7 +82,7 @@ from .inode import (
     Inode,
     InodeTable,
 )
-from .journal import Journal, JournalConfig
+from .journal import TXN_COMMIT, TXN_DELETE, Journal, JournalConfig
 from .query import (
     OP_EQ,
     OP_GE,
@@ -176,7 +176,25 @@ class DatabaseFS:
         self._subjects_root = self.inodes.allocate(KIND_DIRECTORY)
         self._schema_root = self.inodes.allocate(KIND_DIRECTORY)
         self._formats_root = self.inodes.allocate(KIND_DIRECTORY)
+        # Role markers + journal extent let remount_from_device find
+        # the trees and the journal from surviving state alone.
+        self._subjects_root.attrs["role"] = "subjects-root"
+        self._schema_root.attrs["role"] = "schema-root"
+        self._formats_root.attrs["role"] = "formats-root"
+        self._subjects_root.attrs["journal_extent"] = self.journal.extent
 
+        self._init_volatile()
+        self.stats = DBFSStats()
+        #: Crash-reconciliation report of the last remount_from_device
+        #: (rolled-back stores, redone erasures, orphan sweeps).
+        self.recovery_report: Dict[str, int] = {}
+
+    def _init_volatile(self) -> None:
+        """(Re)create every derived, in-memory-only structure.
+
+        Everything assigned here is rebuilt from the durable planes on
+        remount; nothing in it survives a crash.
+        """
         self._types: Dict[str, PDType] = {}
         self._record_index: Dict[str, int] = {}      # uid -> record inode no
         self._membrane_index: Dict[str, int] = {}    # uid -> membrane inode no
@@ -211,7 +229,6 @@ class DatabaseFS:
         # get -> mutate -> put_membrane discipline and put_membrane
         # refreshes this cache alongside the JSON cache.
         self._membrane_cache: Dict[str, Membrane] = {}
-        self.stats = DBFSStats()
 
     # ------------------------------------------------------------------
     # Access control
@@ -544,43 +561,58 @@ class DatabaseFS:
             k: v for k, v in request.record.items() if k in fmt["sensitive_fields"]
         }
 
-        subject_inode = self._subject_inode(membrane.subject_id, create=True)
-        record_inode = self.inodes.allocate(KIND_RECORD)
-        self.inodes.write_payload(record_inode.number, _encode_record(public))
-        record_inode.attrs["uid"] = uid
-        record_inode.attrs["pd_type"] = pd_type.name
+        # WAL, intent-before-apply: the "store:<uid>" intent lands in
+        # the journal *before* any tree write, and the COMMIT (or the
+        # surrounding batch's group commit) seals it only after the
+        # trees hold the full record.  A crash mid-apply therefore
+        # leaves an uncommitted intent, which remount_from_device uses
+        # to roll the half-born record back.
+        self.journal.begin()
+        self.journal.log_delete(f"store:{uid}")
+        try:
+            subject_inode = self._subject_inode(membrane.subject_id, create=True)
+            record_inode = self.inodes.allocate(KIND_RECORD)
+            self.inodes.write_payload(record_inode.number, _encode_record(public))
+            record_inode.attrs["uid"] = uid
+            record_inode.attrs["pd_type"] = pd_type.name
 
-        if sensitive:
-            sensitive_inode = self.inodes.allocate(KIND_RECORD)
+            if sensitive:
+                sensitive_inode = self.inodes.allocate(KIND_RECORD)
+                self.inodes.write_payload(
+                    sensitive_inode.number, _encode_record(sensitive)
+                )
+                sensitive_inode.attrs["sensitive"] = True
+                record_inode.attrs["sensitive_inode"] = sensitive_inode.number
+
+            membrane_inode = self.inodes.allocate(KIND_MEMBRANE)
             self.inodes.write_payload(
-                sensitive_inode.number, _encode_record(sensitive)
+                membrane_inode.number, membrane.to_json().encode()
             )
-            sensitive_inode.attrs["sensitive"] = True
-            record_inode.attrs["sensitive_inode"] = sensitive_inode.number
+            record_inode.attrs["membrane_inode"] = membrane_inode.number
 
-        membrane_inode = self.inodes.allocate(KIND_MEMBRANE)
-        self.inodes.write_payload(
-            membrane_inode.number, membrane.to_json().encode()
-        )
-        record_inode.attrs["membrane_inode"] = membrane_inode.number
+            # Link into both major trees.
+            self.inodes.link_child(subject_inode.number, uid, record_inode.number)
+            table_inode = self.inodes.lookup(self._schema_root.number, pd_type.name)
+            self.inodes.link_child(table_inode.number, uid, record_inode.number)
 
-        # Link into both major trees.
-        self.inodes.link_child(subject_inode.number, uid, record_inode.number)
-        table_inode = self.inodes.lookup(self._schema_root.number, pd_type.name)
-        self.inodes.link_child(table_inode.number, uid, record_inode.number)
-
-        self._record_index[uid] = record_inode.number
-        self._membrane_index[uid] = membrane_inode.number
-        self._membrane_json_cache[uid] = membrane.to_json()
-        if self.cache_config.membrane_object_cache:
-            self._membrane_cache[uid] = membrane
-        self._record_cache.put(uid, dict(request.record))
-        self._listing_cache.pop(pd_type.name, None)
-        self._index_record(pd_type.name, uid, request.record)
-        if membrane.lineage:
-            self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
+            self._record_index[uid] = record_inode.number
+            self._membrane_index[uid] = membrane_inode.number
+            self._membrane_json_cache[uid] = membrane.to_json()
+            if self.cache_config.membrane_object_cache:
+                self._membrane_cache[uid] = membrane
+            self._record_cache.put(uid, dict(request.record))
+            self._listing_cache.pop(pd_type.name, None)
+            self._index_record(pd_type.name, uid, request.record)
+            if membrane.lineage:
+                self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
+        except BaseException:
+            # Inside a batch the enclosing Journal.batch() aborts the
+            # whole group; a solo store drops its own transaction.
+            if not self.journal.in_batch:
+                self.journal.abort()
+            raise
         self.stats.stores += 1
-        self._journal_op("store", uid)
+        self.journal.commit()
         return PDRef(uid=uid, pd_type=pd_type.name, subject_id=membrane.subject_id)
 
     def store_many(
@@ -820,46 +852,117 @@ class DatabaseFS:
         if membrane.erased:
             raise errors.ErasureError(f"PD {request.uid!r} is already erased")
         record = self._load_record_raw(request.uid)
-        inode_no = self._record_index[request.uid]
-        inode = self.inodes.get(inode_no)
+        inode = self.inodes.get(self._record_index[request.uid])
         self._unindex_record(membrane.pd_type, request.uid, record)
 
+        op = "delete"
         if request.mode == "escrow":
             if self._operator_key is None:
                 raise errors.ErasureError(
                     "escrow deletion requires an authority-issued operator key"
                 )
             blob = self._operator_key.escrow_encrypt(_encode_record(record))
-            self._escrow_blobs[request.uid] = blob
-            # The ciphertext replaces the plaintext on disk; the old
-            # extent is scrubbed by rewrite_scrubbed.  The envelope
-            # (wrapped key, nonce, MAC) is persisted in the inode attrs
-            # so the blob survives a crash/remount.
-            self.inodes.rewrite_scrubbed(inode_no, blob.ciphertext)
-            inode.attrs["escrowed"] = True
-            inode.attrs["escrow_envelope"] = {
-                "wrapped_key": blob.wrapped_key,
-                "nonce": blob.nonce.hex(),
-                "tag": blob.tag.hex(),
-                "key_fingerprint": blob.key_fingerprint,
+            # Stage the ciphertext on *fresh* blocks before the intent
+            # commits.  Staging destroys nothing: a crash here leaves
+            # the plaintext record fully intact and the uncommitted
+            # intent simply discards the staging at remount.  The
+            # envelope (wrapped key, nonce, MAC) rides along so the
+            # blob survives the crash too.
+            inode.attrs["escrow_staging"] = {
+                "blocks": store_bytes(self.device, blob.ciphertext),
+                "size": len(blob.ciphertext),
+                "envelope": {
+                    "wrapped_key": blob.wrapped_key,
+                    "nonce": blob.nonce.hex(),
+                    "tag": blob.tag.hex(),
+                    "key_fingerprint": blob.key_fingerprint,
+                },
             }
-        else:
+            op = "delete-escrow"
+
+        # WAL, commit-before-apply: re-running a committed erase is
+        # safe (the apply below is idempotent), whereas rolling back a
+        # half-scrubbed one is impossible.  Checkpoints are held across
+        # commit+scrub so the auto-checkpoint policy cannot truncate
+        # the intent away while the destructive half is in flight; the
+        # closing membrane_update record lands *after* the hold, so a
+        # policy-triggered checkpoint never erases the last trace of
+        # the erasure from the log.  (Recovery does not depend on the
+        # intent surviving either way: a scrubbed-but-unmarked record
+        # is detectable from tree state alone — see _crash_recover.)
+        with self.journal.hold_checkpoints():
+            self._journal_op(op, request.uid)
+            self._scrub_record(request.uid, request.mode)
+        membrane = self._finish_erase(request.uid, credential)
+        self.stats.deletes += 1
+        return membrane
+
+    def _scrub_record(self, uid: str, mode: str) -> None:
+        """Destructive half of an erase intent — idempotent by design.
+
+        Runs after the intent commits (live path) and again from crash
+        recovery (redo) when a committed or already-started erase did
+        not finish.  Every sub-step checks before it mutates, so
+        re-application converges on the same final state: ciphertext
+        (or empty extent) in place, plaintext scrubbed, sensitive
+        inode gone.
+        """
+        inode_no = self._record_index[uid]
+        inode = self.inodes.get(inode_no)
+
+        if mode == "escrow":
+            staging = inode.attrs.pop("escrow_staging", None)
+            if staging is not None:
+                # Swap the staged ciphertext in, then scrub the
+                # plaintext extent (shadow-write ordering: a crash
+                # mid-swap leaves either plaintext or ciphertext
+                # referenced, never a torn extent; unreferenced
+                # leftovers are caught by the orphan-block sweep).
+                old_blocks = inode.blocks
+                inode.blocks = list(staging["blocks"])
+                inode.size = staging["size"]
+                inode.attrs["escrowed"] = True
+                inode.attrs["escrow_envelope"] = staging["envelope"]
+                for block_no in old_blocks:
+                    self.device.scrub(block_no)
+                    self.device.free(block_no)
+            envelope = inode.attrs.get("escrow_envelope")
+            if envelope is not None and uid not in self._escrow_blobs:
+                self._escrow_blobs[uid] = EscrowBlob(
+                    wrapped_key=envelope["wrapped_key"],
+                    nonce=bytes.fromhex(envelope["nonce"]),
+                    ciphertext=self.inodes.read_payload(inode_no),
+                    tag=bytes.fromhex(envelope["tag"]),
+                    key_fingerprint=envelope["key_fingerprint"],
+                )
+        elif inode.size:
+            # A live record always has a non-empty payload (at minimum
+            # "{}"), so size == 0 means the swap already happened.
             self.inodes.rewrite_scrubbed(inode_no, b"")
 
         sensitive_no = inode.attrs.pop("sensitive_inode", None)
-        if sensitive_no is not None:
+        if sensitive_no is not None and self.inodes.exists(sensitive_no):
             self.inodes.free(sensitive_no, scrub=True)
 
         # Erasure must reach the caches too: a cached copy of the
         # record is exactly the § 1 lower-layer leak, one level up.
-        self._record_cache.invalidate(request.uid)
-        self._listing_cache.pop(membrane.pd_type, None)
+        self._record_cache.invalidate(uid)
 
-        membrane.mark_erased(at=membrane.created_at)
-        self.put_membrane(request.uid, membrane, credential)
-        self.stats.deletes += 1
-        self._journal_op("delete", request.uid)
+    def _finish_erase(self, uid: str, credential: AccessCredential) -> Membrane:
+        """Mark the membrane erased and persist it (idempotent)."""
+        membrane = self._load_membrane(uid)
+        self._listing_cache.pop(membrane.pd_type, None)
+        if not membrane.erased:
+            membrane.mark_erased(at=membrane.created_at)
+            self.put_membrane(uid, membrane, credential)
         return membrane
+
+    def _apply_erase(
+        self, uid: str, mode: str, credential: AccessCredential
+    ) -> Membrane:
+        """Redo a whole erase (scrub + membrane mark) during recovery."""
+        self._scrub_record(uid, mode)
+        return self._finish_erase(uid, credential)
 
     def escrow_blob(self, uid: str) -> EscrowBlob:
         """The escrow ciphertext for an erased record (for authorities)."""
@@ -1139,18 +1242,13 @@ class DatabaseFS:
         from them.  Returns counts of what was recovered.  A live
         session that calls this must observe no behavioural change —
         the remount tests assert exactly that.
+
+        This in-place variant reuses the live ``Journal`` object and
+        assumes the last operation completed; after a simulated power
+        cut use :meth:`remount_from_device`, which also reconciles
+        half-applied operations against the journal.
         """
-        self._types.clear()
-        self._record_index.clear()
-        self._membrane_index.clear()
-        self._lineage_index.clear()
-        self._membrane_json_cache.clear()
-        self._membrane_cache.clear()
-        self._record_cache.clear()
-        self._listing_cache.clear()
-        self._escrow_blobs.clear()
-        self._field_indexes.clear()
-        self._format_cache.clear()  # a new live session re-reads formats
+        self._init_volatile()
 
         # 0. Journal recovery: re-read the committed log from the
         # device (crash-recovery cost ∝ live log length — this is the
@@ -1160,6 +1258,190 @@ class DatabaseFS:
         # than in the (idempotent) return dict.
         self.journal.recover()
 
+        counts = self._rebuild_trees()
+        counts["field_indexes"] = self._rebuild_field_indexes()
+        self._journal_op("remount", f"records={counts['records']}")
+        return counts
+
+    @classmethod
+    def remount_from_device(
+        cls,
+        device: BlockDevice,
+        inodes: InodeTable,
+        operator_key: Optional[OperatorKey] = None,
+        cache_config: Optional[CacheConfig] = None,
+        journal_config: Optional[JournalConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "DatabaseFS":
+        """True-crash remount: a fresh DBFS over surviving state only.
+
+        Nothing from the pre-crash ``DatabaseFS`` object is consulted.
+        The durable planes are the device bytes and the inode table
+        (DBFS's metadata plane, modelled as synchronously durable —
+        the analogue of uFS running its inode layer in the trusted
+        server process).  In order:
+
+        1. drop the page cache (a post-crash cache could serve bytes
+           whose last write the power cut discarded);
+        2. locate the three root trees by their ``role`` attrs and
+           rebuild the journal from its reserved extent alone
+           (:meth:`Journal.remount` — a fresh object, device bytes
+           only);
+        3. reconcile half-applied operations against the journal:
+           uncommitted store intents roll *back* (the half-born record
+           is unlinked), committed or already-started erase intents
+           roll *forward* (erasing more, never resurrecting PD — the
+           RTBF-safe direction), untouched uncommitted erases keep
+           their record intact;
+        4. rebuild the derived indexes, then scrub every unreachable
+           inode and orphaned block so no PD residue survives in
+           debris the trees no longer reference.
+
+        The reconciliation report lands in :attr:`recovery_report`.
+        """
+        fs = cls.__new__(cls)
+        fs.cache_config = (
+            cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
+        )
+        fs.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        fs.device = device
+        device.drop_page_cache()
+        fs.inodes = inodes
+        fs._operator_key = operator_key
+
+        roots: Dict[str, Inode] = {}
+        for number in inodes.numbers():
+            role = inodes.get(number).attrs.get("role")
+            if isinstance(role, str):
+                roots[role] = inodes.get(number)
+        missing = {"subjects-root", "schema-root", "formats-root"} - set(roots)
+        if missing:
+            raise errors.DBFSError(
+                f"remount: no {sorted(missing)[0]} inode found — "
+                "not a DBFS volume"
+            )
+        fs._subjects_root = roots["subjects-root"]
+        fs._schema_root = roots["schema-root"]
+        fs._formats_root = roots["formats-root"]
+
+        extent = fs._subjects_root.attrs.get("journal_extent")
+        if not extent:
+            raise errors.DBFSError(
+                "remount: volume records no journal extent"
+            )
+        fs.journal = Journal.remount(
+            device, list(extent), config=journal_config, telemetry=fs.telemetry
+        )
+
+        fs._init_volatile()
+        fs.stats = DBFSStats()
+        fs.recovery_report = fs._crash_recover()
+        return fs
+
+    def _crash_recover(self) -> Dict[str, int]:
+        """Reconcile half-applied operations against the journal.
+
+        Called once by :meth:`remount_from_device`, after the journal
+        itself has recovered (torn tail truncated, counters restored)
+        and before the store serves any request.
+        """
+        # Intent records: ("store" | "erase" | "escrow", uid, committed).
+        all_records = list(self.journal.records())
+        committed_txns = {
+            r.txn_id for r in all_records if r.record_type == TXN_COMMIT
+        }
+        intents: List[Tuple[str, str, bool]] = []
+        for record in all_records:
+            if record.record_type != TXN_DELETE:
+                continue
+            committed = record.txn_id in committed_txns
+            target = record.target
+            if target.startswith("store:"):
+                intents.append(("store", target[len("store:"):], committed))
+            elif target.startswith("delete-escrow:"):
+                intents.append(
+                    ("escrow", target[len("delete-escrow:"):], committed)
+                )
+            elif target.startswith("delete:"):
+                intents.append(("erase", target[len("delete:"):], committed))
+
+        # 1. Roll back half-born records before touching the trees:
+        # an uncommitted store may have linked a record that lacks its
+        # membrane, which the rebuild below would (rightly) reject.
+        rolled_back = 0
+        for op, uid, committed in intents:
+            if op == "store" and not committed:
+                rolled_back += self._rollback_store(uid)
+
+        counts = self._rebuild_trees()
+
+        # 2. Erase reconciliation.  Two sources of truth compose:
+        # *tree state* — a scrubbed-but-unmarked record is detectable
+        # on its own (needed because a policy checkpoint may lawfully
+        # truncate an erase intent once its scrub is done) — and the
+        # *journal intents* — a committed erase whose destruction
+        # never started looks fully live, and only the intent reveals
+        # the promise.  Started erasures always roll forward, even
+        # uncommitted ones (possible for group-committed bulk
+        # erasures): completing an erasure is GDPR-safe, resurrecting
+        # scrubbed PD never is.  Untouched uncommitted escrow intents
+        # just discard their staged ciphertext.
+        committed_erases: Dict[str, str] = {}
+        for op, uid, committed in intents:
+            if op != "store" and committed:
+                committed_erases[uid] = "escrow" if op == "escrow" else "erase"
+        ded = AccessCredential(holder="crash-recovery", is_ded=True)
+        redone = 0
+        for uid in list(self._record_index):
+            inode = self.inodes.get(self._record_index[uid])
+            has_envelope = "escrow_envelope" in inode.attrs
+            has_staging = "escrow_staging" in inode.attrs
+            membrane = self._load_membrane(uid)
+            if membrane.erased:
+                # Fully erased already — just complete any lingering
+                # half-scrubbed state (staging, sensitive inode).
+                if has_staging or "sensitive_inode" in inode.attrs:
+                    self._scrub_record(
+                        uid,
+                        "escrow" if (has_envelope or has_staging) else "erase",
+                    )
+                    redone += 1
+                continue
+            if has_envelope:
+                self._apply_erase(uid, "escrow", ded)
+                redone += 1
+            elif inode.size == 0:
+                self._apply_erase(uid, "erase", ded)
+                redone += 1
+            elif uid in committed_erases:
+                self._apply_erase(uid, committed_erases[uid], ded)
+                redone += 1
+            elif has_staging:
+                inode.attrs.pop("escrow_staging", None)
+
+        # 3. Field indexes rebuild only now: erased membranes are all
+        # marked, so the backfill never decodes an escrow ciphertext.
+        counts["field_indexes"] = self._rebuild_field_indexes()
+
+        # 4. Residue sweeps: rollbacks and interrupted shadow-writes
+        # leave unreachable inodes / unreferenced blocks whose bytes
+        # may be PD.  Scrub them all.
+        orphan_inodes = self._free_unreachable_inodes()
+        orphan_blocks = self._scrub_orphan_blocks()
+
+        self._journal_op("remount", f"records={counts['records']}")
+        return {
+            "records": counts["records"],
+            "types": counts["types"],
+            "rolled_back_stores": rolled_back,
+            "redone_erasures": redone,
+            "orphan_inodes": orphan_inodes,
+            "orphan_blocks": orphan_blocks,
+            "torn_records": self.journal.stats.torn_records,
+        }
+
+    def _rebuild_trees(self) -> Dict[str, int]:
+        """Schema + subject trees → type registry and uid indexes."""
         # 1. Schema tree → type registry.
         for type_name, table_no in sorted(self._schema_root.children.items()):
             description = json.loads(
@@ -1198,8 +1480,16 @@ class DatabaseFS:
                     )
                 recovered_records += 1
 
-        # 3. Declared field indexes (definitions live in table attrs).
-        rebuilt_indexes = 0
+        return {
+            "types": len(self._types),
+            "records": recovered_records,
+            "lineage_groups": len(self._lineage_index),
+            "escrow_blobs": len(self._escrow_blobs),
+        }
+
+    def _rebuild_field_indexes(self) -> int:
+        """Declared field indexes (definitions live in table attrs)."""
+        rebuilt = 0
         ded = AccessCredential(holder="remount", is_ded=True)
         for type_name, table_no in sorted(self._schema_root.children.items()):
             table = self.inodes.get(table_no)
@@ -1207,13 +1497,105 @@ class DatabaseFS:
             table.attrs["indexes"] = []  # create_index re-records each
             for field_name in declared:
                 self.create_index(type_name, field_name, ded)
-                rebuilt_indexes += 1
+                rebuilt += 1
+        return rebuilt
 
-        self._journal_op("remount", f"records={recovered_records}")
-        return {
-            "types": len(self._types),
-            "records": recovered_records,
-            "lineage_groups": len(self._lineage_index),
-            "escrow_blobs": len(self._escrow_blobs),
-            "field_indexes": rebuilt_indexes,
-        }
+    def rollback_stores(self, uids: Sequence[str]) -> int:
+        """Roll back committed-but-torn cross-shard stores after recovery.
+
+        Used by ``ShardedDBFS.remount_from_devices`` when a fleet
+        batch committed on this shard but not on every participant:
+        the group as a whole never happened, so this shard's half is
+        unwound — trees unlinked, volatile indexes rebuilt, orphaned
+        inodes and blocks scrubbed.  Idempotent: uids already absent
+        roll back to nothing.  Returns how many stores were unwound.
+        """
+        rolled = sum(self._rollback_store(uid) for uid in uids)
+        if rolled:
+            self._init_volatile()
+            self._rebuild_trees()
+            self._rebuild_field_indexes()
+            self._free_unreachable_inodes()
+            self._scrub_orphan_blocks()
+        return rolled
+
+    def _rollback_store(self, uid: str) -> int:
+        """Undo a half-applied, uncommitted store intent.
+
+        Unlinks the record from the subject and schema trees (and
+        removes a subject inode this very store created); the record /
+        sensitive / membrane inodes left behind become unreachable and
+        are scrubbed by the reachability sweep.  Returns 1 if anything
+        was actually unlinked (a crash right after the intent landed
+        leaves nothing to undo).
+        """
+        removed = 0
+        for subject_id in list(self._subjects_root.children):
+            subject_no = self._subjects_root.children[subject_id]
+            subject = self.inodes.get(subject_no)
+            if uid in subject.children:
+                self.inodes.unlink_child(subject_no, uid)
+                removed = 1
+                if not subject.children:
+                    self.inodes.unlink_child(
+                        self._subjects_root.number, subject_id
+                    )
+                    self.inodes.free(subject_no)
+                break
+        parts = uid.split(":")
+        type_name = parts[1] if len(parts) >= 3 else None
+        table_no = (
+            self._schema_root.children.get(type_name) if type_name else None
+        )
+        if table_no is not None:
+            table = self.inodes.get(table_no)
+            if uid in table.children:
+                self.inodes.unlink_child(table_no, uid)
+                removed = 1
+        return removed
+
+    def _free_unreachable_inodes(self) -> int:
+        """Scrub-free every inode not reachable from the three roots.
+
+        Rollbacks (and interrupted stores that never linked) leave
+        record/sensitive/membrane inodes holding PD with no tree
+        reference; freeing them *with scrub* is what keeps the RTBF
+        residue at zero after a crash.
+        """
+        reachable = set()
+        for root in (self._subjects_root, self._schema_root,
+                     self._formats_root):
+            for inode in self.inodes.walk(root.number):
+                reachable.add(inode.number)
+                for attr in ("sensitive_inode", "membrane_inode"):
+                    linked = inode.attrs.get(attr)
+                    if linked is not None:
+                        reachable.add(linked)
+        freed = 0
+        for number in self.inodes.numbers():
+            if number not in reachable:
+                self.inodes.free(number, scrub=True)
+                freed += 1
+        return freed
+
+    def _scrub_orphan_blocks(self) -> int:
+        """Scrub-free allocated blocks no inode (or the journal) owns.
+
+        Interrupted shadow-writes allocate a new extent before the old
+        one is released; whichever side lost the race is unreferenced
+        after the crash and may carry plaintext PD.
+        """
+        referenced = set(self.journal.extent)
+        for number in self.inodes.numbers():
+            inode = self.inodes.get(number)
+            referenced.update(inode.blocks)
+            staging = inode.attrs.get("escrow_staging")
+            if staging:
+                referenced.update(staging["blocks"])
+        freed = 0
+        for block_no in list(self.device.iter_allocated()):
+            if block_no not in referenced:
+                self.device.scrub(block_no)
+                self.device.free(block_no)
+                freed += 1
+        return freed

@@ -1,0 +1,253 @@
+"""Deterministic fault injection for the simulated block device.
+
+The crash-consistency story of § 1 ("a DB-engine delete can leave PD
+behind in lower layers") only holds if it survives the failure modes a
+real device actually has.  This module injects four of them, all
+seeded and replayable:
+
+* **power loss** — the device dies *during* the Nth write attempt: the
+  write-through page cache has already accepted the payload (the
+  volatile copy is ahead of the medium, exactly the state a dirty
+  cache leaves behind), the medium receives at most a torn prefix, and
+  every IO after that raises :class:`~repro.errors.PowerLossError`
+  until :meth:`FaultInjector.power_on`;
+* **torn writes** — the interrupted write lands partially: a
+  seed-determined prefix of the payload reaches the medium, which is
+  what makes the journal's torn-tail truncation observable;
+* **transient IO errors** — every Nth attempt raises
+  :class:`~repro.errors.TransientIOError` *once*; an immediate retry
+  of the same operation succeeds.  This is the fault the NVMe driver's
+  bounded-retry path absorbs;
+* **read bit flips** — every Nth read returns a copy with one
+  seed-determined bit flipped.  Only the returned copy is corrupted —
+  medium and cache keep the true bytes — modelling a transient bus /
+  DMA error rather than medium rot.  The journal's per-record CRC is
+  what turns this into a detected (skipped) record instead of silent
+  corruption.
+
+One :class:`FaultInjector` can be shared by several
+:class:`FaultyBlockDevice` instances: the write/read indexes are then
+global across the fleet and the power rail is single — cutting power
+at write #N kills *all* shards at the same instant, which is how the
+crash harness exercises multi-shard recovery.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import errors
+from .block import BlockDevice
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, declarative description of the faults to inject.
+
+    All indexes are 1-based counts of *attempts* (a retried write gets
+    a fresh index).  ``None`` / ``0`` disables a fault class.
+    """
+
+    seed: int = 0
+    #: Cut power during write attempt ``N+1`` — the first N writes
+    #: reach the medium intact, the next one is lost or torn.
+    power_cut_after_writes: Optional[int] = None
+    #: When the power cut interrupts a write, let a seed-determined
+    #: prefix of the payload reach the medium (a torn write).  With
+    #: False the interrupted write is lost entirely.
+    torn_tail: bool = True
+    #: Raise :class:`TransientIOError` on every Nth write attempt.
+    transient_write_every: Optional[int] = None
+    #: Raise :class:`TransientIOError` on every Nth read attempt.
+    transient_read_every: Optional[int] = None
+    #: Flip one bit in the returned copy of every Nth read.
+    bit_flip_read_every: Optional[int] = None
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (for assertions and reports)."""
+
+    power_cuts: int = 0
+    torn_writes: int = 0
+    lost_writes: int = 0
+    transient_write_errors: int = 0
+    transient_read_errors: int = 0
+    bit_flips: int = 0
+    blocked_while_off: int = 0
+
+
+class FaultInjector:
+    """Shared fault state: attempt counters and the power rail.
+
+    Deterministic by construction — same plan, same operation
+    sequence, same faults.  No randomness at injection time; torn
+    lengths and flipped bits derive from ``crc32(seed:index)``.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.write_index = 0
+        self.read_index = 0
+        self.powered = True
+        self._cut_fired = False
+        self.stats = FaultStats()
+
+    # -- power rail ---------------------------------------------------------
+
+    def power_on(self) -> None:
+        """Restore power after a cut (the 'reboot' half of a crash)."""
+        self.powered = True
+
+    def check_power(self, op: str) -> None:
+        if not self.powered:
+            self.stats.blocked_while_off += 1
+            raise errors.PowerLossError(
+                f"device is powered off ({op} attempted after a power cut)"
+            )
+
+    # -- per-attempt decisions ----------------------------------------------
+
+    def next_write(self) -> int:
+        self.write_index += 1
+        return self.write_index
+
+    def next_read(self) -> int:
+        self.read_index += 1
+        return self.read_index
+
+    def _every(self, every: Optional[int], index: int) -> bool:
+        return bool(every) and index % every == 0
+
+    def transient_write(self, index: int) -> bool:
+        if self._every(self.plan.transient_write_every, index):
+            self.stats.transient_write_errors += 1
+            return True
+        return False
+
+    def transient_read(self, index: int) -> bool:
+        if self._every(self.plan.transient_read_every, index):
+            self.stats.transient_read_errors += 1
+            return True
+        return False
+
+    def bit_flip_read(self, index: int) -> bool:
+        return self._every(self.plan.bit_flip_read_every, index)
+
+    def cut_now(self, index: int) -> bool:
+        cut = self.plan.power_cut_after_writes
+        if cut is None or self._cut_fired or index <= cut:
+            return False
+        self._cut_fired = True
+        self.powered = False
+        self.stats.power_cuts += 1
+        return True
+
+    def entropy(self, index: int) -> int:
+        """Deterministic per-index noise for torn lengths / bit picks."""
+        return zlib.crc32(f"{self.plan.seed}:{index}".encode("ascii"))
+
+
+class FaultyBlockDevice(BlockDevice):
+    """A :class:`BlockDevice` whose IO path runs through a :class:`FaultInjector`.
+
+    Drop-in for the plain device — DBFS, the journal and the inode
+    table never know.  Pass ``injector`` to share one rail across a
+    sharded fleet, or ``plan`` for a private injector.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        plan: Optional[FaultPlan] = None,
+        injector: Optional[FaultInjector] = None,
+        **kwargs: object,
+    ) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self.injector = injector if injector is not None else FaultInjector(plan)
+
+    # -- faulty IO ----------------------------------------------------------
+
+    def write(self, block_no: int, data: bytes) -> None:
+        inj = self.injector
+        inj.check_power("write")
+        self._check_range(block_no)
+        if len(data) > self.block_size:
+            raise errors.BlockDeviceError(
+                f"payload of {len(data)} bytes exceeds block size {self.block_size}"
+            )
+        index = inj.next_write()
+        if inj.transient_write(index):
+            raise errors.TransientIOError(
+                f"transient fault on write #{index} (block {block_no})"
+            )
+        if inj.cut_now(index):
+            # The volatile cache accepted the write before the medium
+            # did — after the cut it is *ahead* of durable state, which
+            # is why remount must drop it.
+            self._cache_insert(block_no, bytes(data))
+            if self.plan.torn_tail and len(data) > 1:
+                keep = 1 + inj.entropy(index) % (len(data) - 1)
+                self._blocks[block_no] = bytes(data[:keep])
+                inj.stats.torn_writes += 1
+            else:
+                inj.stats.lost_writes += 1
+            raise errors.PowerLossError(
+                f"power lost during write #{index} (block {block_no})"
+            )
+        super().write(block_no, data)
+
+    def scrub(self, block_no: int) -> None:
+        inj = self.injector
+        inj.check_power("scrub")
+        self._check_range(block_no)
+        index = inj.next_write()
+        if inj.transient_write(index):
+            raise errors.TransientIOError(
+                f"transient fault on scrub #{index} (block {block_no})"
+            )
+        if inj.cut_now(index):
+            # The scrub never reached the medium; the cache entry is
+            # gone either way (the OS dropped it before issuing the
+            # command).  Recovery must re-issue the scrub.
+            self._cache_invalidate(block_no)
+            inj.stats.lost_writes += 1
+            raise errors.PowerLossError(
+                f"power lost during scrub #{index} (block {block_no})"
+            )
+        super().scrub(block_no)
+
+    def read(self, block_no: int) -> bytes:
+        inj = self.injector
+        inj.check_power("read")
+        index = inj.next_read()
+        if inj.transient_read(index):
+            raise errors.TransientIOError(
+                f"transient fault on read #{index} (block {block_no})"
+            )
+        data = super().read(block_no)
+        if data and inj.bit_flip_read(index):
+            bit = inj.entropy(index) % (len(data) * 8)
+            corrupt = bytearray(data)
+            corrupt[bit // 8] ^= 1 << (bit % 8)
+            inj.stats.bit_flips += 1
+            return bytes(corrupt)
+        return data
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self.injector.plan
+
+    def power_on(self) -> None:
+        self.injector.power_on()
+
+    def __repr__(self) -> str:
+        state = "on" if self.injector.powered else "OFF"
+        return (
+            f"FaultyBlockDevice({self.used_blocks}/{self.block_count} blocks, "
+            f"power {state}, {self.injector.write_index} writes seen)"
+        )

@@ -124,23 +124,33 @@ class InodeTable:
     def write_payload(self, number: int, payload: bytes) -> None:
         """Replace an inode's data extent with ``payload``.
 
-        Old blocks are freed (not scrubbed — callers choosing secure
-        semantics use :meth:`rewrite_scrubbed`), new blocks allocated.
+        Shadow-write ordering: the new extent is allocated and written
+        *first*, then swapped in, then the old blocks released — a
+        crash mid-rewrite leaves the inode pointing at its old, intact
+        payload, never at a torn or empty extent.  Old blocks are
+        freed (not scrubbed — callers choosing secure semantics use
+        :meth:`rewrite_scrubbed`).
         """
         inode = self.get(number)
-        for block_no in inode.blocks:
-            self.device.free(block_no)
+        old_blocks = inode.blocks
         inode.blocks = store_bytes(self.device, payload)
         inode.size = len(payload)
+        for block_no in old_blocks:
+            self.device.free(block_no)
 
     def rewrite_scrubbed(self, number: int, payload: bytes) -> None:
-        """Like :meth:`write_payload` but zeroes the old extent first."""
+        """Like :meth:`write_payload` but zeroes the old extent.
+
+        Same shadow-write ordering (write new, swap, then scrub+free
+        old) so secure rewrites are also crash-atomic.
+        """
         inode = self.get(number)
-        for block_no in inode.blocks:
-            self.device.scrub(block_no)
-            self.device.free(block_no)
+        old_blocks = inode.blocks
         inode.blocks = store_bytes(self.device, payload)
         inode.size = len(payload)
+        for block_no in old_blocks:
+            self.device.scrub(block_no)
+            self.device.free(block_no)
 
     def read_payload(self, number: int) -> bytes:
         inode = self.get(number)
@@ -202,6 +212,10 @@ class InodeTable:
     @property
     def live_inodes(self) -> int:
         return len(self._inodes)
+
+    def numbers(self) -> List[int]:
+        """All live inode numbers (crash recovery's reachability sweep)."""
+        return list(self._inodes)
 
     def find_by_kind(self, kind: str) -> List[Inode]:
         return [inode for inode in self._inodes.values() if inode.kind == kind]

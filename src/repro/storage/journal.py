@@ -17,6 +17,32 @@ encrypted/erased state and scrubs on erasure) does not exhibit it.
 The journal is itself stored on the block device, in a reserved extent,
 so "the bytes are on disk" is literally true in the simulation.
 
+**On-device format** (version 2, crash-recoverable).  Slot 0 of the
+reserved extent holds a small binary *superblock*: the slot of the
+oldest live record (the log head), the sequence number that record
+must carry, and a next-sequence hint for recovering an empty log.
+Slots 1..n-1 are a circular record area.  Each record is framed with a
+4-byte magic, a compact JSON header (sequence, txn, type, and — when
+non-trivial — target, payload length, payload CRC32) and the payload,
+chunked across consecutive slots.  Recovery (:meth:`Journal.recover`)
+needs *no in-memory state*: it starts at the superblock's head and
+walks the sequence chain, validating magic, header, length and CRC of
+every record.  A torn tail (a crash between the chunk writes of
+:meth:`Journal._append`) truncates the log at the torn record —
+counted in :class:`JournalStats`, never raised — and a checkpoint
+marker found mid-log rolls the interrupted checkpoint forward.
+:meth:`Journal.remount` rebuilds a journal over a surviving device
+from the extent alone.
+
+Durability ordering rules (each leaves the log scannable if the
+machine dies between any two writes):
+
+* reclaim: superblock head moves past the reclaimed records *before*
+  their blocks are scrubbed, before the new record's chunks land;
+* checkpoint: the CHECKPOINT marker and superblock are written first,
+  the old log blocks scrubbed after (a crash in between leaves a
+  marker-led log, not a marker-less scrubbed extent).
+
 **Group commit** (the write-side fast path): :meth:`Journal.batch`
 opens one transaction that absorbs every ``begin``/``commit`` pair
 issued inside it, coalescing N op-metadata appends into a single
@@ -35,14 +61,19 @@ history every remount.  A threshold on live records or blocks flushes
 and truncates the log after the enclosing commit, bounding both the
 replay cost of :meth:`Journal.recover` and the window during which
 op metadata (uids, never payloads) of erased PD lingers in the log.
+Callers whose write-ahead protocol commits *before* applying (DBFS
+erasure) wrap the commit+apply span in :meth:`hold_checkpoints` so
+the intent record cannot be truncated away mid-apply.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 from .. import errors
 from ..obs import NULL_TELEMETRY, Telemetry
@@ -56,6 +87,23 @@ TXN_COMMIT = "commit"
 TXN_CHECKPOINT = "checkpoint"
 
 _VALID_TYPES = frozenset({TXN_BEGIN, TXN_WRITE, TXN_DELETE, TXN_COMMIT, TXN_CHECKPOINT})
+
+# On-device framing: every record's first chunk opens with this magic
+# so the recovery scan can tell a record head from scrubbed space or a
+# stale payload chunk.
+_RECORD_MAGIC = b"JRN2"
+# Superblock: magic, version, head slot, sequence the head record
+# must carry, next-sequence hint for empty-log recovery, and a
+# generation counter.  Two copies live on the extent — slot 0 and the
+# last slot — because the superblock is an in-place overwrite and a
+# power cut can tear it: the update protocol writes the backup copy
+# completely before touching the primary, so at every instant at
+# least one copy parses, and recovery takes the newest valid one
+# (generation compared with serial arithmetic so the 16-bit counter
+# may wrap).
+_SB_FORMAT = "<2sBHIIH"
+_SB_MAGIC = b"JS"
+_SB_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -74,15 +122,17 @@ class JournalRecord:
     payload: bytes = b""
 
     def to_bytes(self) -> bytes:
-        header = json.dumps(
-            {
-                "seq": self.sequence,
-                "txn": self.txn_id,
-                "type": self.record_type,
-                "target": self.target,
-                "len": len(self.payload),
-            }
-        ).encode()
+        # Compact header: trivial fields (empty target, empty payload)
+        # are omitted so BEGIN/COMMIT records stay small even on
+        # tiny-block devices.  The CRC lets recovery reject payloads
+        # whose continuation chunks were lost or bit-flipped.
+        fields = {"seq": self.sequence, "txn": self.txn_id, "type": self.record_type}
+        if self.target:
+            fields["target"] = self.target
+        if self.payload:
+            fields["len"] = len(self.payload)
+            fields["crc"] = zlib.crc32(self.payload) & 0xFFFFFFFF
+        header = json.dumps(fields, separators=(",", ":")).encode()
         return header + b"\n" + self.payload
 
     @classmethod
@@ -92,26 +142,48 @@ class JournalRecord:
             header = json.loads(header_raw)
         except (ValueError, json.JSONDecodeError) as exc:
             raise errors.JournalError(f"corrupt journal record: {exc}") from exc
-        if header["type"] not in _VALID_TYPES:
-            raise errors.JournalError(f"unknown record type {header['type']!r}")
-        if header["len"] != len(payload):
+        if not isinstance(header, dict):
+            raise errors.JournalError(f"corrupt journal header: {header!r}")
+        if header.get("type") not in _VALID_TYPES:
+            raise errors.JournalError(f"unknown record type {header.get('type')!r}")
+        declared = header.get("len", 0)
+        if declared != len(payload):
             raise errors.JournalError(
-                f"journal payload length mismatch: header says {header['len']}, "
+                f"journal payload length mismatch: header says {declared}, "
                 f"got {len(payload)}"
             )
-        return cls(
-            sequence=header["seq"],
-            txn_id=header["txn"],
-            record_type=header["type"],
-            target=header["target"],
-            payload=payload,
-        )
+        crc = header.get("crc")
+        if crc is not None and (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            raise errors.JournalError(
+                f"journal payload CRC mismatch for seq {header.get('seq')}"
+            )
+        try:
+            return cls(
+                sequence=int(header["seq"]),
+                txn_id=int(header["txn"]),
+                record_type=header["type"],
+                target=header.get("target", ""),
+                payload=payload,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise errors.JournalError(f"corrupt journal header: {exc}") from exc
 
 
 @dataclass
 class _OpenTransaction:
     txn_id: int
     records: List[JournalRecord] = field(default_factory=list)
+
+
+@dataclass
+class _ScanResult:
+    """What a from-device extent scan found."""
+
+    records: List[JournalRecord]
+    record_blocks: List[List[int]]
+    cursor: int            # slot just past the last valid record
+    torn_records: int      # torn/corrupt tail records truncated away
+    next_seq_hint: int     # superblock hint, for recovering an empty log
 
 
 @dataclass(frozen=True)
@@ -150,15 +222,18 @@ class JournalStats:
     checkpointed_records: int = 0  # records discarded by checkpoints
     recovers: int = 0             # recovery passes run
     recovered_records: int = 0    # committed records re-read from disk
+    torn_records: int = 0         # torn tail records truncated at recovery
 
 
 class Journal:
     """Circular write-ahead log stored on a reserved device extent.
 
     One journal record occupies one or more whole blocks.  When the
-    reserved extent fills, the oldest records are reclaimed (that is
-    the only way data ever leaves the journal — never because a file
-    was deleted).
+    record area fills, the oldest records are reclaimed (that is the
+    only way data ever leaves the journal — never because a file was
+    deleted).  Slot 0 and the last slot of the extent hold the two
+    superblock copies; the record area is ``reserved_blocks - 2``
+    slots.
     """
 
     def __init__(
@@ -172,19 +247,79 @@ class Journal:
             raise errors.JournalError(
                 f"journal needs at least 4 reserved blocks, got {reserved_blocks}"
             )
+        if reserved_blocks > 0xFFFF:
+            raise errors.JournalError(
+                f"journal extent of {reserved_blocks} blocks exceeds the "
+                f"superblock's addressable {0xFFFF} slots"
+            )
         self.device = device
         self.config = config or JournalConfig()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._extent = device.allocate_many(reserved_blocks)
-        self._extent_cursor = 0  # next free slot in the extent, wraps
+        self._slot_of = {block: slot for slot, block in enumerate(self._extent)}
+        self._extent_cursor = 1  # next free slot; slot 0 is the superblock
         self._records: List[JournalRecord] = []  # in-memory index of live records
         self._record_blocks: List[List[int]] = []  # blocks backing each live record
         self._next_sequence = 0
         self._next_txn = 1
         self._open: Optional[_OpenTransaction] = None
         self._batching = False
+        self._checkpoint_holds = 0
         self.reserved_blocks = reserved_blocks
         self.stats = JournalStats()
+        self._sb_generation = 0
+        self._write_superblock(self._extent_cursor, self._next_sequence)
+
+    @classmethod
+    def remount(
+        cls,
+        device: BlockDevice,
+        extent: Sequence[int],
+        config: Optional[JournalConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "Journal":
+        """Rebuild a journal over a surviving device — device bytes only.
+
+        This is the true-crash entrypoint: nothing from the pre-crash
+        ``Journal`` object is consulted.  The superblock is read from
+        ``extent[0]``, the record chain scanned and validated, torn
+        tails truncated, and the sequence/txn counters and append
+        cursor restored so post-recovery appends neither reuse
+        sequence numbers nor clobber live records.
+        """
+        if len(extent) < 4:
+            raise errors.JournalError(
+                f"journal needs at least 4 reserved blocks, got {len(extent)}"
+            )
+        journal = cls.__new__(cls)
+        journal.device = device
+        journal.config = config or JournalConfig()
+        journal.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        journal._extent = list(extent)
+        journal._slot_of = {block: slot for slot, block in enumerate(journal._extent)}
+        journal._extent_cursor = 1
+        journal._records = []
+        journal._record_blocks = []
+        journal._next_sequence = 0
+        journal._next_txn = 1
+        journal._open = None
+        journal._batching = False
+        journal._checkpoint_holds = 0
+        journal.reserved_blocks = len(journal._extent)
+        journal.stats = JournalStats()
+        journal._sb_generation = 0
+        journal.recover()
+        return journal
+
+    @property
+    def extent(self) -> List[int]:
+        """The device blocks reserved for the journal (slot 0 first)."""
+        return list(self._extent)
+
+    @property
+    def in_batch(self) -> bool:
+        """True while a group-commit batch is open (see :meth:`batch`)."""
+        return self._batching
 
     # -- transaction API ----------------------------------------------------
 
@@ -297,6 +432,25 @@ class Journal:
                 self._open = None
                 self._maybe_checkpoint()
 
+    @contextmanager
+    def hold_checkpoints(self) -> Iterator[None]:
+        """Defer auto-checkpoints while a commit-before-apply op runs.
+
+        DBFS erasure commits its intent record *before* the
+        destructive scrubs so a crash mid-apply can be redone.  An
+        auto-checkpoint firing at that commit would truncate the very
+        intent the redo needs; holding checkpoints across the
+        commit+apply span closes that window.  The deferred policy
+        check runs when the outermost hold releases.
+        """
+        self._checkpoint_holds += 1
+        try:
+            yield
+        finally:
+            self._checkpoint_holds -= 1
+            if self._checkpoint_holds == 0:
+                self._maybe_checkpoint()
+
     # -- recovery / inspection ----------------------------------------------
 
     def replay(self) -> List[JournalRecord]:
@@ -316,34 +470,52 @@ class Journal:
     def recover(self) -> List[JournalRecord]:
         """Crash recovery proper: re-read the log from the device.
 
-        Unlike :meth:`replay` (which trusts the in-memory index), this
-        reads every live record's blocks back from the extent, parses
-        and validates them, then returns the committed WRITE/DELETE
-        records in order.  Its cost is proportional to the log length
-        — which is what the auto-checkpoint policy bounds, and what
-        the SHARD benchmark's remount comparison measures.  Records of
+        Nothing in-memory is trusted: the scan starts at the on-device
+        superblock, follows the sequence chain, validates every
+        record's framing/length/CRC, truncates torn tails (counted in
+        ``stats.torn_records``), rolls an interrupted checkpoint
+        forward, and then *replaces* this journal's in-memory index,
+        sequence/txn counters and append cursor with what the device
+        actually holds.  Returns the committed WRITE/DELETE records in
+        order.  Its cost is proportional to the log length — which is
+        what the auto-checkpoint policy bounds, and what the SHARD
+        benchmark's remount comparison measures.  Records of
         transactions lacking a COMMIT (a crash mid-batch) are dropped
         wholesale: group commits are all-or-nothing.
         """
         with self.telemetry.op("journal.recover") as span:
-            on_disk: List[JournalRecord] = []
-            for blocks in self._record_blocks:
-                raw = b"".join(self.device.read(block_no) for block_no in blocks)
-                on_disk.append(JournalRecord.from_bytes(raw))
+            scan = self._scan_extent()
+            self._records = scan.records
+            self._record_blocks = scan.record_blocks
+            self._extent_cursor = scan.cursor
+            if scan.records:
+                self._next_sequence = max(
+                    self._next_sequence, scan.records[-1].sequence + 1
+                )
+                self._next_txn = max(
+                    self._next_txn,
+                    max(record.txn_id for record in scan.records) + 1,
+                )
+            else:
+                self._next_sequence = max(self._next_sequence, scan.next_seq_hint)
+            self._open = None
+            self._batching = False
             committed_txns = {
                 record.txn_id
-                for record in on_disk
+                for record in self._records
                 if record.record_type == TXN_COMMIT
             }
             recovered = [
                 record
-                for record in on_disk
+                for record in self._records
                 if record.txn_id in committed_txns
                 and record.record_type in (TXN_WRITE, TXN_DELETE)
             ]
             self.stats.recovers += 1
             self.stats.recovered_records += len(recovered)
+            self.stats.torn_records += scan.torn_records
             span.set_attr("records", len(recovered))
+            span.set_attr("torn", scan.torn_records)
         return recovered
 
     def scan_payloads(self, needle: bytes) -> List[JournalRecord]:
@@ -366,20 +538,31 @@ class Journal:
         return sum(len(blocks) for blocks in self._record_blocks)
 
     def checkpoint(self) -> int:
-        """Truncate the log (e.g. after a checkpoint flush); returns
-        the number of records discarded.  Real filesystems do this on
-        their own schedule — crucially, *not* when a user deletes PD.
+        """Truncate the log; returns the number of records discarded.
+        Real filesystems do this on their own schedule — crucially,
+        *not* when a user deletes PD.
+
+        Crash-atomic ordering: the CHECKPOINT marker (and the
+        superblock pointing at it) is written *before* the old log
+        blocks are scrubbed.  A crash at any point leaves either the
+        old log or a marker-led one — never a scrubbed, marker-less
+        extent indistinguishable from corruption.
         """
         with self.telemetry.op("journal.checkpoint") as span:
             discarded = len(self._records)
-            for blocks in self._record_blocks:
+            old_blocks = self._record_blocks
+            self._records = []
+            self._record_blocks = []
+            # _append sees an empty log, so it writes the superblock
+            # (head = marker) before the marker's own chunks land.
+            self._append(JournalRecord(self._take_seq(), 0, TXN_CHECKPOINT))
+            marker_blocks = set(self._record_blocks[0])
+            for blocks in old_blocks:
                 for block_no in blocks:
-                    self.device.scrub(block_no)
-            self._records.clear()
-            self._record_blocks.clear()
-            self._append(
-                JournalRecord(self._take_seq(), 0, TXN_CHECKPOINT)
-            )
+                    # A full extent can make the marker reuse an old
+                    # record's slot; never scrub the marker itself.
+                    if block_no not in marker_blocks:
+                        self.device.scrub(block_no)
             self.stats.checkpoints += 1
             self.stats.checkpointed_records += discarded
             span.set_attr("discarded", discarded)
@@ -389,7 +572,7 @@ class Journal:
 
     def _maybe_checkpoint(self) -> None:
         """Apply the auto-checkpoint policy at a commit boundary."""
-        if self._open is not None or not self.config.enabled:
+        if self._open is not None or self._checkpoint_holds or not self.config.enabled:
             return
         cap_records = self.config.checkpoint_after_records
         cap_blocks = self.config.checkpoint_after_blocks
@@ -408,26 +591,219 @@ class Journal:
         self._next_sequence += 1
         return seq
 
+    def _advance(self, slot: int) -> int:
+        """Next record slot after ``slot``, wrapping within the record
+        area (slot 0 and the last slot hold the superblock copies)."""
+        slot += 1
+        return 1 if slot >= len(self._extent) - 1 else slot
+
+    def _write_superblock(self, head_slot: int, base_sequence: int) -> None:
+        self._sb_generation = (self._sb_generation + 1) & 0xFFFF
+        raw = struct.pack(
+            _SB_FORMAT,
+            _SB_MAGIC,
+            _SB_VERSION,
+            head_slot,
+            base_sequence & 0xFFFFFFFF,
+            self._next_sequence & 0xFFFFFFFF,
+            self._sb_generation,
+        )
+        # Backup first, primary second: a torn write destroys at most
+        # the copy being written, and the other is complete — either
+        # the previous state (torn backup) or the new one (torn
+        # primary).  Recovery never faces two torn copies.
+        self.device.write(self._extent[-1], raw)
+        self.device.write(self._extent[0], raw)
+
+    def _parse_superblock(self, raw: bytes) -> Optional[tuple]:
+        """Decode one superblock copy; None if torn or invalid."""
+        if len(raw) != struct.calcsize(_SB_FORMAT):
+            return None
+        magic, version, head, base, next_seq, generation = struct.unpack(
+            _SB_FORMAT, raw
+        )
+        if magic != _SB_MAGIC or version != _SB_VERSION:
+            return None
+        if not 1 <= head < len(self._extent) - 1:
+            return None
+        return head, base, next_seq, generation
+
+    def _read_superblock(self) -> tuple:
+        primary = self._parse_superblock(self.device.read(self._extent[0]))
+        backup = self._parse_superblock(self.device.read(self._extent[-1]))
+        if primary is None and backup is None:
+            raise errors.JournalError(
+                "corrupt journal superblock: neither copy parses"
+            )
+        if primary is None:
+            chosen = backup
+        elif backup is None:
+            chosen = primary
+        else:
+            # Serial-arithmetic comparison of the wrapping generation.
+            newer = (primary[3] - backup[3]) & 0xFFFF < 0x8000
+            chosen = primary if newer else backup
+        self._sb_generation = chosen[3]
+        return chosen[0], chosen[1], chosen[2]
+
+    def _chunk(self, raw: bytes) -> List[bytes]:
+        """Frame a record's bytes for the extent: magic + chunking."""
+        size = self.device.block_size
+        first_capacity = size - len(_RECORD_MAGIC)
+        chunks = [_RECORD_MAGIC + raw[:first_capacity]]
+        for offset in range(first_capacity, len(raw), size):
+            chunks.append(raw[offset : offset + size])
+        return chunks
+
+    def _chunk_count(self, raw_length: int) -> int:
+        size = self.device.block_size
+        first_capacity = size - len(_RECORD_MAGIC)
+        if raw_length <= first_capacity:
+            return 1
+        remainder = raw_length - first_capacity
+        return 1 + (remainder + size - 1) // size
+
+    def _scan_extent(self) -> _ScanResult:
+        """Walk the on-device record chain from the superblock head.
+
+        Stops cleanly at scrubbed space or a stale (wrong-sequence)
+        block; stops with truncation at a torn record (valid head
+        framing, invalid body), scrubbing the torn blocks so no
+        partial payload lingers in the extent.
+        """
+        head, base_sequence, next_seq_hint = self._read_superblock()
+        usable = len(self._extent) - 2
+        records: List[JournalRecord] = []
+        record_blocks: List[List[int]] = []
+        torn = 0
+        position = head
+        expected = base_sequence
+        used = 0
+        while used < usable:
+            first = self.device.read(self._extent[position])
+            if not first.startswith(_RECORD_MAGIC):
+                break  # scrubbed or stale space: clean end of log
+            body = first[len(_RECORD_MAGIC) :]
+            slots = [position]
+            # The JSON header may span blocks on tiny-block devices.
+            header_torn = False
+            while b"\n" not in body:
+                if len(slots) >= usable - used:
+                    header_torn = True
+                    break
+                slots.append(self._advance(slots[-1]))
+                body += self.device.read(self._extent[slots[-1]])
+            if header_torn:
+                torn += 1
+                self._scrub_slots(slots)
+                break
+            header_raw = body.split(b"\n", 1)[0]
+            try:
+                header = json.loads(header_raw)
+                sequence = int(header["seq"])
+                payload_length = int(header.get("len", 0))
+                valid_type = header.get("type") in _VALID_TYPES
+            except (ValueError, TypeError, KeyError):
+                torn += 1
+                self._scrub_slots(slots)
+                break
+            if not valid_type or payload_length < 0:
+                torn += 1
+                self._scrub_slots(slots)
+                break
+            if sequence != expected:
+                break  # stale record from a reclaimed region: end of log
+            raw_length = len(header_raw) + 1 + payload_length
+            total_chunks = self._chunk_count(raw_length)
+            if total_chunks > usable - used:
+                # The record claims more chunks than the free region
+                # holds — its tail writes never landed.
+                torn += 1
+                self._scrub_slots(slots)
+                break
+            while len(slots) < total_chunks:
+                slots.append(self._advance(slots[-1]))
+                body += self.device.read(self._extent[slots[-1]])
+            try:
+                record = JournalRecord.from_bytes(body[:raw_length])
+            except errors.JournalError:
+                torn += 1
+                self._scrub_slots(slots)
+                break
+            slots = slots[:total_chunks]
+            records.append(record)
+            record_blocks.append([self._extent[slot] for slot in slots])
+            expected = sequence + 1
+            used += total_chunks
+            position = self._advance(slots[-1])
+        # Roll an interrupted checkpoint forward: everything before the
+        # last CHECKPOINT marker was already flushed — superblock first,
+        # then scrub, same ordering rule as a live checkpoint.
+        marker_index = None
+        for index, record in enumerate(records):
+            if record.record_type == TXN_CHECKPOINT:
+                marker_index = index
+        if marker_index:
+            stale_blocks = record_blocks[:marker_index]
+            records = records[marker_index:]
+            record_blocks = record_blocks[marker_index:]
+            self._write_superblock(
+                self._slot_of[record_blocks[0][0]], records[0].sequence
+            )
+            keep = {block for blocks in record_blocks for block in blocks}
+            for blocks in stale_blocks:
+                for block_no in blocks:
+                    if block_no not in keep:
+                        self.device.scrub(block_no)
+        return _ScanResult(
+            records=records,
+            record_blocks=record_blocks,
+            cursor=position,
+            torn_records=torn,
+            next_seq_hint=next_seq_hint,
+        )
+
+    def _scrub_slots(self, slots: List[int]) -> None:
+        for slot in slots:
+            self.device.scrub(self._extent[slot])
+
     def _append(self, record: JournalRecord) -> None:
         raw = record.to_bytes()
-        size = self.device.block_size
-        chunks = [raw[i : i + size] for i in range(0, len(raw), size)] or [b""]
-        if len(chunks) > self.reserved_blocks:
+        chunks = self._chunk(raw)
+        usable = self.reserved_blocks - 2
+        if len(chunks) > usable:
             raise errors.JournalError(
                 f"record of {len(raw)} bytes exceeds journal capacity"
             )
-        # Reclaim oldest records until the chunks fit in the extent.
-        while self.blocks_in_use + len(chunks) > self.reserved_blocks and self._records:
-            oldest_blocks = self._record_blocks.pop(0)
+        was_empty = not self._records
+        # Reclaim oldest records until the chunks fit in the record area.
+        reclaimed: List[List[int]] = []
+        while self.blocks_in_use + len(chunks) > usable and self._records:
+            reclaimed.append(self._record_blocks.pop(0))
             self._records.pop(0)
-            for block_no in oldest_blocks:
-                self.device.scrub(block_no)
-        blocks: List[int] = []
-        for chunk in chunks:
-            block_no = self._extent[self._extent_cursor]
-            self._extent_cursor = (self._extent_cursor + 1) % len(self._extent)
-            self.device.write(block_no, chunk)
-            blocks.append(block_no)
+        slots: List[int] = []
+        cursor = self._extent_cursor
+        for _ in chunks:
+            slots.append(cursor)
+            cursor = self._advance(cursor)
+        # Durability ordering: move the superblock head past reclaimed
+        # records (or onto this record, if the log was empty) before
+        # any block is scrubbed or written.
+        if reclaimed or was_empty:
+            if self._records:
+                head_slot = self._slot_of[self._record_blocks[0][0]]
+                base_sequence = self._records[0].sequence
+            else:
+                head_slot, base_sequence = slots[0], record.sequence
+            self._write_superblock(head_slot, base_sequence)
+        new_slots = set(slots)
+        for blocks in reclaimed:
+            for block_no in blocks:
+                if self._slot_of[block_no] not in new_slots:
+                    self.device.scrub(block_no)
+        for slot, chunk in zip(slots, chunks):
+            self.device.write(self._extent[slot], chunk)
+        self._extent_cursor = cursor
         self._records.append(record)
-        self._record_blocks.append(blocks)
+        self._record_blocks.append([self._extent[slot] for slot in slots])
         self.stats.appends += 1

@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import zlib
 from contextlib import ExitStack, contextmanager
+from uuid import uuid4
 from dataclasses import replace as _dc_replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -54,7 +55,8 @@ from .block import BlockDevice
 from .btree import FieldIndex
 from .cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from .dbfs import DatabaseFS, DBFSStats
-from .journal import JournalConfig
+from .inode import InodeTable
+from .journal import JournalConfig, TXN_COMMIT, TXN_DELETE
 from .query import (
     DataQuery,
     DeleteRequest,
@@ -120,6 +122,159 @@ class ShardedDBFS:
         # uid -> owning shard index; maintained at store time and
         # rebuilt from the shards' subject trees on remount.
         self._uid_shard: Dict[str, int] = {}
+        # shard index -> failure reason; only ever populated by
+        # remount_from_devices when a shard's crash recovery fails.
+        self._degraded: Dict[int, str] = {}
+        #: Per-shard crash-reconciliation reports of the last
+        #: remount_from_devices (empty for a normally built fleet).
+        self.recovery_report: Dict[str, object] = {}
+
+    @classmethod
+    def remount_from_devices(
+        cls,
+        devices: Sequence[BlockDevice],
+        inode_tables: Sequence["InodeTable"],
+        operator_key: Optional[OperatorKey] = None,
+        cache_config: Optional[CacheConfig] = None,
+        journal_config: Optional[JournalConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "ShardedDBFS":
+        """True-crash remount of a whole fleet, shard by shard.
+
+        Each shard recovers independently through
+        :meth:`DatabaseFS.remount_from_device` — its own device bytes,
+        inode table and journal extent, nothing shared.  A shard whose
+        recovery fails is **degraded**, not fatal: the healthy shards
+        keep serving, scatter-gather skips the degraded one, and only
+        operations that must touch it raise
+        :class:`~repro.errors.ShardUnavailableError`.  The per-shard
+        reconciliation reports (and the degraded map) land in
+        :attr:`recovery_report`.
+        """
+        if not devices or len(devices) != len(inode_tables):
+            raise errors.DBFSError(
+                "remount_from_devices needs one inode table per device "
+                f"(got {len(devices)} devices, {len(inode_tables)} tables)"
+            )
+        fleet = cls.__new__(cls)
+        fleet.cache_config = (
+            cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
+        )
+        fleet.journal_config = journal_config
+        fleet.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        fleet._shards = []
+        fleet._degraded = {}
+        fleet._uid_shard = {}
+        for index, (device, inodes) in enumerate(zip(devices, inode_tables)):
+            try:
+                shard = DatabaseFS.remount_from_device(
+                    device,
+                    inodes,
+                    operator_key=operator_key,
+                    cache_config=fleet.cache_config,
+                    journal_config=journal_config,
+                    telemetry=fleet.telemetry,
+                )
+            except (errors.RgpdOSError, ValueError, KeyError, TypeError) as exc:
+                # Isolate the corruption: one bad shard must degrade,
+                # not kill the fleet.
+                fleet._shards.append(None)  # type: ignore[arg-type]
+                fleet._degraded[index] = f"{type(exc).__name__}: {exc}"
+                continue
+            fleet._shards.append(shard)
+            for uid in shard.all_uids():
+                fleet._uid_shard[uid] = index
+        torn_batches = fleet._resolve_torn_fleet_batches()
+        fleet.recovery_report = {
+            "shards": len(fleet._shards),
+            "degraded": dict(fleet._degraded),
+            "torn_fleet_batches": torn_batches,
+            "per_shard": [
+                shard.recovery_report if shard is not None else None
+                for shard in fleet._shards
+            ],
+        }
+        return fleet
+
+    def _resolve_torn_fleet_batches(self) -> Dict[str, int]:
+        """Presumed-abort resolution of cross-shard group commits.
+
+        A ``fleet-batch`` marker visible in an *uncommitted*
+        transaction on any participant proves the commit fan-out was
+        interrupted before every shard's COMMIT landed — so the group
+        as a whole never committed, and the shards where it *did*
+        commit must roll their half back (per-shard recovery already
+        discarded the uncommitted halves).  A marker with no
+        uncommitted sibling anywhere is left alone: the group either
+        committed everywhere or never wrote a single store.  The
+        rollback is idempotent — a second crash and remount finds the
+        stores already gone.
+        """
+        present: Dict[str, Dict[int, Tuple[bool, List[str]]]] = {}
+        for index, shard in self._healthy():
+            committed_txns = set()
+            by_txn: Dict[int, List[object]] = {}
+            for record in shard.journal.records():
+                by_txn.setdefault(record.txn_id, []).append(record)
+                if record.record_type == TXN_COMMIT:
+                    committed_txns.add(record.txn_id)
+            for txn_id, records in by_txn.items():
+                marker = next(
+                    (
+                        r
+                        for r in records
+                        if r.record_type == TXN_DELETE
+                        and r.target.startswith("fleet-batch:")
+                    ),
+                    None,
+                )
+                if marker is None:
+                    continue
+                batch_id = marker.target.split(":", 2)[1]
+                uids = [
+                    r.target[len("store:"):]
+                    for r in records
+                    if r.record_type == TXN_DELETE
+                    and r.target.startswith("store:")
+                ]
+                present.setdefault(batch_id, {})[index] = (
+                    txn_id in committed_txns,
+                    uids,
+                )
+        torn = 0
+        rolled_back = 0
+        for batch_id, by_shard in present.items():
+            if all(committed for committed, _ in by_shard.values()):
+                continue
+            torn += 1
+            for index, (committed, uids) in by_shard.items():
+                if not committed or not uids:
+                    continue
+                rolled_back += self._shards[index].rollback_stores(uids)
+                for uid in uids:
+                    self._uid_shard.pop(uid, None)
+        return {"torn_batches": torn, "rolled_back_stores": rolled_back}
+
+    def _shard_at(self, index: int) -> DatabaseFS:
+        """The shard at ``index``, or ShardUnavailableError if degraded."""
+        reason = self._degraded.get(index)
+        if reason is not None:
+            raise errors.ShardUnavailableError(
+                f"shard {index} is degraded after crash recovery ({reason})"
+            )
+        return self._shards[index]
+
+    def _healthy(self) -> List[Tuple[int, DatabaseFS]]:
+        return [
+            (index, shard)
+            for index, shard in enumerate(self._shards)
+            if index not in self._degraded
+        ]
+
+    @property
+    def degraded_shards(self) -> Dict[int, str]:
+        """Degraded shard indexes -> failure reason (empty if healthy)."""
+        return dict(self._degraded)
 
     # ------------------------------------------------------------------
     # Topology
@@ -131,13 +286,13 @@ class ShardedDBFS:
 
     @property
     def shards(self) -> List[DatabaseFS]:
-        return list(self._shards)
+        return [shard for _, shard in self._healthy()]
 
     def shard_index_for_subject(self, subject_id: str) -> int:
         return shard_index(subject_id, len(self._shards))
 
     def shard_for_subject(self, subject_id: str) -> DatabaseFS:
-        return self._shards[self.shard_index_for_subject(subject_id)]
+        return self._shard_at(self.shard_index_for_subject(subject_id))
 
     def shard_for_uid(self, uid: str) -> DatabaseFS:
         return self._owning_shard(uid)
@@ -156,34 +311,52 @@ class ShardedDBFS:
     def _owning_shard(self, uid: str) -> DatabaseFS:
         """Shard holding ``uid``; unknown uids fall through to shard 0
         so the error type (and its DED-check ordering) matches the
-        single-DBFS behaviour exactly."""
+        single-DBFS behaviour exactly.  With degraded shards in the
+        fleet an unknown uid is ambiguous — it may live on a shard we
+        cannot read — so absence must not masquerade as
+        UnknownRecordError."""
         index = self._uid_shard.get(uid)
-        return self._shards[0 if index is None else index]
+        if index is None and self._degraded:
+            raise errors.ShardUnavailableError(
+                f"uid {uid!r} is not on any healthy shard and shards "
+                f"{sorted(self._degraded)} are degraded; cannot prove absence"
+            )
+        return self._shard_at(0 if index is None else index)
+
+    def _primary(self) -> DatabaseFS:
+        """First healthy shard — schema reads work on a degraded fleet
+        because the schema trees are replicas."""
+        healthy = self._healthy()
+        if not healthy:
+            raise errors.ShardUnavailableError(
+                "every shard is degraded; no replica of the schema survives"
+            )
+        return healthy[0][1]
 
     # ------------------------------------------------------------------
     # Schema management (replicated to every shard)
     # ------------------------------------------------------------------
 
     def create_type(self, pd_type: PDType, credential: AccessCredential) -> None:
-        for shard in self._shards:
+        for _, shard in self._healthy():
             shard.create_type(pd_type, credential)
 
     def evolve_type(
         self, new_type: PDType, credential: AccessCredential
     ) -> PDType:
         result = new_type
-        for shard in self._shards:
+        for _, shard in self._healthy():
             result = shard.evolve_type(new_type, credential)
         return result
 
     def schema_version(self, type_name: str) -> int:
-        return self._shards[0].schema_version(type_name)
+        return self._primary().schema_version(type_name)
 
     def get_type(self, name: str) -> PDType:
-        return self._shards[0].get_type(name)
+        return self._primary().get_type(name)
 
     def list_types(self) -> List[str]:
-        return self._shards[0].list_types()
+        return self._primary().list_types()
 
     # ------------------------------------------------------------------
     # Secondary field indexes (one per shard, queried scatter-gather)
@@ -194,11 +367,11 @@ class ShardedDBFS:
     ) -> List[FieldIndex]:
         return [
             shard.create_index(type_name, field_name, credential)
-            for shard in self._shards
+            for _, shard in self._healthy()
         ]
 
     def has_index(self, type_name: str, field_name: str) -> bool:
-        return self._shards[0].has_index(type_name, field_name)
+        return self._primary().has_index(type_name, field_name)
 
     def select_uids(
         self,
@@ -207,7 +380,7 @@ class ShardedDBFS:
         credential: AccessCredential,
     ) -> List[str]:
         matches: List[str] = []
-        for index, shard in enumerate(self._shards):
+        for index, shard in self._healthy():
             with self.telemetry.span(
                 "shard.fanout", shard=index, op="select_uids"
             ):
@@ -239,7 +412,7 @@ class ShardedDBFS:
 
     def store(self, request: StoreRequest, credential: AccessCredential) -> PDRef:
         index = self._store_shard_index(request)
-        ref = self._shards[index].store(request, credential)
+        ref = self._shard_at(index).store(request, credential)
         self._uid_shard[ref.uid] = index
         return ref
 
@@ -251,12 +424,10 @@ class ShardedDBFS:
         Refs come back in request order, exactly as the single-DBFS
         ``store_many`` returns them.
         """
-        self._shards[0]._require_ded(credential, "store_many")
+        self._primary()._require_ded(credential, "store_many")
         placements = [self._store_shard_index(r) for r in requests]
         refs: List[PDRef] = []
-        with ExitStack() as stack:
-            for index in sorted(set(placements)):
-                stack.enter_context(self._shards[index].journal.batch())
+        with self._fleet_group(sorted(set(placements))):
             for request, index in zip(requests, placements):
                 ref = self._shards[index].store(request, credential)
                 self._uid_shard[ref.uid] = index
@@ -266,11 +437,43 @@ class ShardedDBFS:
         return refs
 
     @contextmanager
+    def _fleet_group(self, indexes: Sequence[int]) -> Iterator[None]:
+        """One group commit spanning ``indexes``, atomically.
+
+        Every participating shard gets its own journal batch, plus —
+        when the group truly spans shards — a shared
+        ``fleet-batch:<id>:<participants>`` marker record inside the
+        batch transaction.  Commit ordering makes the marker usable
+        for recovery: checkpoints are held until *every* shard's
+        COMMIT record has landed, so a crash anywhere in the commit
+        fan-out leaves at least one participant's marker visibly
+        uncommitted, and ``remount_from_devices`` then rolls the
+        committed halves back (two-phase presumed-abort).  A fully
+        committed group may later have its markers checkpointed away
+        on any subset of shards — by then no uncommitted marker
+        exists anywhere, so recovery leaves it alone.
+        """
+        shards = [(index, self._shard_at(index)) for index in indexes]
+        with ExitStack() as stack:
+            # Holds enter first so they release last: the unwind
+            # commits every shard's batch, *then* lets checkpoints run.
+            for _, shard in shards:
+                stack.enter_context(shard.journal.hold_checkpoints())
+            for _, shard in shards:
+                stack.enter_context(shard.journal.batch())
+            if len(shards) > 1:
+                batch_id = uuid4().hex[:12]
+                participants = ",".join(str(index) for index, _ in shards)
+                for _, shard in shards:
+                    shard.journal.log_delete(
+                        f"fleet-batch:{batch_id}:{participants}"
+                    )
+            yield
+
+    @contextmanager
     def batch(self) -> Iterator[None]:
         """Group-commit context spanning every shard's journal."""
-        with ExitStack() as stack:
-            for shard in self._shards:
-                stack.enter_context(shard.journal.batch())
+        with self._fleet_group([index for index, _ in self._healthy()]):
             yield
 
     # ------------------------------------------------------------------
@@ -294,14 +497,14 @@ class ShardedDBFS:
                     "shard.fanout", shard=index, op="query_membranes"
                 ):
                     results.extend(
-                        self._shards[index].query_membranes(
+                        self._shard_at(index).query_membranes(
                             sub_query, credential
                         )
                     )
             results.sort(key=lambda pair: pair[0].uid)
             return results
         results = []
-        for index, shard in enumerate(self._shards):
+        for index, shard in self._healthy():
             with self.telemetry.span(
                 "shard.fanout", shard=index, op="query_membranes"
             ):
@@ -322,9 +525,9 @@ class ShardedDBFS:
         # the whole group lives on that uid's shard (lineage affinity).
         index = self._uid_shard.get(lineage)
         if index is not None:
-            return self._shards[index].lineage_members(lineage)
+            return self._shard_at(index).lineage_members(lineage)
         members: List[str] = []
-        for shard in self._shards:
+        for _, shard in self._healthy():
             members.extend(shard.lineage_members(lineage))
         return sorted(members)
 
@@ -335,7 +538,7 @@ class ShardedDBFS:
     def fetch_records(
         self, query: DataQuery, credential: AccessCredential
     ) -> Dict[str, Dict[str, object]]:
-        self._shards[0]._require_ded(credential, "fetch_records")
+        self._primary()._require_ded(credential, "fetch_records")
         results: Dict[str, Dict[str, object]] = {}
         for index, uids in self._uids_by_shard(query.uids).items():
             sub_query = _dc_replace(query, uids=tuple(uids))
@@ -343,7 +546,7 @@ class ShardedDBFS:
                 "shard.fanout", shard=index, op="fetch_records"
             ):
                 results.update(
-                    self._shards[index].fetch_records(sub_query, credential)
+                    self._shard_at(index).fetch_records(sub_query, credential)
                 )
         return results
 
@@ -379,7 +582,7 @@ class ShardedDBFS:
 
     def list_subjects(self) -> List[str]:
         subjects: List[str] = []
-        for shard in self._shards:
+        for _, shard in self._healthy():
             subjects.extend(shard.list_subjects())
         return sorted(subjects)
 
@@ -399,7 +602,7 @@ class ShardedDBFS:
 
     def all_uids(self) -> List[str]:
         uids: List[str] = []
-        for shard in self._shards:
+        for _, shard in self._healthy():
             uids.extend(shard.all_uids())
         return sorted(uids)
 
@@ -407,14 +610,14 @@ class ShardedDBFS:
         self, credential: AccessCredential
     ) -> List[Tuple[str, Membrane]]:
         pairs: List[Tuple[str, Membrane]] = []
-        for shard in self._shards:
+        for _, shard in self._healthy():
             pairs.extend(shard.iter_membranes(credential))
         pairs.sort(key=lambda pair: pair[0])
         return pairs
 
     def forensic_scan(self, needle: bytes) -> Dict[str, int]:
         totals = {"device_blocks": 0, "journal_records": 0}
-        for index, shard in enumerate(self._shards):
+        for index, shard in self._healthy():
             with self.telemetry.span(
                 "shard.fanout", shard=index, op="forensic_scan"
             ):
@@ -444,7 +647,7 @@ class ShardedDBFS:
                 needles, subject_id=subject_id
             )
         totals = {"device_blocks": 0, "journal_records": 0}
-        for shard in self._shards:
+        for _, shard in self._healthy():
             counts = shard.residue_counts(needles)
             totals["device_blocks"] += counts["device_blocks"]
             totals["journal_records"] += counts["journal_records"]
@@ -458,7 +661,7 @@ class ShardedDBFS:
     def stats(self) -> DBFSStats:
         """Aggregated operation counters (sum over shards)."""
         total = DBFSStats()
-        for shard in self._shards:
+        for _, shard in self._healthy():
             for name in vars(total):
                 setattr(
                     total, name, getattr(total, name) + getattr(shard.stats, name)
@@ -469,13 +672,24 @@ class ShardedDBFS:
         """Per-shard cache/journal report, plus the shard count."""
         return {
             "shards": len(self._shards),
-            "per_shard": [shard.cache_stats() for shard in self._shards],
+            "degraded": sorted(self._degraded),
+            "per_shard": [
+                shard.cache_stats() if shard is not None else None
+                for shard in self._shards
+            ],
         }
 
     def shard_stats(self) -> List[Dict[str, object]]:
         """One occupancy/journal summary per shard."""
         stats: List[Dict[str, object]] = []
         for index, shard in enumerate(self._shards):
+            if index in self._degraded:
+                stats.append({
+                    "shard": index,
+                    "degraded": True,
+                    "reason": self._degraded[index],
+                })
+                continue
             entry = shard.shard_stats()[0]
             entry["shard"] = index
             stats.append(entry)
@@ -491,9 +705,9 @@ class ShardedDBFS:
         Schema counts are reported once (the schema trees are
         replicas); record-level counts are summed across shards.
         """
-        per_shard = [shard.remount() for shard in self._shards]
+        per_shard = [shard.remount() for _, shard in self._healthy()]
         self._uid_shard.clear()
-        for index, shard in enumerate(self._shards):
+        for index, shard in self._healthy():
             for uid in shard.all_uids():
                 self._uid_shard[uid] = index
         return {

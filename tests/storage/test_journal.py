@@ -207,7 +207,9 @@ class TestWrapAround:
 
     def test_oversized_record_rejected(self):
         device = BlockDevice(block_count=64, block_size=16)
-        journal = Journal(device, reserved_blocks=4)
+        # 5 slots: two superblock copies + 3 record slots, just enough
+        # for the BEGIN record on 16-byte blocks.
+        journal = Journal(device, reserved_blocks=5)
         journal.begin()
         with pytest.raises(errors.JournalError):
             journal.log_write("/big", b"y" * 200)
