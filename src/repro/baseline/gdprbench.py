@@ -40,6 +40,7 @@ from ..core.active_data import PDRef
 from ..core.purposes import processing as processing_decorator
 from ..core.system import RgpdOS
 from ..obs import Telemetry
+from ..storage.cache import CacheConfig
 from ..storage.journal import JournalConfig
 from ..workloads.generator import (
     STANDARD_DECLARATIONS,
@@ -238,6 +239,10 @@ class RgpdOSAdapter(StorageAdapter):
     shard count.  ``pd_device_blocks`` sizes each PD device (large
     populations need more than the default 65536 blocks per shard) and
     ``journal_config`` sets the per-shard auto-checkpoint policy.
+    ``record_codec`` picks the row encoding ("v2" binary, "v1" JSON)
+    and ``cache_config`` the fast-path knobs, so the persona mixes can
+    isolate the decode path (codec benchmarks run with the record cache
+    off).
     """
 
     name = "rgpdos"
@@ -249,6 +254,8 @@ class RgpdOSAdapter(StorageAdapter):
         journal_config: Optional[JournalConfig] = None,
         with_machine: bool = True,
         telemetry: Optional[Telemetry] = None,
+        record_codec: str = "v2",
+        cache_config: Optional[CacheConfig] = None,
     ) -> None:
         self.system = RgpdOS(
             operator_name="gdprbench",
@@ -257,6 +264,8 @@ class RgpdOSAdapter(StorageAdapter):
             journal_config=journal_config,
             with_machine=with_machine,
             telemetry=telemetry,
+            record_codec=record_codec,
+            cache_config=cache_config,
         )
         if shards > 1:
             self.name = f"rgpdos-{shards}shard"
@@ -442,20 +451,23 @@ def run_comparison(
     seed: int = 7,
     shards: int = 1,
     telemetry: Optional[Telemetry] = None,
+    record_codec: str = "v2",
 ) -> List[BenchResult]:
     """The GB-1 grid: every persona on every engine.
 
-    ``shards`` and ``telemetry`` apply to the rgpdOS engine only (the
-    baselines have no sharded layout and no probe points); passing one
-    shared :class:`Telemetry` collects every persona run's spans and
-    latency histograms into a single registry/tracer.
+    ``shards``, ``telemetry`` and ``record_codec`` apply to the rgpdOS
+    engine only (the baselines have no sharded layout, no probe points
+    and no binary rows); passing one shared :class:`Telemetry` collects
+    every persona run's spans and latency histograms into a single
+    registry/tracer.
     """
     results: List[BenchResult] = []
     for adapter_cls in (PlainDBAdapter, UserspaceDBAdapter, RgpdOSAdapter):
         for persona in personas:
             if adapter_cls is RgpdOSAdapter:
                 adapter: StorageAdapter = RgpdOSAdapter(
-                    shards=shards, telemetry=telemetry
+                    shards=shards, telemetry=telemetry,
+                    record_codec=record_codec,
                 )
             else:
                 adapter = adapter_cls()

@@ -10,6 +10,7 @@ without writing Python:
 ``fig1``        print the Figure 1 penalty series
 ``gdprbench``   the GB-1 persona × engine grid
 ``placement``   a DED placement decision (host / PIM / storage)
+``explain``     plan a multi-predicate query over a seeded store
 ``audit``       build the demo system, run the compliance audit
 ``stats``       exercise the demo system, dump the telemetry snapshot
 ``version``     library version
@@ -159,6 +160,7 @@ def cmd_gdprbench(args: argparse.Namespace) -> int:
         seed=args.seed,
         shards=args.shards,
         telemetry=telemetry,
+        record_codec=args.codec,
     )
     print(f"{'engine':22s} {'persona':12s} {'ops/s':>10s} {'denied':>7s}")
     for result in results:
@@ -169,6 +171,86 @@ def cmd_gdprbench(args: argparse.Namespace) -> int:
     if telemetry is not None:
         count = telemetry.export_trace_jsonl(args.trace_out)
         print(f"wrote {count} trace span(s) to {args.trace_out}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Seed a store, plan the query, run it, print plan vs. actual.
+
+    Predicates use the ``field OP value`` surface syntax, e.g.::
+
+        repro explain user "year_of_birthdate >= 1990" "city == Lyon"
+    """
+    from .core.system import RgpdOS
+    from .storage.query import parse_predicate
+    from .workloads.generator import STANDARD_DECLARATIONS, PopulationGenerator
+
+    try:
+        predicates = [parse_predicate(text) for text in args.predicates]
+    except errors.DBFSError as exc:
+        print(f"bad predicate: {exc}", file=sys.stderr)
+        return 2
+
+    system = RgpdOS(operator_name="cli-explain", record_codec=args.codec)
+    system.install(STANDARD_DECLARATIONS)
+    generator = PopulationGenerator(seed=args.seed)
+    with system.dbfs.batch():
+        for subject in generator.subjects(args.records):
+            system.collect(
+                "user", subject.user_record(),
+                subject_id=subject.subject_id, method="web_form",
+            )
+    credential = system.ps.builtins.credential
+
+    indexed_fields = args.index
+    if indexed_fields is None:
+        indexed_fields = (
+            ["year_of_birthdate", "city"] if args.type == "user" else []
+        )
+    for field_name in indexed_fields:
+        try:
+            system.dbfs.create_index(args.type, field_name, credential)
+        except errors.DBFSError as exc:
+            print(f"cannot index {args.type}.{field_name}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        plan = system.dbfs.explain(args.type, predicates, credential)
+        stats = system.dbfs.stats
+        partial_before = stats.partial_decodes
+        full_before = stats.full_decodes
+        matched = system.dbfs.select_uids_where(
+            args.type, predicates, credential
+        )
+    except errors.RgpdOSError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+
+    described = plan.describe()
+    print(f"query: {args.type} WHERE "
+          + (" AND ".join(p.describe() for p in predicates) or "<all rows>"))
+    print(f"strategy: {described['strategy']} "
+          f"(codec={args.codec}, records={args.records})")
+    if plan.index_field is not None:
+        print(f"index used: {args.type}.{plan.index_field} "
+              f"driving {plan.index_predicate.describe()}")
+    else:
+        print("index used: none (full table scan)")
+    print(f"estimated rows: {plan.estimated_rows} of {plan.table_rows}")
+    print(f"actual rows: {len(matched)}")
+    residual = described["residual"]
+    print("residual predicates: "
+          + (", ".join(residual) if residual else "none"))
+    fields = described["fields_decoded"]
+    print("fields decoded: "
+          + (", ".join(fields) if fields else "none (index-only)"))
+    print(f"decodes: partial={stats.partial_decodes - partial_before} "
+          f"full={stats.full_decodes - full_before}")
+    if described["candidate_estimates"]:
+        print("candidate indexes considered:")
+        for name, estimate in sorted(described["candidate_estimates"].items()):
+            print(f"  {name:40s} ~{estimate} row(s)")
     return 0
 
 
@@ -255,6 +337,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="FILE",
         help="write the rgpdOS engine's trace spans to FILE as JSONL",
     )
+    bench.add_argument(
+        "--codec", choices=("v1", "v2"), default="v2",
+        help="record encoding for the rgpdOS engine (default v2)",
+    )
+
+    explain = subparsers.add_parser(
+        "explain", help="plan a multi-predicate query over a seeded store"
+    )
+    explain.add_argument("type", help="PD type to query (e.g. user)")
+    explain.add_argument(
+        "predicates", nargs="+", metavar="PREDICATE",
+        help='predicates like "year_of_birthdate >= 1990" "city == Lyon"',
+    )
+    explain.add_argument("--records", type=int, default=200)
+    explain.add_argument("--seed", type=int, default=7)
+    explain.add_argument(
+        "--codec", choices=("v1", "v2"), default="v2",
+        help="record encoding for the seeded store (default v2)",
+    )
+    explain.add_argument(
+        "--index", action="append", default=None, metavar="FIELD",
+        help="index FIELD before planning (repeatable; defaults to "
+             "year_of_birthdate and city for the user type)",
+    )
 
     placement = subparsers.add_parser(
         "placement", help="DED placement decision"
@@ -286,6 +392,7 @@ _COMMANDS = {
     "parse": cmd_parse,
     "fig1": cmd_fig1,
     "gdprbench": cmd_gdprbench,
+    "explain": cmd_explain,
     "placement": cmd_placement,
     "audit": cmd_audit,
     "stats": cmd_stats,

@@ -148,6 +148,17 @@ class InvocationResult:
 ProcessingFn = Callable[..., object]
 
 
+def _where_tuple(
+    where: Union[Predicate, Sequence[Predicate], None],
+) -> Tuple[Predicate, ...]:
+    """Normalise a ``where`` argument to a tuple of predicates."""
+    if where is None:
+        return ()
+    if isinstance(where, Predicate):
+        return (where,)
+    return tuple(where)
+
+
 class MembraneDecisionCache:
     """Consent decisions memoised across invocations.
 
@@ -249,13 +260,16 @@ class DataExecutionDomain:
         aggregate: bool = False,
         subject_id: Optional[str] = None,
         enclave: Optional[object] = None,
-        where: Optional["Predicate"] = None,
+        where: Union["Predicate", Sequence["Predicate"], None] = None,
     ) -> InvocationResult:
         """Execute the eight-stage pipeline for one invocation.
 
         ``target`` is what the paper says an F_pd function takes as
         input: "the identifier of a PD or a PD type".  A sequence of
         refs is accepted as a convenience for batch invocations.
+        ``where`` accepts one :class:`Predicate` or a sequence of them
+        (a conjunction), pushed down to the storage layer before any
+        membrane is evaluated.
         With ``aggregate=True`` the function is called once with the
         list of all consented views instead of once per view.  When an
         ``enclave`` is supplied (a :class:`repro.kernel.tee.Enclave`
@@ -286,7 +300,7 @@ class DataExecutionDomain:
         aggregate: bool,
         subject_id: Optional[str],
         enclave: Optional[object],
-        where: Optional["Predicate"],
+        where: Union["Predicate", Sequence["Predicate"], None],
     ) -> InvocationResult:
         result = InvocationResult(purpose=purpose.name, processing=processing_name)
         trace = result.trace
@@ -336,7 +350,7 @@ class DataExecutionDomain:
                 fields={
                     ref.uid: allowed for ref, _, allowed in survivors
                 },
-                predicates=(where,) if where is not None else (),
+                predicates=_where_tuple(where),
             )
             records = self._timed(
                 trace,
@@ -431,13 +445,15 @@ class DataExecutionDomain:
         purpose: Purpose,
         target: Union[PDRef, str, Sequence[PDRef]],
         subject_id: Optional[str],
-        where: Optional[Predicate] = None,
+        where: Union[Predicate, Sequence[Predicate], None] = None,
     ) -> Tuple[MembraneQuery, PDType]:
         """Translate the invocation target into a membrane query.
 
-        A ``where`` predicate on a type-name target narrows the
-        candidate uids through :meth:`DatabaseFS.select_uids` (indexed
-        when possible) before any membrane is touched.
+        ``where`` — one predicate or a conjunctive sequence — narrows
+        the candidate uids before any membrane is touched: a single
+        predicate goes through :meth:`DatabaseFS.select_uids` (indexed
+        when possible), several go through the planned
+        :meth:`DatabaseFS.select_uids_where` pushdown.
         """
         if isinstance(target, PDRef):
             type_name: str = target.pd_type
@@ -463,13 +479,22 @@ class DataExecutionDomain:
                 f"purpose {purpose.name!r} does not declare use of type "
                 f"{type_name!r}"
             )
-        if where is not None:
-            if where.field_name not in pd_type.field_names:
-                raise errors.InvocationError(
-                    f"predicate names unknown field {where.field_name!r} "
-                    f"of type {type_name!r}"
+        predicates = _where_tuple(where)
+        if predicates:
+            for predicate in predicates:
+                if predicate.field_name not in pd_type.field_names:
+                    raise errors.InvocationError(
+                        f"predicate names unknown field "
+                        f"{predicate.field_name!r} of type {type_name!r}"
+                    )
+            if len(predicates) == 1:
+                matching = self.dbfs.select_uids(
+                    type_name, predicates[0], self.credential
                 )
-            matching = self.dbfs.select_uids(type_name, where, self.credential)
+            else:
+                matching = self.dbfs.select_uids_where(
+                    type_name, predicates, self.credential
+                )
             uids = (
                 tuple(uid for uid in matching if uid in set(uids))
                 if uids is not None

@@ -261,7 +261,7 @@ class ProcessingStore:
             Sequence[Tuple[str, Mapping[str, object]]]
         ] = None,
         use_tee: bool = False,
-        where: Optional["Predicate"] = None,
+        where: Union["Predicate", Sequence["Predicate"], None] = None,
         **builtin_kwargs: object,
     ) -> Union[InvocationResult, PDRef, EraseReport, None]:
         """Invoke a registered processing.
@@ -296,7 +296,7 @@ class ProcessingStore:
             Sequence[Tuple[str, Mapping[str, object]]]
         ],
         use_tee: bool,
-        where: Optional["Predicate"],
+        where: Union["Predicate", Sequence["Predicate"], None],
         **builtin_kwargs: object,
     ) -> Union[InvocationResult, PDRef, EraseReport, None]:
         processing = self._get(processing_name)

@@ -117,11 +117,19 @@ class SubjectRights:
         with self.telemetry.op(
             "rights.access", subject_id=subject_id
         ) as span:
+            stats = getattr(self.dbfs, "stats", None)
+            full_before = stats.full_decodes if stats is not None else 0
+            partial_before = stats.partial_decodes if stats is not None else 0
             export = self.dbfs.export_subject(subject_id, self._credential)
             processings = [
                 entry.to_dict() for entry in self.log.for_subject(subject_id)
             ]
             span.set_attr("records", len(export["records"]))
+            if stats is not None:
+                span.set_attrs(
+                    full_decodes=stats.full_decodes - full_before,
+                    partial_decodes=stats.partial_decodes - partial_before,
+                )
             return AccessReport(
                 subject_id=subject_id,
                 generated_at=self.clock.now(),

@@ -88,6 +88,7 @@ class RgpdOS:
         journal_config: Optional[JournalConfig] = None,
         pd_device_blocks: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
+        record_codec: str = "v2",
     ) -> None:
         self.clock = Clock()
         #: Cross-layer telemetry (``repro.obs``): one metrics registry
@@ -133,6 +134,7 @@ class RgpdOS:
                 cache_config=self.cache_config,
                 journal_config=journal_config,
                 telemetry=self.telemetry,
+                record_codec=record_codec,
             )
         else:
             self.dbfs = ShardedDBFS(
@@ -142,6 +144,7 @@ class RgpdOS:
                 cache_config=self.cache_config,
                 journal_config=journal_config,
                 telemetry=self.telemetry,
+                record_codec=record_codec,
             )
         self.npd_fs = FileBasedFS()
 

@@ -19,7 +19,7 @@ what they buy over a full scan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .. import errors
 
@@ -255,17 +255,33 @@ class BTree:
 
 @dataclass
 class FieldIndex:
-    """One secondary index: B-tree over (field value, uid)."""
+    """One secondary index: B-tree over (field value, uid).
+
+    Besides lookups, the index maintains cardinality statistics — a
+    per-value entry count plus the tracked min/max — cheap enough to
+    keep exact on every add/remove.  The query planner consumes them
+    through :meth:`estimate` to pick the most selective index for a
+    multi-predicate query.
+    """
 
     type_name: str
     field_name: str
     tree: BTree = field(default_factory=BTree)
+    value_counts: Dict[object, int] = field(default_factory=dict)
 
     def add(self, value: object, uid: str) -> None:
         self.tree.insert((value, uid))
+        self.value_counts[value] = self.value_counts.get(value, 0) + 1
 
     def remove(self, value: object, uid: str) -> bool:
-        return self.tree.delete((value, uid))
+        removed = self.tree.delete((value, uid))
+        if removed:
+            remaining = self.value_counts.get(value, 0) - 1
+            if remaining > 0:
+                self.value_counts[value] = remaining
+            else:
+                self.value_counts.pop(value, None)
+        return removed
 
     def exact(self, value: object) -> List[str]:
         """uids whose field equals ``value``."""
@@ -283,3 +299,69 @@ class FieldIndex:
 
     def __len__(self) -> int:
         return len(self.tree)
+
+    # -- cardinality statistics (consumed by the query planner) ----------
+
+    @property
+    def distinct_values(self) -> int:
+        return len(self.value_counts)
+
+    def min_value(self) -> Optional[object]:
+        if not len(self.tree):
+            return None
+        return self.tree._min_key(self.tree.root)[0]
+
+    def max_value(self) -> Optional[object]:
+        if not len(self.tree):
+            return None
+        return self.tree._max_key(self.tree.root)[0]
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "entries": len(self.tree),
+            "distinct": self.distinct_values,
+            "min": self.min_value(),
+            "max": self.max_value(),
+        }
+
+    def estimate(self, op: str, value: object) -> int:
+        """Estimated number of matching entries for ``field <op> value``.
+
+        Equality and inequality are exact (the per-value counts are
+        maintained precisely); range operators interpolate under a
+        uniform-distribution assumption when the tracked min/max and
+        the probe value are all numeric, and fall back to half the
+        entries otherwise.  Estimates never exceed the entry count and
+        records *missing* the field are not represented at all, which
+        matches the SQL-NULL evaluation rule.
+        """
+        entries = len(self.tree)
+        if entries == 0:
+            return 0
+        try:
+            if op == "eq":
+                return self.value_counts.get(value, 0)
+            if op == "ne":
+                return entries - self.value_counts.get(value, 0)
+        except TypeError:  # unhashable probe value
+            return entries
+        if op not in ("lt", "le", "gt", "ge"):
+            return entries
+        lo, hi = self.min_value(), self.max_value()
+        numeric = all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in (lo, hi, value)
+        )
+        if not numeric:
+            return max(1, entries // 2)
+        if hi == lo:
+            below = entries if value > lo else 0  # type: ignore[operator]
+        else:
+            fraction = (value - lo) / (hi - lo)  # type: ignore[operator]
+            fraction = min(1.0, max(0.0, fraction))
+            below = int(entries * fraction)
+        if op in ("lt", "le"):
+            estimate = below
+        else:
+            estimate = entries - below
+        return min(entries, max(0, estimate))

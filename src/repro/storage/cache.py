@@ -153,6 +153,11 @@ class CacheConfig:
     ``membrane_object_cache``     cache decoded :class:`Membrane` objects
                                   (the JSON text cache predates this and
                                   is always on)
+    ``membrane_cache_entries``    LRU bound shared by the membrane JSON
+                                  and decoded-object caches (entries per
+                                  cache); both write through on
+                                  ``put_membrane`` so eviction only ever
+                                  costs a re-read, never staleness
     ``decision_cache_entries``    DED membrane-decision cache capacity
                                   ((uid, purpose, version) entries);
                                   0 disables
@@ -167,11 +172,18 @@ class CacheConfig:
     record_cache_records: int = 4096
     listing_cache: bool = True
     membrane_object_cache: bool = True
+    membrane_cache_entries: int = 8192
     decision_cache_entries: int = 8192
 
     @classmethod
     def disabled(cls) -> "CacheConfig":
-        """The caches-off configuration (seed behaviour, FASTPATH baseline)."""
+        """The caches-off configuration (seed behaviour, FASTPATH baseline).
+
+        ``membrane_cache_entries`` keeps its default: the membrane JSON
+        cache is part of seed behaviour ("always on"), so the baseline
+        bounds it rather than switching it off; the decoded-object
+        cache stays gated by ``membrane_object_cache=False``.
+        """
         return cls(
             page_cache_blocks=0,
             record_cache_records=0,

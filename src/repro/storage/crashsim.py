@@ -134,12 +134,14 @@ class CrashSim:
         shard_count: int = 1,
         seed: int = 0,
         journal_config: Optional[JournalConfig] = None,
+        record_codec: str = "v2",
     ) -> None:
         if shard_count < 1:
             raise errors.DBFSError(f"invalid shard count {shard_count}")
         self.shard_count = shard_count
         self.seed = seed
         self.journal_config = journal_config
+        self.record_codec = record_codec
         self._authority = Authority(bits=512, seed=seed + 7)
         self._operator_key = self._authority.issue_operator_key("crashsim-op")
 
@@ -165,6 +167,7 @@ class CrashSim:
                 operator_key=self._operator_key,
                 journal_blocks=JOURNAL_BLOCKS,
                 journal_config=self.journal_config,
+                record_codec=self.record_codec,
             )
         else:
             fs = ShardedDBFS(
@@ -172,6 +175,7 @@ class CrashSim:
                 operator_key=self._operator_key,
                 journal_blocks=JOURNAL_BLOCKS,
                 journal_config=self.journal_config,
+                record_codec=self.record_codec,
             )
         return injector, devices, fs
 
@@ -188,12 +192,14 @@ class CrashSim:
                 tables[0],
                 operator_key=self._operator_key,
                 journal_config=self.journal_config,
+                record_codec=self.record_codec,
             )
         return ShardedDBFS.remount_from_devices(
             list(devices),
             tables,
             operator_key=self._operator_key,
             journal_config=self.journal_config,
+            record_codec=self.record_codec,
         )
 
     # -- reference workload -------------------------------------------------

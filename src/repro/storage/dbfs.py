@@ -56,12 +56,11 @@ GDPR-specific storage behaviour:
 
 from __future__ import annotations
 
-import base64
 import itertools
 import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .. import errors
 from ..core.active_data import AccessCredential, PDRef
@@ -72,6 +71,17 @@ from ..obs import NULL_TELEMETRY, Telemetry
 from .block import BlockDevice, store_bytes
 from .btree import FieldIndex
 from .cache import MISSING, CacheConfig, DEFAULT_CACHE_CONFIG, LRUCache
+from .codec import (
+    ENCODING_V1,
+    ENCODING_V2,
+    RecordCodec,
+    codec_for_format,
+    decode_any,
+    decode_record_v1,
+    encode_record_v1,
+    is_v2_payload,
+)
+from .planner import STRATEGY_INDEX, QueryPlan, plan_query
 from .inode import (
     KIND_DIRECTORY,
     KIND_FORMAT,
@@ -102,25 +112,18 @@ _uid_counter = itertools.count(1)
 
 
 def _encode_record(record: Mapping[str, object]) -> bytes:
-    """JSON-encode a record; bytes fields go through base64."""
+    """v1 JSON encoding (kept for escrow blobs and v1-encoded tables).
 
-    def default(value: object) -> object:
-        if isinstance(value, bytes):
-            return {"__bytes__": base64.b64encode(value).decode()}
-        raise TypeError(f"unencodable value of type {type(value).__name__}")
-
-    return json.dumps(record, sort_keys=True, default=default).encode()
+    The authority-escrow path always uses this codec: the ciphertext
+    must stay decodable by the authority without the operator's format
+    descriptors.  Table rows go through :meth:`DatabaseFS._encode_payload`
+    instead, which dispatches on the type's negotiated encoding.
+    """
+    return encode_record_v1(dict(record))
 
 
 def _decode_record(raw: bytes) -> Dict[str, object]:
-    def hook(obj: Dict[str, object]) -> object:
-        if set(obj) == {"__bytes__"}:
-            return base64.b64decode(obj["__bytes__"])  # type: ignore[arg-type]
-        return obj
-
-    if not raw:
-        return {}
-    return json.loads(raw.decode(), object_hook=hook)
+    return decode_record_v1(raw)
 
 
 @dataclass
@@ -139,6 +142,10 @@ class DBFSStats:
     listing_cache_misses: int = 0
     membrane_cache_hits: int = 0
     membrane_cache_misses: int = 0
+    plans: int = 0
+    full_decodes: int = 0
+    partial_decodes: int = 0
+    fields_decoded: int = 0
 
 
 class DatabaseFS:
@@ -152,9 +159,17 @@ class DatabaseFS:
         cache_config: Optional[CacheConfig] = None,
         journal_config: Optional[JournalConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        record_codec: str = "v2",
     ) -> None:
         self.cache_config = cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if record_codec not in ("v1", "v2"):
+            raise errors.DBFSError(
+                f"unknown record codec {record_codec!r} (valid: v1, v2)"
+            )
+        #: Encoding written into *new* format descriptors; existing
+        #: tables keep whatever their descriptor negotiated.
+        self._record_codec = record_codec
         self.device = device or BlockDevice(
             page_cache_blocks=self.cache_config.page_cache_blocks,
             telemetry=self.telemetry,
@@ -200,6 +215,9 @@ class DatabaseFS:
         self._membrane_index: Dict[str, int] = {}    # uid -> membrane inode no
         self._escrow_blobs: Dict[str, EscrowBlob] = {}
         self._format_cache: Dict[str, Dict[str, object]] = {}  # per live session
+        # Compiled v2 row codecs, one per live format descriptor (None
+        # for v1 tables).  Lives and dies with _format_cache.
+        self._codec_cache: Dict[str, Optional[RecordCodec]] = {}
         # Secondary field indexes: (type, field) -> B-tree index.
         self._field_indexes: Dict[Tuple[str, str], FieldIndex] = {}
         # Lineage index: copy-group id -> member uids.  Keeps the
@@ -209,7 +227,12 @@ class DatabaseFS:
         # Membrane JSON cache: avoids re-reading the membrane inode's
         # blocks on every decision.  Invariant: the cache always holds
         # exactly what the inode holds (put_membrane writes both).
-        self._membrane_json_cache: Dict[str, str] = {}
+        # LRU-bounded: eviction is safe because _load_membrane re-reads
+        # the inode on a miss.
+        self._membrane_json_cache = LRUCache(
+            self.cache_config.membrane_cache_entries,
+            name="membrane-json-cache",
+        )
         # Decoded-record cache (uid -> merged public+sensitive dict).
         # Values are copied on both insert and return: callers mutate
         # the dict they get back (update() does), and a cache handing
@@ -227,8 +250,12 @@ class DatabaseFS:
         # object per uid instead of re-running Membrane.from_json per
         # decision.  Safe because every mutation site follows the
         # get -> mutate -> put_membrane discipline and put_membrane
-        # refreshes this cache alongside the JSON cache.
-        self._membrane_cache: Dict[str, Membrane] = {}
+        # refreshes this cache alongside the JSON cache.  Shares the
+        # membrane_cache_entries bound with the JSON cache above.
+        self._membrane_cache = LRUCache(
+            self.cache_config.membrane_cache_entries,
+            name="membrane-object-cache",
+        )
 
     # ------------------------------------------------------------------
     # Access control
@@ -259,14 +286,21 @@ class DatabaseFS:
         self.inodes.link_child(self._schema_root.number, pd_type.name, table.number)
         # Format descriptor: how records of this type are encoded in the
         # subject subtrees — read once per live session (see _format_of).
+        # The encoding is negotiated here: binary-v2 descriptors carry
+        # the append-only field_order list every v2 row's offset table
+        # is indexed against.
         format_inode = self.inodes.allocate(KIND_FORMAT)
         format_spec = {
             "type": pd_type.name,
-            "encoding": "json+base64-bytes",
+            "encoding": (
+                ENCODING_V2 if self._record_codec == "v2" else ENCODING_V1
+            ),
             "public_fields": sorted(pd_type.field_names - pd_type.sensitive_fields),
             "sensitive_fields": sorted(pd_type.sensitive_fields),
             "membrane_encoding": "json",
         }
+        if self._record_codec == "v2":
+            format_spec["field_order"] = sorted(pd_type.field_names)
         self.inodes.write_payload(
             format_inode.number, json.dumps(format_spec, sort_keys=True).encode()
         )
@@ -330,20 +364,33 @@ class DatabaseFS:
         format_inode = self.inodes.lookup(
             self._formats_root.number, new_type.name
         )
+        # Evolution is the v1 -> v2 upgrade point: the rewritten
+        # descriptor always declares binary-v2, with the field order
+        # extended append-only (existing ordinals never move, so rows
+        # written before the evolution keep decoding; rows already on
+        # disk as v1 JSON remain readable via per-row auto-detection).
+        old_spec = self._format_of(new_type.name)
+        old_order = list(old_spec.get("field_order") or [])
+        known = set(old_order)
+        field_order = old_order + sorted(
+            name for name in new_type.field_names if name not in known
+        )
         format_spec = {
             "type": new_type.name,
-            "encoding": "json+base64-bytes",
+            "encoding": ENCODING_V2,
             "public_fields": sorted(
                 new_type.field_names - new_type.sensitive_fields
             ),
             "sensitive_fields": sorted(new_type.sensitive_fields),
             "membrane_encoding": "json",
+            "field_order": field_order,
         }
         self.inodes.rewrite_scrubbed(
             format_inode.number,
             json.dumps(format_spec, sort_keys=True).encode(),
         )
         self._format_cache.pop(new_type.name, None)
+        self._codec_cache.pop(new_type.name, None)
         # Cached decoded records embed the old schema's field split;
         # drop them all (evolutions are rare, the cache refills fast).
         self._record_cache.clear()
@@ -377,6 +424,27 @@ class DatabaseFS:
         self._format_cache[type_name] = spec
         self.stats.format_reads += 1
         return spec
+
+    def _codec_of(self, type_name: str) -> Optional[RecordCodec]:
+        """Compiled v2 codec for the type, or None for v1 tables.
+
+        Compiled once per live format descriptor; invalidated together
+        with ``_format_cache`` (evolve_type, remount).
+        """
+        codec = self._codec_cache.get(type_name, MISSING)
+        if codec is MISSING:
+            codec = codec_for_format(self._format_of(type_name))
+            self._codec_cache[type_name] = codec
+        return codec  # type: ignore[return-value]
+
+    def _encode_payload(
+        self, type_name: str, record: Mapping[str, object]
+    ) -> bytes:
+        """Encode a row (or row half) with the type's negotiated codec."""
+        codec = self._codec_of(type_name)
+        if codec is None:
+            return _encode_record(record)
+        return codec.encode(dict(record))
 
     # ------------------------------------------------------------------
     # Secondary field indexes
@@ -491,6 +559,129 @@ class DatabaseFS:
                 matches.append(uid)
         return matches
 
+    # ------------------------------------------------------------------
+    # Planned multi-predicate selection
+    # ------------------------------------------------------------------
+
+    def explain(
+        self,
+        type_name: str,
+        predicates: Sequence[Predicate],
+        credential: AccessCredential,
+    ) -> QueryPlan:
+        """The plan :meth:`select_uids_where` would run, without running it."""
+        self._require_ded(credential, "explain")
+        self.get_type(type_name)
+        return self._plan(type_name, tuple(predicates))
+
+    def select_uids_where(
+        self,
+        type_name: str,
+        predicates: Sequence[Predicate],
+        credential: AccessCredential,
+    ) -> List[str]:
+        """uids of live records satisfying *all* predicates (conjunction).
+
+        The planner picks the most selective indexed predicate as the
+        driving lookup (per-index cardinality stats), then evaluates
+        the residual predicates on each candidate via partial decode of
+        only the fields they touch.  With no indexable predicate the
+        whole table is scanned, but still with partial decode, so a v2
+        row never pays a full ``json.loads``-style materialisation just
+        to be rejected.  An empty predicate list selects every live
+        record of the type.
+        """
+        self._require_ded(credential, "select_uids_where")
+        self.get_type(type_name)
+        predicates = tuple(predicates)
+        with self.telemetry.op(
+            "dbfs.select_where", pd_type=type_name,
+            predicates=len(predicates),
+        ) as span:
+            plan = self._plan(type_name, predicates)
+            uids = self._execute_plan(plan)
+            span.set_attrs(
+                strategy=plan.strategy,
+                index_field=plan.index_field,
+                estimated=plan.estimated_rows,
+                matched=len(uids),
+            )
+            return uids
+
+    def _plan(
+        self, type_name: str, predicates: Tuple[Predicate, ...]
+    ) -> QueryPlan:
+        with self.telemetry.op(
+            "dbfs.plan", pd_type=type_name, predicates=len(predicates)
+        ) as span:
+            indexes = {
+                field_name: index
+                for (indexed_type, field_name), index
+                in self._field_indexes.items()
+                if indexed_type == type_name
+            }
+            plan = plan_query(
+                type_name, predicates, indexes,
+                table_rows=len(self._table_listing(type_name)),
+            )
+            self.stats.plans += 1
+            span.set_attrs(
+                strategy=plan.strategy,
+                index_field=plan.index_field,
+                estimated_rows=plan.estimated_rows,
+                residual=len(plan.residual),
+            )
+            return plan
+
+    def _execute_plan(self, plan: QueryPlan) -> List[str]:
+        fields_needed = plan.fields_needed
+        partial_before = self.stats.partial_decodes
+        full_before = self.stats.full_decodes
+        if plan.strategy == STRATEGY_INDEX:
+            index = self._field_indexes[(plan.type_name, plan.index_field)]
+            candidates = self._select_indexed(index, plan.index_predicate)
+            if not plan.residual:
+                return candidates  # index holds live records only
+            # Residual filtering: decode just the residual fields of
+            # each candidate (the index already proved liveness and the
+            # driving predicate).
+            with self.telemetry.span(
+                "dbfs.decode", rows=len(candidates),
+                fields=list(fields_needed),
+            ) as span:
+                matches = []
+                for uid in candidates:
+                    record = self._load_record_fields(uid, fields_needed)
+                    if all(p.evaluate(record) for p in plan.residual):
+                        matches.append(uid)
+                span.set_attrs(
+                    partial_decodes=self.stats.partial_decodes - partial_before,
+                    full_decodes=self.stats.full_decodes - full_before,
+                )
+            return matches
+        # Scan strategy: every live row, partial-decoded to the union
+        # of the predicate fields; the conjunction short-circuits on
+        # the first failing predicate.
+        matches = []
+        listing = self._table_listing(plan.type_name)
+        with self.telemetry.span(
+            "dbfs.decode", rows=len(listing), fields=list(fields_needed),
+        ) as span:
+            for uid in listing:
+                if self._load_membrane(uid).erased:
+                    continue
+                if not plan.residual:
+                    matches.append(uid)
+                    continue
+                record = self._load_record_fields(uid, fields_needed)
+                if all(p.evaluate(record) for p in plan.residual):
+                    matches.append(uid)
+            span.set_attrs(
+                partial_decodes=self.stats.partial_decodes - partial_before,
+                full_decodes=self.stats.full_decodes - full_before,
+            )
+        return matches
+
     def _table_listing(self, type_name: str) -> List[str]:
         """Sorted uids of one table, cached until a store/delete.
 
@@ -572,14 +763,17 @@ class DatabaseFS:
         try:
             subject_inode = self._subject_inode(membrane.subject_id, create=True)
             record_inode = self.inodes.allocate(KIND_RECORD)
-            self.inodes.write_payload(record_inode.number, _encode_record(public))
+            self.inodes.write_payload(
+                record_inode.number, self._encode_payload(pd_type.name, public)
+            )
             record_inode.attrs["uid"] = uid
             record_inode.attrs["pd_type"] = pd_type.name
 
             if sensitive:
                 sensitive_inode = self.inodes.allocate(KIND_RECORD)
                 self.inodes.write_payload(
-                    sensitive_inode.number, _encode_record(sensitive)
+                    sensitive_inode.number,
+                    self._encode_payload(pd_type.name, sensitive),
                 )
                 sensitive_inode.attrs["sensitive"] = True
                 record_inode.attrs["sensitive_inode"] = sensitive_inode.number
@@ -597,9 +791,9 @@ class DatabaseFS:
 
             self._record_index[uid] = record_inode.number
             self._membrane_index[uid] = membrane_inode.number
-            self._membrane_json_cache[uid] = membrane.to_json()
+            self._membrane_json_cache.put(uid, membrane.to_json())
             if self.cache_config.membrane_object_cache:
-                self._membrane_cache[uid] = membrane
+                self._membrane_cache.put(uid, membrane)
             self._record_cache.put(uid, dict(request.record))
             self._listing_cache.pop(pd_type.name, None)
             self._index_record(pd_type.name, uid, request.record)
@@ -696,22 +890,22 @@ class DatabaseFS:
     def _load_membrane(self, uid: str) -> Membrane:
         if self.cache_config.membrane_object_cache:
             decoded = self._membrane_cache.get(uid)
-            if decoded is not None:
+            if decoded is not MISSING:
                 self.stats.membrane_cache_hits += 1
-                return decoded
+                return decoded  # type: ignore[return-value]
         cached = self._membrane_json_cache.get(uid)
-        if cached is not None:
-            membrane = Membrane.from_json(cached)
+        if cached is not MISSING:
+            membrane = Membrane.from_json(cached)  # type: ignore[arg-type]
         else:
             inode_no = self._membrane_index.get(uid)
             if inode_no is None:
                 raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
             raw = self.inodes.read_payload(inode_no).decode()
-            self._membrane_json_cache[uid] = raw
+            self._membrane_json_cache.put(uid, raw)
             membrane = Membrane.from_json(raw)
         if self.cache_config.membrane_object_cache:
             self.stats.membrane_cache_misses += 1
-            self._membrane_cache[uid] = membrane
+            self._membrane_cache.put(uid, membrane)
         return membrane
 
     def put_membrane(
@@ -724,11 +918,15 @@ class DatabaseFS:
             raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
         encoded = membrane.to_json()
         self.inodes.rewrite_scrubbed(inode_no, encoded.encode())
-        self._membrane_json_cache[uid] = encoded
+        # Write-through invariant: both membrane caches are refreshed
+        # (or dropped) in the same step that rewrites the inode, so a
+        # bounded cache can evict freely without ever serving a stale
+        # consent state.
+        self._membrane_json_cache.put(uid, encoded)
         if self.cache_config.membrane_object_cache:
-            self._membrane_cache[uid] = membrane
+            self._membrane_cache.put(uid, membrane)
         else:
-            self._membrane_cache.pop(uid, None)
+            self._membrane_cache.invalidate(uid)
         if membrane.lineage:
             self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
         self._journal_op("membrane_update", uid)
@@ -744,30 +942,48 @@ class DatabaseFS:
     def fetch_records(
         self, query: DataQuery, credential: AccessCredential
     ) -> Dict[str, Dict[str, object]]:
-        """Fetch records for filtered refs, projected to allowed fields."""
+        """Fetch records for filtered refs, projected to allowed fields.
+
+        When a per-uid allowed-field set is present, v2-encoded rows
+        are *partially* decoded: only the allowed ordinals are read via
+        the row's offset table, and the separate sensitive inode is not
+        even loaded unless a sensitive field is allowed.  Predicates
+        evaluate against the projected record (so a predicate on a
+        field consent does not allow never matches — unchanged
+        semantics, cheaper decode).
+        """
         self._require_ded(credential, "fetch_records")
         with self.telemetry.op(
             "dbfs.fetch_records", count=len(query.uids)
         ) as span:
             self.stats.data_queries += 1
+            partial_before = self.stats.partial_decodes
+            full_before = self.stats.full_decodes
             results: Dict[str, Dict[str, object]] = {}
-            for uid in query.uids:
-                membrane = self._load_membrane(uid)
-                if membrane.erased:
-                    raise errors.ExpiredPDError(
-                        f"PD {uid!r} has been erased; its data is not retrievable"
-                    )
-                record = self._load_record_raw(uid)
-                allowed = query.allowed_fields_for(uid)
-                if allowed is not None:
-                    record = {k: v for k, v in record.items() if k in allowed}
-                if not query.matches(record):
-                    continue
-                results[uid] = record
+            with self.telemetry.span("dbfs.decode", rows=len(query.uids)) as decode_span:
+                for uid in query.uids:
+                    membrane = self._load_membrane(uid)
+                    if membrane.erased:
+                        raise errors.ExpiredPDError(
+                            f"PD {uid!r} has been erased; its data is not retrievable"
+                        )
+                    allowed = query.allowed_fields_for(uid)
+                    if allowed is not None:
+                        record = self._load_record_fields(uid, allowed)
+                    else:
+                        record = self._load_record_raw(uid)
+                    if not query.matches(record):
+                        continue
+                    results[uid] = record
+                decode_span.set_attrs(
+                    partial_decodes=self.stats.partial_decodes - partial_before,
+                    full_decodes=self.stats.full_decodes - full_before,
+                )
             span.set_attr("matched", len(results))
             return results
 
     def _load_record_raw(self, uid: str) -> Dict[str, object]:
+        """The full merged record (public + sensitive), cache-backed."""
         cached = self._record_cache.get(uid)
         if cached is not MISSING:
             return dict(cached)  # type: ignore[call-overload]
@@ -775,11 +991,62 @@ class DatabaseFS:
         if inode_no is None:
             raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
         inode = self.inodes.get(inode_no)
-        record = _decode_record(self.inodes.read_payload(inode_no))
+        type_name = inode.attrs.get("pd_type")
+        codec = self._codec_of(type_name) if type_name else None
+        record = decode_any(self.inodes.read_payload(inode_no), codec)
         sensitive_no = inode.attrs.get("sensitive_inode")
         if sensitive_no is not None:
-            record.update(_decode_record(self.inodes.read_payload(sensitive_no)))
+            record.update(
+                decode_any(self.inodes.read_payload(sensitive_no), codec)
+            )
+        self.stats.full_decodes += 1
         self._record_cache.put(uid, dict(record))
+        return record
+
+    def _load_record_fields(
+        self, uid: str, fields: Iterable[str]
+    ) -> Dict[str, object]:
+        """Project a record to ``fields``, decoding only those for v2 rows.
+
+        The record cache is consulted first (a cached record is already
+        decoded, projection is free); a miss on a v2 row decodes just
+        the wanted ordinals through the offset table and skips the
+        sensitive inode entirely when no sensitive field is wanted.
+        Partial results are never inserted into the record cache — it
+        holds full merged records only.  v1 rows (and v1 stragglers in
+        an upgraded table) take the full-decode path.
+        """
+        wanted = set(fields)
+        cached = self._record_cache.get(uid)
+        if cached is not MISSING:
+            return {
+                k: v for k, v in cached.items() if k in wanted  # type: ignore[union-attr]
+            }
+        inode_no = self._record_index.get(uid)
+        if inode_no is None:
+            raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
+        inode = self.inodes.get(inode_no)
+        type_name = inode.attrs.get("pd_type")
+        codec = self._codec_of(type_name) if type_name else None
+        if codec is None:  # v1 table: no partial decode exists
+            full = self._load_record_raw(uid)
+            return {k: v for k, v in full.items() if k in wanted}
+        raw = self.inodes.read_payload(inode_no)
+        if not is_v2_payload(raw):  # pre-upgrade v1 straggler row
+            full = self._load_record_raw(uid)
+            return {k: v for k, v in full.items() if k in wanted}
+        record = codec.decode_fields(raw, wanted)
+        sensitive_no = inode.attrs.get("sensitive_inode")
+        if sensitive_no is not None:
+            fmt = self._format_of(type_name)
+            if wanted.intersection(fmt["sensitive_fields"]):
+                record.update(
+                    codec.decode_fields(
+                        self.inodes.read_payload(sensitive_no), wanted
+                    )
+                )
+        self.stats.partial_decodes += 1
+        self.stats.fields_decoded += len(record)
         return record
 
     # ------------------------------------------------------------------
@@ -812,14 +1079,21 @@ class DatabaseFS:
         sensitive = {
             k: v for k, v in record.items() if k in fmt["sensitive_fields"]
         }
-        self.inodes.rewrite_scrubbed(inode_no, _encode_record(public))
+        # Re-encoding with the *current* negotiated codec also migrates
+        # pre-upgrade v1 rows to binary-v2 on their next update.
+        self.inodes.rewrite_scrubbed(
+            inode_no, self._encode_payload(pd_type.name, public)
+        )
         sensitive_no = inode.attrs.get("sensitive_inode")
         if sensitive_no is not None:
-            self.inodes.rewrite_scrubbed(sensitive_no, _encode_record(sensitive))
+            self.inodes.rewrite_scrubbed(
+                sensitive_no, self._encode_payload(pd_type.name, sensitive)
+            )
         elif sensitive:
             sensitive_inode = self.inodes.allocate(KIND_RECORD)
             self.inodes.write_payload(
-                sensitive_inode.number, _encode_record(sensitive)
+                sensitive_inode.number,
+                self._encode_payload(pd_type.name, sensitive),
             )
             sensitive_inode.attrs["sensitive"] = True
             inode.attrs["sensitive_inode"] = sensitive_inode.number
@@ -1218,6 +1492,12 @@ class DatabaseFS:
                 "hit_rate": round(
                     self.stats.membrane_cache_hits / membrane_lookups, 4
                 ) if membrane_lookups else 0.0,
+                "capacity": self.cache_config.membrane_cache_entries,
+                "json_entries": len(self._membrane_json_cache),
+                "evictions": (
+                    self._membrane_cache.stats.evictions
+                    + self._membrane_json_cache.stats.evictions
+                ),
             },
             "journal": {
                 "name": "journal-group-commit",
@@ -1272,6 +1552,7 @@ class DatabaseFS:
         cache_config: Optional[CacheConfig] = None,
         journal_config: Optional[JournalConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        record_codec: str = "v2",
     ) -> "DatabaseFS":
         """True-crash remount: a fresh DBFS over surviving state only.
 
@@ -1304,6 +1585,14 @@ class DatabaseFS:
             cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
         )
         fs.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if record_codec not in ("v1", "v2"):
+            raise errors.DBFSError(
+                f"unknown record codec {record_codec!r} (valid: v1, v2)"
+            )
+        # Only governs types created *after* the remount; surviving
+        # tables keep the encoding their format descriptor negotiated,
+        # and rows are auto-detected per row either way.
+        fs._record_codec = record_codec
         fs.device = device
         device.drop_page_cache()
         fs.inodes = inodes

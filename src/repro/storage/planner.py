@@ -1,0 +1,136 @@
+"""Selectivity-driven query planning over DBFS field indexes.
+
+The paper pushes query capability into the filesystem (§ 3(1): the
+format descriptor means DBFS "knows the general structure of the
+data"); once conjunctive multi-predicate queries exist, something has
+to decide *which* index drives the lookup.  This module is that
+something: given the predicates of a query and the
+:class:`~repro.storage.btree.FieldIndex` objects that exist for the
+type, it picks the indexed predicate with the lowest cardinality
+estimate as the driving lookup, leaves the rest as *residual*
+predicates to be checked via partial decode, and falls back to a full
+table scan when no predicate is indexable.
+
+The planner is deliberately storage-agnostic: it sees index statistics
+and predicates, never records, so :class:`~repro.storage.dbfs.DatabaseFS`
+plans locally and :class:`~repro.storage.shard.ShardedDBFS` simply
+scatter-gathers the same planning to every shard.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from .btree import FieldIndex
+from .query import (
+    OP_EQ,
+    OP_GE,
+    OP_GT,
+    OP_LE,
+    OP_LT,
+    OP_NE,
+    Predicate,
+)
+
+STRATEGY_INDEX = "index"
+STRATEGY_SCAN = "scan"
+
+# Operators _select_indexed can answer from a B-tree field index.
+INDEXABLE_OPS = frozenset({OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE})
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's decision for one conjunctive predicate set.
+
+    ``fields_needed`` is the union of the residual predicates' fields —
+    exactly what the executor must decode per candidate row; with the
+    v2 codec that is a partial decode guided by the row's offset table.
+    """
+
+    type_name: str
+    strategy: str                      # STRATEGY_INDEX or STRATEGY_SCAN
+    predicates: Tuple[Predicate, ...]
+    index_field: Optional[str] = None
+    index_predicate: Optional[Predicate] = None
+    residual: Tuple[Predicate, ...] = ()
+    estimated_rows: int = 0
+    table_rows: int = 0
+    candidate_estimates: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def fields_needed(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for predicate in self.residual:
+            seen.setdefault(predicate.field_name, None)
+        return tuple(seen)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary (used by ``repro explain`` and trace spans)."""
+        return {
+            "type": self.type_name,
+            "strategy": self.strategy,
+            "index_field": self.index_field,
+            "index_predicate": (
+                self.index_predicate.describe()
+                if self.index_predicate is not None else None
+            ),
+            "residual": [p.describe() for p in self.residual],
+            "estimated_rows": self.estimated_rows,
+            "table_rows": self.table_rows,
+            "fields_decoded": list(self.fields_needed),
+            "candidate_estimates": dict(self.candidate_estimates),
+        }
+
+
+def plan_query(
+    type_name: str,
+    predicates: Sequence[Predicate],
+    indexes: Mapping[str, FieldIndex],
+    table_rows: int,
+) -> QueryPlan:
+    """Choose the driving index (or a scan) for a conjunctive query.
+
+    Every indexable predicate whose field has an index is costed with
+    :meth:`FieldIndex.estimate`; the cheapest drives the lookup and the
+    others become residuals.  With several predicates on the *same*
+    field only the cheapest drives — the rest still apply as residuals,
+    so correctness never depends on the estimate being right.
+    """
+    predicates = tuple(predicates)
+    estimates: Dict[str, int] = {}
+    best: Optional[Predicate] = None
+    best_cost = -1
+    for predicate in predicates:
+        if predicate.op not in INDEXABLE_OPS:
+            continue
+        index = indexes.get(predicate.field_name)
+        if index is None:
+            continue
+        cost = index.estimate(predicate.op, predicate.value)
+        key = predicate.describe()
+        estimates[key] = cost
+        if best is None or cost < best_cost:
+            best, best_cost = predicate, cost
+    if best is None:
+        return QueryPlan(
+            type_name=type_name,
+            strategy=STRATEGY_SCAN,
+            predicates=predicates,
+            residual=predicates,
+            estimated_rows=table_rows,
+            table_rows=table_rows,
+            candidate_estimates=estimates,
+        )
+    residual = tuple(p for p in predicates if p is not best)
+    return QueryPlan(
+        type_name=type_name,
+        strategy=STRATEGY_INDEX,
+        predicates=predicates,
+        index_field=best.field_name,
+        index_predicate=best,
+        residual=residual,
+        estimated_rows=best_cost,
+        table_rows=table_rows,
+        candidate_estimates=estimates,
+    )

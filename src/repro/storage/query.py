@@ -71,6 +71,63 @@ class Predicate:
         except TypeError:
             return False
 
+    def describe(self) -> str:
+        return f"{self.field_name} {self.op} {self.value!r}"
+
+
+# Surface syntax accepted by parse_predicate, longest operators first so
+# ">=" is not tokenized as ">" + "=".
+_SURFACE_OPS: Tuple[Tuple[str, str], ...] = (
+    (">=", OP_GE),
+    ("<=", OP_LE),
+    ("!=", OP_NE),
+    ("==", OP_EQ),
+    ("~", OP_CONTAINS),
+    (">", OP_GT),
+    ("<", OP_LT),
+    ("=", OP_EQ),
+)
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse ``"field<op>value"`` surface syntax into a :class:`Predicate`.
+
+    Accepted operators: ``== = != < <= > >= ~`` (``~`` is *contains*).
+    Values parse as int, then float, then bare string (surrounding
+    single/double quotes are stripped) — e.g. ``city==Lyon``,
+    ``year_of_birthdate>=1990``, ``name~'da'``.
+    """
+    for token, op in _SURFACE_OPS:
+        index = text.find(token)
+        if index > 0:
+            field_name = text[:index].strip()
+            raw_value = text[index + len(token):].strip()
+            if not field_name.isidentifier():
+                break  # e.g. ">= 1990" matching "=" with field ">"
+            return Predicate(field_name, op, _parse_value(raw_value))
+    raise errors.DBFSError(
+        f"cannot parse predicate {text!r}; expected "
+        "field<op>value with op one of == != < <= > >= ~"
+    )
+
+
+def _parse_value(raw: str) -> object:
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in ("'", '"'):
+        return raw[1:-1]
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    if raw in ("true", "True"):
+        return True
+    if raw in ("false", "False"):
+        return False
+    return raw
+
 
 @dataclass(frozen=True)
 class MembraneQuery:

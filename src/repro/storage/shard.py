@@ -93,6 +93,7 @@ class ShardedDBFS:
         cache_config: Optional[CacheConfig] = None,
         journal_config: Optional[JournalConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        record_codec: str = "v2",
     ) -> None:
         if devices is not None:
             shard_count = len(devices)
@@ -116,6 +117,7 @@ class ShardedDBFS:
                 cache_config=self.cache_config,
                 journal_config=journal_config,
                 telemetry=self.telemetry,
+                record_codec=record_codec,
             )
             for i in range(shard_count)
         ]
@@ -138,6 +140,7 @@ class ShardedDBFS:
         cache_config: Optional[CacheConfig] = None,
         journal_config: Optional[JournalConfig] = None,
         telemetry: Optional[Telemetry] = None,
+        record_codec: str = "v2",
     ) -> "ShardedDBFS":
         """True-crash remount of a whole fleet, shard by shard.
 
@@ -174,6 +177,7 @@ class ShardedDBFS:
                     cache_config=fleet.cache_config,
                     journal_config=journal_config,
                     telemetry=fleet.telemetry,
+                    record_codec=record_codec,
                 )
             except (errors.RgpdOSError, ValueError, KeyError, TypeError) as exc:
                 # Isolate the corruption: one bad shard must degrade,
@@ -388,6 +392,41 @@ class ShardedDBFS:
                     shard.select_uids(type_name, predicate, credential)
                 )
         return sorted(matches)
+
+    def select_uids_where(
+        self,
+        type_name: str,
+        predicates: Sequence[Predicate],
+        credential: AccessCredential,
+    ) -> List[str]:
+        """Scatter-gather the planned multi-predicate query.
+
+        Each shard plans *its own* execution — index cardinalities are
+        per-shard statistics, so two shards may legitimately pick
+        different driving indexes for the same predicates — and the
+        merged result preserves the single-DBFS order.
+        """
+        matches: List[str] = []
+        for index, shard in self._healthy():
+            with self.telemetry.span(
+                "shard.fanout", shard=index, op="select_uids_where"
+            ):
+                matches.extend(
+                    shard.select_uids_where(type_name, predicates, credential)
+                )
+        return sorted(matches)
+
+    def explain(
+        self,
+        type_name: str,
+        predicates: Sequence[Predicate],
+        credential: AccessCredential,
+    ):
+        """Per-shard plans for the query (shard index -> QueryPlan)."""
+        return {
+            index: shard.explain(type_name, predicates, credential)
+            for index, shard in self._healthy()
+        }
 
     # ------------------------------------------------------------------
     # Store (routed by the membrane's subject id)

@@ -1,0 +1,112 @@
+"""Property tests: indexed selection ≡ scan selection (SQL-NULL rule).
+
+For every comparison operator the B-tree-backed ``_select_indexed``
+fast path must return exactly what the full-decode ``_select_scan``
+returns, over randomized populations that include records *missing*
+the indexed field entirely (which, per SQL NULL semantics, match no
+predicate).  A second property checks the multi-predicate planner
+against a brute-force conjunction over fully decoded rows.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.active_data import AccessCredential
+from repro.core.datatypes import FieldDef, PDType
+from repro.core.membrane import membrane_for_type
+from repro.storage.dbfs import DatabaseFS
+from repro.storage.query import Predicate
+
+DED = AccessCredential(holder="prop-ded", is_ded=True)
+
+SIX_OPS = ["eq", "ne", "lt", "le", "gt", "ge"]
+
+#: None means "store the record without the year field".
+YEARS = st.lists(
+    st.one_of(st.none(), st.integers(min_value=1900, max_value=1930)),
+    min_size=0, max_size=20,
+)
+
+
+def prop_type():
+    return PDType(
+        name="user",
+        fields=(
+            FieldDef("name", "string"),
+            FieldDef("year", "int", required=False),
+            FieldDef("city", "string", required=False),
+        ),
+        collection={"web_form": "form.html"},
+        ttl_seconds=1000.0,
+    )
+
+
+def build_store(years, cities=None):
+    fs = DatabaseFS()
+    pd_type = prop_type()
+    fs.create_type(pd_type, DED)
+    from repro.storage.query import StoreRequest
+
+    for i, year in enumerate(years):
+        record = {"name": f"u{i}"}
+        if year is not None:
+            record["year"] = year
+        if cities is not None:
+            record["city"] = cities[i % len(cities)]
+        membrane = membrane_for_type(pd_type, f"s{i}", created_at=0.0)
+        fs.store(StoreRequest("user", record, membrane.to_json()), DED)
+    return fs
+
+
+class TestIndexedEqualsScan:
+    @given(
+        years=YEARS,
+        op=st.sampled_from(SIX_OPS),
+        value=st.integers(min_value=1895, max_value=1935),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_six_ops_agree(self, years, op, value):
+        fs = build_store(years)
+        index = fs.create_index("user", "year", DED)
+        predicate = Predicate("year", op, value)
+        assert fs._select_indexed(index, predicate) == \
+            fs._select_scan("user", predicate)
+
+    @given(op=st.sampled_from(SIX_OPS))
+    @settings(max_examples=6, deadline=None)
+    def test_records_missing_field_never_match(self, op):
+        fs = build_store([None, None, 1910])
+        index = fs.create_index("user", "year", DED)
+        predicate = Predicate("year", op, 1910)
+        for uid in fs._select_indexed(index, predicate):
+            assert "year" in fs._load_record_raw(uid)
+
+
+class TestPlannerEqualsBruteForce:
+    @given(
+        years=YEARS,
+        ops=st.lists(st.sampled_from(SIX_OPS), min_size=1, max_size=3),
+        values=st.lists(
+            st.integers(min_value=1895, max_value=1935),
+            min_size=3, max_size=3,
+        ),
+        index_year=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conjunction_agrees(self, years, ops, values, index_year):
+        cities = ["Lyon", "Paris", "Nice"]
+        fs = build_store(years, cities=cities)
+        if index_year:
+            fs.create_index("user", "year", DED)
+        fs.create_index("user", "city", DED)
+        predicates = tuple(
+            Predicate("year", op, values[i]) for i, op in enumerate(ops)
+        ) + (Predicate("city", "eq", "Lyon"),)
+
+        planned = fs.select_uids_where("user", predicates, DED)
+
+        expected = sorted(
+            uid for uid in fs.all_uids()
+            if all(p.evaluate(fs._load_record_raw(uid)) for p in predicates)
+        )
+        assert planned == expected

@@ -58,6 +58,67 @@ class TestCommands:
         assert "rgpdos" in out
         assert "plain-db" in out
 
+    def test_gdprbench_v1_codec(self, capsys):
+        assert main(
+            ["gdprbench", "--records", "4", "--ops", "6",
+             "--personas", "customer", "--codec", "v1"]
+        ) == 0
+        assert "rgpdos" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_indexed_plan(self, capsys):
+        assert main(
+            ["explain", "user", "year_of_birthdate >= 1990", "city == Lyon",
+             "--records", "60"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "strategy: index" in out
+        assert "index used: user." in out
+        assert "estimated rows:" in out
+        assert "actual rows:" in out
+        assert "residual predicates:" in out
+        assert "fields decoded:" in out
+        assert "candidate indexes considered:" in out
+
+    def test_scan_plan_without_indexes(self, capsys):
+        assert main(
+            ["explain", "user", "name ~ a", "--records", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "strategy: scan" in out
+        assert "index used: none (full table scan)" in out
+
+    def test_explicit_index_flag(self, capsys):
+        assert main(
+            ["explain", "user", "city == Paris", "--records", "30",
+             "--index", "city"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "index used: user.city" in out
+        # eq estimates come from exact value counts.
+        estimated = int(out.split("estimated rows: ")[1].split(" ")[0])
+        actual = int(out.split("actual rows: ")[1].split("\n")[0])
+        assert estimated == actual
+
+    def test_v1_codec_plan(self, capsys):
+        assert main(
+            ["explain", "user", "city == Lyon", "--records", "20",
+             "--codec", "v1"]
+        ) == 0
+        assert "codec=v1" in capsys.readouterr().out
+
+    def test_bad_predicate_rejected(self, capsys):
+        assert main(["explain", "user", "not-a-predicate"]) == 2
+        assert "bad predicate" in capsys.readouterr().err
+
+    def test_unindexable_field_rejected(self, capsys):
+        assert main(
+            ["explain", "user", "city == Lyon", "--records", "5",
+             "--index", "national_id"]
+        ) == 2
+        assert "cannot index" in capsys.readouterr().err
+
 
 class TestParseCommand:
     def test_valid_file(self, tmp_path, capsys):
