@@ -29,6 +29,7 @@ are mediated outside the application's address space.
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -256,6 +257,8 @@ class RgpdOSAdapter(StorageAdapter):
         telemetry: Optional[Telemetry] = None,
         record_codec: str = "v2",
         cache_config: Optional[CacheConfig] = None,
+        workers: int = 0,
+        io_delay_scale: float = 0.0,
     ) -> None:
         self.system = RgpdOS(
             operator_name="gdprbench",
@@ -266,9 +269,13 @@ class RgpdOSAdapter(StorageAdapter):
             telemetry=telemetry,
             record_codec=record_codec,
             cache_config=cache_config,
+            workers=workers,
+            io_delay_scale=io_delay_scale,
         )
         if shards > 1:
             self.name = f"rgpdos-{shards}shard"
+        if workers > 0:
+            self.name = f"{self.name}-{workers}w"
         self.system.install(STANDARD_DECLARATIONS)
         self.system.register(
             _bench_read_profile, purpose=PURPOSE_ACCOUNT, name="bench_read"
@@ -442,6 +449,87 @@ class GDPRBenchRunner:
             self.adapter.audit(key)
         else:  # pragma: no cover - the mix tables only name known ops
             raise errors.RgpdOSError(f"unknown op {op!r}")
+
+
+def build_persona_tasks(
+    runner: GDPRBenchRunner,
+    persona: str,
+    operations: int,
+    seed: int = 7,
+) -> Tuple[List, List[str]]:
+    """A seeded, thread-safe task list for one persona's mix.
+
+    Unlike :meth:`GDPRBenchRunner.run` (which mutates ``runner.keys``
+    inline and so must run serially), every closure here is safe to
+    execute on a concurrent engine: deletes draw *unique* keys from a
+    reserved pool and re-insert a fresh subject, all other ops draw
+    from the stable remainder.  Same seed → same sequence, so serial
+    and concurrent replays do identical work.
+    """
+    mix = PERSONAS.get(persona)
+    if mix is None:
+        raise errors.RgpdOSError(
+            f"unknown persona {persona!r} (valid: {sorted(PERSONAS)})"
+        )
+    adapter = runner.adapter
+    rng = Random(seed)
+    keys = list(runner.keys)
+    delete_weight = mix.get(OP_DELETE, 0.0)
+    delete_budget = int(operations * delete_weight * 2) + 4
+    delete_pool = keys[:delete_budget] if delete_weight else []
+    stable = keys[delete_budget:] if delete_weight else keys
+    if delete_pool:
+        # Retire the reserved keys from the runner NOW: a later
+        # build over the same runner must never hand out a key this
+        # replay may have erased.  Replacement keys are appended (under
+        # a lock — the insert runs on an engine worker) as they land.
+        runner.keys = list(stable)
+    roster_lock = threading.Lock()
+    ops = list(mix)
+    weights = [mix[op] for op in ops]
+
+    tasks: List = []
+    names: List[str] = []
+    for _ in range(operations):
+        op = rng.choices(ops, weights=weights, k=1)[0]
+        if op == OP_DELETE and not delete_pool:
+            op = OP_READ
+        if op == OP_READ:
+            key = rng.choice(stable)
+            task = lambda k=key: adapter.read(k, PURPOSE_ACCOUNT)
+        elif op == OP_PROCESS:
+            key = rng.choice(stable)
+            task = lambda k=key: adapter.read(k, PURPOSE_ANALYTICS)
+        elif op == OP_UPDATE:
+            key = rng.choice(stable)
+            city = rng.choice(("Lyon", "Paris", "Rennes", "Nantes"))
+            task = lambda k=key, c=city: adapter.update(k, {"city": c})
+        elif op == OP_CONSENT:
+            key = rng.choice(stable)
+            granted = bool(rng.random() < 0.5)
+            task = lambda k=key, g=granted: adapter.toggle_consent(
+                k, PURPOSE_ANALYTICS, granted=g
+            )
+        elif op == OP_ACCESS:
+            key = rng.choice(stable)
+            task = lambda k=key: adapter.subject_access(k)
+        elif op == OP_AUDIT:
+            key = rng.choice(stable)
+            task = lambda k=key: adapter.audit(k)
+        else:  # OP_DELETE
+            key = delete_pool.pop(rng.randrange(len(delete_pool)))
+            replacement = runner.generator.subject()
+
+            def task(k=key, r=replacement):
+                adapter.delete(k)
+                new_key = adapter.insert(r, {PURPOSE_ANALYTICS: "v_ano"})
+                with roster_lock:
+                    runner.keys.append(new_key)
+                    runner.subjects[new_key] = r
+
+        tasks.append(task)
+        names.append(op)
+    return tasks, names
 
 
 def run_comparison(

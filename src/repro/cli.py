@@ -88,9 +88,17 @@ def _demo_system(shards: int = 1, telemetry=None):
 
 def cmd_demo(args: argparse.Namespace) -> int:
     system = _demo_system()
-    result = system.invoke("compute_age", target="user")
-    print(f"processed={result.processed} produced={len(result.produced)} "
-          f"denied={result.denied}")
+    if args.workers > 0:
+        system.start_engine(workers=args.workers)
+        future = system.invoke_async("compute_age", target="user")
+        result = future.result()
+        print(f"[engine: {args.workers} workers] "
+              f"processed={result.processed} "
+              f"produced={len(result.produced)} denied={result.denied}")
+    else:
+        result = system.invoke("compute_age", target="user")
+        print(f"processed={result.processed} "
+              f"produced={len(result.produced)} denied={result.denied}")
     system.rights.object_to("bob", "purpose3")
     result = system.invoke("compute_age", target="user")
     print(f"after bob's objection: processed={result.processed} "
@@ -99,6 +107,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print(f"alice erased: {len(outcome.erased_uids)} records, "
           f"fully_forgotten={outcome.fully_forgotten}")
     print(system.audit().summary())
+    if args.workers > 0 and system.engine is not None:
+        engine = system.engine.as_dict()
+        print(f"engine: completed={engine['stats']['completed']} "
+              f"failed={engine['stats']['failed']} "
+              f"peak_in_flight={engine['stats']['peak_in_flight']}")
+        system.stop_engine()
     if args.trace_out:
         count = system.telemetry.export_trace_jsonl(args.trace_out)
         print(f"wrote {count} trace span(s) to {args.trace_out}")
@@ -153,6 +167,8 @@ def cmd_gdprbench(args: argparse.Namespace) -> int:
     from .obs import Telemetry
 
     telemetry = Telemetry() if args.trace_out else None
+    if args.workers > 0:
+        return _gdprbench_concurrent(args, telemetry)
     results = run_comparison(
         record_count=args.records,
         operations=args.ops,
@@ -168,6 +184,72 @@ def cmd_gdprbench(args: argparse.Namespace) -> int:
             f"{result.adapter:22s} {result.persona:12s} "
             f"{result.ops_per_second:10.0f} {result.denied:7d}"
         )
+    if telemetry is not None:
+        count = telemetry.export_trace_jsonl(args.trace_out)
+        print(f"wrote {count} trace span(s) to {args.trace_out}")
+    return 0
+
+
+def _gdprbench_concurrent(args: argparse.Namespace, telemetry) -> int:
+    """The rgpdOS engine only, with the request engine in the path.
+
+    Closed-loop by default (submit everything, wait, report ops/s);
+    with ``--arrival-rate`` the mix is replayed open-loop at that
+    Poisson rate and the tail latencies are what matter.
+    """
+    import time as _time
+
+    from .baseline.gdprbench import (
+        GDPRBenchRunner,
+        RgpdOSAdapter,
+        build_persona_tasks,
+    )
+    from .workloads.openloop import OpenLoopDriver
+
+    adapter = RgpdOSAdapter(
+        shards=args.shards, telemetry=telemetry,
+        record_codec=args.codec, workers=args.workers,
+    )
+    runner = GDPRBenchRunner(adapter, seed=args.seed)
+    runner.load(args.records)
+    engine = adapter.system.engine
+    if args.arrival_rate:
+        print(f"{'persona':12s} {'offered/s':>10s} {'done/s':>8s} "
+              f"{'p50_ms':>8s} {'p95_ms':>8s} {'p99_ms':>8s}")
+    else:
+        print(f"{'engine':22s} {'persona':12s} {'ops/s':>10s}")
+    for persona in args.personas:
+        tasks, names = build_persona_tasks(
+            runner, persona, args.ops, seed=args.seed
+        )
+        if args.arrival_rate:
+            driver = OpenLoopDriver(
+                submit=lambda task: engine.submit(task, purpose="gdprbench")
+            )
+            result = driver.run(
+                tasks, args.arrival_rate, seed=args.seed, op_names=names
+            )
+            print(f"{persona:12s} {args.arrival_rate:10.1f} "
+                  f"{result.throughput:8.1f} "
+                  f"{result.percentile_ms(50):8.2f} "
+                  f"{result.percentile_ms(95):8.2f} "
+                  f"{result.percentile_ms(99):8.2f}")
+        else:
+            start = _time.perf_counter()
+            futures = [
+                engine.submit(task, purpose=name)
+                for task, name in zip(tasks, names)
+            ]
+            for future in futures:
+                future.result()
+            wall = _time.perf_counter() - start
+            print(f"{adapter.name:22s} {persona:12s} {args.ops / wall:10.0f}")
+    snapshot = engine.as_dict()
+    print(f"engine: workers={snapshot['workers']} "
+          f"completed={snapshot['stats']['completed']} "
+          f"failed={snapshot['stats']['failed']} "
+          f"shed={snapshot['stats']['shed']} "
+          f"peak_in_flight={snapshot['stats']['peak_in_flight']}")
     if telemetry is not None:
         count = telemetry.export_trace_jsonl(args.trace_out)
         print(f"wrote {count} trace span(s) to {args.trace_out}")
@@ -281,7 +363,14 @@ def cmd_audit(args: argparse.Namespace) -> int:
 def cmd_stats(args: argparse.Namespace) -> int:
     """Build the demo system, run one round of work, dump telemetry."""
     system = _demo_system(shards=args.shards)
-    system.invoke("compute_age", target="user")
+    if args.workers > 0:
+        # Engine path: the same work submitted concurrently, so the
+        # dump includes the engine block and its queue-depth /
+        # in-flight gauges.
+        system.start_engine(workers=args.workers)
+        system.invoke_async("compute_age", target="user").result()
+    else:
+        system.invoke("compute_age", target="user")
     system.rights.right_of_access("alice")
     if args.format == "prometheus":
         print(system.telemetry.to_prometheus(), end="")
@@ -312,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="FILE",
         help="write the run's trace spans to FILE as JSONL",
     )
+    demo.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run DED invocations through a request engine with N "
+             "workers (default 0: serial, unchanged path)",
+    )
 
     parse_cmd = subparsers.add_parser(
         "parse", help="validate a declaration file"
@@ -340,6 +434,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--codec", choices=("v1", "v2"), default="v2",
         help="record encoding for the rgpdOS engine (default v2)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run the rgpdOS engine concurrently with N request "
+             "workers (default 0: the serial three-engine grid)",
+    )
+    bench.add_argument(
+        "--arrival-rate", type=float, default=0.0, metavar="R",
+        help="with --workers, replay each persona open-loop at R ops/s "
+             "and report p50/p95/p99 (default 0: closed loop)",
     )
 
     explain = subparsers.add_parser(
@@ -381,6 +485,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--format", choices=("json", "prometheus"), default="json",
         help="output format (default json)",
+    )
+    stats.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="exercise the system through a request engine with N "
+             "workers; the dump then includes the engine block and "
+             "its queue-depth/in-flight gauges (default 0: serial)",
     )
 
     subparsers.add_parser("version", help="print the library version")

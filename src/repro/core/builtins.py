@@ -260,15 +260,21 @@ class BuiltinFunctions:
         This is the mechanism behind "membrane consistency across all
         copies": consent grants, revocations and restrictions call
         through here.  Returns the uids updated.
+
+        The whole get-mutate-put sequence (for the full lineage group,
+        which is shard-affine) runs under the owning shard's writer
+        lock, so two concurrent consent changes to the same lineage
+        serialize instead of losing one side's update.
         """
         updated = []
-        for member_uid in self.lineage_of(uid):
-            membrane = self.dbfs.get_membrane(member_uid, self.credential)
-            if membrane.erased:
-                continue
-            mutate(membrane)
-            self.dbfs.put_membrane(member_uid, membrane, self.credential)
-            updated.append(member_uid)
+        with self.dbfs.write_lock(uid):
+            for member_uid in self.lineage_of(uid):
+                membrane = self.dbfs.get_membrane(member_uid, self.credential)
+                if membrane.erased:
+                    continue
+                mutate(membrane)
+                self.dbfs.put_membrane(member_uid, membrane, self.credential)
+                updated.append(member_uid)
         return updated
 
     # ------------------------------------------------------------------

@@ -26,6 +26,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from typing import Callable
+
 from .. import errors
 from ..obs import NULL_TELEMETRY, Telemetry
 from ..storage.dbfs import DatabaseFS
@@ -102,17 +104,34 @@ class SubjectRights:
         self.clock = clock
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._credential = AccessCredential(holder="subject-rights", is_ded=True)
+        # Optional parallel runner for bulk rights (installed by the
+        # request engine; None keeps the seed's serial loops).
+        self._fanout: Optional[Callable[..., List[object]]] = None
+
+    def set_fanout(self, run: Optional[Callable[..., List[object]]]) -> None:
+        """Install a parallel per-shard runner for the bulk rights."""
+        self._fanout = run
+
+    def _fan(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        if self._fanout is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        return list(self._fanout(tasks))
 
     # ------------------------------------------------------------------
     # Art. 15 — right of access
     # ------------------------------------------------------------------
 
-    def right_of_access(self, subject_id: str) -> AccessReport:
+    def right_of_access(
+        self, subject_id: str, snapshot: Optional[object] = None
+    ) -> AccessReport:
         """Everything rgpdOS knows about a subject, structured.
 
         The data part comes straight from DBFS (schema keys intact —
         the § 4 point about keys that "make sense"); the processing
-        part is the DED log filtered to this subject.
+        part is the DED log filtered to this subject.  The export runs
+        under an MVCC snapshot (the caller's, or one taken here), so a
+        concurrent store or consent change cannot tear the report —
+        and the read never blocks writers.
         """
         with self.telemetry.op(
             "rights.access", subject_id=subject_id
@@ -120,7 +139,16 @@ class SubjectRights:
             stats = getattr(self.dbfs, "stats", None)
             full_before = stats.full_decodes if stats is not None else 0
             partial_before = stats.partial_decodes if stats is not None else 0
-            export = self.dbfs.export_subject(subject_id, self._credential)
+            owned = None
+            if snapshot is None:
+                owned = snapshot = self.dbfs.begin_snapshot()
+            try:
+                export = self.dbfs.export_subject(
+                    subject_id, self._credential, snapshot=snapshot
+                )
+            finally:
+                if owned is not None:
+                    owned.release()
             processings = [
                 entry.to_dict() for entry in self.log.for_subject(subject_id)
             ]
@@ -204,21 +232,36 @@ class SubjectRights:
         Each subject's export touches only its shard, so a regulator
         sweep over thousands of subjects walks the shards one at a
         time, shard-local caches staying hot, instead of ping-ponging
-        across all of them.
+        across all of them.  With the request engine's runner
+        installed the per-shard groups run concurrently, every export
+        reading its shard's component of one fleet-wide MVCC snapshot.
         """
         reports: Dict[str, AccessReport] = {}
         with self.telemetry.op(
             "rights.bulk_access", subjects=len(subject_ids)
         ):
-            for index, group in sorted(
-                self.dbfs.subjects_by_shard(subject_ids).items()
-            ):
-                with self.telemetry.span(
-                    "rights.shard", shard=index, op="access",
-                    subjects=len(group),
-                ):
-                    for subject_id in group:
-                        reports[subject_id] = self.right_of_access(subject_id)
+            groups = sorted(self.dbfs.subjects_by_shard(subject_ids).items())
+            snapshot = self.dbfs.begin_snapshot()
+            try:
+                def one_shard(index: int, group: List[str]):
+                    shard_reports = {}
+                    with self.telemetry.span(
+                        "rights.shard", shard=index, op="access",
+                        subjects=len(group),
+                    ):
+                        for subject_id in group:
+                            shard_reports[subject_id] = self.right_of_access(
+                                subject_id, snapshot=snapshot
+                            )
+                    return shard_reports
+
+                for shard_reports in self._fan([
+                    (lambda i=index, g=group: one_shard(i, g))
+                    for index, group in groups
+                ]):
+                    reports.update(shard_reports)
+            finally:
+                snapshot.release()
         return reports
 
     def bulk_erase(
@@ -230,25 +273,39 @@ class SubjectRights:
         (membrane rewrites + delete markers) share a single
         :meth:`~repro.storage.journal.Journal.batch` group commit, so
         the journal cost of an N-subject purge is one flush per shard
-        rather than several per subject.
+        rather than several per subject.  With the request engine's
+        runner installed the shards purge concurrently — each group
+        holds only its own shard's writer lock, so the shards never
+        contend with one another.
         """
         outcomes: Dict[str, ErasureOutcome] = {}
         with self.telemetry.op(
             "rights.bulk_erase", subjects=len(subject_ids), mode=mode
         ):
-            for index, group in sorted(
-                self.dbfs.subjects_by_shard(subject_ids).items()
-            ):
-                shard = self.dbfs.shards[index]
+            groups = sorted(self.dbfs.subjects_by_shard(subject_ids).items())
+            shards = self.dbfs.shards
+
+            def one_shard(index: int, group: List[str]):
+                shard_outcomes = {}
                 with self.telemetry.span(
                     "rights.shard", shard=index, op="erase",
                     subjects=len(group),
                 ):
-                    with shard.journal.batch():
+                    # shard.batch() holds the shard's writer lock for
+                    # the whole group commit, keeping concurrent
+                    # same-shard mutators out of the batch.
+                    with shards[index].batch():
                         for subject_id in group:
-                            outcomes[subject_id] = self.erase(
+                            shard_outcomes[subject_id] = self.erase(
                                 subject_id, mode=mode
                             )
+                return shard_outcomes
+
+            for shard_outcomes in self._fan([
+                (lambda i=index, g=group: one_shard(i, g))
+                for index, group in groups
+            ]):
+                outcomes.update(shard_outcomes)
         return outcomes
 
     # ------------------------------------------------------------------

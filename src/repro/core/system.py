@@ -89,6 +89,8 @@ class RgpdOS:
         pd_device_blocks: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
         record_codec: str = "v2",
+        workers: int = 0,
+        io_delay_scale: float = 0.0,
     ) -> None:
         self.clock = Clock()
         #: Cross-layer telemetry (``repro.obs``): one metrics registry
@@ -119,7 +121,9 @@ class RgpdOS:
         device_kwargs: Dict[str, object] = {
             "page_cache_blocks": self.cache_config.page_cache_blocks,
             "telemetry": self.telemetry,
+            "io_delay_scale": io_delay_scale,
         }
+        self.io_delay_scale = io_delay_scale
         if pd_device_blocks is not None:
             device_kwargs["block_count"] = pd_device_blocks
         self.pd_devices = [
@@ -228,6 +232,14 @@ class RgpdOS:
         self._installed_types: Dict[str, PDType] = {}
         self._installed_purposes: Dict[str, Purpose] = {}
 
+        # The concurrent request engine (PR 6).  ``workers=0`` (the
+        # default) keeps the serial seed path: no threads, no engine.
+        from ..engine import RequestEngine  # deferred: engine sits above core
+
+        self.engine: Optional[RequestEngine] = None
+        if workers > 0:
+            self.start_engine(workers=workers)
+
         # Pull-based stats: the registry calls back at snapshot time so
         # idle systems pay nothing for bookkeeping between exports.
         self.telemetry.registry.register_collector(self._publish_stats_gauges)
@@ -315,6 +327,73 @@ class RgpdOS:
             subject_id=subject_id,
             method=method,
             consents=consents,
+        )
+
+    # ------------------------------------------------------------------
+    # The concurrent request engine
+    # ------------------------------------------------------------------
+
+    def start_engine(
+        self,
+        workers: int = 4,
+        max_in_flight: Optional[int] = None,
+    ) -> "RequestEngine":
+        """Start a request engine and wire it into the stack.
+
+        Installs the engine's scatter pool as the sharded store's
+        fan-out runner (type-level queries hit all shards
+        concurrently) and as the rights layer's bulk runner.
+        Idempotent while an engine is running.
+        """
+        from ..engine import RequestEngine
+
+        if self.engine is not None and self.engine.running:
+            return self.engine
+        self.engine = RequestEngine(
+            workers=workers,
+            max_in_flight=max_in_flight,
+            telemetry=self.telemetry,
+        ).start()
+        if isinstance(self.dbfs, ShardedDBFS):
+            self.dbfs.set_fanout(self.engine.scatter)
+        self.rights.set_fanout(self.engine.scatter)
+        return self.engine
+
+    def stop_engine(self) -> None:
+        """Drain and stop the engine; restores the serial fan-out."""
+        if self.engine is None:
+            return
+        self.engine.stop()
+        if isinstance(self.dbfs, ShardedDBFS):
+            self.dbfs.set_fanout(None)
+        self.rights.set_fanout(None)
+        self.engine = None
+
+    def invoke_async(
+        self,
+        processing_name: str,
+        target: Union[PDRef, str, Sequence[PDRef], None] = None,
+        **kwargs: object,
+    ):
+        """``ps_invoke`` on the engine; returns a Future.
+
+        The fairness lane is the processing's declared purpose, so one
+        purpose's burst queues behind its own lane, not everyone's.
+        Requires a running engine (``workers=N`` or ``start_engine``).
+        """
+        if self.engine is None or not self.engine.running:
+            raise errors.GDPRError(
+                "invoke_async needs a running request engine; construct "
+                "RgpdOS(workers=N) or call start_engine() first"
+            )
+        processing = self.ps._processings.get(processing_name)
+        lane = processing.purpose.name if processing is not None else "default"
+        return self.engine.submit(
+            self.ps.ps_invoke,
+            processing_name,
+            target=target,
+            purpose=lane,
+            **kwargs,
         )
 
     # ------------------------------------------------------------------
@@ -418,6 +497,9 @@ class RgpdOS:
         }
         if self.machine is not None:
             snapshot["machine"] = self.machine.resource_report()
+        if self.engine is not None:
+            snapshot["engine"] = self.engine.as_dict()
+            snapshot["engine"]["mvcc"] = self.dbfs.mvcc_stats()
         return snapshot
 
     def cache_stats(self) -> Dict[str, object]:

@@ -1,0 +1,30 @@
+"""repro.engine — the concurrent request engine (PR 6).
+
+rgpdOS serves many tenants' processings at once; serialized DED
+invocations leave the (simulated) devices idle while the CPU parses
+membranes and vice versa.  :class:`RequestEngine` closes that gap:
+
+* a bounded pool of worker threads runs independent DED invocations,
+  rights requests and queries in parallel — DBFS mutations serialize
+  per shard behind each shard's single-writer lock, reads go through
+  MVCC snapshots (``repro.storage.mvcc``) and never block writers;
+* a separate small scatter pool fans type-level queries and bulk
+  rights out across shards concurrently
+  (:meth:`~repro.storage.shard.ShardedDBFS.set_fanout`) without
+  risking worker-starvation deadlock;
+* admission control bounds the number of in-flight requests
+  (``max_in_flight``); ``submit`` blocks at the bound, ``try_submit``
+  sheds, and queue-depth / in-flight gauges land in the shared
+  telemetry registry;
+* fairness is per purpose: the queue is a
+  :class:`~repro.kernel.scheduler.PurposeFairQueue`, the purpose-kernel
+  CPU-partitioning policy applied to request scheduling.
+
+``RgpdOS(workers=N)`` (or ``start_engine``) wires one engine into the
+system facade; the default ``workers=0`` keeps the serial seed path
+byte-for-byte unchanged.
+"""
+
+from .engine import EngineStats, RequestEngine
+
+__all__ = ["EngineStats", "RequestEngine"]

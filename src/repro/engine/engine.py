@@ -1,0 +1,303 @@
+"""The request engine: worker pool, admission control, fair scheduling.
+
+Design notes
+------------
+
+**Two pools, not one.**  Request workers execute whole submitted
+requests (a DED invocation, an export, an erasure).  A request that
+itself scatter-gathers across shards must not wait for *request*
+workers to pick up its sub-tasks — with every worker busy doing
+exactly that, nobody could, and the engine would deadlock.  Shard
+fan-out therefore runs on a dedicated scatter pool
+(:meth:`RequestEngine.scatter`), sized to the shard count's typical
+needs and used only for sub-tasks that cannot themselves fan out.
+
+**Admission control.**  ``in_flight`` counts requests accepted but not
+yet finished (queued + executing).  ``submit`` blocks while the bound
+is reached — open-loop drivers therefore apply backpressure to the
+arrival process, which is what makes the measured p99 honest — and
+``try_submit`` returns ``None`` instead (load shedding), counted in
+:class:`EngineStats`.
+
+**Fairness.**  The queue is a
+:class:`~repro.kernel.scheduler.PurposeFairQueue`: one FIFO per
+purpose, drained round-robin, so one purpose's burst cannot starve
+another.  Callers tag work via ``submit(..., purpose=...)``; untagged
+work shares the ``"default"`` lane.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import errors
+from ..kernel.scheduler import PurposeFairQueue
+from ..obs import NULL_TELEMETRY, Telemetry
+
+#: Fairness lane used when the caller does not name a purpose.
+DEFAULT_LANE = "default"
+
+
+class EngineStats:
+    """Monotonic request-engine counters (all mutated under one lock)."""
+
+    __slots__ = ("submitted", "completed", "failed", "shed",
+                 "peak_queue_depth", "peak_in_flight")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.peak_queue_depth = 0
+        self.peak_in_flight = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class RequestEngine:
+    """Bounded worker pool with purpose-fair scheduling.
+
+    ``workers`` request threads drain a :class:`PurposeFairQueue`;
+    ``max_in_flight`` bounds accepted-but-unfinished requests (default
+    ``4 * workers``).  Use as a context manager or call
+    :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        max_in_flight: Optional[int] = None,
+        scatter_workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+        name: str = "engine",
+    ) -> None:
+        if workers < 1:
+            raise errors.KernelError(
+                f"a request engine needs at least 1 worker, got {workers}"
+            )
+        self.workers = workers
+        self.max_in_flight = (
+            max_in_flight if max_in_flight is not None else 4 * workers
+        )
+        if self.max_in_flight < 1:
+            raise errors.KernelError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+        self.scatter_workers = (
+            scatter_workers if scatter_workers is not None else max(2, workers)
+        )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.name = name
+        self.stats = EngineStats()
+
+        self._queue = PurposeFairQueue()
+        self._lock = threading.Lock()
+        self._can_admit = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._threads: List[threading.Thread] = []
+        self._scatter_pool: Optional[ThreadPoolExecutor] = None
+        self._running = False
+        self._gauge_queue = self.telemetry.gauge(f"{name}.queue_depth")
+        self._gauge_in_flight = self.telemetry.gauge(f"{name}.in_flight")
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> "RequestEngine":
+        if self._running:
+            return self
+        self._running = True
+        self._scatter_pool = ThreadPoolExecutor(
+            max_workers=self.scatter_workers,
+            thread_name_prefix=f"{self.name}-scatter",
+        )
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.name}-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Drain the queue, stop the workers, shut the scatter pool."""
+        if not self._running:
+            return
+        self._running = False
+        self._queue.close()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+        if self._scatter_pool is not None:
+            self._scatter_pool.shutdown(wait=wait)
+            self._scatter_pool = None
+
+    def __enter__(self) -> "RequestEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., object],
+        *args: object,
+        purpose: str = DEFAULT_LANE,
+        **kwargs: object,
+    ) -> "Future[object]":
+        """Enqueue a request; blocks while the in-flight bound is hit."""
+        if not self._running:
+            raise errors.KernelError(
+                f"request engine {self.name!r} is not running"
+            )
+        with self._can_admit:
+            while self._in_flight >= self.max_in_flight:
+                self._can_admit.wait()
+            return self._admit_locked(fn, args, kwargs, purpose)
+
+    def try_submit(
+        self,
+        fn: Callable[..., object],
+        *args: object,
+        purpose: str = DEFAULT_LANE,
+        **kwargs: object,
+    ) -> Optional["Future[object]"]:
+        """Like :meth:`submit` but sheds (returns None) at the bound."""
+        if not self._running:
+            raise errors.KernelError(
+                f"request engine {self.name!r} is not running"
+            )
+        with self._can_admit:
+            if self._in_flight >= self.max_in_flight:
+                self.stats.shed += 1
+                return None
+            return self._admit_locked(fn, args, kwargs, purpose)
+
+    def _admit_locked(self, fn, args, kwargs, purpose) -> "Future[object]":
+        future: "Future[object]" = Future()
+        self._in_flight += 1
+        self.stats.submitted += 1
+        self.stats.peak_in_flight = max(
+            self.stats.peak_in_flight, self._in_flight
+        )
+        self._gauge_in_flight.set(self._in_flight)
+        depth = self._queue.push(purpose, (future, fn, args, kwargs))
+        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, depth)
+        self._gauge_queue.set(depth)
+        return future
+
+    # -- execution -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.pop(timeout=0.05)
+            if item is None:
+                if self._queue.closed and len(self._queue) == 0:
+                    return
+                continue
+            future, fn, args, kwargs = item
+            self._gauge_queue.set(len(self._queue))
+            if not future.set_running_or_notify_cancel():
+                self._finish(failed=False, counted=False)
+                continue
+            try:
+                result = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - relayed via Future
+                future.set_exception(exc)
+                self._finish(failed=True)
+            else:
+                future.set_result(result)
+                self._finish(failed=False)
+
+    def _finish(self, failed: bool, counted: bool = True) -> None:
+        with self._can_admit:
+            self._in_flight -= 1
+            if counted:
+                if failed:
+                    self.stats.failed += 1
+                else:
+                    self.stats.completed += 1
+            self._gauge_in_flight.set(self._in_flight)
+            # notify_all: both blocked submitters and drain() waiters
+            # share this condition.
+            self._can_admit.notify_all()
+
+    # -- scatter-gather --------------------------------------------------
+
+    def scatter(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run shard sub-tasks concurrently; results in task order.
+
+        This is the runner installed via
+        :meth:`~repro.storage.shard.ShardedDBFS.set_fanout`.  It uses
+        the dedicated scatter pool so a request running *on* a worker
+        can fan out without waiting for free request workers.
+        Exceptions propagate to the caller exactly as the serial loop
+        would raise them.
+        """
+        pool = self._scatter_pool
+        if pool is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    # -- synchronization & reporting -------------------------------------
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._can_admit:
+            while self._in_flight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._can_admit.wait(remaining)
+            return True
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def lane_depths(self) -> Dict[str, int]:
+        """Queued requests per purpose lane (fairness telemetry)."""
+        return self._queue.depths()
+
+    def as_dict(self) -> Dict[str, object]:
+        report: Dict[str, object] = {
+            "name": self.name,
+            "workers": self.workers,
+            "max_in_flight": self.max_in_flight,
+            "running": self._running,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "lanes": self.lane_depths(),
+            "stats": self.stats.as_dict(),
+        }
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return (f"RequestEngine({self.name}, {self.workers} workers, "
+                f"{state}, in_flight={self.in_flight})")

@@ -13,6 +13,7 @@ KRN-P benchmark measure throughput under different core splits.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Set
@@ -80,6 +81,86 @@ class CPUPartitioner:
         for core, kernel in self._owner.items():
             result.setdefault(kernel, []).append(core)
         return {k: sorted(v) for k, v in result.items()}
+
+
+class PurposeFairQueue:
+    """Thread-safe round-robin queue over per-purpose FIFOs.
+
+    The purpose-kernel partitions CPU between sub-kernels; this is the
+    same policy applied to the request engine's admission queue.  Each
+    purpose gets its own FIFO and workers drain the FIFOs round-robin,
+    so a burst of requests for one purpose (a marketing batch job, a
+    regulator's bulk export) cannot starve another purpose's
+    interactive traffic — within a purpose, order stays FIFO.
+
+    ``pop`` blocks until an item is available, the timeout elapses, or
+    the queue is closed; a closed queue still drains what it holds.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._queues: Dict[str, Deque[object]] = {}
+        self._rotation: Deque[str] = deque()
+        self._size = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def depths(self) -> Dict[str, int]:
+        """Queued items per purpose (the fairness telemetry)."""
+        with self._lock:
+            return {
+                purpose: len(queue)
+                for purpose, queue in sorted(self._queues.items())
+                if queue
+            }
+
+    def push(self, purpose: str, item: object) -> int:
+        """Enqueue under ``purpose``; returns the new total depth."""
+        with self._not_empty:
+            if self._closed:
+                raise errors.KernelError(
+                    "cannot push onto a closed PurposeFairQueue"
+                )
+            queue = self._queues.get(purpose)
+            if queue is None:
+                queue = self._queues[purpose] = deque()
+                self._rotation.append(purpose)
+            queue.append(item)
+            self._size += 1
+            self._not_empty.notify()
+            return self._size
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[object]:
+        """Dequeue round-robin; None on timeout or closed-and-empty."""
+        with self._not_empty:
+            if self._size == 0:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+                if self._size == 0:
+                    return None
+            for _ in range(len(self._rotation)):
+                purpose = self._rotation[0]
+                self._rotation.rotate(-1)
+                queue = self._queues[purpose]
+                if queue:
+                    self._size -= 1
+                    return queue.popleft()
+            return None  # pragma: no cover - size/queues cannot disagree
+
+    def close(self) -> None:
+        """Refuse new pushes and wake every blocked ``pop``."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
 
 
 class Scheduler:

@@ -20,6 +20,7 @@ observed maximum.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence
 
@@ -28,10 +29,17 @@ DEFAULT_BUCKET_BOUNDS_NS = tuple(1 << exp for exp in range(8, 35))
 
 
 class LatencyHistogram:
-    """A fixed-bucket histogram of durations in nanoseconds."""
+    """A fixed-bucket histogram of durations in nanoseconds.
+
+    ``observe`` takes a per-histogram lock: the bucket increment, the
+    running count/sum and the min/max updates are a multi-step
+    read-modify-write, and the request engine records samples from
+    many worker threads into one shared histogram.  Percentile reads
+    take the same lock so a summary never sees a half-applied sample.
+    """
 
     __slots__ = ("name", "bounds", "counts", "count", "sum_ns",
-                 "min_ns", "max_ns")
+                 "min_ns", "max_ns", "_lock")
 
     def __init__(self, name: str,
                  bounds: Sequence[int] = DEFAULT_BUCKET_BOUNDS_NS):
@@ -43,21 +51,28 @@ class LatencyHistogram:
         self.sum_ns = 0
         self.min_ns: Optional[int] = None
         self.max_ns = 0
+        self._lock = threading.Lock()
 
     def observe(self, duration_ns: int) -> None:
         """Record one duration (negative clock skew clamps to zero)."""
         if duration_ns < 0:
             duration_ns = 0
-        self.counts[bisect_left(self.bounds, duration_ns)] += 1
-        self.count += 1
-        self.sum_ns += duration_ns
-        if self.min_ns is None or duration_ns < self.min_ns:
-            self.min_ns = duration_ns
-        if duration_ns > self.max_ns:
-            self.max_ns = duration_ns
+        bucket = bisect_left(self.bounds, duration_ns)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.count += 1
+            self.sum_ns += duration_ns
+            if self.min_ns is None or duration_ns < self.min_ns:
+                self.min_ns = duration_ns
+            if duration_ns > self.max_ns:
+                self.max_ns = duration_ns
 
     def percentile(self, fraction: float) -> float:
         """Estimated duration (ns) at ``fraction`` in [0, 1]."""
+        with self._lock:
+            return self._percentile_locked(fraction)
+
+    def _percentile_locked(self, fraction: float) -> float:
         if self.count == 0:
             return 0.0
         target = fraction * self.count
@@ -90,21 +105,23 @@ class LatencyHistogram:
         def us(ns: float) -> float:
             return round(ns / 1000.0, 3)
 
-        return {
-            "count": self.count,
-            "p50_us": us(self.percentile(0.50)),
-            "p95_us": us(self.percentile(0.95)),
-            "p99_us": us(self.percentile(0.99)),
-            "max_us": us(self.max_ns),
-            "mean_us": us(self.mean_ns),
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "p50_us": us(self._percentile_locked(0.50)),
+                "p95_us": us(self._percentile_locked(0.95)),
+                "p99_us": us(self._percentile_locked(0.99)),
+                "max_us": us(self.max_ns),
+                "mean_us": us(self.mean_ns),
+            }
 
     def reset(self) -> None:
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.count = 0
-        self.sum_ns = 0
-        self.min_ns = None
-        self.max_ns = 0
+        with self._lock:
+            self.counts = [0] * (len(self.bounds) + 1)
+            self.count = 0
+            self.sum_ns = 0
+            self.min_ns = None
+            self.max_ns = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"LatencyHistogram({self.name!r}, count={self.count}, "

@@ -20,6 +20,7 @@ Two properties matter for the hot paths:
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Dict, List, Optional, Union
 
@@ -29,35 +30,46 @@ Number = Union[int, float]
 
 
 class Counter:
-    """A monotonically increasing named value."""
+    """A monotonically increasing named value.
 
-    __slots__ = ("name", "value")
+    ``inc`` is locked: ``value += amount`` is a read-modify-write, and
+    the request engine runs instrumented code on many threads — an
+    unlocked counter silently loses increments under contention.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Number = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A named value that can go up and down."""
+    """A named value that can go up and down (locked, like Counter)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: Number = 0
+        self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: Number = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: Number = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Timer:
@@ -150,6 +162,12 @@ class MetricsRegistry:
         self.gauges: Dict[str, Gauge] = {}
         self.histograms: Dict[str, LatencyHistogram] = {}
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        # Guards lazy instrument creation: without it two threads asking
+        # for the same name could each build an instrument, and whoever
+        # publishes second silently orphans the other's samples.
+        # Reentrant because collectors run under it and may themselves
+        # ask the registry for gauges to publish into.
+        self._lock = threading.RLock()
 
     # -- instrument accessors -------------------------------------------
 
@@ -158,7 +176,10 @@ class MetricsRegistry:
             return NULL_COUNTER  # type: ignore[return-value]
         counter = self.counters.get(name)
         if counter is None:
-            counter = self.counters[name] = Counter(name)
+            with self._lock:
+                counter = self.counters.get(name)
+                if counter is None:
+                    counter = self.counters[name] = Counter(name)
         return counter
 
     def gauge(self, name: str) -> Gauge:
@@ -166,7 +187,10 @@ class MetricsRegistry:
             return NULL_GAUGE  # type: ignore[return-value]
         gauge = self.gauges.get(name)
         if gauge is None:
-            gauge = self.gauges[name] = Gauge(name)
+            with self._lock:
+                gauge = self.gauges.get(name)
+                if gauge is None:
+                    gauge = self.gauges[name] = Gauge(name)
         return gauge
 
     def histogram(self, name: str) -> LatencyHistogram:
@@ -174,7 +198,10 @@ class MetricsRegistry:
             return NULL_HISTOGRAM  # type: ignore[return-value]
         histogram = self.histograms.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = LatencyHistogram(name)
+            with self._lock:
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = self.histograms[name] = LatencyHistogram(name)
         return histogram
 
     def timer(self, name: str) -> Union[Timer, _NullTimer]:
@@ -198,11 +225,14 @@ class MetricsRegistry:
             self, callback: Callable[["MetricsRegistry"], None]) -> None:
         """Register a pull-based publisher run on every :meth:`collect`."""
         if self.enabled:
-            self._collectors.append(callback)
+            with self._lock:
+                self._collectors.append(callback)
 
     def collect(self) -> None:
         """Run every registered collector so gauges reflect live state."""
-        for callback in self._collectors:
+        with self._lock:
+            collectors = list(self._collectors)
+        for callback in collectors:
             callback(self)
 
     # -- export ----------------------------------------------------------
@@ -213,13 +243,16 @@ class MetricsRegistry:
             return {"counters": {}, "gauges": {}, "histograms": {}}
         if refresh:
             self.collect()
+        # Snapshot the instrument maps under the lock so a worker
+        # creating a new instrument mid-export cannot perturb the sort.
+        with self._lock:
+            counters = sorted(self.counters.items())
+            gauges = sorted(self.gauges.items())
+            histograms = sorted(self.histograms.items())
         return {
-            "counters": {name: c.value
-                         for name, c in sorted(self.counters.items())},
-            "gauges": {name: g.value
-                       for name, g in sorted(self.gauges.items())},
-            "histograms": {name: h.summary()
-                           for name, h in sorted(self.histograms.items())},
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "histograms": {name: h.summary() for name, h in histograms},
         }
 
     def reset(self) -> None:

@@ -11,12 +11,16 @@ at creation or mid-flight via :meth:`Span.set_attr`.
 Determinism and bounds:
 
 * ids come from per-tracer monotonic counters, not randomness, so two
-  identical runs produce identical trace structures;
+  identical serial runs produce identical trace structures (concurrent
+  runs keep unique ids but may interleave assignment order);
 * finished spans live in a bounded ring buffer (``max_spans``); a
   long-running system can stay traced without unbounded memory;
-* the active-span stack is per-tracer — the repo's simulated kernel is
-  single-threaded by construction, which keeps push/pop trivially
-  correct.
+* the active-span stack is **per thread** (``threading.local``): each
+  request-engine worker builds its own span tree, so a span opened on
+  one thread can never be adopted as the parent of another thread's
+  span.  The ring-buffer append and the id counters are single atomic
+  operations under CPython, so finished spans from all threads land in
+  one shared, bounded buffer without a lock.
 
 Exports: JSONL (one span per line, loadable with ``json.loads``) and
 the Chrome ``trace_event`` format (open in ``chrome://tracing`` or
@@ -27,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import threading
 import time
 from collections import deque
 from typing import Deque, Dict, List, Optional
@@ -119,7 +124,7 @@ class _SpanContext:
 
     def __enter__(self) -> Span:
         tracer = self._tracer
-        stack = tracer._stack
+        stack = tracer._thread_stack()
         parent = stack[-1] if stack else None
         if parent is None:
             trace_id = next(tracer._trace_ids)
@@ -137,7 +142,7 @@ class _SpanContext:
         span = self._span
         span.end_ns = time.perf_counter_ns()
         tracer = self._tracer
-        stack = tracer._stack
+        stack = tracer._thread_stack()
         if stack and stack[-1] is span:
             stack.pop()
         else:  # exception unwound out of order; stay consistent
@@ -155,10 +160,20 @@ class Tracer:
     def __init__(self, enabled: bool = True, max_spans: int = 20000):
         self.enabled = enabled
         self.max_spans = max_spans
+        # deque.append with a maxlen is a single atomic operation under
+        # CPython, so concurrent workers share this buffer lock-free.
         self._finished: Deque[Span] = deque(maxlen=max_spans)
-        self._stack: List[Span] = []
+        # One active-span stack per thread: parentage is a property of
+        # the call stack, and call stacks are per-thread.
+        self._stacks = threading.local()
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
+
+    def _thread_stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = self._stacks.stack = []
+        return stack
 
     def span(self, name: str, **attrs: object):
         """Open a child of the innermost active span (or a new trace)."""
@@ -168,7 +183,9 @@ class Tracer:
 
     @property
     def current_span(self) -> Optional[Span]:
-        return self._stack[-1] if self._stack else None
+        """The calling thread's innermost active span, if any."""
+        stack = self._thread_stack()
+        return stack[-1] if stack else None
 
     # -- reads -----------------------------------------------------------
 

@@ -25,6 +25,7 @@ dicts do not:
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -79,6 +80,16 @@ class BlockDevice:
         Capacity of the LRU page cache (blocks).  ``0`` disables the
         cache (every read pays the device latency) — the FASTPATH
         benchmark's baseline configuration.
+    io_delay_scale:
+        When ``> 0``, each cache-missing read and each write *realizes*
+        its simulated latency as an actual ``time.sleep(latency *
+        io_delay_scale)``.  The sleep releases the GIL, so concurrent
+        request-engine workers genuinely overlap their device waits —
+        which is what lets the concurrency benchmark measure real
+        speedup rather than GIL-serialized bookkeeping.  ``0`` (the
+        default) keeps the historical accounting-only behaviour; the
+        accounting in ``stats.simulated_io_seconds`` is identical
+        either way, so enabling this changes wall time only.
     telemetry:
         Shared :class:`~repro.obs.Telemetry`.  When enabled, every
         ``read``/``write``/``scrub`` records its wall time into the
@@ -94,6 +105,7 @@ class BlockDevice:
         read_latency: float = 10e-6,
         write_latency: float = 20e-6,
         page_cache_blocks: int = 1024,
+        io_delay_scale: float = 0.0,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         if block_count <= 0 or block_size <= 0:
@@ -104,12 +116,23 @@ class BlockDevice:
             raise errors.BlockDeviceError(
                 f"invalid page cache capacity {page_cache_blocks}"
             )
+        if io_delay_scale < 0:
+            raise errors.BlockDeviceError(
+                f"invalid io_delay_scale {io_delay_scale}"
+            )
         self.block_count = block_count
         self.block_size = block_size
         self.read_latency = read_latency
         self.write_latency = write_latency
         self.page_cache_blocks = page_cache_blocks
+        self.io_delay_scale = io_delay_scale
         self._page_cache: "OrderedDict[int, bytes]" = OrderedDict()
+        # Guards the page cache, the stats record, and the allocation
+        # state.  Reentrant: write() holds it across the cache insert,
+        # and allocate() may scrub (which re-acquires).  Sleeps for
+        # io_delay_scale happen *outside* the lock so concurrent
+        # workers overlap their device waits instead of queueing.
+        self._lock = threading.RLock()
         self._blocks: List[bytes] = [b""] * block_count
         # Allocation state: blocks below the watermark have been handed
         # out at least once; freed ones sit in a min-heap so the lowest
@@ -140,22 +163,23 @@ class BlockDevice:
         that have *not* been reallocated keep their bytes — that
         residue is what the FIG2/ILL-F forensic scans observe.
         """
-        if self._freed_heap:
-            block_no = heapq.heappop(self._freed_heap)
-            self._freed_set.discard(block_no)
-            if self._blocks[block_no]:
-                # Secure-erase stale contents before the new owner can
-                # observe them (charged like any scrub write).
-                self.scrub(block_no)
-        elif self._watermark < self.block_count:
-            block_no = self._watermark
-            self._watermark += 1
-        else:
-            raise errors.OutOfSpaceError(
-                f"device full: all {self.block_count} blocks in use"
-            )
-        self.stats.blocks_allocated += 1
-        return block_no
+        with self._lock:
+            if self._freed_heap:
+                block_no = heapq.heappop(self._freed_heap)
+                self._freed_set.discard(block_no)
+                if self._blocks[block_no]:
+                    # Secure-erase stale contents before the new owner can
+                    # observe them (charged like any scrub write).
+                    self.scrub(block_no)
+            elif self._watermark < self.block_count:
+                block_no = self._watermark
+                self._watermark += 1
+            else:
+                raise errors.OutOfSpaceError(
+                    f"device full: all {self.block_count} blocks in use"
+                )
+            self.stats.blocks_allocated += 1
+            return block_no
 
     def allocate_many(self, count: int) -> List[int]:
         """Claim ``count`` blocks atomically (all or nothing)."""
@@ -176,12 +200,13 @@ class BlockDevice:
         owner even after the on-medium copy is scrubbed.
         """
         self._check_range(block_no)
-        if block_no in self._freed_set or block_no >= self._watermark:
-            raise errors.BlockDeviceError(f"double free of block {block_no}")
-        heapq.heappush(self._freed_heap, block_no)
-        self._freed_set.add(block_no)
-        self._cache_invalidate(block_no)
-        self.stats.blocks_freed += 1
+        with self._lock:
+            if block_no in self._freed_set or block_no >= self._watermark:
+                raise errors.BlockDeviceError(f"double free of block {block_no}")
+            heapq.heappush(self._freed_heap, block_no)
+            self._freed_set.add(block_no)
+            self._cache_invalidate(block_no)
+            self.stats.blocks_freed += 1
 
     def is_allocated(self, block_no: int) -> bool:
         self._check_range(block_no)
@@ -206,16 +231,23 @@ class BlockDevice:
         hist = self._hist_read
         start = time.perf_counter_ns() if hist is not None else 0
         self._check_range(block_no)
-        self.stats.reads += 1
-        cached = self._page_cache.get(block_no)
+        with self._lock:
+            self.stats.reads += 1
+            cached = self._page_cache.get(block_no)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self._page_cache.move_to_end(block_no)
+            else:
+                self.stats.cache_misses += 1
+                self.stats.simulated_io_seconds += self.read_latency
         if cached is not None:
-            self.stats.cache_hits += 1
-            self._page_cache.move_to_end(block_no)
             if hist is not None:
                 hist.observe(time.perf_counter_ns() - start)
             return cached
-        self.stats.cache_misses += 1
-        self.stats.simulated_io_seconds += self.read_latency
+        if self.io_delay_scale > 0.0:
+            # Realize the device wait outside the lock: the sleep
+            # releases the GIL, so parallel readers overlap here.
+            time.sleep(self.read_latency * self.io_delay_scale)
         data = self._blocks[block_no]
         self._cache_insert(block_no, data)
         if hist is not None:
@@ -235,10 +267,13 @@ class BlockDevice:
             raise errors.BlockDeviceError(
                 f"payload of {len(data)} bytes exceeds block size {self.block_size}"
             )
-        self.stats.writes += 1
-        self.stats.simulated_io_seconds += self.write_latency
-        self._blocks[block_no] = bytes(data)
-        self._cache_insert(block_no, self._blocks[block_no])
+        if self.io_delay_scale > 0.0:
+            time.sleep(self.write_latency * self.io_delay_scale)
+        with self._lock:
+            self.stats.writes += 1
+            self.stats.simulated_io_seconds += self.write_latency
+            self._blocks[block_no] = bytes(data)
+            self._cache_insert(block_no, self._blocks[block_no])
         if hist is not None:
             hist.observe(time.perf_counter_ns() - start)
 
@@ -253,10 +288,13 @@ class BlockDevice:
         hist = self._hist_scrub
         start = time.perf_counter_ns() if hist is not None else 0
         self._check_range(block_no)
-        self.stats.writes += 1
-        self.stats.simulated_io_seconds += self.write_latency
-        self._blocks[block_no] = b""
-        self._cache_invalidate(block_no)
+        if self.io_delay_scale > 0.0:
+            time.sleep(self.write_latency * self.io_delay_scale)
+        with self._lock:
+            self.stats.writes += 1
+            self.stats.simulated_io_seconds += self.write_latency
+            self._blocks[block_no] = b""
+            self._cache_invalidate(block_no)
         if hist is not None:
             hist.observe(time.perf_counter_ns() - start)
 
@@ -291,31 +329,32 @@ class BlockDevice:
         """
         if not needle:
             raise errors.BlockDeviceError("cannot scan for an empty needle")
-        return [
-            block_no
-            for block_no, data in self._page_cache.items()
-            if needle in data
-        ]
+        with self._lock:
+            entries = list(self._page_cache.items())
+        return [block_no for block_no, data in entries if needle in data]
 
     # -- page cache ---------------------------------------------------------
 
     def _cache_insert(self, block_no: int, data: bytes) -> None:
         if self.page_cache_blocks <= 0:
             return
-        if block_no in self._page_cache:
-            self._page_cache.move_to_end(block_no)
-        self._page_cache[block_no] = data
-        while len(self._page_cache) > self.page_cache_blocks:
-            self._page_cache.popitem(last=False)
-            self.stats.cache_evictions += 1
+        with self._lock:
+            if block_no in self._page_cache:
+                self._page_cache.move_to_end(block_no)
+            self._page_cache[block_no] = data
+            while len(self._page_cache) > self.page_cache_blocks:
+                self._page_cache.popitem(last=False)
+                self.stats.cache_evictions += 1
 
     def _cache_invalidate(self, block_no: int) -> None:
-        if self._page_cache.pop(block_no, None) is not None:
-            self.stats.cache_invalidations += 1
+        with self._lock:
+            if self._page_cache.pop(block_no, None) is not None:
+                self.stats.cache_invalidations += 1
 
     def cached_blocks(self) -> List[int]:
         """Block numbers currently resident in the page cache (tests)."""
-        return list(self._page_cache)
+        with self._lock:
+            return list(self._page_cache)
 
     def drop_page_cache(self) -> int:
         """Discard every cached block; returns how many were dropped.
@@ -324,18 +363,21 @@ class BlockDevice:
         *session*, not the medium, and after a power cut it can hold
         write-through copies of writes the medium never received.
         """
-        dropped = len(self._page_cache)
-        self._page_cache.clear()
-        self.stats.cache_invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._page_cache)
+            self._page_cache.clear()
+            self.stats.cache_invalidations += dropped
+            return dropped
 
     def cache_stats(self) -> Dict[str, object]:
         """Observable page-cache state (size, capacity, hit rate)."""
-        lookups = self.stats.cache_hits + self.stats.cache_misses
+        with self._lock:
+            lookups = self.stats.cache_hits + self.stats.cache_misses
+            size = len(self._page_cache)
         return {
             "name": "page-cache",
             "capacity": self.page_cache_blocks,
-            "size": len(self._page_cache),
+            "size": size,
             "hits": self.stats.cache_hits,
             "misses": self.stats.cache_misses,
             "evictions": self.stats.cache_evictions,

@@ -30,6 +30,7 @@ Three pieces live here:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional
@@ -72,6 +73,12 @@ class LRUCache:
     ``capacity <= 0`` disables the cache entirely: ``get`` always
     misses and ``put`` is a no-op, so callers need no branching to
     support the caches-off configuration.
+
+    Every method takes an internal lock: ``move_to_end`` + eviction is
+    a multi-step mutation of one ``OrderedDict``, and the request
+    engine drives these caches from many worker threads at once — an
+    unlocked eviction racing a lookup corrupts the recency list or
+    raises mid-iteration.
     """
 
     def __init__(self, capacity: int, name: str = "lru") -> None:
@@ -79,54 +86,62 @@ class LRUCache:
         self.name = name
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
 
     @property
     def enabled(self) -> bool:
         return self.capacity > 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> object:
         """Return the cached value or :data:`MISSING`."""
-        if key in self._entries:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.stats.misses += 1
-        return MISSING
+        with self._lock:
+            if key in self._entries:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.stats.misses += 1
+            return MISSING
 
     def peek(self, key: Hashable) -> object:
         """Like :meth:`get` but without touching recency or stats."""
-        return self._entries.get(key, MISSING)
+        with self._lock:
+            return self._entries.get(key, MISSING)
 
     def put(self, key: Hashable, value: object) -> None:
         if not self.enabled:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; True if it was present."""
-        if key in self._entries:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            return True
-        return False
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return True
+            return False
 
     def clear(self) -> int:
         """Drop every entry (remount/reset); returns how many."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            return dropped
 
     def as_dict(self) -> Dict[str, object]:
         report = {"name": self.name, "capacity": self.capacity, "size": len(self)}

@@ -56,8 +56,10 @@ GDPR-specific storage behaviour:
 
 from __future__ import annotations
 
+import functools
 import itertools
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -93,6 +95,7 @@ from .inode import (
     InodeTable,
 )
 from .journal import TXN_COMMIT, TXN_DELETE, Journal, JournalConfig
+from .mvcc import MVCCState, Snapshot
 from .query import (
     OP_EQ,
     OP_GE,
@@ -124,6 +127,26 @@ def _encode_record(record: Mapping[str, object]) -> bytes:
 
 def _decode_record(raw: bytes) -> Dict[str, object]:
     return decode_record_v1(raw)
+
+
+def _locked_writer(method):
+    """Serialize a mutating DBFS method under the per-store write lock.
+
+    One writer at a time per shard is the concurrency contract the
+    journal's group commit depends on (BEGIN/op/COMMIT sequences from
+    two threads must never interleave in the log).  The lock is an
+    RLock so composed paths — ``store_many`` → ``store``, ``delete`` →
+    ``put_membrane`` — re-enter freely.  Readers do NOT take this
+    lock: they run against MVCC snapshots plus the short index lock,
+    so a scan never waits out a journal flush.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._write_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass
@@ -198,11 +221,26 @@ class DatabaseFS:
         self._formats_root.attrs["role"] = "formats-root"
         self._subjects_root.attrs["journal_extent"] = self.journal.extent
 
+        self._init_concurrency()
         self._init_volatile()
         self.stats = DBFSStats()
         #: Crash-reconciliation report of the last remount_from_device
         #: (rolled-back stores, redone erasures, orphan sweeps).
         self.recovery_report: Dict[str, int] = {}
+
+    def _init_concurrency(self) -> None:
+        """Create the two locks the request engine's contract rests on.
+
+        ``_write_lock`` — per-shard single writer; every mutating
+        entry point holds it end to end (see :func:`_locked_writer`).
+        ``_index_lock`` — guards the volatile lookup structures
+        (record/membrane indexes, field indexes, listing cache,
+        lineage index) for *short* critical sections only, so snapshot
+        readers synchronize with writers on index mutation without
+        ever waiting for journal or device IO.
+        """
+        self._write_lock = threading.RLock()
+        self._index_lock = threading.RLock()
 
     def _init_volatile(self) -> None:
         """(Re)create every derived, in-memory-only structure.
@@ -210,6 +248,10 @@ class DatabaseFS:
         Everything assigned here is rebuilt from the durable planes on
         remount; nothing in it survives a crash.
         """
+        #: MVCC commit counter + snapshot bookkeeping (session-local:
+        #: snapshots do not survive a remount, and must not — the
+        #: chains reference pre-crash membrane states).
+        self.mvcc = MVCCState()
         self._types: Dict[str, PDType] = {}
         self._record_index: Dict[str, int] = {}      # uid -> record inode no
         self._membrane_index: Dict[str, int] = {}    # uid -> membrane inode no
@@ -274,6 +316,7 @@ class DatabaseFS:
     # Schema management (types must exist before use)
     # ------------------------------------------------------------------
 
+    @_locked_writer
     def create_type(self, pd_type: PDType, credential: AccessCredential) -> None:
         """Declare a PD type (a table) — prerequisite to storing data."""
         self._require_ded(credential, "create_type")
@@ -310,6 +353,7 @@ class DatabaseFS:
         self._types[pd_type.name] = pd_type
         self._journal_op("create_type", pd_type.name)
 
+    @_locked_writer
     def evolve_type(
         self, new_type: PDType, credential: AccessCredential
     ) -> PDType:
@@ -453,6 +497,7 @@ class DatabaseFS:
     #: Field types whose values order totally (indexable).
     _INDEXABLE_TYPES = frozenset({"int", "float", "string", "date"})
 
+    @_locked_writer
     def create_index(
         self, type_name: str, field_name: str, credential: AccessCredential
     ) -> FieldIndex:
@@ -504,16 +549,20 @@ class DatabaseFS:
         type_name: str,
         predicate: Predicate,
         credential: AccessCredential,
+        snapshot: Optional[Snapshot] = None,
     ) -> List[str]:
         """uids of live records matching one comparison predicate.
 
         Uses the field index when one exists (logarithmic + output
         size); falls back to a full record scan otherwise.  This is
-        the pushdown entry the ABL-I benchmark compares.
+        the pushdown entry the ABL-I benchmark compares.  With a
+        ``snapshot``, records stored after the snapshot began are
+        filtered out of either path.
         """
         self._require_ded(credential, "select_uids")
         self.get_type(type_name)
-        index = self._field_indexes.get((type_name, predicate.field_name))
+        with self._index_lock:
+            index = self._field_indexes.get((type_name, predicate.field_name))
         indexed = index is not None and predicate.op in (
             OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE
         )
@@ -525,37 +574,65 @@ class DatabaseFS:
                 uids = self._select_indexed(index, predicate)
             else:
                 uids = self._select_scan(type_name, predicate)
+            if snapshot is not None:
+                uids = [
+                    uid for uid in uids
+                    if self.mvcc.visible(uid, snapshot.version)
+                ]
             span.set_attr("matched", len(uids))
             return uids
 
-    @staticmethod
-    def _select_indexed(index: FieldIndex, predicate: Predicate) -> List[str]:
+    def _select_indexed(
+        self, index: FieldIndex, predicate: Predicate
+    ) -> List[str]:
+        # The whole B-tree traversal runs under the index lock: a
+        # writer splitting a node mid-range-walk would corrupt the
+        # result.  Writers hold the same lock only for their (short)
+        # add/remove, so this never waits out journal or device IO.
         value = predicate.value
-        if predicate.op == OP_EQ:
-            return sorted(index.exact(value))
-        if predicate.op == OP_NE:
-            # Full range minus exact matches.  The index holds exactly
-            # the live records carrying the field, and a record lacking
-            # the field never matches any predicate (SQL NULL rules),
-            # so this equals the scan result without touching records.
-            return sorted(set(index.range()) - set(index.exact(value)))
-        if predicate.op == OP_LT:
-            return sorted(index.range(high=value))
-        if predicate.op == OP_GE:
-            return sorted(index.range(low=value))
-        if predicate.op == OP_LE:
-            # [min, value] == range(high=value) + exact(value)
-            return sorted(set(index.range(high=value)) | set(index.exact(value)))
-        # OP_GT: (value, max] == range(low=value) minus exact(value)
-        return sorted(set(index.range(low=value)) - set(index.exact(value)))
+        with self._index_lock:
+            if predicate.op == OP_EQ:
+                return sorted(index.exact(value))
+            if predicate.op == OP_NE:
+                # Full range minus exact matches.  The index holds exactly
+                # the live records carrying the field, and a record lacking
+                # the field never matches any predicate (SQL NULL rules),
+                # so this equals the scan result without touching records.
+                return sorted(set(index.range()) - set(index.exact(value)))
+            if predicate.op == OP_LT:
+                return sorted(index.range(high=value))
+            if predicate.op == OP_GE:
+                return sorted(index.range(low=value))
+            if predicate.op == OP_LE:
+                # [min, value] == range(high=value) + exact(value)
+                return sorted(
+                    set(index.range(high=value)) | set(index.exact(value))
+                )
+            # OP_GT: (value, max] == range(low=value) minus exact(value)
+            return sorted(set(index.range(low=value)) - set(index.exact(value)))
 
-    def _select_scan(self, type_name: str, predicate: Predicate) -> List[str]:
+    def _select_scan(
+        self,
+        type_name: str,
+        predicate: Predicate,
+        snapshot: Optional[Snapshot] = None,
+    ) -> List[str]:
         matches = []
         for uid in self._table_listing(type_name):
+            if snapshot is not None and not self.mvcc.visible(
+                uid, snapshot.version
+            ):
+                continue
             membrane = self._load_membrane(uid)
             if membrane.erased:
                 continue
-            if predicate.evaluate(self._load_record_raw(uid)):
+            try:
+                record = self._load_record_raw(uid)
+            except errors.ExpiredPDError:
+                # Erased by a concurrent writer between the membrane
+                # check and the payload read — skip, same as erased.
+                continue
+            if predicate.evaluate(record):
                 matches.append(uid)
         return matches
 
@@ -579,6 +656,7 @@ class DatabaseFS:
         type_name: str,
         predicates: Sequence[Predicate],
         credential: AccessCredential,
+        snapshot: Optional[Snapshot] = None,
     ) -> List[str]:
         """uids of live records satisfying *all* predicates (conjunction).
 
@@ -599,7 +677,7 @@ class DatabaseFS:
             predicates=len(predicates),
         ) as span:
             plan = self._plan(type_name, predicates)
-            uids = self._execute_plan(plan)
+            uids = self._execute_plan(plan, snapshot)
             span.set_attrs(
                 strategy=plan.strategy,
                 index_field=plan.index_field,
@@ -614,12 +692,13 @@ class DatabaseFS:
         with self.telemetry.op(
             "dbfs.plan", pd_type=type_name, predicates=len(predicates)
         ) as span:
-            indexes = {
-                field_name: index
-                for (indexed_type, field_name), index
-                in self._field_indexes.items()
-                if indexed_type == type_name
-            }
+            with self._index_lock:
+                indexes = {
+                    field_name: index
+                    for (indexed_type, field_name), index
+                    in self._field_indexes.items()
+                    if indexed_type == type_name
+                }
             plan = plan_query(
                 type_name, predicates, indexes,
                 table_rows=len(self._table_listing(type_name)),
@@ -633,13 +712,21 @@ class DatabaseFS:
             )
             return plan
 
-    def _execute_plan(self, plan: QueryPlan) -> List[str]:
+    def _execute_plan(
+        self, plan: QueryPlan, snapshot: Optional[Snapshot] = None
+    ) -> List[str]:
         fields_needed = plan.fields_needed
         partial_before = self.stats.partial_decodes
         full_before = self.stats.full_decodes
         if plan.strategy == STRATEGY_INDEX:
-            index = self._field_indexes[(plan.type_name, plan.index_field)]
+            with self._index_lock:
+                index = self._field_indexes[(plan.type_name, plan.index_field)]
             candidates = self._select_indexed(index, plan.index_predicate)
+            if snapshot is not None:
+                candidates = [
+                    uid for uid in candidates
+                    if self.mvcc.visible(uid, snapshot.version)
+                ]
             if not plan.residual:
                 return candidates  # index holds live records only
             # Residual filtering: decode just the residual fields of
@@ -651,7 +738,10 @@ class DatabaseFS:
             ) as span:
                 matches = []
                 for uid in candidates:
-                    record = self._load_record_fields(uid, fields_needed)
+                    try:
+                        record = self._load_record_fields(uid, fields_needed)
+                    except errors.ExpiredPDError:
+                        continue  # erased by a concurrent writer
                     if all(p.evaluate(record) for p in plan.residual):
                         matches.append(uid)
                 span.set_attrs(
@@ -668,12 +758,19 @@ class DatabaseFS:
             "dbfs.decode", rows=len(listing), fields=list(fields_needed),
         ) as span:
             for uid in listing:
+                if snapshot is not None and not self.mvcc.visible(
+                    uid, snapshot.version
+                ):
+                    continue
                 if self._load_membrane(uid).erased:
                     continue
                 if not plan.residual:
                     matches.append(uid)
                     continue
-                record = self._load_record_fields(uid, fields_needed)
+                try:
+                    record = self._load_record_fields(uid, fields_needed)
+                except errors.ExpiredPDError:
+                    continue  # erased by a concurrent writer
                 if all(p.evaluate(record) for p in plan.residual):
                     matches.append(uid)
             span.set_attrs(
@@ -687,32 +784,35 @@ class DatabaseFS:
 
         Callers iterate the returned list and must not mutate it.
         """
-        if not self.cache_config.listing_cache:
+        with self._index_lock:
+            if not self.cache_config.listing_cache:
+                table = self.inodes.lookup(self._schema_root.number, type_name)
+                return sorted(table.children)
+            cached = self._listing_cache.get(type_name)
+            if cached is not None:
+                self.stats.listing_cache_hits += 1
+                return cached
             table = self.inodes.lookup(self._schema_root.number, type_name)
-            return sorted(table.children)
-        cached = self._listing_cache.get(type_name)
-        if cached is not None:
-            self.stats.listing_cache_hits += 1
-            return cached
-        table = self.inodes.lookup(self._schema_root.number, type_name)
-        listing = sorted(table.children)
-        self._listing_cache[type_name] = listing
-        self.stats.listing_cache_misses += 1
-        return listing
+            listing = sorted(table.children)
+            self._listing_cache[type_name] = listing
+            self.stats.listing_cache_misses += 1
+            return listing
 
     def _index_record(
         self, type_name: str, uid: str, record: Mapping[str, object]
     ) -> None:
-        for (indexed_type, field_name), index in self._field_indexes.items():
-            if indexed_type == type_name and field_name in record:
-                index.add(record[field_name], uid)
+        with self._index_lock:
+            for (indexed_type, field_name), index in self._field_indexes.items():
+                if indexed_type == type_name and field_name in record:
+                    index.add(record[field_name], uid)
 
     def _unindex_record(
         self, type_name: str, uid: str, record: Mapping[str, object]
     ) -> None:
-        for (indexed_type, field_name), index in self._field_indexes.items():
-            if indexed_type == type_name and field_name in record:
-                index.remove(record[field_name], uid)
+        with self._index_lock:
+            for (indexed_type, field_name), index in self._field_indexes.items():
+                if indexed_type == type_name and field_name in record:
+                    index.remove(record[field_name], uid)
 
     # ------------------------------------------------------------------
     # Store
@@ -725,6 +825,7 @@ class DatabaseFS:
             span.set_attrs(uid=ref.uid, subject_id=ref.subject_id)
             return ref
 
+    @_locked_writer
     def _store_impl(
         self, request: StoreRequest, credential: AccessCredential
     ) -> PDRef:
@@ -784,21 +885,28 @@ class DatabaseFS:
             )
             record_inode.attrs["membrane_inode"] = membrane_inode.number
 
-            # Link into both major trees.
-            self.inodes.link_child(subject_inode.number, uid, record_inode.number)
-            table_inode = self.inodes.lookup(self._schema_root.number, pd_type.name)
-            self.inodes.link_child(table_inode.number, uid, record_inode.number)
+            # Link into both major trees and publish the volatile
+            # lookup structures in one short index-lock section, so a
+            # concurrent scan sees either none or all of them.
+            with self._index_lock:
+                self.inodes.link_child(
+                    subject_inode.number, uid, record_inode.number
+                )
+                table_inode = self.inodes.lookup(
+                    self._schema_root.number, pd_type.name
+                )
+                self.inodes.link_child(table_inode.number, uid, record_inode.number)
 
-            self._record_index[uid] = record_inode.number
-            self._membrane_index[uid] = membrane_inode.number
-            self._membrane_json_cache.put(uid, membrane.to_json())
-            if self.cache_config.membrane_object_cache:
-                self._membrane_cache.put(uid, membrane)
-            self._record_cache.put(uid, dict(request.record))
-            self._listing_cache.pop(pd_type.name, None)
-            self._index_record(pd_type.name, uid, request.record)
-            if membrane.lineage:
-                self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
+                self._record_index[uid] = record_inode.number
+                self._membrane_index[uid] = membrane_inode.number
+                self._membrane_json_cache.put(uid, membrane.to_json())
+                if self.cache_config.membrane_object_cache:
+                    self._membrane_cache.put(uid, membrane)
+                self._record_cache.put(uid, dict(request.record))
+                self._listing_cache.pop(pd_type.name, None)
+                self._index_record(pd_type.name, uid, request.record)
+                if membrane.lineage:
+                    self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
         except BaseException:
             # Inside a batch the enclosing Journal.batch() aborts the
             # whole group; a solo store drops its own transaction.
@@ -807,8 +915,12 @@ class DatabaseFS:
             raise
         self.stats.stores += 1
         self.journal.commit()
+        # MVCC begin version lands after the commit: snapshots begun
+        # before this point filter the uid out; later ones see it.
+        self.mvcc.stamp_store(uid)
         return PDRef(uid=uid, pd_type=pd_type.name, subject_id=membrane.subject_id)
 
+    @_locked_writer
     def store_many(
         self, requests: Sequence[StoreRequest], credential: AccessCredential
     ) -> List[PDRef]:
@@ -838,18 +950,33 @@ class DatabaseFS:
         want journal coalescing should use this rather than reaching
         for ``dbfs.journal`` directly, so the same code works against
         both layouts.
+
+        The write lock is held for the whole batch: a group commit is
+        one writer's transaction, and another thread's ops must not
+        interleave into its BEGIN/COMMIT window.
         """
-        with self.journal.batch():
-            yield
+        with self._write_lock:
+            with self.journal.batch():
+                yield
 
     # ------------------------------------------------------------------
     # Membrane phase (ded_load_membrane)
     # ------------------------------------------------------------------
 
     def query_membranes(
-        self, query: MembraneQuery, credential: AccessCredential
+        self,
+        query: MembraneQuery,
+        credential: AccessCredential,
+        snapshot: Optional[Snapshot] = None,
     ) -> List[Tuple[PDRef, Membrane]]:
-        """Fetch membranes matching the query — never any record data."""
+        """Fetch membranes matching the query — never any record data.
+
+        With a ``snapshot``, records stored after the snapshot began
+        are invisible, and each membrane reflects the consent state as
+        of the snapshot's begin version (so a concurrent revocation
+        does not flip a decision mid-request; the *next* snapshot sees
+        it).
+        """
         self._require_ded(credential, "query_membranes")
         self.get_type(query.pd_type)  # unknown types fail loudly
         with self.telemetry.op(
@@ -860,7 +987,11 @@ class DatabaseFS:
             self.stats.membrane_queries += 1
             results: List[Tuple[PDRef, Membrane]] = []
             for uid in self._candidate_uids(query):
-                membrane = self._load_membrane(uid)
+                if snapshot is not None and not self.mvcc.visible(
+                    uid, snapshot.version
+                ):
+                    continue
+                membrane = self._load_membrane(uid, snapshot)
                 if membrane.pd_type != query.pd_type:
                     continue
                 if query.subject_id and membrane.subject_id != query.subject_id:
@@ -878,16 +1009,31 @@ class DatabaseFS:
             )
             return results
 
-    def get_membrane(self, uid: str, credential: AccessCredential) -> Membrane:
+    def get_membrane(
+        self,
+        uid: str,
+        credential: AccessCredential,
+        snapshot: Optional[Snapshot] = None,
+    ) -> Membrane:
         self._require_ded(credential, "get_membrane")
-        return self._load_membrane(uid)
+        return self._load_membrane(uid, snapshot)
 
     def _candidate_uids(self, query: MembraneQuery) -> List[str]:
         if query.uids is not None:
             return [uid for uid in query.uids if uid in self._record_index]
         return self._table_listing(query.pd_type)
 
-    def _load_membrane(self, uid: str) -> Membrane:
+    def _load_membrane(
+        self, uid: str, snapshot: Optional[Snapshot] = None
+    ) -> Membrane:
+        if snapshot is not None:
+            # A chained membrane changed after the snapshot began —
+            # decode the as-of JSON fresh (never the shared cached
+            # object, which tracks the live state).  No chain means
+            # the live state *is* the as-of state.
+            as_of = self.mvcc.membrane_json_as_of(uid, snapshot.version)
+            if as_of is not None:
+                return Membrane.from_json(as_of)
         if self.cache_config.membrane_object_cache:
             decoded = self._membrane_cache.get(uid)
             if decoded is not MISSING:
@@ -908,6 +1054,7 @@ class DatabaseFS:
             self._membrane_cache.put(uid, membrane)
         return membrane
 
+    @_locked_writer
     def put_membrane(
         self, uid: str, membrane: Membrane, credential: AccessCredential
     ) -> None:
@@ -917,6 +1064,13 @@ class DatabaseFS:
         if inode_no is None:
             raise errors.UnknownRecordError(f"no PD with uid {uid!r}")
         encoded = membrane.to_json()
+        # Capture the pre-mutation state for MVCC: a snapshot that
+        # began before this commit keeps reading the old consent JSON
+        # through the membrane chain.  The JSON cache is write-through
+        # with the inode, so a cache hit is authoritative.
+        old_json = self._membrane_json_cache.peek(uid)
+        if old_json is MISSING:
+            old_json = self.inodes.read_payload(inode_no).decode()
         self.inodes.rewrite_scrubbed(inode_no, encoded.encode())
         # Write-through invariant: both membrane caches are refreshed
         # (or dropped) in the same step that rewrites the inode, so a
@@ -928,19 +1082,27 @@ class DatabaseFS:
         else:
             self._membrane_cache.invalidate(uid)
         if membrane.lineage:
-            self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
+            with self._index_lock:
+                self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
         self._journal_op("membrane_update", uid)
+        # Chain entry lands after the journal commit: revocation and
+        # RTBF become visible to every snapshot begun from here on.
+        self.mvcc.stamp_membrane(uid, old_json, encoded)  # type: ignore[arg-type]
 
     def lineage_members(self, lineage: str) -> List[str]:
         """Member uids of one copy-lineage group (indexed lookup)."""
-        return sorted(self._lineage_index.get(lineage, set()))
+        with self._index_lock:
+            return sorted(self._lineage_index.get(lineage, set()))
 
     # ------------------------------------------------------------------
     # Data phase (ded_load_data)
     # ------------------------------------------------------------------
 
     def fetch_records(
-        self, query: DataQuery, credential: AccessCredential
+        self,
+        query: DataQuery,
+        credential: AccessCredential,
+        snapshot: Optional[Snapshot] = None,
     ) -> Dict[str, Dict[str, object]]:
         """Fetch records for filtered refs, projected to allowed fields.
 
@@ -962,16 +1124,31 @@ class DatabaseFS:
             results: Dict[str, Dict[str, object]] = {}
             with self.telemetry.span("dbfs.decode", rows=len(query.uids)) as decode_span:
                 for uid in query.uids:
+                    if snapshot is not None and not self.mvcc.visible(
+                        uid, snapshot.version
+                    ):
+                        continue
                     membrane = self._load_membrane(uid)
                     if membrane.erased:
+                        if snapshot is not None:
+                            # Erased after the snapshot's uids were
+                            # computed: the payload is physically gone
+                            # (erasure is stricter than MVCC) — skip
+                            # rather than fail the whole read.
+                            continue
                         raise errors.ExpiredPDError(
                             f"PD {uid!r} has been erased; its data is not retrievable"
                         )
                     allowed = query.allowed_fields_for(uid)
-                    if allowed is not None:
-                        record = self._load_record_fields(uid, allowed)
-                    else:
-                        record = self._load_record_raw(uid)
+                    try:
+                        if allowed is not None:
+                            record = self._load_record_fields(uid, allowed)
+                        else:
+                            record = self._load_record_raw(uid)
+                    except errors.ExpiredPDError:
+                        if snapshot is not None:
+                            continue  # erased by a concurrent writer
+                        raise
                     if not query.matches(record):
                         continue
                     results[uid] = record
@@ -993,7 +1170,15 @@ class DatabaseFS:
         inode = self.inodes.get(inode_no)
         type_name = inode.attrs.get("pd_type")
         codec = self._codec_of(type_name) if type_name else None
-        record = decode_any(self.inodes.read_payload(inode_no), codec)
+        raw = self.inodes.read_payload(inode_no)
+        if not raw:
+            # A live record always has a non-empty payload; an empty
+            # one means an erase's scrub half has run (its membrane
+            # mark may still be in flight on another thread).
+            raise errors.ExpiredPDError(
+                f"PD {uid!r} has been erased; its data is not retrievable"
+            )
+        record = decode_any(raw, codec)
         sensitive_no = inode.attrs.get("sensitive_inode")
         if sensitive_no is not None:
             record.update(
@@ -1058,6 +1243,7 @@ class DatabaseFS:
         with self.telemetry.op("dbfs.update", uid=request.uid):
             self._update_impl(request, credential)
 
+    @_locked_writer
     def _update_impl(
         self, request: UpdateRequest, credential: AccessCredential
     ) -> None:
@@ -1102,6 +1288,7 @@ class DatabaseFS:
         self._record_cache.put(request.uid, dict(record))
         self.stats.updates += 1
         self._journal_op("update", request.uid)
+        self.mvcc.commit()
 
     def delete(self, request: DeleteRequest, credential: AccessCredential) -> Membrane:
         """Erase one PD record (right to be forgotten).
@@ -1118,6 +1305,7 @@ class DatabaseFS:
         ):
             return self._delete_impl(request, credential)
 
+    @_locked_writer
     def _delete_impl(
         self, request: DeleteRequest, credential: AccessCredential
     ) -> Membrane:
@@ -1225,7 +1413,8 @@ class DatabaseFS:
     def _finish_erase(self, uid: str, credential: AccessCredential) -> Membrane:
         """Mark the membrane erased and persist it (idempotent)."""
         membrane = self._load_membrane(uid)
-        self._listing_cache.pop(membrane.pd_type, None)
+        with self._index_lock:
+            self._listing_cache.pop(membrane.pd_type, None)
         if not membrane.erased:
             membrane.mark_erased(at=membrane.created_at)
             self.put_membrane(uid, membrane, credential)
@@ -1252,47 +1441,73 @@ class DatabaseFS:
     # ------------------------------------------------------------------
 
     def list_subjects(self) -> List[str]:
-        return sorted(self._subjects_root.children)
+        with self._index_lock:
+            return sorted(self._subjects_root.children)
 
     def uids_of_subject(self, subject_id: str) -> List[str]:
-        subject = self._subject_inode(subject_id, create=False)
-        if subject is None:
-            return []
-        return sorted(subject.children)
+        with self._index_lock:
+            subject = self._subject_inode(subject_id, create=False)
+            if subject is None:
+                return []
+            return sorted(subject.children)
 
     def export_subject(
-        self, subject_id: str, credential: AccessCredential
+        self,
+        subject_id: str,
+        credential: AccessCredential,
+        snapshot: Optional[Snapshot] = None,
     ) -> Dict[str, object]:
         """Structured, machine-readable dump of one subject's PD.
 
         This is the § 4 right-of-access export: field names are the
         *meaningful* schema keys ("the keys make sense"), each record
         travels with its membrane, and the schema itself is included.
+        With a ``snapshot`` the export is a consistent point-in-time
+        view: records stored after the snapshot began are absent and
+        membranes carry their as-of consent state (erasure excepted —
+        data scrubbed mid-export stays gone).
         """
         with self.telemetry.op(
             "dbfs.export_subject", subject_id=subject_id
         ) as span:
-            export = self._export_subject_impl(subject_id, credential)
+            export = self._export_subject_impl(subject_id, credential, snapshot)
             span.set_attr("records", len(export["records"]))
             return export
 
     def _export_subject_impl(
-        self, subject_id: str, credential: AccessCredential
+        self,
+        subject_id: str,
+        credential: AccessCredential,
+        snapshot: Optional[Snapshot] = None,
     ) -> Dict[str, object]:
         self._require_ded(credential, "export_subject")
         records = []
         for uid in self.uids_of_subject(subject_id):
-            membrane = self._load_membrane(uid)
+            if snapshot is not None and not self.mvcc.visible(
+                uid, snapshot.version
+            ):
+                continue
+            membrane = self._load_membrane(uid, snapshot)
+            live_erased = (
+                membrane.erased if snapshot is None
+                else self._load_membrane(uid).erased
+            )
             entry: Dict[str, object] = {
                 "uid": uid,
                 "pd_type": membrane.pd_type,
                 "membrane": membrane.to_dict(),
             }
-            if membrane.erased:
+            if live_erased:
                 entry["data"] = None
                 entry["erased"] = True
             else:
-                entry["data"] = self._load_record_raw(uid)
+                try:
+                    entry["data"] = self._load_record_raw(uid)
+                except errors.ExpiredPDError:
+                    if snapshot is None:
+                        raise
+                    entry["data"] = None
+                    entry["erased"] = True
             records.append(entry)
         used_types = sorted({r["pd_type"] for r in records})
         return {
@@ -1321,14 +1536,21 @@ class DatabaseFS:
     # ------------------------------------------------------------------
 
     def all_uids(self) -> List[str]:
-        return sorted(self._record_index)
+        with self._index_lock:
+            return sorted(self._record_index)
 
     def iter_membranes(
-        self, credential: AccessCredential
+        self,
+        credential: AccessCredential,
+        snapshot: Optional[Snapshot] = None,
     ) -> List[Tuple[str, Membrane]]:
         """Every (uid, membrane) pair — used by the TTL sweeper."""
         self._require_ded(credential, "iter_membranes")
-        return [(uid, self._load_membrane(uid)) for uid in self.all_uids()]
+        return [
+            (uid, self._load_membrane(uid, snapshot))
+            for uid in self.all_uids()
+            if snapshot is None or self.mvcc.visible(uid, snapshot.version)
+        ]
 
     def forensic_scan(self, needle: bytes) -> Dict[str, int]:
         """Residues of ``needle`` in the DBFS storage stack.
@@ -1409,6 +1631,32 @@ class DatabaseFS:
     # A plain DatabaseFS presents itself as a one-shard store so code
     # written against ShardedDBFS (rights batching, benchmarks, CLI
     # reporting) runs unchanged against the seed layout.
+
+    def begin_snapshot(self) -> Snapshot:
+        """Open a consistent read point (MVCC snapshot).
+
+        Readers pass the returned handle to ``query_membranes`` /
+        ``select_uids*`` / ``fetch_records`` / ``export_subject``:
+        they then see exactly the records and consent states committed
+        when the snapshot began, without ever blocking writers.  Use
+        as a context manager (or call :meth:`Snapshot.release`) so the
+        MVCC bookkeeping can prune.
+        """
+        return Snapshot(self.mvcc, self.mvcc.begin_snapshot())
+
+    def mvcc_stats(self) -> Dict[str, object]:
+        """Observable MVCC state (commit version, snapshots, chains)."""
+        return self.mvcc.as_dict()
+
+    def write_lock(self, uid: str) -> "threading.RLock":
+        """The single-writer lock covering ``uid``.
+
+        Callers doing a read-modify-write (get a membrane, mutate it,
+        put it back) hold this across the whole sequence so two
+        concurrent mutators cannot interleave and lose an update.
+        Reentrant: the mutators called under it take it again.
+        """
+        return self._write_lock
 
     @property
     def shard_count(self) -> int:
@@ -1622,6 +1870,7 @@ class DatabaseFS:
             device, list(extent), config=journal_config, telemetry=fs.telemetry
         )
 
+        fs._init_concurrency()
         fs._init_volatile()
         fs.stats = DBFSStats()
         fs.recovery_report = fs._crash_recover()

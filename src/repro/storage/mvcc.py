@@ -1,0 +1,259 @@
+"""MVCC snapshot state for DBFS reads that never block writers.
+
+The request engine (PR 6) runs right-of-access exports and type-level
+scans concurrently with stores, consent mutations and erasures.  A
+reader that iterated live structures under a writer would see torn
+state: a record linked into the table before its membrane cache entry
+lands, or a consent map mid-mutation.  Classic MVCC fixes this with
+begin/end versions stamped from a global commit counter; this module
+is the deliberately small variant DBFS needs:
+
+* **One commit counter per DatabaseFS (per shard).**  Every mutation
+  (store, update, delete, membrane change) bumps it under the MVCC
+  lock; a snapshot is just the counter value at begin time.
+* **Record visibility.**  A record is visible to snapshot ``S`` iff
+  its begin version is ``<= S``.  Begin versions are only *recorded*
+  while at least one snapshot is active — a store that no snapshot
+  can possibly miss needs no bookkeeping, which keeps the serial path
+  allocation-free.
+* **Membrane version chains.**  A consent mutation while a snapshot
+  is active appends ``(commit_version, membrane_json)`` to the uid's
+  chain (lazily seeded with the pre-mutation state), so the snapshot
+  reads the consent state *as of* its begin version.  JSON strings
+  are immutable, so chain entries are safe to hand across threads.
+  Revocation and RTBF go through the same path: they commit a new
+  chain entry, which makes them immediately visible to the *next*
+  snapshot — the GDPR-critical direction.
+* **Erasure is stricter than MVCC.**  A scrubbed record's payload is
+  physically gone; an old snapshot does NOT retain read access to
+  erased PD (readers skip it).  Snapshot isolation here protects
+  consistency of what may be read, never prolongs the life of what
+  must not be.
+* **Pruning.**  When the last active snapshot releases, every chain
+  and begin version is dropped — steady-state memory is zero when no
+  snapshot is open, and bounded by mutations-during-snapshots
+  otherwise.
+
+Payload reads are read-committed (an in-place ``update`` is visible
+to concurrent snapshots); the enforcement-relevant state — which
+records exist and what their membranes permit — is what snapshots
+pin.  The equivalence and isolation stress tests exercise exactly
+this contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class MVCCState:
+    """Commit counter, visibility map and membrane chains for one store."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._version = 0
+        #: active snapshot version -> refcount (several snapshots may
+        #: begin at the same version).
+        self._active: Dict[int, int] = {}
+        #: uid -> commit version of its store (recorded only while a
+        #: snapshot is active; absent means "visible to everyone").
+        self._begin: Dict[str, int] = {}
+        #: uid -> [(from_version, membrane_json), ...] ascending.
+        self._chains: Dict[str, List[Tuple[int, str]]] = {}
+        self.snapshots_taken = 0
+        self.chain_entries_recorded = 0
+
+    # -- commits ---------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def snapshots_active(self) -> bool:
+        return bool(self._active)
+
+    def commit(self) -> int:
+        """Bump the commit counter for a mutation needing no stamping."""
+        with self._lock:
+            self._version += 1
+            return self._version
+
+    def stamp_store(self, uid: str) -> int:
+        """Commit a store; records the begin version if anyone may care."""
+        with self._lock:
+            self._version += 1
+            if self._active:
+                self._begin[uid] = self._version
+            return self._version
+
+    def stamp_membrane(self, uid: str, old_json: Optional[str],
+                       new_json: str) -> int:
+        """Commit a membrane mutation, chaining the old state if needed.
+
+        ``old_json`` is the pre-mutation membrane JSON; it seeds the
+        chain the first time a uid's membrane changes under an active
+        snapshot, so that snapshot keeps reading the state it began
+        with.  ``None`` is accepted when the caller knows no snapshot
+        was active (the chain is then only appended if it already
+        exists, which cannot happen once pruning ran).
+        """
+        with self._lock:
+            self._version += 1
+            if self._active or uid in self._chains:
+                chain = self._chains.get(uid)
+                if chain is None:
+                    seed_version = self._begin.get(uid, 0)
+                    chain = self._chains[uid] = (
+                        [(seed_version, old_json)] if old_json is not None
+                        else []
+                    )
+                chain.append((self._version, new_json))
+                self.chain_entries_recorded += 1
+            return self._version
+
+    # -- snapshots -------------------------------------------------------
+
+    def begin_snapshot(self) -> int:
+        with self._lock:
+            self.snapshots_taken += 1
+            version = self._version
+            self._active[version] = self._active.get(version, 0) + 1
+            return version
+
+    def release_snapshot(self, version: int) -> None:
+        with self._lock:
+            count = self._active.get(version, 0)
+            if count <= 1:
+                self._active.pop(version, None)
+            else:
+                self._active[version] = count - 1
+            if not self._active:
+                # Nobody can ask for historical state any more: every
+                # future snapshot begins at >= the current version and
+                # therefore reads live structures directly.
+                self._chains.clear()
+                self._begin.clear()
+
+    # -- reads -----------------------------------------------------------
+
+    def visible(self, uid: str, snapshot_version: int) -> bool:
+        """Was ``uid`` stored at or before ``snapshot_version``?"""
+        begin = self._begin.get(uid)
+        return begin is None or begin <= snapshot_version
+
+    def membrane_json_as_of(self, uid: str,
+                            snapshot_version: int) -> Optional[str]:
+        """Membrane JSON as of the snapshot, or None meaning "use live".
+
+        Walks the uid's chain backwards for the last entry whose
+        from_version is ``<= snapshot_version``; no chain means the
+        membrane has not changed since before every active snapshot.
+        """
+        chain = self._chains.get(uid)
+        if not chain:
+            return None
+        for from_version, membrane_json in reversed(chain):
+            if from_version <= snapshot_version:
+                return membrane_json
+        # Chain exists but every entry postdates the snapshot — the
+        # record itself was stored after the snapshot began; callers
+        # filter those out via visible() before asking for membranes.
+        return chain[0][1]
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "commit_version": self._version,
+                "active_snapshots": sum(self._active.values()),
+                "snapshots_taken": self.snapshots_taken,
+                "tracked_begin_versions": len(self._begin),
+                "membrane_chains": len(self._chains),
+                "chain_entries_recorded": self.chain_entries_recorded,
+            }
+
+
+class Snapshot:
+    """A released-once handle on one store's consistent read point.
+
+    Also answers ``for_shard(i)`` with itself so code written against
+    fleet snapshots runs unchanged on a single DBFS (mirroring the
+    ``DatabaseFS.shards`` one-shard shim).
+    """
+
+    __slots__ = ("version", "_state", "_released")
+
+    def __init__(self, state: MVCCState, version: int):
+        self.version = version
+        self._state = state
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def for_shard(self, index: int) -> "Snapshot":
+        return self
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._state.release_snapshot(self.version)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self._released else "active"
+        return f"Snapshot(v{self.version}, {state})"
+
+
+class FleetSnapshot:
+    """Per-shard snapshots taken together for scatter-gather reads.
+
+    Each shard has its own commit counter, so a fleet snapshot is a
+    vector of per-shard versions; ``for_shard(i)`` hands each fanned-
+    out sub-read its shard's component.  A degraded shard's slot is
+    ``None`` — reads never reach it anyway.
+    """
+
+    __slots__ = ("_snapshots", "_released")
+
+    def __init__(self, snapshots: Sequence[Optional[Snapshot]]):
+        self._snapshots = list(snapshots)
+        self._released = False
+
+    @property
+    def versions(self) -> Tuple[Optional[int], ...]:
+        return tuple(
+            s.version if s is not None else None for s in self._snapshots
+        )
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def for_shard(self, index: int) -> Optional[Snapshot]:
+        return self._snapshots[index]
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            for snapshot in self._snapshots:
+                if snapshot is not None:
+                    snapshot.release()
+
+    def __enter__(self) -> "FleetSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FleetSnapshot(versions={self.versions})"

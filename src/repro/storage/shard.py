@@ -39,11 +39,20 @@ class, so the seed layout is untouched.
 from __future__ import annotations
 
 import json
+import threading
 import zlib
 from contextlib import ExitStack, contextmanager
 from uuid import uuid4
 from dataclasses import replace as _dc_replace
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .. import errors
 from ..core.active_data import AccessCredential, PDRef
@@ -56,6 +65,7 @@ from .btree import FieldIndex
 from .cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from .dbfs import DatabaseFS, DBFSStats
 from .inode import InodeTable
+from .mvcc import FleetSnapshot, Snapshot
 from .journal import JournalConfig, TXN_COMMIT, TXN_DELETE
 from .query import (
     DataQuery,
@@ -122,8 +132,12 @@ class ShardedDBFS:
             for i in range(shard_count)
         ]
         # uid -> owning shard index; maintained at store time and
-        # rebuilt from the shards' subject trees on remount.
+        # rebuilt from the shards' subject trees on remount.  Writes
+        # take _uid_lock; lookups are lock-free single dict reads.
         self._uid_shard: Dict[str, int] = {}
+        self._uid_lock = threading.Lock()
+        # Optional parallel scatter-gather runner (see set_fanout).
+        self._fanout: Optional[Callable[..., List[object]]] = None
         # shard index -> failure reason; only ever populated by
         # remount_from_devices when a shard's crash recovery fails.
         self._degraded: Dict[int, str] = {}
@@ -168,6 +182,8 @@ class ShardedDBFS:
         fleet._shards = []
         fleet._degraded = {}
         fleet._uid_shard = {}
+        fleet._uid_lock = threading.Lock()
+        fleet._fanout = None
         for index, (device, inodes) in enumerate(zip(devices, inode_tables)):
             try:
                 shard = DatabaseFS.remount_from_device(
@@ -281,6 +297,74 @@ class ShardedDBFS:
         return dict(self._degraded)
 
     # ------------------------------------------------------------------
+    # Concurrency: parallel fan-out + fleet snapshots
+    # ------------------------------------------------------------------
+
+    def set_fanout(
+        self, run: Optional[Callable[..., List[object]]]
+    ) -> None:
+        """Install a parallel scatter-gather runner (or None for serial).
+
+        ``run`` takes a list of zero-argument callables and returns
+        their results in order; the request engine installs its worker
+        pool here so type-level queries and bulk rights hit all shards
+        concurrently.  Each sub-task touches exactly one shard, and
+        reads take no shard-wide locks, so the tasks are independent.
+        """
+        self._fanout = run
+
+    def _fan(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run scatter-gather sub-tasks, in parallel when a runner is set."""
+        if self._fanout is None or len(tasks) <= 1:
+            return [task() for task in tasks]
+        return list(self._fanout(tasks))
+
+    def begin_snapshot(self) -> FleetSnapshot:
+        """One consistent read point across the fleet.
+
+        Takes every healthy shard's MVCC snapshot back to back; a
+        degraded shard's slot stays ``None`` (reads never reach it).
+        The vector is not globally serialized across shards — each
+        shard's component is consistent, which is exactly the
+        guarantee subject-affine placement needs: a subject's whole
+        lineage lives on one shard, so per-subject state is never
+        split across two snapshot components.
+        """
+        return FleetSnapshot([
+            shard.begin_snapshot() if index not in self._degraded else None
+            for index, shard in enumerate(self._shards)
+        ])
+
+    def mvcc_stats(self) -> Dict[str, object]:
+        """Per-shard MVCC counters plus fleet totals."""
+        per_shard = [
+            shard.mvcc_stats() if index not in self._degraded else None
+            for index, shard in enumerate(self._shards)
+        ]
+        healthy = [s for s in per_shard if s is not None]
+        return {
+            "snapshots_taken": sum(s["snapshots_taken"] for s in healthy),
+            "active_snapshots": sum(s["active_snapshots"] for s in healthy),
+            "chain_entries_recorded": sum(
+                s["chain_entries_recorded"] for s in healthy
+            ),
+            "per_shard": per_shard,
+        }
+
+    @staticmethod
+    def _sub(snapshot: Optional[FleetSnapshot], index: int) -> Optional[Snapshot]:
+        """The per-shard component of a fleet snapshot (None passthrough)."""
+        return None if snapshot is None else snapshot.for_shard(index)
+
+    def write_lock(self, uid: str) -> "threading.RLock":
+        """The owning shard's single-writer lock (read-modify-write).
+
+        Lineage groups are shard-affine, so one shard's lock covers a
+        whole ``apply_membrane_change`` propagation.
+        """
+        return self._owning_shard(uid)._write_lock
+
+    # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
 
@@ -382,15 +466,23 @@ class ShardedDBFS:
         type_name: str,
         predicate: Predicate,
         credential: AccessCredential,
+        snapshot: Optional[FleetSnapshot] = None,
     ) -> List[str]:
-        matches: List[str] = []
-        for index, shard in self._healthy():
+        def one(index: int, shard: DatabaseFS) -> List[str]:
             with self.telemetry.span(
                 "shard.fanout", shard=index, op="select_uids"
             ):
-                matches.extend(
-                    shard.select_uids(type_name, predicate, credential)
+                return shard.select_uids(
+                    type_name, predicate, credential,
+                    snapshot=self._sub(snapshot, index),
                 )
+
+        matches: List[str] = []
+        for per_shard in self._fan([
+            (lambda i=index, s=shard: one(i, s))
+            for index, shard in self._healthy()
+        ]):
+            matches.extend(per_shard)
         return sorted(matches)
 
     def select_uids_where(
@@ -398,6 +490,7 @@ class ShardedDBFS:
         type_name: str,
         predicates: Sequence[Predicate],
         credential: AccessCredential,
+        snapshot: Optional[FleetSnapshot] = None,
     ) -> List[str]:
         """Scatter-gather the planned multi-predicate query.
 
@@ -406,14 +499,21 @@ class ShardedDBFS:
         different driving indexes for the same predicates — and the
         merged result preserves the single-DBFS order.
         """
-        matches: List[str] = []
-        for index, shard in self._healthy():
+        def one(index: int, shard: DatabaseFS) -> List[str]:
             with self.telemetry.span(
                 "shard.fanout", shard=index, op="select_uids_where"
             ):
-                matches.extend(
-                    shard.select_uids_where(type_name, predicates, credential)
+                return shard.select_uids_where(
+                    type_name, predicates, credential,
+                    snapshot=self._sub(snapshot, index),
                 )
+
+        matches: List[str] = []
+        for per_shard in self._fan([
+            (lambda i=index, s=shard: one(i, s))
+            for index, shard in self._healthy()
+        ]):
+            matches.extend(per_shard)
         return sorted(matches)
 
     def explain(
@@ -452,7 +552,8 @@ class ShardedDBFS:
     def store(self, request: StoreRequest, credential: AccessCredential) -> PDRef:
         index = self._store_shard_index(request)
         ref = self._shard_at(index).store(request, credential)
-        self._uid_shard[ref.uid] = index
+        with self._uid_lock:
+            self._uid_shard[ref.uid] = index
         return ref
 
     def store_many(
@@ -469,7 +570,8 @@ class ShardedDBFS:
         with self._fleet_group(sorted(set(placements))):
             for request, index in zip(requests, placements):
                 ref = self._shards[index].store(request, credential)
-                self._uid_shard[ref.uid] = index
+                with self._uid_lock:
+                    self._uid_shard[ref.uid] = index
                 refs.append(ref)
         for index in sorted(set(placements)):
             self._shards[index].stats.bulk_stores += 1
@@ -492,10 +594,18 @@ class ShardedDBFS:
         on any subset of shards — by then no uncommitted marker
         exists anywhere, so recovery leaves it alone.
         """
-        shards = [(index, self._shard_at(index)) for index in indexes]
+        shards = [(index, self._shard_at(index)) for index in sorted(indexes)]
         with ExitStack() as stack:
-            # Holds enter first so they release last: the unwind
-            # commits every shard's batch, *then* lets checkpoints run.
+            # Writer locks first, in ascending shard order: every
+            # fleet group acquires the same way, so two concurrent
+            # groups can contend but never deadlock, and single-shard
+            # mutators (which take their shard's lock end to end)
+            # cannot interleave into the group commit.
+            for _, shard in shards:
+                stack.enter_context(shard._write_lock)
+            # Holds enter next so they release after the batches: the
+            # unwind commits every shard's batch, *then* lets
+            # checkpoints run.
             for _, shard in shards:
                 stack.enter_context(shard.journal.hold_checkpoints())
             for _, shard in shards:
@@ -520,39 +630,66 @@ class ShardedDBFS:
     # ------------------------------------------------------------------
 
     def query_membranes(
-        self, query: MembraneQuery, credential: AccessCredential
+        self,
+        query: MembraneQuery,
+        credential: AccessCredential,
+        snapshot: Optional[FleetSnapshot] = None,
     ) -> List[Tuple[PDRef, Membrane]]:
         if query.subject_id:
             # Subject-scoped: only the owning shard can hold matches,
             # but the type must still fail loudly if undeclared.
             self.get_type(query.pd_type)
-            shard = self.shard_for_subject(query.subject_id)
-            return shard.query_membranes(query, credential)
+            index = self.shard_index_for_subject(query.subject_id)
+            return self._shard_at(index).query_membranes(
+                query, credential, snapshot=self._sub(snapshot, index)
+            )
         if query.uids is not None:
-            results: List[Tuple[PDRef, Membrane]] = []
-            for index, uids in self._uids_by_shard(query.uids).items():
+            def one_group(index: int, uids: List[str]):
                 sub_query = _dc_replace(query, uids=tuple(uids))
                 with self.telemetry.span(
                     "shard.fanout", shard=index, op="query_membranes"
                 ):
-                    results.extend(
-                        self._shard_at(index).query_membranes(
-                            sub_query, credential
-                        )
+                    return self._shard_at(index).query_membranes(
+                        sub_query, credential,
+                        snapshot=self._sub(snapshot, index),
                     )
+
+            results: List[Tuple[PDRef, Membrane]] = []
+            for per_shard in self._fan([
+                (lambda i=index, u=uids: one_group(i, u))
+                for index, uids in self._uids_by_shard(query.uids).items()
+            ]):
+                results.extend(per_shard)
             results.sort(key=lambda pair: pair[0].uid)
             return results
-        results = []
-        for index, shard in self._healthy():
+
+        def one(index: int, shard: DatabaseFS):
             with self.telemetry.span(
                 "shard.fanout", shard=index, op="query_membranes"
             ):
-                results.extend(shard.query_membranes(query, credential))
+                return shard.query_membranes(
+                    query, credential, snapshot=self._sub(snapshot, index)
+                )
+
+        results = []
+        for per_shard in self._fan([
+            (lambda i=index, s=shard: one(i, s))
+            for index, shard in self._healthy()
+        ]):
+            results.extend(per_shard)
         results.sort(key=lambda pair: pair[0].uid)
         return results
 
-    def get_membrane(self, uid: str, credential: AccessCredential) -> Membrane:
-        return self._owning_shard(uid).get_membrane(uid, credential)
+    def get_membrane(
+        self,
+        uid: str,
+        credential: AccessCredential,
+        snapshot: Optional[FleetSnapshot] = None,
+    ) -> Membrane:
+        index = self._uid_shard.get(uid)
+        shard = self._owning_shard(uid)
+        sub = self._sub(snapshot, index if index is not None else 0)
+        return shard.get_membrane(uid, credential, snapshot=sub)
 
     def put_membrane(
         self, uid: str, membrane: Membrane, credential: AccessCredential
@@ -575,18 +712,29 @@ class ShardedDBFS:
     # ------------------------------------------------------------------
 
     def fetch_records(
-        self, query: DataQuery, credential: AccessCredential
+        self,
+        query: DataQuery,
+        credential: AccessCredential,
+        snapshot: Optional[FleetSnapshot] = None,
     ) -> Dict[str, Dict[str, object]]:
         self._primary()._require_ded(credential, "fetch_records")
-        results: Dict[str, Dict[str, object]] = {}
-        for index, uids in self._uids_by_shard(query.uids).items():
+
+        def one_group(index: int, uids: List[str]):
             sub_query = _dc_replace(query, uids=tuple(uids))
             with self.telemetry.span(
                 "shard.fanout", shard=index, op="fetch_records"
             ):
-                results.update(
-                    self._shard_at(index).fetch_records(sub_query, credential)
+                return self._shard_at(index).fetch_records(
+                    sub_query, credential,
+                    snapshot=self._sub(snapshot, index),
                 )
+
+        results: Dict[str, Dict[str, object]] = {}
+        for per_shard in self._fan([
+            (lambda i=index, u=uids: one_group(i, u))
+            for index, uids in self._uids_by_shard(query.uids).items()
+        ]):
+            results.update(per_shard)
         return results
 
     def _load_record_raw(self, uid: str) -> Dict[str, object]:
@@ -629,10 +777,14 @@ class ShardedDBFS:
         return self.shard_for_subject(subject_id).uids_of_subject(subject_id)
 
     def export_subject(
-        self, subject_id: str, credential: AccessCredential
+        self,
+        subject_id: str,
+        credential: AccessCredential,
+        snapshot: Optional[FleetSnapshot] = None,
     ) -> Dict[str, object]:
-        return self.shard_for_subject(subject_id).export_subject(
-            subject_id, credential
+        index = self.shard_index_for_subject(subject_id)
+        return self._shard_at(index).export_subject(
+            subject_id, credential, snapshot=self._sub(snapshot, index)
         )
 
     # ------------------------------------------------------------------
@@ -646,21 +798,33 @@ class ShardedDBFS:
         return sorted(uids)
 
     def iter_membranes(
-        self, credential: AccessCredential
+        self,
+        credential: AccessCredential,
+        snapshot: Optional[FleetSnapshot] = None,
     ) -> List[Tuple[str, Membrane]]:
         pairs: List[Tuple[str, Membrane]] = []
-        for _, shard in self._healthy():
-            pairs.extend(shard.iter_membranes(credential))
+        for per_shard in self._fan([
+            (lambda i=index, s=shard: s.iter_membranes(
+                credential, snapshot=self._sub(snapshot, i)
+            ))
+            for index, shard in self._healthy()
+        ]):
+            pairs.extend(per_shard)
         pairs.sort(key=lambda pair: pair[0])
         return pairs
 
     def forensic_scan(self, needle: bytes) -> Dict[str, int]:
-        totals = {"device_blocks": 0, "journal_records": 0}
-        for index, shard in self._healthy():
+        def one(index: int, shard: DatabaseFS) -> Dict[str, int]:
             with self.telemetry.span(
                 "shard.fanout", shard=index, op="forensic_scan"
             ):
-                counts = shard.forensic_scan(needle)
+                return shard.forensic_scan(needle)
+
+        totals = {"device_blocks": 0, "journal_records": 0}
+        for counts in self._fan([
+            (lambda i=index, s=shard: one(i, s))
+            for index, shard in self._healthy()
+        ]):
             totals["device_blocks"] += counts["device_blocks"]
             totals["journal_records"] += counts["journal_records"]
         return totals

@@ -1,0 +1,189 @@
+"""Open-loop workload driver: Poisson arrivals, honest tail latency.
+
+A *closed-loop* driver (issue an op, wait, issue the next) hides
+queueing: when the system slows down, the driver slows down with it,
+and the measured latencies stay flattering.  An *open-loop* driver
+fires requests on a schedule drawn from the workload's arrival
+process regardless of how the system is doing — if the system cannot
+keep up, requests queue and their measured latency grows.  That is
+the property that makes p99 numbers honest (the "coordinated
+omission" pitfall), and it is how the concurrency benchmark drives
+the request engine.
+
+Mechanics:
+
+* :func:`open_loop_arrivals` draws seeded exponential inter-arrival
+  gaps (a Poisson process at ``rate`` ops/s), so two runs with the
+  same seed replay the identical schedule;
+* :class:`OpenLoopDriver` sleeps until each scheduled arrival, then
+  either executes the task inline (serial baseline) or submits it to
+  the request engine; **latency is measured from the scheduled
+  arrival to completion**, so time spent waiting for admission or in
+  the purpose-fair queue counts against the system, exactly as a real
+  client would experience it;
+* :class:`OpenLoopResult` carries the latency sample and derives
+  p50/p95/p99 by nearest-rank on the sorted sample.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import errors
+
+
+def open_loop_arrivals(
+    rate: float, count: int, seed: int = 0
+) -> List[float]:
+    """Seeded Poisson arrival offsets (seconds from driver start)."""
+    if rate <= 0:
+        raise errors.RgpdOSError(
+            f"open-loop arrival rate must be > 0 ops/s, got {rate}"
+        )
+    rng = Random(seed)
+    offsets: List[float] = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        offsets.append(t)
+    return offsets
+
+
+def nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(round(q / 100.0 * len(sorted_values) + 0.5)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class OpenLoopResult:
+    """Outcome of one open-loop run."""
+
+    target_rate: float
+    operations: int
+    wall_seconds: float
+    completed: int
+    failed: int
+    #: Scheduled-arrival -> completion, seconds, one entry per
+    #: completed op (ascending after finalisation).
+    latencies_s: List[float] = field(default_factory=list)
+    op_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Completed ops per wall-clock second."""
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def offered_rate(self) -> float:
+        """Ops offered per second (equals target when the driver kept up)."""
+        return (
+            self.operations / self.wall_seconds if self.wall_seconds else 0.0
+        )
+
+    def percentile_ms(self, q: float) -> float:
+        return nearest_rank(self.latencies_s, q) * 1000.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "target_rate_ops_s": self.target_rate,
+            "operations": self.operations,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "completed": self.completed,
+            "failed": self.failed,
+            "throughput_ops_s": round(self.throughput, 3),
+            "p50_ms": round(self.percentile_ms(50), 3),
+            "p95_ms": round(self.percentile_ms(95), 3),
+            "p99_ms": round(self.percentile_ms(99), 3),
+            "max_ms": round(
+                (self.latencies_s[-1] * 1000.0) if self.latencies_s else 0.0, 3
+            ),
+            "op_counts": dict(sorted(self.op_counts.items())),
+        }
+
+
+class OpenLoopDriver:
+    """Replays a task list at a target arrival rate.
+
+    ``submit`` is a callable taking a zero-argument task and returning
+    a Future (the request engine's ``submit``/``try_submit`` partial);
+    ``None`` executes tasks inline on the driver thread — the serial
+    baseline arm.  Note that with a blocking ``submit`` the engine's
+    admission bound backpressures the arrival process itself; the
+    resulting lag still lands in the measured latency because the
+    clock for each op starts at its *scheduled* arrival.
+    """
+
+    def __init__(
+        self,
+        submit: Optional[Callable[[Callable[[], object]], object]] = None,
+    ) -> None:
+        self.submit = submit
+
+    def run(
+        self,
+        tasks: Sequence[Callable[[], object]],
+        rate: float,
+        seed: int = 0,
+        op_names: Optional[Sequence[str]] = None,
+    ) -> OpenLoopResult:
+        arrivals = open_loop_arrivals(rate, len(tasks), seed)
+        latencies: List[float] = []
+        lock = threading.Lock()
+        failures = [0]
+        pending: List[object] = []
+        op_counts: Dict[str, int] = {}
+        if op_names is not None:
+            for name in op_names:
+                op_counts[name] = op_counts.get(name, 0) + 1
+
+        start = time.perf_counter()
+        for task, scheduled in zip(tasks, arrivals):
+            now = time.perf_counter() - start
+            if scheduled > now:
+                time.sleep(scheduled - now)
+            if self.submit is None:
+                try:
+                    task()
+                except Exception:  # noqa: BLE001 - counted, not masked
+                    with lock:
+                        failures[0] += 1
+                else:
+                    done = time.perf_counter() - start
+                    with lock:
+                        latencies.append(done - scheduled)
+                continue
+            future = self.submit(task)
+
+            def record(fut, scheduled=scheduled):  # noqa: ANN001
+                done = time.perf_counter() - start
+                with lock:
+                    if fut.exception() is None:
+                        latencies.append(done - scheduled)
+                    else:
+                        failures[0] += 1
+
+            future.add_done_callback(record)
+            pending.append(future)
+
+        for future in pending:
+            future.exception()  # block until done; don't re-raise here
+        wall = time.perf_counter() - start
+        with lock:
+            sample = sorted(latencies)
+            failed = failures[0]
+        return OpenLoopResult(
+            target_rate=rate,
+            operations=len(tasks),
+            wall_seconds=wall,
+            completed=len(sample),
+            failed=failed,
+            latencies_s=sample,
+            op_counts=op_counts,
+        )

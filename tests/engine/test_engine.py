@@ -1,0 +1,263 @@
+"""Unit tests for the concurrent request engine and its fair queue.
+
+The engine is deliberately small — worker threads draining a
+purpose-fair queue plus a scatter pool for shard fan-out — so these
+tests pin down the contract rather than implementation detail:
+admission control bounds in-flight work, shedding is explicit,
+failures propagate through futures, and round-robin over purposes
+holds whenever more than one purpose has queued work.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import errors
+from repro.engine import RequestEngine
+from repro.kernel.scheduler import PurposeFairQueue
+from repro.obs import Telemetry
+
+
+class TestPurposeFairQueue:
+    def test_fifo_within_single_purpose(self):
+        q = PurposeFairQueue()
+        for i in range(5):
+            q.push("p1", i)
+        assert [q.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_round_robin_across_purposes(self):
+        q = PurposeFairQueue()
+        # A burst on p1 must not starve p2/p3: drain order alternates.
+        for i in range(4):
+            q.push("p1", f"a{i}")
+        q.push("p2", "b0")
+        q.push("p3", "c0")
+        drained = [q.pop() for _ in range(6)]
+        # p2 and p3 each get a slot before p1's burst finishes.
+        assert drained.index("b0") < 4
+        assert drained.index("c0") < 4
+        assert [x for x in drained if x.startswith("a")] == [
+            "a0", "a1", "a2", "a3",
+        ]
+
+    def test_push_returns_total_depth(self):
+        q = PurposeFairQueue()
+        assert q.push("p1", "x") == 1
+        assert q.push("p2", "y") == 2
+        assert len(q) == 2
+
+    def test_depths_reports_per_purpose(self):
+        q = PurposeFairQueue()
+        q.push("p1", 1)
+        q.push("p1", 2)
+        q.push("p2", 3)
+        assert q.depths() == {"p1": 2, "p2": 1}
+        q.pop()
+        assert sum(q.depths().values()) == 2
+
+    def test_pop_empty_with_timeout_returns_none(self):
+        q = PurposeFairQueue()
+        start = time.monotonic()
+        assert q.pop(timeout=0.01) is None
+        assert time.monotonic() - start < 1.0
+
+    def test_closed_queue_rejects_push_but_drains(self):
+        q = PurposeFairQueue()
+        q.push("p1", "queued-before-close")
+        q.close()
+        with pytest.raises(errors.KernelError):
+            q.push("p1", "late")
+        # Close is a lid on the top, not a drain plug: queued work
+        # still comes out, then pop reports exhaustion with None.
+        assert q.pop() == "queued-before-close"
+        assert q.pop() is None
+        assert q.closed
+
+    def test_pop_wakes_on_close(self):
+        q = PurposeFairQueue()
+        results = []
+
+        def blocker():
+            results.append(q.pop(timeout=5.0))
+
+        thread = threading.Thread(target=blocker)
+        thread.start()
+        time.sleep(0.05)
+        q.close()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+
+class TestRequestEngine:
+    def test_submit_returns_future_with_result(self):
+        with RequestEngine(workers=2) as engine:
+            future = engine.submit(lambda: 40 + 2)
+            assert future.result(timeout=5.0) == 42
+
+    def test_exception_propagates_through_future(self):
+        with RequestEngine(workers=1) as engine:
+            future = engine.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(timeout=5.0)
+            engine.drain(timeout=5.0)
+            assert engine.stats.failed == 1
+
+    def test_parallel_submissions_all_complete(self):
+        with RequestEngine(workers=4) as engine:
+            futures = [
+                engine.submit(lambda i=i: i * i) for i in range(50)
+            ]
+            assert [f.result(timeout=5.0) for f in futures] == [
+                i * i for i in range(50)
+            ]
+            assert engine.drain(timeout=5.0)
+            assert engine.stats.completed == 50
+            assert engine.stats.failed == 0
+            assert engine.in_flight == 0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(errors.KernelError):
+            RequestEngine(workers=0)
+        with pytest.raises(errors.KernelError):
+            RequestEngine(workers=2, max_in_flight=0)
+
+    def test_submit_without_start_raises(self):
+        engine = RequestEngine(workers=1)
+        with pytest.raises(errors.KernelError):
+            engine.submit(lambda: None)
+
+    def test_try_submit_sheds_when_saturated(self):
+        release = threading.Event()
+        with RequestEngine(workers=1, max_in_flight=2) as engine:
+            blocked = [engine.submit(release.wait) for _ in range(2)]
+            # in_flight == max_in_flight: shedding, not blocking.
+            assert engine.try_submit(lambda: "shed me") is None
+            assert engine.stats.shed == 1
+            release.set()
+            for future in blocked:
+                future.result(timeout=5.0)
+            assert engine.drain(timeout=5.0)
+            # Capacity is back: try_submit admits again.
+            future = engine.try_submit(lambda: "admitted")
+            assert future is not None
+            assert future.result(timeout=5.0) == "admitted"
+
+    def test_submit_blocks_until_capacity(self):
+        release = threading.Event()
+        admitted_late = threading.Event()
+        with RequestEngine(workers=1, max_in_flight=1) as engine:
+            first = engine.submit(release.wait)
+
+            def oversubscribe():
+                engine.submit(lambda: None)
+                admitted_late.set()
+
+            blocked = threading.Thread(target=oversubscribe)
+            blocked.start()
+            # The submitter is parked on admission control, not running.
+            assert not admitted_late.wait(timeout=0.1)
+            release.set()
+            first.result(timeout=5.0)
+            assert admitted_late.wait(timeout=5.0)
+            blocked.join(timeout=5.0)
+            assert engine.drain(timeout=5.0)
+
+    def test_purpose_fairness_under_single_worker(self):
+        order = []
+        lock = threading.Lock()
+        hold = threading.Event()
+
+        def mark(tag):
+            with lock:
+                order.append(tag)
+
+        with RequestEngine(workers=1, max_in_flight=16) as engine:
+            # Park the lone worker so the queue builds up fully.
+            engine.submit(hold.wait)
+            for i in range(3):
+                engine.submit(mark, f"bulk-{i}", purpose="analytics")
+            engine.submit(mark, "rtbf", purpose="erasure")
+            hold.set()
+            assert engine.drain(timeout=5.0)
+        # The erasure request does not wait out the analytics burst.
+        assert order.index("rtbf") <= 1
+
+    def test_scatter_preserves_order_and_runs_all(self):
+        with RequestEngine(workers=2) as engine:
+            results = engine.scatter(
+                [lambda i=i: i * 10 for i in range(8)]
+            )
+            assert results == [i * 10 for i in range(8)]
+
+    def test_scatter_single_task_runs_inline(self):
+        engine = RequestEngine(workers=1)
+        # No start(): a single-element scatter must not need the pool.
+        assert engine.scatter([lambda: "inline"]) == ["inline"]
+
+    def test_stats_and_as_dict(self):
+        telemetry = Telemetry()
+        with RequestEngine(workers=2, telemetry=telemetry) as engine:
+            for i in range(10):
+                engine.submit(lambda: None, purpose="p1")
+            assert engine.drain(timeout=5.0)
+            snapshot = engine.as_dict()
+        assert snapshot["workers"] == 2
+        assert snapshot["stats"]["submitted"] == 10
+        assert snapshot["stats"]["completed"] == 10
+        assert snapshot["stats"]["peak_in_flight"] >= 1
+        assert snapshot["queue_depth"] == 0
+
+    def test_stop_is_idempotent_and_drains_queue(self):
+        engine = RequestEngine(workers=2).start()
+        futures = [engine.submit(lambda i=i: i) for i in range(20)]
+        engine.stop()
+        engine.stop()
+        # Everything admitted before stop still ran to completion.
+        assert sorted(f.result(timeout=1.0) for f in futures) == list(
+            range(20)
+        )
+        assert not engine.running
+
+
+class TestSystemEngineIntegration:
+    def test_invoke_async_requires_running_engine(self, populated):
+        system, alice, bob = populated
+        with pytest.raises(errors.GDPRError):
+            system.invoke_async("compute_age", target=alice)
+
+    def test_invoke_async_matches_serial_invoke(self, populated):
+        import tests.helpers as helpers
+
+        system, alice, bob = populated
+        system.register(helpers.compute_age)
+        serial = system.invoke("compute_age", target=alice)
+        system.start_engine(workers=2)
+        try:
+            future = system.invoke_async("compute_age", target=alice)
+            concurrent = future.result(timeout=5.0)
+            # A second invocation produces a fresh age_pd record, so
+            # refs differ; everything the DED decided must match.
+            assert concurrent.values == serial.values
+            assert concurrent.executed == serial.executed
+            assert concurrent.denied == serial.denied
+            assert [ref.pd_type for ref in concurrent.produced] == [
+                ref.pd_type for ref in serial.produced
+            ]
+            stats = system.stats()
+            assert stats["engine"]["stats"]["completed"] >= 1
+            assert "mvcc" in stats["engine"]
+        finally:
+            system.stop_engine()
+        assert "engine" not in system.stats()
+
+    def test_start_engine_is_idempotent_while_running(self, system):
+        system.start_engine(workers=2)
+        try:
+            engine = system.engine
+            system.start_engine(workers=8)
+            assert system.engine is engine
+            assert system.engine.workers == 2
+        finally:
+            system.stop_engine()

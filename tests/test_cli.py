@@ -65,6 +65,52 @@ class TestCommands:
         ) == 0
         assert "rgpdos" in capsys.readouterr().out
 
+    def test_gdprbench_with_workers(self, capsys):
+        assert main(
+            ["gdprbench", "--records", "8", "--ops", "12", "--workers",
+             "2", "--shards", "2", "--personas", "customer", "processor"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rgpdos-2shard-2w" in out
+        assert "completed=24" in out
+        assert "failed=0" in out
+
+    def test_gdprbench_open_loop(self, capsys):
+        assert main(
+            ["gdprbench", "--records", "8", "--ops", "10", "--workers",
+             "2", "--arrival-rate", "200", "--personas", "regulator"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "p99_ms" in out
+        assert "regulator" in out
+
+    def test_demo_with_workers(self, capsys):
+        assert main(["demo", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[engine: 2 workers]" in out
+        assert "COMPLIANT" in out
+        assert "failed=0" in out
+
+    def test_stats_with_workers_reports_engine(self, capsys):
+        import json
+
+        assert main(["stats", "--workers", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        engine = report["stats"]["engine"]
+        assert engine["workers"] == 2
+        assert engine["queue_depth"] == 0
+        assert engine["in_flight"] == 0
+        assert engine["stats"]["completed"] >= 1
+        assert "mvcc" in engine
+
+    def test_stats_prometheus_has_engine_gauges(self, capsys):
+        assert main(
+            ["stats", "--workers", "2", "--format", "prometheus"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro_engine_queue_depth" in out
+        assert "repro_engine_in_flight" in out
+
 
 class TestExplainCommand:
     def test_indexed_plan(self, capsys):
