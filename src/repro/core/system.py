@@ -388,13 +388,16 @@ class RgpdOS:
             )
         processing = self.ps._processings.get(processing_name)
         lane = processing.purpose.name if processing is not None else "default"
-        return self.engine.submit(
-            self.ps.ps_invoke,
-            processing_name,
-            target=target,
-            purpose=lane,
-            **kwargs,
-        )
+
+        # Bind the invocation in a closure instead of spreading kwargs
+        # through submit(): submit consumes a ``purpose`` kwarg as the
+        # fairness lane, and a caller kwarg literally named "purpose"
+        # (plausible for a GDPR processing) must reach ps_invoke, not
+        # collide with the lane and raise TypeError.
+        def _invoke() -> object:
+            return self.ps.ps_invoke(processing_name, target=target, **kwargs)
+
+        return self.engine.submit(_invoke, purpose=lane)
 
     # ------------------------------------------------------------------
     # Compliance & time

@@ -161,7 +161,12 @@ class RequestEngine:
         purpose: str = DEFAULT_LANE,
         **kwargs: object,
     ) -> "Future[object]":
-        """Enqueue a request; blocks while the in-flight bound is hit."""
+        """Enqueue a request; blocks while the in-flight bound is hit.
+
+        ``purpose`` names the fairness lane and is consumed here; to
+        pass a keyword literally named ``purpose`` to ``fn``, bind it
+        first (``functools.partial`` or a closure).
+        """
         if not self._running:
             raise errors.KernelError(
                 f"request engine {self.name!r} is not running"
@@ -197,7 +202,18 @@ class RequestEngine:
             self.stats.peak_in_flight, self._in_flight
         )
         self._gauge_in_flight.set(self._in_flight)
-        depth = self._queue.push(purpose, (future, fn, args, kwargs))
+        try:
+            depth = self._queue.push(purpose, (future, fn, args, kwargs))
+        except errors.KernelError:
+            # submit() raced stop(): the queue closed between the
+            # running check and the push.  Roll back the admission —
+            # no worker will ever run this request, so a leaked
+            # _in_flight count would block drain() forever.
+            self._in_flight -= 1
+            self.stats.submitted -= 1
+            self._gauge_in_flight.set(self._in_flight)
+            self._can_admit.notify_all()
+            raise
         self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, depth)
         self._gauge_queue.set(depth)
         return future

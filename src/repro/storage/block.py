@@ -248,8 +248,17 @@ class BlockDevice:
             # Realize the device wait outside the lock: the sleep
             # releases the GIL, so parallel readers overlap here.
             time.sleep(self.read_latency * self.io_delay_scale)
-        data = self._blocks[block_no]
-        self._cache_insert(block_no, data)
+        # Fetch and cache in ONE critical section: a write()/scrub()/
+        # free() landing during the unlocked wait above must not have
+        # its cache update or invalidation overwritten by this reader
+        # re-inserting pre-mutation bytes.  Fetching under the lock
+        # means the inserted copy always matches the medium at insert
+        # time, and freed blocks are never (re-)cached at all — the
+        # erasure invariant ("invalidated, never served stale") holds.
+        with self._lock:
+            data = self._blocks[block_no]
+            if block_no < self._watermark and block_no not in self._freed_set:
+                self._cache_insert(block_no, data)
         if hist is not None:
             hist.observe(time.perf_counter_ns() - start)
         return data

@@ -1071,6 +1071,12 @@ class DatabaseFS:
         old_json = self._membrane_json_cache.peek(uid)
         if old_json is MISSING:
             old_json = self.inodes.read_payload(inode_no).decode()
+        # Pre-register the publish: from here until stamp_membrane
+        # commits, the new JSON is (or is about to be) live in the
+        # inode and caches, and any snapshot — already active or
+        # beginning inside this window — must keep resolving the old
+        # consent state through the chain, not the live structures.
+        self.mvcc.prepare_membrane(uid, old_json)  # type: ignore[arg-type]
         self.inodes.rewrite_scrubbed(inode_no, encoded.encode())
         # Write-through invariant: both membrane caches are refreshed
         # (or dropped) in the same step that rewrites the inode, so a

@@ -61,6 +61,11 @@ class MVCCState:
         self._begin: Dict[str, int] = {}
         #: uid -> [(from_version, membrane_json), ...] ascending.
         self._chains: Dict[str, List[Tuple[int, str]]] = {}
+        #: uid -> pre-mutation JSON for an in-flight membrane publish
+        #: (prepare_membrane() called, stamp_membrane() not yet).  A
+        #: snapshot beginning inside that window seeds the chain from
+        #: here so it never reads the half-published new state.
+        self._pending: Dict[str, str] = {}
         self.snapshots_taken = 0
         self.chain_entries_recorded = 0
 
@@ -88,6 +93,24 @@ class MVCCState:
                 self._begin[uid] = self._version
             return self._version
 
+    def prepare_membrane(self, uid: str, old_json: str) -> None:
+        """Pre-register a membrane publish before it becomes visible.
+
+        The writer calls this *before* rewriting the inode and the
+        live caches with the new JSON.  It seeds the uid's chain with
+        the pre-mutation state while any snapshot is active, and parks
+        ``old_json`` in the pending map so a snapshot that *begins*
+        during the publish window (new JSON live, commit not stamped)
+        is seeded by :meth:`begin_snapshot` — without this, such a
+        reader would find no chain entry and fall through to the
+        half-published live state.  The matching :meth:`stamp_membrane`
+        clears the pending entry.
+        """
+        with self._lock:
+            self._pending[uid] = old_json
+            if self._active and uid not in self._chains:
+                self._chains[uid] = [(self._begin.get(uid, 0), old_json)]
+
     def stamp_membrane(self, uid: str, old_json: Optional[str],
                        new_json: str) -> int:
         """Commit a membrane mutation, chaining the old state if needed.
@@ -101,6 +124,7 @@ class MVCCState:
         """
         with self._lock:
             self._version += 1
+            self._pending.pop(uid, None)
             if self._active or uid in self._chains:
                 chain = self._chains.get(uid)
                 if chain is None:
@@ -120,6 +144,13 @@ class MVCCState:
             self.snapshots_taken += 1
             version = self._version
             self._active[version] = self._active.get(version, 0) + 1
+            # Membrane publishes may be in flight (prepare_membrane
+            # ran, stamp_membrane has not): seed their chains so this
+            # snapshot reads the pre-publish consent state instead of
+            # the already-live new JSON.
+            for uid, old_json in self._pending.items():
+                if uid not in self._chains:
+                    self._chains[uid] = [(self._begin.get(uid, 0), old_json)]
             return version
 
     def release_snapshot(self, version: int) -> None:
@@ -139,8 +170,14 @@ class MVCCState:
     # -- reads -----------------------------------------------------------
 
     def visible(self, uid: str, snapshot_version: int) -> bool:
-        """Was ``uid`` stored at or before ``snapshot_version``?"""
-        begin = self._begin.get(uid)
+        """Was ``uid`` stored at or before ``snapshot_version``?
+
+        Taken under the MVCC lock: writers mutate ``_begin`` under it,
+        and relying on GIL dict atomicity would break on free-threaded
+        builds.  The critical section is a single dict probe.
+        """
+        with self._lock:
+            begin = self._begin.get(uid)
         return begin is None or begin <= snapshot_version
 
     def membrane_json_as_of(self, uid: str,
@@ -150,17 +187,23 @@ class MVCCState:
         Walks the uid's chain backwards for the last entry whose
         from_version is ``<= snapshot_version``; no chain means the
         membrane has not changed since before every active snapshot.
+        The walk runs under the MVCC lock — stamp_membrane replaces
+        and appends chains under it, and a reader iterating a chain
+        mid-construction without the lock is only safe by the GIL.
+        Chains are short (mutations during active snapshots), so the
+        critical section stays tiny.
         """
-        chain = self._chains.get(uid)
-        if not chain:
-            return None
-        for from_version, membrane_json in reversed(chain):
-            if from_version <= snapshot_version:
-                return membrane_json
-        # Chain exists but every entry postdates the snapshot — the
-        # record itself was stored after the snapshot began; callers
-        # filter those out via visible() before asking for membranes.
-        return chain[0][1]
+        with self._lock:
+            chain = self._chains.get(uid)
+            if not chain:
+                return None
+            for from_version, membrane_json in reversed(chain):
+                if from_version <= snapshot_version:
+                    return membrane_json
+            # Chain exists but every entry postdates the snapshot — the
+            # record itself was stored after the snapshot began; callers
+            # filter those out via visible() before asking for membranes.
+            return chain[0][1]
 
     def as_dict(self) -> Dict[str, object]:
         with self._lock:

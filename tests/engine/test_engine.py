@@ -209,6 +209,22 @@ class TestRequestEngine:
         assert snapshot["stats"]["peak_in_flight"] >= 1
         assert snapshot["queue_depth"] == 0
 
+    def test_submit_racing_stop_rolls_back_admission(self):
+        engine = RequestEngine(workers=1).start()
+        try:
+            # Simulate the submit-vs-stop race: the queue closes after
+            # submit's running check but before the push.
+            engine._queue.close()
+            with pytest.raises(errors.KernelError):
+                engine.submit(lambda: None)
+            # The failed admission was rolled back: no leaked
+            # in-flight count, so drain() returns immediately.
+            assert engine.in_flight == 0
+            assert engine.stats.submitted == 0
+            assert engine.drain(timeout=1.0)
+        finally:
+            engine.stop()
+
     def test_stop_is_idempotent_and_drains_queue(self):
         engine = RequestEngine(workers=2).start()
         futures = [engine.submit(lambda i=i: i) for i in range(20)]
@@ -251,6 +267,30 @@ class TestSystemEngineIntegration:
         finally:
             system.stop_engine()
         assert "engine" not in system.stats()
+
+    def test_invoke_async_forwards_purpose_kwarg(self, populated):
+        # submit() consumes `purpose` as the fairness lane; a caller
+        # kwarg literally named purpose (plausible for a GDPR
+        # processing) must still reach ps_invoke unchanged.
+        system, alice, bob = populated
+        captured = {}
+
+        def spy(name, target=None, **kwargs):
+            captured.update(kwargs)
+            return "invoked"
+
+        original = system.ps.ps_invoke
+        system.ps.ps_invoke = spy
+        system.start_engine(workers=1)
+        try:
+            future = system.invoke_async(
+                "compute_age", target=alice, purpose="custom"
+            )
+            assert future.result(timeout=5.0) == "invoked"
+            assert captured["purpose"] == "custom"
+        finally:
+            system.stop_engine()
+            system.ps.ps_invoke = original
 
     def test_start_engine_is_idempotent_while_running(self, system):
         system.start_engine(workers=2)

@@ -166,6 +166,46 @@ class TestPageCache:
         assert device.read(block) == b"y"
         assert device.stats.cache_hits == 1
 
+    def test_miss_refill_does_not_resurrect_scrubbed_bytes(self, monkeypatch):
+        """A scrub landing inside a reader's miss window must win.
+
+        The reader realizes its device wait outside the lock; a scrub
+        (or write/free) in that window invalidates the cache, and the
+        reader must not re-insert the pre-scrub bytes afterwards —
+        that would serve erased PD from cache indefinitely.
+        """
+        from repro.storage import block as block_mod
+
+        device = BlockDevice(
+            block_count=8, block_size=64, page_cache_blocks=4,
+            io_delay_scale=1.0,
+        )
+        block = device.allocate()
+        device.write(block, b"ALICE-SSN")
+        device.drop_page_cache()  # force the next read to miss
+
+        fired = []
+
+        def scrub_during_wait(_duration):
+            if not fired:  # the scrub's own sleep must not recurse
+                fired.append(True)
+                device.scrub(block)
+
+        monkeypatch.setattr(block_mod.time, "sleep", scrub_during_wait)
+        device.read(block)
+        assert fired
+        assert device.scan_cache(b"ALICE-SSN") == []
+        assert device.read(block) == b""
+
+    def test_read_of_freed_block_is_not_cached(self, device):
+        block = device.allocate()
+        device.write(block, b"SECRET")
+        device.free(block)  # drops the cache entry
+        # The medium keeps the bytes (forensics relies on that), but a
+        # freed block is nobody's data: the read must not re-cache it.
+        assert device.read(block) == b"SECRET"
+        assert block not in device.cached_blocks()
+
     def test_write_through_never_serves_stale_bytes(self, device):
         block = device.allocate()
         device.write(block, b"old")

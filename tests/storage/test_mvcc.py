@@ -103,6 +103,41 @@ class TestMVCCState:
         # Last release pruned the chain: live is the only state left.
         assert state.membrane_json_as_of("pd:x:1", later) is None
 
+    def test_pending_publish_covers_active_snapshot(self):
+        # put_membrane publishes the new JSON to the inode/caches
+        # before stamp_membrane commits; an already-active snapshot
+        # must resolve the old state through the chain in that window.
+        state = MVCCState()
+        version = state.begin_snapshot()
+        state.prepare_membrane("pd:x:1", '{"v": "old"}')
+        assert state.membrane_json_as_of("pd:x:1", version) == '{"v": "old"}'
+        state.stamp_membrane("pd:x:1", '{"v": "old"}', '{"v": "new"}')
+        assert state.membrane_json_as_of("pd:x:1", version) == '{"v": "old"}'
+        state.release_snapshot(version)
+
+    def test_pending_publish_seeds_snapshot_begun_mid_window(self):
+        # A snapshot that BEGINS between prepare and stamp predates
+        # the commit version, so it too must read the old state even
+        # though the live structures already hold the new JSON.
+        state = MVCCState()
+        state.prepare_membrane("pd:x:1", '{"v": "old"}')
+        version = state.begin_snapshot()
+        assert state.membrane_json_as_of("pd:x:1", version) == '{"v": "old"}'
+        state.stamp_membrane("pd:x:1", '{"v": "old"}', '{"v": "new"}')
+        assert state.membrane_json_as_of("pd:x:1", version) == '{"v": "old"}'
+        later = state.begin_snapshot()
+        assert state.membrane_json_as_of("pd:x:1", later) == '{"v": "new"}'
+        state.release_snapshot(version)
+        state.release_snapshot(later)
+
+    def test_pending_publish_leaves_serial_path_unburdened(self):
+        # No snapshot anywhere near the publish: stamp clears the
+        # pending marker and no chain is ever materialized.
+        state = MVCCState()
+        state.prepare_membrane("pd:x:1", '{"v": "old"}')
+        state.stamp_membrane("pd:x:1", '{"v": "old"}', '{"v": "new"}')
+        assert state.as_dict()["membrane_chains"] == 0
+
     def test_release_of_last_snapshot_prunes_everything(self):
         state = MVCCState()
         version = state.begin_snapshot()
