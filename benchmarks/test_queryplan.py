@@ -17,7 +17,8 @@ schema v2):
   record cache off, v1 vs v2.  Gate: v2 at least 25 % faster.
 
 Scale knobs (for the CI smoke job): ``QUERYPLAN_BENCH_SUBJECTS``,
-``QUERYPLAN_BENCH_ROUNDS``, ``QUERYPLAN_BENCH_CODEC_ROWS``.
+``QUERYPLAN_BENCH_ROUNDS``, ``QUERYPLAN_BENCH_CODEC_ROWS``,
+``QUERYPLAN_BENCH_BULK_RECORDS``.
 """
 
 import itertools
@@ -256,7 +257,7 @@ def test_multi_predicate_mix(benchmark, authority):
 
 def test_gdprbench_bulk_decode(benchmark):
     """GDPRBench bulk fetch: v2 partial decode >= 25 % faster than v1."""
-    record_count = max(20, SUBJECTS // 4)
+    record_count = int(os.environ.get("QUERYPLAN_BENCH_BULK_RECORDS", "5000"))
     projection = frozenset({"name", "email", "city", "year_of_birthdate"})
 
     def load(record_codec):

@@ -421,6 +421,9 @@ class RgpdOS:
             "rgpdos.dbfs.deletes": dbfs_stats.deletes,
             "rgpdos.dbfs.denied_accesses": dbfs_stats.denied_accesses,
             "rgpdos.dbfs.shards": self.dbfs.shard_count,
+            "rgpdos.index.page_reads": dbfs_stats.index_page_reads,
+            "rgpdos.index.bloom_hits": dbfs_stats.index_bloom_hits,
+            "rgpdos.index.bloom_skips": dbfs_stats.index_bloom_skips,
             "rgpdos.pd_device.reads": sum(d.stats.reads for d in self.pd_devices),
             "rgpdos.pd_device.writes": sum(d.stats.writes for d in self.pd_devices),
             "rgpdos.pd_device.used_blocks": sum(
@@ -480,6 +483,11 @@ class RgpdOS:
                 "deletes": values["rgpdos.dbfs.deletes"],
                 "denied_accesses": values["rgpdos.dbfs.denied_accesses"],
                 "shards": values["rgpdos.dbfs.shards"],
+            },
+            "indexes": {
+                "page_reads": values["rgpdos.index.page_reads"],
+                "bloom_hits": values["rgpdos.index.bloom_hits"],
+                "bloom_skips": values["rgpdos.index.bloom_skips"],
             },
             "pd_device": {
                 "reads": values["rgpdos.pd_device.reads"],

@@ -263,6 +263,18 @@ class BlockDevice:
             hist.observe(time.perf_counter_ns() - start)
         return data
 
+    def read_view(self, block_no: int) -> memoryview:
+        """Read one block as a :class:`memoryview` (zero-copy slice base).
+
+        Blocks are stored as immutable ``bytes`` objects replaced
+        wholesale on :meth:`write`/:meth:`scrub`, so a view handed out
+        here is a stable snapshot of the block at read time — a later
+        write swaps in a *new* bytes object and cannot mutate bytes a
+        view already references.  Callers (inode extents, the codec's
+        partial decode) slice this view instead of copying.
+        """
+        return memoryview(self.read(block_no))
+
     def write(self, block_no: int, data: bytes) -> None:
         """Write one block; ``data`` must fit in the block size.
 

@@ -98,10 +98,14 @@ def encode_record_v1(record: Dict[str, object]) -> bytes:
 
 
 def decode_record_v1(raw: bytes) -> Dict[str, object]:
-    """Deserialize a v1 JSON payload (empty payload = empty record)."""
+    """Deserialize a v1 JSON payload (empty payload = empty record).
+
+    Accepts any bytes-like object (``memoryview`` from the zero-copy
+    read path included), hence ``str(raw, ...)`` over ``raw.decode()``.
+    """
     if not raw:
         return {}
-    return json.loads(raw.decode(), object_hook=_json_object_hook)
+    return json.loads(str(raw, "utf-8"), object_hook=_json_object_hook)
 
 
 def is_v2_payload(raw: bytes) -> bool:
@@ -267,16 +271,18 @@ def _decode_value(raw: bytes, pos: int) -> object:
         if tag == _TAG_STR:
             (length,) = _U32.unpack_from(raw, pos + 1)
             start = pos + 5
-            return raw[start:start + length].decode("utf-8")
+            # str(buffer, encoding) decodes any bytes-like object, so
+            # memoryview rows from the zero-copy path need no copy here.
+            return str(raw[start:start + length], "utf-8")
         if tag == _TAG_BYTES:
             (length,) = _U32.unpack_from(raw, pos + 1)
             start = pos + 5
-            return raw[start:start + length]
+            return bytes(raw[start:start + length])
         if tag == _TAG_JSON:
             (length,) = _U32.unpack_from(raw, pos + 1)
             start = pos + 5
             return json.loads(
-                raw[start:start + length].decode("utf-8"),
+                str(raw[start:start + length], "utf-8"),
                 object_hook=_json_object_hook,
             )
     except (struct.error, IndexError, UnicodeDecodeError) as exc:

@@ -47,7 +47,14 @@ from ..core.membrane import membrane_for_type
 from .dbfs import DatabaseFS
 from .faults import FaultInjector, FaultPlan, FaultyBlockDevice
 from .journal import JournalConfig
-from .query import DataQuery, DeleteRequest, StoreRequest
+from .query import (
+    DataQuery,
+    DeleteRequest,
+    MembraneQuery,
+    Predicate,
+    StoreRequest,
+    UpdateRequest,
+)
 from .shard import ShardedDBFS
 
 DED = AccessCredential(holder="crashsim", is_ded=True)
@@ -228,6 +235,13 @@ class CrashSim:
         what had already returned."""
         fs.create_type(reference_type(), DED)  # type: ignore[union-attr]
         progress.append("create_type")
+        # Durable field indexes declared up front: every subsequent
+        # store/update/erase rewrites index pages on the device, so the
+        # sweep cuts power inside every index-page write too.
+        fs.create_index("crash_user", "name", DED)  # type: ignore[union-attr]
+        progress.append("index:name")
+        fs.create_index("crash_user", "year", DED)  # type: ignore[union-attr]
+        progress.append("index:year")
         uids[0] = self._store(fs, 0)
         progress.append("store:0")
         uids[1] = self._store(fs, 1)
@@ -239,6 +253,10 @@ class CrashSim:
             uids[2] = self._store(fs, 2)
             uids[3] = self._store(fs, 3)
         progress.append("batch:2,3")
+        fs.update(  # type: ignore[union-attr]
+            UpdateRequest(uid=uids[1], changes={"year": 2001}), DED
+        )
+        progress.append("update:1")
         fs.delete(DeleteRequest(uids[0], mode="erase"), DED)  # type: ignore[union-attr]
         progress.append("erase:0")
         uids[4] = self._store(fs, 4)
@@ -370,6 +388,92 @@ class CrashSim:
             problem = self._readable(recovered, uid0, ERASED_SUBJECT)
             if problem:
                 failures.append(f"subject 0 half-erased: {problem}")
+
+        # 4. durable indexes recovered consistent: lookups agree with
+        # the surviving records and never surface erased or rolled-back
+        # uids (phantoms), and the table bloom never drops a live
+        # subject or invents an unknown one.
+        if "create_type" in completed:
+            failures.extend(
+                self._check_index_consistency(recovered, uids, live)
+            )
+        return failures
+
+    def _check_index_consistency(
+        self, recovered: object, uids: Dict[int, str], live: set
+    ) -> List[str]:
+        failures: List[str] = []
+        for i in range(SUBJECTS):
+            uid = uids.get(i)
+            expect_live = uid is not None and uid in live
+            erased = False
+            if expect_live:
+                try:
+                    erased = recovered.get_membrane(uid, DED).erased  # type: ignore[union-attr]
+                except errors.RgpdOSError:
+                    erased = False
+            try:
+                matches = recovered.select_uids(  # type: ignore[union-attr]
+                    "crash_user", Predicate("name", "eq", name_needle(i)), DED
+                )
+            except errors.RgpdOSError as exc:
+                failures.append(f"index lookup failed after recovery: {exc}")
+                continue
+            if expect_live and not erased:
+                if matches != [uid]:
+                    failures.append(
+                        f"index lookup for subject {i} returned "
+                        f"{matches!r}, expected [{uid!r}]"
+                    )
+                # The record's *current* field values must be indexed
+                # (an update torn either way lands on exactly one side).
+                try:
+                    record = recovered.fetch_records(  # type: ignore[union-attr]
+                        DataQuery(uids=(uid,), fields={uid: ALL_FIELDS}), DED
+                    )[uid]
+                except (errors.RgpdOSError, KeyError):
+                    continue  # unreadable records are reported by check 1/2
+                year_matches = recovered.select_uids(  # type: ignore[union-attr]
+                    "crash_user", Predicate("year", "eq", record["year"]), DED
+                )
+                if uid not in year_matches:
+                    failures.append(
+                        f"subject {i}'s live year {record['year']!r} is "
+                        f"missing from the year index after recovery"
+                    )
+            elif uid is not None and uid in matches:
+                kind = "erased" if erased else "rolled-back"
+                failures.append(
+                    f"phantom uid {uid} for {kind} subject {i} survives "
+                    f"in the index after recovery"
+                )
+            # Bloom correctness: a live subject's membranes stay
+            # findable (no false negative) ...
+            if expect_live:
+                found = recovered.query_membranes(  # type: ignore[union-attr]
+                    MembraneQuery(
+                        pd_type="crash_user",
+                        subject_id=f"crash-subject-{i}",
+                        include_erased=True,
+                    ),
+                    DED,
+                )
+                if not any(ref.uid == uid for ref, _ in found):
+                    failures.append(
+                        f"table bloom dropped live subject {i} after "
+                        f"recovery (false negative)"
+                    )
+        # ... and a never-stored subject resolves to nothing.
+        ghosts = recovered.query_membranes(  # type: ignore[union-attr]
+            MembraneQuery(
+                pd_type="crash_user", subject_id="crash-subject-unseen"
+            ),
+            DED,
+        )
+        if ghosts:
+            failures.append(
+                f"negative subject lookup returned {len(ghosts)} membranes"
+            )
         return failures
 
     # -- trials -------------------------------------------------------------

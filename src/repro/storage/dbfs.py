@@ -60,6 +60,7 @@ import functools
 import itertools
 import json
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -71,7 +72,13 @@ from ..core.datatypes import PDType
 from ..core.membrane import Membrane
 from ..obs import NULL_TELEMETRY, Telemetry
 from .block import BlockDevice, store_bytes
-from .btree import FieldIndex
+from .btree import (
+    DEFAULT_PAGE_CAPACITY,
+    BloomFilter,
+    DurableFieldIndex,
+    FieldIndex,
+    bloom_key,
+)
 from .cache import MISSING, CacheConfig, DEFAULT_CACHE_CONFIG, LRUCache
 from .codec import (
     ENCODING_V1,
@@ -83,10 +90,11 @@ from .codec import (
     encode_record_v1,
     is_v2_payload,
 )
-from .planner import STRATEGY_INDEX, QueryPlan, plan_query
+from .planner import STRATEGY_INDEX, QueryPlan, compile_residual, plan_query
 from .inode import (
     KIND_DIRECTORY,
     KIND_FORMAT,
+    KIND_INDEX,
     KIND_MEMBRANE,
     KIND_RECORD,
     KIND_SUBJECT,
@@ -169,6 +177,28 @@ class DBFSStats:
     full_decodes: int = 0
     partial_decodes: int = 0
     fields_decoded: int = 0
+    index_page_reads: int = 0
+    index_bloom_hits: int = 0
+    index_bloom_skips: int = 0
+
+
+class _StatCounter:
+    """Counter handed to durable indexes: bumps a DBFSStats field and
+    (when telemetry is enabled) the equally-named registry counter, so
+    both benchmarks and ``repro stats`` see the same numbers."""
+
+    __slots__ = ("_stats", "_attr", "_telemetry_counter")
+
+    def __init__(self, stats: DBFSStats, attr: str, telemetry_counter=None):
+        self._stats = stats
+        self._attr = attr
+        self._telemetry_counter = telemetry_counter
+
+    def inc(self, amount: int = 1) -> None:
+        setattr(self._stats, self._attr,
+                getattr(self._stats, self._attr) + amount)
+        if self._telemetry_counter is not None:
+            self._telemetry_counter.inc(amount)
 
 
 class DatabaseFS:
@@ -183,6 +213,9 @@ class DatabaseFS:
         journal_config: Optional[JournalConfig] = None,
         telemetry: Optional[Telemetry] = None,
         record_codec: str = "v2",
+        scan_batch_rows: int = 256,
+        bloom_filters: bool = True,
+        index_page_capacity: int = DEFAULT_PAGE_CAPACITY,
     ) -> None:
         self.cache_config = cache_config if cache_config is not None else DEFAULT_CACHE_CONFIG
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -193,6 +226,12 @@ class DatabaseFS:
         #: Encoding written into *new* format descriptors; existing
         #: tables keep whatever their descriptor negotiated.
         self._record_codec = record_codec
+        #: Rows per chunk on the batched read path; 0 restores the
+        #: row-at-a-time legacy scan (the batching benchmark's baseline).
+        self.scan_batch_rows = scan_batch_rows
+        #: Per-table subject/uid bloom filters gating negative lookups.
+        self.bloom_filters = bloom_filters
+        self._index_page_capacity = index_page_capacity
         self.device = device or BlockDevice(
             page_cache_blocks=self.cache_config.page_cache_blocks,
             telemetry=self.telemetry,
@@ -214,19 +253,49 @@ class DatabaseFS:
         self._subjects_root = self.inodes.allocate(KIND_DIRECTORY)
         self._schema_root = self.inodes.allocate(KIND_DIRECTORY)
         self._formats_root = self.inodes.allocate(KIND_DIRECTORY)
+        # Fourth root: durable field-index pages and persisted bloom
+        # filters hang here, outside the subject/schema trees, so the
+        # reachability sweep and remount can treat them uniformly.
+        self._indexes_root = self.inodes.allocate(KIND_DIRECTORY)
         # Role markers + journal extent let remount_from_device find
         # the trees and the journal from surviving state alone.
         self._subjects_root.attrs["role"] = "subjects-root"
         self._schema_root.attrs["role"] = "schema-root"
         self._formats_root.attrs["role"] = "formats-root"
+        self._indexes_root.attrs["role"] = "indexes-root"
         self._subjects_root.attrs["journal_extent"] = self.journal.extent
 
         self._init_concurrency()
         self._init_volatile()
         self.stats = DBFSStats()
+        self._init_accel_counters()
         #: Crash-reconciliation report of the last remount_from_device
         #: (rolled-back stores, redone erasures, orphan sweeps).
         self.recovery_report: Dict[str, int] = {}
+
+    def _init_accel_counters(self) -> None:
+        """Counters/histograms shared by the accelerator structures.
+
+        Created once per DBFS object (they wrap ``self.stats``, which
+        also lives object-long); the telemetry legs are null objects
+        when telemetry is disabled, so the hot paths never branch.
+        """
+        self._ctr_page_reads = _StatCounter(
+            self.stats, "index_page_reads",
+            self.telemetry.counter("index.page_reads"),
+        )
+        self._ctr_bloom_hits = _StatCounter(
+            self.stats, "index_bloom_hits",
+            self.telemetry.counter("index.bloom_hits"),
+        )
+        self._ctr_bloom_skips = _StatCounter(
+            self.stats, "index_bloom_skips",
+            self.telemetry.counter("index.bloom_skips"),
+        )
+        self._hist_remount = self.telemetry.histogram("dbfs.remount")
+        self._hist_index_attach = self.telemetry.histogram(
+            "dbfs.remount.index_attach"
+        )
 
     def _init_concurrency(self) -> None:
         """Create the two locks the request engine's contract rests on.
@@ -260,8 +329,17 @@ class DatabaseFS:
         # Compiled v2 row codecs, one per live format descriptor (None
         # for v1 tables).  Lives and dies with _format_cache.
         self._codec_cache: Dict[str, Optional[RecordCodec]] = {}
-        # Secondary field indexes: (type, field) -> B-tree index.
-        self._field_indexes: Dict[Tuple[str, str], FieldIndex] = {}
+        # Secondary field indexes: (type, field) -> index.  Values are
+        # DurableFieldIndex (on-device pages) for dbfs-owned indexes;
+        # the in-memory FieldIndex shares the same interface and still
+        # backs direct embedders.
+        self._field_indexes: Dict[Tuple[str, str], object] = {}
+        # Per-table subject/uid bloom filters ("S:<subject>" and
+        # "U:<uid>" keys): definite-absent answers for negative lookups
+        # without touching membranes.  Rebuilt from the trees on
+        # remount; persisted bits (flush_accelerators) are OR-unioned
+        # in, so the filter over-approximates and never false-negatives.
+        self._table_blooms: Dict[str, BloomFilter] = {}
         # Lineage index: copy-group id -> member uids.  Keeps the
         # built-in copy/consent-propagation path O(group) instead of a
         # full membrane scan; rebuilt from membranes on remount.
@@ -351,6 +429,8 @@ class DatabaseFS:
             self._formats_root.number, pd_type.name, format_inode.number
         )
         self._types[pd_type.name] = pd_type
+        if self.bloom_filters:
+            self._table_blooms[pd_type.name] = BloomFilter.sized(4096)
         self._journal_op("create_type", pd_type.name)
 
     @_locked_writer
@@ -500,13 +580,16 @@ class DatabaseFS:
     @_locked_writer
     def create_index(
         self, type_name: str, field_name: str, credential: AccessCredential
-    ) -> FieldIndex:
-        """Build a B-tree index over one field of one type.
+    ) -> DurableFieldIndex:
+        """Build a durable B-tree index over one field of one type.
 
         Sensitive fields are not indexable: their values must never
         leave the separate sensitive inode, and an index would scatter
-        them through its node structure.  Existing records are
-        backfilled.
+        them through its page structure.  Existing records are
+        backfilled into on-device index pages under the indexes root;
+        the declaration lands in the table attrs only once the backfill
+        completed, so a crash mid-build leaves an undeclared (and
+        therefore swept) root rather than a half-populated index.
         """
         self._require_ded(credential, "create_index")
         pd_type = self.get_type(type_name)
@@ -524,22 +607,77 @@ class DatabaseFS:
             raise errors.DBFSError(
                 f"index on {type_name}.{field_name} already exists"
             )
-        index = FieldIndex(type_name=type_name, field_name=field_name)
         table = self.inodes.lookup(self._schema_root.number, type_name)
-        # Persist the index definition so remount can rebuild it.
+        index = self._backfill_index(type_name, field_name)
         declared = table.attrs.setdefault("indexes", [])
         if field_name not in declared:
             declared.append(field_name)
-        for uid in self._table_listing(type_name):
-            membrane = self._load_membrane(uid)
-            if membrane.erased:
-                continue
-            record = self._load_record_raw(uid)
-            if field_name in record:
-                index.add(record[field_name], uid)
-        self._field_indexes[key] = index
         self._journal_op("create_index", f"{type_name}.{field_name}")
         return index
+
+    def _index_kwargs(self) -> Dict[str, object]:
+        """Construction knobs shared by every durable index of this store."""
+        return {
+            "page_capacity": self._index_page_capacity,
+            "page_reads": self._ctr_page_reads,
+            "bloom_hits": self._ctr_bloom_hits,
+            "bloom_skips": self._ctr_bloom_skips,
+        }
+
+    def _backfill_index(
+        self, type_name: str, field_name: str
+    ) -> DurableFieldIndex:
+        """(Re)build one durable index from the live records.
+
+        Any existing root for the pair is dropped first (a crash may
+        have left an incomplete one).  The ``complete`` attr lands only
+        after the last page write — it is the atomic metadata marker
+        attach trusts.
+        """
+        self._drop_index_root(type_name, field_name)
+        index = DurableFieldIndex.create(
+            self.inodes, self._indexes_root.number, type_name, field_name,
+            **self._index_kwargs(),
+        )
+        pairs = []
+        for uid in self._table_listing(type_name):
+            inode = self.inodes.get(self._record_index[uid])
+            if "erased" in inode.attrs:
+                if inode.attrs["erased"]:
+                    continue
+            elif self._load_membrane(uid).erased:  # pre-marker records
+                continue
+            try:
+                record = self._load_record_raw(uid)
+            except errors.ExpiredPDError:
+                continue
+            if field_name in record:
+                pairs.append((record[field_name], uid))
+        index.bulk_build(pairs)
+        self.inodes.get(index.root_no).attrs["complete"] = True
+        with self._index_lock:
+            self._field_indexes[(type_name, field_name)] = index
+        return index
+
+    def _drop_index_root(self, type_name: str, field_name: str) -> None:
+        """Unlink and scrub one durable index tree (pages hold PD values).
+
+        Unlink-before-free ordering: once the root leaves the indexes
+        root's children the whole tree is unreachable, so a crash
+        mid-scrub leaves debris the recovery sweeps finish off.
+        """
+        name = f"{type_name}.{field_name}"
+        root_no = self._indexes_root.children.get(name)
+        if root_no is None:
+            return
+        root = self.inodes.get(root_no)
+        self.inodes.unlink_child(self._indexes_root.number, name)
+        for child_name in list(root.children):
+            child_no = root.children[child_name]
+            self.inodes.unlink_child(root_no, child_name)
+            if self.inodes.exists(child_no):
+                self.inodes.free(child_no, scrub=True)
+        self.inodes.free(root_no, scrub=True)
 
     def has_index(self, type_name: str, field_name: str) -> bool:
         return (type_name, field_name) in self._field_indexes
@@ -617,24 +755,111 @@ class DatabaseFS:
         predicate: Predicate,
         snapshot: Optional[Snapshot] = None,
     ) -> List[str]:
+        if not self.scan_batch_rows:
+            # Legacy row-at-a-time scan (kept as the batching
+            # benchmark's baseline, selected with scan_batch_rows=0).
+            matches = []
+            for uid in self._table_listing(type_name):
+                if snapshot is not None and not self.mvcc.visible(
+                    uid, snapshot.version
+                ):
+                    continue
+                membrane = self._load_membrane(uid)
+                if membrane.erased:
+                    continue
+                try:
+                    record = self._load_record_raw(uid)
+                except errors.ExpiredPDError:
+                    # Erased by a concurrent writer between the membrane
+                    # check and the payload read — skip, same as erased.
+                    continue
+                if predicate.evaluate(record):
+                    matches.append(uid)
+            return matches
+        evaluate = compile_residual((predicate,))
         matches = []
-        for uid in self._table_listing(type_name):
-            if snapshot is not None and not self.mvcc.visible(
-                uid, snapshot.version
-            ):
-                continue
-            membrane = self._load_membrane(uid)
-            if membrane.erased:
-                continue
-            try:
-                record = self._load_record_raw(uid)
-            except errors.ExpiredPDError:
-                # Erased by a concurrent writer between the membrane
-                # check and the payload read — skip, same as erased.
-                continue
-            if predicate.evaluate(record):
-                matches.append(uid)
+        for rows in self._iter_live_batches(
+            type_name, self._table_listing(type_name),
+            (predicate.field_name,), snapshot,
+        ):
+            matches.extend(uid for uid, record in rows if evaluate(record))
         return matches
+
+    def _iter_live_batches(
+        self,
+        type_name: str,
+        uids: Sequence[str],
+        fields: Sequence[str],
+        snapshot: Optional[Snapshot] = None,
+    ) -> Iterator[List[Tuple[str, Dict[str, object]]]]:
+        """Yield ``(uid, projected_record)`` rows in visibility-filtered
+        chunks of ``scan_batch_rows``.
+
+        This is the zero-copy batched read path: per chunk, MVCC
+        visibility is answered in one lock acquisition
+        (:meth:`MVCCState.visible_many`), then each live row is read as
+        a :class:`memoryview` straight off its block
+        (``read_payload_view``) and partially decoded to just
+        ``fields`` through the v2 offset table.  Erasure is decided
+        from the record inode's ``erased`` attr — no membrane loads on
+        the scan path.  The sensitive sibling inode is only touched
+        when a wanted field is sensitive; v1 straggler rows fall back
+        to the cached full decode.
+        """
+        wanted = frozenset(fields)
+        codec = self._codec_of(type_name)
+        sensitive_wanted: FrozenSet[str] = frozenset()
+        if codec is not None:
+            fmt = self._format_of(type_name)
+            sensitive_wanted = wanted.intersection(fmt["sensitive_fields"])
+        batch_rows = max(1, self.scan_batch_rows)
+        record_cache = self._record_cache
+        record_index = self._record_index
+        inodes = self.inodes
+        for start in range(0, len(uids), batch_rows):
+            chunk = uids[start:start + batch_rows]
+            if snapshot is not None:
+                chunk = self.mvcc.visible_many(chunk, snapshot.version)
+            rows: List[Tuple[str, Dict[str, object]]] = []
+            for uid in chunk:
+                inode_no = record_index.get(uid)
+                if inode_no is None:
+                    continue
+                inode = inodes.get(inode_no)
+                if "erased" in inode.attrs:
+                    if inode.attrs["erased"]:
+                        continue
+                elif self._load_membrane(uid).erased:  # pre-marker records
+                    continue
+                cached = record_cache.get(uid)
+                if cached is not MISSING:
+                    rows.append((
+                        uid,
+                        {k: v for k, v in cached.items() if k in wanted},  # type: ignore[union-attr]
+                    ))
+                    continue
+                raw = inodes.read_payload_view(inode_no)
+                if not len(raw):
+                    continue  # erase's scrub half ran; mark in flight
+                if codec is not None and is_v2_payload(raw):
+                    record = codec.decode_fields(raw, wanted)
+                    if sensitive_wanted:
+                        sensitive_no = inode.attrs.get("sensitive_inode")
+                        if sensitive_no is not None:
+                            record.update(codec.decode_fields(
+                                inodes.read_payload_view(sensitive_no),
+                                sensitive_wanted,
+                            ))
+                    self.stats.partial_decodes += 1
+                    self.stats.fields_decoded += len(record)
+                else:
+                    try:
+                        full = self._load_record_raw(uid)
+                    except errors.ExpiredPDError:
+                        continue
+                    record = {k: v for k, v in full.items() if k in wanted}
+                rows.append((uid, record))
+            yield rows
 
     # ------------------------------------------------------------------
     # Planned multi-predicate selection
@@ -718,61 +943,101 @@ class DatabaseFS:
         fields_needed = plan.fields_needed
         partial_before = self.stats.partial_decodes
         full_before = self.stats.full_decodes
+        batched = bool(self.scan_batch_rows)
+        evaluate = compile_residual(plan.residual)
         if plan.strategy == STRATEGY_INDEX:
             with self._index_lock:
                 index = self._field_indexes[(plan.type_name, plan.index_field)]
             candidates = self._select_indexed(index, plan.index_predicate)
             if snapshot is not None:
-                candidates = [
-                    uid for uid in candidates
-                    if self.mvcc.visible(uid, snapshot.version)
-                ]
+                candidates = self.mvcc.visible_many(
+                    candidates, snapshot.version
+                )
             if not plan.residual:
                 return candidates  # index holds live records only
             # Residual filtering: decode just the residual fields of
             # each candidate (the index already proved liveness and the
-            # driving predicate).
+            # driving predicate), a batch at a time on the zero-copy
+            # read path.
             with self.telemetry.span(
                 "dbfs.decode", rows=len(candidates),
                 fields=list(fields_needed),
             ) as span:
                 matches = []
-                for uid in candidates:
-                    try:
-                        record = self._load_record_fields(uid, fields_needed)
-                    except errors.ExpiredPDError:
-                        continue  # erased by a concurrent writer
-                    if all(p.evaluate(record) for p in plan.residual):
-                        matches.append(uid)
+                if batched:
+                    for rows in self._iter_live_batches(
+                        plan.type_name, candidates, fields_needed
+                    ):
+                        matches.extend(
+                            uid for uid, record in rows if evaluate(record)
+                        )
+                else:
+                    for uid in candidates:
+                        try:
+                            record = self._load_record_fields(
+                                uid, fields_needed
+                            )
+                        except errors.ExpiredPDError:
+                            continue  # erased by a concurrent writer
+                        if evaluate(record):
+                            matches.append(uid)
                 span.set_attrs(
                     partial_decodes=self.stats.partial_decodes - partial_before,
                     full_decodes=self.stats.full_decodes - full_before,
                 )
             return matches
         # Scan strategy: every live row, partial-decoded to the union
-        # of the predicate fields; the conjunction short-circuits on
-        # the first failing predicate.
+        # of the predicate fields; the compiled residual rejects rows
+        # batch by batch.
         matches = []
         listing = self._table_listing(plan.type_name)
         with self.telemetry.span(
             "dbfs.decode", rows=len(listing), fields=list(fields_needed),
         ) as span:
-            for uid in listing:
-                if snapshot is not None and not self.mvcc.visible(
-                    uid, snapshot.version
+            if batched and not plan.residual:
+                # No residual: liveness + visibility only, no payloads.
+                batch_rows = max(1, self.scan_batch_rows)
+                for start in range(0, len(listing), batch_rows):
+                    chunk = listing[start:start + batch_rows]
+                    if snapshot is not None:
+                        chunk = self.mvcc.visible_many(
+                            chunk, snapshot.version
+                        )
+                    for uid in chunk:
+                        inode_no = self._record_index.get(uid)
+                        if inode_no is None:
+                            continue
+                        attrs = self.inodes.get(inode_no).attrs
+                        if "erased" in attrs:
+                            if attrs["erased"]:
+                                continue
+                        elif self._load_membrane(uid).erased:
+                            continue
+                        matches.append(uid)
+            elif batched:
+                for rows in self._iter_live_batches(
+                    plan.type_name, listing, fields_needed, snapshot
                 ):
-                    continue
-                if self._load_membrane(uid).erased:
-                    continue
-                if not plan.residual:
-                    matches.append(uid)
-                    continue
-                try:
-                    record = self._load_record_fields(uid, fields_needed)
-                except errors.ExpiredPDError:
-                    continue  # erased by a concurrent writer
-                if all(p.evaluate(record) for p in plan.residual):
-                    matches.append(uid)
+                    matches.extend(
+                        uid for uid, record in rows if evaluate(record)
+                    )
+            else:
+                for uid in listing:
+                    if snapshot is not None and not self.mvcc.visible(
+                        uid, snapshot.version
+                    ):
+                        continue
+                    if self._load_membrane(uid).erased:
+                        continue
+                    if not plan.residual:
+                        matches.append(uid)
+                        continue
+                    try:
+                        record = self._load_record_fields(uid, fields_needed)
+                    except errors.ExpiredPDError:
+                        continue  # erased by a concurrent writer
+                    if evaluate(record):
+                        matches.append(uid)
             span.set_attrs(
                 partial_decodes=self.stats.partial_decodes - partial_before,
                 full_decodes=self.stats.full_decodes - full_before,
@@ -813,6 +1078,25 @@ class DatabaseFS:
             for (indexed_type, field_name), index in self._field_indexes.items():
                 if indexed_type == type_name and field_name in record:
                     index.remove(record[field_name], uid)
+
+    def _unindex_uid(self, uid: str) -> int:
+        """Drop every index entry for ``uid`` without knowing its values.
+
+        Crash-repair path: a rolled-back store or an interrupted
+        update/erase may have left entries whose values recovery cannot
+        (or must not) decode, so each of the type's indexes sweeps its
+        own pages for the uid — which also recomputes the entry
+        checksums exactly, healing any crash drift.
+        """
+        parts = uid.split(":")
+        type_name = parts[1] if len(parts) >= 3 else None
+        dropped = 0
+        with self._index_lock:
+            for (indexed_type, _), index in self._field_indexes.items():
+                if type_name is not None and indexed_type != type_name:
+                    continue
+                dropped += index.remove_uid(uid)
+        return dropped
 
     # ------------------------------------------------------------------
     # Store
@@ -869,6 +1153,11 @@ class DatabaseFS:
             )
             record_inode.attrs["uid"] = uid
             record_inode.attrs["pd_type"] = pd_type.name
+            # Lineage + erasure markers ride the metadata plane so
+            # remount and the batched scan path never load a membrane
+            # just to answer "is this row live / in which copy group".
+            record_inode.attrs["lineage"] = membrane.lineage
+            record_inode.attrs["erased"] = False
 
             if sensitive:
                 sensitive_inode = self.inodes.allocate(KIND_RECORD)
@@ -905,6 +1194,10 @@ class DatabaseFS:
                 self._record_cache.put(uid, dict(request.record))
                 self._listing_cache.pop(pd_type.name, None)
                 self._index_record(pd_type.name, uid, request.record)
+                bloom = self._table_blooms.get(pd_type.name)
+                if bloom is not None:
+                    bloom.add(bloom_key("S:" + membrane.subject_id))
+                    bloom.add(bloom_key("U:" + uid))
                 if membrane.lineage:
                     self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
         except BaseException:
@@ -985,6 +1278,23 @@ class DatabaseFS:
         ) as span:
             hits_before = self.stats.membrane_cache_hits
             self.stats.membrane_queries += 1
+            if query.subject_id and query.uids is None:
+                # Per-table bloom gate: a definite-absent subject skips
+                # the whole listing walk (and every membrane load with
+                # it).  The filter only over-approximates — stores add
+                # keys before committing and remount rebuilds it from
+                # the trees — so a "no" is always correct, including
+                # under any snapshot: a subject invisible to the bloom
+                # never had records at any version.
+                bloom = self._table_blooms.get(query.pd_type)
+                if bloom is not None:
+                    if not bloom.might_contain(
+                        bloom_key("S:" + query.subject_id)
+                    ):
+                        self._ctr_bloom_skips.inc()
+                        span.set_attrs(matched=0, cache_hits=0)
+                        return []
+                    self._ctr_bloom_hits.inc()
             results: List[Tuple[PDRef, Membrane]] = []
             for uid in self._candidate_uids(query):
                 if snapshot is not None and not self.mvcc.visible(
@@ -1087,6 +1397,13 @@ class DatabaseFS:
             self._membrane_cache.put(uid, membrane)
         else:
             self._membrane_cache.invalidate(uid)
+        # Keep the record inode's metadata markers in step with the
+        # membrane (put_membrane is the single membrane-persist path).
+        record_no = self._record_index.get(uid)
+        if record_no is not None:
+            record_attrs = self.inodes.get(record_no).attrs
+            record_attrs["lineage"] = membrane.lineage
+            record_attrs["erased"] = membrane.erased
         if membrane.lineage:
             with self._index_lock:
                 self._lineage_index.setdefault(membrane.lineage, set()).add(uid)
@@ -1176,8 +1493,8 @@ class DatabaseFS:
         inode = self.inodes.get(inode_no)
         type_name = inode.attrs.get("pd_type")
         codec = self._codec_of(type_name) if type_name else None
-        raw = self.inodes.read_payload(inode_no)
-        if not raw:
+        raw = self.inodes.read_payload_view(inode_no)
+        if not len(raw):
             # A live record always has a non-empty payload; an empty
             # one means an erase's scrub half has run (its membrane
             # mark may still be in flight on another thread).
@@ -1188,7 +1505,7 @@ class DatabaseFS:
         sensitive_no = inode.attrs.get("sensitive_inode")
         if sensitive_no is not None:
             record.update(
-                decode_any(self.inodes.read_payload(sensitive_no), codec)
+                decode_any(self.inodes.read_payload_view(sensitive_no), codec)
             )
         self.stats.full_decodes += 1
         self._record_cache.put(uid, dict(record))
@@ -1222,7 +1539,7 @@ class DatabaseFS:
         if codec is None:  # v1 table: no partial decode exists
             full = self._load_record_raw(uid)
             return {k: v for k, v in full.items() if k in wanted}
-        raw = self.inodes.read_payload(inode_no)
+        raw = self.inodes.read_payload_view(inode_no)
         if not is_v2_payload(raw):  # pre-upgrade v1 straggler row
             full = self._load_record_raw(uid)
             return {k: v for k, v in full.items() if k in wanted}
@@ -1233,7 +1550,7 @@ class DatabaseFS:
             if wanted.intersection(fmt["sensitive_fields"]):
                 record.update(
                     codec.decode_fields(
-                        self.inodes.read_payload(sensitive_no), wanted
+                        self.inodes.read_payload_view(sensitive_no), wanted
                     )
                 )
         self.stats.partial_decodes += 1
@@ -1258,42 +1575,61 @@ class DatabaseFS:
         if membrane.erased:
             raise errors.ErasureError(f"cannot update erased PD {request.uid!r}")
         pd_type = self.get_type(membrane.pd_type)
-        record = self._load_record_raw(request.uid)
-        self._unindex_record(pd_type.name, request.uid, record)
+        old_record = self._load_record_raw(request.uid)
+        record = dict(old_record)
         record.update(request.changes)
+        # Validate before any mutation: a rejected update must leave
+        # indexes and row extents exactly as they were.
         pd_type.validate(record)
-        self._index_record(pd_type.name, request.uid, record)
 
-        fmt = self._format_of(pd_type.name)
-        inode_no = self._record_index[request.uid]
-        inode = self.inodes.get(inode_no)
-        public = {k: v for k, v in record.items() if k in fmt["public_fields"]}
-        sensitive = {
-            k: v for k, v in record.items() if k in fmt["sensitive_fields"]
-        }
-        # Re-encoding with the *current* negotiated codec also migrates
-        # pre-upgrade v1 rows to binary-v2 on their next update.
-        self.inodes.rewrite_scrubbed(
-            inode_no, self._encode_payload(pd_type.name, public)
-        )
-        sensitive_no = inode.attrs.get("sensitive_inode")
-        if sensitive_no is not None:
+        # WAL, intent-before-apply: index page writes and the row
+        # rewrites below all mutate durable state, so the
+        # "update:<uid>" intent lands first.  A crash mid-apply leaves
+        # the intent uncommitted and recovery re-derives the uid's
+        # index entries from whichever row state survived the cut.
+        self.journal.begin()
+        self.journal.log_op("update", request.uid)
+        try:
+            self._unindex_record(pd_type.name, request.uid, old_record)
+            self._index_record(pd_type.name, request.uid, record)
+
+            fmt = self._format_of(pd_type.name)
+            inode_no = self._record_index[request.uid]
+            inode = self.inodes.get(inode_no)
+            public = {
+                k: v for k, v in record.items() if k in fmt["public_fields"]
+            }
+            sensitive = {
+                k: v for k, v in record.items() if k in fmt["sensitive_fields"]
+            }
+            # Re-encoding with the *current* negotiated codec also
+            # migrates pre-upgrade v1 rows to binary-v2 on their next
+            # update.
             self.inodes.rewrite_scrubbed(
-                sensitive_no, self._encode_payload(pd_type.name, sensitive)
+                inode_no, self._encode_payload(pd_type.name, public)
             )
-        elif sensitive:
-            sensitive_inode = self.inodes.allocate(KIND_RECORD)
-            self.inodes.write_payload(
-                sensitive_inode.number,
-                self._encode_payload(pd_type.name, sensitive),
-            )
-            sensitive_inode.attrs["sensitive"] = True
-            inode.attrs["sensitive_inode"] = sensitive_inode.number
-        # Write-through: the cache holds the post-update record, never
-        # the pre-update one.
-        self._record_cache.put(request.uid, dict(record))
+            sensitive_no = inode.attrs.get("sensitive_inode")
+            if sensitive_no is not None:
+                self.inodes.rewrite_scrubbed(
+                    sensitive_no, self._encode_payload(pd_type.name, sensitive)
+                )
+            elif sensitive:
+                sensitive_inode = self.inodes.allocate(KIND_RECORD)
+                self.inodes.write_payload(
+                    sensitive_inode.number,
+                    self._encode_payload(pd_type.name, sensitive),
+                )
+                sensitive_inode.attrs["sensitive"] = True
+                inode.attrs["sensitive_inode"] = sensitive_inode.number
+            # Write-through: the cache holds the post-update record,
+            # never the pre-update one.
+            self._record_cache.put(request.uid, dict(record))
+        except BaseException:
+            if not self.journal.in_batch:
+                self.journal.abort()
+            raise
         self.stats.updates += 1
-        self._journal_op("update", request.uid)
+        self.journal.commit()
         self.mvcc.commit()
 
     def delete(self, request: DeleteRequest, credential: AccessCredential) -> Membrane:
@@ -1321,7 +1657,6 @@ class DatabaseFS:
             raise errors.ErasureError(f"PD {request.uid!r} is already erased")
         record = self._load_record_raw(request.uid)
         inode = self.inodes.get(self._record_index[request.uid])
-        self._unindex_record(membrane.pd_type, request.uid, record)
 
         op = "delete"
         if request.mode == "escrow":
@@ -1360,6 +1695,12 @@ class DatabaseFS:
         # is detectable from tree state alone — see _crash_recover.)
         with self.journal.hold_checkpoints():
             self._journal_op(op, request.uid)
+            # Index entries are PD values too; dropping them rewrites
+            # durable pages (scrubbing the old extents).  This runs
+            # *after* the intent so a crash mid-unindex rolls forward:
+            # recovery redoes the whole erase, index sweep included —
+            # entries are destroyed, never resurrected.
+            self._unindex_record(membrane.pd_type, request.uid, record)
             self._scrub_record(request.uid, request.mode)
         membrane = self._finish_erase(request.uid, credential)
         self.stats.deletes += 1
@@ -1429,7 +1770,11 @@ class DatabaseFS:
     def _apply_erase(
         self, uid: str, mode: str, credential: AccessCredential
     ) -> Membrane:
-        """Redo a whole erase (scrub + membrane mark) during recovery."""
+        """Redo a whole erase (index sweep + scrub + membrane mark)
+        during recovery.  The uid sweep replaces the live path's exact
+        unindex — the record's values may already be scrubbed, so each
+        durable index drops the uid from its own pages instead."""
+        self._unindex_uid(uid)
         self._scrub_record(uid, mode)
         return self._finish_erase(uid, credential)
 
@@ -1782,6 +2127,7 @@ class DatabaseFS:
         cut use :meth:`remount_from_device`, which also reconciles
         half-applied operations against the journal.
         """
+        start_ns = time.perf_counter_ns()
         self._init_volatile()
 
         # 0. Journal recovery: re-read the committed log from the
@@ -1795,6 +2141,7 @@ class DatabaseFS:
         counts = self._rebuild_trees()
         counts["field_indexes"] = self._rebuild_field_indexes()
         self._journal_op("remount", f"records={counts['records']}")
+        self._hist_remount.observe(time.perf_counter_ns() - start_ns)
         return counts
 
     @classmethod
@@ -1807,6 +2154,9 @@ class DatabaseFS:
         journal_config: Optional[JournalConfig] = None,
         telemetry: Optional[Telemetry] = None,
         record_codec: str = "v2",
+        scan_batch_rows: int = 256,
+        bloom_filters: bool = True,
+        index_page_capacity: int = DEFAULT_PAGE_CAPACITY,
     ) -> "DatabaseFS":
         """True-crash remount: a fresh DBFS over surviving state only.
 
@@ -1847,6 +2197,9 @@ class DatabaseFS:
         # tables keep the encoding their format descriptor negotiated,
         # and rows are auto-detected per row either way.
         fs._record_codec = record_codec
+        fs.scan_batch_rows = scan_batch_rows
+        fs.bloom_filters = bloom_filters
+        fs._index_page_capacity = index_page_capacity
         fs.device = device
         device.drop_page_cache()
         fs.inodes = inodes
@@ -1866,6 +2219,13 @@ class DatabaseFS:
         fs._subjects_root = roots["subjects-root"]
         fs._schema_root = roots["schema-root"]
         fs._formats_root = roots["formats-root"]
+        indexes_root = roots.get("indexes-root")
+        if indexes_root is None:
+            # Volume predates durable indexes: create the fourth root
+            # so the attach path and future flushes have a home.
+            indexes_root = inodes.allocate(KIND_DIRECTORY)
+            indexes_root.attrs["role"] = "indexes-root"
+        fs._indexes_root = indexes_root
 
         extent = fs._subjects_root.attrs.get("journal_extent")
         if not extent:
@@ -1879,7 +2239,10 @@ class DatabaseFS:
         fs._init_concurrency()
         fs._init_volatile()
         fs.stats = DBFSStats()
+        fs._init_accel_counters()
+        start_ns = time.perf_counter_ns()
         fs.recovery_report = fs._crash_recover()
+        fs._hist_remount.observe(time.perf_counter_ns() - start_ns)
         return fs
 
     def _crash_recover(self) -> Dict[str, int]:
@@ -1889,7 +2252,8 @@ class DatabaseFS:
         itself has recovered (torn tail truncated, counters restored)
         and before the store serves any request.
         """
-        # Intent records: ("store" | "erase" | "escrow", uid, committed).
+        # Intent records:
+        # ("store" | "update" | "erase" | "escrow", uid, committed).
         all_records = list(self.journal.records())
         committed_txns = {
             r.txn_id for r in all_records if r.record_type == TXN_COMMIT
@@ -1902,6 +2266,8 @@ class DatabaseFS:
             target = record.target
             if target.startswith("store:"):
                 intents.append(("store", target[len("store:"):], committed))
+            elif target.startswith("update:"):
+                intents.append(("update", target[len("update:"):], committed))
             elif target.startswith("delete-escrow:"):
                 intents.append(
                     ("escrow", target[len("delete-escrow:"):], committed)
@@ -1916,6 +2282,19 @@ class DatabaseFS:
         for op, uid, committed in intents:
             if op == "store" and not committed:
                 rolled_back += self._rollback_store(uid)
+
+        # 1b. Bind the durable field indexes before the O(records)
+        # tree rebuild — attach is pure inode metadata (O(#indexes),
+        # no page reads, no dependence on tree state), which is what
+        # keeps remount cost flat in table size; the erase redo below
+        # needs them live so its uid sweep reaches the pages.
+        # Backfills for missing/incomplete roots are deferred until
+        # erasure reconciliation marked every erased membrane.
+        attach_start = time.perf_counter_ns()
+        attached, pending_backfills = self._attach_field_indexes()
+        self._hist_index_attach.observe(
+            time.perf_counter_ns() - attach_start
+        )
 
         counts = self._rebuild_trees()
 
@@ -1932,7 +2311,7 @@ class DatabaseFS:
         # just discard their staged ciphertext.
         committed_erases: Dict[str, str] = {}
         for op, uid, committed in intents:
-            if op != "store" and committed:
+            if op in ("erase", "escrow") and committed:
                 committed_erases[uid] = "escrow" if op == "escrow" else "erase"
         ded = AccessCredential(holder="crash-recovery", is_ded=True)
         redone = 0
@@ -1963,13 +2342,43 @@ class DatabaseFS:
             elif has_staging:
                 inode.attrs.pop("escrow_staging", None)
 
-        # 3. Field indexes rebuild only now: erased membranes are all
-        # marked, so the backfill never decodes an escrow ciphertext.
-        counts["field_indexes"] = self._rebuild_field_indexes()
+        # 3. Index reconciliation.  Uncommitted intents may have torn
+        # durable page writes mid-flight: a rolled-back store leaves
+        # its entries behind, an interrupted update or (group-batched)
+        # erase leaves a live record partially unindexed.  Every such
+        # uid gets a page sweep; live records are then re-indexed from
+        # their surviving row state, so the durable index converges on
+        # exactly the live trees.
+        repaired = 0
+        repair_uids = sorted({
+            uid for op, uid, committed in intents if not committed
+        })
+        for uid in repair_uids:
+            self._unindex_uid(uid)
+            record_no = self._record_index.get(uid)
+            if record_no is None:
+                continue  # rolled back (or later erased): entries stay gone
+            inode = self.inodes.get(record_no)
+            if inode.attrs.get("erased") or inode.size == 0:
+                continue
+            try:
+                record = self._load_record_raw(uid)
+            except errors.ExpiredPDError:
+                continue
+            type_name = inode.attrs.get("pd_type")
+            if isinstance(type_name, str):
+                self._index_record(type_name, uid, record)
+                repaired += 1
 
-        # 4. Residue sweeps: rollbacks and interrupted shadow-writes
+        # 4. Deferred backfills only now: erased membranes are all
+        # marked, so a rebuild never decodes an escrow ciphertext.
+        for type_name, field_name in pending_backfills:
+            self._backfill_index(type_name, field_name)
+        counts["field_indexes"] = attached + len(pending_backfills)
+
+        # 5. Residue sweeps: rollbacks and interrupted shadow-writes
         # leave unreachable inodes / unreferenced blocks whose bytes
-        # may be PD.  Scrub them all.
+        # may be PD (index pages included).  Scrub them all.
         orphan_inodes = self._free_unreachable_inodes()
         orphan_blocks = self._scrub_orphan_blocks()
 
@@ -1977,8 +2386,10 @@ class DatabaseFS:
         return {
             "records": counts["records"],
             "types": counts["types"],
+            "field_indexes": counts["field_indexes"],
             "rolled_back_stores": rolled_back,
             "redone_erasures": redone,
+            "index_repairs": repaired,
             "orphan_inodes": orphan_inodes,
             "orphan_blocks": orphan_blocks,
             "torn_records": self.journal.stats.torn_records,
@@ -1993,8 +2404,15 @@ class DatabaseFS:
             )
             self._types[type_name] = PDType.from_description(description)
 
-        # 2. Subject tree → record/membrane/lineage indexes + escrow.
+        # 2. Subject tree → record/membrane/lineage indexes + escrow +
+        # per-table blooms.  One metadata pass: lineage and erasure
+        # ride the record inode's attrs (maintained by store and
+        # put_membrane), so no membrane payload is read here — that is
+        # what keeps this walk cheap at 50k records.  Records written
+        # before the markers existed self-heal: their membrane is read
+        # once and the attrs are stamped for every later remount.
         recovered_records = 0
+        bloom_keys: Dict[str, List[str]] = {}
         for subject_id, subject_no in sorted(
             self._subjects_root.children.items()
         ):
@@ -2008,11 +2426,15 @@ class DatabaseFS:
                     )
                 self._record_index[uid] = record_no
                 self._membrane_index[uid] = membrane_no
-                membrane = self._load_membrane(uid)
-                if membrane.lineage:
-                    self._lineage_index.setdefault(
-                        membrane.lineage, set()
-                    ).add(uid)
+                if "lineage" in record_inode.attrs:
+                    lineage = record_inode.attrs["lineage"]
+                else:
+                    membrane = self._load_membrane(uid)
+                    lineage = membrane.lineage
+                    record_inode.attrs["lineage"] = lineage
+                    record_inode.attrs["erased"] = membrane.erased
+                if lineage:
+                    self._lineage_index.setdefault(lineage, set()).add(uid)
                 envelope = record_inode.attrs.get("escrow_envelope")
                 if envelope is not None:
                     self._escrow_blobs[uid] = EscrowBlob(
@@ -2022,7 +2444,16 @@ class DatabaseFS:
                         tag=bytes.fromhex(envelope["tag"]),
                         key_fingerprint=envelope["key_fingerprint"],
                     )
+                if self.bloom_filters:
+                    type_name = record_inode.attrs.get("pd_type")
+                    if isinstance(type_name, str):
+                        bloom_keys.setdefault(type_name, []).extend(
+                            ("S:" + subject_id, "U:" + uid)
+                        )
                 recovered_records += 1
+
+        if self.bloom_filters:
+            self._rebuild_table_blooms(bloom_keys)
 
         return {
             "types": len(self._types),
@@ -2032,17 +2463,151 @@ class DatabaseFS:
         }
 
     def _rebuild_field_indexes(self) -> int:
-        """Declared field indexes (definitions live in table attrs)."""
-        rebuilt = 0
-        ded = AccessCredential(holder="remount", is_ded=True)
+        """Declared field indexes: attach durable roots, backfill strays.
+
+        Attaching a complete durable root is O(pages-metadata), not
+        O(records) — page payloads stay on the device until a lookup
+        touches them, which is what keeps remount cost flat in table
+        size.  A declared index whose root is missing or incomplete
+        (crash mid-``create_index``) is rebuilt from the table.
+        """
+        attach_start = time.perf_counter_ns()
+        attached, pending = self._attach_field_indexes()
+        self._hist_index_attach.observe(time.perf_counter_ns() - attach_start)
+        for type_name, field_name in pending:
+            self._backfill_index(type_name, field_name)
+        return attached + len(pending)
+
+    def _attach_field_indexes(self) -> Tuple[int, List[Tuple[str, str]]]:
+        """Attach every declared, complete durable index root.
+
+        Returns ``(attached, pending)`` where ``pending`` lists declared
+        indexes needing a backfill (root missing or its ``complete``
+        marker never landed).  Undeclared roots — a crash after the
+        root linked but before the declaration committed — are swept:
+        the declaration is the source of truth, so an undeclared root
+        must not serve lookups and its pages are scrub-freed.
+        """
+        attached = 0
+        pending: List[Tuple[str, str]] = []
+        declared_keys = set()
         for type_name, table_no in sorted(self._schema_root.children.items()):
             table = self.inodes.get(table_no)
-            declared = list(table.attrs.get("indexes", []))
-            table.attrs["indexes"] = []  # create_index re-records each
-            for field_name in declared:
-                self.create_index(type_name, field_name, ded)
-                rebuilt += 1
-        return rebuilt
+            for field_name in table.attrs.get("indexes", []):
+                key = (type_name, field_name)
+                declared_keys.add(key)
+                root_no = self._indexes_root.children.get(
+                    f"{type_name}.{field_name}"
+                )
+                if root_no is not None and self.inodes.get(root_no).attrs.get(
+                    "complete"
+                ):
+                    index = DurableFieldIndex.attach(
+                        self.inodes, root_no, **self._index_kwargs()
+                    )
+                    with self._index_lock:
+                        self._field_indexes[key] = index
+                    attached += 1
+                else:
+                    pending.append(key)
+        for child_name in sorted(self._indexes_root.children):
+            child = self.inodes.get(self._indexes_root.children[child_name])
+            if child.attrs.get("role") != "field-index":
+                continue
+            key = (child.attrs.get("type"), child.attrs.get("field"))
+            if key not in declared_keys:
+                self._drop_index_root(*key)
+        return attached, pending
+
+    def _rebuild_table_blooms(
+        self, keys_by_type: Dict[str, List[str]]
+    ) -> None:
+        """Seed per-table blooms from the live tree walk, then union
+        any persisted ``<type>.__bloom__`` snapshot whose geometry
+        matches.  The tree walk is authoritative (a bloom rebuilt from
+        live records alone can never produce a false negative); the
+        persisted bits only *widen* the filter, so a stale or torn
+        snapshot degrades precision, never correctness.  Snapshots for
+        dropped types are scrub-freed.
+        """
+        for type_name in self._types:
+            keys = keys_by_type.get(type_name, [])
+            bloom = BloomFilter.sized(max(256, len(keys)))
+            for key in keys:
+                bloom.add(bloom_key(key))
+            self._table_blooms[type_name] = bloom
+        for child_name in sorted(self._indexes_root.children):
+            child_no = self._indexes_root.children[child_name]
+            child = self.inodes.get(child_no)
+            if child.attrs.get("role") != "table-bloom":
+                continue
+            type_name = child.attrs.get("type")
+            if type_name not in self._types:
+                self.inodes.unlink_child(
+                    self._indexes_root.number, child_name
+                )
+                self.inodes.free(child_no, scrub=True)
+                continue
+            try:
+                persisted = BloomFilter.from_bytes(
+                    int(child.attrs["m"]),
+                    int(child.attrs["k"]),
+                    self.inodes.read_payload(child_no),
+                    stale=bool(child.attrs.get("stale", False)),
+                )
+            except (errors.StorageError, KeyError, ValueError, TypeError):
+                continue
+            live = self._table_blooms[type_name]
+            if persisted.m_bits == live.m_bits and persisted.k == live.k:
+                live.union(persisted)
+
+    @_locked_writer
+    def flush_accelerators(self) -> int:
+        """Persist index pages and table-bloom snapshots to the device.
+
+        Returns how many accelerators were flushed.  Durable index
+        pages are already written at mutation time; ``flush`` here
+        re-stamps bloom sidecars so a following ``remount_from_device``
+        attaches without rebuilding them.
+        """
+        flushed = 0
+        with self._index_lock:
+            indexes = list(self._field_indexes.values())
+        for index in indexes:
+            flush = getattr(index, "flush", None)
+            if flush is not None:
+                flush()
+                flushed += 1
+        for type_name, bloom in sorted(self._table_blooms.items()):
+            self._persist_table_bloom(type_name, bloom)
+            flushed += 1
+        return flushed
+
+    def _persist_table_bloom(
+        self, type_name: str, bloom: BloomFilter
+    ) -> None:
+        """Write one table bloom to its ``<type>.__bloom__`` sidecar.
+
+        Bits land before the geometry attrs (attrs-over-approximate: a
+        crash between the two leaves attrs describing the *old* bits,
+        which ``from_bytes`` either reads consistently or rejects at
+        the union geometry check — never a false negative).
+        """
+        child_name = f"{type_name}.__bloom__"
+        child_no = self._indexes_root.children.get(child_name)
+        if child_no is None:
+            child = self.inodes.allocate(KIND_INDEX)
+            child.attrs["role"] = "table-bloom"
+            child.attrs["type"] = type_name
+            self.inodes.link_child(
+                self._indexes_root.number, child_name, child.number
+            )
+            child_no = child.number
+        self.inodes.rewrite_scrubbed(child_no, bloom.to_bytes())
+        child = self.inodes.get(child_no)
+        child.attrs["m"] = bloom.m_bits
+        child.attrs["k"] = bloom.k
+        child.attrs["stale"] = bloom.stale
 
     def rollback_stores(self, uids: Sequence[str]) -> int:
         """Roll back committed-but-torn cross-shard stores after recovery.
@@ -2059,6 +2624,8 @@ class DatabaseFS:
             self._init_volatile()
             self._rebuild_trees()
             self._rebuild_field_indexes()
+            for uid in uids:
+                self._unindex_uid(uid)
             self._free_unreachable_inodes()
             self._scrub_orphan_blocks()
         return rolled
@@ -2108,7 +2675,7 @@ class DatabaseFS:
         """
         reachable = set()
         for root in (self._subjects_root, self._schema_root,
-                     self._formats_root):
+                     self._formats_root, self._indexes_root):
             for inode in self.inodes.walk(root.number):
                 reachable.add(inode.number)
                 for attr in ("sensitive_inode", "membrane_inode"):

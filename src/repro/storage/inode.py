@@ -35,10 +35,12 @@ KIND_SUBJECT = "subject"      # DBFS: root of one subject's PD subtree
 KIND_RECORD = "record"        # DBFS: one piece of PD
 KIND_MEMBRANE = "membrane"    # DBFS: the membrane wrapped around a record
 KIND_FORMAT = "format"        # DBFS: format descriptor, read once per live session
+KIND_INDEX = "index"          # DBFS: durable field-index root (holds page children)
+KIND_INDEX_PAGE = "index-page"  # DBFS: one sorted run of (value, uid) index entries
 
 _VALID_KINDS = frozenset(
     {KIND_FILE, KIND_DIRECTORY, KIND_TABLE, KIND_SUBJECT, KIND_RECORD,
-     KIND_MEMBRANE, KIND_FORMAT}
+     KIND_MEMBRANE, KIND_FORMAT, KIND_INDEX, KIND_INDEX_PAGE}
 )
 
 
@@ -60,7 +62,8 @@ class Inode:
 
     def is_tree_node(self) -> bool:
         """Directory-like inodes that may hold children."""
-        return self.kind in (KIND_DIRECTORY, KIND_TABLE, KIND_SUBJECT)
+        return self.kind in (KIND_DIRECTORY, KIND_TABLE, KIND_SUBJECT,
+                             KIND_INDEX)
 
 
 class InodeTable:
@@ -155,6 +158,23 @@ class InodeTable:
     def read_payload(self, number: int) -> bytes:
         inode = self.get(number)
         return load_bytes(self.device, inode.blocks, inode.size)
+
+    def read_payload_view(self, number: int) -> memoryview:
+        """Read an inode's payload without copying when it fits one block.
+
+        Single-extent payloads (the common case for DBFS records and
+        index pages sized to the device geometry) come back as a slice
+        of the block's own immutable bytes — no intermediate ``bytes``
+        is materialized between the device and the codec.  Multi-block
+        payloads still join (one copy), wrapped in a view so callers
+        handle one type.
+        """
+        inode = self.get(number)
+        if not inode.blocks:
+            return memoryview(b"")
+        if len(inode.blocks) == 1:
+            return self.device.read_view(inode.blocks[0])[: inode.size]
+        return memoryview(load_bytes(self.device, inode.blocks, inode.size))
 
     # -- tree operations ----------------------------------------------------
 

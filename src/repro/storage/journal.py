@@ -356,6 +356,15 @@ class Journal:
         txn.records.append(record)
         self._append(record)
 
+    def log_op(self, op: str, target: str) -> None:
+        """Record a metadata-only operation intent as ``"<op>:<target>"``.
+
+        Convenience over :meth:`log_delete` — DBFS intents (store,
+        update, erase, …) are all ``op:uid`` markers with no payload,
+        and recovery parses them back by splitting on the first colon.
+        """
+        self.log_delete(f"{op}:{target}")
+
     def commit(self) -> None:
         """Commit the open transaction (one flush).
 

@@ -19,7 +19,7 @@ scatter-gathers the same planning to every shard.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from .btree import FieldIndex
 from .query import (
@@ -30,6 +30,7 @@ from .query import (
     OP_LT,
     OP_NE,
     Predicate,
+    _OPS,
 )
 
 STRATEGY_INDEX = "index"
@@ -81,6 +82,38 @@ class QueryPlan:
             "fields_decoded": list(self.fields_needed),
             "candidate_estimates": dict(self.candidate_estimates),
         }
+
+
+def compile_residual(
+    predicates: Sequence[Predicate],
+) -> Callable[[Mapping[str, object]], bool]:
+    """Compile residual predicates into one batch-friendly callable.
+
+    The executor evaluates residuals over whole batches of partially
+    decoded rows, so the per-row cost matters: the compiled form hoists
+    the ``_OPS`` dispatch and attribute lookups out of the loop, leaving
+    a tuple walk of ``(field, op, value)`` triples per row.  Semantics
+    match :meth:`Predicate.evaluate` exactly — a missing field or a
+    ``TypeError`` from a cross-type comparison collapses to False.
+    """
+    compiled = tuple(
+        (p.field_name, _OPS[p.op], p.value) for p in predicates
+    )
+    if not compiled:
+        return lambda record: True
+
+    def evaluate(record: Mapping[str, object]) -> bool:
+        for field_name, op, value in compiled:
+            if field_name not in record:
+                return False
+            try:
+                if not op(record[field_name], value):
+                    return False
+            except TypeError:
+                return False
+        return True
+
+    return evaluate
 
 
 def plan_query(

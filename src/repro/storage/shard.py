@@ -61,7 +61,7 @@ from ..core.datatypes import PDType
 from ..core.membrane import Membrane
 from ..obs import NULL_TELEMETRY, Telemetry
 from .block import BlockDevice
-from .btree import FieldIndex
+from .btree import DEFAULT_PAGE_CAPACITY, DurableFieldIndex
 from .cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from .dbfs import DatabaseFS, DBFSStats
 from .inode import InodeTable
@@ -104,6 +104,9 @@ class ShardedDBFS:
         journal_config: Optional[JournalConfig] = None,
         telemetry: Optional[Telemetry] = None,
         record_codec: str = "v2",
+        scan_batch_rows: int = 256,
+        bloom_filters: bool = True,
+        index_page_capacity: int = DEFAULT_PAGE_CAPACITY,
     ) -> None:
         if devices is not None:
             shard_count = len(devices)
@@ -128,6 +131,9 @@ class ShardedDBFS:
                 journal_config=journal_config,
                 telemetry=self.telemetry,
                 record_codec=record_codec,
+                scan_batch_rows=scan_batch_rows,
+                bloom_filters=bloom_filters,
+                index_page_capacity=index_page_capacity,
             )
             for i in range(shard_count)
         ]
@@ -155,6 +161,9 @@ class ShardedDBFS:
         journal_config: Optional[JournalConfig] = None,
         telemetry: Optional[Telemetry] = None,
         record_codec: str = "v2",
+        scan_batch_rows: int = 256,
+        bloom_filters: bool = True,
+        index_page_capacity: int = DEFAULT_PAGE_CAPACITY,
     ) -> "ShardedDBFS":
         """True-crash remount of a whole fleet, shard by shard.
 
@@ -194,6 +203,9 @@ class ShardedDBFS:
                     journal_config=journal_config,
                     telemetry=fleet.telemetry,
                     record_codec=record_codec,
+                    scan_batch_rows=scan_batch_rows,
+                    bloom_filters=bloom_filters,
+                    index_page_capacity=index_page_capacity,
                 )
             except (errors.RgpdOSError, ValueError, KeyError, TypeError) as exc:
                 # Isolate the corruption: one bad shard must degrade,
@@ -452,11 +464,17 @@ class ShardedDBFS:
 
     def create_index(
         self, type_name: str, field_name: str, credential: AccessCredential
-    ) -> List[FieldIndex]:
+    ) -> List[DurableFieldIndex]:
         return [
             shard.create_index(type_name, field_name, credential)
             for _, shard in self._healthy()
         ]
+
+    def flush_accelerators(self) -> int:
+        """Persist every shard's index pages and bloom sidecars."""
+        return sum(
+            shard.flush_accelerators() for _, shard in self._healthy()
+        )
 
     def has_index(self, type_name: str, field_name: str) -> bool:
         return self._primary().has_index(type_name, field_name)

@@ -34,6 +34,7 @@ from repro.storage.query import (
     MembraneQuery,
     Predicate,
     StoreRequest,
+    UpdateRequest,
 )
 from repro.storage.shard import ShardedDBFS
 
@@ -368,6 +369,10 @@ class EngineCrashSim(CrashSim):
 
             fs.create_type(self._reference_type(), DED)
             progress.append("create_type")
+            step(fs.create_index, "crash_user", "name", DED)
+            progress.append("index:name")
+            step(fs.create_index, "crash_user", "year", DED)
+            progress.append("index:year")
             uids[0] = step(self._store, fs, 0)
             progress.append("store:0")
             uids[1] = step(self._store, fs, 1)
@@ -383,6 +388,12 @@ class EngineCrashSim(CrashSim):
 
             uids[2], uids[3] = step(batched)
             progress.append("batch:2,3")
+            step(
+                fs.update,
+                UpdateRequest(uid=uids[1], changes={"year": 2001}),
+                DED,
+            )
+            progress.append("update:1")
             step(
                 fs.delete, DeleteRequest(uids[0], mode="erase"), DED
             )
