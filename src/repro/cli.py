@@ -350,13 +350,39 @@ def cmd_placement(args: argparse.Namespace) -> int:
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
-    system = _demo_system()
+    """Article-indexed compliance audit of an exercised demo system.
+
+    Runs the demo workload plus one erasure (so the residue scrubber
+    has needles to watch), optionally ticks the always-on monitors,
+    then renders the :class:`~repro.obs.audit.AuditReport`.
+    """
+    system = _demo_system(shards=args.shards)
     system.invoke("compute_age", target="user")
-    report = system.audit()
-    for finding in report.findings:
-        status = "PASS" if finding.ok else "FAIL"
-        print(f"[{status}] {finding.rule:30s} {finding.article}")
-    print(report.summary())
+    system.rights.erase("bob")
+    if args.continuous > 0:
+        daemon = system.start_monitors()
+        daemon.run_for_ticks(args.continuous)
+    report = system.audit_report()
+    if args.evidence_out:
+        count = system.evidence.export_jsonl(args.evidence_out)
+        print(f"wrote {count} evidence entries to {args.evidence_out}",
+              file=sys.stderr)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "markdown":
+        print(report.to_markdown())
+    elif args.format == "prometheus":
+        # The audit run published its verdict/observable gauges, so
+        # the scrape carries repro_rgpdos_audit_* / _residue_* samples.
+        print(system.telemetry.to_prometheus(), end="")
+    else:
+        for control in report.controls:
+            print(f"[{control.status.upper():4s}] "
+                  f"{control.control_id:32s} {control.article}")
+        print(report.summary())
+        print(f"evidence trail: {len(system.evidence)} entries, "
+              f"head {report.evidence_head[:16]}..., "
+              f"chain {'OK' if system.evidence.verify_chain() else 'BROKEN'}")
     return 0 if report.ok else 1
 
 
@@ -473,7 +499,28 @@ def build_parser() -> argparse.ArgumentParser:
     placement.add_argument("--bytes", type=int, default=4096)
     placement.add_argument("--intensity", type=float, default=1.0)
 
-    subparsers.add_parser("audit", help="compliance audit of the demo system")
+    audit = subparsers.add_parser(
+        "audit",
+        help="article-indexed compliance audit of the demo system",
+    )
+    audit.add_argument(
+        "--format", choices=("text", "json", "markdown", "prometheus"),
+        default="text", help="report rendering (default text)",
+    )
+    audit.add_argument(
+        "--shards", type=int, default=1,
+        help="DBFS shard count for the demo system (default 1)",
+    )
+    audit.add_argument(
+        "--continuous", type=int, default=0, metavar="TICKS",
+        help="tick the always-on monitors TICKS times before the "
+             "audit (residue scrubber, TTL/breach/journal watchers; "
+             "default 0: audit only)",
+    )
+    audit.add_argument(
+        "--evidence-out", default=None, metavar="FILE",
+        help="export the hash-chained evidence trail to FILE as JSONL",
+    )
 
     stats = subparsers.add_parser(
         "stats", help="telemetry snapshot of an exercised demo system"

@@ -54,6 +54,9 @@ class BreachReport:
 
     at: float
     indicators: List[BreachIndicator] = field(default_factory=list)
+    #: Set via :meth:`BreachMonitor.mark_notified` once the supervisory
+    #: authority has been notified; ``None`` while pending.
+    notified_at: Optional[float] = None
 
     @property
     def notifiable(self) -> bool:
@@ -184,6 +187,33 @@ class BreachMonitor:
 
         self.reports.append(report)
         return report
+
+    # -- deadline bookkeeping (Art. 33(1)) ---------------------------------
+
+    def notifiable_reports(self) -> List[BreachReport]:
+        """Every scan outcome Art. 33 requires notifying."""
+        return [report for report in self.reports if report.notifiable]
+
+    def pending_notifications(self) -> List[BreachReport]:
+        """Notifiable reports the authority has not been notified of."""
+        return [
+            report for report in self.notifiable_reports()
+            if report.notified_at is None
+        ]
+
+    def overdue_notifications(self, now: float) -> List[BreachReport]:
+        """Pending reports whose 72-hour window has already closed."""
+        return [
+            report for report in self.pending_notifications()
+            if report.notification_deadline is not None
+            and report.notification_deadline < now
+        ]
+
+    def mark_notified(self, report: BreachReport) -> float:
+        """Record that the authority was notified (now); returns the
+        notification timestamp."""
+        report.notified_at = self.clock.now()
+        return report.notified_at
 
     # -- Art. 33(3) notification ---------------------------------------------
 

@@ -79,6 +79,11 @@ class BuiltinFunctions:
         self.clock = clock
         self.log = log
         self.credential = AccessCredential(holder="rgpdos-builtins", is_ded=True)
+        #: Observers called after every erasure with
+        #: ``(subject_id, needles, erased_uids, residue)`` — the
+        #: continuous residue scrubber registers the needles here so
+        #: the one-shot scan becomes an always-on invariant.
+        self.erase_observers: List[Callable[..., None]] = []
 
     # ------------------------------------------------------------------
     # Authorisation
@@ -334,6 +339,8 @@ class BuiltinFunctions:
             accesses=tuple(accesses),
             detail=f"mode={mode}, erased={len(erased)} (lineage group)",
         )
+        for observer in self.erase_observers:
+            observer(membrane.subject_id, needles, erased, residue)
         return EraseReport(
             uid=target.uid,
             mode=mode,

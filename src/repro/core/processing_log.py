@@ -16,10 +16,9 @@ Art. 30 record of processing activities.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
-
-_entry_counter = itertools.count(1)
 
 OUTCOME_COMPLETED = "completed"
 OUTCOME_DENIED = "denied"       # consent filter left nothing to process
@@ -87,12 +86,22 @@ class LogEntry:
 
 
 class ProcessingLog:
-    """Append-only log with per-subject and per-PD indexes."""
+    """Append-only log with per-subject, per-PD and per-purpose indexes.
+
+    Entry ids are **per instance**: each log numbers its own entries
+    from 1, so two independent systems (or a fresh log after a
+    remount) never interleave id spaces.  ``record`` is thread-safe —
+    the request engine logs from its worker threads, and an unlocked
+    append would corrupt the indexes under contention.
+    """
 
     def __init__(self) -> None:
         self._entries: List[LogEntry] = []
         self._by_subject: Dict[str, List[int]] = {}
         self._by_uid: Dict[str, List[int]] = {}
+        self._by_purpose: Dict[str, List[int]] = {}
+        self._entry_counter = itertools.count(1)
+        self._lock = threading.Lock()
 
     def record(
         self,
@@ -105,58 +114,81 @@ class ProcessingLog:
         detail: str = "",
         via_ps: bool = True,
     ) -> LogEntry:
-        entry = LogEntry(
-            entry_id=next(_entry_counter),
-            at=at,
-            purpose=purpose,
-            processing=processing,
-            outcome=outcome,
-            accesses=accesses,
-            stage_seconds=dict(stage_seconds or {}),
-            detail=detail,
-            via_ps=via_ps,
-        )
-        index = len(self._entries)
-        self._entries.append(entry)
-        for access in accesses:
-            self._by_subject.setdefault(access.subject_id, []).append(index)
-            self._by_uid.setdefault(access.uid, []).append(index)
-        return entry
+        with self._lock:
+            entry = LogEntry(
+                entry_id=next(self._entry_counter),
+                at=at,
+                purpose=purpose,
+                processing=processing,
+                outcome=outcome,
+                accesses=accesses,
+                stage_seconds=dict(stage_seconds or {}),
+                detail=detail,
+                via_ps=via_ps,
+            )
+            index = len(self._entries)
+            self._entries.append(entry)
+            for access in accesses:
+                self._by_subject.setdefault(access.subject_id, []).append(index)
+                self._by_uid.setdefault(access.uid, []).append(index)
+            self._by_purpose.setdefault(purpose, []).append(index)
+            return entry
 
     # -- queries (the § 4 organisation) ------------------------------------
 
     def entries(self) -> List[LogEntry]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def for_subject(self, subject_id: str) -> List[LogEntry]:
         """Every processing that touched any PD of this subject."""
-        seen: List[LogEntry] = []
-        for index in dict.fromkeys(self._by_subject.get(subject_id, [])):
-            seen.append(self._entries[index])
-        return seen
+        with self._lock:
+            return [
+                self._entries[index]
+                for index in dict.fromkeys(
+                    self._by_subject.get(subject_id, [])
+                )
+            ]
 
     def for_pd(self, uid: str) -> List[LogEntry]:
         """Every processing that touched this specific piece of PD."""
-        return [
-            self._entries[index]
-            for index in dict.fromkeys(self._by_uid.get(uid, []))
-        ]
+        with self._lock:
+            return [
+                self._entries[index]
+                for index in dict.fromkeys(self._by_uid.get(uid, []))
+            ]
+
+    def for_purpose(self, purpose: str) -> List[LogEntry]:
+        """Every processing executed (or denied) under this purpose —
+        the organisation the Art. 6 lawful-basis audit control needs."""
+        with self._lock:
+            return [
+                self._entries[index]
+                for index in self._by_purpose.get(purpose, [])
+            ]
 
     def denials(self) -> List[LogEntry]:
-        return [e for e in self._entries if e.outcome == OUTCOME_DENIED]
+        with self._lock:
+            return [e for e in self._entries if e.outcome == OUTCOME_DENIED]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def activity_report(self) -> Dict[str, object]:
         """Aggregate Art. 30-style record of processing activities."""
-        by_purpose: Dict[str, int] = {}
-        for entry in self._entries:
-            by_purpose[entry.purpose] = by_purpose.get(entry.purpose, 0) + 1
-        return {
-            "total_processings": len(self._entries),
-            "by_purpose": dict(sorted(by_purpose.items())),
-            "denied": len(self.denials()),
-            "subjects_touched": len(self._by_subject),
-            "pd_touched": len(self._by_uid),
-        }
+        with self._lock:
+            by_purpose = {
+                purpose: len(indexes)
+                for purpose, indexes in sorted(self._by_purpose.items())
+            }
+            denied = sum(
+                1 for e in self._entries if e.outcome == OUTCOME_DENIED
+            )
+            return {
+                "total_processings": len(self._entries),
+                "by_purpose": by_purpose,
+                "denied": denied,
+                "subjects_touched": len(self._by_subject),
+                "pd_touched": len(self._by_uid),
+            }

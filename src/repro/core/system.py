@@ -37,7 +37,7 @@ from .. import errors
 from ..kernel.machine import Machine, MachineConfig
 from ..kernel.tee import TEEPlatform
 from ..kernel.subkernel import IORequest
-from ..obs import MetricsRegistry, Telemetry
+from ..obs import EvidenceTrail, MetricsRegistry, Telemetry
 from ..storage.block import BlockDevice
 from ..storage.cache import CacheConfig, DEFAULT_CACHE_CONFIG
 from ..storage.dbfs import DatabaseFS
@@ -190,6 +190,47 @@ class RgpdOS:
         self.breach_monitor = BreachMonitor(
             dbfs=self.dbfs, log=self.log, clock=self.clock
         )
+
+        # Continuous compliance observability (PR 8): a tamper-evident
+        # evidence trail, a residue watchlist fed by erasures, and the
+        # article-indexed audit engine.  The monitors daemon is built on
+        # demand by :meth:`start_monitors`.
+        from ..obs.audit import AuditEngine  # deferred: audit reads core
+        from ..obs.monitors import (  # deferred: monitors read storage
+            MonitorDaemon,
+            ResidueWatchlist,
+            needle_digest,
+        )
+
+        self.evidence = EvidenceTrail()
+        self.residue_watchlist = ResidueWatchlist()
+        self.audit_engine = AuditEngine(self)
+        self.monitors: Optional[MonitorDaemon] = None
+
+        def _on_erase(
+            subject_id: str,
+            needles: Sequence[bytes],
+            erased: Sequence[str],
+            residue: Mapping[str, int],
+        ) -> None:
+            # Erased plaintext becomes the scrubber's watchlist; the
+            # trail records digests only — the whole point of erasure
+            # is that the bytes themselves stop existing anywhere.
+            self.residue_watchlist.register(subject_id, needles)
+            self.evidence.append(
+                kind="erasure",
+                source="builtins.delete",
+                payload={
+                    "subject_id": subject_id,
+                    "erased_records": len(erased),
+                    "residue_device_blocks": residue["device_blocks"],
+                    "residue_journal_records": residue["journal_records"],
+                    "needle_digests": [needle_digest(n) for n in needles],
+                },
+                at=self.clock.now(),
+            )
+
+        self.ps.builtins.erase_observers.append(_on_erase)
 
         # The purpose-kernel machine (optional for lightweight uses).
         # Shard 0's driver keeps the historical "pd-nvme" name; extra
@@ -406,6 +447,84 @@ class RgpdOS:
     def audit(self) -> ComplianceReport:
         return self.auditor.audit()
 
+    def audit_report(self):
+        """Run the article-indexed audit engine (``repro.obs.audit``).
+
+        Unlike :meth:`audit` (the seed's rule-based
+        :class:`ComplianceReport`, which this folds in), the returned
+        :class:`~repro.obs.audit.AuditReport` indexes every verdict by
+        GDPR article and attaches resolvable evidence references, and
+        the run itself is sealed into the evidence trail.
+        """
+        return self.audit_engine.run()
+
+    def start_monitors(
+        self,
+        interval_seconds: float = 0.05,
+        sample_blocks: int = 64,
+        background: bool = False,
+    ):
+        """Build (and optionally start) the always-on compliance
+        monitors: residue scrubber, TTL watcher, Art. 33 deadline
+        watcher, journal-bound watcher.
+
+        With ``background=False`` (the default) the daemon is returned
+        ready for deterministic ticking (``run_for_ticks``), which is
+        what the tests, the CLI's ``--continuous`` mode and the
+        benchmarks drive.  ``background=True`` starts the wall-clock
+        daemon thread, submitting ticks through the request engine's
+        ``monitors`` lane when one is running.
+        """
+        from ..obs.monitors import (
+            BreachDeadlineWatcherMonitor,
+            JournalBoundWatcherMonitor,
+            MonitorDaemon,
+            ResidueScrubberMonitor,
+            TTLWatcherMonitor,
+        )
+
+        if self.monitors is not None:
+            if background:
+                self.monitors.start()
+            return self.monitors
+        self.monitors = MonitorDaemon(
+            monitors=[
+                ResidueScrubberMonitor(
+                    dbfs=self.dbfs,
+                    watchlist=self.residue_watchlist,
+                    telemetry=self.telemetry,
+                    sample_blocks=sample_blocks,
+                ),
+                TTLWatcherMonitor(
+                    dbfs=self.dbfs, clock=self.clock,
+                    telemetry=self.telemetry,
+                ),
+                BreachDeadlineWatcherMonitor(
+                    breach_monitor=self.breach_monitor,
+                    clock=self.clock,
+                    telemetry=self.telemetry,
+                ),
+                JournalBoundWatcherMonitor(
+                    dbfs=self.dbfs, telemetry=self.telemetry,
+                ),
+            ],
+            clock=self.clock,
+            trail=self.evidence,
+            telemetry=self.telemetry,
+            interval_seconds=interval_seconds,
+            engine=self.engine,
+        )
+        if background:
+            self.monitors.start()
+        return self.monitors
+
+    def stop_monitors(self) -> None:
+        """Stop the monitor daemon thread (if running) and drop it."""
+        if self.monitors is None:
+            return
+        self.monitors.stop()
+        self.monitors = None
+
     def advance_time(self, seconds: float) -> float:
         """Move simulated time forward (TTL expiry etc.)."""
         return self.clock.advance(seconds)
@@ -511,6 +630,18 @@ class RgpdOS:
         if self.engine is not None:
             snapshot["engine"] = self.engine.as_dict()
             snapshot["engine"]["mvcc"] = self.dbfs.mvcc_stats()
+        snapshot["audit"] = {
+            "evidence_entries": len(self.evidence),
+            "evidence_head": self.evidence.head,
+            "watch_needles": len(self.residue_watchlist),
+            "last_report": (
+                self.audit_engine.last_report.summary()
+                if self.audit_engine.last_report is not None
+                else None
+            ),
+        }
+        if self.monitors is not None:
+            snapshot["monitors"] = self.monitors.as_dict()
         return snapshot
 
     def cache_stats(self) -> Dict[str, object]:

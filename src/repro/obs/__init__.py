@@ -129,7 +129,51 @@ class Telemetry:
 
 NULL_TELEMETRY = Telemetry.disabled()
 
+# The evidence trail has no dependency back into core, so it exports
+# eagerly; the audit engine and monitors (repro.obs.audit /
+# repro.obs.monitors) import core types and are reached as submodules
+# (or lazily via __getattr__) to keep the obs package import-light.
+from .evidence import (EvidenceChainError, EvidenceTrail,  # noqa: E402
+                       GENESIS_HASH, verify_entries)
+
+_LAZY_EXPORTS = {
+    "AuditEngine": ("audit", "AuditEngine"),
+    "AuditReport": ("audit", "AuditReport"),
+    "resolve_evidence": ("audit", "resolve_evidence"),
+    "MonitorDaemon": ("monitors", "MonitorDaemon"),
+    "ResidueScrubberMonitor": ("monitors", "ResidueScrubberMonitor"),
+    "ResidueWatchlist": ("monitors", "ResidueWatchlist"),
+    "TTLWatcherMonitor": ("monitors", "TTLWatcherMonitor"),
+    "BreachDeadlineWatcherMonitor": ("monitors",
+                                     "BreachDeadlineWatcherMonitor"),
+    "JournalBoundWatcherMonitor": ("monitors", "JournalBoundWatcherMonitor"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attr = _LAZY_EXPORTS[name]
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AuditEngine",
+    "AuditReport",
+    "BreachDeadlineWatcherMonitor",
+    "EvidenceChainError",
+    "EvidenceTrail",
+    "GENESIS_HASH",
+    "JournalBoundWatcherMonitor",
+    "MonitorDaemon",
+    "ResidueScrubberMonitor",
+    "ResidueWatchlist",
+    "TTLWatcherMonitor",
+    "resolve_evidence",
+    "verify_entries",
     "Counter",
     "DEFAULT_BUCKET_BOUNDS_NS",
     "Gauge",

@@ -1,0 +1,712 @@
+"""Article-indexed compliance audit engine.
+
+The paper's pitch is that the OS can *demonstrate* GDPR compliance,
+not merely enforce it: § 4's processing log "logs every executed
+processing", and the design replaces sysadmin eyeballs with
+machine-checked obligations.  This module is the demonstrating half:
+:class:`AuditEngine` evaluates a live :class:`~repro.core.system.RgpdOS`
+against a **control map** keyed by GDPR article —
+
+* Art. 6   — lawful basis declared (and consent actually granted) for
+  every purpose that processed PD;
+* Art. 5(1)(c) — data minimisation: purposes scoped to views, decode
+  counters showing only projected fields were materialised;
+* Art. 5(1)(e) — storage limitation: no live membrane past its TTL;
+* Art. 32  — security of processing: outsider probes refused at every
+  DBFS entry point (probed negatively, not trusted);
+* Art. 33  — breach notification: every notifiable breach report is
+  either notified or inside its 72-hour window;
+* Art. 30  — records of processing: the log covers every subject that
+  holds PD and every entry went through the PS.
+
+Each control pulls concrete :class:`Evidence` — processing-log
+entries, telemetry counters and gauges, membrane state, journal
+stats — and every evidence item carries a ``ref`` that
+:func:`resolve_evidence` can re-resolve against the live system, so a
+report is checkable, not just readable.  The pre-existing
+:class:`~repro.core.compliance.ComplianceAuditor` rules (membrane
+presence, erasure, sensitive-field separation, ...) are *folded into*
+the same report rather than duplicated: each of its findings becomes
+one more article-indexed control result.
+
+Reports render as JSON (``to_dict``) and regulator-ready markdown
+(``to_markdown``), and every audit run seals a summary entry into the
+system's hash-chained :class:`~repro.obs.evidence.EvidenceTrail`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from .. import errors
+from ..core.active_data import AccessCredential
+from ..core.breach import NOTIFICATION_DEADLINE_SECONDS
+from ..core.membrane import LAWFUL_BASES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.system import RgpdOS
+
+STATUS_PASS = "pass"
+STATUS_WARN = "warn"
+STATUS_FAIL = "fail"
+
+#: Metric evidence attached to each folded ComplianceAuditor rule, so
+#: even the structural probes carry a registry-resolvable reference.
+_FOLDED_RULE_METRICS = {
+    "dbfs-ded-only": "rgpdos.dbfs.denied_accesses",
+    "every-pd-has-membrane": "rgpdos.dbfs.records",
+    "erased-pd-unreadable": "rgpdos.dbfs.deletes",
+    "all-processing-via-ps": "rgpdos.audit.log_entries",
+}
+_FOLDED_DEFAULT_METRIC = "rgpdos.dbfs.records"
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """One concrete, re-resolvable piece of evidence.
+
+    ``ref`` is a ``kind:locator`` string :func:`resolve_evidence`
+    understands (``metric:...``, ``log:entry:...``, ``membrane:...``,
+    ``purpose:...``, ``journal:shard:...``, ``breach:...``,
+    ``trail:...``); ``data`` is the value observed at audit time.
+    """
+
+    kind: str
+    ref: str
+    summary: str
+    data: object = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "ref": self.ref,
+            "summary": self.summary,
+            "data": self.data,
+        }
+
+
+@dataclass
+class ControlResult:
+    """One control's verdict plus the evidence it rests on."""
+
+    control_id: str
+    article: str
+    title: str
+    status: str
+    detail: str = ""
+    evidence: List[Evidence] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "control_id": self.control_id,
+            "article": self.article,
+            "title": self.title,
+            "status": self.status,
+            "detail": self.detail,
+            "evidence": [item.to_dict() for item in self.evidence],
+        }
+
+
+@dataclass
+class AuditReport:
+    """All control results of one audit run, article-indexed."""
+
+    at: float
+    operator: str
+    controls: List[ControlResult] = field(default_factory=list)
+    evidence_head: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not any(c.status == STATUS_FAIL for c in self.controls)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {STATUS_PASS: 0, STATUS_WARN: 0, STATUS_FAIL: 0}
+        for control in self.controls:
+            counts[control.status] = counts.get(control.status, 0) + 1
+        return counts
+
+    def by_article(self) -> Dict[str, List[ControlResult]]:
+        grouped: Dict[str, List[ControlResult]] = {}
+        for control in self.controls:
+            grouped.setdefault(control.article, []).append(control)
+        return grouped
+
+    def failures(self) -> List[ControlResult]:
+        return [c for c in self.controls if c.status == STATUS_FAIL]
+
+    def summary(self) -> str:
+        counts = self.counts()
+        status = "COMPLIANT" if self.ok else "NON-COMPLIANT"
+        return (
+            f"{status}: {counts[STATUS_PASS]} pass, "
+            f"{counts[STATUS_WARN]} warn, {counts[STATUS_FAIL]} fail "
+            f"across {len(self.controls)} controls"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "report": "rgpdOS article-indexed compliance audit",
+            "at": self.at,
+            "operator": self.operator,
+            "summary": self.summary(),
+            "counts": self.counts(),
+            "compliant": self.ok,
+            "evidence_head": self.evidence_head,
+            "controls": [control.to_dict() for control in self.controls],
+        }
+
+    def to_markdown(self) -> str:
+        """Regulator-ready rendering, grouped by article."""
+        lines = [
+            "# GDPR compliance audit",
+            "",
+            f"- **Operator:** {self.operator}",
+            f"- **Audited at:** t={self.at:.3f} (simulated seconds)",
+            f"- **Verdict:** {self.summary()}",
+            f"- **Evidence chain head:** `{self.evidence_head or 'empty'}`",
+            "",
+        ]
+        for article, controls in sorted(self.by_article().items()):
+            lines.append(f"## {article}")
+            lines.append("")
+            for control in controls:
+                marker = {STATUS_PASS: "PASS", STATUS_WARN: "WARN",
+                          STATUS_FAIL: "FAIL"}[control.status]
+                lines.append(f"### [{marker}] {control.title}")
+                lines.append("")
+                if control.detail:
+                    lines.append(control.detail)
+                    lines.append("")
+                if control.evidence:
+                    lines.append("Evidence:")
+                    for item in control.evidence:
+                        lines.append(
+                            f"- `{item.ref}` — {item.summary}"
+                        )
+                    lines.append("")
+        return "\n".join(lines)
+
+
+class AuditEngine:
+    """Evaluates the control map against a live system.
+
+    Construct once per :class:`RgpdOS` (the system does this itself as
+    ``system.audit_engine``); each :meth:`run` produces a fresh
+    :class:`AuditReport`, refreshes the ``rgpdos.audit.*`` gauges, and
+    seals a summary entry into the system's evidence trail.
+    """
+
+    def __init__(self, system: "RgpdOS") -> None:
+        self.system = system
+        self._ded = AccessCredential(holder="audit-engine", is_ded=True)
+        self.last_report: Optional[AuditReport] = None
+
+    # -- the control map --------------------------------------------------
+
+    def control_map(self) -> List[Callable[[], ControlResult]]:
+        return [
+            self._control_lawful_basis,
+            self._control_minimisation,
+            self._control_retention,
+            self._control_security,
+            self._control_breach_notification,
+            self._control_records_of_processing,
+        ]
+
+    def run(self) -> AuditReport:
+        """Run every control; never raises — crashes become failures."""
+        system = self.system
+        self._publish_observables()
+        report = AuditReport(
+            at=system.clock.now(), operator=system.operator_name
+        )
+        for control in self.control_map():
+            try:
+                report.controls.append(control())
+            except errors.RgpdOSError as exc:
+                report.controls.append(ControlResult(
+                    control_id=control.__name__.replace("_control_", "art-"),
+                    article="-",
+                    title=control.__name__,
+                    status=STATUS_FAIL,
+                    detail=f"control crashed: {exc}",
+                ))
+        report.controls.extend(self._folded_auditor_controls())
+        self._publish_verdicts(report)
+        trail_entry = system.evidence.append(
+            kind="audit",
+            source="audit-engine",
+            payload={
+                "summary": report.counts(),
+                "compliant": report.ok,
+                "controls": {
+                    c.control_id: c.status for c in report.controls
+                },
+            },
+            at=report.at,
+        )
+        report.evidence_head = trail_entry["hash"]
+        self.last_report = report
+        return report
+
+    # -- observable gauges -------------------------------------------------
+
+    def _publish_observables(self) -> None:
+        """Refresh the ``rgpdos.audit.*`` gauges the controls cite.
+
+        Publishing *before* evidence is gathered means every
+        ``metric:`` ref in the report resolves against the registry at
+        the values the verdicts were computed from.
+        """
+        system = self.system
+        registry = system.telemetry.registry
+        now = system.clock.now()
+        overdue = self._ttl_overdue()
+        registry.gauge("rgpdos.audit.ttl_overdue").set(len(overdue))
+        registry.gauge("rgpdos.audit.log_entries").set(len(system.log))
+        status = self._breach_status(now)
+        registry.gauge("rgpdos.audit.breach_notifiable").set(
+            status["notifiable"])
+        registry.gauge("rgpdos.audit.breach_overdue").set(status["overdue"])
+        registry.gauge("rgpdos.audit.breach_countdown_seconds").set(
+            status["countdown_seconds"])
+
+    def _publish_verdicts(self, report: AuditReport) -> None:
+        registry = self.system.telemetry.registry
+        counts = report.counts()
+        registry.gauge("rgpdos.audit.last_run").set(report.at)
+        registry.gauge("rgpdos.audit.controls_pass").set(counts[STATUS_PASS])
+        registry.gauge("rgpdos.audit.controls_warn").set(counts[STATUS_WARN])
+        registry.gauge("rgpdos.audit.controls_fail").set(counts[STATUS_FAIL])
+
+    # -- shared observations ----------------------------------------------
+
+    def _membranes(self):
+        return self.system.dbfs.iter_membranes(self._ded)
+
+    def _ttl_overdue(self) -> List[str]:
+        now = self.system.clock.now()
+        return [
+            uid
+            for uid, membrane in self._membranes()
+            if not membrane.erased
+            and membrane.ttl_seconds is not None
+            and now > membrane.created_at + membrane.ttl_seconds
+        ]
+
+    def _breach_status(self, now: float) -> Dict[str, float]:
+        monitor = self.system.breach_monitor
+        pending = monitor.pending_notifications()
+        overdue = [r for r in pending if r.notification_deadline < now]
+        countdown = min(
+            (r.notification_deadline - now for r in pending
+             if r.notification_deadline >= now),
+            default=0.0,
+        )
+        return {
+            "notifiable": len(monitor.notifiable_reports()),
+            "pending": len(pending),
+            "overdue": len(overdue),
+            "countdown_seconds": countdown,
+        }
+
+    # -- controls ----------------------------------------------------------
+
+    def _control_lawful_basis(self) -> ControlResult:
+        """Art. 6: every purpose names a lawful basis; consent-based
+        purposes that processed PD are actually granted somewhere."""
+        system = self.system
+        purposes = dict(system.ps._purposes)
+        bad_basis = [
+            name for name, p in purposes.items()
+            if p.basis not in LAWFUL_BASES
+        ]
+        granted: Dict[str, int] = {name: 0 for name in purposes}
+        for _uid, membrane in self._membranes():
+            if membrane.erased:
+                continue
+            for purpose, decision in membrane.consents.items():
+                if purpose in granted and decision.scope != "none":
+                    granted[purpose] += 1
+        ungrounded = [
+            name for name, p in purposes.items()
+            if p.basis == "consent"
+            and granted.get(name, 0) == 0
+            and any(e.outcome == "completed"
+                    for e in system.log.for_purpose(name))
+        ]
+        evidence = [
+            Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.dbfs.subjects",
+                summary="subjects whose membranes were inspected",
+                data=len(system.dbfs.list_subjects()),
+            )
+        ]
+        for name, purpose in sorted(purposes.items()):
+            evidence.append(Evidence(
+                kind="purpose",
+                ref=f"purpose:{name}",
+                summary=(f"basis={purpose.basis}, "
+                         f"granted by {granted.get(name, 0)} membrane(s)"),
+                data={"basis": purpose.basis,
+                      "granted_membranes": granted.get(name, 0)},
+            ))
+            entries = system.log.for_purpose(name)
+            if entries:
+                evidence.append(Evidence(
+                    kind="processing_log",
+                    ref=f"log:entry:{entries[0].entry_id}",
+                    summary=f"first logged processing under {name!r}",
+                    data=entries[0].outcome,
+                ))
+        if bad_basis:
+            status, detail = STATUS_FAIL, (
+                f"purposes with unknown lawful basis: {bad_basis}"
+            )
+        elif ungrounded:
+            status, detail = STATUS_WARN, (
+                f"consent-based purposes processed PD but no live membrane "
+                f"grants them (consent may have been withdrawn since): "
+                f"{ungrounded}"
+            )
+        else:
+            status, detail = STATUS_PASS, (
+                f"all {len(purposes)} purposes carry a lawful basis "
+                f"({sorted(LAWFUL_BASES)})"
+            )
+        return ControlResult(
+            control_id="art6-lawful-basis", article="Art. 6",
+            title="Lawful basis declared for every purpose",
+            status=status, detail=detail, evidence=evidence,
+        )
+
+    def _control_minimisation(self) -> ControlResult:
+        """Art. 5(1)(c): purposes scoped to views; decode counters show
+        the store materialises only projected fields."""
+        system = self.system
+        purposes = dict(system.ps._purposes)
+        unknown_types: List[str] = []
+        whole_type_consent: List[str] = []
+        view_scoped = 0
+        for name, purpose in purposes.items():
+            for type_name, view in purpose.uses:
+                try:
+                    pd_type = system.dbfs.get_type(type_name)
+                except errors.RgpdOSError:
+                    unknown_types.append(f"{name} uses {type_name}")
+                    continue
+                if view is not None:
+                    view_scoped += 1
+                elif purpose.basis == "consent" and pd_type.sensitive_fields:
+                    whole_type_consent.append(f"{name} uses {type_name}")
+        stats = system.dbfs.stats
+        registry = system.telemetry.registry
+        registry.gauge("rgpdos.audit.partial_decodes").set(
+            stats.partial_decodes)
+        registry.gauge("rgpdos.audit.full_decodes").set(stats.full_decodes)
+        evidence = [
+            Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.audit.partial_decodes",
+                summary="rows decoded partially (projected fields only)",
+                data=stats.partial_decodes,
+            ),
+            Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.audit.full_decodes",
+                summary="rows fully decoded",
+                data=stats.full_decodes,
+            ),
+        ]
+        for name, purpose in sorted(purposes.items()):
+            views = [f"{t} via {v}" if v else f"{t} (whole type)"
+                     for t, v in purpose.uses]
+            evidence.append(Evidence(
+                kind="purpose", ref=f"purpose:{name}",
+                summary="uses " + (", ".join(views) or "nothing"),
+                data=list(purpose.uses),
+            ))
+        if unknown_types:
+            status, detail = STATUS_FAIL, (
+                f"purposes using undeclared types: {unknown_types}"
+            )
+        elif whole_type_consent:
+            status, detail = STATUS_WARN, (
+                f"consent-based purposes using whole sensitive types "
+                f"(no view scope): {whole_type_consent}"
+            )
+        else:
+            status, detail = STATUS_PASS, (
+                f"{view_scoped} view-scoped purpose uses; decode path "
+                f"materialised {stats.partial_decodes} partial vs "
+                f"{stats.full_decodes} full rows"
+            )
+        return ControlResult(
+            control_id="art5c-minimisation", article="Art. 5(1)(c)",
+            title="Data minimisation via view-scoped purposes",
+            status=status, detail=detail, evidence=evidence,
+        )
+
+    def _control_retention(self) -> ControlResult:
+        """Art. 5(1)(e): no live PD outlives its TTL."""
+        overdue = self._ttl_overdue()
+        evidence = [
+            Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.audit.ttl_overdue",
+                summary="live membranes past their retention TTL",
+                data=len(overdue),
+            ),
+        ]
+        registry = self.system.telemetry.registry
+        residue = registry.gauges.get("rgpdos.residue.device_blocks")
+        if residue is not None:
+            evidence.append(Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.residue.device_blocks",
+                summary="device residue blocks found by the last "
+                        "completed scrubber sweep",
+                data=residue.value,
+            ))
+        for uid in overdue[:5]:
+            evidence.append(Evidence(
+                kind="membrane", ref=f"membrane:{uid}",
+                summary="membrane past TTL", data=uid,
+            ))
+        if overdue:
+            status = STATUS_FAIL
+            detail = f"{len(overdue)} PD record(s) past TTL: {overdue[:5]}"
+        else:
+            status = STATUS_PASS
+            detail = "no live PD past its retention TTL"
+        return ControlResult(
+            control_id="art5e-retention", article="Art. 5(1)(e)",
+            title="Storage limitation (TTL retention)",
+            status=status, detail=detail, evidence=evidence,
+        )
+
+    def _control_security(self) -> ControlResult:
+        """Art. 32: outsider probes refused (reuses the auditor's
+        negative probe rather than trusting the refusal code)."""
+        system = self.system
+        finding = system.auditor._check_dbfs_ded_only()
+        denied = system.dbfs.stats.denied_accesses
+        evidence = [
+            Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.dbfs.denied_accesses",
+                summary="non-DED access attempts refused at the DBFS "
+                        "boundary (includes this audit's probes)",
+                data=denied,
+            ),
+            Evidence(
+                kind="auditor", ref="metric:rgpdos.dbfs.records",
+                summary=f"probe outcome: {finding.detail}",
+                data=finding.ok,
+            ),
+        ]
+        return ControlResult(
+            control_id="art32-security", article="Art. 32",
+            title="Security of processing (DED-only mediation)",
+            status=STATUS_PASS if finding.ok else STATUS_FAIL,
+            detail=finding.detail, evidence=evidence,
+        )
+
+    def _control_breach_notification(self) -> ControlResult:
+        """Art. 33: notifiable breaches notified inside 72 hours."""
+        system = self.system
+        now = system.clock.now()
+        status_map = self._breach_status(now)
+        monitor = system.breach_monitor
+        evidence = [
+            Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.audit.breach_countdown_seconds",
+                summary="seconds left on the tightest pending "
+                        "Art. 33 notification deadline",
+                data=status_map["countdown_seconds"],
+            ),
+            Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.audit.breach_notifiable",
+                summary="notifiable breach reports on record",
+                data=status_map["notifiable"],
+            ),
+        ]
+        for index, report in enumerate(monitor.reports):
+            if report.notifiable:
+                evidence.append(Evidence(
+                    kind="breach", ref=f"breach:{index}",
+                    summary=report.summary(),
+                    data={"deadline": report.notification_deadline,
+                          "notified_at": report.notified_at},
+                ))
+        if status_map["overdue"]:
+            status = STATUS_FAIL
+            detail = (
+                f"{status_map['overdue']} notifiable breach report(s) "
+                f"past the {NOTIFICATION_DEADLINE_SECONDS / 3600:.0f}h "
+                f"deadline without notification"
+            )
+        elif status_map["pending"]:
+            status = STATUS_WARN
+            detail = (
+                f"{status_map['pending']} notifiable breach(es) awaiting "
+                f"notification; {status_map['countdown_seconds']:.0f}s left"
+            )
+        else:
+            status = STATUS_PASS
+            detail = (
+                f"{status_map['notifiable']} notifiable report(s), "
+                f"none pending past notification"
+            )
+        return ControlResult(
+            control_id="art33-breach", article="Art. 33",
+            title="Breach notification within 72 hours",
+            status=status, detail=detail, evidence=evidence,
+        )
+
+    def _control_records_of_processing(self) -> ControlResult:
+        """Art. 30: the processing log is the record of processing
+        activities — complete per subject, all entries via the PS."""
+        system = self.system
+        rogue = [e.entry_id for e in system.log.entries() if not e.via_ps]
+        uncovered = [
+            subject for subject in system.dbfs.list_subjects()
+            if not system.log.for_subject(subject)
+        ]
+        activity = system.log.activity_report()
+        evidence = [
+            Evidence(
+                kind="telemetry",
+                ref="metric:rgpdos.audit.log_entries",
+                summary="processing-log entries (Art. 30 records)",
+                data=len(system.log),
+            ),
+            Evidence(
+                kind="processing_log", ref="log:activity",
+                summary="aggregate record of processing activities",
+                data=activity,
+            ),
+        ]
+        entries = system.log.entries()
+        if entries:
+            evidence.append(Evidence(
+                kind="processing_log",
+                ref=f"log:entry:{entries[-1].entry_id}",
+                summary="latest logged processing",
+                data=entries[-1].processing,
+            ))
+        if rogue:
+            status = STATUS_FAIL
+            detail = f"{len(rogue)} log entries bypassed the PS: {rogue[:5]}"
+        elif uncovered:
+            status = STATUS_FAIL
+            detail = (
+                f"subjects holding PD with no logged processing "
+                f"(collection unrecorded): {uncovered[:5]}"
+            )
+        elif not entries:
+            status = STATUS_WARN
+            detail = "no processing logged yet (empty system?)"
+        else:
+            status = STATUS_PASS
+            detail = (
+                f"{len(entries)} entries, all via the PS, covering "
+                f"{activity['subjects_touched']} subject(s)"
+            )
+        return ControlResult(
+            control_id="art30-records", article="Art. 30",
+            title="Records of processing activities (§ 4 log)",
+            status=status, detail=detail, evidence=evidence,
+        )
+
+    # -- folding the legacy auditor ---------------------------------------
+
+    def _folded_auditor_controls(self) -> List[ControlResult]:
+        """Every :class:`ComplianceAuditor` rule as a control result.
+
+        The technical-rule probes keep living in ``core.compliance``;
+        the audit engine lifts their findings into the article-indexed
+        report with a registry-resolvable metric reference attached.
+        """
+        results: List[ControlResult] = []
+        for finding in self.system.auditor.audit().findings:
+            metric = _FOLDED_RULE_METRICS.get(
+                finding.rule, _FOLDED_DEFAULT_METRIC
+            )
+            results.append(ControlResult(
+                control_id=f"rule-{finding.rule}",
+                article=finding.article,
+                title=f"Technical rule: {finding.rule}",
+                status=STATUS_PASS if finding.ok else STATUS_FAIL,
+                detail=finding.detail,
+                evidence=[Evidence(
+                    kind="auditor", ref=f"metric:{metric}",
+                    summary=finding.detail, data=finding.ok,
+                )],
+            ))
+        return results
+
+
+def resolve_evidence(system: "RgpdOS", ref: str) -> object:
+    """Resolve an evidence ``ref`` against the live system.
+
+    Raises :class:`~repro.errors.GDPRError` when the reference does not
+    resolve — the report cited something the system cannot produce,
+    which is itself an audit failure.
+    """
+    kind, _, locator = ref.partition(":")
+    try:
+        if kind == "metric":
+            registry = system.telemetry.registry
+            registry.collect()
+            if locator in registry.gauges:
+                return registry.gauges[locator].value
+            if locator in registry.counters:
+                return registry.counters[locator].value
+            if locator in registry.histograms:
+                return registry.histograms[locator].summary()
+            raise KeyError(locator)
+        if kind == "log":
+            sub, _, rest = locator.partition(":")
+            if sub == "entry":
+                wanted = int(rest)
+                for entry in system.log.entries():
+                    if entry.entry_id == wanted:
+                        return entry.to_dict()
+                raise KeyError(rest)
+            if sub == "subject":
+                return [e.to_dict() for e in system.log.for_subject(rest)]
+            if sub == "purpose":
+                return [e.to_dict() for e in system.log.for_purpose(rest)]
+            if locator == "activity":
+                return system.log.activity_report()
+            raise KeyError(locator)
+        if kind == "membrane":
+            ded = AccessCredential(holder="evidence-resolver", is_ded=True)
+            return system.dbfs.get_membrane(locator, ded).to_dict()
+        if kind == "purpose":
+            purpose = system.ps._purposes[locator]
+            return {"name": purpose.name, "basis": purpose.basis,
+                    "uses": list(purpose.uses)}
+        if kind == "breach":
+            report = system.breach_monitor.reports[int(locator)]
+            return {"at": report.at, "notifiable": report.notifiable,
+                    "deadline": report.notification_deadline,
+                    "notified_at": report.notified_at}
+        if kind == "journal":
+            _, _, index = locator.partition(":")
+            shard = system.dbfs.shards[int(index)]
+            return {"live_records": len(shard.journal),
+                    "blocks_in_use": shard.journal.blocks_in_use}
+        if kind == "trail":
+            return system.evidence.entries()[int(locator)]
+    except (KeyError, IndexError, ValueError, errors.RgpdOSError) as exc:
+        raise errors.GDPRError(
+            f"evidence reference {ref!r} does not resolve: {exc}"
+        ) from exc
+    raise errors.GDPRError(f"unknown evidence reference kind in {ref!r}")

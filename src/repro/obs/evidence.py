@@ -1,0 +1,209 @@
+"""Tamper-evident evidence trail: hash-chained, append-only JSONL.
+
+The audit engine (``repro.obs.audit``) and the continuous monitors
+(``repro.obs.monitors``) both *claim* things about a live system —
+"no PD outlived its TTL", "the residue sweep found nothing".  A
+regulator has no reason to trust claims whose history the operator can
+quietly rewrite, so every claim is appended to an
+:class:`EvidenceTrail`: each entry carries the SHA-256 of its
+predecessor, the whole chain re-verifies from the genesis hash, and
+flipping a single byte anywhere in a persisted trail breaks
+:meth:`EvidenceTrail.verify_chain` (see
+``tests/obs/test_evidence.py`` for the property test).
+
+Entries are canonical-JSON hashed (sorted keys, fixed separators) so a
+trail exported to JSONL and re-loaded verifies bit-for-bit.  The trail
+is thread-safe: monitors append from the engine's worker threads while
+the audit engine reads.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import threading
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from .. import errors
+
+#: The hash a chain starts from (no predecessor).
+GENESIS_HASH = "0" * 64
+
+
+class EvidenceChainError(errors.RgpdOSError):
+    """A trail failed verification (tampered, truncated, reordered)."""
+
+
+def _canonical(payload: Mapping[str, object]) -> str:
+    """Deterministic JSON: the byte form the chain hashes are over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def entry_hash(entry: Mapping[str, object]) -> str:
+    """SHA-256 over the canonical entry *minus* its own ``hash`` field.
+
+    The predecessor's hash is part of the hashed content (``prev``), so
+    the digest commits to the whole history, not just this entry.
+    """
+    unsealed = {key: value for key, value in entry.items() if key != "hash"}
+    return hashlib.sha256(_canonical(unsealed).encode("utf-8")).hexdigest()
+
+
+class EvidenceTrail:
+    """Append-only, hash-chained list of evidence entries.
+
+    Each entry is a JSON-safe dict::
+
+        {"seq": 3, "at": 120.5, "kind": "monitor", "source": "residue",
+         "payload": {...}, "prev": "<sha256>", "hash": "<sha256>"}
+
+    ``append`` seals the entry; nothing mutates a sealed entry.  An
+    optional ``path`` makes the trail durable: every append is also
+    written through to the JSONL file, so the on-disk trail is exactly
+    the in-memory one (and :meth:`verify_file` checks it standalone).
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self._entries: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+        self._path = path
+        self._handle = open(path, "a", encoding="utf-8") if path else None
+
+    # -- writing ---------------------------------------------------------
+
+    def append(
+        self,
+        kind: str,
+        source: str,
+        payload: Mapping[str, object],
+        at: float,
+    ) -> Dict[str, object]:
+        """Seal one entry onto the chain and return it."""
+        with self._lock:
+            prev = self._entries[-1]["hash"] if self._entries else GENESIS_HASH
+            entry: Dict[str, object] = {
+                "seq": len(self._entries),
+                "at": at,
+                "kind": kind,
+                "source": source,
+                "payload": copy.deepcopy(dict(payload)),
+                "prev": prev,
+            }
+            entry["hash"] = entry_hash(entry)
+            self._entries.append(entry)
+            if self._handle is not None:
+                self._handle.write(_canonical(entry) + "\n")
+                self._handle.flush()
+            return copy.deepcopy(entry)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- reading ---------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, object]]:
+        # Deep copies: a sealed entry must stay immutable even if the
+        # caller edits what it got back (payloads nest dicts/lists).
+        with self._lock:
+            return copy.deepcopy(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def head(self) -> str:
+        """The latest hash — quote it externally to anchor the chain."""
+        with self._lock:
+            return self._entries[-1]["hash"] if self._entries else GENESIS_HASH
+
+    def tail(self, count: int) -> List[Dict[str, object]]:
+        with self._lock:
+            return copy.deepcopy(self._entries[-count:])
+
+    def find(
+        self, predicate: Callable[[Mapping[str, object]], bool]
+    ) -> List[Dict[str, object]]:
+        with self._lock:
+            return copy.deepcopy(
+                [e for e in self._entries if predicate(e)])
+
+    # -- verification ----------------------------------------------------
+
+    def verify_chain(self) -> int:
+        """Re-verify every link; returns the entry count.
+
+        Raises :class:`EvidenceChainError` naming the first bad entry
+        on any tamper: edited payload, re-ordered entries, truncation
+        in the middle, or a forged predecessor hash.
+        """
+        with self._lock:
+            return verify_entries(self._entries)
+
+    # -- persistence -----------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the whole trail to ``path``; returns the entry count."""
+        with self._lock:
+            with open(path, "w", encoding="utf-8") as handle:
+                for entry in self._entries:
+                    handle.write(_canonical(entry) + "\n")
+            return len(self._entries)
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "EvidenceTrail":
+        """Load and verify a persisted trail (round-trips with export)."""
+        trail = cls()
+        with open(path, "rb") as handle:
+            for line_no, raw in enumerate(handle, start=1):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    entry = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as exc:
+                    raise EvidenceChainError(
+                        f"{path}:{line_no}: not canonical JSON: {exc}"
+                    ) from exc
+                trail._entries.append(entry)
+        trail.verify_chain()
+        return trail
+
+    @staticmethod
+    def verify_file(path: str) -> int:
+        """Standalone check of a persisted trail; returns entry count."""
+        return len(EvidenceTrail.load_jsonl(path).entries())
+
+
+def verify_entries(entries: Iterable[Mapping[str, object]]) -> int:
+    """Verify an entry sequence as a chain (shared by trail and file)."""
+    prev = GENESIS_HASH
+    count = 0
+    for index, entry in enumerate(entries):
+        for field in ("seq", "at", "kind", "source", "payload",
+                      "prev", "hash"):
+            if field not in entry:
+                raise EvidenceChainError(
+                    f"entry {index}: missing field {field!r}"
+                )
+        if entry["seq"] != index:
+            raise EvidenceChainError(
+                f"entry {index}: sequence says {entry['seq']!r} "
+                f"(reordered or truncated mid-chain)"
+            )
+        if entry["prev"] != prev:
+            raise EvidenceChainError(
+                f"entry {index}: predecessor hash mismatch"
+            )
+        expected = entry_hash(entry)
+        if entry["hash"] != expected:
+            raise EvidenceChainError(
+                f"entry {index}: content hash mismatch (tampered)"
+            )
+        prev = entry["hash"]
+        count += 1
+    return count

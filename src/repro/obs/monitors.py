@@ -1,0 +1,424 @@
+"""Always-on compliance monitors: residue, TTL, breach, journal.
+
+ROADMAP item 2 asks for the one-shot forensic residue scan to become
+an *always-on invariant*.  These monitors run continuously in the
+background (on the request engine's thread infrastructure when one is
+running, so monitor work queues in its own purpose-fair lane and can
+never starve foreground rights requests) and publish what they see as
+``rgpdos.residue.*`` / ``rgpdos.audit.*`` gauges — the same registry
+Prometheus scrapes and the audit engine cites as evidence.
+
+* :class:`ResidueScrubberMonitor` — samples a window of device blocks
+  per tick, scanning for needles of erased PD (registered by the
+  erasure built-in via the :class:`ResidueWatchlist`), and turns the
+  one-shot ``residue_counts`` scan into a continuously-updated
+  ``rgpdos.residue.device_blocks`` gauge.  A planted residue block is
+  found within one full sweep by construction: the cursor covers every
+  block of every shard before wrapping.
+* :class:`TTLWatcherMonitor` — counts live membranes past retention
+  (Art. 5(1)(e)).
+* :class:`BreachDeadlineWatcherMonitor` — runs the Art. 33 breach scan
+  and exposes the 72-hour notification countdown as a gauge.
+* :class:`JournalBoundWatcherMonitor` — watches journal extent
+  utilisation so retention enforcement never silently stalls on a
+  full journal.
+
+Every significant observation is sealed into the system's
+hash-chained :class:`~repro.obs.evidence.EvidenceTrail`; payloads
+carry needle *digests*, never plaintext PD — the trail must not itself
+become a leak.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..core.active_data import AccessCredential
+from .evidence import EvidenceTrail
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import Telemetry
+
+#: Fairness lane monitor ticks run under when an engine is installed.
+MONITOR_LANE = "monitors"
+
+
+def needle_digest(needle: bytes) -> str:
+    """Short stable digest naming a needle without exposing the PD."""
+    return hashlib.sha256(needle).hexdigest()[:16]
+
+
+class ResidueWatchlist:
+    """Needles of erased PD the scrubber keeps looking for.
+
+    The erasure built-in registers the distinctive plaintext values it
+    computed for its one-shot residue scan; the scrubber then re-scans
+    for them forever (bounded by ``max_needles``, oldest evicted
+    first — an erased value that has stayed residue-free for many
+    sweeps is the safest to retire).
+    """
+
+    def __init__(self, max_needles: int = 512) -> None:
+        self.max_needles = max_needles
+        self._lock = threading.Lock()
+        self._needles: Dict[bytes, str] = {}  # needle -> subject_id
+
+    def register(self, subject_id: str, needles: Sequence[bytes]) -> int:
+        with self._lock:
+            for needle in needles:
+                if needle:
+                    self._needles[needle] = subject_id
+            while len(self._needles) > self.max_needles:
+                self._needles.pop(next(iter(self._needles)))
+            return len(self._needles)
+
+    def needles(self) -> List[bytes]:
+        with self._lock:
+            return list(self._needles)
+
+    def subjects(self) -> List[str]:
+        with self._lock:
+            return sorted(set(self._needles.values()))
+
+    def discard_subject(self, subject_id: str) -> int:
+        with self._lock:
+            victims = [n for n, s in self._needles.items() if s == subject_id]
+            for needle in victims:
+                del self._needles[needle]
+            return len(victims)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._needles)
+
+
+class Monitor:
+    """One background invariant check.
+
+    ``tick(now)`` publishes the monitor's gauges and returns a payload
+    dict when the observation is *significant* (worth sealing into the
+    evidence trail), else ``None``.
+    """
+
+    name = "monitor"
+
+    def tick(self, now: float) -> Optional[Mapping[str, object]]:
+        raise NotImplementedError
+
+
+class ResidueScrubberMonitor(Monitor):
+    """Incremental device-residue scrubber.
+
+    Each tick samples ``sample_blocks`` device blocks (the same window
+    on every shard) through
+    :meth:`~repro.storage.dbfs.DatabaseFS.residue_sample`, advancing a
+    cursor until the whole device span is covered — one *sweep*.  The
+    ``rgpdos.residue.device_blocks`` gauge holds the last completed
+    sweep's residue count; ``rgpdos.residue.sweep_matches`` the running
+    count of the sweep in progress, so a planted block shows up at the
+    tick that crosses it, not only at sweep end.
+    """
+
+    name = "residue-scrubber"
+
+    def __init__(
+        self,
+        dbfs,
+        watchlist: ResidueWatchlist,
+        telemetry: "Telemetry",
+        sample_blocks: int = 64,
+    ) -> None:
+        self.dbfs = dbfs
+        self.watchlist = watchlist
+        self.telemetry = telemetry
+        self.sample_blocks = max(1, sample_blocks)
+        self._cursor = 0
+        self._sweep_matches = 0
+        self._sweeps_completed = 0
+        self._last_sweep_matches = 0
+
+    @property
+    def device_span(self) -> int:
+        """Blocks one sweep must cover (largest shard device)."""
+        return max(shard.device.block_count for shard in self.dbfs.shards)
+
+    def ticks_per_sweep(self) -> int:
+        span = self.device_span
+        return (span + self.sample_blocks - 1) // self.sample_blocks
+
+    @property
+    def sweeps_completed(self) -> int:
+        return self._sweeps_completed
+
+    def tick(self, now: float) -> Optional[Mapping[str, object]]:
+        registry = self.telemetry.registry
+        needles = self.watchlist.needles()
+        registry.gauge("rgpdos.residue.watch_needles").set(len(needles))
+        if not needles:
+            registry.gauge("rgpdos.residue.sweep_progress_pct").set(0)
+            return None
+        result = self.dbfs.residue_sample(
+            needles, self._cursor, self.sample_blocks
+        )
+        self._cursor += self.sample_blocks
+        self._sweep_matches += result["device_blocks"]
+        registry.counter("rgpdos.residue.scanned_blocks").inc(
+            result["scanned_blocks"])
+        registry.gauge("rgpdos.residue.sweep_matches").set(
+            self._sweep_matches)
+        span = self.device_span
+        finished = self._cursor >= span
+        progress = 100.0 if finished else 100.0 * self._cursor / span
+        registry.gauge("rgpdos.residue.sweep_progress_pct").set(
+            round(progress, 1))
+        significant = result["device_blocks"] > 0
+        payload: Dict[str, object] = {
+            "matches": result["device_blocks"],
+            "scanned_blocks": result["scanned_blocks"],
+            "cursor": min(self._cursor, span),
+            "needle_digests": sorted(
+                needle_digest(n) for n in needles
+            )[:16],
+        }
+        if finished:
+            self._last_sweep_matches = self._sweep_matches
+            self._sweeps_completed += 1
+            registry.gauge("rgpdos.residue.device_blocks").set(
+                self._last_sweep_matches)
+            registry.counter("rgpdos.residue.sweeps").inc()
+            payload["sweep_completed"] = self._sweeps_completed
+            payload["sweep_residue_blocks"] = self._last_sweep_matches
+            self._cursor = 0
+            self._sweep_matches = 0
+            significant = True
+        return payload if significant else None
+
+
+class TTLWatcherMonitor(Monitor):
+    """Counts live membranes past their retention TTL (Art. 5(1)(e))."""
+
+    name = "ttl-watcher"
+
+    def __init__(self, dbfs, clock, telemetry: "Telemetry") -> None:
+        self.dbfs = dbfs
+        self.clock = clock
+        self.telemetry = telemetry
+        self._ded = AccessCredential(holder="ttl-watcher", is_ded=True)
+        self._last_overdue = -1
+
+    def tick(self, now: float) -> Optional[Mapping[str, object]]:
+        overdue = [
+            uid
+            for uid, membrane in self.dbfs.iter_membranes(self._ded)
+            if not membrane.erased
+            and membrane.ttl_seconds is not None
+            and now > membrane.created_at + membrane.ttl_seconds
+        ]
+        self.telemetry.registry.gauge("rgpdos.audit.ttl_overdue").set(
+            len(overdue))
+        changed = len(overdue) != self._last_overdue
+        self._last_overdue = len(overdue)
+        if not changed:
+            return None
+        return {"overdue": len(overdue), "uids": sorted(overdue)[:8]}
+
+
+class BreachDeadlineWatcherMonitor(Monitor):
+    """Runs the Art. 33 scan and exposes the 72-hour countdown."""
+
+    name = "breach-watcher"
+
+    def __init__(self, breach_monitor, clock, telemetry: "Telemetry") -> None:
+        self.breach_monitor = breach_monitor
+        self.clock = clock
+        self.telemetry = telemetry
+        self._last: Tuple[int, int, int] = (-1, -1, -1)
+
+    def tick(self, now: float) -> Optional[Mapping[str, object]]:
+        scan = self.breach_monitor.scan()
+        pending = self.breach_monitor.pending_notifications()
+        overdue = [
+            r for r in pending if r.notification_deadline < now
+        ]
+        countdown = min(
+            (r.notification_deadline - now for r in pending
+             if r.notification_deadline >= now),
+            default=0.0,
+        )
+        registry = self.telemetry.registry
+        registry.gauge("rgpdos.audit.breach_notifiable").set(
+            len(self.breach_monitor.notifiable_reports()))
+        registry.gauge("rgpdos.audit.breach_overdue").set(len(overdue))
+        registry.gauge("rgpdos.audit.breach_countdown_seconds").set(
+            countdown)
+        state = (len(self.breach_monitor.notifiable_reports()),
+                 len(pending), len(overdue))
+        changed = state != self._last or bool(scan.indicators)
+        self._last = state
+        if not changed:
+            return None
+        return {
+            "notifiable": state[0],
+            "pending": state[1],
+            "overdue": state[2],
+            "countdown_seconds": countdown,
+            "new_indicators": [
+                {"source": i.source, "count": i.count,
+                 "severity": i.severity}
+                for i in scan.indicators
+            ],
+        }
+
+
+class JournalBoundWatcherMonitor(Monitor):
+    """Watches journal extent utilisation across the shard fleet."""
+
+    name = "journal-watcher"
+
+    def __init__(self, dbfs, telemetry: "Telemetry",
+                 warn_utilization: float = 0.8) -> None:
+        self.dbfs = dbfs
+        self.telemetry = telemetry
+        self.warn_utilization = warn_utilization
+        self._last_warned: Optional[bool] = None
+
+    def tick(self, now: float) -> Optional[Mapping[str, object]]:
+        utilizations = []
+        live_records = 0
+        for shard in self.dbfs.shards:
+            journal = shard.journal
+            capacity = max(1, journal.reserved_blocks - 2)
+            utilizations.append(journal.blocks_in_use / capacity)
+            live_records += len(journal)
+        worst = max(utilizations) if utilizations else 0.0
+        registry = self.telemetry.registry
+        registry.gauge("rgpdos.audit.journal_utilization_pct").set(
+            round(100.0 * worst, 1))
+        registry.gauge("rgpdos.audit.journal_live_records").set(live_records)
+        warned = worst >= self.warn_utilization
+        changed = warned != self._last_warned
+        self._last_warned = warned
+        if not changed:
+            return None
+        return {
+            "utilization_pct": round(100.0 * worst, 1),
+            "live_records": live_records,
+            "over_threshold": warned,
+            "threshold_pct": round(100.0 * self.warn_utilization, 1),
+        }
+
+
+class MonitorDaemon:
+    """Drives the monitors, inline or on the request engine.
+
+    ``tick_all()`` runs one synchronous round (tests and the CLI's
+    ``--continuous`` drive this directly for determinism);
+    :meth:`start` spins a daemon thread ticking every
+    ``interval_seconds`` of *wall* time.  When a running
+    :class:`~repro.engine.engine.RequestEngine` is installed, each
+    monitor's tick is submitted to the engine under the ``monitors``
+    fairness lane, so background compliance work shares worker threads
+    with (but cannot starve) foreground requests.
+    """
+
+    def __init__(
+        self,
+        monitors: Sequence[Monitor],
+        clock,
+        trail: EvidenceTrail,
+        telemetry: "Telemetry",
+        interval_seconds: float = 0.05,
+        engine=None,
+    ) -> None:
+        self.monitors = list(monitors)
+        self.clock = clock
+        self.trail = trail
+        self.telemetry = telemetry
+        self.interval_seconds = interval_seconds
+        self.engine = engine
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.ticks = 0
+        self.evidence_appended = 0
+
+    # -- driving ---------------------------------------------------------
+
+    def tick_all(self) -> int:
+        """One round over every monitor; returns evidence entries sealed."""
+        now = self.clock.now()
+        engine = self.engine
+        if engine is not None and engine.running:
+            futures = [
+                (monitor, engine.try_submit(
+                    monitor.tick, now, purpose=MONITOR_LANE))
+                for monitor in self.monitors
+            ]
+            outcomes = [
+                (monitor, future.result() if future is not None
+                 else monitor.tick(now))
+                for monitor, future in futures
+            ]
+        else:
+            outcomes = [
+                (monitor, monitor.tick(now)) for monitor in self.monitors
+            ]
+        sealed = 0
+        for monitor, payload in outcomes:
+            if payload is not None:
+                self.trail.append(
+                    kind="monitor", source=monitor.name,
+                    payload=dict(payload), at=now,
+                )
+                sealed += 1
+        self.ticks += 1
+        self.evidence_appended += sealed
+        registry = self.telemetry.registry
+        registry.counter("rgpdos.audit.monitor_ticks").inc()
+        registry.gauge("rgpdos.audit.evidence_entries").set(len(self.trail))
+        return sealed
+
+    def run_for_ticks(self, ticks: int) -> int:
+        """Drive ``ticks`` synchronous rounds; returns evidence sealed."""
+        return sum(self.tick_all() for _ in range(ticks))
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MonitorDaemon":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="rgpdos-monitors", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.tick_all()
+            self._stop.wait(self.interval_seconds)
+
+    # -- reporting -------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "running": self.running,
+            "interval_seconds": self.interval_seconds,
+            "monitors": [monitor.name for monitor in self.monitors],
+            "ticks": self.ticks,
+            "evidence_appended": self.evidence_appended,
+            "on_engine": bool(self.engine is not None
+                              and self.engine.running),
+        }

@@ -335,6 +335,24 @@ class BlockDevice:
             if needle in data
         ]
 
+    def scan_range(self, needle: bytes, start: int, stop: int) -> List[int]:
+        """Like :meth:`scan`, bounded to blocks ``[start, stop)``.
+
+        The incremental residue scrubber samples the device one window
+        per tick instead of paying an O(device) scan on every pass;
+        the window is clamped to the device, so a cursor walking past
+        the end simply sees an empty tail.
+        """
+        if not needle:
+            raise errors.BlockDeviceError("cannot scan for an empty needle")
+        start = max(0, start)
+        stop = min(self.block_count, stop)
+        return [
+            block_no
+            for block_no in range(start, stop)
+            if needle in self._blocks[block_no]
+        ]
+
     def iter_allocated(self) -> Iterator[int]:
         for block_no in range(self._watermark):
             if block_no not in self._freed_set:

@@ -1975,6 +1975,37 @@ class DatabaseFS:
             "journal_records": journal_records,
         }
 
+    def residue_sample(
+        self,
+        needles: Sequence[bytes],
+        start_block: int,
+        block_count: int,
+    ) -> Dict[str, int]:
+        """One incremental window of the residue scan.
+
+        Scans device blocks ``[start_block, start_block + block_count)``
+        for the needles, excluding blocks that belong to live records
+        (identical semantics to :meth:`residue_counts`, so summing
+        every window of one full sweep equals the one-shot scan).
+        Returns ``{"scanned_blocks": n, "device_blocks": m}``; the
+        window is clamped to the device, so a cursor past the end
+        scans nothing.
+        """
+        stop = min(self.device.block_count, start_block + block_count)
+        start = max(0, start_block)
+        scanned = max(0, stop - start)
+        if scanned == 0:
+            return {"scanned_blocks": 0, "device_blocks": 0}
+        legit_blocks = self.live_record_blocks()
+        hits = 0
+        for needle in needles:
+            hits += sum(
+                1
+                for block_no in self.device.scan_range(needle, start, stop)
+                if block_no not in legit_blocks
+            )
+        return {"scanned_blocks": scanned, "device_blocks": hits}
+
     # ------------------------------------------------------------------
     # Shard topology (trivial on a single DBFS)
     # ------------------------------------------------------------------

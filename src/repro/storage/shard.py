@@ -874,6 +874,27 @@ class ShardedDBFS:
             totals["journal_records"] += counts["journal_records"]
         return totals
 
+    def residue_sample(
+        self,
+        needles: Sequence[bytes],
+        start_block: int,
+        block_count: int,
+    ) -> Dict[str, int]:
+        """One incremental residue window, applied to every healthy
+        shard in parallel position: the scrubber's single cursor walks
+        the same block window on all devices, so one full sweep of the
+        largest device covers the whole fleet."""
+        totals = {"scanned_blocks": 0, "device_blocks": 0}
+        for result in self._fan([
+            (lambda s=shard: s.residue_sample(
+                needles, start_block, block_count
+            ))
+            for _, shard in self._healthy()
+        ]):
+            totals["scanned_blocks"] += result["scanned_blocks"]
+            totals["device_blocks"] += result["device_blocks"]
+        return totals
+
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------

@@ -1,0 +1,120 @@
+"""Art. 33 deadline bookkeeping under simulated time.
+
+Satellite of the observability PR: the 72-hour notification window
+(`NOTIFICATION_DEADLINE_SECONDS`), pending/overdue classification as
+the Clock advances, `mark_notified`, and the Art. 33(3) document
+structure.
+"""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.core.active_data import AccessCredential
+from repro.core.breach import (
+    NOTIFICATION_DEADLINE_SECONDS,
+    BreachMonitor,
+)
+from repro.storage.query import DataQuery
+
+
+@pytest.fixture
+def monitored(populated):
+    system, alice, _ = populated
+    monitor = BreachMonitor(
+        dbfs=system.dbfs, log=system.log, clock=system.clock
+    )
+    monitor.scan()  # baseline: absorb setup noise
+    return system, monitor
+
+
+def notifiable_report(system, monitor):
+    outsider = AccessCredential(holder="attacker", is_ded=False)
+    for _ in range(6):
+        with pytest.raises(errors.PDLeakError):
+            system.dbfs.fetch_records(
+                DataQuery(uids=tuple(system.dbfs.all_uids()[:1])), outsider
+            )
+    report = monitor.scan()
+    assert report.notifiable
+    return report
+
+
+class TestDeadline:
+    def test_deadline_is_72_hours_from_awareness(self, monitored):
+        system, monitor = monitored
+        aware_at = system.clock.now()
+        report = notifiable_report(system, monitor)
+        assert NOTIFICATION_DEADLINE_SECONDS == 72 * 3600
+        assert report.notification_deadline == \
+            aware_at + NOTIFICATION_DEADLINE_SECONDS
+
+    def test_non_notifiable_has_no_deadline(self, monitored):
+        _, monitor = monitored
+        report = monitor.scan()
+        assert not report.notifiable
+        assert report.notification_deadline is None
+        assert monitor.pending_notifications() == []
+
+    def test_pending_within_window(self, monitored):
+        system, monitor = monitored
+        report = notifiable_report(system, monitor)
+        system.advance_time(NOTIFICATION_DEADLINE_SECONDS - 1)
+        assert monitor.pending_notifications() == [report]
+        assert monitor.overdue_notifications(system.clock.now()) == []
+
+    def test_overdue_once_window_closes(self, monitored):
+        system, monitor = monitored
+        report = notifiable_report(system, monitor)
+        system.advance_time(NOTIFICATION_DEADLINE_SECONDS + 1)
+        assert monitor.overdue_notifications(system.clock.now()) == [report]
+
+    def test_mark_notified_clears_pending(self, monitored):
+        system, monitor = monitored
+        report = notifiable_report(system, monitor)
+        system.advance_time(3600)
+        notified_at = monitor.mark_notified(report)
+        assert notified_at == system.clock.now()
+        assert report.notified_at == notified_at
+        assert monitor.pending_notifications() == []
+        system.advance_time(NOTIFICATION_DEADLINE_SECONDS * 2)
+        assert monitor.overdue_notifications(system.clock.now()) == []
+        # still on the notifiable record — notification doesn't unhappen
+        assert monitor.notifiable_reports() == [report]
+
+    def test_multiple_reports_tracked_independently(self, monitored):
+        system, monitor = monitored
+        first = notifiable_report(system, monitor)
+        system.advance_time(NOTIFICATION_DEADLINE_SECONDS + 10)
+        second = notifiable_report(system, monitor)
+        now = system.clock.now()
+        assert monitor.pending_notifications() == [first, second]
+        assert monitor.overdue_notifications(now) == [first]
+        monitor.mark_notified(first)
+        assert monitor.pending_notifications() == [second]
+        assert monitor.overdue_notifications(now) == []
+
+
+class TestNotificationDocument:
+    def test_art33_3_structure(self, monitored):
+        """The document carries the four Art. 33(3) elements."""
+        system, monitor = monitored
+        report = notifiable_report(system, monitor)
+        document = json.loads(monitor.notification_document(report))
+        assert document["article"] == "GDPR Art. 33"
+        assert document["reported_at"] == report.at
+        assert document["notification_deadline"] == \
+            report.at + NOTIFICATION_DEADLINE_SECONDS
+        # (a) nature of the breach
+        (indicator,) = document["nature_of_breach"]
+        assert indicator["source"] == "dbfs-direct-access"
+        assert indicator["events"] == 6
+        assert indicator["severity"] == "high"
+        # (a cont.) categories and approximate numbers of subjects
+        categories = document["categories_of_data_subjects"]
+        assert categories["subjects_held"] == 2
+        assert categories["pd_records_held"] >= 2
+        # (c) likely consequences, (d) measures taken
+        assert "blocked" in document["likely_consequences"]
+        assert document["measures_taken"]

@@ -89,6 +89,60 @@ class TestQueries:
         assert len(log.denials()) == 1
 
 
+class TestPerInstanceIds:
+    """Entry ids are per log instance, not process-global."""
+
+    def test_ids_start_at_one(self):
+        log = ProcessingLog()
+        assert entry_for(log, [("alice", "u1")]).entry_id == 1
+
+    def test_two_logs_do_not_share_an_id_space(self):
+        first, second = ProcessingLog(), ProcessingLog()
+        entry_for(first, [("alice", "u1")])
+        entry_for(first, [("alice", "u2")])
+        assert entry_for(second, [("bob", "u3")]).entry_id == 1
+        assert entry_for(first, [("alice", "u4")]).entry_id == 3
+
+    def test_concurrent_records_are_unique_and_indexed(self):
+        import threading
+
+        log = ProcessingLog()
+        barrier = threading.Barrier(4)
+
+        def worker(subject):
+            barrier.wait()
+            for index in range(100):
+                entry_for(log, [(subject, f"{subject}-u{index}")],
+                          purpose=subject)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"s{w}",))
+            for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        entries = log.entries()
+        assert len(entries) == 400
+        assert sorted(e.entry_id for e in entries) == list(range(1, 401))
+        for w in range(4):
+            assert len(log.for_subject(f"s{w}")) == 100
+            assert len(log.for_purpose(f"s{w}")) == 100
+
+
+class TestForPurpose:
+    def test_for_purpose_indexed(self):
+        log = ProcessingLog()
+        entry_for(log, [("alice", "u1")], purpose="stats")
+        entry_for(log, [("bob", "u2")], purpose="billing")
+        entry_for(log, [("alice", "u3")], purpose="stats",
+                  outcome=OUTCOME_DENIED)
+        stats_entries = log.for_purpose("stats")
+        assert [e.entry_id for e in stats_entries] == [1, 3]
+        assert log.for_purpose("nope") == []
+
+
 class TestReports:
     def test_to_dict_machine_readable(self):
         log = ProcessingLog()

@@ -1,0 +1,192 @@
+"""Tamper-evidence properties of the hash-chained trail.
+
+The load-bearing claim: *any* single-byte mutation of a persisted
+trail breaks ``verify_chain`` — checked as a hypothesis property over
+arbitrary byte positions and replacement values, plus targeted tests
+for reordering, truncation mid-chain, and forged predecessor hashes.
+"""
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.evidence import (
+    GENESIS_HASH,
+    EvidenceChainError,
+    EvidenceTrail,
+    entry_hash,
+    verify_entries,
+)
+
+
+def build_trail(entries=4, path=None):
+    trail = EvidenceTrail(path=path)
+    for index in range(entries):
+        trail.append(
+            kind="monitor" if index % 2 else "audit",
+            source=f"source-{index}",
+            payload={"value": index, "nested": {"uids": [f"u{index}"]}},
+            at=float(index),
+        )
+    return trail
+
+
+class TestChaining:
+    def test_empty_trail_verifies(self):
+        trail = EvidenceTrail()
+        assert trail.verify_chain() == 0
+        assert trail.head == GENESIS_HASH
+
+    def test_chain_links_and_verifies(self):
+        trail = build_trail(5)
+        entries = trail.entries()
+        assert entries[0]["prev"] == GENESIS_HASH
+        for prev, entry in zip(entries, entries[1:]):
+            assert entry["prev"] == prev["hash"]
+        assert trail.verify_chain() == 5
+        assert trail.head == entries[-1]["hash"]
+
+    def test_hash_commits_to_history(self):
+        """Same content appended after different histories hashes
+        differently — the digest covers ``prev``."""
+        a, b = EvidenceTrail(), EvidenceTrail()
+        b.append(kind="audit", source="s", payload={}, at=0.0)
+        ea = a.append(kind="monitor", source="m", payload={"x": 1}, at=1.0)
+        eb = b.append(kind="monitor", source="m", payload={"x": 1}, at=1.0)
+        assert ea["hash"] != eb["hash"]
+
+    def test_entry_hash_ignores_own_seal(self):
+        trail = build_trail(1)
+        entry = trail.entries()[0]
+        assert entry_hash(entry) == entry["hash"]
+
+    def test_edited_payload_detected(self):
+        entries = build_trail(3).entries()
+        entries[1]["payload"]["value"] = 999
+        with pytest.raises(EvidenceChainError, match="content hash"):
+            verify_entries(entries)
+
+    def test_reordered_entries_detected(self):
+        entries = build_trail(3).entries()
+        entries[1], entries[2] = entries[2], entries[1]
+        with pytest.raises(EvidenceChainError):
+            verify_entries(entries)
+
+    def test_mid_chain_truncation_detected(self):
+        entries = build_trail(4).entries()
+        del entries[1]
+        with pytest.raises(EvidenceChainError):
+            verify_entries(entries)
+
+    def test_tail_truncation_is_silent_but_head_moves(self):
+        """Dropping the newest entries still verifies (the chain can't
+        know its own future) — which is exactly why ``head`` exists: an
+        externally-anchored head hash no longer matches."""
+        trail = build_trail(4)
+        head = trail.head
+        entries = trail.entries()[:-1]
+        assert verify_entries(entries) == 3
+        assert entries[-1]["hash"] != head
+
+    def test_forged_prev_detected(self):
+        entries = build_trail(3).entries()
+        entries[2]["prev"] = "f" * 64
+        entries[2]["hash"] = entry_hash(entries[2])  # re-seal consistently
+        with pytest.raises(EvidenceChainError, match="predecessor"):
+            verify_entries(entries)
+
+
+class TestPersistence:
+    def test_export_load_round_trip(self, tmp_path):
+        trail = build_trail(6)
+        path = str(tmp_path / "trail.jsonl")
+        assert trail.export_jsonl(path) == 6
+        loaded = EvidenceTrail.load_jsonl(path)
+        assert loaded.entries() == trail.entries()
+        assert loaded.verify_chain() == 6
+        assert EvidenceTrail.verify_file(path) == 6
+
+    def test_write_through_matches_export(self, tmp_path):
+        durable = str(tmp_path / "durable.jsonl")
+        trail = build_trail(4, path=durable)
+        trail.close()
+        exported = str(tmp_path / "exported.jsonl")
+        trail.export_jsonl(exported)
+        assert open(durable).read() == open(exported).read()
+        assert EvidenceTrail.verify_file(durable) == 4
+
+    def test_remount_and_extend(self, tmp_path):
+        """A loaded trail keeps chaining from where the file left off."""
+        path = str(tmp_path / "trail.jsonl")
+        build_trail(3).export_jsonl(path)
+        loaded = EvidenceTrail.load_jsonl(path)
+        loaded.append(kind="audit", source="later", payload={}, at=9.0)
+        assert loaded.verify_chain() == 4
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_any_single_byte_mutation_breaks_verification(
+        self, tmp_path_factory, data
+    ):
+        """Flip one byte anywhere in the persisted JSONL: the reloaded
+        trail either fails to parse or fails chain verification."""
+        path = str(tmp_path_factory.mktemp("ev") / "trail.jsonl")
+        build_trail(3).export_jsonl(path)
+        raw = bytearray(open(path, "rb").read())
+        position = data.draw(
+            st.integers(min_value=0, max_value=len(raw) - 1))
+        replacement = data.draw(
+            st.integers(min_value=0, max_value=255).filter(
+                lambda b: b != raw[position]))
+        # Newline edits change line structure, everything else changes
+        # content; both must be caught.
+        raw[position] = replacement
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+        with pytest.raises(EvidenceChainError):
+            EvidenceTrail.load_jsonl(path)
+
+
+class TestConcurrency:
+    def test_parallel_appends_keep_chain_valid(self):
+        trail = EvidenceTrail()
+        barrier = threading.Barrier(4)
+
+        def worker(worker_id):
+            barrier.wait()
+            for index in range(50):
+                trail.append(
+                    kind="monitor", source=f"w{worker_id}",
+                    payload={"i": index}, at=float(index),
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert trail.verify_chain() == 200
+        assert [e["seq"] for e in trail.entries()] == list(range(200))
+
+
+class TestQueries:
+    def test_tail_and_find(self):
+        trail = build_trail(6)
+        assert [e["seq"] for e in trail.tail(2)] == [4, 5]
+        audits = trail.find(lambda e: e["kind"] == "audit")
+        assert audits and all(e["kind"] == "audit" for e in audits)
+
+    def test_entries_are_copies(self):
+        trail = build_trail(2)
+        trail.entries()[0]["payload"]["value"] = 123456
+        assert trail.verify_chain() == 2
+
+    def test_canonical_json_is_stable(self):
+        entry = build_trail(1).entries()[0]
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        assert entry_hash(json.loads(line)) == entry["hash"]

@@ -1,0 +1,263 @@
+"""Always-on monitors: residue scrubber, TTL/breach/journal watchers,
+and the daemon that drives them (inline, threaded, and on the engine).
+"""
+
+import pytest
+
+from conftest import LISTING1_DECLARATIONS
+from repro import RgpdOS
+from repro.core.active_data import AccessCredential
+from repro.errors import PDLeakError
+from repro.obs.monitors import (
+    MonitorDaemon,
+    ResidueScrubberMonitor,
+    ResidueWatchlist,
+    needle_digest,
+)
+from repro.storage.query import DataQuery
+
+
+@pytest.fixture
+def small_system(shared_authority):
+    """Machine-less system on a small device so a full scrubber sweep
+    is a handful of ticks, not a thousand."""
+    os_ = RgpdOS(
+        operator_name="monitor-test",
+        authority=shared_authority,
+        with_machine=False,
+        pd_device_blocks=512,
+    )
+    os_.install(LISTING1_DECLARATIONS)
+    os_.collect(
+        "user",
+        {"name": "Alice Martin", "pwd": "alice-secret-pwd",
+         "year_of_birthdate": 1990},
+        subject_id="alice", method="web_form",
+    )
+    os_.collect(
+        "user",
+        {"name": "Bob Durand", "pwd": "bob-secret-pwd",
+         "year_of_birthdate": 1985},
+        subject_id="bob", method="web_form",
+    )
+    return os_
+
+
+class TestWatchlist:
+    def test_register_and_query(self):
+        watchlist = ResidueWatchlist()
+        watchlist.register("alice", [b"Alice Martin", b"alice-secret"])
+        watchlist.register("bob", [b"Bob Durand"])
+        assert len(watchlist) == 3
+        assert watchlist.subjects() == ["alice", "bob"]
+        assert watchlist.discard_subject("alice") == 2
+        assert watchlist.needles() == [b"Bob Durand"]
+
+    def test_empty_needles_ignored(self):
+        watchlist = ResidueWatchlist()
+        watchlist.register("alice", [b"", b"real-needle"])
+        assert watchlist.needles() == [b"real-needle"]
+
+    def test_bounded_oldest_first(self):
+        watchlist = ResidueWatchlist(max_needles=2)
+        watchlist.register("a", [b"first"])
+        watchlist.register("b", [b"second", b"third"])
+        assert len(watchlist) == 2
+        assert b"first" not in watchlist.needles()
+
+    def test_erasure_feeds_system_watchlist(self, small_system):
+        small_system.rights.erase("alice")
+        needles = small_system.residue_watchlist.needles()
+        assert b"Alice Martin" in needles
+        assert b"alice-secret-pwd" in needles
+        erasures = small_system.evidence.find(
+            lambda e: e["kind"] == "erasure")
+        assert len(erasures) == 1
+        payload = erasures[0]["payload"]
+        assert needle_digest(b"Alice Martin") in payload["needle_digests"]
+        # digests only — no plaintext PD in the trail
+        assert "Alice Martin" not in str(payload)
+
+
+class TestResidueScrubber:
+    def test_planted_residue_found_within_one_sweep(self, small_system):
+        system = small_system
+        system.rights.erase("alice")
+        daemon = system.start_monitors(sample_blocks=64)
+        scrubber = daemon.monitors[0]
+        assert isinstance(scrubber, ResidueScrubberMonitor)
+        device = system.pd_device
+        block = device.block_count - 1
+        needle = b"Alice Martin"
+        device.write(block, needle + b"\x00" * (device.block_size - len(needle)))
+        daemon.run_for_ticks(scrubber.ticks_per_sweep())
+        registry = system.telemetry.registry
+        assert scrubber.sweeps_completed >= 1
+        assert registry.gauge_value("rgpdos.residue.device_blocks") >= 1
+        hits = system.evidence.find(
+            lambda e: e["source"] == "residue-scrubber"
+            and e["payload"].get("matches", 0) > 0)
+        assert hits, "the crossing tick should seal a trail entry"
+        assert system.evidence.verify_chain() == len(system.evidence)
+
+    def test_clean_sweep_reports_zero(self, small_system):
+        system = small_system
+        system.rights.erase("alice")
+        daemon = system.start_monitors(sample_blocks=64)
+        scrubber = daemon.monitors[0]
+        daemon.run_for_ticks(scrubber.ticks_per_sweep())
+        registry = system.telemetry.registry
+        assert scrubber.sweeps_completed == 1
+        assert registry.gauge_value("rgpdos.residue.device_blocks") == 0
+        assert registry.counter(
+            "rgpdos.residue.scanned_blocks").value >= scrubber.device_span
+
+    def test_sweep_sum_matches_one_shot_scan(self, small_system):
+        """Summing a sweep's windows equals ``residue_counts``' device
+        count — the incremental scan is the one-shot scan, split up."""
+        system = small_system
+        system.rights.erase("alice")
+        needles = system.residue_watchlist.needles()
+        device = system.pd_device
+        payload = b"Alice Martin" + b"\x00" * (device.block_size - 12)
+        device.write(device.block_count - 1, payload)
+        device.write(device.block_count - 3, payload)
+        one_shot = system.dbfs.residue_counts(needles, subject_id="alice")
+        total = 0
+        for start in range(0, device.block_count, 64):
+            total += system.dbfs.residue_sample(needles, start, 64)[
+                "device_blocks"]
+        assert total == one_shot["device_blocks"] >= 2
+
+    def test_idle_without_needles(self, small_system):
+        daemon = small_system.start_monitors(sample_blocks=64)
+        sealed = daemon.monitors[0].tick(small_system.clock.now())
+        assert sealed is None
+        registry = small_system.telemetry.registry
+        assert registry.gauge_value("rgpdos.residue.watch_needles") == 0
+
+
+class TestWatchers:
+    def test_ttl_watcher_counts_overdue(self, small_system):
+        system = small_system
+        daemon = system.start_monitors()
+        ttl_watcher = daemon.monitors[1]
+        assert ttl_watcher.tick(system.clock.now())["overdue"] == 0
+        system.advance_time(400 * 86400)
+        payload = ttl_watcher.tick(system.clock.now())
+        assert payload["overdue"] == 2
+        registry = system.telemetry.registry
+        assert registry.gauge_value("rgpdos.audit.ttl_overdue") == 2
+        # unchanged count is not significant — no duplicate sealing
+        assert ttl_watcher.tick(system.clock.now()) is None
+
+    def test_breach_watcher_countdown(self, small_system):
+        system = small_system
+        daemon = system.start_monitors()
+        breach_watcher = daemon.monitors[2]
+        breach_watcher.tick(system.clock.now())
+        outsider = AccessCredential(holder="attacker", is_ded=False)
+        for _ in range(6):
+            with pytest.raises(PDLeakError):
+                system.dbfs.fetch_records(
+                    DataQuery(uids=tuple(system.dbfs.all_uids()[:1])),
+                    outsider,
+                )
+        payload = breach_watcher.tick(system.clock.now())
+        assert payload["notifiable"] == 1
+        assert payload["pending"] == 1
+        assert payload["new_indicators"]
+        registry = system.telemetry.registry
+        assert 0 < registry.gauge_value(
+            "rgpdos.audit.breach_countdown_seconds") <= 72 * 3600
+        system.advance_time(73 * 3600)
+        payload = breach_watcher.tick(system.clock.now())
+        assert payload["overdue"] == 1
+        assert registry.gauge_value("rgpdos.audit.breach_overdue") == 1
+
+    def test_journal_watcher_publishes_utilization(self, small_system):
+        system = small_system
+        daemon = system.start_monitors()
+        journal_watcher = daemon.monitors[3]
+        payload = journal_watcher.tick(system.clock.now())
+        assert payload["over_threshold"] is False
+        assert payload["live_records"] == len(system.dbfs.shards[0].journal)
+        registry = system.telemetry.registry
+        assert registry.gauge_value(
+            "rgpdos.audit.journal_utilization_pct") >= 0
+        assert journal_watcher.tick(system.clock.now()) is None
+
+
+class TestDaemon:
+    def test_tick_all_seals_significant_payloads(self, small_system):
+        system = small_system
+        daemon = system.start_monitors()
+        before = len(system.evidence)
+        daemon.tick_all()  # first tick: watchers report initial state
+        assert len(system.evidence) > before
+        assert system.evidence.verify_chain() == len(system.evidence)
+        registry = system.telemetry.registry
+        assert registry.counter("rgpdos.audit.monitor_ticks").value == 1
+        assert registry.gauge_value("rgpdos.audit.evidence_entries") == \
+            len(system.evidence)
+
+    def test_quiet_ticks_seal_nothing(self, small_system):
+        daemon = small_system.start_monitors()
+        daemon.tick_all()
+        sealed = daemon.run_for_ticks(5)
+        assert sealed == 0
+
+    def test_start_monitors_idempotent_and_stats_block(self, small_system):
+        daemon = small_system.start_monitors()
+        assert small_system.start_monitors() is daemon
+        daemon.run_for_ticks(2)
+        block = small_system.stats()["monitors"]
+        assert block["ticks"] == 2
+        assert block["monitors"] == [
+            "residue-scrubber", "ttl-watcher", "breach-watcher",
+            "journal-watcher",
+        ]
+        small_system.stop_monitors()
+        assert small_system.monitors is None
+
+    def test_background_thread_ticks(self, small_system):
+        daemon = small_system.start_monitors(
+            interval_seconds=0.001, background=True)
+        assert daemon.running
+        import time
+        deadline = time.monotonic() + 5.0
+        while daemon.ticks < 3 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        small_system.stop_monitors()
+        assert daemon.ticks >= 3
+        assert not daemon.running
+        assert small_system.evidence.verify_chain() == \
+            len(small_system.evidence)
+
+    def test_ticks_ride_the_engine_monitor_lane(self, small_system):
+        system = small_system
+        system.start_engine(workers=2)
+        try:
+            daemon = system.start_monitors()
+            assert daemon.as_dict()["on_engine"] is True
+            before = system.engine.stats.completed
+            daemon.run_for_ticks(3)
+            # Monitor ticks ran as engine requests (shed ones fall back
+            # inline, but a 2-worker idle engine accepts them all).
+            assert system.engine.stats.completed >= before + 1
+            assert daemon.ticks == 3
+        finally:
+            system.stop_monitors()
+            system.stop_engine()
+
+    def test_inline_fallback_without_engine(self, small_system):
+        trail = small_system.evidence
+        daemon = MonitorDaemon(
+            monitors=small_system.start_monitors().monitors,
+            clock=small_system.clock,
+            trail=trail,
+            telemetry=small_system.telemetry,
+            engine=None,
+        )
+        daemon.tick_all()
+        assert daemon.ticks == 1
