@@ -1,0 +1,279 @@
+"""RETENTION — timer-wheel expiry at scale on the GDPRBench mix.
+
+Two measurements, emitted to ``BENCH_retention.json`` in the shared
+``bench_util`` schema:
+
+* **steady-state throughput** — the GDPRBench ``customer`` mix on the
+  rgpdOS adapter while a separate, continuously-expiring cohort
+  (~10% of it reaching its TTL deadline every simulated day) is
+  drained into erasure waves by the :class:`ExpiryDaemon`, vs the
+  identical mix with the daemon off (same cohorts, same clock
+  advances, expired PD left in place).  Acceptance: daemon-on
+  throughput stays >= 0.9x daemon-off.
+* **device residue over time** — device + journal block usage sampled
+  each simulated day while the daemon erases, then one
+  :meth:`DatabaseFS.compact` pass; the erased cohort's payload bytes
+  must reach exactly zero residue and the compaction must reclaim
+  blocks.
+
+Scale knobs (for the CI smoke job): ``RETENTION_BENCH_SUBJECTS``,
+``RETENTION_BENCH_EXPIRING``, ``RETENTION_BENCH_OPS``,
+``RETENTION_BENCH_REPEATS``.
+"""
+
+import os
+import time
+
+from bench_util import latency_block, merge_metric
+from conftest import print_series
+
+from repro import RgpdOS
+from repro.baseline.gdprbench import GDPRBenchRunner, RgpdOSAdapter
+from repro.core.crypto import Authority
+from repro.core.datatypes import FieldDef, PDType
+from repro.obs.monitors import ExpiryDaemon
+
+SUBJECTS = int(os.environ.get("RETENTION_BENCH_SUBJECTS", "100"))
+EXPIRING = int(os.environ.get("RETENTION_BENCH_EXPIRING", "200"))
+OPS = int(os.environ.get("RETENTION_BENCH_OPS", "150"))
+REPEATS = int(os.environ.get("RETENTION_BENCH_REPEATS", "3"))
+PERSONA = "customer"
+MIN_THROUGHPUT_RATIO = 0.9
+DAY = 86400.0
+#: The expiring cohort is loaded in 10 daily chunks with a 10-day TTL,
+#: so once the mix starts every further simulated day expires exactly
+#: one chunk — the paper's "~10%/day expiring" steady state.
+CHUNKS = 10
+TTL_DAYS = 10
+
+LATENCY_OPS = ("ps.invoke", "ded.run", "dbfs.store", "journal.commit")
+
+
+def ephemeral_type():
+    return PDType(
+        name="ephemeral",
+        fields=(FieldDef("payload", "string"),),
+        default_consent={"analytics": "all"},
+        collection={"web_form": "form.html"},
+        ttl_seconds=TTL_DAYS * DAY,
+    )
+
+
+def load_expiring_cohort(system, count):
+    """``count`` short-TTL records in ``CHUNKS`` daily chunks, so their
+    deadlines arrive staggered, one chunk per simulated day."""
+    system.install_type(ephemeral_type())
+    per_chunk = max(1, count // CHUNKS)
+    loaded = 0
+    for chunk in range(CHUNKS):
+        if chunk:
+            system.advance_time(DAY)
+        with system.dbfs.batch():
+            for i in range(per_chunk):
+                system.collect(
+                    "ephemeral",
+                    {"payload": f"ephemeral-payload-{chunk}-{i:04d}"},
+                    subject_id=f"eph-{chunk}-{i:04d}",
+                    method="web_form",
+                )
+                loaded += 1
+    return loaded
+
+
+def _mix_seconds(daemon_on):
+    """Wall seconds for one fresh load + daily advance/expiry/mix loop.
+
+    Both configurations build identical cohorts and advance the clock
+    identically; only the *on* configuration runs the daemon, draining
+    each day's expirals before that day's slice of the mix.
+    """
+    adapter = RgpdOSAdapter(with_machine=False)
+    runner = GDPRBenchRunner(adapter, seed=7)
+    runner.load(SUBJECTS)
+    system = adapter.system
+    load_expiring_cohort(system, EXPIRING)
+    daemon = None
+    if daemon_on:
+        daemon = ExpiryDaemon(
+            dbfs=system.dbfs,
+            clock=system.clock,
+            builtins=system.ps.builtins,
+            trail=system.evidence,
+            telemetry=system.telemetry,
+        )
+    ops_per_day = max(1, OPS // CHUNKS)
+    mix_seconds = 0.0
+    retention_seconds = 0.0
+    for _ in range(CHUNKS):
+        system.advance_time(DAY)  # ~10% of the cohort crosses its TTL
+        if daemon is not None:
+            start = time.perf_counter()
+            daemon.run_until_drained()
+            retention_seconds += time.perf_counter() - start
+        # Foreground throughput is the mix slices alone: in production
+        # the waves run on the engine's retention fairness lane, so
+        # what the mix pays is the *interference* — a store churned by
+        # continuous erasure (journal growth, bloom staleness, erased
+        # tombstones) — not the erasure CPU itself.
+        start = time.perf_counter()
+        runner.run(PERSONA, ops_per_day)
+        mix_seconds += time.perf_counter() - start
+    return mix_seconds, retention_seconds, system, daemon
+
+
+def test_steady_state_throughput_with_expiry_daemon():
+    """Continuous expiry keeps the mix at >= 0.9x daemon-off throughput.
+
+    ``min`` over REPEATS fresh runs per configuration: the best case is
+    the honest estimate of the code path's cost — everything above it
+    is scheduler/allocator noise.
+    """
+    on_runs, off_runs, retention_runs = [], [], []
+    on_system, on_daemon = None, None
+    for _ in range(REPEATS):
+        seconds, retention, system, daemon = _mix_seconds(daemon_on=True)
+        on_runs.append(seconds)
+        retention_runs.append(retention)
+        on_system, on_daemon = system, daemon
+        seconds, _, _, _ = _mix_seconds(daemon_on=False)
+        off_runs.append(seconds)
+    on_best = min(on_runs)
+    off_best = min(off_runs)
+    throughput_ratio = off_best / on_best
+
+    # The daemon genuinely churned: the whole expiring cohort was
+    # erased in sealed waves while the mix ran.
+    expected = (EXPIRING // CHUNKS) * CHUNKS
+    assert on_daemon.erased_total == expected, (
+        f"daemon erased {on_daemon.erased_total}, cohort was {expected}"
+    )
+    assert on_daemon.waves > 0
+    waves = on_system.evidence.find(
+        lambda entry: entry["kind"] == "retention-wave"
+    )
+    assert len(waves) == on_daemon.waves
+    assert on_system.evidence.verify_chain() == len(on_system.evidence)
+
+    registry = on_system.telemetry.registry
+    rows = [
+        ("config", "best_s", "per_op_ms"),
+        ("daemon_on", round(on_best, 4), round(on_best / OPS * 1e3, 3)),
+        ("daemon_off", round(off_best, 4), round(off_best / OPS * 1e3, 3)),
+        ("throughput_ratio", f"{throughput_ratio:.2f}x", ""),
+        ("erased_total", on_daemon.erased_total, ""),
+        ("waves", on_daemon.waves, ""),
+        ("retention_best_s", round(min(retention_runs), 4), ""),
+        ("wheel_cascades", on_daemon.wheel.cascades, ""),
+    ]
+    print_series(
+        f"RETENTION steady-state mix ({SUBJECTS} mix subjects, "
+        f"{EXPIRING} expiring, {OPS} ops, min of {REPEATS})", rows,
+    )
+    merge_metric(
+        "retention", "gdprbench_mix_under_continuous_expiry",
+        config={
+            "subjects": SUBJECTS, "expiring": EXPIRING, "ops": OPS,
+            "repeats": REPEATS, "persona": PERSONA,
+            "ttl_days": TTL_DAYS, "chunks": CHUNKS,
+        },
+        samples={
+            "daemon_on_seconds": on_best,
+            "daemon_off_seconds": off_best,
+            "daemon_on_runs": on_runs,
+            "daemon_off_runs": off_runs,
+            "retention_work_seconds": min(retention_runs),
+            "erased_total": on_daemon.erased_total,
+            "waves": on_daemon.waves,
+            "evidence_entries": len(on_system.evidence),
+        },
+        speedup=throughput_ratio, baseline="daemon_off_seconds",
+        latency=latency_block(registry, LATENCY_OPS),
+    )
+    assert throughput_ratio >= MIN_THROUGHPUT_RATIO, (
+        f"daemon-on throughput is {throughput_ratio:.2f}x daemon-off "
+        f"(floor {MIN_THROUGHPUT_RATIO}x)"
+    )
+
+
+def test_device_residue_reaches_zero_after_compaction():
+    """Device-bytes residue over time: erasure scrubs payloads on the
+    spot, compaction reclaims every durable plane."""
+    authority = Authority(bits=512, seed=4711)
+    system = RgpdOS(
+        operator_name="retention-residue",
+        authority=authority,
+        with_machine=False,
+        pd_device_blocks=2048,
+    )
+    cohort = load_expiring_cohort(system, EXPIRING)
+    needles = [
+        f"ephemeral-payload-{chunk}-{i:04d}".encode("utf-8")
+        for chunk in range(CHUNKS)
+        for i in range(max(1, EXPIRING // CHUNKS))
+    ][:cohort]
+    daemon = ExpiryDaemon(
+        dbfs=system.dbfs,
+        clock=system.clock,
+        builtins=system.ps.builtins,
+        trail=system.evidence,
+        telemetry=system.telemetry,
+    )
+    series = []
+
+    def sample(label):
+        residue = system.dbfs.residue_counts(needles)
+        series.append(
+            {
+                "label": label,
+                "erased_total": daemon.erased_total,
+                "device_blocks_used": system.dbfs.device.used_blocks,
+                "journal_blocks": system.dbfs.journal.blocks_in_use,
+                "residue_device_blocks": residue["device_blocks"],
+                "residue_journal_records": residue["journal_records"],
+            }
+        )
+        return residue
+
+    sample("loaded")
+    for day in range(CHUNKS):
+        system.advance_time(DAY)
+        daemon.run_until_drained()
+        sample(f"day{day + 1}")
+    assert daemon.erased_total == cohort
+    before_compact = (
+        series[-1]["device_blocks_used"] + series[-1]["journal_blocks"]
+    )
+    report = system.dbfs.compact(rewrite_records=False)
+    sample("compacted")
+    after_compact = (
+        series[-1]["device_blocks_used"] + series[-1]["journal_blocks"]
+    )
+
+    rows = [("stage", "erased", "dev_blocks", "jrnl_blocks", "residue")]
+    rows.extend(
+        (
+            point["label"], point["erased_total"],
+            point["device_blocks_used"], point["journal_blocks"],
+            point["residue_device_blocks"],
+        )
+        for point in series
+    )
+    print_series(
+        f"RETENTION residue over time ({cohort} expiring records)", rows
+    )
+    merge_metric(
+        "retention", "device_residue_over_time",
+        config={"expiring": cohort, "ttl_days": TTL_DAYS,
+                "chunks": CHUNKS},
+        samples={
+            "series": series,
+            "compaction_report": report,
+            "blocks_before_compact": before_compact,
+            "blocks_after_compact": after_compact,
+        },
+    )
+    # The acceptance line: provably zero residue after compaction.
+    assert series[-1]["residue_device_blocks"] == 0
+    assert series[-1]["residue_journal_records"] == 0
+    assert after_compact < before_compact  # device + journal, combined
+    assert report["blocks_reclaimed"] > 0

@@ -360,7 +360,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     system.invoke("compute_age", target="user")
     system.rights.erase("bob")
     if args.continuous > 0:
-        daemon = system.start_monitors()
+        daemon = system.start_monitors(expiry_daemon=args.expiry_daemon)
         daemon.run_for_ticks(args.continuous)
     report = system.audit_report()
     if args.evidence_out:
@@ -384,6 +384,72 @@ def cmd_audit(args: argparse.Namespace) -> int:
               f"head {report.evidence_head[:16]}..., "
               f"chain {'OK' if system.evidence.verify_chain() else 'BROKEN'}")
     return 0 if report.ok else 1
+
+
+def cmd_retain(args: argparse.Namespace) -> int:
+    """Proactive retention walkthrough: expire, erase in waves, compact.
+
+    Builds the demo system with the expiry daemon on, advances the
+    simulated clock past the demo TTLs, lets the timer wheel drain into
+    sealed erasure waves, optionally compacts every durable plane, and
+    re-runs the Art. 5(1)(e) audit control to show it passing *because
+    the daemon ran*.
+    """
+    from .core.clock import parse_duration
+
+    # In json mode the document is the whole output; the walkthrough
+    # narration only prints for the default text format.
+    say = (lambda *a: None) if args.format == "json" else print
+
+    system = _demo_system(shards=args.shards)
+    system.invoke("compute_age", target="user")
+    system.start_monitors(expiry_daemon=True, expiry_wave_size=args.wave_size)
+    daemon = system.expiry_daemon
+    say(f"timer wheel: {daemon.pending} TTL deadline(s) indexed")
+
+    advance = parse_duration(args.advance)
+    system.advance_time(advance)
+    say(f"clock advanced {args.advance} "
+        f"(now={system.clock.now():.0f}s)")
+
+    daemon.run_until_drained()
+    wheel = daemon.wheel.as_dict()
+    say(f"expiry daemon: {daemon.waves} wave(s), "
+        f"{daemon.erased_total} PD erased, "
+        f"{wheel['slot_drains']} slot drain(s), "
+        f"{wheel['cascades']} cascade(s), "
+        f"{daemon.pending} still pending")
+
+    if args.compact:
+        report = system.dbfs.compact()
+        say("compaction: "
+            f"{report['records_rewritten']} record(s) rewritten, "
+            f"{report['indexes_compacted']} index(es) repacked, "
+            f"{report['blooms_rebuilt']} bloom(s) rebuilt, "
+            f"{report['orphan_blocks']} orphan block(s) scrubbed, "
+            f"{report['journal_records_discarded']} journal record(s) "
+            f"checkpointed, {report['blocks_reclaimed']} block(s) "
+            "reclaimed")
+
+    audit = system.audit_report()
+    retention = next(
+        c for c in audit.controls if c.control_id == "art5e-retention"
+    )
+    say(f"[{retention.status.upper():4s}] {retention.control_id}: "
+        f"{retention.detail}")
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "daemon": daemon.as_dict(),
+                "retention_control": {
+                    "status": retention.status,
+                    "detail": retention.detail,
+                    "evidence": [e.ref for e in retention.evidence],
+                },
+            },
+            indent=2, sort_keys=True,
+        ))
+    return 0 if retention.status == "pass" else 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -521,6 +587,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--evidence-out", default=None, metavar="FILE",
         help="export the hash-chained evidence trail to FILE as JSONL",
     )
+    audit.add_argument(
+        "--expiry-daemon", action="store_true",
+        help="run the proactive retention enforcer alongside the "
+             "monitors during --continuous ticking",
+    )
+
+    retain = subparsers.add_parser(
+        "retain",
+        help="proactive retention walkthrough (timer wheel -> erasure "
+             "waves -> compaction -> Art. 5(1)(e) audit)",
+    )
+    retain.add_argument(
+        "--shards", type=int, default=1,
+        help="DBFS shard count for the demo system (default 1)",
+    )
+    retain.add_argument(
+        "--advance", default="2Y", metavar="DURATION",
+        help="simulated time to advance before draining the wheel "
+             "(DSL duration, default 2Y — past every demo TTL)",
+    )
+    retain.add_argument(
+        "--wave-size", type=int, default=64,
+        help="erasure wave bound (default 64)",
+    )
+    retain.add_argument(
+        "--compact", action="store_true",
+        help="compact every durable plane after the erasure waves",
+    )
+    retain.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text)",
+    )
 
     stats = subparsers.add_parser(
         "stats", help="telemetry snapshot of an exercised demo system"
@@ -552,6 +650,7 @@ _COMMANDS = {
     "explain": cmd_explain,
     "placement": cmd_placement,
     "audit": cmd_audit,
+    "retain": cmd_retain,
     "stats": cmd_stats,
     "version": cmd_version,
 }

@@ -213,15 +213,19 @@ class ComplianceAuditor:
         )
 
     def _check_ttl_respected(self) -> Finding:
-        """No live PD may outlive its TTL (beyond the grace window)."""
+        """No live PD may outlive its TTL (beyond the grace window).
+
+        Uses the canonical :meth:`Membrane.is_expired` boundary shifted
+        by the grace window: with zero grace, a PD exactly at its
+        deadline is overdue here precisely when the DED already refuses
+        to serve it.
+        """
         now = self.clock.now()
         overdue = [
             uid
             for uid, membrane in self.dbfs.iter_membranes(self._ded)
             if not membrane.erased
-            and membrane.ttl_seconds is not None
-            and now
-            > membrane.created_at + membrane.ttl_seconds + self.ttl_grace_seconds
+            and membrane.is_expired(now - self.ttl_grace_seconds)
         ]
         return Finding(
             rule="ttl-respected",

@@ -149,10 +149,32 @@ class Membrane:
         return pd_type.scope_fields(scope)
 
     def is_expired(self, now: float) -> bool:
-        """Storage limitation: has this PD outlived its TTL?"""
+        """Storage limitation: has this PD outlived its TTL?
+
+        **Canonical boundary rule.**  A membrane is expired at the
+        instant ``now == created_at + ttl_seconds`` (inclusive ``>=``).
+        Every expiry decision in the system — the DED access filter,
+        the TTL watcher monitor, the Art. 5(1)(e) audit control, the
+        compliance auditor's grace check, transfer export/import and
+        the expiry daemon — must route through this predicate (or its
+        ``deadline`` / :meth:`remaining_ttl` companions) so that a PD
+        exactly at its deadline is treated identically everywhere:
+        unreadable, overdue, and not transferable.
+        """
         if self.ttl_seconds is None:
             return False
         return now >= self.created_at + self.ttl_seconds
+
+    def expiry_deadline(self) -> Optional[float]:
+        """The absolute instant this PD expires (None = no TTL).
+
+        The timer wheel indexes membranes by this deadline; by the
+        canonical rule above the PD is expired *at* the deadline, not
+        one tick after it.
+        """
+        if self.ttl_seconds is None:
+            return None
+        return self.created_at + self.ttl_seconds
 
     def remaining_ttl(self, now: float) -> Optional[float]:
         if self.ttl_seconds is None:

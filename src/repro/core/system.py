@@ -206,6 +206,9 @@ class RgpdOS:
         self.residue_watchlist = ResidueWatchlist()
         self.audit_engine = AuditEngine(self)
         self.monitors: Optional[MonitorDaemon] = None
+        # Proactive retention enforcement (PR 9): built on demand by
+        # start_monitors(expiry_daemon=True).
+        self.expiry_daemon = None
 
         def _on_erase(
             subject_id: str,
@@ -463,10 +466,14 @@ class RgpdOS:
         interval_seconds: float = 0.05,
         sample_blocks: int = 64,
         background: bool = False,
+        expiry_daemon: bool = False,
+        expiry_wave_size: int = 64,
     ):
         """Build (and optionally start) the always-on compliance
         monitors: residue scrubber, TTL watcher, Art. 33 deadline
-        watcher, journal-bound watcher.
+        watcher, journal-bound watcher — and, with
+        ``expiry_daemon=True``, the proactive retention enforcer that
+        drains the timer wheel into bounded erasure waves.
 
         With ``background=False`` (the default) the daemon is returned
         ready for deterministic ticking (``run_for_ticks``), which is
@@ -477,6 +484,7 @@ class RgpdOS:
         """
         from ..obs.monitors import (
             BreachDeadlineWatcherMonitor,
+            ExpiryDaemon,
             JournalBoundWatcherMonitor,
             MonitorDaemon,
             ResidueScrubberMonitor,
@@ -487,27 +495,39 @@ class RgpdOS:
             if background:
                 self.monitors.start()
             return self.monitors
+        monitors: List[object] = [
+            ResidueScrubberMonitor(
+                dbfs=self.dbfs,
+                watchlist=self.residue_watchlist,
+                telemetry=self.telemetry,
+                sample_blocks=sample_blocks,
+            ),
+            TTLWatcherMonitor(
+                dbfs=self.dbfs, clock=self.clock,
+                telemetry=self.telemetry,
+            ),
+            BreachDeadlineWatcherMonitor(
+                breach_monitor=self.breach_monitor,
+                clock=self.clock,
+                telemetry=self.telemetry,
+            ),
+            JournalBoundWatcherMonitor(
+                dbfs=self.dbfs, telemetry=self.telemetry,
+            ),
+        ]
+        if expiry_daemon:
+            self.expiry_daemon = ExpiryDaemon(
+                dbfs=self.dbfs,
+                clock=self.clock,
+                builtins=self.ps.builtins,
+                trail=self.evidence,
+                telemetry=self.telemetry,
+                engine=self.engine,
+                wave_size=expiry_wave_size,
+            )
+            monitors.append(self.expiry_daemon)
         self.monitors = MonitorDaemon(
-            monitors=[
-                ResidueScrubberMonitor(
-                    dbfs=self.dbfs,
-                    watchlist=self.residue_watchlist,
-                    telemetry=self.telemetry,
-                    sample_blocks=sample_blocks,
-                ),
-                TTLWatcherMonitor(
-                    dbfs=self.dbfs, clock=self.clock,
-                    telemetry=self.telemetry,
-                ),
-                BreachDeadlineWatcherMonitor(
-                    breach_monitor=self.breach_monitor,
-                    clock=self.clock,
-                    telemetry=self.telemetry,
-                ),
-                JournalBoundWatcherMonitor(
-                    dbfs=self.dbfs, telemetry=self.telemetry,
-                ),
-            ],
+            monitors=monitors,
             clock=self.clock,
             trail=self.evidence,
             telemetry=self.telemetry,
@@ -524,6 +544,7 @@ class RgpdOS:
             return
         self.monitors.stop()
         self.monitors = None
+        self.expiry_daemon = None
 
     def advance_time(self, seconds: float) -> float:
         """Move simulated time forward (TTL expiry etc.)."""

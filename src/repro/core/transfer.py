@@ -45,6 +45,7 @@ class TransferOutcome:
     subject_id: str
     imported: List[PDRef] = field(default_factory=list)
     skipped_erased: int = 0
+    skipped_expired: int = 0
     types_installed: List[str] = field(default_factory=list)
 
 
@@ -139,9 +140,19 @@ def import_package(
             outcome.types_installed.append(type_name)
 
         pd_type = system.dbfs.get_type(type_name)
+        remaining_ttl = record_entry.get("remaining_ttl")
+        if remaining_ttl is not None and remaining_ttl <= 0:
+            # The export side refuses overdue PD, but a package built at
+            # the exact deadline (remaining == 0 under the canonical
+            # ``is_expired`` boundary) or one whose TTL ran out in
+            # transit carries no lawful life to install — and
+            # ``Membrane.__post_init__`` rightly rejects a non-positive
+            # TTL.  Skip, and account for it.
+            outcome.skipped_expired += 1
+            continue
         membrane = _rebuild_membrane(
             record_entry["membrane"],  # type: ignore[arg-type]
-            record_entry.get("remaining_ttl"),  # type: ignore[arg-type]
+            remaining_ttl,  # type: ignore[arg-type]
             pd_type,
             now,
             source_operator=str(package.get("source_operator", "unknown")),

@@ -1,0 +1,219 @@
+"""Hierarchical timer wheel: membrane TTL deadlines, indexed by time.
+
+ROADMAP item 2 ("retention enforcement at scale") needs the OS to know
+*when* each of millions of PDs expires without rescanning every
+membrane per tick.  The classic kernel answer is the hierarchical
+timing wheel (Varghese & Lauck): an array of slot rings of increasing
+granularity, where inserting, cancelling and advancing by one tick are
+all O(1) amortized, and a jump of any size costs at most
+``slots x levels`` bucket drains plus one cascade per timer actually
+crossed.
+
+Design points, matched to this repo's deterministic simulation:
+
+* Time comes from the shared :class:`repro.core.clock.Clock` — the
+  wheel never reads the wall clock.  ``advance(now)`` is called with
+  the clock's current time; simulations jump days at a time, so the
+  drain loop is written for arbitrary forward jumps, not unit ticks.
+* The wheel is an *index*, not the source of truth.  Buckets only
+  guarantee a timer is drained **at or after** its deadline; on drain
+  the authoritative ``deadline <= now`` comparison decides between
+  firing and cascading to a finer level.  The expiry daemon re-checks
+  the membrane itself before erasing, so a stale wheel entry can cost
+  work but never correctness.
+* Deadlines follow the canonical expiry boundary
+  (:meth:`repro.core.membrane.Membrane.is_expired`): a timer whose
+  deadline equals ``now`` **fires** — expired *at* the deadline.
+
+The default geometry (64 slots x 7 levels at 1 s resolution) spans
+~139k simulated years, comfortably past any GDPR retention horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+SLOT_BITS = 6
+SLOTS = 1 << SLOT_BITS  # 64 slots per level
+LEVELS = 7              # 64**7 ticks =~ 4.4e12 s at the default 1 s tick
+
+
+class TimerWheel:
+    """Hierarchical timing wheel keyed by opaque string keys (PD uids).
+
+    >>> wheel = TimerWheel()
+    >>> wheel.schedule("uid-1", 10.0)
+    >>> wheel.advance(9.0)
+    []
+    >>> wheel.advance(10.0)   # expired AT the deadline (>= boundary)
+    ['uid-1']
+    """
+
+    def __init__(
+        self,
+        tick_seconds: float = 1.0,
+        start: float = 0.0,
+        levels: int = LEVELS,
+    ) -> None:
+        if tick_seconds <= 0:
+            raise ValueError("tick_seconds must be positive")
+        if not 1 <= levels <= 16:
+            raise ValueError("levels must be in [1, 16]")
+        self.tick_seconds = float(tick_seconds)
+        self.levels = levels
+        self._now = float(start)
+        self._now_tick = self._tick_of(start)
+        # _wheel[level][slot] -> {key: deadline}
+        self._wheel: List[List[Dict[str, float]]] = [
+            [dict() for _ in range(SLOTS)] for _ in range(levels)
+        ]
+        #: key -> (deadline, level, slot); the cancellation index and
+        #: the authoritative pending set.
+        self._where: Dict[str, Tuple[float, int, int]] = {}
+        #: timers scheduled already-due (deadline <= now at schedule
+        #: time) fire on the next advance without touching a bucket.
+        self._ripe: Dict[str, float] = {}
+        self.scheduled = 0
+        self.cancelled = 0
+        self.fired = 0
+        self.cascades = 0
+        self.slot_drains = 0
+
+    # -- geometry --------------------------------------------------------
+
+    def _tick_of(self, instant: float) -> int:
+        return int(instant // self.tick_seconds)
+
+    def _insert(self, key: str, deadline: float) -> None:
+        """Bucket a not-yet-due timer.
+
+        The bucket's guarantee: it is drained *at or after* the
+        deadline (never before it can fire) and at most one slot of
+        its level's granularity late — the drain-time
+        ``deadline <= now`` check does the rest.  A deadline that
+        falls inside the current tick goes to the *next* slot: the
+        current slot has already been passed and would otherwise only
+        drain again after a full wrap.
+        """
+        place_tick = max(self._tick_of(deadline), self._now_tick + 1)
+        delta = place_tick - self._now_tick
+        level = 0
+        while level < self.levels - 1 and delta >> (SLOT_BITS * (level + 1)):
+            level += 1
+        slot = (place_tick >> (SLOT_BITS * level)) & (SLOTS - 1)
+        self._wheel[level][slot][key] = deadline
+        self._where[key] = (deadline, level, slot)
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, key: str, deadline: float) -> None:
+        """Index ``key`` to fire once ``advance(now)`` sees
+        ``now >= deadline``.  Re-scheduling an existing key replaces
+        its deadline (membrane evolution can move a TTL)."""
+        self.cancel(key)
+        self.scheduled += 1
+        if deadline <= self._now:
+            self._ripe[key] = deadline
+            return
+        self._insert(key, deadline)
+
+    def cancel(self, key: str) -> bool:
+        """Drop a pending timer (erased / evolved away); False if absent."""
+        if key in self._ripe:
+            del self._ripe[key]
+            self.cancelled += 1
+            return True
+        entry = self._where.pop(key, None)
+        if entry is None:
+            return False
+        _, level, slot = entry
+        self._wheel[level][slot].pop(key, None)
+        self.cancelled += 1
+        return True
+
+    def deadline_of(self, key: str) -> Optional[float]:
+        if key in self._ripe:
+            return self._ripe[key]
+        entry = self._where.get(key)
+        return entry[0] if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._where) + len(self._ripe)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._where or key in self._ripe
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending deadline (O(n); for reporting, not ticking)."""
+        candidates = list(self._ripe.values())
+        candidates.extend(d for d, _, _ in self._where.values())
+        return min(candidates) if candidates else None
+
+    # -- advancing -------------------------------------------------------
+
+    def advance(self, now: float) -> List[str]:
+        """Move the wheel to ``now``; return every key whose deadline
+        has arrived (``deadline <= now``), earliest first.
+
+        Cost: at most ``SLOTS`` bucket drains per level regardless of
+        how far ``now`` jumped, plus one cascade per timer whose coarse
+        slot was crossed but whose deadline has not arrived yet.
+        """
+        if now < self._now:
+            raise ValueError(
+                f"wheel cannot run backwards ({now} < {self._now})"
+            )
+        due: List[Tuple[float, str]] = [
+            (deadline, key) for key, deadline in self._ripe.items()
+        ]
+        self._ripe.clear()
+        new_tick = self._tick_of(now)
+        old_tick = self._now_tick
+        self._now = now
+        self._now_tick = new_tick
+        if new_tick != old_tick:
+            cascade: List[Tuple[str, float]] = []
+            for level in range(self.levels):
+                shift = SLOT_BITS * level
+                old_abs = old_tick >> shift
+                new_abs = new_tick >> shift
+                if new_abs == old_abs:
+                    break  # coarser levels have not moved either
+                first = old_abs + 1 if new_abs - old_abs < SLOTS \
+                    else new_abs - SLOTS + 1
+                for abs_slot in range(first, new_abs + 1):
+                    bucket = self._wheel[level][abs_slot & (SLOTS - 1)]
+                    if not bucket:
+                        continue
+                    self.slot_drains += 1
+                    for key, deadline in list(bucket.items()):
+                        del bucket[key]
+                        del self._where[key]
+                        if deadline <= now:
+                            due.append((deadline, key))
+                        else:
+                            cascade.append((key, deadline))
+            for key, deadline in cascade:
+                # Crossed its coarse slot but not yet due: re-place
+                # relative to the new current tick (a finer level).
+                self.cascades += 1
+                self._insert(key, deadline)
+        due.sort()
+        self.fired += len(due)
+        return [key for _, key in due]
+
+    # -- reporting -------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "pending": len(self),
+            "tick_seconds": self.tick_seconds,
+            "levels": self.levels,
+            "slots_per_level": SLOTS,
+            "scheduled": self.scheduled,
+            "cancelled": self.cancelled,
+            "fired": self.fired,
+            "cascades": self.cascades,
+            "slot_drains": self.slot_drains,
+            "next_deadline": self.next_deadline(),
+        }

@@ -287,13 +287,15 @@ class AuditEngine:
         return self.system.dbfs.iter_membranes(self._ded)
 
     def _ttl_overdue(self) -> List[str]:
+        """Live membranes past their TTL, on the canonical inclusive
+        boundary (:meth:`Membrane.is_expired`): a PD exactly at its
+        deadline is already overdue here, exactly as the DED already
+        refuses to serve it and the expiry daemon already erases it."""
         now = self.system.clock.now()
         return [
             uid
             for uid, membrane in self._membranes()
-            if not membrane.erased
-            and membrane.ttl_seconds is not None
-            and now > membrane.created_at + membrane.ttl_seconds
+            if not membrane.erased and membrane.is_expired(now)
         ]
 
     def _breach_status(self, now: float) -> Dict[str, float]:
@@ -451,7 +453,16 @@ class AuditEngine:
         )
 
     def _control_retention(self) -> ControlResult:
-        """Art. 5(1)(e): no live PD outlives its TTL."""
+        """Art. 5(1)(e): no live PD outlives its TTL.
+
+        The verdict rests on *proactive* enforcement: the expiry
+        daemon's sealed retention waves in the evidence trail prove the
+        OS erased overdue PD because its timers fired — not because a
+        request happened to touch an expired record and the DED refused
+        it lazily.  A clean membrane scan with sealed waves behind it
+        passes; a clean scan with no enforcement history still passes
+        but says so honestly in the detail.
+        """
         overdue = self._ttl_overdue()
         evidence = [
             Evidence(
@@ -471,6 +482,22 @@ class AuditEngine:
                         "completed scrubber sweep",
                 data=residue.value,
             ))
+        # Sealed erasure waves: the daemon's proof-of-work.  The trail
+        # is hash-chained, so each cited seq is tamper-evident.
+        waves = self.system.evidence.find(
+            lambda entry: entry["kind"] == "retention-wave"
+        )
+        waves_erased = sum(
+            int(entry["payload"].get("erased", 0)) for entry in waves
+        )
+        for entry in waves[-3:]:
+            evidence.append(Evidence(
+                kind="trail",
+                ref=f"trail:{entry['seq']}",
+                summary="sealed expiry-daemon erasure wave "
+                        f"({entry['payload'].get('erased', 0)} erased)",
+                data=entry["hash"],
+            ))
         for uid in overdue[:5]:
             evidence.append(Evidence(
                 kind="membrane", ref=f"membrane:{uid}",
@@ -479,9 +506,20 @@ class AuditEngine:
         if overdue:
             status = STATUS_FAIL
             detail = f"{len(overdue)} PD record(s) past TTL: {overdue[:5]}"
+        elif waves:
+            status = STATUS_PASS
+            detail = (
+                "no live PD past its retention TTL; proactively enforced "
+                f"by the expiry daemon ({len(waves)} sealed wave(s), "
+                f"{waves_erased} PD erased)"
+            )
         else:
             status = STATUS_PASS
-            detail = "no live PD past its retention TTL"
+            detail = (
+                "no live PD past its retention TTL (no expiry-daemon "
+                "waves sealed yet — nothing has expired, or the daemon "
+                "is not running)"
+            )
         return ControlResult(
             control_id="art5e-retention", article="Art. 5(1)(e)",
             title="Storage limitation (TTL retention)",

@@ -33,9 +33,14 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+from collections import deque
+from typing import (
+    Deque, Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING,
+)
 
-from ..core.active_data import AccessCredential
+from .. import errors
+from ..core.active_data import AccessCredential, PDRef
+from ..kernel.timerwheel import TimerWheel
 from .evidence import EvidenceTrail
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,6 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Fairness lane monitor ticks run under when an engine is installed.
 MONITOR_LANE = "monitors"
+
+#: Fairness lane the expiry daemon's erasure waves run under — separate
+#: from ``monitors`` so a deep retention backlog queues behind its own
+#: lane and can never crowd monitor ticks or foreground rights work.
+RETENTION_LANE = "retention"
 
 
 def needle_digest(needle: bytes) -> str:
@@ -209,12 +219,14 @@ class TTLWatcherMonitor(Monitor):
         self._last_overdue = -1
 
     def tick(self, now: float) -> Optional[Mapping[str, object]]:
+        # Canonical boundary (Membrane.is_expired): a membrane exactly
+        # at its deadline is overdue here at the same instant the DED
+        # stops serving it.  The watcher must never use a strict `>`
+        # of its own.
         overdue = [
             uid
             for uid, membrane in self.dbfs.iter_membranes(self._ded)
-            if not membrane.erased
-            and membrane.ttl_seconds is not None
-            and now > membrane.created_at + membrane.ttl_seconds
+            if not membrane.erased and membrane.is_expired(now)
         ]
         self.telemetry.registry.gauge("rgpdos.audit.ttl_overdue").set(
             len(overdue))
@@ -308,6 +320,308 @@ class JournalBoundWatcherMonitor(Monitor):
             "over_threshold": warned,
             "threshold_pct": round(100.0 * self.warn_utilization, 1),
         }
+
+
+class ExpiryDaemon(Monitor):
+    """Proactive Art. 5(1)(e) enforcement: timer-wheel TTL expiry.
+
+    Every membrane with a TTL is indexed in a hierarchical
+    :class:`~repro.kernel.timerwheel.TimerWheel` by its absolute
+    expiry deadline (fed on store/evolve/transfer through the DBFS TTL
+    observer hook, and on remount via :meth:`seed`).  Each tick
+    advances the wheel to the shared clock's ``now`` and drains the
+    due deadlines into **erasure waves**:
+
+    * bounded at ``wave_size`` records each, so foreground traffic
+      never stalls behind a mass expiry;
+    * one journal group commit per shard per wave
+      (``shard.batch()``), so an N-record wave costs one flush per
+      shard, not N;
+    * submitted on the request engine's ``retention`` fairness lane
+      when an engine is running (shed waves return to the backlog),
+      inline otherwise — tests and the CLI's ``--continuous`` stay
+      deterministic;
+    * sealed into the hash-chained evidence trail as a
+      ``retention-wave`` entry.  The Art. 5(1)(e) audit control cites
+      these entries: the control goes green because the daemon
+      provably ran, not because traffic happened to touch expired
+      records.
+
+    The wheel is an index, never the authority: every due uid is
+    re-checked against its membrane's canonical
+    :meth:`~repro.core.membrane.Membrane.is_expired` before erasure,
+    so a stale wheel entry can waste a lookup but cannot erase
+    unexpired PD.
+    """
+
+    name = "expiry-daemon"
+
+    def __init__(
+        self,
+        dbfs,
+        clock,
+        builtins,
+        trail: EvidenceTrail,
+        telemetry: "Telemetry",
+        engine=None,
+        wave_size: int = 64,
+        mode: str = "escrow",
+        wheel: Optional[TimerWheel] = None,
+    ) -> None:
+        self.dbfs = dbfs
+        self.clock = clock
+        self.builtins = builtins
+        self.trail = trail
+        self.telemetry = telemetry
+        self.engine = engine
+        self.wave_size = max(1, wave_size)
+        self.mode = mode
+        self.wheel = wheel if wheel is not None else TimerWheel(
+            start=clock.now()
+        )
+        self._ded = AccessCredential(holder="expiry-daemon", is_ded=True)
+        self._lock = threading.Lock()
+        self._backlog: Deque[str] = deque()
+        self._inflight: List[object] = []
+        self.waves = 0
+        self.erased_total = 0
+        self.shed_waves = 0
+        self.wave_seqs: Deque[int] = deque(maxlen=16)
+        hook = getattr(dbfs, "add_ttl_observer", None)
+        if hook is not None:
+            hook(self._on_ttl_event)
+        self.seed()
+
+    # -- wheel feeding ---------------------------------------------------
+
+    def _on_ttl_event(
+        self, uid: str, subject_id: str, deadline: Optional[float]
+    ) -> None:
+        """DBFS TTL observer: store/evolve/transfer reschedule, erase
+        cancels.  Runs on whatever thread mutated the store."""
+        with self._lock:
+            if deadline is None:
+                self.wheel.cancel(uid)
+            else:
+                self.wheel.schedule(uid, deadline)
+
+    def seed(self) -> int:
+        """(Re)index every live TTL'd membrane — construction and
+        post-remount feeding.  Returns the number indexed."""
+        count = 0
+        with self._lock:
+            for uid, membrane in self.dbfs.iter_membranes(self._ded):
+                if membrane.erased:
+                    continue
+                deadline = membrane.expiry_deadline()
+                if deadline is not None:
+                    self.wheel.schedule(uid, deadline)
+                    count += 1
+        return count
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self.wheel)
+
+    @property
+    def backlog(self) -> int:
+        with self._lock:
+            return len(self._backlog)
+
+    # -- ticking ---------------------------------------------------------
+
+    def tick(self, now: float) -> Optional[Mapping[str, object]]:
+        self._harvest()
+        with self._lock:
+            due = self.wheel.advance(now)
+            due.extend(self._backlog)
+            self._backlog.clear()
+        candidates = self._verify(due, now)
+        submitted = 0
+        shed = 0
+        engine = self.engine
+        while candidates:
+            wave, candidates = (
+                candidates[: self.wave_size],
+                candidates[self.wave_size:],
+            )
+            if engine is not None and engine.running:
+                future = engine.try_submit(
+                    self._erase_wave, wave, now, purpose=RETENTION_LANE
+                )
+                if future is None:
+                    # Lane full: foreground traffic wins; the wave
+                    # returns to the backlog for the next tick.
+                    shed += 1
+                    with self._lock:
+                        self._backlog.extend(uid for uid, _, _ in wave)
+                        self._backlog.extend(
+                            uid for uid, _, _ in candidates)
+                    candidates = []
+                    break
+                self._inflight.append(future)
+            else:
+                self._erase_wave(wave, now)
+            submitted += 1
+        registry = self.telemetry.registry
+        with self._lock:
+            pending = len(self.wheel)
+            backlog = len(self._backlog)
+        if shed:
+            self.shed_waves += shed
+            registry.counter("rgpdos.retention.shed_waves").inc(shed)
+        registry.gauge("rgpdos.retention.pending").set(pending)
+        registry.gauge("rgpdos.retention.backlog").set(backlog)
+        if not due and not submitted:
+            return None
+        return {
+            "due": len(due),
+            "waves_submitted": submitted,
+            "shed_waves": shed,
+            "backlog": backlog,
+            "pending": pending,
+        }
+
+    def _verify(
+        self, uids: Sequence[str], now: float
+    ) -> List[Tuple[str, str, str]]:
+        """Authoritative membrane check for every due uid.
+
+        Erased/unknown uids drop out; uids whose TTL moved (membrane
+        evolution) go back on the wheel; only canonically-expired PD
+        becomes an erasure candidate."""
+        candidates: List[Tuple[str, str, str]] = []
+        seen = set()
+        for uid in uids:
+            if uid in seen:
+                continue
+            seen.add(uid)
+            try:
+                membrane = self.dbfs.get_membrane(uid, self._ded)
+            except errors.RgpdOSError:
+                continue
+            if membrane.erased:
+                continue
+            if not membrane.is_expired(now):
+                deadline = membrane.expiry_deadline()
+                if deadline is not None:
+                    with self._lock:
+                        self.wheel.schedule(uid, deadline)
+                continue
+            candidates.append(
+                (uid, membrane.pd_type, membrane.subject_id)
+            )
+        return candidates
+
+    # -- erasure waves ---------------------------------------------------
+
+    def _erase_wave(
+        self, wave: Sequence[Tuple[str, str, str]], now: float
+    ) -> int:
+        """Erase one bounded wave: one journal group commit per shard,
+        sealed as a ``retention-wave`` evidence entry."""
+        by_shard: Dict[int, List[Tuple[str, str, str]]] = {}
+        shard_of = {
+            subject_id: index
+            for index, group in self.dbfs.subjects_by_shard(
+                sorted({subject for _, _, subject in wave})
+            ).items()
+            for subject_id in group
+        }
+        for entry in wave:
+            by_shard.setdefault(shard_of[entry[2]], []).append(entry)
+        erased: List[str] = []
+        residue_blocks = 0
+        shards = self.dbfs.shards
+        for index in sorted(by_shard):
+            with shards[index].batch():
+                for uid, pd_type, subject_id in by_shard[index]:
+                    try:
+                        membrane = self.dbfs.get_membrane(uid, self._ded)
+                        if membrane.erased:
+                            continue
+                        report = self.builtins.delete(
+                            PDRef(
+                                uid=uid, pd_type=pd_type,
+                                subject_id=subject_id,
+                            ),
+                            mode=self.mode,
+                            actor="sysadmin",
+                            include_copies=False,
+                        )
+                        erased.extend(report.erased_lineage)
+                        residue_blocks += report.residue_device_blocks
+                    except errors.RgpdOSError:
+                        continue
+        entry = self.trail.append(
+            kind="retention-wave",
+            source=self.name,
+            payload={
+                "wave_records": len(wave),
+                "erased": len(set(erased)),
+                "uids": sorted(set(erased))[:16],
+                "residue_device_blocks": residue_blocks,
+                "shards": sorted(by_shard),
+                "mode": self.mode,
+            },
+            at=now,
+        )
+        registry = self.telemetry.registry
+        registry.counter("rgpdos.retention.waves").inc()
+        registry.counter("rgpdos.retention.erased").inc(len(set(erased)))
+        registry.gauge("rgpdos.retention.last_wave_size").set(len(wave))
+        with self._lock:
+            self.waves += 1
+            self.erased_total += len(set(erased))
+            self.wave_seqs.append(int(entry["seq"]))
+        return len(set(erased))
+
+    def _harvest(self) -> None:
+        """Reap finished engine-submitted waves (results already
+        accounted inside ``_erase_wave``)."""
+        still = []
+        for future in self._inflight:
+            if not future.done():
+                still.append(future)
+        self._inflight = still
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every submitted wave has completed (tests, CLI,
+        benchmarks — never called from an engine worker)."""
+        for future in list(self._inflight):
+            try:
+                future.result(timeout=timeout)
+            except Exception:  # noqa: BLE001 - wave errors are sealed
+                pass
+        self._harvest()
+        return not self._inflight
+
+    def run_until_drained(self, max_ticks: int = 64) -> int:
+        """Tick (inline) until wheel past-due work and backlog are
+        empty; returns erased-so-far.  Drives the daemon to a fixpoint
+        at a frozen clock instant."""
+        for _ in range(max_ticks):
+            self.tick(self.clock.now())
+            self.drain()
+            with self._lock:
+                idle = not self._backlog and not self._inflight
+            if idle:
+                break
+        return self.erased_total
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "pending": len(self.wheel),
+                "backlog": len(self._backlog),
+                "waves": self.waves,
+                "erased_total": self.erased_total,
+                "shed_waves": self.shed_waves,
+                "wave_size": self.wave_size,
+                "mode": self.mode,
+                "wheel": self.wheel.as_dict(),
+            }
 
 
 class MonitorDaemon:

@@ -142,6 +142,7 @@ class CrashSim:
         seed: int = 0,
         journal_config: Optional[JournalConfig] = None,
         record_codec: str = "v2",
+        compaction: bool = False,
     ) -> None:
         if shard_count < 1:
             raise errors.DBFSError(f"invalid shard count {shard_count}")
@@ -149,6 +150,11 @@ class CrashSim:
         self.seed = seed
         self.journal_config = journal_config
         self.record_codec = record_codec
+        #: With ``compaction=True`` the reference workload ends with a
+        #: full :meth:`DatabaseFS.compact` pass (record rewrite, index
+        #: repack, bloom rebuild, sweeps, journal checkpoint), so the
+        #: sweep cuts power inside every compaction write too.
+        self.compaction = compaction
         self._authority = Authority(bits=512, seed=seed + 7)
         self._operator_key = self._authority.issue_operator_key("crashsim-op")
 
@@ -261,6 +267,14 @@ class CrashSim:
         progress.append("erase:0")
         uids[4] = self._store(fs, 4)
         progress.append("store:4")
+        if self.compaction:
+            # The retention path's durable-plane reclaim, post-erasure:
+            # every write it performs (shadow record rewrites, index
+            # page repacks under their compact-index intents, bloom
+            # sidecars, orphan scrubs, the checkpoint marker) becomes a
+            # cut point of the sweep.
+            fs.compact()  # type: ignore[union-attr]
+            progress.append("compact")
 
     # -- invariants ---------------------------------------------------------
 

@@ -63,7 +63,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from .. import errors
 from ..core.active_data import AccessCredential, PDRef
@@ -180,6 +180,9 @@ class DBFSStats:
     index_page_reads: int = 0
     index_bloom_hits: int = 0
     index_bloom_skips: int = 0
+    compactions: int = 0
+    compacted_indexes: int = 0
+    compaction_blocks_reclaimed: int = 0
 
 
 class _StatCounter:
@@ -310,6 +313,11 @@ class DatabaseFS:
         """
         self._write_lock = threading.RLock()
         self._index_lock = threading.RLock()
+        # TTL observers survive an in-place remount (the registrations
+        # belong to daemons, not to the derived state _init_volatile
+        # rebuilds); remount_from_device starts with a fresh list, and
+        # the expiry daemon re-seeds its wheel from the membranes.
+        self.ttl_observers: List[Callable[[str, str, Optional[float]], None]] = []
 
     def _init_volatile(self) -> None:
         """(Re)create every derived, in-memory-only structure.
@@ -1211,6 +1219,9 @@ class DatabaseFS:
         # MVCC begin version lands after the commit: snapshots begun
         # before this point filter the uid out; later ones see it.
         self.mvcc.stamp_store(uid)
+        # TTL observers (the expiry daemon's timer wheel) hear about
+        # the new deadline only after the record is durably committed.
+        self._notify_ttl(uid, membrane.subject_id, membrane.expiry_deadline())
         return PDRef(uid=uid, pd_type=pd_type.name, subject_id=membrane.subject_id)
 
     @_locked_writer
@@ -1411,6 +1422,35 @@ class DatabaseFS:
         # Chain entry lands after the journal commit: revocation and
         # RTBF become visible to every snapshot begun from here on.
         self.mvcc.stamp_membrane(uid, old_json, encoded)  # type: ignore[arg-type]
+        # An erasure cancels the TTL timer (nothing left to expire);
+        # any other membrane change re-indexes the (possibly evolved)
+        # deadline.  put_membrane is the single membrane-persist path,
+        # so every TTL-bearing mutation funnels through here.
+        self._notify_ttl(
+            uid,
+            membrane.subject_id,
+            None if membrane.erased else membrane.expiry_deadline(),
+        )
+
+    def add_ttl_observer(
+        self, observer: Callable[[str, str, Optional[float]], None]
+    ) -> None:
+        """Subscribe to TTL deadline changes.
+
+        ``observer(uid, subject_id, deadline)`` fires after every
+        committed store or membrane update; ``deadline`` is the
+        absolute expiry instant (:meth:`Membrane.expiry_deadline`) or
+        ``None`` when the PD has no TTL any more (no TTL set, or the
+        membrane was just erased — either way the timer should drop).
+        The expiry daemon's timer wheel is the intended subscriber.
+        """
+        self.ttl_observers.append(observer)
+
+    def _notify_ttl(
+        self, uid: str, subject_id: str, deadline: Optional[float]
+    ) -> None:
+        for observer in self.ttl_observers:
+            observer(uid, subject_id, deadline)
 
     def lineage_members(self, lineage: str) -> List[str]:
         """Member uids of one copy-lineage group (indexed lookup)."""
@@ -2290,6 +2330,7 @@ class DatabaseFS:
             r.txn_id for r in all_records if r.record_type == TXN_COMMIT
         }
         intents: List[Tuple[str, str, bool]] = []
+        compact_repairs: List[Tuple[str, str]] = []
         for record in all_records:
             if record.record_type != TXN_DELETE:
                 continue
@@ -2305,6 +2346,14 @@ class DatabaseFS:
                 )
             elif target.startswith("delete:"):
                 intents.append(("erase", target[len("delete:"):], committed))
+            elif target.startswith("compact-index:") and not committed:
+                # A power cut mid-repack: the root still carries its
+                # ``complete`` marker, but the pages underneath may be
+                # half-rewritten.  The only safe answer is a rebuild.
+                name = target[len("compact-index:"):]
+                type_name, _, field_name = name.partition(".")
+                if field_name:
+                    compact_repairs.append((type_name, field_name))
 
         # 1. Roll back half-born records before touching the trees:
         # an uncommitted store may have linked a record that lacks its
@@ -2326,6 +2375,17 @@ class DatabaseFS:
         self._hist_index_attach.observe(
             time.perf_counter_ns() - attach_start
         )
+        # An uncommitted compact-index intent demotes its (possibly
+        # torn) attached root to a pending rebuild; an index the attach
+        # already queued, or whose declaration is gone, needs nothing.
+        for key in compact_repairs:
+            if key in pending_backfills:
+                continue
+            with self._index_lock:
+                present = self._field_indexes.pop(key, None)
+            if present is not None:
+                attached -= 1
+                pending_backfills.append(key)
 
         counts = self._rebuild_trees()
 
@@ -2639,6 +2699,126 @@ class DatabaseFS:
         child.attrs["m"] = bloom.m_bits
         child.attrs["k"] = bloom.k
         child.attrs["stale"] = bloom.stale
+
+    @_locked_writer
+    def compact(self, rewrite_records: bool = True) -> Dict[str, int]:
+        """Reclaim every durable plane after a wave of erasures.
+
+        Erasure scrubs the erased record's own bytes immediately, but
+        four planes keep *growing* until something compacts them: live
+        record payloads sit in blocks first written long ago (earlier
+        in-place versions may linger in shadow-write debris), durable
+        B-tree index pages keep their bulk-build layout plus tombstone
+        slack, per-table bloom filters only ever *add* bits (``stale``
+        marks them over-approximate but never clears), and the journal
+        accumulates op history.  One compaction pass:
+
+        1. **records** — every live record (and its sensitive sibling)
+           is shadow-rewritten with scrub, so the only device blocks
+           holding its bytes are the current ones (skippable via
+           ``rewrite_records=False`` when only the accelerator planes
+           need reclaiming);
+        2. **indexes** — each durable field index repacks its pages to
+           the bulk fill factor and rebuilds its value bloom fresh.
+           The repack is intent-logged (``compact-index:<type>.<field>``
+           committed only after the rewrite finishes), so a power cut
+           mid-repack leaves an uncommitted intent that
+           :meth:`_crash_recover` answers with a full rebuild;
+        3. **blooms** — per-table blooms are rebuilt from the live
+           trees alone (erased tombstones drop out, ``stale`` clears)
+           and persisted;
+        4. **sweeps** — unreachable inodes and orphaned blocks are
+           scrub-freed, then the **journal** checkpoints, truncating
+           the op history down to its marker.
+
+        Returns a report of what each plane reclaimed.  Runs under the
+        write lock: compaction is a writer like any other, so readers
+        on MVCC snapshots never see a half-repacked index.
+        """
+        blocks_before = self.device.used_blocks
+        journal_blocks_before = self.journal.blocks_in_use
+        report: Dict[str, int] = {
+            "records_rewritten": 0,
+            "indexes_compacted": 0,
+            "blooms_rebuilt": 0,
+            "orphan_inodes": 0,
+            "orphan_blocks": 0,
+            "journal_records_discarded": 0,
+        }
+
+        # 1. Live-record rewrite: new blocks, old ones scrubbed.
+        if rewrite_records:
+            for uid in self.all_uids():
+                record_no = self._record_index.get(uid)
+                if record_no is None:
+                    continue
+                inode = self.inodes.get(record_no)
+                if inode.attrs.get("erased"):
+                    continue
+                numbers = [record_no]
+                sensitive_no = inode.attrs.get("sensitive_inode")
+                if sensitive_no is not None:
+                    numbers.append(sensitive_no)
+                for number in numbers:
+                    payload = self.inodes.read_payload(number)
+                    if payload:
+                        self.inodes.rewrite_scrubbed(number, payload)
+                report["records_rewritten"] += 1
+
+        # 2. Durable index repack, intent-logged per index.
+        with self._index_lock:
+            indexes = sorted(self._field_indexes.items())
+        for (type_name, field_name), index in indexes:
+            compact_pages = getattr(index, "compact", None)
+            if compact_pages is None:
+                continue  # in-memory FieldIndex: nothing durable to repack
+            self.journal.begin()
+            self.journal.log_delete(f"compact-index:{type_name}.{field_name}")
+            compact_pages()
+            self.journal.commit()
+            report["indexes_compacted"] += 1
+            self.stats.compacted_indexes += 1
+
+        # 3. Authoritative table-bloom rebuild: live records only, so
+        # erased keys drop out and the stale flag clears for good —
+        # this is the only path that ever *shrinks* a bloom.
+        if self.bloom_filters:
+            bloom_keys: Dict[str, List[str]] = {}
+            for subject_id, subject_no in sorted(
+                self._subjects_root.children.items()
+            ):
+                subject = self.inodes.get(subject_no)
+                for uid, record_no in sorted(subject.children.items()):
+                    inode = self.inodes.get(record_no)
+                    if inode.attrs.get("erased"):
+                        continue
+                    type_name = inode.attrs.get("pd_type")
+                    if isinstance(type_name, str):
+                        bloom_keys.setdefault(type_name, []).extend(
+                            ("S:" + subject_id, "U:" + uid)
+                        )
+            for type_name in sorted(self._types):
+                keys = bloom_keys.get(type_name, [])
+                bloom = BloomFilter.sized(max(256, len(keys)))
+                for key in keys:
+                    bloom.add(bloom_key(key))
+                self._table_blooms[type_name] = bloom
+                self._persist_table_bloom(type_name, bloom)
+                report["blooms_rebuilt"] += 1
+
+        # 4. Debris sweeps, then journal history truncation.
+        report["orphan_inodes"] = self._free_unreachable_inodes()
+        report["orphan_blocks"] = self._scrub_orphan_blocks()
+        report["journal_records_discarded"] = self.journal.checkpoint()
+
+        reclaimed = max(0, blocks_before - self.device.used_blocks) + max(
+            0, journal_blocks_before - self.journal.blocks_in_use
+        )
+        report["blocks_reclaimed"] = reclaimed
+        self.stats.compactions += 1
+        self.stats.compaction_blocks_reclaimed += reclaimed
+        self._journal_op("compact", f"reclaimed={reclaimed}")
+        return report
 
     def rollback_stores(self, uids: Sequence[str]) -> int:
         """Roll back committed-but-torn cross-shard stores after recovery.

@@ -73,7 +73,7 @@ import struct
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from .. import errors
 from ..obs import NULL_TELEMETRY, Telemetry
@@ -576,6 +576,22 @@ class Journal:
             self.stats.checkpointed_records += discarded
             span.set_attr("discarded", discarded)
         return discarded
+
+    def compact(self) -> Dict[str, int]:
+        """Force a checkpoint and report what the truncation reclaimed.
+
+        The auto-checkpoint policy bounds the log on its own schedule;
+        ``compact`` is the *on-demand* variant the retention path uses
+        after an erasure wave, so op history naming freshly-erased uids
+        does not linger until the policy happens to fire.  Returns
+        ``{"records_discarded": n, "blocks_reclaimed": m}``.
+        """
+        blocks_before = self.blocks_in_use
+        discarded = self.checkpoint()
+        return {
+            "records_discarded": discarded,
+            "blocks_reclaimed": max(0, blocks_before - self.blocks_in_use),
+        }
 
     # -- internals ----------------------------------------------------------
 

@@ -476,6 +476,28 @@ class ShardedDBFS:
             shard.flush_accelerators() for _, shard in self._healthy()
         )
 
+    def compact(self, rewrite_records: bool = True) -> Dict[str, int]:
+        """Compact every healthy shard; reports are summed."""
+        total: Dict[str, int] = {}
+        for _, shard in self._healthy():
+            for key, value in shard.compact(
+                rewrite_records=rewrite_records
+            ).items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    def add_ttl_observer(
+        self, observer: Callable[[str, str, Optional[float]], None]
+    ) -> None:
+        """Subscribe to TTL deadline changes on every shard.
+
+        One observer hears the whole fleet: the expiry daemon keeps a
+        single timer wheel and routes each firing back to the owning
+        shard through ``subjects_by_shard``.
+        """
+        for _, shard in self._healthy():
+            shard.add_ttl_observer(observer)
+
     def has_index(self, type_name: str, field_name: str) -> bool:
         return self._primary().has_index(type_name, field_name)
 

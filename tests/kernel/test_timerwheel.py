@@ -1,0 +1,188 @@
+"""Hierarchical timer wheel: the retention subsystem's deadline index.
+
+The wheel's contract has three parts, and the tests attack each:
+
+1. **Canonical boundary** — a timer fires at ``deadline <= now``
+   (inclusive), matching ``Membrane.is_expired``.
+2. **Never early, bounded late** — a timer is *drained* no earlier
+   than its deadline, and on drain the authoritative comparison (not
+   the bucket position) decides; arbitrary clock jumps cost at most
+   ``slots x levels`` bucket drains.
+3. **Index semantics** — schedule replaces, cancel removes, and the
+   brute-force oracle (a sorted dict of deadlines) agrees with the
+   wheel on every advance of a randomized schedule.
+"""
+
+import random
+
+import pytest
+
+from repro.kernel.timerwheel import LEVELS, SLOTS, TimerWheel
+
+
+class TestBoundary:
+    def test_fires_at_exact_deadline(self):
+        wheel = TimerWheel()
+        wheel.schedule("uid-1", 10.0)
+        assert wheel.advance(9.0) == []
+        assert wheel.advance(10.0) == ["uid-1"]
+
+    def test_does_not_fire_before_deadline(self):
+        wheel = TimerWheel()
+        wheel.schedule("uid-1", 10.0)
+        assert wheel.advance(9.999) == []
+        assert "uid-1" in wheel
+
+    def test_sub_tick_deadline_fires_next_tick(self):
+        """A deadline inside the current tick must not hide in the
+        already-passed slot for a 64-tick wrap."""
+        wheel = TimerWheel()
+        wheel.advance(5.25)
+        wheel.schedule("uid-1", 5.75)  # same tick as now (tick 5)
+        fired = wheel.advance(6.0)
+        assert fired == ["uid-1"]
+
+    def test_already_due_schedule_fires_immediately(self):
+        wheel = TimerWheel()
+        wheel.advance(100.0)
+        wheel.schedule("late", 50.0)  # already past — ripe
+        assert wheel.deadline_of("late") == 50.0
+        assert wheel.advance(100.0) == ["late"]
+
+    def test_schedule_at_now_is_ripe(self):
+        wheel = TimerWheel()
+        wheel.advance(10.0)
+        wheel.schedule("edge", 10.0)  # deadline == now: expired AT it
+        assert wheel.advance(10.0) == ["edge"]
+
+
+class TestScheduling:
+    def test_reschedule_replaces_deadline(self):
+        wheel = TimerWheel()
+        wheel.schedule("uid-1", 10.0)
+        wheel.schedule("uid-1", 500.0)  # membrane evolution moved TTL
+        assert len(wheel) == 1
+        assert wheel.deadline_of("uid-1") == 500.0
+        assert wheel.advance(10.0) == []
+        assert wheel.advance(500.0) == ["uid-1"]
+
+    def test_cancel(self):
+        wheel = TimerWheel()
+        wheel.schedule("uid-1", 10.0)
+        assert wheel.cancel("uid-1") is True
+        assert wheel.cancel("uid-1") is False
+        assert wheel.advance(1000.0) == []
+        assert len(wheel) == 0
+
+    def test_cancel_ripe_timer(self):
+        wheel = TimerWheel()
+        wheel.advance(10.0)
+        wheel.schedule("late", 5.0)
+        assert wheel.cancel("late") is True
+        assert wheel.advance(10.0) == []
+
+    def test_next_deadline_reporting(self):
+        wheel = TimerWheel()
+        assert wheel.next_deadline() is None
+        wheel.schedule("b", 200.0)
+        wheel.schedule("a", 100.0)
+        assert wheel.next_deadline() == 100.0
+
+    def test_contains_and_len(self):
+        wheel = TimerWheel()
+        wheel.schedule("a", 10.0)
+        wheel.schedule("b", 1e6)
+        assert "a" in wheel and "b" in wheel and "c" not in wheel
+        assert len(wheel) == 2
+
+    def test_backwards_time_rejected(self):
+        wheel = TimerWheel()
+        wheel.advance(100.0)
+        with pytest.raises(ValueError):
+            wheel.advance(99.0)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            TimerWheel(tick_seconds=0.0)
+        with pytest.raises(ValueError):
+            TimerWheel(levels=0)
+
+
+class TestHierarchy:
+    def test_far_deadline_cascades_not_early(self):
+        """A deadline far in a coarse level fires exactly when due,
+        never when its coarse slot happens to be crossed early."""
+        wheel = TimerWheel()
+        deadline = float(SLOTS * SLOTS * 3 + 17)  # level-2 territory
+        wheel.schedule("far", deadline)
+        assert wheel.advance(deadline - 1.0) == []
+        assert "far" in wheel
+        assert wheel.advance(deadline) == ["far"]
+        assert wheel.cascades >= 1
+
+    def test_giant_jump_drains_everything_once(self):
+        wheel = TimerWheel()
+        deadlines = {f"uid-{i}": float(i * i + 1) for i in range(50)}
+        for key, deadline in deadlines.items():
+            wheel.schedule(key, deadline)
+        fired = wheel.advance(1e7)
+        assert sorted(fired) == sorted(deadlines)
+        assert len(wheel) == 0
+        # earliest-first ordering
+        assert [deadlines[k] for k in fired] == sorted(deadlines.values())
+
+    def test_jump_cost_is_bounded(self):
+        """A day-sized jump over an empty wheel touches at most
+        SLOTS x LEVELS buckets — never one per elapsed tick."""
+        wheel = TimerWheel()
+        wheel.schedule("only", 40.0)
+        wheel.advance(86400.0 * 365)
+        assert wheel.slot_drains <= SLOTS * LEVELS
+
+    def test_counters(self):
+        wheel = TimerWheel()
+        wheel.schedule("a", 5.0)
+        wheel.schedule("b", 6.0)
+        wheel.cancel("b")
+        wheel.advance(10.0)
+        stats = wheel.as_dict()
+        assert stats["scheduled"] == 2
+        assert stats["cancelled"] == 1
+        assert stats["fired"] == 1
+        assert stats["pending"] == 0
+
+
+class TestOracle:
+    def test_randomized_against_brute_force(self):
+        """The wheel and a plain deadline dict agree on every advance
+        of a randomized schedule/cancel/advance workload."""
+        rng = random.Random(20260808)
+        wheel = TimerWheel()
+        oracle = {}
+        now = 0.0
+        for step in range(400):
+            action = rng.random()
+            if action < 0.55:
+                key = f"k{rng.randrange(120)}"
+                deadline = now + rng.uniform(0.0, 9000.0)
+                wheel.schedule(key, deadline)
+                oracle[key] = deadline
+            elif action < 0.7 and oracle:
+                key = rng.choice(sorted(oracle))
+                assert wheel.cancel(key) is True
+                del oracle[key]
+            else:
+                now += rng.uniform(0.0, 700.0)
+                fired = wheel.advance(now)
+                expected = sorted(
+                    (deadline, key)
+                    for key, deadline in oracle.items()
+                    if deadline <= now
+                )
+                assert fired == [key for _, key in expected]
+                for _, key in expected:
+                    del oracle[key]
+            assert len(wheel) == len(oracle)
+        # final drain: everything left fires eventually
+        fired = wheel.advance(now + 1e9)
+        assert sorted(fired) == sorted(oracle)

@@ -1,0 +1,153 @@
+"""Property: the expiry daemon is exactly the access-time filter.
+
+Proactive retention (the ExpiryDaemon sweep) and reactive retention
+(filtering expired PD at access time with the canonical
+``Membrane.is_expired``) must agree on every population.  For any mix
+of collection times, TTLs, and a final clock position — across shard
+layouts, and with a live MVCC snapshot pinned through the sweep —
+
+    {uids the daemon erased}  ==  {uids where deadline <= now}
+
+A daemon that erases *more* destroys live PD; one that erases *less*
+leaves Art. 5(1)(e) violations behind.  Equality, not inclusion, is
+the contract.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RgpdOS
+from repro.core.active_data import AccessCredential
+from repro.core.crypto import Authority
+from repro.core.datatypes import FieldDef, PDType
+from repro.obs.monitors import ExpiryDaemon
+
+AUTHORITY = Authority(bits=512, seed=9182)
+DED = AccessCredential(holder="retention-prop-ded", is_ded=True)
+DAY = 86400.0
+
+# Small TTL palette: a subject's PD lives 10, 40, or 120 days — mixed
+# with collection-time offsets this produces deadlines on both sides
+# of (and exactly on) every final clock position hypothesis picks.
+TTL_CHOICES = (10 * DAY, 40 * DAY, 120 * DAY)
+
+
+def pd_type_with_ttl(name, ttl_seconds):
+    return PDType(
+        name=name,
+        fields=(FieldDef("payload", "string"),),
+        default_consent={"stats": "all"},
+        collection={"web_form": "form.html"},
+        ttl_seconds=ttl_seconds,
+    )
+
+
+def build_population(shards, entries):
+    """One system, one record per entry at its own collection time."""
+    system = RgpdOS(
+        operator_name="retention-prop",
+        authority=AUTHORITY,
+        with_machine=False,
+        pd_device_blocks=512,
+        shards=shards,
+    )
+    for index, ttl in enumerate(TTL_CHOICES):
+        system.install_type(pd_type_with_ttl(f"pd{index}", ttl))
+    for index, (ttl_index, offset_days) in enumerate(entries):
+        if offset_days:
+            system.advance_time(offset_days * DAY)
+        system.collect(
+            f"pd{ttl_index}",
+            {"payload": f"payload-{index}"},
+            subject_id=f"subject-{index:02d}",
+            method="web_form",
+        )
+    return system
+
+
+subject_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(TTL_CHOICES) - 1),
+        st.integers(min_value=0, max_value=30),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestSweepEqualsAccessTimeFilter:
+    @given(
+        entries=subject_entries,
+        final_days=st.integers(min_value=0, max_value=200),
+        shards=st.sampled_from([1, 3]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_erased_set_equals_expired_set(
+        self, entries, final_days, shards
+    ):
+        system = build_population(shards, entries)
+        daemon = ExpiryDaemon(
+            dbfs=system.dbfs,
+            clock=system.clock,
+            builtins=system.ps.builtins,
+            trail=system.evidence,
+            telemetry=system.telemetry,
+        )
+        if final_days:
+            system.advance_time(final_days * DAY)
+        now = system.clock.now()
+
+        # The access-time verdict, captured BEFORE the sweep mutates
+        # anything: canonical is_expired per membrane.
+        expected = {
+            uid
+            for uid, membrane in system.dbfs.iter_membranes(DED)
+            if membrane.is_expired(now)
+        }
+
+        # Pin a live MVCC snapshot through the whole sweep: erasure is
+        # stricter than snapshot isolation and must not deadlock on or
+        # wait for readers.
+        snapshot = system.dbfs.begin_snapshot()
+        try:
+            daemon.run_until_drained()
+        finally:
+            snapshot.release()
+
+        actually_erased = {
+            uid
+            for uid, membrane in system.dbfs.iter_membranes(DED)
+            if membrane.erased
+        }
+        assert actually_erased == expected
+        assert daemon.erased_total == len(expected)
+        # Nothing left pending that should have fired; everything
+        # unexpired is still indexed for its future deadline.
+        assert daemon.pending == sum(
+            1
+            for uid, membrane in system.dbfs.iter_membranes(DED)
+            if not membrane.erased
+        )
+        assert system.dbfs.mvcc_stats()["active_snapshots"] == 0
+
+    @given(
+        entries=subject_entries,
+        final_days=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_sweep_is_idempotent(self, entries, final_days):
+        """A second pass at the same instant finds nothing: the first
+        sweep was exact, not approximate."""
+        system = build_population(1, entries)
+        daemon = ExpiryDaemon(
+            dbfs=system.dbfs,
+            clock=system.clock,
+            builtins=system.ps.builtins,
+            trail=system.evidence,
+            telemetry=system.telemetry,
+        )
+        if final_days:
+            system.advance_time(final_days * DAY)
+        first = daemon.run_until_drained()
+        again = daemon.run_until_drained()
+        assert again == first  # erased_total did not move

@@ -1,0 +1,226 @@
+"""Durable-plane compaction: the reclaim half of retention.
+
+Erasure scrubs a record's own bytes, but four planes keep growing
+until :meth:`DatabaseFS.compact` runs: record shadow-write debris,
+durable B-tree page slack, add-only bloom filters, and journal
+history.  These tests pin each plane's reclaim plus the two safety
+properties that make compaction trustworthy:
+
+* **provable residue zero** — after erase + compact, the erased
+  subject's plaintext appears in no device block and no journal
+  record (``residue_counts``), and device/journal blocks actually
+  come back;
+* **crash atomicity** — a power cut anywhere inside a compaction
+  leaves a recoverable store: the intent-logged index repack demotes
+  to a full rebuild, never attaches torn pages (CrashSim sweep with
+  ``compaction=True``).
+"""
+
+import pytest
+
+from repro.core.active_data import AccessCredential
+from repro.storage.btree import bloom_key
+from repro.storage.crashsim import CrashSim
+from repro.storage.dbfs import DatabaseFS
+from repro.storage.query import DeleteRequest, Predicate
+
+from test_dbfs import make_user_type, store_user
+
+DED = AccessCredential(holder="compaction-ded", is_ded=True)
+
+
+@pytest.fixture
+def authority():
+    from repro.core.crypto import Authority
+
+    return Authority(bits=512, seed=23)
+
+
+@pytest.fixture
+def dbfs(authority):
+    fs = DatabaseFS(operator_key=authority.issue_operator_key("compact-op"))
+    fs.create_type(make_user_type(), DED)
+    return fs
+
+
+def populate(fs, count=6):
+    return {
+        f"s{i}": store_user(
+            fs, f"s{i}", name=f"Name Number {i}", ssn=f"18502{i:02d}",
+            year=1900 + i,
+        )
+        for i in range(count)
+    }
+
+
+class TestCompactReport:
+    def test_report_shape_and_stats(self, dbfs):
+        refs = populate(dbfs)
+        dbfs.create_index("user", "year", DED)
+        for subject in ("s0", "s1"):
+            dbfs.delete(DeleteRequest(refs[subject].uid, mode="erase"), DED)
+        report = dbfs.compact()
+        assert report["records_rewritten"] == 4  # 6 stored - 2 erased
+        assert report["indexes_compacted"] == 1
+        assert report["blooms_rebuilt"] == 1  # one table
+        assert report["journal_records_discarded"] > 0
+        assert report["blocks_reclaimed"] >= 0
+        assert dbfs.stats.compactions == 1
+        assert dbfs.stats.compacted_indexes == 1
+
+    def test_rewrite_can_be_skipped(self, dbfs):
+        populate(dbfs, count=3)
+        report = dbfs.compact(rewrite_records=False)
+        assert report["records_rewritten"] == 0
+        assert report["blooms_rebuilt"] == 1
+
+    def test_compact_is_idempotent(self, dbfs):
+        refs = populate(dbfs)
+        dbfs.delete(DeleteRequest(refs["s0"].uid, mode="erase"), DED)
+        dbfs.compact()
+        report = dbfs.compact()  # second pass: nothing left to drop
+        assert report["orphan_inodes"] == 0
+        assert report["orphan_blocks"] == 0
+        assert dbfs.all_uids()  # live data intact
+        assert dbfs.stats.compactions == 2
+
+
+class TestResidue:
+    def test_zero_residue_after_erase_and_compact(self, dbfs):
+        refs = populate(dbfs)
+        needles = [b"Name Number 0", b"1850200"]
+        dbfs.delete(DeleteRequest(refs["s0"].uid, mode="erase"), DED)
+        dbfs.compact()
+        residue = dbfs.residue_counts(needles, subject_id="s0")
+        assert residue == {"device_blocks": 0, "journal_records": 0}
+
+    def test_journal_history_truncated(self, dbfs):
+        populate(dbfs, count=8)
+        before = len(dbfs.journal)
+        assert before > 8  # op history accumulated
+        dbfs.compact()
+        assert len(dbfs.journal) < before
+
+    def test_blocks_actually_reclaimed(self, dbfs):
+        refs = populate(dbfs, count=8)
+        for i in range(6):
+            dbfs.delete(DeleteRequest(refs[f"s{i}"].uid, mode="erase"), DED)
+        journal_before = dbfs.journal.blocks_in_use
+        report = dbfs.compact()
+        assert report["blocks_reclaimed"] > 0
+        assert dbfs.journal.blocks_in_use < journal_before
+
+    def test_journal_compact_wrapper(self, dbfs):
+        populate(dbfs, count=5)
+        report = dbfs.journal.compact()
+        assert set(report) == {"records_discarded", "blocks_reclaimed"}
+        assert report["records_discarded"] > 0
+        # A second pass right away only discards the previous pass's
+        # own checkpoint marker.
+        assert dbfs.journal.compact()["records_discarded"] <= 1
+
+
+class TestBloomRebuild:
+    def test_erased_keys_drop_out_of_table_bloom(self, dbfs):
+        refs = populate(dbfs)
+        erased_key = bloom_key("S:s0")
+        live_key = bloom_key("S:s3")
+        dbfs.delete(DeleteRequest(refs["s0"].uid, mode="erase"), DED)
+        bloom = dbfs._table_blooms["user"]
+        # Add-only before compaction: the erased subject still hits.
+        assert bloom.might_contain(erased_key)
+        dbfs.compact()
+        rebuilt = dbfs._table_blooms["user"]
+        assert not rebuilt.might_contain(erased_key)  # the only shrink path
+        assert rebuilt.might_contain(live_key)  # never a false negative
+
+    def test_index_value_bloom_stale_clears(self, dbfs):
+        refs = populate(dbfs)
+        dbfs.create_index("user", "year", DED)
+        dbfs.delete(DeleteRequest(refs["s2"].uid, mode="erase"), DED)
+        index = dbfs._field_indexes[("user", "year")]
+        assert index.bloom.stale  # removal over-approximates
+        dbfs.compact()
+        assert not index.bloom.stale  # rebuilt fresh from live pages
+
+
+class TestIndexRepack:
+    def test_lookups_correct_after_repack(self, dbfs):
+        refs = populate(dbfs, count=10)
+        dbfs.create_index("user", "year", DED)
+        for subject in ("s1", "s4", "s7"):
+            dbfs.delete(DeleteRequest(refs[subject].uid, mode="erase"), DED)
+        dbfs.compact()
+        index = dbfs._field_indexes[("user", "year")]
+        index.check_invariants()
+        expected = sorted(
+            refs[f"s{i}"].uid for i in range(10) if i not in (1, 4, 7)
+        )
+        assert sorted(index.range()) == expected
+        assert index.exact(1905) == [refs["s5"].uid]
+        # and the planner path end-to-end
+        uids = dbfs.select_uids(
+            "user", Predicate("year", "ge", 1900), DED
+        )
+        assert sorted(uids) == expected
+
+    def test_compact_survives_remount(self, dbfs, authority):
+        refs = populate(dbfs)
+        dbfs.create_index("user", "year", DED)
+        dbfs.delete(DeleteRequest(refs["s0"].uid, mode="erase"), DED)
+        dbfs.compact()
+        dbfs.flush_accelerators()
+        recovered = DatabaseFS.remount_from_device(
+            dbfs.device, dbfs.inodes,
+            operator_key=authority.issue_operator_key("compact-op"),
+        )
+        expected = sorted(refs[f"s{i}"].uid for i in range(1, 6))
+        # all_uids keeps the erased tombstone (audit trail); the index
+        # and the planner must list live records only.
+        index = recovered._field_indexes[("user", "year")]
+        assert sorted(index.range()) == expected
+        uids = recovered.select_uids(
+            "user", Predicate("year", "ge", 1900), DED
+        )
+        assert sorted(uids) == expected
+
+
+class TestCrashMidCompaction:
+    """Power-cut sweep with the workload extended by a full compact."""
+
+    def _assert_sweep_passes(self, report):
+        detail = "\n".join(
+            f"cut={trial.cut_after} steps={trial.completed_steps} "
+            f"failures={trial.failures}"
+            for trial in report.failing_trials()
+        )
+        assert report.passed, f"compaction crash sweep failed:\n{detail}"
+
+    def test_power_cut_mid_compaction_recovers(self):
+        sim = CrashSim(shard_count=1, compaction=True)
+        report = sim.sweep(stride=3)
+        self._assert_sweep_passes(report)
+        # The sweep must genuinely cut power inside the compaction
+        # writes: some trials finish every store/erase but not the
+        # compact step itself.
+        mid_compact = [
+            trial
+            for trial in report.trials
+            if "erase:0" in trial.completed_steps
+            and "compact" not in trial.completed_steps
+            and trial.crashed
+        ]
+        assert mid_compact, "no cut landed inside the compact step"
+
+    def test_cut_on_final_compaction_write_recovers(self):
+        """The very last write of the workload is inside the compact
+        pass (its closing journal record); cutting power ON it still
+        recovers with every invariant — durable stores, zero residue
+        of the erased subject, consistent accelerators."""
+        sim = CrashSim(shard_count=1, compaction=True)
+        _, total = sim.measure()
+        trial = sim.run_trial(total - 1)
+        assert trial.crashed
+        assert "store:4" in trial.completed_steps  # died inside compact
+        assert "compact" not in trial.completed_steps
+        assert trial.ok, trial.failures

@@ -93,6 +93,43 @@ class TestCommands:
 
         assert EvidenceTrail.verify_file(str(out_file)) >= 2
 
+    def test_retain_walkthrough(self, capsys):
+        assert main(["retain"]) == 0
+        out = capsys.readouterr().out
+        assert "timer wheel:" in out
+        assert "expiry daemon:" in out
+        assert "PD erased" in out
+        assert "[PASS] art5e-retention" in out
+        assert "proactively enforced" in out
+
+    def test_retain_with_compaction_sharded(self, capsys):
+        assert main(["retain", "--shards", "2", "--compact",
+                     "--wave-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "compaction:" in out
+        assert "block(s) reclaimed" in out
+
+    def test_retain_json(self, capsys):
+        assert main(["retain", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["daemon"]["erased_total"] > 0
+        assert report["daemon"]["pending"] == 0
+        assert report["retention_control"]["status"] == "pass"
+        assert any(
+            ref.startswith("trail:")
+            for ref in report["retention_control"]["evidence"]
+        )
+
+    def test_retain_without_expiry_leaves_nothing_to_do(self, capsys):
+        assert main(["retain", "--advance", "1D"]) == 0
+        report_out = capsys.readouterr().out
+        assert "0 PD erased" in report_out
+
+    def test_audit_expiry_daemon_flag(self, capsys):
+        assert main(["audit", "--expiry-daemon", "--continuous", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "COMPLIANT" in out
+
     def test_gdprbench_small(self, capsys):
         assert main(
             ["gdprbench", "--records", "5", "--ops", "10",
