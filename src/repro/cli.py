@@ -476,6 +476,83 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Replicated-cluster walkthrough: ship, read from replicas,
+    erase to the watermark, optionally fail over.
+
+    ``--regions`` places the nodes (leader first; ``region:scc``
+    invokes an Art. 46 safeguard for that node); ``--replicas`` pads
+    the list with copies of the leader region when shorter.
+    """
+    from .cluster import LinkConfig, ReplicatedCluster
+
+    regions = [r for r in args.regions.split(",") if r]
+    if not regions:
+        regions = ["eu"]
+    while len(regions) < args.replicas + 1:
+        regions.append(regions[0].partition(":")[0])
+    system = _demo_system(shards=args.shards)
+    cluster = ReplicatedCluster(
+        system,
+        regions=regions,
+        link_config=LinkConfig(latency_seconds=args.link_latency),
+        batch_records=args.batch_records,
+    )
+    try:
+        system.invoke("compute_age", target="user")
+        cluster.sync()
+        export = cluster.right_of_access("alice")
+        outcome = system.rights.erase("bob")
+        cluster.sync()
+        propagated = all(
+            cluster.erasure_propagated(uid) for uid in outcome.erased_uids
+        )
+        failover = None
+        if args.failover:
+            cluster.fail_leader()
+            promoted = cluster.promote()
+            demoted = cluster.demote()
+            cluster.sync()
+            failover = {
+                "promoted": promoted.node_id,
+                "promoted_region": promoted.region,
+                "demoted_rejoined": demoted.node_id,
+            }
+        report = {
+            "cluster": cluster.stats(),
+            "replica_read_records": len(export["records"]),
+            "erased_uids": list(outcome.erased_uids),
+            "erasure_propagated": propagated,
+            "failover": failover,
+        }
+        if args.format == "json":
+            print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        elif args.format == "prometheus":
+            print(system.telemetry.to_prometheus(), end="")
+        else:
+            stats = report["cluster"]
+            print(f"leader: {stats['leader']}")
+            for node in stats["nodes"]:
+                safeguard = (
+                    f" ({node['safeguard']})" if node["safeguard"] else ""
+                )
+                print(f"  {node['node_id']:8s} {node['region']:3s}"
+                      f"{safeguard:7s} {node['role']:9s} "
+                      f"lag={stats['lag'].get(node['node_id'], 0)}")
+            print(f"replica read: {report['replica_read_records']} "
+                  f"record(s) for alice")
+            print(f"erasure propagated to every replica: {propagated}")
+            print(f"placement violations: "
+                  f"{stats['placement']['violations']}")
+            if failover is not None:
+                print(f"failover: promoted {failover['promoted']} "
+                      f"({failover['promoted_region']}), rejoined "
+                      f"{failover['demoted_rejoined']} as follower")
+        return 0 if propagated else 1
+    finally:
+        cluster.close()
+
+
 def cmd_version(args: argparse.Namespace) -> int:
     print(f"repro (rgpdOS reproduction) {__version__}")
     return 0
@@ -638,6 +715,43 @@ def build_parser() -> argparse.ArgumentParser:
              "its queue-depth/in-flight gauges (default 0: serial)",
     )
 
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="replicated-cluster walkthrough (journal shipping, "
+             "replica reads, RTBF watermark, optional failover)",
+    )
+    cluster.add_argument(
+        "--replicas", type=int, default=2, metavar="N",
+        help="follower count when --regions lists fewer (default 2)",
+    )
+    cluster.add_argument(
+        "--regions", default="eu,eu,us:scc", metavar="LIST",
+        help="comma-separated node regions, leader first; append "
+             ":scc/:bcr to invoke an Art. 46 safeguard "
+             "(default eu,eu,us:scc)",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=1,
+        help="DBFS shard count per node (default 1)",
+    )
+    cluster.add_argument(
+        "--batch-records", type=int, default=32, metavar="N",
+        help="replication group-commit batch size (default 32)",
+    )
+    cluster.add_argument(
+        "--link-latency", type=float, default=0.002, metavar="SECONDS",
+        help="simulated per-message link latency (default 0.002)",
+    )
+    cluster.add_argument(
+        "--failover", action="store_true",
+        help="kill the leader, promote the most-caught-up adequate "
+             "follower, rejoin the old leader as a follower",
+    )
+    cluster.add_argument(
+        "--format", choices=("text", "json", "prometheus"),
+        default="text", help="output format (default text)",
+    )
+
     subparsers.add_parser("version", help="print the library version")
     return parser
 
@@ -652,6 +766,7 @@ _COMMANDS = {
     "audit": cmd_audit,
     "retain": cmd_retain,
     "stats": cmd_stats,
+    "cluster": cmd_cluster,
     "version": cmd_version,
 }
 

@@ -1,0 +1,32 @@
+"""Replicated rgpdOS cluster (PR 10).
+
+Journal-shipping replication with read-replica scale-out and geo-aware
+GDPR placement:
+
+* :mod:`repro.cluster.link` — the simulated WAN corridor (latency,
+  bandwidth, seeded faults via the storage fault injector);
+* :mod:`repro.cluster.placement` — Chapter V (Art. 44–46) enforced at
+  placement time and re-checked on failover;
+* :mod:`repro.cluster.cluster` — leader/follower topology, pipelined
+  group-committed shipping, MVCC replica reads, RTBF watermark, and
+  crash-path failover.
+"""
+
+from .cluster import (ClusterNode, ReplicatedCluster, ShippedRecord,
+                      ROLE_DEAD, ROLE_FOLLOWER, ROLE_LEADER)
+from .link import LinkConfig, LinkStats, ReplicationLink
+from .placement import NodeLocation, PlacementEngine
+
+__all__ = [
+    "ClusterNode",
+    "LinkConfig",
+    "LinkStats",
+    "NodeLocation",
+    "PlacementEngine",
+    "ReplicatedCluster",
+    "ReplicationLink",
+    "ShippedRecord",
+    "ROLE_DEAD",
+    "ROLE_FOLLOWER",
+    "ROLE_LEADER",
+]

@@ -1,0 +1,122 @@
+"""Simulated replication network link.
+
+One :class:`ReplicationLink` connects the leader's shipper to one
+follower node.  It models the three properties of a real WAN corridor
+that matter to replication:
+
+* **latency** — every shipped batch pays a fixed per-message cost,
+  which is exactly why group commit batches amortize (the erasure
+  propagation benchmark sweeps batch size against this);
+* **bandwidth** — payload bytes divide by the corridor's throughput;
+* **faults** — transient send failures and full partitions, driven by
+  the *existing* :class:`~repro.storage.faults.FaultInjector` so the
+  fault schedule is seeded and replayable like every other fault in
+  the repo.  A "power cut" on the link's injector is a partition: the
+  corridor stays down until :meth:`heal`.
+
+Time is accounted, not slept: ``stats.simulated_seconds`` accumulates
+the modelled transfer time so benchmarks can report propagation
+latency deterministically.  Pass ``delay_scale > 0`` to convert the
+modelled delay into a real ``time.sleep`` (same idea as the block
+device's ``io_delay_scale``) when wall-clock realism matters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import errors
+from ..storage.faults import FaultInjector, FaultPlan
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Corridor shape: per-message latency, throughput, fault plan."""
+
+    #: Seconds of fixed cost per shipped message (batch), regardless
+    #: of size.  WAN RTTs live here.
+    latency_seconds: float = 0.002
+    #: Payload throughput; bytes / bandwidth adds to the message cost.
+    bandwidth_bytes_per_second: float = 50e6
+    #: Scale modelled delay into real sleep (0 = account only).
+    delay_scale: float = 0.0
+    #: Seeded fault schedule for the corridor (transient_write_every
+    #: drops every Nth send once; power_cut_after_writes partitions
+    #: the link at the Nth send).
+    plan: Optional[FaultPlan] = None
+
+
+@dataclass
+class LinkStats:
+    """What actually crossed (and failed to cross) the corridor."""
+
+    messages: int = 0
+    records: int = 0
+    bytes_shipped: int = 0
+    simulated_seconds: float = 0.0
+    transient_failures: int = 0
+    partition_rejections: int = 0
+
+
+class ReplicationLink:
+    """One leader→follower corridor with seeded faults."""
+
+    def __init__(self, config: Optional[LinkConfig] = None) -> None:
+        self.config = config if config is not None else LinkConfig()
+        self.injector = FaultInjector(self.config.plan)
+        self.stats = LinkStats()
+
+    # -- partition control --------------------------------------------------
+
+    @property
+    def partitioned(self) -> bool:
+        return not self.injector.powered
+
+    def partition(self) -> None:
+        """Cut the corridor (an operator-driven fault, no plan needed)."""
+        self.injector.powered = False
+
+    def heal(self) -> None:
+        self.injector.power_on()
+
+    # -- shipping -----------------------------------------------------------
+
+    def send(self, record_count: int, payload_bytes: int) -> float:
+        """Ship one batch; returns the modelled transfer delay.
+
+        Raises :class:`~repro.errors.LinkPartitionedError` when the
+        corridor is down (including a plan-scheduled partition firing
+        on this very send) and :class:`~repro.errors.TransientIOError`
+        for a plan-scheduled transient drop — the shipper retries
+        those, while a partition parks the follower until healed.
+        """
+        if self.partitioned:
+            self.stats.partition_rejections += 1
+            raise errors.LinkPartitionedError(
+                "replication link is partitioned"
+            )
+        index = self.injector.next_write()
+        if self.injector.transient_write(index):
+            self.stats.transient_failures += 1
+            raise errors.TransientIOError(
+                f"transient replication fault on send #{index}"
+            )
+        if self.injector.cut_now(index):
+            self.stats.partition_rejections += 1
+            raise errors.LinkPartitionedError(
+                f"replication link partitioned at send #{index}"
+            )
+        delay = self.config.latency_seconds + (
+            payload_bytes / self.config.bandwidth_bytes_per_second
+            if self.config.bandwidth_bytes_per_second > 0
+            else 0.0
+        )
+        self.stats.messages += 1
+        self.stats.records += record_count
+        self.stats.bytes_shipped += payload_bytes
+        self.stats.simulated_seconds += delay
+        if self.config.delay_scale > 0.0:
+            time.sleep(delay * self.config.delay_scale)
+        return delay

@@ -1,0 +1,178 @@
+"""Geo-aware replica placement: Chapter V enforced at placement time.
+
+*Policy-Compliant Cloud Storage Systems* argues the policy check must
+run when data is **placed**, not (only) when it is accessed — once
+bytes land in a non-adequate region, no later access check unwrites
+them.  This engine is that check for the replicated cluster:
+
+* every node declares a **jurisdiction** (``region``) and, optionally,
+  an Art. 46 mechanism it has executed (``safeguard="scc"``);
+* every subject has an **origin** jurisdiction (default ``eu`` — the
+  paper's setting is a GDPR operator);
+* a node may be admitted, or keep its role through a failover, only
+  if :class:`~repro.core.transfer.TransferPolicy` permits the
+  (origin → node.region) corridor for **every** origin the cluster
+  holds — evaluated at the cluster clock's *current* instant, so an
+  adequacy decision lapsing between placement and failover is caught
+  by the re-check.
+
+Counters: ``violations`` counts PD actually placed in breach (the
+whole point is that enforcement keeps it at 0); ``blocked`` counts
+placements the engine refused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from .. import errors
+from ..core.transfer import TransferDecision, TransferPolicy, default_policy
+
+
+@dataclass(frozen=True)
+class NodeLocation:
+    """Where a node sits and what safeguards it brings."""
+
+    node_id: str
+    region: str
+    safeguard: Optional[str] = None
+
+
+class PlacementEngine:
+    """Admission control for replicas, backed by the transfer policy."""
+
+    def __init__(
+        self,
+        policy: Optional[TransferPolicy] = None,
+        now: Optional[Callable[[], float]] = None,
+        default_origin: str = "eu",
+    ) -> None:
+        self.policy = policy if policy is not None else default_policy()
+        self._now = now if now is not None else (lambda: 0.0)
+        self.default_origin = default_origin
+        self._nodes: Dict[str, NodeLocation] = {}
+        self._subject_origins: Dict[str, str] = {}
+        self._origins_present: Dict[str, int] = {}
+        self.violations = 0
+        self.blocked = 0
+
+    # -- registration -------------------------------------------------------
+
+    @property
+    def origins(self) -> List[str]:
+        return sorted(self._origins_present)
+
+    def subject_origin(self, subject_id: str) -> str:
+        return self._subject_origins.get(subject_id, self.default_origin)
+
+    def register_subject(self, subject_id: str, origin: str) -> None:
+        """Declare a subject's origin jurisdiction — *before* their PD
+        lands.  Raises when any admitted node could not lawfully hold
+        PD of this origin: the conflict must be resolved by topology
+        (drop the node) not by silently spilling PD."""
+        previous = self._subject_origins.get(subject_id)
+        if previous == origin:
+            return
+        if previous is not None:
+            raise errors.PlacementViolationError(
+                f"subject {subject_id!r} already registered with origin "
+                f"{previous!r}"
+            )
+        at = self._now()
+        for node in self._nodes.values():
+            decision = self.policy.decide(
+                origin, node.region, at, node.safeguard
+            )
+            if not decision.allowed:
+                self.blocked += 1
+                raise errors.PlacementViolationError(
+                    f"subject {subject_id!r} (origin {origin!r}) cannot be "
+                    f"replicated to node {node.node_id!r} in "
+                    f"{node.region!r}: {decision.reason} ({decision.article})"
+                )
+        self._subject_origins[subject_id] = origin
+        self._origins_present[origin] = self._origins_present.get(origin, 0) + 1
+
+    def note_subject(self, subject_id: str) -> str:
+        """Record a subject first seen at write time (default origin)."""
+        origin = self._subject_origins.get(subject_id)
+        if origin is None:
+            origin = self.default_origin
+            self._subject_origins[subject_id] = origin
+            self._origins_present[origin] = (
+                self._origins_present.get(origin, 0) + 1
+            )
+        return origin
+
+    # -- admission ----------------------------------------------------------
+
+    def check_node(
+        self, node: NodeLocation, origins: Optional[Iterable[str]] = None
+    ) -> List[TransferDecision]:
+        """Every (origin → node) decision; raises on the first breach."""
+        at = self._now()
+        decisions: List[TransferDecision] = []
+        for origin in sorted(set(origins) if origins is not None
+                             else set(self._origins_present)):
+            decision = self.policy.decide(
+                origin, node.region, at, node.safeguard
+            )
+            decisions.append(decision)
+            if not decision.allowed:
+                self.blocked += 1
+                raise errors.PlacementViolationError(
+                    f"node {node.node_id!r} in {node.region!r} may not hold "
+                    f"PD of origin {origin!r}: {decision.reason} "
+                    f"({decision.article})"
+                )
+        return decisions
+
+    def admissible(self, node: NodeLocation) -> bool:
+        """Non-raising form of :meth:`check_node` (failover candidate
+        filtering must not abort the failover)."""
+        at = self._now()
+        return all(
+            self.policy.decide(o, node.region, at, node.safeguard).allowed
+            for o in self._origins_present
+        )
+
+    def admit_node(self, node: NodeLocation) -> None:
+        self.check_node(node)
+        self._nodes[node.node_id] = node
+
+    def evict_node(self, node_id: str) -> None:
+        self._nodes.pop(node_id, None)
+
+    def audit(self) -> Dict[str, object]:
+        """Re-evaluate every admitted node against every origin *now*.
+
+        Any hit is an actual violation (PD already sits there): it
+        increments ``violations`` — the gauge the CI smoke requires to
+        stay at zero — and is reported, not raised, so audits can list
+        every breach at once.
+        """
+        at = self._now()
+        breaches: List[Dict[str, str]] = []
+        for node in self._nodes.values():
+            for origin in sorted(self._origins_present):
+                decision = self.policy.decide(
+                    origin, node.region, at, node.safeguard
+                )
+                if not decision.allowed:
+                    self.violations += 1
+                    breaches.append(
+                        {
+                            "node": node.node_id,
+                            "region": node.region,
+                            "origin": origin,
+                            "reason": decision.reason,
+                        }
+                    )
+        return {
+            "nodes": len(self._nodes),
+            "origins": self.origins,
+            "breaches": breaches,
+            "violations": self.violations,
+            "blocked": self.blocked,
+        }

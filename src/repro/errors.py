@@ -249,3 +249,24 @@ class SemanticError(DSLError):
 
 class CryptoError(RgpdOSError):
     """Base class for cryptographic failures (bad key, bad ciphertext)."""
+
+
+# ---------------------------------------------------------------------------
+# Replicated cluster
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(RgpdOSError):
+    """Base class for replicated-cluster failures."""
+
+
+class ReplicationError(ClusterError):
+    """Journal shipping failed (node dead, stream gap, apply error)."""
+
+
+class LinkPartitionedError(ReplicationError):
+    """The simulated network link is partitioned; the batch did not ship."""
+
+
+class PlacementViolationError(ClusterError):
+    """A replica placement would break Chapter V transfer rules (Art. 44)."""

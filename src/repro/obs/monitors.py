@@ -419,6 +419,31 @@ class ExpiryDaemon(Monitor):
                     count += 1
         return count
 
+    def rebind(self, dbfs, builtins=None) -> int:
+        """Re-attach after a true-crash remount.
+
+        An in-place ``remount()`` keeps the store object, so the
+        daemon's observer registration and wheel survive on their own.
+        ``remount_from_device`` / ``remount_from_devices`` build
+        *fresh* store objects with empty observer lists — without this
+        call the daemon would keep feeding a dead store's wheel and
+        never hear another TTL event.  Re-registers the TTL hook on
+        the new store, swaps in a fresh wheel (stale pre-crash entries
+        drop), re-seeds it from the recovered membranes, and clears
+        the backlog of uids that may no longer exist.  Returns the
+        number of deadlines re-indexed.
+        """
+        with self._lock:
+            self.dbfs = dbfs
+            if builtins is not None:
+                self.builtins = builtins
+            self.wheel = TimerWheel(start=self.clock.now())
+            self._backlog.clear()
+        hook = getattr(dbfs, "add_ttl_observer", None)
+        if hook is not None:
+            hook(self._on_ttl_event)
+        return self.seed()
+
     @property
     def pending(self) -> int:
         with self._lock:

@@ -316,8 +316,22 @@ class DatabaseFS:
         # TTL observers survive an in-place remount (the registrations
         # belong to daemons, not to the derived state _init_volatile
         # rebuilds); remount_from_device starts with a fresh list, and
-        # the expiry daemon re-seeds its wheel from the membranes.
+        # the expiry daemon re-seeds its wheel from the membranes
+        # (ExpiryDaemon.rebind is the re-attach path for that case).
         self.ttl_observers: List[Callable[[str, str, Optional[float]], None]] = []
+        # Mutation observers: the replication capture point.  Each
+        # fires *after* a mutation's journal transaction commits, with
+        # (op, payload) sufficient to replay the op on another node.
+        # Same lifecycle as ttl_observers.
+        self.mutation_observers: List[
+            Callable[[str, Dict[str, object]], None]
+        ] = []
+        # A delete's _finish_erase persists the membrane through
+        # put_membrane; replaying that nested membrane_update *before*
+        # the delete op would leave an "erased" membrane over a live
+        # plaintext record on followers.  The delete path raises this
+        # flag so only its own op record ships.
+        self._suppress_mutation_notify = False
 
     def _init_volatile(self) -> None:
         """(Re)create every derived, in-memory-only structure.
@@ -348,6 +362,10 @@ class DatabaseFS:
         # remount; persisted bits (flush_accelerators) are OR-unioned
         # in, so the filter over-approximates and never false-negatives.
         self._table_blooms: Dict[str, BloomFilter] = {}
+        # Incremental-compaction resume point: the last uid the
+        # record-rewrite plane finished (None = wave not in progress).
+        # Volatile on purpose — a remount restarts the wave.
+        self._compact_cursor: Optional[str] = None
         # Lineage index: copy-group id -> member uids.  Keeps the
         # built-in copy/consent-propagation path O(group) instead of a
         # full membrane scan; rebuilt from membranes on remount.
@@ -440,6 +458,7 @@ class DatabaseFS:
         if self.bloom_filters:
             self._table_blooms[pd_type.name] = BloomFilter.sized(4096)
         self._journal_op("create_type", pd_type.name)
+        self._notify_mutation("create_type", {"pd_type": pd_type})
 
     @_locked_writer
     def evolve_type(
@@ -528,6 +547,7 @@ class DatabaseFS:
         self._record_cache.clear()
         self._types[new_type.name] = new_type
         self._journal_op("evolve_type", new_type.name)
+        self._notify_mutation("evolve_type", {"pd_type": new_type})
         return new_type
 
     def schema_version(self, type_name: str) -> int:
@@ -621,6 +641,9 @@ class DatabaseFS:
         if field_name not in declared:
             declared.append(field_name)
         self._journal_op("create_index", f"{type_name}.{field_name}")
+        self._notify_mutation(
+            "create_index", {"type_name": type_name, "field_name": field_name}
+        )
         return index
 
     def _index_kwargs(self) -> Dict[str, object]:
@@ -689,6 +712,11 @@ class DatabaseFS:
 
     def has_index(self, type_name: str, field_name: str) -> bool:
         return (type_name, field_name) in self._field_indexes
+
+    def indexed_fields(self) -> List[Tuple[str, str]]:
+        """Sorted (type, field) pairs with a live index (schema sync)."""
+        with self._index_lock:
+            return sorted(self._field_indexes)
 
     def select_uids(
         self,
@@ -1136,7 +1164,11 @@ class DatabaseFS:
             )
         pd_type.validate(request.record)
 
-        uid = f"pd:{pd_type.name}:{next(_uid_counter):08d}"
+        # Replication replay passes the leader-minted uid so the same
+        # PD carries the same name on every node; local stores mint one.
+        uid = request.uid or f"pd:{pd_type.name}:{next(_uid_counter):08d}"
+        if uid in self._record_index:
+            raise errors.DBFSError(f"uid {uid!r} already exists")
         fmt = self._format_of(pd_type.name)
         public = {
             k: v for k, v in request.record.items() if k in fmt["public_fields"]
@@ -1222,6 +1254,16 @@ class DatabaseFS:
         # TTL observers (the expiry daemon's timer wheel) hear about
         # the new deadline only after the record is durably committed.
         self._notify_ttl(uid, membrane.subject_id, membrane.expiry_deadline())
+        self._notify_mutation(
+            "store",
+            {
+                "uid": uid,
+                "pd_type": pd_type.name,
+                "subject_id": membrane.subject_id,
+                "record": dict(request.record),
+                "membrane_json": request.membrane_json,
+            },
+        )
         return PDRef(uid=uid, pd_type=pd_type.name, subject_id=membrane.subject_id)
 
     @_locked_writer
@@ -1431,6 +1473,14 @@ class DatabaseFS:
             membrane.subject_id,
             None if membrane.erased else membrane.expiry_deadline(),
         )
+        self._notify_mutation(
+            "membrane_update",
+            {
+                "uid": uid,
+                "subject_id": membrane.subject_id,
+                "membrane_json": encoded,
+            },
+        )
 
     def add_ttl_observer(
         self, observer: Callable[[str, str, Optional[float]], None]
@@ -1451,6 +1501,38 @@ class DatabaseFS:
     ) -> None:
         for observer in self.ttl_observers:
             observer(uid, subject_id, deadline)
+
+    def add_mutation_observer(
+        self, observer: Callable[[str, Dict[str, object]], None]
+    ) -> None:
+        """Subscribe to committed mutations (the replication tap).
+
+        ``observer(op, payload)`` fires after each mutating operation's
+        journal transaction commits — ops: ``store``, ``update``,
+        ``delete``, ``membrane_update``, ``create_type``,
+        ``evolve_type``, ``create_index`` — with a payload sufficient
+        to replay the operation verbatim on a follower node
+        (``repro.cluster`` is the intended subscriber).  Payloads for
+        ``store`` carry the plaintext record only in flight; the
+        cluster's shipping log redacts them the moment an erasure for
+        the same uid is captured.
+        """
+        self.mutation_observers.append(observer)
+
+    def remove_mutation_observer(
+        self, observer: Callable[[str, Dict[str, object]], None]
+    ) -> None:
+        """Unsubscribe (failover demotes a leader by dropping its tap)."""
+        try:
+            self.mutation_observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify_mutation(self, op: str, payload: Dict[str, object]) -> None:
+        if self._suppress_mutation_notify:
+            return
+        for observer in self.mutation_observers:
+            observer(op, payload)
 
     def lineage_members(self, lineage: str) -> List[str]:
         """Member uids of one copy-lineage group (indexed lookup)."""
@@ -1671,6 +1753,14 @@ class DatabaseFS:
         self.stats.updates += 1
         self.journal.commit()
         self.mvcc.commit()
+        self._notify_mutation(
+            "update",
+            {
+                "uid": request.uid,
+                "subject_id": membrane.subject_id,
+                "changes": dict(request.changes),
+            },
+        )
 
     def delete(self, request: DeleteRequest, credential: AccessCredential) -> Membrane:
         """Erase one PD record (right to be forgotten).
@@ -1742,8 +1832,20 @@ class DatabaseFS:
             # entries are destroyed, never resurrected.
             self._unindex_record(membrane.pd_type, request.uid, record)
             self._scrub_record(request.uid, request.mode)
-        membrane = self._finish_erase(request.uid, credential)
+        self._suppress_mutation_notify = True
+        try:
+            membrane = self._finish_erase(request.uid, credential)
+        finally:
+            self._suppress_mutation_notify = False
         self.stats.deletes += 1
+        self._notify_mutation(
+            "delete",
+            {
+                "uid": request.uid,
+                "subject_id": membrane.subject_id,
+                "mode": request.mode,
+            },
+        )
         return membrane
 
     def _scrub_record(self, uid: str, mode: str) -> None:
@@ -2700,8 +2802,18 @@ class DatabaseFS:
         child.attrs["k"] = bloom.k
         child.attrs["stale"] = bloom.stale
 
+    def _is_live_record(self, uid: str) -> bool:
+        record_no = self._record_index.get(uid)
+        if record_no is None:
+            return False
+        return not self.inodes.get(record_no).attrs.get("erased")
+
     @_locked_writer
-    def compact(self, rewrite_records: bool = True) -> Dict[str, int]:
+    def compact(
+        self,
+        rewrite_records: bool = True,
+        max_records: Optional[int] = None,
+    ) -> Dict[str, int]:
         """Reclaim every durable plane after a wave of erasures.
 
         Erasure scrubs the erased record's own bytes immediately, but
@@ -2734,7 +2846,24 @@ class DatabaseFS:
         Returns a report of what each plane reclaimed.  Runs under the
         write lock: compaction is a writer like any other, so readers
         on MVCC snapshots never see a half-repacked index.
+
+        **Incremental mode** (``max_records=N``): the record-rewrite
+        plane processes at most N live records per call and remembers
+        where it stopped in a resume cursor, so the retention daemon
+        can run compaction as bounded background waves instead of one
+        stop-the-world pass.  The accelerator planes (index repack,
+        bloom rebuild, sweeps, journal checkpoint) only run on the call
+        that *finishes* a cycle — a sequence of bounded calls adds up
+        to exactly one full pass.  The report carries
+        ``records_remaining`` (live records still ahead of the cursor)
+        and ``cycle_complete`` (1 when this call closed the cycle).
+        The cursor is volatile: a remount restarts the wave, which is
+        safe because every wave is idempotent.
         """
+        if max_records is not None and max_records < 1:
+            raise errors.DBFSError(
+                f"max_records must be >= 1, got {max_records}"
+            )
         blocks_before = self.device.used_blocks
         journal_blocks_before = self.journal.blocks_in_use
         report: Dict[str, int] = {
@@ -2744,11 +2873,31 @@ class DatabaseFS:
             "orphan_inodes": 0,
             "orphan_blocks": 0,
             "journal_records_discarded": 0,
+            "records_remaining": 0,
+            "cycle_complete": 1,
         }
 
-        # 1. Live-record rewrite: new blocks, old ones scrubbed.
+        # 1. Live-record rewrite: new blocks, old ones scrubbed.  The
+        # uid order is sorted so the resume cursor ("last uid done")
+        # defines an unambiguous remainder; a full pass ignores and
+        # resets the cursor.
         if rewrite_records:
-            for uid in self.all_uids():
+            uids = sorted(self.all_uids())
+            if max_records is not None and self._compact_cursor is not None:
+                uids = [u for u in uids if u > self._compact_cursor]
+            for position, uid in enumerate(uids):
+                if (
+                    max_records is not None
+                    and report["records_rewritten"] >= max_records
+                ):
+                    self._compact_cursor = uids[position - 1]
+                    report["records_remaining"] = sum(
+                        1
+                        for u in uids[position:]
+                        if self._is_live_record(u)
+                    )
+                    report["cycle_complete"] = 0
+                    break
                 record_no = self._record_index.get(uid)
                 if record_no is None:
                     continue
@@ -2764,6 +2913,16 @@ class DatabaseFS:
                     if payload:
                         self.inodes.rewrite_scrubbed(number, payload)
                 report["records_rewritten"] += 1
+            if report["cycle_complete"]:
+                self._compact_cursor = None
+
+        if not report["cycle_complete"]:
+            # Mid-wave: the accelerator planes wait for cycle close.
+            self.stats.compactions += 1
+            self._journal_op(
+                "compact", f"wave={report['records_rewritten']}"
+            )
+            return report
 
         # 2. Durable index repack, intent-logged per index.
         with self._index_lock:

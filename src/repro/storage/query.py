@@ -165,11 +165,17 @@ class DataQuery:
 
 @dataclass(frozen=True)
 class StoreRequest:
-    """Create one PD record (built-in ``acquisition``/``copy``/derive)."""
+    """Create one PD record (built-in ``acquisition``/``copy``/derive).
+
+    ``uid`` is normally minted by DBFS; the replication apply path
+    (``repro.cluster``) passes the leader's uid so every node addresses
+    the same PD by the same name.
+    """
 
     pd_type: str
     record: Mapping[str, object]
     membrane_json: str  # serialized membrane — storage never sees it absent
+    uid: Optional[str] = None
 
 
 @dataclass(frozen=True)

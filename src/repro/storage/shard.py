@@ -150,6 +150,12 @@ class ShardedDBFS:
         #: Per-shard crash-reconciliation reports of the last
         #: remount_from_devices (empty for a normally built fleet).
         self.recovery_report: Dict[str, object] = {}
+        # Fleet-level retention of TTL observer registrations, so a
+        # true-crash remount can carry them over to the fresh shard
+        # objects it builds (see remount_from_devices ttl_observers=).
+        self._fleet_ttl_observers: List[
+            Callable[[str, str, Optional[float]], None]
+        ] = []
 
     @classmethod
     def remount_from_devices(
@@ -164,6 +170,9 @@ class ShardedDBFS:
         scan_batch_rows: int = 256,
         bloom_filters: bool = True,
         index_page_capacity: int = DEFAULT_PAGE_CAPACITY,
+        ttl_observers: Sequence[
+            Callable[[str, str, Optional[float]], None]
+        ] = (),
     ) -> "ShardedDBFS":
         """True-crash remount of a whole fleet, shard by shard.
 
@@ -176,6 +185,15 @@ class ShardedDBFS:
         :class:`~repro.errors.ShardUnavailableError`.  The per-shard
         reconciliation reports (and the degraded map) land in
         :attr:`recovery_report`.
+
+        ``ttl_observers`` (usually the crashed fleet's
+        :attr:`fleet_ttl_observers`) are re-registered on every
+        recovered shard, so daemons subscribed before the crash keep
+        hearing TTL events on the sharded path exactly as they do
+        across a single-DBFS in-place remount.  The observers' *wheel
+        state* is still stale — pair this with
+        ``ExpiryDaemon.rebind`` to re-seed from the recovered
+        membranes.
         """
         if not devices or len(devices) != len(inode_tables):
             raise errors.DBFSError(
@@ -193,6 +211,7 @@ class ShardedDBFS:
         fleet._uid_shard = {}
         fleet._uid_lock = threading.Lock()
         fleet._fanout = None
+        fleet._fleet_ttl_observers = list(ttl_observers)
         for index, (device, inodes) in enumerate(zip(devices, inode_tables)):
             try:
                 shard = DatabaseFS.remount_from_device(
@@ -216,6 +235,9 @@ class ShardedDBFS:
             fleet._shards.append(shard)
             for uid in shard.all_uids():
                 fleet._uid_shard[uid] = index
+        for observer in fleet._fleet_ttl_observers:
+            for _, shard in fleet._healthy():
+                shard.add_ttl_observer(observer)
         torn_batches = fleet._resolve_torn_fleet_batches()
         fleet.recovery_report = {
             "shards": len(fleet._shards),
@@ -476,14 +498,35 @@ class ShardedDBFS:
             shard.flush_accelerators() for _, shard in self._healthy()
         )
 
-    def compact(self, rewrite_records: bool = True) -> Dict[str, int]:
-        """Compact every healthy shard; reports are summed."""
+    def compact(
+        self,
+        rewrite_records: bool = True,
+        max_records: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Compact every healthy shard; reports are summed.
+
+        ``max_records`` is a per-call budget for the whole fleet: it is
+        split evenly across the healthy shards (each gets at least 1),
+        and the fleet-level ``cycle_complete`` is the AND of the shard
+        reports — the incremental wave only closes when every shard's
+        wave has.
+        """
         total: Dict[str, int] = {}
-        for _, shard in self._healthy():
-            for key, value in shard.compact(
-                rewrite_records=rewrite_records
-            ).items():
+        healthy = list(self._healthy())
+        per_shard = (
+            None
+            if max_records is None
+            else max(1, max_records // max(1, len(healthy)))
+        )
+        complete = 1
+        for _, shard in healthy:
+            report = shard.compact(
+                rewrite_records=rewrite_records, max_records=per_shard
+            )
+            complete &= report.get("cycle_complete", 1)
+            for key, value in report.items():
                 total[key] = total.get(key, 0) + value
+        total["cycle_complete"] = complete
         return total
 
     def add_ttl_observer(
@@ -493,10 +536,21 @@ class ShardedDBFS:
 
         One observer hears the whole fleet: the expiry daemon keeps a
         single timer wheel and routes each firing back to the owning
-        shard through ``subjects_by_shard``.
+        shard through ``subjects_by_shard``.  The registration is also
+        retained fleet-side (``_fleet_ttl_observers``) so
+        :meth:`remount_from_devices` can re-attach observers to the
+        fresh shard objects it builds — see ``ExpiryDaemon.rebind``.
         """
+        self._fleet_ttl_observers.append(observer)
         for _, shard in self._healthy():
             shard.add_ttl_observer(observer)
+
+    @property
+    def fleet_ttl_observers(
+        self,
+    ) -> List[Callable[[str, str, Optional[float]], None]]:
+        """The registrations to carry into ``remount_from_devices``."""
+        return list(self._fleet_ttl_observers)
 
     def has_index(self, type_name: str, field_name: str) -> bool:
         return self._primary().has_index(type_name, field_name)

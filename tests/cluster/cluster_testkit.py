@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the replicated-cluster tests.
+
+Imported flat (``from cluster_testkit import ...``) like the rest of
+the suite's helper modules; importing the fixtures into a test module
+registers them with pytest.
+"""
+
+import pytest
+
+from conftest import LISTING1_DECLARATIONS
+from repro import RgpdOS
+
+
+def make_cluster_system(authority, shards=1, **kwargs):
+    os_ = RgpdOS(
+        operator_name="cluster-test",
+        authority=authority,
+        with_machine=False,
+        pd_device_blocks=512,
+        shards=shards,
+        **kwargs,
+    )
+    os_.install(LISTING1_DECLARATIONS)
+    return os_
+
+
+@pytest.fixture
+def cluster_system(shared_authority):
+    return make_cluster_system(shared_authority)
+
+
+@pytest.fixture
+def sharded_cluster_system(shared_authority):
+    return make_cluster_system(shared_authority, shards=3)
+
+
+def collect_users(system, count, prefix="subj"):
+    refs = []
+    for i in range(count):
+        refs.append(
+            system.collect(
+                "user",
+                {"name": f"Cluster User {i}", "pwd": f"cluster-pw-{i}",
+                 "year_of_birthdate": 1970 + i},
+                subject_id=f"{prefix}-{i}", method="web_form",
+            )
+        )
+    return refs

@@ -1,0 +1,80 @@
+"""Cluster observability (PR 10 satellite): replication-lag gauges,
+per-node role gauges and placement counters exported through the
+Prometheus text format, with a parse round-trip."""
+
+import pytest
+
+from cluster_testkit import (cluster_system, collect_users,  # noqa: F401
+                             )
+from repro.cluster import ReplicatedCluster
+from repro.obs.exporters import parse_prometheus, to_prometheus
+
+
+@pytest.fixture
+def cluster(cluster_system):
+    c = ReplicatedCluster(cluster_system, regions=("eu", "eu", "us:scc"))
+    yield c
+    c.close()
+
+
+class TestGauges:
+    def test_lag_gauge_tracks_replication(self, cluster, cluster_system):
+        registry = cluster_system.telemetry.registry
+        follower = cluster.followers[0]
+        follower.link.partition()
+        collect_users(cluster_system, 4, prefix="lag")
+        cluster.pump()
+        registry.collect()
+        assert registry.gauge_value("rgpdos.replication.lag_records") > 0
+        follower.link.heal()
+        cluster.sync()
+        registry.collect()
+        assert registry.gauge_value("rgpdos.replication.lag_records") == 0
+
+    def test_role_gauges_follow_failover(self, cluster, cluster_system):
+        registry = cluster_system.telemetry.registry
+        registry.collect()
+        assert registry.gauge_value("rgpdos.cluster.node.node-0.role") == 2
+        assert registry.gauge_value("rgpdos.cluster.node.node-1.role") == 1
+        cluster.fail_leader()
+        cluster.promote()
+        registry.collect()
+        assert registry.gauge_value("rgpdos.cluster.node.node-0.role") == 0
+        promoted = cluster.leader.node_id
+        assert registry.gauge_value(
+            f"rgpdos.cluster.node.{promoted}.role"
+        ) == 2
+
+    def test_placement_counters_stay_zero(self, cluster, cluster_system):
+        registry = cluster_system.telemetry.registry
+        collect_users(cluster_system, 3, prefix="pc")
+        cluster.sync()
+        registry.collect()
+        assert registry.gauge_value("rgpdos.placement.violations") == 0
+
+
+class TestPrometheusRoundTrip:
+    def test_export_names_and_round_trip(self, cluster, cluster_system):
+        collect_users(cluster_system, 2, prefix="prom")
+        cluster.sync()
+        text = to_prometheus(cluster_system.telemetry.registry, prefix="")
+        # The exact metric names the issue specifies.
+        assert "rgpdos_replication_lag_records" in text
+        assert "rgpdos_cluster_node_node_0_role" in text
+        assert "rgpdos_placement_violations" in text
+        samples = parse_prometheus(text)
+        flat = {name: value for (name, _), value in samples.items()}
+        assert flat["rgpdos_replication_lag_records"] == 0.0
+        assert flat["rgpdos_placement_violations"] == 0.0
+        assert flat["rgpdos_cluster_node_node_0_role"] == 2.0
+        assert flat["rgpdos_cluster_followers"] == 2.0
+
+    def test_ship_counters_exported(self, cluster, cluster_system):
+        collect_users(cluster_system, 3, prefix="ctr")
+        cluster.sync()
+        text = to_prometheus(cluster_system.telemetry.registry, prefix="")
+        samples = parse_prometheus(text)
+        flat = {name: value for (name, _), value in samples.items()}
+        assert flat["rgpdos_replication_captured_records"] > 0
+        assert flat["rgpdos_replication_records_shipped"] > 0
+        assert flat["rgpdos_replication_batches_shipped"] > 0

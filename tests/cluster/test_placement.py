@@ -1,0 +1,122 @@
+"""Placement-time Chapter V: admission, subject origins, audits."""
+
+import pytest
+
+from cluster_testkit import (cluster_system, collect_users,  # noqa: F401
+                             make_cluster_system)
+from repro import errors
+from repro.cluster import NodeLocation, PlacementEngine, ReplicatedCluster
+from repro.core.transfer import US_ADEQUACY_LAPSE, default_policy
+
+
+class TestEngine:
+    def test_admission_blocked_for_prohibited_region(self):
+        engine = PlacementEngine()
+        engine.register_subject("alice", "eu")
+        with pytest.raises(errors.PlacementViolationError):
+            engine.admit_node(NodeLocation("n1", "br"))
+        assert engine.blocked == 1
+        assert engine.violations == 0  # nothing was actually placed
+
+    def test_safeguard_unblocks_the_same_region(self):
+        engine = PlacementEngine()
+        engine.register_subject("alice", "eu")
+        engine.admit_node(NodeLocation("n1", "br", safeguard="scc"))
+        assert engine.blocked == 0
+
+    def test_subject_origin_conflicts_are_rejected(self):
+        engine = PlacementEngine()
+        engine.register_subject("alice", "eu")
+        engine.register_subject("alice", "eu")  # idempotent
+        with pytest.raises(errors.PlacementViolationError):
+            engine.register_subject("alice", "us")
+
+    def test_new_origin_checked_against_admitted_nodes(self):
+        engine = PlacementEngine()
+        engine.admit_node(NodeLocation("n1", "br", safeguard="scc"))
+        # eu->br SCC corridor exists: fine.
+        engine.register_subject("alice", "eu")
+        # uk->br has no corridor at all: the origin cannot join.
+        with pytest.raises(errors.PlacementViolationError):
+            engine.register_subject("boris", "uk")
+
+    def test_audit_counts_lapsed_adequacy_as_violation(self):
+        clock = {"now": 0.0}
+        engine = PlacementEngine(now=lambda: clock["now"])
+        engine.register_subject("alice", "eu")
+        engine.admit_node(NodeLocation("n1", "us"))  # adequate at t=0
+        assert engine.audit()["violations"] == 0
+        clock["now"] = US_ADEQUACY_LAPSE + 1.0
+        report = engine.audit()
+        assert report["violations"] == 1
+        assert report["breaches"][0]["node"] == "n1"
+
+    def test_default_origin_applies_at_write_time(self):
+        engine = PlacementEngine(default_origin="eu")
+        assert engine.note_subject("walk-in") == "eu"
+        assert engine.subject_origin("walk-in") == "eu"
+        assert engine.origins == ["eu"]
+
+
+class TestClusterPlacement:
+    def test_add_replica_in_prohibited_region_raises(self, cluster_system):
+        cluster = ReplicatedCluster(cluster_system, regions=("eu",))
+        try:
+            collect_users(cluster_system, 1, prefix="pl")
+            with pytest.raises(errors.PlacementViolationError):
+                cluster.add_replica("br")
+            # With the Art. 46 mechanism the same region is fine.
+            node = cluster.add_replica("br:scc")
+            assert node.region == "br"
+            assert cluster.placement.audit()["violations"] == 0
+        finally:
+            cluster.close()
+
+    def test_write_time_subjects_feed_the_engine(self, cluster_system):
+        cluster = ReplicatedCluster(cluster_system, regions=("eu", "eu"))
+        try:
+            collect_users(cluster_system, 2, prefix="feed")
+            assert cluster.placement.subject_origin("feed-0") == "eu"
+            assert cluster.placement.origins == ["eu"]
+        finally:
+            cluster.close()
+
+    def test_blocked_placement_never_lands_bytes(self, cluster_system):
+        cluster = ReplicatedCluster(cluster_system, regions=("eu",))
+        try:
+            collect_users(cluster_system, 3, prefix="nb")
+            before = len(cluster.nodes)
+            with pytest.raises(errors.PlacementViolationError):
+                cluster.add_replica("in")  # no safeguard invoked
+            assert len(cluster.nodes) == before
+            assert cluster.placement.blocked >= 1
+            assert cluster.placement.audit()["violations"] == 0
+        finally:
+            cluster.close()
+
+    def test_stats_carry_placement_audit(self, cluster_system):
+        cluster = ReplicatedCluster(cluster_system, regions=("eu", "us:scc"))
+        try:
+            collect_users(cluster_system, 1, prefix="st")
+            stats = cluster.stats()
+            assert stats["placement"]["violations"] == 0
+            assert stats["placement"]["breaches"] == []
+            (follower,) = [
+                n for n in stats["nodes"] if n["role"] == "follower"
+            ]
+            assert follower["region"] == "us"
+            assert follower["safeguard"] == "scc"
+        finally:
+            cluster.close()
+
+    def test_policy_is_default_chapter_v_rulebook(self, cluster_system):
+        cluster = ReplicatedCluster(cluster_system, regions=("eu",))
+        try:
+            reference = default_policy()
+            ours = cluster.placement.policy
+            for destination in ("uk", "ch", "jp", "ca", "us", "br"):
+                assert ours.permitted("eu", destination, at=0.0) == (
+                    reference.permitted("eu", destination, at=0.0)
+                )
+        finally:
+            cluster.close()

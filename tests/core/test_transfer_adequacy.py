@@ -1,0 +1,155 @@
+"""Chapter V corridor matrix: every (origin, destination, safeguard)
+combination against the default policy, including expired-adequacy and
+expired-safeguard edges (satellite of PR 10)."""
+
+import pytest
+
+from repro.core.transfer import (
+    GROUND_ADEQUACY,
+    GROUND_DOMESTIC,
+    GROUND_PROHIBITED,
+    GROUND_SAFEGUARDS,
+    GROUND_UNREGULATED,
+    SAFEGUARD_BCR,
+    SAFEGUARD_SCC,
+    US_ADEQUACY_LAPSE,
+    AdequacyDecision,
+    SafeguardGrant,
+    TransferPolicy,
+    default_policy,
+)
+
+REGIONS = ("eu", "uk", "ch", "jp", "ca", "us", "br", "in")
+SAFEGUARDS = (None, SAFEGUARD_SCC, SAFEGUARD_BCR)
+
+#: While the eu->us adequacy decision is still in force.
+T_EARLY = 0.0
+#: After the Privacy-Shield-style strike-down.
+T_LATE = US_ADEQUACY_LAPSE + 10.0
+
+
+def expected_ground(origin, destination, safeguard, at):
+    """Independent re-derivation of the default policy's rulebook."""
+    if origin == destination:
+        return GROUND_DOMESTIC
+    if origin not in ("eu", "uk"):
+        return GROUND_UNREGULATED
+    adequate = {
+        "eu": {"uk", "ch", "jp", "ca"},
+        "uk": {"eu", "ch"},
+    }[origin]
+    if origin == "eu" and destination == "us" and at < US_ADEQUACY_LAPSE:
+        adequate = adequate | {"us"}
+    if destination in adequate:
+        return GROUND_ADEQUACY
+    scc = {
+        "eu": {"us", "br", "in"},
+        "uk": {"us"},
+    }[origin]
+    bcr = {"eu": {"us"}, "uk": set()}[origin]
+    if safeguard == SAFEGUARD_SCC and destination in scc:
+        return GROUND_SAFEGUARDS
+    if safeguard == SAFEGUARD_BCR and destination in bcr:
+        return GROUND_SAFEGUARDS
+    return GROUND_PROHIBITED
+
+
+class TestFullMatrix:
+    @pytest.mark.parametrize("origin", REGIONS)
+    @pytest.mark.parametrize("destination", REGIONS)
+    @pytest.mark.parametrize("safeguard", SAFEGUARDS)
+    @pytest.mark.parametrize("at", (T_EARLY, T_LATE))
+    def test_corridor(self, origin, destination, safeguard, at):
+        policy = default_policy()
+        decision = policy.decide(origin, destination, at, safeguard)
+        ground = expected_ground(origin, destination, safeguard, at)
+        assert decision.ground == ground, (
+            f"{origin}->{destination} safeguard={safeguard} at={at}: "
+            f"{decision.reason}"
+        )
+        assert decision.allowed == (ground != GROUND_PROHIBITED)
+        assert decision.allowed == policy.permitted(
+            origin, destination, at, safeguard
+        )
+
+    @pytest.mark.parametrize("origin", REGIONS)
+    @pytest.mark.parametrize("at", (T_EARLY, T_LATE))
+    def test_domestic_is_never_a_transfer(self, origin, at):
+        decision = default_policy().decide(origin, origin, at)
+        assert decision.allowed
+        assert decision.ground == GROUND_DOMESTIC
+
+
+class TestExpiredAdequacy:
+    """The eu->us decision lapses at US_ADEQUACY_LAPSE."""
+
+    def test_in_force_before_lapse(self):
+        decision = default_policy().decide("eu", "us", T_EARLY)
+        assert decision.allowed and decision.ground == GROUND_ADEQUACY
+        assert decision.article == "Art. 45"
+
+    def test_boundary_instant_is_already_expired(self):
+        # in_force is half-open: at == expires_at means lapsed.
+        decision = default_policy().decide("eu", "us", US_ADEQUACY_LAPSE)
+        assert not decision.allowed
+        assert decision.ground == GROUND_PROHIBITED
+
+    def test_expired_reason_names_the_lapse(self):
+        decision = default_policy().decide("eu", "us", T_LATE)
+        assert not decision.allowed
+        assert "expired" in decision.reason
+
+    def test_safeguard_survives_the_lapse(self):
+        decision = default_policy().decide(
+            "eu", "us", T_LATE, SAFEGUARD_SCC
+        )
+        assert decision.allowed and decision.ground == GROUND_SAFEGUARDS
+        assert decision.article == "Art. 46"
+
+    def test_adequacy_wins_over_safeguard_while_in_force(self):
+        # Before the lapse the decision grounds on Art. 45 even when a
+        # safeguard is also invoked — the stronger ground is cited.
+        decision = default_policy().decide(
+            "eu", "us", T_EARLY, SAFEGUARD_SCC
+        )
+        assert decision.ground == GROUND_ADEQUACY
+
+    def test_not_yet_decided_is_prohibited(self):
+        policy = TransferPolicy(
+            decisions=(AdequacyDecision("eu", "nz", decided_at=100.0),),
+        )
+        assert not policy.permitted("eu", "nz", at=50.0)
+        assert policy.permitted("eu", "nz", at=100.0)
+
+
+class TestExpiredSafeguards:
+    def test_expired_scc_does_not_save_the_corridor(self):
+        policy = TransferPolicy(
+            safeguards=(
+                SafeguardGrant("eu", "us", SAFEGUARD_SCC, expires_at=5.0),
+            ),
+        )
+        assert policy.permitted("eu", "us", at=4.9, safeguard=SAFEGUARD_SCC)
+        assert not policy.permitted(
+            "eu", "us", at=5.0, safeguard=SAFEGUARD_SCC
+        )
+
+    def test_safeguard_must_be_invoked_not_just_registered(self):
+        policy = TransferPolicy(
+            safeguards=(SafeguardGrant("eu", "us", SAFEGUARD_SCC),),
+        )
+        # Registered but not invoked by the receiving side: prohibited.
+        assert not policy.permitted("eu", "us", at=0.0, safeguard=None)
+        assert policy.permitted("eu", "us", at=0.0, safeguard=SAFEGUARD_SCC)
+
+    def test_wrong_mechanism_is_rejected(self):
+        policy = TransferPolicy(
+            safeguards=(SafeguardGrant("eu", "br", SAFEGUARD_SCC),),
+        )
+        assert not policy.permitted(
+            "eu", "br", at=0.0, safeguard=SAFEGUARD_BCR
+        )
+
+    def test_unknown_mechanism_name_raises_at_grant_time(self):
+        with pytest.raises(Exception):
+            SafeguardGrant("eu", "us", "pinky-promise")

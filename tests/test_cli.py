@@ -319,3 +319,29 @@ class TestTraceOut:
         spans = [json.loads(line) for line in trace.read_text().splitlines()]
         assert spans
         assert any(span["name"] == "ps.invoke" for span in spans)
+
+
+class TestClusterCommand:
+    def test_cluster_text(self, capsys):
+        assert main(["cluster", "--replicas", "1", "--regions", "eu,eu"]) == 0
+        out = capsys.readouterr().out
+        assert "erasure propagated to every replica: True" in out
+        assert "placement violations: 0" in out
+
+    def test_cluster_failover_json(self, capsys):
+        assert main(
+            ["cluster", "--regions", "eu,eu,us:scc", "--failover",
+             "--format", "json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["erasure_propagated"] is True
+        assert report["cluster"]["placement"]["violations"] == 0
+        assert report["failover"]["demoted_rejoined"] == "node-0"
+
+    def test_cluster_prometheus_exports_lag(self, capsys):
+        assert main(
+            ["cluster", "--regions", "eu,eu", "--format", "prometheus"]
+        ) == 0
+        samples = parse_prometheus(capsys.readouterr().out)
+        flat = {name for (name, _) in samples}
+        assert any("replication_lag_records" in name for name in flat)
